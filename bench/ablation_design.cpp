@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Ablations over the modelling/design choices DESIGN.md calls out:
+ *
+ *   A. row-interleaving window of the GPU access stream (1 = the
+ *      sequential replay the paper's simulator used),
+ *   B. cache line size (32B sector vs 128B full line),
+ *   C. community detector behind the community-based ordering
+ *      (RABBIT's incremental aggregation vs Louvain),
+ *   D. RABBIT++ hub-degree threshold factor,
+ *   E. L2 fill granularity (32B lines vs 128B lines vs the real
+ *      A6000's sectored 128B/32B geometry).
+ *
+ * Run on a fixed 12-matrix slice of the corpus for speed.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "community/dendrogram.hpp"
+#include "community/louvain.hpp"
+#include "reorder/rabbitpp.hpp"
+
+using namespace slo;
+
+namespace
+{
+
+/** Louvain-based community ordering: communities laid out
+ * contiguously (by first-appearance), members in original order. */
+Permutation
+louvainOrder(const Csr &matrix)
+{
+    const community::LouvainResult result = community::louvain(matrix);
+    const auto members = result.clustering.members();
+    std::vector<Index> order;
+    order.reserve(static_cast<std::size_t>(matrix.numRows()));
+    for (const auto &community_members : members)
+        order.insert(order.end(), community_members.begin(),
+                     community_members.end());
+    return Permutation::fromNewToOld(order);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::Env env = bench::loadEnv("Ablations: modelling and design "
+                                    "choices");
+    bench::selectSlice(&env, 12);
+
+    // --- A: interleaving window ---------------------------------------
+    {
+        core::Table table({"window", "mean RABBIT traffic",
+                           "mean RANDOM traffic"});
+        for (int window : {1, 32, 256}) {
+            std::vector<double> rabbit, random;
+            gpu::SimOptions options;
+            options.rowWindow = window;
+            for (const auto &m : env.corpus) {
+                const auto rb = core::orderingFor(
+                    m.entry, m.original, env.scale,
+                    reorder::Technique::Rabbit);
+                const auto rnd = core::orderingFor(
+                    m.entry, m.original, env.scale,
+                    reorder::Technique::Random);
+                rabbit.push_back(
+                    core::simulateOrdered(m.original, rb.perm,
+                                          env.spec, options)
+                        .normalizedTraffic);
+                random.push_back(
+                    core::simulateOrdered(m.original, rnd.perm,
+                                          env.spec, options)
+                        .normalizedTraffic);
+            }
+            table.addRow({std::to_string(window),
+                          core::fmtX(core::mean(rabbit)),
+                          core::fmtX(core::mean(random))});
+            std::cerr << "[ablation] window " << window << " done\n";
+        }
+        core::printHeading(std::cout,
+                           "A: GPU row-interleaving window");
+        bench::emitTable(table, "ablation_window");
+    }
+
+    // --- B: line size ---------------------------------------------------
+    {
+        core::Table table({"line bytes", "mean RABBIT traffic",
+                           "mean RANDOM traffic"});
+        for (std::uint32_t line : {32u, 128u}) {
+            gpu::GpuSpec spec = env.spec;
+            spec.l2.lineBytes = line;
+            std::vector<double> rabbit, random;
+            for (const auto &m : env.corpus) {
+                const auto rb = core::orderingFor(
+                    m.entry, m.original, env.scale,
+                    reorder::Technique::Rabbit);
+                const auto rnd = core::orderingFor(
+                    m.entry, m.original, env.scale,
+                    reorder::Technique::Random);
+                rabbit.push_back(
+                    core::simulateOrdered(m.original, rb.perm, spec)
+                        .normalizedTraffic);
+                random.push_back(
+                    core::simulateOrdered(m.original, rnd.perm, spec)
+                        .normalizedTraffic);
+            }
+            table.addRow({std::to_string(line),
+                          core::fmtX(core::mean(rabbit)),
+                          core::fmtX(core::mean(random))});
+            std::cerr << "[ablation] line " << line << " done\n";
+        }
+        core::printHeading(std::cout, "B: cache line size");
+        bench::emitTable(table, "ablation_linesize");
+    }
+
+    // --- C: community detector ------------------------------------------
+    {
+        core::Table table({"matrix", "RABBIT aggregation", "Louvain"});
+        std::vector<double> agg, louvain_traffic;
+        for (const auto &m : env.corpus) {
+            const auto rb =
+                core::orderingFor(m.entry, m.original, env.scale,
+                                  reorder::Technique::Rabbit);
+            const double t_agg =
+                core::simulateOrdered(m.original, rb.perm, env.spec)
+                    .normalizedTraffic;
+            const double t_louvain =
+                core::simulateOrdered(m.original,
+                                      louvainOrder(m.original),
+                                      env.spec)
+                    .normalizedTraffic;
+            agg.push_back(t_agg);
+            louvain_traffic.push_back(t_louvain);
+            table.addRow({m.entry.name, core::fmtX(t_agg),
+                          core::fmtX(t_louvain)});
+            std::cerr << "[ablation] louvain " << m.entry.name
+                      << " done\n";
+        }
+        table.addRow({"MEAN", core::fmtX(core::mean(agg)),
+                      core::fmtX(core::mean(louvain_traffic))});
+        core::printHeading(
+            std::cout,
+            "C: community detector behind the ordering (traffic)");
+        bench::emitTable(table, "ablation_detector");
+    }
+
+    // --- E: sectored L2 (real A6000 geometry: 128B lines, 32B
+    // sectors) vs the default 32B-line model -------------------------
+    {
+        core::Table table({"L2 model", "mean RABBIT traffic",
+                           "mean RANDOM traffic"});
+        struct Mode
+        {
+            std::string name;
+            std::uint32_t line;
+            std::uint32_t sector;
+        };
+        for (const Mode &mode :
+             {Mode{"32B lines (default)", 32, 0},
+              Mode{"128B lines", 128, 0},
+              Mode{"128B lines / 32B sectors", 128, 32}}) {
+            gpu::GpuSpec spec = env.spec;
+            spec.l2.lineBytes = mode.line;
+            spec.l2.sectorBytes = mode.sector;
+            std::vector<double> rabbit, random;
+            for (const auto &m : env.corpus) {
+                const auto rb = core::orderingFor(
+                    m.entry, m.original, env.scale,
+                    reorder::Technique::Rabbit);
+                const auto rnd = core::orderingFor(
+                    m.entry, m.original, env.scale,
+                    reorder::Technique::Random);
+                rabbit.push_back(
+                    core::simulateOrdered(m.original, rb.perm, spec)
+                        .normalizedTraffic);
+                random.push_back(
+                    core::simulateOrdered(m.original, rnd.perm, spec)
+                        .normalizedTraffic);
+            }
+            table.addRow({mode.name,
+                          core::fmtX(core::mean(rabbit)),
+                          core::fmtX(core::mean(random))});
+            std::cerr << "[ablation] L2 model " << mode.name
+                      << " done\n";
+        }
+        core::printHeading(std::cout,
+                           "E: L2 fill granularity (sectored vs "
+                           "line)");
+        bench::emitTable(table, "ablation_sectored");
+    }
+
+    // --- D: hub threshold factor -----------------------------------------
+    {
+        core::Table table({"hub factor", "mean RABBIT++ traffic"});
+        for (double factor : {0.5, 1.0, 2.0, 4.0}) {
+            std::vector<double> traffic;
+            for (const auto &m : env.corpus) {
+                const bench::RabbitInfo info =
+                    bench::rabbitInfoFor(env, m);
+                reorder::RabbitResult rabbit;
+                rabbit.perm = info.artifacts.perm;
+                rabbit.clustering = info.artifacts.clustering;
+                const auto rpp = reorder::rabbitPlusFromRabbit(
+                    m.original, rabbit,
+                    {true, reorder::HubTreatment::HubGroup, factor});
+                traffic.push_back(
+                    core::simulateOrdered(m.original, rpp.perm,
+                                          env.spec)
+                        .normalizedTraffic);
+            }
+            table.addRow({core::fmt(factor, 1),
+                          core::fmtX(core::mean(traffic))});
+            std::cerr << "[ablation] hub factor " << factor
+                      << " done\n";
+        }
+        core::printHeading(std::cout,
+                           "D: RABBIT++ hub threshold factor "
+                           "(paper uses 1.0)");
+        bench::emitTable(table, "ablation_hubfactor");
+    }
+    return 0;
+}

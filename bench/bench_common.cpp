@@ -1,0 +1,131 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+
+#include "community/metrics.hpp"
+
+namespace slo::bench
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitCsv(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::istringstream in(text);
+    std::string part;
+    while (std::getline(in, part, ',')) {
+        if (!part.empty())
+            parts.push_back(part);
+    }
+    return parts;
+}
+
+} // namespace
+
+Env
+loadEnv(const std::string &bench_name)
+{
+    Env env;
+    env.scale = core::scaleFromEnv();
+    env.spec = core::specForScale(env.scale);
+
+    std::cout << "# " << bench_name << "\n";
+    std::cout << "# platform: " << env.spec.name << " | L2 "
+              << env.spec.l2.capacityBytes / 1024 << " KiB, "
+              << env.spec.l2.lineBytes << "B lines, "
+              << env.spec.l2.ways << "-way | stream BW "
+              << env.spec.streamBandwidthGBs << " GB/s (peak "
+              << env.spec.peakBandwidthGBs << ")\n";
+    std::cout << "# corpus scale: " << core::scaleName(env.scale)
+              << "\n";
+    std::cout.flush();
+
+    env.corpus = core::loadCorpus(env.scale, &std::cerr);
+
+    if (const char *limit_env = std::getenv("REPRO_LIMIT")) {
+        const auto limit =
+            static_cast<std::size_t>(std::atoi(limit_env));
+        if (limit > 0 && limit < env.corpus.size())
+            env.corpus.resize(limit);
+    }
+    if (const char *names_env = std::getenv("REPRO_MATRICES")) {
+        const auto names = splitCsv(names_env);
+        std::vector<core::CorpusMatrix> filtered;
+        for (auto &m : env.corpus) {
+            for (const std::string &name : names) {
+                if (m.entry.name == name) {
+                    filtered.push_back(std::move(m));
+                    break;
+                }
+            }
+        }
+        env.corpus = std::move(filtered);
+    }
+    std::cout << "# matrices: " << env.corpus.size() << "\n";
+    return env;
+}
+
+void
+emitTable(const core::Table &table, const std::string &stem)
+{
+    table.print(std::cout);
+    if (const char *dir = std::getenv("REPRO_CSV_DIR")) {
+        std::filesystem::create_directories(dir);
+        const auto path =
+            std::filesystem::path(dir) / (stem + ".csv");
+        table.writeCsvFile(path.string());
+        std::cout << "(csv: " << path.string() << ")\n";
+    }
+}
+
+RabbitInfo
+rabbitInfoFor(const Env &env, const core::CorpusMatrix &m)
+{
+    RabbitInfo info;
+    info.artifacts =
+        core::rabbitArtifactsFor(m.entry, m.original, env.scale);
+    info.highInsularity = info.artifacts.insularity >=
+                          community::kInsularityThreshold;
+    return info;
+}
+
+void
+selectSlice(Env *env, std::size_t target)
+{
+    if (target == 0 || env->corpus.size() <= target)
+        return;
+    const double stride = static_cast<double>(env->corpus.size()) /
+                          static_cast<double>(target);
+    std::vector<core::CorpusMatrix> slice;
+    for (std::size_t i = 0; i < target; ++i) {
+        slice.push_back(std::move(
+            env->corpus[static_cast<std::size_t>(
+                static_cast<double>(i) * stride)]));
+    }
+    env->corpus = std::move(slice);
+    std::cout << "# sliced to " << env->corpus.size()
+              << " matrices (uniform stride)\n";
+}
+
+double
+maskedMean(const std::vector<double> &values,
+           const std::vector<bool> &mask, bool selected)
+{
+    double total = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (mask[i] == selected) {
+            total += values[i];
+            ++count;
+        }
+    }
+    return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+} // namespace slo::bench

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared harness for the per-figure/per-table bench binaries.
+ *
+ * Every bench binary loads the same corpus (via the on-disk artifact
+ * cache, so only the first binary pays generation cost), prints the
+ * modelled platform, and emits its figure's rows. Environment knobs:
+ *
+ *   REPRO_SCALE=small|medium|large  corpus + L2 scale (default small)
+ *   REPRO_LIMIT=<n>                 only the first n corpus matrices
+ *   REPRO_MATRICES=a,b,c            only the named corpus matrices
+ *   REPRO_CSV_DIR=<dir>             also write each table as CSV
+ *   SLO_CACHE_DIR / SLO_NO_CACHE    artifact cache control
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "core/stats.hpp"
+#include "gpu/simulate.hpp"
+#include "reorder/reorder.hpp"
+
+namespace slo::bench
+{
+
+/** Everything a bench binary needs. */
+struct Env
+{
+    core::Scale scale = core::Scale::Small;
+    gpu::GpuSpec spec;
+    std::vector<core::CorpusMatrix> corpus;
+};
+
+/**
+ * Load scale/spec/corpus (with REPRO_LIMIT / REPRO_MATRICES applied)
+ * and print the platform banner.
+ */
+Env loadEnv(const std::string &bench_name);
+
+/** Print (and optionally CSV-dump) a finished table. */
+void emitTable(const core::Table &table, const std::string &stem);
+
+/**
+ * RABBIT artifacts + the matrix's insularity class, for the benches
+ * that split results into INS < 0.95 and INS >= 0.95 like the paper.
+ */
+struct RabbitInfo
+{
+    core::RabbitArtifacts artifacts;
+    bool highInsularity = false;
+};
+
+RabbitInfo rabbitInfoFor(const Env &env, const core::CorpusMatrix &m);
+
+/**
+ * Thin the corpus to ~@p target matrices with a uniform stride, so the
+ * slice spans all domains (the corpus is ordered by publisher group).
+ */
+void selectSlice(Env *env, std::size_t target);
+
+/** Mean of the values whose mask bit is set (0 if none). */
+double maskedMean(const std::vector<double> &values,
+                  const std::vector<bool> &mask, bool selected);
+
+} // namespace slo::bench

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Extension bench (paper Sec. VI-D / VIII: "we also expect RABBIT++ to
+ * be equally effective ... on other platforms such as multi-core
+ * CPUs"): measures *real wall-clock* SpMV time on this host CPU before
+ * and after reordering — no simulator involved, the host's actual
+ * cache hierarchy does the talking.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "kernels/kernels.hpp"
+
+using namespace slo;
+
+namespace
+{
+
+/** Median-of-5 wall-clock seconds for one SpMV over @p m. */
+double
+timeSpmv(const Csr &m)
+{
+    std::vector<Value> x(static_cast<std::size_t>(m.numCols()), 1.0f);
+    std::vector<Value> y(static_cast<std::size_t>(m.numRows()));
+    std::vector<double> samples;
+    for (int run = 0; run < 5; ++run) {
+        const core::Timer timer;
+        kernels::spmvCsr(m, x, y);
+        samples.push_back(timer.elapsedSeconds());
+    }
+    return core::percentile(samples, 50);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::Env env = bench::loadEnv(
+        "Extension: real host-CPU SpMV wall-clock (Sec. VI-D)");
+    bench::selectSlice(&env, 12);
+
+    core::Table table({"matrix", "RANDOM (ms)", "RABBIT (ms)",
+                       "RABBIT++ (ms)", "speedup R++/RANDOM"});
+    std::vector<double> speedups;
+    for (const auto &m : env.corpus) {
+        const auto random = core::orderingFor(
+            m.entry, m.original, env.scale,
+            reorder::Technique::Random);
+        const auto rabbit = core::orderingFor(
+            m.entry, m.original, env.scale,
+            reorder::Technique::Rabbit);
+        const auto rpp = core::orderingFor(
+            m.entry, m.original, env.scale,
+            reorder::Technique::RabbitPlusPlus);
+        const double t_random =
+            timeSpmv(m.original.permutedSymmetric(random.perm));
+        const double t_rabbit =
+            timeSpmv(m.original.permutedSymmetric(rabbit.perm));
+        const double t_rpp =
+            timeSpmv(m.original.permutedSymmetric(rpp.perm));
+        table.addRow({m.entry.name, core::fmt(t_random * 1e3, 2),
+                      core::fmt(t_rabbit * 1e3, 2),
+                      core::fmt(t_rpp * 1e3, 2),
+                      core::fmtX(t_random / t_rpp)});
+        speedups.push_back(t_random / t_rpp);
+        std::cerr << "[ext_cpu] " << m.entry.name << " done\n";
+    }
+    core::printHeading(std::cout,
+                       "Host-CPU SpMV wall clock by ordering");
+    bench::emitTable(table, "ext_cpu_platform");
+    std::cout << "\nmean RABBIT++-over-RANDOM speedup on this CPU: "
+              << core::fmtX(core::mean(speedups))
+              << " (real hardware, not the simulator)\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Extension bench (Sec. VII related work — Barik et al., Esfahani et
+ * al.): how well do *static* locality estimators predict the
+ * *simulated* DRAM traffic?
+ *
+ * For every (matrix, technique) pair in a corpus slice, computes the
+ * four estimators in reorder/locality_metrics.hpp alongside the
+ * simulated normalized traffic, then reports the Pearson/Spearman
+ * correlation of each estimator with traffic. A good estimator lets a
+ * user screen orderings without running a simulator at all.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "reorder/locality_metrics.hpp"
+
+using namespace slo;
+
+int
+main()
+{
+    bench::Env env = bench::loadEnv(
+        "Extension: static locality metrics vs simulated traffic");
+    bench::selectSlice(&env, 12);
+
+    const std::vector<reorder::Technique> techniques = {
+        reorder::Technique::Random, reorder::Technique::Original,
+        reorder::Technique::Dbg, reorder::Technique::Rabbit,
+        reorder::Technique::RabbitPlusPlus};
+
+    std::vector<double> traffic, window_score, gap, same_line,
+        distinct_lines;
+    for (const auto &m : env.corpus) {
+        for (auto t : techniques) {
+            const auto ordering = core::orderingFor(
+                m.entry, m.original, env.scale, t);
+            const Csr reordered =
+                m.original.permutedSymmetric(ordering.perm);
+            traffic.push_back(
+                gpu::simulateKernel(reordered, env.spec)
+                    .normalizedTraffic);
+            window_score.push_back(
+                reorder::windowLocalityScore(reordered));
+            gap.push_back(reorder::averageGapLines(reordered));
+            same_line.push_back(
+                reorder::sameLineFraction(reordered));
+            distinct_lines.push_back(
+                reorder::distinctLinesPerNonZero(reordered));
+        }
+        std::cerr << "[ext_locality] " << m.entry.name << " done\n";
+    }
+
+    core::Table table({"estimator", "Pearson vs traffic",
+                       "Spearman vs traffic", "expected sign"});
+    auto row = [&](const std::string &name,
+                   const std::vector<double> &estimate,
+                   const std::string &sign) {
+        table.addRow({name,
+                      core::fmt(core::pearson(estimate, traffic), 3),
+                      core::fmt(core::spearman(estimate, traffic), 3),
+                      sign});
+    };
+    row("window locality score (GORDER objective)", window_score,
+        "negative");
+    row("average gap (lines)", gap, "positive");
+    row("same-line fraction", same_line, "negative");
+    row("distinct lines per nnz", distinct_lines, "positive");
+    core::printHeading(std::cout,
+                       "Estimator correlation with simulated DRAM "
+                       "traffic (" +
+                           std::to_string(traffic.size()) +
+                           " matrix x technique points)");
+    bench::emitTable(table, "ext_locality_metrics");
+    std::cout << "\n(strong correlations mean the estimator can "
+                 "screen orderings without a simulator — the Barik/"
+                 "Esfahani related-work premise)\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Extension bench (paper Sec. VII): "we believe the insights of
+ * grouping insular and hub nodes should extend to community-based
+ * reordering in general as well as matrix reordering techniques based
+ * on graph partitioning [METIS, GraphGrind]".
+ *
+ * Tests exactly that: a METIS-style multilevel partitioning ordering
+ * (PARTITION), and the same ordering with the RABBIT++ modifications
+ * applied on top, treating the parts as communities (PARTITION++).
+ * RABBIT++ included for reference.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "partition/partition.hpp"
+#include "reorder/rabbitpp.hpp"
+
+using namespace slo;
+
+int
+main()
+{
+    bench::Env env = bench::loadEnv(
+        "Extension: insular/hub grouping on partitioning orderings "
+        "(Sec. VII)");
+    bench::selectSlice(&env, 16);
+
+    core::Table table({"matrix", "PARTITION", "PARTITION++",
+                       "RABBIT++"});
+    std::vector<double> t_part, t_partpp, t_rpp;
+    for (const auto &m : env.corpus) {
+        const auto part = core::orderingFor(
+            m.entry, m.original, env.scale,
+            reorder::Technique::Partition);
+
+        // PARTITION++: the RABBIT++ modifications with parts as the
+        // community structure.
+        partition::PartitionOptions popts;
+        popts.numParts = 64;
+        const partition::PartitionResult parts =
+            partition::partitionGraph(m.original, popts);
+        reorder::RabbitResult as_communities;
+        as_communities.perm = part.perm;
+        as_communities.clustering =
+            community::Clustering(parts.assignment);
+        const reorder::RabbitPlusResult partpp =
+            reorder::rabbitPlusFromRabbit(
+                m.original, as_communities,
+                {true, reorder::HubTreatment::HubGroup, 1.0});
+
+        const auto rpp = core::orderingFor(
+            m.entry, m.original, env.scale,
+            reorder::Technique::RabbitPlusPlus);
+
+        const double a =
+            core::simulateOrdered(m.original, part.perm, env.spec)
+                .normalizedTraffic;
+        const double b =
+            core::simulateOrdered(m.original, partpp.perm, env.spec)
+                .normalizedTraffic;
+        const double c =
+            core::simulateOrdered(m.original, rpp.perm, env.spec)
+                .normalizedTraffic;
+        table.addRow({m.entry.name, core::fmtX(a), core::fmtX(b),
+                      core::fmtX(c)});
+        t_part.push_back(a);
+        t_partpp.push_back(b);
+        t_rpp.push_back(c);
+        std::cerr << "[ext_partition] " << m.entry.name << " done\n";
+    }
+    table.addRow({"MEAN", core::fmtX(core::mean(t_part)),
+                  core::fmtX(core::mean(t_partpp)),
+                  core::fmtX(core::mean(t_rpp))});
+    core::printHeading(std::cout,
+                       "SpMV DRAM traffic normalized to compulsory");
+    bench::emitTable(table, "ext_partition");
+    std::cout << "\n(the paper's conjecture holds if PARTITION++ <= "
+                 "PARTITION on average)\n";
+    return 0;
+}

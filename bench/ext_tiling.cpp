@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Extension bench (paper Sec. VII, left as future work there):
+ * composing RABBIT++ with cache-blocked (tiled) SpMV.
+ *
+ * For a slice of low-insularity matrices, compares SpMV DRAM traffic
+ * (normalized to the untiled compulsory traffic) for
+ * {RANDOM, RABBIT++} x {untiled, tiled}. Expected shape:
+ *   - tiling rescues a RANDOM-ordered matrix (bounded X window),
+ *     at the price of extra streamed bytes and app changes;
+ *   - RABBIT++ alone gets most of that benefit with no app changes;
+ *   - composing both helps only where community structure is weak.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gpu/simulate_tiled.hpp"
+#include "kernels/tiled_spmv.hpp"
+
+using namespace slo;
+
+int
+main()
+{
+    bench::Env env = bench::loadEnv(
+        "Extension: RABBIT++ x cache-blocked SpMV (Sec. VII)");
+    bench::selectSlice(&env, 10);
+
+    // Tile width: half the L2 in X elements, the classic choice.
+    const auto tile_cols = static_cast<Index>(
+        env.spec.l2.capacityBytes / (2 * kElemBytes));
+
+    core::Table table({"matrix", "RANDOM", "RANDOM+tile", "RABBIT++",
+                       "RABBIT+++tile"});
+    std::vector<double> c_random, c_random_tile, c_rpp, c_rpp_tile;
+    for (const auto &m : env.corpus) {
+        const auto random = core::orderingFor(
+            m.entry, m.original, env.scale,
+            reorder::Technique::Random);
+        const auto rpp = core::orderingFor(
+            m.entry, m.original, env.scale,
+            reorder::Technique::RabbitPlusPlus);
+        const Csr random_matrix =
+            m.original.permutedSymmetric(random.perm);
+        const Csr rpp_matrix = m.original.permutedSymmetric(rpp.perm);
+
+        const double t_random =
+            gpu::simulateKernel(random_matrix, env.spec)
+                .normalizedTraffic;
+        const double t_random_tile =
+            gpu::simulateTiledSpmv(
+                kernels::TiledCsr(random_matrix, tile_cols), env.spec)
+                .normalizedTraffic;
+        const double t_rpp =
+            gpu::simulateKernel(rpp_matrix, env.spec)
+                .normalizedTraffic;
+        const double t_rpp_tile =
+            gpu::simulateTiledSpmv(
+                kernels::TiledCsr(rpp_matrix, tile_cols), env.spec)
+                .normalizedTraffic;
+
+        table.addRow({m.entry.name, core::fmtX(t_random),
+                      core::fmtX(t_random_tile), core::fmtX(t_rpp),
+                      core::fmtX(t_rpp_tile)});
+        c_random.push_back(t_random);
+        c_random_tile.push_back(t_random_tile);
+        c_rpp.push_back(t_rpp);
+        c_rpp_tile.push_back(t_rpp_tile);
+        std::cerr << "[ext_tiling] " << m.entry.name << " done\n";
+    }
+    table.addRow({"MEAN", core::fmtX(core::mean(c_random)),
+                  core::fmtX(core::mean(c_random_tile)),
+                  core::fmtX(core::mean(c_rpp)),
+                  core::fmtX(core::mean(c_rpp_tile))});
+    core::printHeading(std::cout,
+                       "SpMV DRAM traffic normalized to untiled "
+                       "compulsory");
+    bench::emitTable(table, "ext_tiling");
+    std::cout << "\n(tile width: " << tile_cols
+              << " columns = half the L2 in X elements)\n";
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 7: reduction in SpMV DRAM traffic with RABBIT++ over RABBIT.
+ * The paper plots matrices with insularity < 0.95 (for >= 0.95 the two
+ * are within 1%) and reports: max traffic reduction 1.56x, mean 4.1%
+ * over all inputs, 7.7% over the low-insularity ones; the run-time
+ * equivalents are 1.57x max / 5.3% / 9.7%.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "reorder/rabbitpp.hpp"
+
+using namespace slo;
+
+int
+main()
+{
+    const bench::Env env = bench::loadEnv(
+        "Figure 7: RABBIT++ DRAM traffic reduction over RABBIT");
+
+    struct Row
+    {
+        std::string name;
+        double insularity;
+        double trafficRatio; // RABBIT / RABBIT++ (>1 = improvement)
+        double speedup;      // runtime RABBIT / RABBIT++
+    };
+    std::vector<Row> rows;
+
+    for (const auto &m : env.corpus) {
+        const bench::RabbitInfo info = bench::rabbitInfoFor(env, m);
+        const gpu::SimReport rabbit = core::simulateOrdered(
+            m.original, info.artifacts.perm, env.spec);
+        const core::TimedOrdering rpp = core::orderingFor(
+            m.entry, m.original, env.scale,
+            reorder::Technique::RabbitPlusPlus);
+        const gpu::SimReport plus = core::simulateOrdered(
+            m.original, rpp.perm, env.spec);
+        rows.push_back(
+            {m.entry.name, info.artifacts.insularity,
+             static_cast<double>(rabbit.trafficBytes) /
+                 static_cast<double>(plus.trafficBytes),
+             rabbit.modeledSeconds / plus.modeledSeconds});
+        std::cerr << "[fig7] " << m.entry.name << " done\n";
+    }
+
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &a, const Row &b) {
+                  return a.insularity < b.insularity;
+              });
+
+    core::Table table({"matrix", "insularity", "traffic reduction",
+                       "speedup"});
+    for (const Row &row : rows) {
+        if (row.insularity >= 0.95)
+            continue; // the paper's figure shows only ins < 0.95
+        table.addRow({row.name, core::fmt(row.insularity, 3),
+                      core::fmtX(row.trafficRatio),
+                      core::fmtX(row.speedup)});
+    }
+    core::printHeading(std::cout,
+                       "RABBIT++ vs RABBIT (insularity < 0.95)");
+    bench::emitTable(table, "fig7_rabbitpp");
+
+    std::vector<double> all_t, low_t, all_s, low_s, high_t;
+    for (const Row &row : rows) {
+        all_t.push_back(row.trafficRatio);
+        all_s.push_back(row.speedup);
+        if (row.insularity < 0.95) {
+            low_t.push_back(row.trafficRatio);
+            low_s.push_back(row.speedup);
+        } else {
+            high_t.push_back(row.trafficRatio);
+        }
+    }
+    core::Table summary({"metric", "ours", "paper"});
+    summary.addRow({"max traffic reduction",
+                    core::fmtX(core::maxOf(all_t)), "1.56x"});
+    summary.addRow({"mean traffic reduction (all)",
+                    core::fmtPct(core::mean(all_t) - 1.0), "4.1%"});
+    summary.addRow({"mean traffic reduction (ins<0.95)",
+                    core::fmtPct(core::mean(low_t) - 1.0), "7.7%"});
+    summary.addRow({"max speedup", core::fmtX(core::maxOf(all_s)),
+                    "1.57x"});
+    summary.addRow({"mean speedup (all)",
+                    core::fmtPct(core::mean(all_s) - 1.0), "5.3%"});
+    summary.addRow({"mean speedup (ins<0.95)",
+                    core::fmtPct(core::mean(low_s) - 1.0), "9.7%"});
+    summary.addRow({"traffic delta (ins>=0.95)",
+                    core::fmtPct(std::abs(core::mean(high_t) - 1.0)),
+                    "<1%"});
+    core::printHeading(std::cout, "Summary vs paper");
+    bench::emitTable(summary, "fig7_summary");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 9: matrix reordering (pre-processing) time as the matrix size
+ * increases, for GORDER / RABBIT / RABBIT++, plus the amortization
+ * analysis of Sec. VI-C: how many SpMV iterations each technique needs
+ * before its pre-processing cost pays for itself (paper: GORDER 7467,
+ * RABBIT 741, RABBIT++ 1047, starting from RANDOM order).
+ *
+ * Timings are wall-clock on this host; the paper's absolute numbers are
+ * from their machine, so only the ordering and scaling trend transfer.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "matrix/generators.hpp"
+#include "reorder/gorder.hpp"
+#include "reorder/rabbit.hpp"
+#include "reorder/rabbitpp.hpp"
+
+using namespace slo;
+
+int
+main()
+{
+    const bench::Env env =
+        bench::loadEnv("Figure 9: reordering cost vs matrix size");
+
+    // --- scaling sweep on one social-network family ------------------
+    core::printHeading(std::cout,
+                       "Reordering time (s) vs matrix size "
+                       "(RMAT social family)");
+    core::Table sweep({"nodes", "nnz", "GORDER", "RABBIT",
+                       "RABBIT++", "GORDER/RABBIT"});
+    const int max_scale = env.scale == core::Scale::Small ? 16 : 18;
+    for (int scale = 13; scale <= max_scale; ++scale) {
+        const Csr g = gen::rmatSocial(scale, 12.0, 77)
+                          .permutedSymmetric(Permutation::random(
+                              Index{1} << scale, 5));
+        core::Timer t_gorder;
+        (void)reorder::gorderOrder(g, {5, 256});
+        const double gorder_s = t_gorder.elapsedSeconds();
+        core::Timer t_rabbit;
+        const reorder::RabbitResult rabbit = reorder::rabbitOrder(g);
+        const double rabbit_s = t_rabbit.elapsedSeconds();
+        core::Timer t_rpp;
+        (void)reorder::rabbitPlusFromRabbit(g, rabbit, {});
+        const double rpp_s = rabbit_s + t_rpp.elapsedSeconds();
+        sweep.addRow({std::to_string(g.numRows()),
+                      std::to_string(g.numNonZeros()),
+                      core::fmt(gorder_s, 3), core::fmt(rabbit_s, 3),
+                      core::fmt(rpp_s, 3),
+                      core::fmtX(gorder_s / rabbit_s, 1)});
+        std::cerr << "[fig9] scale " << scale << " done\n";
+    }
+    bench::emitTable(sweep, "fig9_sweep");
+
+    // --- amortization over the corpus (Sec. VI-C) ---------------------
+    // iterations = reorder time / (SpMV time in RANDOM order - SpMV
+    // time after reordering), using the modelled GPU kernel times.
+    std::vector<double> iters_gorder, iters_rabbit, iters_rpp;
+    for (const auto &m : env.corpus) {
+        const core::TimedOrdering random = core::orderingFor(
+            m.entry, m.original, env.scale,
+            reorder::Technique::Random);
+        const double t_random =
+            core::simulateOrdered(m.original, random.perm, env.spec)
+                .modeledSeconds;
+        auto iterations = [&](reorder::Technique t,
+                              std::vector<double> &out) {
+            const core::TimedOrdering ordering = core::orderingFor(
+                m.entry, m.original, env.scale, t);
+            const double t_kernel =
+                core::simulateOrdered(m.original, ordering.perm,
+                                      env.spec)
+                    .modeledSeconds;
+            if (t_random > t_kernel && ordering.reorderSeconds > 0.0) {
+                out.push_back(ordering.reorderSeconds /
+                              (t_random - t_kernel));
+            }
+        };
+        iterations(reorder::Technique::Gorder, iters_gorder);
+        iterations(reorder::Technique::Rabbit, iters_rabbit);
+        iterations(reorder::Technique::RabbitPlusPlus, iters_rpp);
+        std::cerr << "[fig9] amortization " << m.entry.name
+                  << " done\n";
+    }
+    core::Table amort({"technique", "mean iterations to amortize",
+                       "paper"});
+    amort.addRow({"GORDER", core::fmt(core::mean(iters_gorder), 0),
+                  "7467"});
+    amort.addRow({"RABBIT", core::fmt(core::mean(iters_rabbit), 0),
+                  "741"});
+    amort.addRow({"RABBIT++", core::fmt(core::mean(iters_rpp), 0),
+                  "1047"});
+    core::printHeading(std::cout,
+                       "SpMV iterations to amortize pre-processing "
+                       "(vs RANDOM start)");
+    bench::emitTable(amort, "fig9_amortization");
+    std::cout << "\n(absolute iteration counts depend on host CPU vs "
+                 "modelled GPU speeds; the paper's ordering "
+                 "GORDER >> RABBIT++ > RABBIT is the reproducible "
+                 "signal)\n";
+    return 0;
+}

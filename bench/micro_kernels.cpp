@@ -1,0 +1,121 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the CPU reference kernels and
+ * the cache simulator itself (host-side throughput, not paper data).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hpp"
+#include "matrix/rng.hpp"
+#include "gpu/simulate.hpp"
+#include "kernels/kernels.hpp"
+#include "matrix/generators.hpp"
+
+namespace
+{
+
+using namespace slo;
+
+const Csr &
+benchMatrix()
+{
+    static const Csr matrix =
+        gen::rmatSocial(15, 10.0, 42).permutedSymmetric(
+            Permutation::random(1 << 15, 7));
+    return matrix;
+}
+
+void
+BM_SpmvCsr(benchmark::State &state)
+{
+    const Csr &m = benchMatrix();
+    std::vector<Value> x(static_cast<std::size_t>(m.numCols()), 1.0f);
+    std::vector<Value> y(static_cast<std::size_t>(m.numRows()));
+    for (auto _ : state) {
+        kernels::spmvCsr(m, x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        m.numNonZeros());
+}
+BENCHMARK(BM_SpmvCsr);
+
+void
+BM_SpmvCoo(benchmark::State &state)
+{
+    const Coo coo = benchMatrix().toCoo();
+    std::vector<Value> x(static_cast<std::size_t>(coo.numCols()),
+                         1.0f);
+    std::vector<Value> y(static_cast<std::size_t>(coo.numRows()));
+    for (auto _ : state) {
+        std::fill(y.begin(), y.end(), 0.0f);
+        kernels::spmvCoo(coo, x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        coo.numEntries());
+}
+BENCHMARK(BM_SpmvCoo);
+
+void
+BM_SpmmCsr(benchmark::State &state)
+{
+    const Csr &m = benchMatrix();
+    const auto k = static_cast<Index>(state.range(0));
+    std::vector<Value> b(static_cast<std::size_t>(m.numCols()) *
+                             static_cast<std::size_t>(k),
+                         1.0f);
+    std::vector<Value> c(static_cast<std::size_t>(m.numRows()) *
+                         static_cast<std::size_t>(k));
+    for (auto _ : state) {
+        std::fill(c.begin(), c.end(), 0.0f);
+        kernels::spmmCsr(m, b, k, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        m.numNonZeros() * k);
+}
+BENCHMARK(BM_SpmmCsr)->Arg(4)->Arg(16);
+
+void
+BM_CacheSimAccess(benchmark::State &state)
+{
+    cache::CacheConfig config{64 * 1024, 32, 16};
+    std::vector<std::uint64_t> addrs;
+    Rng rng(5);
+    for (int i = 0; i < 1 << 16; ++i)
+        addrs.push_back(rng.below(1 << 20));
+    for (auto _ : state) {
+        cache::CacheSim sim(config);
+        for (std::uint64_t addr : addrs)
+            benchmark::DoNotOptimize(sim.access(addr));
+        sim.finish();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(addrs.size()));
+}
+BENCHMARK(BM_CacheSimAccess);
+
+void
+BM_SimulateSpmvEndToEnd(benchmark::State &state)
+{
+    const Csr &m = benchMatrix();
+    const gpu::GpuSpec spec = gpu::GpuSpec::a6000ScaledL2(64 * 1024);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            gpu::simulateKernel(m, spec).trafficBytes);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        m.numNonZeros());
+}
+BENCHMARK(BM_SimulateSpmvEndToEnd);
+
+} // namespace
+
+BENCHMARK_MAIN();

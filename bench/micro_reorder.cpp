@@ -1,0 +1,107 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the reordering techniques
+ * (pre-processing throughput on this host; complements Fig. 9).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "matrix/generators.hpp"
+#include "reorder/reorder.hpp"
+
+namespace
+{
+
+using namespace slo;
+
+const Csr &
+benchMatrix()
+{
+    // Shuffled community graph: representative input for reordering.
+    static const Csr matrix =
+        gen::hierarchicalCommunity(1 << 14, 8, 3, 10.0, 0.25, 21)
+            .permutedSymmetric(Permutation::random(1 << 14, 3));
+    return matrix;
+}
+
+void
+runTechnique(benchmark::State &state, reorder::Technique technique)
+{
+    const Csr &m = benchMatrix();
+    reorder::ReorderOptions options;
+    options.gorderHubCap = 256;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            reorder::computeOrdering(technique, m, options).newIds());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        m.numNonZeros());
+}
+
+void
+BM_Random(benchmark::State &state)
+{
+    runTechnique(state, reorder::Technique::Random);
+}
+BENCHMARK(BM_Random);
+
+void
+BM_DegSort(benchmark::State &state)
+{
+    runTechnique(state, reorder::Technique::DegSort);
+}
+BENCHMARK(BM_DegSort);
+
+void
+BM_Dbg(benchmark::State &state)
+{
+    runTechnique(state, reorder::Technique::Dbg);
+}
+BENCHMARK(BM_Dbg);
+
+void
+BM_HubCluster(benchmark::State &state)
+{
+    runTechnique(state, reorder::Technique::HubCluster);
+}
+BENCHMARK(BM_HubCluster);
+
+void
+BM_Rcm(benchmark::State &state)
+{
+    runTechnique(state, reorder::Technique::Rcm);
+}
+BENCHMARK(BM_Rcm);
+
+void
+BM_SlashBurn(benchmark::State &state)
+{
+    runTechnique(state, reorder::Technique::SlashBurn);
+}
+BENCHMARK(BM_SlashBurn);
+
+void
+BM_Gorder(benchmark::State &state)
+{
+    runTechnique(state, reorder::Technique::Gorder);
+}
+BENCHMARK(BM_Gorder);
+
+void
+BM_Rabbit(benchmark::State &state)
+{
+    runTechnique(state, reorder::Technique::Rabbit);
+}
+BENCHMARK(BM_Rabbit);
+
+void
+BM_RabbitPlusPlus(benchmark::State &state)
+{
+    runTechnique(state, reorder::Technique::RabbitPlusPlus);
+}
+BENCHMARK(BM_RabbitPlusPlus);
+
+} // namespace
+
+BENCHMARK_MAIN();

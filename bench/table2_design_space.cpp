@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Table II: the design space of RABBIT modifications — SpMV run time
+ * (normalized to ideal) for {RABBIT, RABBIT+HUBSORT, RABBIT+HUBGROUP}
+ * x {without, with} insular-node grouping, split into ALL /
+ * insularity<0.95 / insularity>=0.95.
+ *
+ * Paper reference values:
+ *                         without insular grouping | with
+ *   RABBIT            1.54x 1.81x 1.25x | 1.49x 1.70x 1.25x
+ *   RABBIT+HUBSORT    1.63x 1.89x 1.35x | 1.57x 1.86x 1.26x
+ *   RABBIT+HUBGROUP   1.48x 1.65x 1.29x | 1.46x 1.65x 1.25x
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "reorder/rabbitpp.hpp"
+
+using namespace slo;
+
+int
+main()
+{
+    const bench::Env env =
+        bench::loadEnv("Table II: RABBIT modification design space");
+
+    const std::vector<std::pair<std::string, reorder::HubTreatment>>
+        hub_rows = {
+            {"RABBIT", reorder::HubTreatment::None},
+            {"RABBIT+HUBSORT", reorder::HubTreatment::HubSort},
+            {"RABBIT+HUBGROUP", reorder::HubTreatment::HubGroup},
+        };
+
+    // runtimes[hub][insular] = per-matrix normalized run times.
+    std::vector<std::vector<std::vector<double>>> runtimes(
+        hub_rows.size(),
+        std::vector<std::vector<double>>(2));
+    std::vector<bool> high_insularity;
+
+    for (const auto &m : env.corpus) {
+        const bench::RabbitInfo info = bench::rabbitInfoFor(env, m);
+        high_insularity.push_back(info.highInsularity);
+        reorder::RabbitResult rabbit;
+        rabbit.perm = info.artifacts.perm;
+        rabbit.clustering = info.artifacts.clustering;
+        for (std::size_t h = 0; h < hub_rows.size(); ++h) {
+            for (int grouped = 0; grouped < 2; ++grouped) {
+                const reorder::RabbitPlusResult variant =
+                    reorder::rabbitPlusFromRabbit(
+                        m.original, rabbit,
+                        {grouped == 1, hub_rows[h].second, 1.0});
+                const gpu::SimReport report = core::simulateOrdered(
+                    m.original, variant.perm, env.spec);
+                runtimes[h][static_cast<std::size_t>(grouped)]
+                    .push_back(report.normalizedRuntime);
+            }
+        }
+        std::cerr << "[table2] " << m.entry.name << " done\n";
+    }
+
+    auto split_means = [&](const std::vector<double> &values) {
+        std::vector<bool> mask = high_insularity;
+        return std::array<double, 3>{
+            core::mean(values),
+            bench::maskedMean(values, mask, false),
+            bench::maskedMean(values, mask, true)};
+    };
+
+    core::Table table({"", "w/o insular: ALL", "INS<0.95", "INS>=0.95",
+                       "with insular: ALL", "INS<0.95", "INS>=0.95"});
+    for (std::size_t h = 0; h < hub_rows.size(); ++h) {
+        std::vector<std::string> row = {hub_rows[h].first};
+        for (int grouped = 0; grouped < 2; ++grouped) {
+            const auto means = split_means(
+                runtimes[h][static_cast<std::size_t>(grouped)]);
+            for (double v : means)
+                row.push_back(core::fmtX(v));
+        }
+        table.addRow(std::move(row));
+    }
+    core::printHeading(std::cout,
+                       "SpMV run time normalized to ideal (ours)");
+    bench::emitTable(table, "table2_design_space");
+
+    core::Table paper({"", "w/o insular: ALL", "INS<0.95", "INS>=0.95",
+                       "with insular: ALL", "INS<0.95", "INS>=0.95"});
+    paper.addRow({"RABBIT", "1.54x", "1.81x", "1.25x", "1.49x",
+                  "1.70x", "1.25x"});
+    paper.addRow({"RABBIT+HUBSORT", "1.63x", "1.89x", "1.35x", "1.57x",
+                  "1.86x", "1.26x"});
+    paper.addRow({"RABBIT+HUBGROUP", "1.48x", "1.65x", "1.29x",
+                  "1.46x", "1.65x", "1.25x"});
+    core::printHeading(std::cout, "Paper values (Table II)");
+    paper.print(std::cout);
+
+    std::cout << "\nRABBIT++ = insular grouping + HUBGROUP (bottom "
+                 "right region; should be the best column group)\n";
+    return 0;
+}

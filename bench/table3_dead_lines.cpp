@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table III: average percentage of dead lines (cache lines filled but
+ * never re-hit) inserted into the L2 by the SpMV kernel, per reordering
+ * technique. Paper: RANDOM 63.31%, ORIGINAL 25.08%, DEGSORT 26.88%,
+ * DBG 25.23%, GORDER 17.73%, RABBIT 22.25%, RABBIT++ 16.37%.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace slo;
+
+int
+main()
+{
+    const bench::Env env =
+        bench::loadEnv("Table III: dead-line percentage");
+    std::vector<reorder::Technique> techniques =
+        reorder::figure2Techniques();
+    techniques.push_back(reorder::Technique::RabbitPlusPlus);
+
+    std::map<reorder::Technique, std::vector<double>> dead;
+    for (const auto &m : env.corpus) {
+        for (auto t : techniques) {
+            const core::TimedOrdering ordering =
+                core::orderingFor(m.entry, m.original, env.scale, t);
+            const gpu::SimReport report = core::simulateOrdered(
+                m.original, ordering.perm, env.spec);
+            dead[t].push_back(report.deadLineFraction);
+        }
+        std::cerr << "[table3] " << m.entry.name << " done\n";
+    }
+
+    const std::map<reorder::Technique, std::string> paper = {
+        {reorder::Technique::Random, "63.31%"},
+        {reorder::Technique::Original, "25.08%"},
+        {reorder::Technique::DegSort, "26.88%"},
+        {reorder::Technique::Dbg, "25.23%"},
+        {reorder::Technique::Gorder, "17.73%"},
+        {reorder::Technique::Rabbit, "22.25%"},
+        {reorder::Technique::RabbitPlusPlus, "16.37%"},
+    };
+
+    core::Table table({"technique", "dead lines (ours)", "paper"});
+    for (auto t : techniques) {
+        table.addRow({reorder::techniqueName(t),
+                      core::fmtPct(core::mean(dead[t])),
+                      paper.at(t)});
+    }
+    core::printHeading(std::cout,
+                       "Average % of dead lines inserted into the L2");
+    bench::emitTable(table, "table3_dead_lines");
+    std::cout << "\n(shape to reproduce: RANDOM worst by far; "
+                 "RABBIT++ lowest)\n";
+    return 0;
+}

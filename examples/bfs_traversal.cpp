@@ -1,0 +1,113 @@
+/**
+ * @file
+ * BFS traversal: graph analytics is the other workload family the
+ * reordering literature targets (RABBIT itself is from a graph-
+ * processing paper). Runs level-synchronous BFS over a shuffled social
+ * graph before and after RABBIT++ reordering, verifies the level
+ * structure is identical, and reports the wall-clock effect of
+ * locality on a traversal (not SpMV) access pattern.
+ *
+ * Build & run:  ./examples/bfs_traversal
+ */
+
+#include <cstdio>
+#include <queue>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "matrix/generators.hpp"
+#include "reorder/reorder.hpp"
+
+namespace
+{
+
+using namespace slo;
+
+/** Level-synchronous BFS; returns per-vertex level (-1 unreached). */
+std::vector<Index>
+bfsLevels(const Csr &graph, Index source)
+{
+    std::vector<Index> level(
+        static_cast<std::size_t>(graph.numRows()), -1);
+    std::vector<Index> frontier = {source};
+    level[static_cast<std::size_t>(source)] = 0;
+    Index depth = 0;
+    std::vector<Index> next;
+    while (!frontier.empty()) {
+        ++depth;
+        for (Index u : frontier) {
+            for (Index v : graph.rowIndices(u)) {
+                auto &lv = level[static_cast<std::size_t>(v)];
+                if (lv < 0) {
+                    lv = depth;
+                    next.push_back(v);
+                }
+            }
+        }
+        frontier = std::move(next);
+        next.clear();
+    }
+    return level;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace slo;
+
+    std::printf("generating a shuffled social graph...\n");
+    const Csr graph =
+        gen::temporalInteraction(262144, 1024, 10.0, 0.02, 80.0, 77)
+            .permutedSymmetric(Permutation::random(262144, 5));
+    const Index source = 12345;
+
+    // Baseline traversal (repeat to smooth timing noise).
+    core::Timer t_base;
+    std::vector<Index> levels;
+    for (int run = 0; run < 5; ++run)
+        levels = bfsLevels(graph, source);
+    const double base_seconds = t_base.elapsedSeconds() / 5.0;
+
+    const Permutation perm = reorder::computeOrdering(
+        reorder::Technique::RabbitPlusPlus, graph);
+    const Csr reordered = graph.permutedSymmetric(perm);
+
+    core::Timer t_fast;
+    std::vector<Index> levels_reordered;
+    for (int run = 0; run < 5; ++run)
+        levels_reordered = bfsLevels(reordered, perm.newId(source));
+    const double fast_seconds = t_fast.elapsedSeconds() / 5.0;
+
+    // The traversal structure must be identical under relabelling.
+    bool identical = true;
+    Index reached = 0;
+    for (Index v = 0; v < graph.numRows(); ++v) {
+        const Index before = levels[static_cast<std::size_t>(v)];
+        const Index after = levels_reordered[static_cast<std::size_t>(
+            perm.newId(v))];
+        identical = identical && (before == after);
+        reached += before >= 0 ? 1 : 0;
+    }
+
+    std::printf("\nBFS from node %d reaches %d/%d nodes\n", source,
+                reached, graph.numRows());
+    std::printf("levels identical after reordering: %s\n",
+                identical ? "yes" : "NO (bug!)");
+    const double speedup = base_seconds / fast_seconds;
+    std::printf("traversal time: %.3fs -> %.3fs (%.2fx)\n",
+                base_seconds, fast_seconds, speedup);
+    if (speedup > 1.05) {
+        std::printf("(reordering speeds up traversals too — the "
+                    "original use case of RABBIT)\n");
+    } else {
+        std::printf(
+            "(flat wall clock here usually means the whole graph fits "
+            "in this host's last-level cache\n — the locality effect "
+            "appears once the working set exceeds it; the invariance "
+            "check above\n is the correctness point of this "
+            "example)\n");
+    }
+    return identical ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Corpus characterization report — the Sec. III diversity claim as a
+ * runnable tool. Prints every corpus matrix with the structural
+ * properties the paper's analysis turns on (rows, nnz, average degree,
+ * skew, insularity under RABBIT communities, modularity), plus the
+ * curation summary (pool size, exclusions, per-repository split).
+ *
+ * Usage: ./examples/corpus_report            (small scale)
+ *        REPRO_SCALE=medium ./examples/corpus_report
+ */
+
+#include <iostream>
+
+#include "community/metrics.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "matrix/properties.hpp"
+
+int
+main()
+{
+    using namespace slo;
+
+    const core::Scale scale = core::scaleFromEnv();
+    const auto pool = core::candidatePool();
+    const auto corpus = core::paperCorpus(scale);
+    const core::CurationCriteria criteria = core::paperCriteria(scale);
+
+    std::cout << "candidate pool: " << pool.size()
+              << " matrices; curated corpus: " << corpus.size()
+              << " (criteria: rows >= " << criteria.minRows
+              << ", nnz <= " << criteria.maxNnz
+              << ", largest per publisher group, exceptions:";
+    for (const auto &group : criteria.exceptionGroups)
+        std::cout << ' ' << group;
+    std::cout << ")\n\n";
+
+    core::Table table({"matrix", "repository", "domain", "rows", "nnz",
+                       "avg deg", "skew", "insularity", "modularity"});
+    std::cerr << "building corpus + RABBIT communities (cached after "
+                 "the first run)...\n";
+    int high_insularity = 0;
+    for (const core::DatasetEntry &entry : corpus) {
+        const Csr m = entry.build(scale);
+        const core::RabbitArtifacts rabbit =
+            core::rabbitArtifactsFor(entry, m, scale);
+        const double q =
+            community::modularity(m, rabbit.clustering);
+        if (rabbit.insularity >= community::kInsularityThreshold)
+            ++high_insularity;
+        table.addRow({entry.name, entry.repository, entry.domain,
+                      std::to_string(m.numRows()),
+                      std::to_string(m.numNonZeros()),
+                      core::fmt(m.averageDegree(), 1),
+                      core::fmtPct(degreeSkew(m)),
+                      core::fmt(rabbit.insularity, 3),
+                      core::fmt(q, 3)});
+        std::cerr << "[corpus_report] " << entry.name << " done\n";
+    }
+    table.print(std::cout);
+
+    std::cout << "\nhigh-insularity (>= 0.95) matrices: "
+              << high_insularity << "/" << corpus.size()
+              << " — the paper's corpus splits roughly in half\n";
+    return 0;
+}

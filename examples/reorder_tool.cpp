@@ -1,0 +1,95 @@
+/**
+ * @file
+ * reorder_tool: a command-line matrix reorderer — the utility a
+ * downstream user actually wants. Reads a MatrixMarket file, applies a
+ * technique, writes the reordered matrix (and optionally the
+ * permutation), and reports the modelled locality improvement.
+ *
+ * Usage:
+ *   reorder_tool <input.mtx> <output.mtx> [TECHNIQUE] [--perm out.txt]
+ *
+ * TECHNIQUE is one of: ORIGINAL RANDOM DEGSORT DBG HUBSORT HUBCLUSTER
+ * RCM SLASHBURN GORDER RABBIT RABBIT++ (default RABBIT++).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gpu/simulate.hpp"
+#include "matrix/matrix_market.hpp"
+#include "reorder/reorder.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace slo;
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    std::string perm_path;
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == "--perm") {
+            perm_path = args[i + 1];
+            args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                       args.begin() + static_cast<std::ptrdiff_t>(i) +
+                           2);
+            break;
+        }
+    }
+    if (args.size() < 2) {
+        std::fprintf(stderr,
+                     "usage: reorder_tool <in.mtx> <out.mtx> "
+                     "[TECHNIQUE] [--perm out.txt]\n");
+        return 2;
+    }
+
+    try {
+        const reorder::Technique technique =
+            args.size() >= 3 ? reorder::techniqueFromName(args[2])
+                             : reorder::Technique::RabbitPlusPlus;
+
+        std::printf("reading %s...\n", args[0].c_str());
+        Csr matrix = io::readCsrFromMatrixMarketFile(args[0]);
+        require(matrix.isSquare(),
+                "reorder_tool: matrix must be square (symmetric "
+                "reordering relabels rows and columns together)");
+        std::printf("matrix: %d rows, %lld non-zeros\n",
+                    matrix.numRows(),
+                    static_cast<long long>(matrix.numNonZeros()));
+
+        std::printf("computing %s ordering...\n",
+                    reorder::techniqueName(technique).c_str());
+        const Permutation perm =
+            reorder::computeOrdering(technique, matrix);
+        const Csr reordered = matrix.permutedSymmetric(perm);
+
+        std::printf("writing %s...\n", args[1].c_str());
+        io::writeMatrixMarketFile(args[1], reordered);
+        if (!perm_path.empty()) {
+            std::ofstream out(perm_path);
+            require(out.is_open(),
+                    "reorder_tool: cannot open " + perm_path);
+            out << "# newId per oldId, one per line\n";
+            for (Index v = 0; v < perm.size(); ++v)
+                out << perm.newId(v) << '\n';
+            std::printf("wrote permutation to %s\n",
+                        perm_path.c_str());
+        }
+
+        // Modelled benefit on the A6000 (full-size L2: meaningful for
+        // matrices with >= ~1.5M rows; smaller inputs mostly fit).
+        const gpu::GpuSpec spec = gpu::GpuSpec::a6000();
+        const double before =
+            gpu::simulateKernel(matrix, spec).normalizedTraffic;
+        const double after =
+            gpu::simulateKernel(reordered, spec).normalizedTraffic;
+        std::printf("modelled SpMV DRAM traffic (A6000, normalized "
+                    "to compulsory): %.2fx -> %.2fx\n",
+                    before, after);
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Web-graph scenario: the paper's sk-2005 vs pld-arc anecdote
+ * (Observation 3) on two synthetic web crawls with identical structure
+ * but different publisher orderings.
+ *
+ * One crawl ships "publisher-ordered" (the publisher already applied a
+ * community reordering, like sk-2005's LLP); the other ships with
+ * hashed ids (like pld-arc). The example shows that ORIGINAL is a
+ * misleading baseline, and that RABBIT++ makes both converge to the
+ * same near-ideal traffic.
+ *
+ * Build & run:  ./examples/webgraph_analysis
+ */
+
+#include <cstdio>
+
+#include "gpu/simulate.hpp"
+#include "matrix/generators.hpp"
+#include "reorder/rabbit.hpp"
+#include "reorder/reorder.hpp"
+
+int
+main()
+{
+    using namespace slo;
+
+    std::printf("generating two structurally identical web crawls...\n");
+    const Csr crawl =
+        gen::hierarchicalCommunity(98304, 10, 4, 18.0, 0.2, 2025);
+
+    // "sk-2005-like": publisher applied a community ordering.
+    const Csr published_ordered =
+        crawl.permutedSymmetric(reorder::rabbitOrder(crawl).perm);
+    // "pld-arc-like": publisher shipped hashed ids.
+    const Csr published_hashed = crawl.permutedSymmetric(
+        Permutation::random(crawl.numRows(), 13));
+
+    const gpu::GpuSpec spec = gpu::GpuSpec::a6000ScaledL2(64 * 1024);
+
+    auto report_for = [&spec](const Csr &m, reorder::Technique t) {
+        const Permutation perm = reorder::computeOrdering(t, m);
+        return gpu::simulateKernel(m.permutedSymmetric(perm), spec);
+    };
+
+    std::printf("\nSpMV DRAM traffic normalized to compulsory:\n");
+    std::printf("%-26s %10s %10s %10s\n", "matrix", "ORIGINAL",
+                "RABBIT", "RABBIT++");
+    for (const auto &[name, matrix] :
+         {std::pair<const char *, const Csr &>{"sk-2005-like",
+                                               published_ordered},
+          std::pair<const char *, const Csr &>{"pld-arc-like",
+                                               published_hashed}}) {
+        const double original =
+            gpu::simulateKernel(matrix, spec).normalizedTraffic;
+        const double rabbit =
+            report_for(matrix, reorder::Technique::Rabbit)
+                .normalizedTraffic;
+        const double rpp =
+            report_for(matrix, reorder::Technique::RabbitPlusPlus)
+                .normalizedTraffic;
+        std::printf("%-26s %9.2fx %9.2fx %9.2fx\n", name, original,
+                    rabbit, rpp);
+    }
+
+    std::printf(
+        "\nTakeaway (paper Observation 3): the two ORIGINAL numbers\n"
+        "differ wildly even though the graphs are structurally\n"
+        "identical — ORIGINAL reflects an arbitrary publisher choice,\n"
+        "not a property of the matrix. Community-based reordering\n"
+        "erases the difference.\n");
+    return 0;
+}

@@ -1,0 +1,15 @@
+#!/bin/bash
+# Run every bench binary sequentially, one output file per bench.
+# Usage: scripts/run_benches.sh [output-dir]   (default: bench_results)
+set -u
+cd "$(dirname "$0")/.."
+out="${1:-bench_results}"
+mkdir -p "$out"
+for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    name="$(basename "$b")"
+    echo "=== $name start $(date +%T) ==="
+    "$b" > "$out/$name.txt" 2> "$out/$name.err"
+    echo "=== $name done $(date +%T) exit $? ==="
+done
+echo "all benches done; outputs in $out/"

@@ -1,0 +1,109 @@
+#include "cache/belady.hpp"
+
+#include <bit>
+#include <limits>
+#include <unordered_map>
+
+namespace slo::cache
+{
+
+CacheStats
+simulateBelady(const std::vector<std::uint64_t> &trace,
+               const CacheConfig &config, std::uint64_t irregular_lo,
+               std::uint64_t irregular_hi)
+{
+    config.validate();
+    require(config.sectorBytes == 0,
+            "simulateBelady: sectored mode is not supported");
+    const auto line_shift = static_cast<std::uint32_t>(
+        std::countr_zero(config.lineBytes));
+    const std::uint64_t num_sets = config.numSets();
+    constexpr std::uint64_t kNever =
+        std::numeric_limits<std::uint64_t>::max();
+    constexpr std::uint64_t kInvalid = ~0ULL;
+
+    // next_use[i] = index of the next access to the same line, or kNever.
+    std::vector<std::uint64_t> next_use(trace.size());
+    {
+        std::unordered_map<std::uint64_t, std::uint64_t> last_seen;
+        last_seen.reserve(trace.size() / 4 + 1);
+        for (std::size_t i = trace.size(); i-- > 0;) {
+            const std::uint64_t line = trace[i] >> line_shift;
+            const auto it = last_seen.find(line);
+            next_use[i] = (it == last_seen.end()) ? kNever : it->second;
+            last_seen[line] = i;
+        }
+    }
+
+    struct Way
+    {
+        std::uint64_t tag = kInvalid;
+        std::uint64_t nextUse = kNever;
+        bool reused = false;
+    };
+    std::vector<Way> ways(static_cast<std::size_t>(config.numSets()) *
+                          config.ways);
+
+    CacheStats stats;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const std::uint64_t line = trace[i] >> line_shift;
+        const std::uint64_t set = line % num_sets;
+        Way *const base =
+            ways.data() + static_cast<std::size_t>(set) * config.ways;
+        ++stats.accesses;
+
+        Way *victim = base;
+        bool hit = false;
+        for (std::uint32_t w = 0; w < config.ways; ++w) {
+            Way &way = base[w];
+            if (way.tag == line) {
+                way.nextUse = next_use[i];
+                way.reused = true;
+                ++stats.hits;
+                hit = true;
+                break;
+            }
+            if (way.tag == kInvalid) {
+                if (victim->tag != kInvalid)
+                    victim = &way;
+            } else if (victim->tag != kInvalid &&
+                       way.nextUse > victim->nextUse) {
+                victim = &way;
+            }
+        }
+        if (hit)
+            continue;
+
+        ++stats.misses;
+        ++stats.linesFilled;
+        stats.fillBytes += config.lineBytes;
+        if (trace[i] >= irregular_lo && trace[i] < irregular_hi) {
+            ++stats.irregularMisses;
+            stats.irregularFillBytes += config.lineBytes;
+        }
+        // OPT refinement: if the incoming line's next use is further out
+        // than every resident line's, the best decision is to not let it
+        // displace useful data (cache bypass, which OPT subsumes).
+        if (victim->tag != kInvalid && victim->nextUse < next_use[i]) {
+            if (next_use[i] == kNever)
+                ++stats.deadLines; // bypassed line is never reused
+            continue;
+        }
+        if (victim->tag != kInvalid) {
+            ++stats.evictions;
+            if (!victim->reused)
+                ++stats.deadLines;
+        }
+        victim->tag = line;
+        victim->nextUse = next_use[i];
+        victim->reused = false;
+    }
+
+    for (const Way &way : ways) {
+        if (way.tag != kInvalid && !way.reused)
+            ++stats.deadLines;
+    }
+    return stats;
+}
+
+} // namespace slo::cache

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Belady's OPT replacement policy over a materialized trace.
+ *
+ * Fig. 8's headroom analysis: an idealized L2 that evicts the line whose
+ * next use lies furthest in the future (Belady 1966). OPT needs the whole
+ * future, so unlike the streaming LRU simulator it consumes a
+ * pre-recorded trace of byte addresses.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hpp"
+
+namespace slo::cache
+{
+
+/**
+ * Simulate @p trace (byte addresses) through a cache of geometry
+ * @p config with Belady's optimal replacement. Dead-line accounting
+ * matches CacheSim's (evicted or left resident without a re-hit).
+ */
+CacheStats simulateBelady(const std::vector<std::uint64_t> &trace,
+                          const CacheConfig &config,
+                          std::uint64_t irregular_lo = 1,
+                          std::uint64_t irregular_hi = 0);
+
+} // namespace slo::cache

@@ -1,0 +1,126 @@
+#include "cache/cache.hpp"
+
+#include <bit>
+
+namespace slo::cache
+{
+
+void
+CacheConfig::validate() const
+{
+    require(lineBytes > 0 && std::has_single_bit(lineBytes),
+            "CacheConfig: lineBytes must be a power of two");
+    require(ways > 0, "CacheConfig: ways must be positive");
+    require(capacityBytes >= static_cast<std::uint64_t>(lineBytes) * ways,
+            "CacheConfig: capacity smaller than one set");
+    require(capacityBytes % (static_cast<std::uint64_t>(lineBytes) *
+                             ways) == 0,
+            "CacheConfig: capacity must be a multiple of lineBytes*ways");
+    // Note: the set count need NOT be a power of two — the real A6000
+    // L2 (6 MB, 16-way, 32 B sectors) has 12288 sets; indexing uses
+    // modulo.
+    if (sectorBytes != 0) {
+        require(std::has_single_bit(sectorBytes),
+                "CacheConfig: sectorBytes must be a power of two");
+        require(sectorBytes < lineBytes &&
+                    lineBytes / sectorBytes <= 32,
+                "CacheConfig: need 2..32 sectors per line");
+    }
+}
+
+CacheSim::CacheSim(const CacheConfig &config)
+    : config_(config)
+{
+    config_.validate();
+    numSets_ = config_.numSets();
+    lineShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(config_.lineBytes));
+    if (config_.sectorBytes != 0) {
+        sectorShift_ = static_cast<std::uint32_t>(
+            std::countr_zero(config_.sectorBytes));
+    }
+    ways_.resize(static_cast<std::size_t>(config_.numSets()) *
+                 config_.ways);
+}
+
+bool
+CacheSim::access(std::uint64_t addr)
+{
+    const std::uint64_t line = addr >> lineShift_;
+    const std::uint64_t set = line % numSets_;
+    const bool sectored = config_.sectorBytes != 0;
+    const std::uint32_t sector_bit =
+        sectored ? (1u << ((addr >> sectorShift_) &
+                           ((config_.lineBytes >> sectorShift_) - 1)))
+                 : 1u;
+    const std::uint32_t fill_bytes =
+        sectored ? config_.sectorBytes : config_.lineBytes;
+    const bool irregular = addr >= irregularLo_ && addr < irregularHi_;
+
+    Way *const base =
+        ways_.data() + static_cast<std::size_t>(set) * config_.ways;
+    ++stats_.accesses;
+    ++clock_;
+
+    Way *victim = base;
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        Way &way = base[w];
+        if (way.tag == line) {
+            way.lastUse = clock_;
+            if ((way.sectorMask & sector_bit) != 0) {
+                way.reused = true;
+                ++stats_.hits;
+                return true;
+            }
+            // Sector miss on a resident line: fill one sector.
+            way.sectorMask |= sector_bit;
+            ++stats_.misses;
+            stats_.fillBytes += fill_bytes;
+            if (irregular) {
+                ++stats_.irregularMisses;
+                stats_.irregularFillBytes += fill_bytes;
+            }
+            return false;
+        }
+        if (way.tag == kInvalid) {
+            // Prefer an empty way over evicting; an empty way can never
+            // be "older" in LRU terms.
+            if (victim->tag != kInvalid)
+                victim = &way;
+        } else if (victim->tag != kInvalid &&
+                   way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+
+    ++stats_.misses;
+    ++stats_.linesFilled;
+    stats_.fillBytes += fill_bytes;
+    if (irregular) {
+        ++stats_.irregularMisses;
+        stats_.irregularFillBytes += fill_bytes;
+    }
+    if (victim->tag != kInvalid) {
+        ++stats_.evictions;
+        if (!victim->reused)
+            ++stats_.deadLines;
+    }
+    victim->tag = line;
+    victim->lastUse = clock_;
+    victim->sectorMask = sector_bit;
+    victim->reused = false;
+    return false;
+}
+
+void
+CacheSim::finish()
+{
+    require(!finished_, "CacheSim::finish: called twice");
+    finished_ = true;
+    for (const Way &way : ways_) {
+        if (way.tag != kInvalid && !way.reused)
+            ++stats_.deadLines;
+    }
+}
+
+} // namespace slo::cache

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Set-associative cache simulator.
+ *
+ * Models the GPU's L2 (the only cache level that matters for DRAM
+ * traffic; the paper's own validation methodology, Sec. VI-B). The
+ * simulator is replacement-policy-generic at the stats level: this file
+ * provides the LRU implementation, belady.hpp the oracular OPT policy
+ * used for the headroom analysis of Fig. 8.
+ *
+ * Semantics: every access is treated uniformly as a fill-on-miss read of
+ * one cache line; DRAM traffic is misses * lineBytes. With perfect reuse
+ * every array's lines are fetched exactly once, which makes simulated
+ * traffic equal the paper's compulsory-traffic formula by construction
+ * (write-back accounting for Y would double-count the "move each array
+ * once" budget; see DESIGN.md).
+ *
+ * Dead lines (Table III): a line is dead if it is evicted — or still
+ * resident when the run ends — without ever being hit after its fill.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace slo::cache
+{
+
+/** Geometry of a simulated cache. */
+struct CacheConfig
+{
+    std::uint64_t capacityBytes = 6ULL * 1024 * 1024; ///< A6000 L2
+    std::uint32_t lineBytes = 32;  ///< GPU sector granularity
+    std::uint32_t ways = 16;
+
+    /**
+     * Sectored-cache mode: tags cover lineBytes but fills happen per
+     * sector of this many bytes (the real A6000 L2 is 128B lines with
+     * 32B sectors). 0 = unsectored (fills whole lines).
+     */
+    std::uint32_t sectorBytes = 0;
+
+    std::uint64_t
+    numLines() const
+    {
+        return capacityBytes / lineBytes;
+    }
+
+    std::uint64_t
+    numSets() const
+    {
+        return numLines() / ways;
+    }
+
+    /** @throws std::invalid_argument unless the geometry is coherent. */
+    void validate() const;
+};
+
+/** Counters accumulated by a simulation run. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t linesFilled = 0;     ///< == misses
+    std::uint64_t deadLines = 0;       ///< filled but never re-hit
+    /** Misses whose address falls in the configured irregular region. */
+    std::uint64_t irregularMisses = 0;
+    /** Bytes actually filled from DRAM (sector- or line-granular). */
+    std::uint64_t fillBytes = 0;
+    /** Fill bytes for misses inside the irregular region. */
+    std::uint64_t irregularFillBytes = 0;
+
+    double
+    hitRate() const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(hits) /
+                         static_cast<double>(accesses);
+    }
+
+    double
+    deadLineFraction() const
+    {
+        return linesFilled == 0
+                   ? 0.0
+                   : static_cast<double>(deadLines) /
+                         static_cast<double>(linesFilled);
+    }
+
+    /** DRAM read traffic in bytes for a cache with @p line_bytes lines. */
+    std::uint64_t
+    trafficBytes(std::uint32_t line_bytes) const
+    {
+        return misses * line_bytes;
+    }
+};
+
+/** LRU set-associative cache. */
+class CacheSim
+{
+  public:
+    explicit CacheSim(const CacheConfig &config);
+
+    /**
+     * Mark [lo, hi) as the irregularly-accessed region; misses inside it
+     * are counted separately (stats().irregularMisses) so the
+     * performance model can de-rate their bandwidth.
+     */
+    void
+    setIrregularRegion(std::uint64_t lo, std::uint64_t hi)
+    {
+        irregularLo_ = lo;
+        irregularHi_ = hi;
+    }
+
+    /**
+     * Access one byte address; the whole enclosing line is filled on a
+     * miss. @return true on hit.
+     */
+    bool access(std::uint64_t addr);
+
+    /**
+     * Finish the run: counts still-resident never-rehit lines as dead.
+     * Must be called exactly once, after the last access.
+     */
+    void finish();
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = kInvalid;
+        std::uint64_t lastUse = 0;
+        std::uint32_t sectorMask = 0; ///< valid sectors (sectored mode)
+        bool reused = false;
+    };
+
+    static constexpr std::uint64_t kInvalid = ~0ULL;
+
+    CacheConfig config_;
+    std::uint64_t irregularLo_ = 1;
+    std::uint64_t irregularHi_ = 0;
+    std::uint64_t numSets_ = 1;
+    std::uint32_t lineShift_ = 0;
+    std::uint32_t sectorShift_ = 0; ///< 0 in unsectored mode
+    std::uint64_t clock_ = 0;
+    bool finished_ = false;
+    std::vector<Way> ways_; ///< numSets * ways, set-major
+    CacheStats stats_;
+};
+
+} // namespace slo::cache

@@ -1,0 +1,57 @@
+#include "cache/hierarchy.hpp"
+
+namespace slo::cache
+{
+
+CacheHierarchy::CacheHierarchy(std::vector<CacheConfig> levels)
+{
+    require(!levels.empty(), "CacheHierarchy: need at least one level");
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        levels[i].validate();
+        if (i > 0) {
+            require(levels[i].capacityBytes >=
+                        levels[i - 1].capacityBytes,
+                    "CacheHierarchy: capacities must be "
+                    "non-decreasing outward");
+        }
+        levels_.emplace_back(levels[i]);
+    }
+}
+
+std::size_t
+CacheHierarchy::access(std::uint64_t addr)
+{
+    // Probe inward-out; CacheSim::access fills on miss, which is
+    // exactly the inclusive fill-on-the-way-back behaviour.
+    for (std::size_t level = 0; level < levels_.size(); ++level) {
+        if (levels_[level].access(addr)) {
+            // Hit at `level`; inner levels were already filled by
+            // their misses above.
+            return level;
+        }
+    }
+    return levels_.size();
+}
+
+void
+CacheHierarchy::finish()
+{
+    for (CacheSim &level : levels_)
+        level.finish();
+}
+
+const CacheStats &
+CacheHierarchy::levelStats(std::size_t level) const
+{
+    require(level < levels_.size(),
+            "CacheHierarchy: level out of range");
+    return levels_[level].stats();
+}
+
+std::uint64_t
+CacheHierarchy::dramTrafficBytes() const
+{
+    return levels_.back().stats().fillBytes;
+}
+
+} // namespace slo::cache

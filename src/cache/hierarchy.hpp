@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Multi-level cache hierarchy simulator.
+ *
+ * RABBIT was designed to map *hierarchical* communities onto the
+ * multi-level caches of server-class CPUs (paper Sec. V-A recounting
+ * Arai et al.): innermost communities into the small L1/L2, looser
+ * super-communities into the L3. The GPU experiments only need the
+ * single L2 model in cache.hpp; this hierarchy model backs the
+ * ext_cpu_hierarchy bench that checks the multi-level claim.
+ *
+ * Semantics: inclusive hierarchy; an access probes L1 first and walks
+ * outward until it hits (or misses everywhere = DRAM access); the line
+ * is then filled into every level it missed in. Per-level stats follow
+ * CacheSim's conventions; DRAM traffic is the last level's fill bytes.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "cache/cache.hpp"
+
+namespace slo::cache
+{
+
+/** A stack of cache levels, L1 first (smallest). */
+class CacheHierarchy
+{
+  public:
+    /**
+     * @param levels geometries from L1 outward; capacities must be
+     *        non-decreasing
+     */
+    explicit CacheHierarchy(std::vector<CacheConfig> levels);
+
+    std::size_t numLevels() const { return levels_.size(); }
+
+    /**
+     * Access one byte address.
+     * @return the level index that hit (0 = L1), or numLevels() for a
+     *         DRAM access.
+     */
+    std::size_t access(std::uint64_t addr);
+
+    /** Finish all levels (dead-line accounting). */
+    void finish();
+
+    /** Stats of level @p level (0 = L1). */
+    const CacheStats &levelStats(std::size_t level) const;
+
+    /** Bytes fetched from DRAM (the outermost level's fills). */
+    std::uint64_t dramTrafficBytes() const;
+
+  private:
+    std::vector<CacheSim> levels_;
+};
+
+} // namespace slo::cache

@@ -1,0 +1,166 @@
+#include "community/aggregation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace slo::community
+{
+
+namespace
+{
+
+/** Union-find with path compression and union-by-explicit-winner. */
+class DisjointSets
+{
+  public:
+    explicit DisjointSets(Index n)
+        : parent_(static_cast<std::size_t>(n))
+    {
+        std::iota(parent_.begin(), parent_.end(), Index{0});
+    }
+
+    Index
+    find(Index v)
+    {
+        Index root = v;
+        while (parent_[static_cast<std::size_t>(root)] != root)
+            root = parent_[static_cast<std::size_t>(root)];
+        while (parent_[static_cast<std::size_t>(v)] != root) {
+            const Index next = parent_[static_cast<std::size_t>(v)];
+            parent_[static_cast<std::size_t>(v)] = root;
+            v = next;
+        }
+        return root;
+    }
+
+    /** Attach @p loser's set under @p winner (winner stays the rep). */
+    void
+    uniteInto(Index loser, Index winner)
+    {
+        parent_[static_cast<std::size_t>(find(loser))] = find(winner);
+    }
+
+  private:
+    std::vector<Index> parent_;
+};
+
+} // namespace
+
+AggregationResult
+aggregateCommunities(const Csr &graph, const AggregationOptions &options)
+{
+    require(graph.isSquare(),
+            "aggregateCommunities: graph must be square");
+    const Index n = graph.numRows();
+    const auto m2 = static_cast<double>(graph.numNonZeros());
+
+    AggregationResult result{Dendrogram(n), Clustering::singletons(n), 0};
+    if (n == 0 || m2 == 0.0)
+        return result;
+
+    DisjointSets sets(n);
+    // Per live community: total degree (sum of member degrees) and the
+    // weights to neighbouring communities. Maps are merged small-into-
+    // large on each merge; `adjacency[rep]` is authoritative only for
+    // live reps.
+    std::vector<double> strength(static_cast<std::size_t>(n), 0.0);
+    std::vector<Index> size(static_cast<std::size_t>(n), 1);
+    std::vector<std::unordered_map<Index, double>> adjacency(
+        static_cast<std::size_t>(n));
+    for (Index v = 0; v < n; ++v) {
+        strength[static_cast<std::size_t>(v)] =
+            static_cast<double>(graph.degree(v));
+        auto &adj = adjacency[static_cast<std::size_t>(v)];
+        adj.reserve(static_cast<std::size_t>(graph.degree(v)));
+        for (Index u : graph.rowIndices(v)) {
+            if (u != v)
+                adj[u] += 1.0;
+        }
+    }
+
+    // Ascending-degree visit order (stable: ties by vertex id).
+    std::vector<Index> visit(static_cast<std::size_t>(n));
+    std::iota(visit.begin(), visit.end(), Index{0});
+    std::stable_sort(visit.begin(), visit.end(),
+        [&graph](Index a, Index b) {
+            return graph.degree(a) < graph.degree(b);
+        });
+
+    // Scratch map: community rep -> accumulated edge weight from the
+    // community being placed.
+    std::unordered_map<Index, double> neighbour_weight;
+
+    for (Index v : visit) {
+        const Index rep = sets.find(v);
+        if (rep != v)
+            continue; // already absorbed by an earlier merge
+
+        // Accumulate weights from v's community to neighbouring
+        // communities (entries in the map may be stale vertex ids that
+        // need resolving through the union-find).
+        neighbour_weight.clear();
+        for (const auto &[u, w] : adjacency[static_cast<std::size_t>(v)]) {
+            const Index u_rep = sets.find(u);
+            if (u_rep != v)
+                neighbour_weight[u_rep] += w;
+        }
+
+        // Best modularity gain:
+        // dQ = 2 * (e_vb/m2 - (d_v * d_b) / m2^2), e_vb counted once per
+        // stored entry (our symmetric CSR stores each edge twice, so the
+        // per-direction weight is exactly e_vb).
+        const double dv = strength[static_cast<std::size_t>(v)];
+        Index best = -1;
+        double best_gain = options.minGain;
+        for (const auto &[b, w] : neighbour_weight) {
+            if (options.maxCommunitySize > 0 &&
+                size[static_cast<std::size_t>(v)] +
+                        size[static_cast<std::size_t>(b)] >
+                    options.maxCommunitySize) {
+                continue;
+            }
+            const double db = strength[static_cast<std::size_t>(b)];
+            const double gain = 2.0 * (w / m2 - (dv * db) / (m2 * m2));
+            if (gain > best_gain ||
+                (gain == best_gain && best >= 0 && b < best)) {
+                best_gain = gain;
+                best = b;
+            }
+        }
+        if (best < 0)
+            continue;
+
+        // Merge v's community into best's community; best stays the rep.
+        result.dendrogram.merge(v, best);
+        sets.uniteInto(v, best);
+        ++result.numMerges;
+        strength[static_cast<std::size_t>(best)] += dv;
+        size[static_cast<std::size_t>(best)] +=
+            size[static_cast<std::size_t>(v)];
+
+        // Merge adjacency maps small-into-large, but keep the result
+        // stored under `best` (the live rep).
+        auto &from = adjacency[static_cast<std::size_t>(v)];
+        auto &into = adjacency[static_cast<std::size_t>(best)];
+        if (from.size() > into.size())
+            std::swap(from, into);
+        for (const auto &[u, w] : from)
+            into[u] += w;
+        from.clear();
+        // Note: `into` may now contain stale ids (including v itself or
+        // ids pointing into best's own community); they are resolved
+        // lazily through the union-find when the map is next read.
+    }
+
+    // Top-level communities from the union-find.
+    std::vector<Index> labels(static_cast<std::size_t>(n));
+    for (Index v = 0; v < n; ++v)
+        labels[static_cast<std::size_t>(v)] = sets.find(v);
+    result.clustering = Clustering(std::move(labels)).compacted();
+    return result;
+}
+
+} // namespace slo::community

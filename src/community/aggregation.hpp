@@ -1,0 +1,53 @@
+/**
+ * @file
+ * RABBIT-style incremental community aggregation.
+ *
+ * The core of RABBIT (Arai et al., IPDPS'16): visit vertices in ascending
+ * degree order; merge each vertex's community into the neighbouring
+ * community with the largest positive modularity gain. Merges are recorded
+ * in a Dendrogram whose DFS traversal yields the RABBIT ordering and whose
+ * forest roots define the top-level communities that insularity is
+ * computed over.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "community/clustering.hpp"
+#include "community/dendrogram.hpp"
+#include "matrix/csr.hpp"
+
+namespace slo::community
+{
+
+/** Tuning knobs for the aggregation pass. */
+struct AggregationOptions
+{
+    /**
+     * Stop merging a community once it reaches this many vertices
+     * (0 = unlimited, the faithful RABBIT behaviour). Exposed for
+     * ablation studies on the mawi-style degenerate case.
+     */
+    Index maxCommunitySize = 0;
+
+    /** Minimum modularity gain required to merge. */
+    double minGain = 0.0;
+};
+
+/** Output of one aggregation pass. */
+struct AggregationResult
+{
+    Dendrogram dendrogram;
+    Clustering clustering; ///< top-level communities (compacted labels)
+    Index numMerges = 0;
+};
+
+/**
+ * Run incremental modularity-maximizing aggregation on @p graph.
+ * @param graph undirected view (symmetric non-zero pattern expected)
+ */
+AggregationResult aggregateCommunities(
+    const Csr &graph, const AggregationOptions &options = {});
+
+} // namespace slo::community

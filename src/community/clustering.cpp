@@ -1,0 +1,112 @@
+#include "community/clustering.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace slo::community
+{
+
+Clustering::Clustering(std::vector<Index> labels)
+    : labels_(std::move(labels))
+{
+    Index max_label = -1;
+    for (Index label : labels_) {
+        require(label >= 0, "Clustering: labels must be non-negative");
+        max_label = std::max(max_label, label);
+    }
+    numCommunities_ = max_label + 1;
+}
+
+Clustering
+Clustering::singletons(Index n)
+{
+    std::vector<Index> labels(static_cast<std::size_t>(n));
+    std::iota(labels.begin(), labels.end(), Index{0});
+    return Clustering(std::move(labels));
+}
+
+Clustering
+Clustering::whole(Index n)
+{
+    return Clustering(std::vector<Index>(static_cast<std::size_t>(n), 0));
+}
+
+Clustering
+Clustering::contiguousBlocks(Index n, Index block_size)
+{
+    require(block_size > 0, "Clustering: block size must be positive");
+    std::vector<Index> labels(static_cast<std::size_t>(n));
+    for (Index v = 0; v < n; ++v)
+        labels[static_cast<std::size_t>(v)] = v / block_size;
+    return Clustering(std::move(labels));
+}
+
+std::vector<Index>
+Clustering::communitySizes() const
+{
+    std::vector<Index> sizes(
+        static_cast<std::size_t>(numCommunities_), 0);
+    for (Index label : labels_)
+        ++sizes[static_cast<std::size_t>(label)];
+    return sizes;
+}
+
+Clustering
+Clustering::compacted() const
+{
+    std::vector<Index> remap(
+        static_cast<std::size_t>(numCommunities_), -1);
+    std::vector<Index> labels(labels_.size());
+    Index next = 0;
+    for (std::size_t v = 0; v < labels_.size(); ++v) {
+        auto &dense = remap[static_cast<std::size_t>(labels_[v])];
+        if (dense < 0)
+            dense = next++;
+        labels[v] = dense;
+    }
+    return Clustering(std::move(labels));
+}
+
+std::vector<std::vector<Index>>
+Clustering::members() const
+{
+    std::vector<std::vector<Index>> result(
+        static_cast<std::size_t>(numCommunities_));
+    for (std::size_t v = 0; v < labels_.size(); ++v) {
+        result[static_cast<std::size_t>(labels_[v])].push_back(
+            static_cast<Index>(v));
+    }
+    return result;
+}
+
+CommunitySizeStats
+communitySizeStats(const Clustering &clustering)
+{
+    CommunitySizeStats stats;
+    const auto sizes = clustering.communitySizes();
+    Index non_empty = 0;
+    Offset total = 0;
+    for (Index size : sizes) {
+        if (size == 0)
+            continue;
+        ++non_empty;
+        total += size;
+        stats.maxSize = std::max(stats.maxSize, size);
+    }
+    stats.numCommunities = non_empty;
+    if (non_empty > 0) {
+        stats.avgSize = static_cast<double>(total) /
+                        static_cast<double>(non_empty);
+    }
+    if (clustering.numNodes() > 0) {
+        stats.avgSizeFraction =
+            stats.avgSize / static_cast<double>(clustering.numNodes());
+        stats.maxSizeFraction =
+            static_cast<double>(stats.maxSize) /
+            static_cast<double>(clustering.numNodes());
+    }
+    return stats;
+}
+
+} // namespace slo::community

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Community assignments (clusterings) over graph vertices.
+ *
+ * A Clustering maps every vertex to a community label. It is the common
+ * currency between community detection (Louvain, RABBIT aggregation), the
+ * quality metrics the paper defines (modularity, insularity), and the
+ * RABBIT++ transformations that consume community structure.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace slo::community
+{
+
+/** A partition of vertices [0, n) into communities [0, k). */
+class Clustering
+{
+  public:
+    Clustering() = default;
+
+    /**
+     * Construct from a label array; labels must be non-negative.
+     * numCommunities() is max(label)+1 (labels need not be dense —
+     * use compacted() to densify).
+     */
+    explicit Clustering(std::vector<Index> labels);
+
+    /** Every vertex in its own community. */
+    static Clustering singletons(Index n);
+
+    /** One community for all vertices. */
+    static Clustering whole(Index n);
+
+    /**
+     * Contiguous equally-sized blocks of @p block_size vertices — the
+     * ground truth of the planted-partition generator.
+     */
+    static Clustering contiguousBlocks(Index n, Index block_size);
+
+    Index numNodes() const { return static_cast<Index>(labels_.size()); }
+    Index numCommunities() const { return numCommunities_; }
+
+    Index
+    label(Index v) const
+    {
+        return labels_[static_cast<std::size_t>(v)];
+    }
+
+    Index operator[](Index v) const { return label(v); }
+
+    const std::vector<Index> &labels() const { return labels_; }
+
+    /** Size of each community (indexed by label). */
+    std::vector<Index> communitySizes() const;
+
+    /**
+     * Relabel communities to a dense range [0, k) in order of first
+     * appearance, dropping unused labels.
+     */
+    Clustering compacted() const;
+
+    /**
+     * Vertices of each community, in ascending vertex order
+     * (indexed by label).
+     */
+    std::vector<std::vector<Index>> members() const;
+
+    bool operator==(const Clustering &other) const = default;
+
+  private:
+    std::vector<Index> labels_;
+    Index numCommunities_ = 0;
+};
+
+/** Summary statistics of community sizes (Sec. V-A / V-B analysis). */
+struct CommunitySizeStats
+{
+    Index numCommunities = 0;
+    double avgSize = 0.0;
+    Index maxSize = 0;
+    /** Average community size normalized to the number of nodes. */
+    double avgSizeFraction = 0.0;
+    /** Largest community as a fraction of all nodes (mawi: ~0.98). */
+    double maxSizeFraction = 0.0;
+};
+
+/** Compute size statistics for @p clustering. */
+CommunitySizeStats communitySizeStats(const Clustering &clustering);
+
+} // namespace slo::community

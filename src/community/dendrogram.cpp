@@ -1,0 +1,168 @@
+#include "community/dendrogram.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace slo::community
+{
+
+Dendrogram::Dendrogram(Index n)
+    : parent_(static_cast<std::size_t>(n), -1),
+      children_(static_cast<std::size_t>(n))
+{
+    require(n >= 0, "Dendrogram: negative size");
+}
+
+void
+Dendrogram::merge(Index child, Index parent)
+{
+    require(child >= 0 && child < numNodes() && parent >= 0 &&
+                parent < numNodes(),
+            "Dendrogram::merge: vertex out of range");
+    require(child != parent, "Dendrogram::merge: self merge");
+    require(isRoot(child), "Dendrogram::merge: child is not a root");
+    parent_[static_cast<std::size_t>(child)] = parent;
+    children_[static_cast<std::size_t>(parent)].push_back(child);
+}
+
+std::vector<Index>
+Dendrogram::roots() const
+{
+    std::vector<Index> result;
+    for (Index v = 0; v < numNodes(); ++v) {
+        if (isRoot(v))
+            result.push_back(v);
+    }
+    return result;
+}
+
+Index
+Dendrogram::subtreeSize(Index v) const
+{
+    Index size = 0;
+    std::vector<Index> stack = {v};
+    while (!stack.empty()) {
+        const Index u = stack.back();
+        stack.pop_back();
+        ++size;
+        const auto &kids = children_[static_cast<std::size_t>(u)];
+        stack.insert(stack.end(), kids.begin(), kids.end());
+    }
+    return size;
+}
+
+std::vector<Index>
+Dendrogram::dfsOrder(RootOrder root_order) const
+{
+    std::vector<Index> roots_list = roots();
+    if (root_order == RootOrder::BySubtreeSizeDesc) {
+        std::vector<Index> sizes(parent_.size(), 0);
+        // Compute all subtree sizes in one bottom-up pass instead of
+        // calling subtreeSize() per root.
+        // Post-order via explicit stack over the whole forest.
+        for (Index root : roots_list) {
+            std::vector<std::pair<Index, std::size_t>> stack;
+            stack.emplace_back(root, 0);
+            while (!stack.empty()) {
+                auto &[v, child_pos] = stack.back();
+                const auto &kids =
+                    children_[static_cast<std::size_t>(v)];
+                if (child_pos < kids.size()) {
+                    const Index next = kids[child_pos++];
+                    stack.emplace_back(next, 0);
+                } else {
+                    Index size = 1;
+                    for (Index kid : kids)
+                        size += sizes[static_cast<std::size_t>(kid)];
+                    sizes[static_cast<std::size_t>(v)] = size;
+                    stack.pop_back();
+                }
+            }
+        }
+        std::stable_sort(roots_list.begin(), roots_list.end(),
+            [&sizes](Index a, Index b) {
+                return sizes[static_cast<std::size_t>(a)] >
+                       sizes[static_cast<std::size_t>(b)];
+            });
+    }
+
+    std::vector<Index> order;
+    order.reserve(parent_.size());
+    for (Index root : roots_list) {
+        // Pre-order DFS, children in merge order.
+        std::vector<std::pair<Index, std::size_t>> stack;
+        stack.emplace_back(root, 0);
+        order.push_back(root);
+        while (!stack.empty()) {
+            auto &[v, child_pos] = stack.back();
+            const auto &kids = children_[static_cast<std::size_t>(v)];
+            if (child_pos < kids.size()) {
+                const Index next = kids[child_pos++];
+                order.push_back(next);
+                stack.emplace_back(next, 0);
+            } else {
+                stack.pop_back();
+            }
+        }
+    }
+    return order;
+}
+
+Clustering
+Dendrogram::toClustering() const
+{
+    std::vector<Index> labels(parent_.size(), -1);
+    for (Index v = 0; v < numNodes(); ++v) {
+        // Walk up to the root with path compression through `labels`.
+        Index u = v;
+        std::vector<Index> path;
+        while (parent_[static_cast<std::size_t>(u)] >= 0 &&
+               labels[static_cast<std::size_t>(u)] < 0) {
+            path.push_back(u);
+            u = parent_[static_cast<std::size_t>(u)];
+        }
+        const Index root = labels[static_cast<std::size_t>(u)] >= 0
+                               ? labels[static_cast<std::size_t>(u)]
+                               : u;
+        labels[static_cast<std::size_t>(u)] = root;
+        for (Index w : path)
+            labels[static_cast<std::size_t>(w)] = root;
+    }
+    return Clustering(std::move(labels)).compacted();
+}
+
+Clustering
+Dendrogram::clusteringAtDepth(Index depth) const
+{
+    require(depth >= 0, "clusteringAtDepth: negative depth");
+    const Index n = numNodes();
+    std::vector<Index> labels(static_cast<std::size_t>(n), -1);
+    // BFS down from each root carrying the depth-capped ancestor.
+    std::vector<std::pair<Index, Index>> stack; // (vertex, anchor)
+    std::vector<Index> depth_of(static_cast<std::size_t>(n), 0);
+    for (Index root = 0; root < n; ++root) {
+        if (!isRoot(root))
+            continue;
+        stack.emplace_back(root, root);
+        depth_of[static_cast<std::size_t>(root)] = 0;
+        while (!stack.empty()) {
+            const auto [v, anchor] = stack.back();
+            stack.pop_back();
+            labels[static_cast<std::size_t>(v)] = anchor;
+            for (Index child : children(v)) {
+                const Index child_depth =
+                    depth_of[static_cast<std::size_t>(v)] + 1;
+                depth_of[static_cast<std::size_t>(child)] =
+                    child_depth;
+                // Children at or below the cut keep the anchor;
+                // children above it become their own anchor.
+                stack.emplace_back(child, child_depth <= depth
+                                              ? child
+                                              : anchor);
+            }
+        }
+    }
+    return Clustering(std::move(labels)).compacted();
+}
+
+} // namespace slo::community

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Merge dendrogram produced by hierarchical community aggregation.
+ *
+ * RABBIT (Arai et al., IPDPS'16) merges vertices incrementally; every
+ * merge "u into v" makes u's subtree a child of v. The resulting forest
+ * encodes the hierarchical community structure: each tree is a top-level
+ * community, and nested subtrees are sub-communities. The RABBIT ordering
+ * is a depth-first traversal of this forest, which lays sub-communities
+ * out contiguously at every level — exactly the property that maps
+ * communities onto cache capacities.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "community/clustering.hpp"
+#include "matrix/types.hpp"
+
+namespace slo::community
+{
+
+/** How dfsOrder() orders the forest's roots. */
+enum class RootOrder
+{
+    BySubtreeSizeDesc, ///< biggest community first (default)
+    ByVertexId,        ///< deterministic id order
+};
+
+/** A forest over vertices [0, n) built from "merge u into v" events. */
+class Dendrogram
+{
+  public:
+    /** n singleton roots. */
+    explicit Dendrogram(Index n);
+
+    Index numNodes() const { return static_cast<Index>(parent_.size()); }
+
+    /**
+     * Record that @p child's tree becomes a subtree of @p parent.
+     * @p child must currently be a root; @p parent must not be inside
+     * child's subtree (checked cheaply: parent must be a root or already
+     * merged elsewhere, and child != parent).
+     */
+    void merge(Index child, Index parent);
+
+    bool
+    isRoot(Index v) const
+    {
+        return parent_[static_cast<std::size_t>(v)] < 0;
+    }
+
+    /** Parent vertex, or -1 for roots. */
+    Index
+    parent(Index v) const
+    {
+        return parent_[static_cast<std::size_t>(v)];
+    }
+
+    /** Children in merge order. */
+    const std::vector<Index> &
+    children(Index v) const
+    {
+        return children_[static_cast<std::size_t>(v)];
+    }
+
+    /** All roots in ascending vertex order. */
+    std::vector<Index> roots() const;
+
+    /** Number of vertices in v's subtree (including v). */
+    Index subtreeSize(Index v) const;
+
+    /**
+     * Depth-first vertex order over the forest: result[new_id] == old_id.
+     * Children are visited in merge order, after their parent.
+     */
+    std::vector<Index> dfsOrder(
+        RootOrder root_order = RootOrder::BySubtreeSizeDesc) const;
+
+    /** Top-level communities: label(v) = index of v's root. */
+    Clustering toClustering() const;
+
+    /**
+     * Sub-communities at hierarchy depth @p depth: each vertex is
+     * labelled by its ancestor at that depth (or by itself when its
+     * own depth is shallower). depth 0 reproduces toClustering();
+     * larger depths expose progressively finer nested communities —
+     * the structure RABBIT maps onto multi-level caches.
+     */
+    Clustering clusteringAtDepth(Index depth) const;
+
+  private:
+    std::vector<Index> parent_;
+    std::vector<std::vector<Index>> children_;
+};
+
+} // namespace slo::community

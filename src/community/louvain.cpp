@@ -1,0 +1,258 @@
+#include "community/louvain.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "community/metrics.hpp"
+#include "matrix/rng.hpp"
+
+namespace slo::community
+{
+
+namespace
+{
+
+/** Internal weighted undirected graph (CSR-shaped). */
+struct WeightedGraph
+{
+    Index n = 0;
+    std::vector<Offset> offsets;
+    std::vector<Index> neighbours;
+    std::vector<double> weights;
+    std::vector<double> selfLoops; ///< per-node self-loop weight
+    double totalWeight2 = 0.0;     ///< sum of strengths (2m)
+
+    double
+    strengthOf(Index v) const
+    {
+        double s = selfLoops[static_cast<std::size_t>(v)];
+        for (Offset i = offsets[static_cast<std::size_t>(v)];
+             i < offsets[static_cast<std::size_t>(v) + 1]; ++i) {
+            s += weights[static_cast<std::size_t>(i)];
+        }
+        return s;
+    }
+};
+
+WeightedGraph
+fromCsr(const Csr &graph)
+{
+    WeightedGraph wg;
+    wg.n = graph.numRows();
+    wg.offsets.assign(graph.rowOffsets().begin(),
+                      graph.rowOffsets().end());
+    wg.neighbours.assign(graph.colIndices().begin(),
+                         graph.colIndices().end());
+    wg.weights.assign(wg.neighbours.size(), 1.0);
+    wg.selfLoops.assign(static_cast<std::size_t>(wg.n), 0.0);
+    // Pull self loops out of the adjacency (they contribute to strength
+    // differently).
+    for (Index v = 0; v < wg.n; ++v) {
+        for (Offset i = wg.offsets[static_cast<std::size_t>(v)];
+             i < wg.offsets[static_cast<std::size_t>(v) + 1]; ++i) {
+            if (wg.neighbours[static_cast<std::size_t>(i)] == v) {
+                wg.weights[static_cast<std::size_t>(i)] = 0.0;
+                wg.selfLoops[static_cast<std::size_t>(v)] += 1.0;
+            }
+        }
+    }
+    wg.totalWeight2 = 0.0;
+    for (Index v = 0; v < wg.n; ++v)
+        wg.totalWeight2 += wg.strengthOf(v);
+    return wg;
+}
+
+/**
+ * One level of local moving. Returns the (possibly improved) labels and
+ * whether any node moved.
+ */
+bool
+localMoving(const WeightedGraph &wg, std::vector<Index> &labels,
+            const LouvainOptions &options, std::uint64_t seed)
+{
+    const double m2 = wg.totalWeight2;
+    if (m2 == 0.0)
+        return false;
+
+    std::vector<double> strength(static_cast<std::size_t>(wg.n));
+    for (Index v = 0; v < wg.n; ++v)
+        strength[static_cast<std::size_t>(v)] = wg.strengthOf(v);
+
+    std::vector<double> community_strength(
+        static_cast<std::size_t>(wg.n), 0.0);
+    for (Index v = 0; v < wg.n; ++v) {
+        community_strength[static_cast<std::size_t>(labels[
+            static_cast<std::size_t>(v)])] +=
+            strength[static_cast<std::size_t>(v)];
+    }
+
+    // Shuffled visit order decorrelates moves from vertex ids.
+    std::vector<Index> visit(static_cast<std::size_t>(wg.n));
+    std::iota(visit.begin(), visit.end(), Index{0});
+    Rng rng(seed);
+    for (std::size_t i = visit.size(); i > 1; --i) {
+        auto j = static_cast<std::size_t>(rng.below(i));
+        std::swap(visit[i - 1], visit[j]);
+    }
+
+    bool any_move = false;
+    std::unordered_map<Index, double> weight_to;
+    for (int sweep = 0; sweep < options.maxSweepsPerLevel; ++sweep) {
+        bool moved_this_sweep = false;
+        for (Index v : visit) {
+            const auto sv = static_cast<std::size_t>(v);
+            const Index current = labels[sv];
+            weight_to.clear();
+            weight_to[current] += 0.0;
+            for (Offset i = wg.offsets[sv]; i < wg.offsets[sv + 1];
+                 ++i) {
+                const auto si = static_cast<std::size_t>(i);
+                const Index u = wg.neighbours[si];
+                if (u == v)
+                    continue;
+                weight_to[labels[static_cast<std::size_t>(u)]] +=
+                    wg.weights[si];
+            }
+            // Score of community c (v removed from its own community):
+            // w_vc - strength_c\v * d_v / m2.
+            const double dv = strength[sv];
+            community_strength[static_cast<std::size_t>(current)] -= dv;
+            Index best = current;
+            double best_score =
+                weight_to[current] -
+                community_strength[static_cast<std::size_t>(current)] *
+                    dv / m2;
+            for (const auto &[c, w] : weight_to) {
+                if (c == current)
+                    continue;
+                const double score =
+                    w - community_strength[static_cast<std::size_t>(c)] *
+                            dv / m2;
+                if (score > best_score + 1e-15 ||
+                    (score > best_score - 1e-15 && c < best)) {
+                    best_score = score;
+                    best = c;
+                }
+            }
+            community_strength[static_cast<std::size_t>(best)] += dv;
+            if (best != current) {
+                labels[sv] = best;
+                moved_this_sweep = true;
+                any_move = true;
+            }
+        }
+        if (!moved_this_sweep)
+            break;
+    }
+    return any_move;
+}
+
+/** Aggregate communities into a smaller weighted graph. */
+WeightedGraph
+aggregate(const WeightedGraph &wg, const std::vector<Index> &dense_labels,
+          Index num_communities)
+{
+    // Accumulate community-to-community weights.
+    std::vector<std::unordered_map<Index, double>> adj(
+        static_cast<std::size_t>(num_communities));
+    std::vector<double> self(static_cast<std::size_t>(num_communities),
+                             0.0);
+    for (Index v = 0; v < wg.n; ++v) {
+        const auto sv = static_cast<std::size_t>(v);
+        const Index cv = dense_labels[sv];
+        self[static_cast<std::size_t>(cv)] += wg.selfLoops[sv];
+        for (Offset i = wg.offsets[sv]; i < wg.offsets[sv + 1]; ++i) {
+            const auto si = static_cast<std::size_t>(i);
+            const Index cu =
+                dense_labels[static_cast<std::size_t>(wg.neighbours[si])];
+            if (cu == cv) {
+                // Each intra edge appears twice in the symmetric CSR
+                // (u->v and v->u), so accumulating the full weight per
+                // stored entry makes the community's self-loop count
+                // intra weight twice — exactly what keeps community
+                // strength equal to the sum of member strengths.
+                self[static_cast<std::size_t>(cv)] += wg.weights[si];
+            } else {
+                adj[static_cast<std::size_t>(cv)][cu] += wg.weights[si];
+            }
+        }
+    }
+
+    WeightedGraph out;
+    out.n = num_communities;
+    out.offsets.assign(static_cast<std::size_t>(num_communities) + 1, 0);
+    for (Index c = 0; c < num_communities; ++c) {
+        out.offsets[static_cast<std::size_t>(c) + 1] =
+            out.offsets[static_cast<std::size_t>(c)] +
+            static_cast<Offset>(adj[static_cast<std::size_t>(c)].size());
+    }
+    out.neighbours.resize(
+        static_cast<std::size_t>(out.offsets.back()));
+    out.weights.resize(out.neighbours.size());
+    for (Index c = 0; c < num_communities; ++c) {
+        auto pos = static_cast<std::size_t>(
+            out.offsets[static_cast<std::size_t>(c)]);
+        // Deterministic order: sort neighbours by id.
+        std::vector<std::pair<Index, double>> entries(
+            adj[static_cast<std::size_t>(c)].begin(),
+            adj[static_cast<std::size_t>(c)].end());
+        std::sort(entries.begin(), entries.end());
+        for (const auto &[u, w] : entries) {
+            out.neighbours[pos] = u;
+            out.weights[pos] = w;
+            ++pos;
+        }
+    }
+    out.selfLoops = std::move(self);
+    out.totalWeight2 = 0.0;
+    for (Index c = 0; c < num_communities; ++c)
+        out.totalWeight2 += out.strengthOf(c);
+    return out;
+}
+
+} // namespace
+
+LouvainResult
+louvain(const Csr &graph, const LouvainOptions &options)
+{
+    require(graph.isSquare(), "louvain: graph must be square");
+    LouvainResult result;
+
+    WeightedGraph wg = fromCsr(graph);
+    // mapping[v] = current community of original vertex v.
+    std::vector<Index> mapping(static_cast<std::size_t>(graph.numRows()));
+    std::iota(mapping.begin(), mapping.end(), Index{0});
+
+    for (int level = 0; level < options.maxLevels; ++level) {
+        std::vector<Index> labels(static_cast<std::size_t>(wg.n));
+        std::iota(labels.begin(), labels.end(), Index{0});
+        const bool moved = localMoving(wg, labels, options,
+                                       options.seed + level);
+        if (!moved)
+            break;
+        ++result.levels;
+
+        // Densify labels.
+        Clustering dense = Clustering(labels).compacted();
+        const Index k = dense.numCommunities();
+
+        // Push the mapping down to original vertices.
+        for (auto &label : mapping)
+            label = dense.label(label);
+
+        if (k == wg.n)
+            break;
+        wg = aggregate(wg, dense.labels(), k);
+        if (k <= 1)
+            break;
+    }
+
+    result.clustering = Clustering(std::move(mapping)).compacted();
+    result.modularity = modularity(graph, result.clustering);
+    return result;
+}
+
+} // namespace slo::community

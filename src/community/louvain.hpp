@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Louvain community detection (Blondel et al. 2008).
+ *
+ * Included as the classical modularity-maximization baseline: the library
+ * uses it (a) to cross-check the RABBIT aggregation pass (both maximize
+ * the same objective, so their modularities should be comparable) and
+ * (b) as an alternative community source for the community-detector
+ * ablation bench.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "community/clustering.hpp"
+#include "matrix/csr.hpp"
+
+namespace slo::community
+{
+
+/** Tuning knobs for Louvain. */
+struct LouvainOptions
+{
+    int maxLevels = 10;          ///< max aggregation levels
+    int maxSweepsPerLevel = 10;  ///< local-moving sweeps per level
+    double minGainPerSweep = 1e-7; ///< stop when a sweep gains less
+    std::uint64_t seed = 42;     ///< vertex visit order shuffle seed
+};
+
+/** Output of a Louvain run. */
+struct LouvainResult
+{
+    Clustering clustering; ///< final communities on original vertices
+    double modularity = 0.0;
+    int levels = 0;
+};
+
+/**
+ * Run Louvain on @p graph (undirected view; symmetric pattern expected).
+ */
+LouvainResult louvain(const Csr &graph, const LouvainOptions &options = {});
+
+} // namespace slo::community

@@ -1,0 +1,124 @@
+#include "community/metrics.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace slo::community
+{
+
+double
+modularity(const Csr &graph, const Clustering &clustering)
+{
+    require(graph.numRows() == clustering.numNodes(),
+            "modularity: clustering size mismatch");
+    const auto m2 = static_cast<double>(graph.numNonZeros());
+    if (m2 == 0.0)
+        return 0.0;
+
+    const auto k = static_cast<std::size_t>(clustering.numCommunities());
+    std::vector<double> intra(k, 0.0);  // stored entries inside community
+    std::vector<double> degree(k, 0.0); // total degree per community
+    for (Index r = 0; r < graph.numRows(); ++r) {
+        const auto cr = static_cast<std::size_t>(clustering.label(r));
+        degree[cr] += static_cast<double>(graph.degree(r));
+        for (Index c : graph.rowIndices(r)) {
+            if (clustering.label(c) == clustering.label(r))
+                intra[cr] += 1.0;
+        }
+    }
+
+    double q = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+        const double deg_frac = degree[c] / m2;
+        q += intra[c] / m2 - deg_frac * deg_frac;
+    }
+    return q;
+}
+
+double
+insularity(const Csr &graph, const Clustering &clustering)
+{
+    require(graph.numRows() == clustering.numNodes(),
+            "insularity: clustering size mismatch");
+    const Offset total = graph.numNonZeros();
+    if (total == 0)
+        return 1.0;
+    Offset intra = 0;
+    for (Index r = 0; r < graph.numRows(); ++r) {
+        const Index label = clustering.label(r);
+        for (Index c : graph.rowIndices(r)) {
+            if (clustering.label(c) == label)
+                ++intra;
+        }
+    }
+    return static_cast<double>(intra) / static_cast<double>(total);
+}
+
+std::vector<bool>
+insularNodes(const Csr &graph, const Clustering &clustering)
+{
+    require(graph.numRows() == clustering.numNodes(),
+            "insularNodes: clustering size mismatch");
+    std::vector<bool> insular(
+        static_cast<std::size_t>(graph.numRows()), true);
+    for (Index r = 0; r < graph.numRows(); ++r) {
+        const Index label = clustering.label(r);
+        for (Index c : graph.rowIndices(r)) {
+            if (clustering.label(c) != label) {
+                insular[static_cast<std::size_t>(r)] = false;
+                // The neighbour on the other side of a cross edge is
+                // not insular either (covers asymmetric patterns).
+                insular[static_cast<std::size_t>(c)] = false;
+            }
+        }
+    }
+    return insular;
+}
+
+double
+insularNodeFraction(const Csr &graph, const Clustering &clustering)
+{
+    if (graph.numRows() == 0)
+        return 1.0;
+    const auto insular = insularNodes(graph, clustering);
+    Offset count = 0;
+    for (bool flag : insular)
+        count += flag ? 1 : 0;
+    return static_cast<double>(count) /
+           static_cast<double>(graph.numRows());
+}
+
+double
+meanConductance(const Csr &graph, const Clustering &clustering)
+{
+    require(graph.numRows() == clustering.numNodes(),
+            "meanConductance: clustering size mismatch");
+    const auto k = static_cast<std::size_t>(clustering.numCommunities());
+    std::vector<double> cut(k, 0.0);
+    std::vector<double> volume(k, 0.0);
+    double total_volume = 0.0;
+    for (Index r = 0; r < graph.numRows(); ++r) {
+        const auto cr = static_cast<std::size_t>(clustering.label(r));
+        volume[cr] += static_cast<double>(graph.degree(r));
+        total_volume += static_cast<double>(graph.degree(r));
+        for (Index c : graph.rowIndices(r)) {
+            if (clustering.label(c) != clustering.label(r))
+                cut[cr] += 1.0;
+        }
+    }
+    double total = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+        if (volume[c] == 0.0)
+            continue;
+        const double denominator =
+            std::min(volume[c], total_volume - volume[c]);
+        if (denominator == 0.0)
+            continue; // single community holding all volume
+        total += cut[c] / denominator;
+        ++counted;
+    }
+    return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+} // namespace slo::community

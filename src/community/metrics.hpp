@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Community-quality metrics from the paper.
+ *
+ * - modularity (Newman-Girvan): the objective RABBIT's community detection
+ *   maximizes (Sec. V-A).
+ * - insularity: the paper's simpler quality measure — the fraction of
+ *   edges that connect members of the same community (Sec. V-A; Fig. 1's
+ *   example evaluates to 20/24 = 0.83).
+ * - insular nodes: nodes connected only to members of their own community
+ *   (Sec. VI-A, Fig. 4); the nodes RABBIT++ groups first.
+ *
+ * All metrics treat the matrix as an undirected graph; pass a matrix with
+ * a symmetric pattern (Csr::symmetrized() for directed inputs). Functions
+ * check this requirement only by size (full symmetry checks are O(nnz)).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "community/clustering.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/types.hpp"
+
+namespace slo::community
+{
+
+/**
+ * Newman-Girvan modularity Q of @p clustering on @p graph:
+ * Q = sum_c [ intra_c/(2m) - (deg_c/(2m))^2 ], in [-0.5, 1).
+ */
+double modularity(const Csr &graph, const Clustering &clustering);
+
+/**
+ * Insularity: intra-community edges / total edges, in [0, 1].
+ * Returns 1 for an edgeless graph (everything trivially insular).
+ */
+double insularity(const Csr &graph, const Clustering &clustering);
+
+/**
+ * Per-node insularity flags: node v is insular iff every neighbour of v
+ * shares v's community. Zero-degree nodes are insular (they contribute no
+ * inter-community traffic).
+ */
+std::vector<bool> insularNodes(const Csr &graph,
+                               const Clustering &clustering);
+
+/** Fraction of nodes that are insular (the y-axis of Fig. 4). */
+double insularNodeFraction(const Csr &graph,
+                           const Clustering &clustering);
+
+/**
+ * Mean conductance over non-empty communities: for community C,
+ * phi(C) = cut(C, V\C) / min(vol(C), vol(V\C)). Lower is better;
+ * complements insularity (which is a single global edge fraction)
+ * with a per-community view.
+ */
+double meanConductance(const Csr &graph, const Clustering &clustering);
+
+/**
+ * The insularity threshold the paper uses to split the corpus into
+ * "high-insularity" (RABBIT near-ideal) and "low-insularity" matrices.
+ */
+inline constexpr double kInsularityThreshold = 0.95;
+
+} // namespace slo::community

@@ -1,0 +1,160 @@
+#include "core/artifact_cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "matrix/binary_io.hpp"
+
+namespace slo::core
+{
+
+namespace
+{
+
+constexpr char kVecMagic[4] = {'S', 'L', 'O', 'V'};
+
+/** FNV-1a, for stable cache-key hashing. */
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::string
+hexOf(std::uint64_t value)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+        value >>= 4;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+cacheDir()
+{
+    const char *env = std::getenv("SLO_CACHE_DIR");
+    std::filesystem::path dir =
+        env != nullptr && *env != '\0'
+            ? std::filesystem::path(env)
+            : std::filesystem::temp_directory_path() /
+                  "slo-artifact-cache";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return dir.string();
+}
+
+bool
+cacheEnabled()
+{
+    const char *env = std::getenv("SLO_NO_CACHE");
+    return env == nullptr || std::string(env) != "1";
+}
+
+std::string
+cacheFileStem(const std::string &key)
+{
+    std::string stem;
+    for (char c : key) {
+        const bool safe = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' || c == '_';
+        stem.push_back(safe ? c : '_');
+        if (stem.size() >= 80)
+            break;
+    }
+    return stem + "-" + hexOf(fnv1a(key));
+}
+
+Csr
+loadOrBuildCsr(const std::string &key, const std::function<Csr()> &build)
+{
+    if (!cacheEnabled())
+        return build();
+    const std::filesystem::path path =
+        std::filesystem::path(cacheDir()) /
+        (cacheFileStem(key) + ".csr");
+    if (std::filesystem::exists(path)) {
+        try {
+            return io::readCsrBinaryFile(path.string());
+        } catch (const std::exception &) {
+            // Corrupt cache entry: fall through and rebuild.
+        }
+    }
+    Csr matrix = build();
+    const std::filesystem::path tmp = path.string() + ".tmp";
+    io::writeCsrBinaryFile(tmp.string(), matrix);
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    return matrix;
+}
+
+void
+storeIndexVector(const std::string &key, const std::vector<Index> &vec)
+{
+    if (!cacheEnabled())
+        return;
+    const std::filesystem::path path =
+        std::filesystem::path(cacheDir()) /
+        (cacheFileStem(key) + ".vec");
+    const std::filesystem::path tmp = path.string() + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        const std::uint64_t size = vec.size();
+        out.write(kVecMagic, sizeof(kVecMagic));
+        out.write(reinterpret_cast<const char *>(&size), sizeof(size));
+        out.write(reinterpret_cast<const char *>(vec.data()),
+                  static_cast<std::streamsize>(vec.size() *
+                                               sizeof(Index)));
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+}
+
+std::vector<Index>
+loadOrBuildIndexVector(const std::string &key,
+                       const std::function<std::vector<Index>()> &build)
+{
+    const std::filesystem::path path =
+        std::filesystem::path(cacheDir()) /
+        (cacheFileStem(key) + ".vec");
+    if (cacheEnabled() && std::filesystem::exists(path)) {
+        std::ifstream in(path, std::ios::binary);
+        char magic[4] = {};
+        std::uint64_t size = 0;
+        in.read(magic, sizeof(magic));
+        in.read(reinterpret_cast<char *>(&size), sizeof(size));
+        if (in && std::equal(magic, magic + 4, kVecMagic)) {
+            std::vector<Index> vec(static_cast<std::size_t>(size));
+            in.read(reinterpret_cast<char *>(vec.data()),
+                    static_cast<std::streamsize>(vec.size() *
+                                                 sizeof(Index)));
+            if (in)
+                return vec;
+        }
+        // Corrupt entry: rebuild below.
+    }
+    std::vector<Index> vec = build();
+    storeIndexVector(key, vec);
+    return vec;
+}
+
+Permutation
+loadOrBuildPerm(const std::string &key,
+                const std::function<Permutation()> &build)
+{
+    return Permutation(loadOrBuildIndexVector(
+        key, [&build] { return build().newIds(); }));
+}
+
+} // namespace slo::core

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * On-disk cache for generated matrices and computed orderings.
+ *
+ * The bench harness is one binary per paper table/figure; without a
+ * cache every binary would regenerate the 50-matrix corpus and recompute
+ * every ordering. Artifacts are keyed by a caller-provided string that
+ * encodes the generator parameters and scale, and stored under
+ * $SLO_CACHE_DIR (default: <tmp>/slo-artifact-cache). Set SLO_NO_CACHE=1
+ * to disable.
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "matrix/csr.hpp"
+#include "matrix/permutation.hpp"
+
+namespace slo::core
+{
+
+/** Cache root directory (created on demand). */
+std::string cacheDir();
+
+/** @return false when SLO_NO_CACHE=1. */
+bool cacheEnabled();
+
+/** Sanitized, collision-safe filename stem for @p key. */
+std::string cacheFileStem(const std::string &key);
+
+/** Load the CSR cached under @p key, or build and cache it. */
+Csr loadOrBuildCsr(const std::string &key,
+                   const std::function<Csr()> &build);
+
+/** Load the index vector cached under @p key, or build and cache it. */
+std::vector<Index> loadOrBuildIndexVector(
+    const std::string &key,
+    const std::function<std::vector<Index>()> &build);
+
+/** Unconditionally (over)write the index vector cached under @p key. */
+void storeIndexVector(const std::string &key,
+                      const std::vector<Index> &vec);
+
+/** Load the permutation cached under @p key, or build and cache it. */
+Permutation loadOrBuildPerm(const std::string &key,
+                            const std::function<Permutation()> &build);
+
+} // namespace slo::core

@@ -1,0 +1,537 @@
+#include "core/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "core/artifact_cache.hpp"
+#include "matrix/generators.hpp"
+#include "reorder/rabbit.hpp"
+#include "reorder/rcm.hpp"
+
+namespace slo::core
+{
+
+namespace
+{
+
+using Gen = std::function<Csr(Index, std::uint64_t)>;
+
+/** FNV-1a for per-entry seeds. */
+std::uint64_t
+seedOf(const std::string &name)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (unsigned char c : name) {
+        hash ^= c;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+int
+log2Ceil(Index n)
+{
+    int scale = 0;
+    while ((Index{1} << scale) < n)
+        ++scale;
+    return scale;
+}
+
+// ---- generator family adaptors -------------------------------------
+
+Gen
+er(double deg)
+{
+    return [deg](Index n, std::uint64_t seed) {
+        return gen::erdosRenyi(n, deg, seed);
+    };
+}
+
+Gen
+rmatG(double a, double b, double c, double deg)
+{
+    return [a, b, c, deg](Index n, std::uint64_t seed) {
+        return gen::rmat(log2Ceil(n), deg, a, b, c, seed);
+    };
+}
+
+Gen
+planted(Index comms, double intra, double inter)
+{
+    return [comms, intra, inter](Index n, std::uint64_t seed) {
+        return gen::plantedPartition(n, comms, intra, inter, seed);
+    };
+}
+
+Gen
+hier(int branching, int levels, double deg, double decay)
+{
+    return [branching, levels, deg, decay](Index n,
+                                           std::uint64_t seed) {
+        return gen::hierarchicalCommunity(n, branching, levels, deg,
+                                          decay, seed);
+    };
+}
+
+Gen
+ba(Index m)
+{
+    return [m](Index n, std::uint64_t seed) {
+        return gen::barabasiAlbert(n, m, seed);
+    };
+}
+
+Gen
+grid(double shortcut)
+{
+    return [shortcut](Index n, std::uint64_t seed) {
+        const auto w = static_cast<Index>(
+            std::floor(std::sqrt(static_cast<double>(n))));
+        const Index h = n / w;
+        return gen::grid2d(w, h, shortcut, seed);
+    };
+}
+
+Gen
+stencil(int points)
+{
+    return [points](Index n, std::uint64_t seed) {
+        const auto s = static_cast<Index>(
+            std::llround(std::cbrt(static_cast<double>(n))));
+        return gen::stencil3d(s, s, s, points, seed);
+    };
+}
+
+Gen
+band(Index hb, double fill)
+{
+    return [hb, fill](Index n, std::uint64_t seed) {
+        return gen::banded(n, hb, fill, seed);
+    };
+}
+
+Gen
+chain(double branch)
+{
+    return [branch](Index n, std::uint64_t seed) {
+        return gen::chainWithBranches(n, branch, seed);
+    };
+}
+
+Gen
+mawi(Index hubs, double coverage, double tail)
+{
+    return [hubs, coverage, tail](Index n, std::uint64_t seed) {
+        return gen::hubStar(n, hubs, coverage, tail, seed);
+    };
+}
+
+Gen
+temporal(Index comms, double intra, double hub_frac, double hub_deg)
+{
+    return [comms, intra, hub_frac, hub_deg](Index n,
+                                             std::uint64_t seed) {
+        return gen::temporalInteraction(n, comms, intra, hub_frac,
+                                        hub_deg, seed);
+    };
+}
+
+/**
+ * Planted communities overlaid with an RMAT hub layer: real social /
+ * citation / crawl graphs have *both* community structure and a
+ * skewed degree distribution (n must be a power of two).
+ */
+Gen
+socialMix(Index comms, double intra, double inter, double rmat_deg)
+{
+    return [comms, intra, inter, rmat_deg](Index n,
+                                           std::uint64_t seed) {
+        Csr base = gen::plantedPartition(n, comms, intra, inter, seed);
+        Csr hubs = gen::rmatSocial(log2Ceil(n), rmat_deg,
+                                   seed ^ 0x50c1a1);
+        require(hubs.numRows() == n,
+                "socialMix: n must be a power of two");
+        return gen::overlay(base, hubs);
+    };
+}
+
+/** Banded core + random overlay (circuit-style). */
+Gen
+circuitMix(Index hb, double fill, double er_deg)
+{
+    return [hb, fill, er_deg](Index n, std::uint64_t seed) {
+        return gen::overlay(gen::banded(n, hb, fill, seed),
+                            gen::erdosRenyi(n, er_deg, seed ^ 0x9e37));
+    };
+}
+
+/**
+ * Embed the generated matrix into a larger id space of isolated nodes
+ * (wiki-Talk-like: 93% empty rows).
+ */
+Gen
+isolatedPad(Gen inner, double active_fraction)
+{
+    return [inner = std::move(inner), active_fraction](
+               Index n, std::uint64_t seed) {
+        const auto active = std::max<Index>(
+            2, static_cast<Index>(static_cast<double>(n) *
+                                  active_fraction));
+        const Csr core = inner(active, seed);
+        std::vector<Offset> offsets(static_cast<std::size_t>(n) + 1,
+                                    core.numNonZeros());
+        for (Index r = 0; r <= core.numRows(); ++r)
+            offsets[static_cast<std::size_t>(r)] =
+                core.rowOffsets()[static_cast<std::size_t>(r)];
+        return Csr(n, n, std::move(offsets), core.colIndices(),
+                   core.values());
+    };
+}
+
+// ---- pool construction ----------------------------------------------
+
+struct PoolBuilder
+{
+    std::vector<DatasetEntry> entries;
+
+    void
+    add(std::string name, std::string group, std::string repository,
+        std::string domain, OriginalOrder order, Index base_rows,
+        double avg_degree, Gen generate, int generator_version = 1)
+    {
+        DatasetEntry entry;
+        entry.generatorVersion = generator_version;
+        entry.name = std::move(name);
+        entry.group = std::move(group);
+        entry.repository = std::move(repository);
+        entry.domain = std::move(domain);
+        entry.originalOrder = order;
+        entry.baseRows = base_rows;
+        entry.avgDegree = avg_degree;
+        entry.generate = std::move(generate);
+        entry.seed = seedOf(entry.name);
+        entries.push_back(std::move(entry));
+    }
+};
+
+} // namespace
+
+Scale
+scaleFromEnv()
+{
+    const char *env = std::getenv("REPRO_SCALE");
+    if (env == nullptr)
+        return Scale::Small;
+    const std::string value(env);
+    if (value == "small" || value.empty())
+        return Scale::Small;
+    if (value == "medium")
+        return Scale::Medium;
+    if (value == "large")
+        return Scale::Large;
+    fatal("REPRO_SCALE must be small|medium|large, got: " + value);
+}
+
+int
+scaleFactor(Scale scale)
+{
+    switch (scale) {
+      case Scale::Small: return 1;
+      case Scale::Medium: return 4;
+      case Scale::Large: return 16;
+    }
+    fatal("scaleFactor: bad scale");
+}
+
+std::string
+scaleName(Scale scale)
+{
+    switch (scale) {
+      case Scale::Small: return "small";
+      case Scale::Medium: return "medium";
+      case Scale::Large: return "large";
+    }
+    fatal("scaleName: bad scale");
+}
+
+gpu::GpuSpec
+specForScale(Scale scale)
+{
+    // L2 scaled with the corpus: min corpus rows (16Ki at Small) x 4B
+    // equals the L2 capacity, the paper's selection boundary.
+    switch (scale) {
+      case Scale::Small:
+        return gpu::GpuSpec::a6000ScaledL2(64ULL * 1024);
+      case Scale::Medium:
+        return gpu::GpuSpec::a6000ScaledL2(256ULL * 1024);
+      case Scale::Large:
+        return gpu::GpuSpec::a6000ScaledL2(1024ULL * 1024);
+    }
+    fatal("specForScale: bad scale");
+}
+
+Index
+DatasetEntry::rowsAt(Scale scale) const
+{
+    return baseRows * scaleFactor(scale);
+}
+
+Offset
+DatasetEntry::nnzEstimateAt(Scale scale) const
+{
+    return static_cast<Offset>(static_cast<double>(rowsAt(scale)) *
+                               avgDegree);
+}
+
+std::string
+DatasetEntry::cacheKey(Scale scale) const
+{
+    return "corpus-v1-" + name + "-g" +
+           std::to_string(generatorVersion) + "-" + scaleName(scale);
+}
+
+Csr
+DatasetEntry::build(Scale scale) const
+{
+    return loadOrBuildCsr(cacheKey(scale), [this, scale] {
+        Csr matrix = generate(rowsAt(scale), seed);
+        switch (originalOrder) {
+          case OriginalOrder::Natural:
+            break;
+          case OriginalOrder::Shuffled:
+            matrix = matrix.permutedSymmetric(
+                Permutation::random(matrix.numRows(), seed ^ 0x5A5A));
+            break;
+          case OriginalOrder::PublisherCommunity:
+            matrix = matrix.permutedSymmetric(
+                slo::reorder::rabbitOrder(matrix).perm);
+            break;
+          case OriginalOrder::PublisherBfs:
+            matrix = matrix.permutedSymmetric(
+                slo::reorder::rcmOrder(matrix));
+            break;
+        }
+        return matrix;
+    });
+}
+
+CurationCriteria
+paperCriteria(Scale scale)
+{
+    CurationCriteria criteria;
+    // Input-vector footprint must exceed the (scaled) L2: paper's 1.5M
+    // rows vs 6 MB becomes 16Ki rows vs 64 KiB at Small.
+    criteria.minRows = static_cast<Index>(
+        specForScale(scale).l2.capacityBytes / kElemBytes);
+    // Non-zero cap (paper: 2.5B, GPU memory): scaled to the corpus.
+    criteria.maxNnz = Offset{4'000'000} * scaleFactor(scale);
+    return criteria;
+}
+
+std::vector<DatasetEntry>
+candidatePool()
+{
+    PoolBuilder pool;
+    const std::string ss = "suitesparse";
+    const std::string ko = "konect";
+    const std::string wd = "wdc";
+    using O = OriginalOrder;
+
+    // --- DIMACS10 (aggregate group: run all) -------------------------
+    pool.add("road-usa-like", "DIMACS10", ss, "road network",
+             O::Natural, 65536, 3.0, grid(0.02));
+    pool.add("road-central-like", "DIMACS10", ss, "road network",
+             O::Natural, 32768, 3.1, grid(0.05));
+    pool.add("delaunay-like", "DIMACS10", ss, "triangulation",
+             O::Natural, 24576, 3.0, grid(0.0));
+    pool.add("rgg-like", "DIMACS10", ss, "random geometric",
+             O::Natural, 49152, 3.0, grid(0.01));
+    pool.add("hugetric-like", "DIMACS10", ss, "triangulation",
+             O::Natural, 98304, 3.0, grid(0.0));
+    pool.add("kron-g500-like", "DIMACS10", ss, "synthetic kronecker",
+             O::Shuffled, 32768, 16.0, rmatG(0.57, 0.19, 0.19, 16));
+    pool.add("er-fact-like", "DIMACS10", ss, "uniform random",
+             O::Natural, 32768, 8.0, er(8.0));
+
+    // --- SNAP (aggregate group: run all) ------------------------------
+    pool.add("com-lj-like", "SNAP", ss, "social network", O::Shuffled,
+             65536, 13.0, temporal(256, 12, 0.01, 50));
+    pool.add("com-orkut-like", "SNAP", ss, "social network",
+             O::Shuffled, 32768, 42.0, temporal(64, 30, 0.02, 220),
+             2);
+    pool.add("soc-pokec-like", "SNAP", ss, "social network",
+             O::Shuffled, 131072, 15.0, socialMix(1024, 8, 1, 6), 2);
+    pool.add("wiki-talk-like", "SNAP", ss, "communication graph",
+             O::Shuffled, 65536, 0.8,
+             isolatedPad(mawi(8, 0.5, 2.0), 0.07));
+    pool.add("sx-stack-like", "SNAP", ss, "temporal interactions",
+             O::Shuffled, 49152, 13.0, temporal(384, 8, 0.02, 120));
+    pool.add("email-eu-like", "SNAP", ss, "communication graph",
+             O::Shuffled, 16384, 28.0, temporal(32, 20, 0.03, 150),
+             2);
+    pool.add("cit-patents-like", "SNAP", ss, "citation graph",
+             O::Shuffled, 65536, 12.0, socialMix(512, 7, 1, 4), 2);
+    pool.add("web-berkstan-like", "SNAP", ss, "web crawl",
+             O::PublisherBfs, 40960, 12.0, hier(8, 4, 12, 0.25));
+
+    // --- one-per-group SuiteSparse candidates -------------------------
+    pool.add("web-sk-like", "LAW", ss, "web crawl",
+             O::PublisherCommunity, 98304, 20.0, hier(10, 4, 20, 0.2));
+    pool.add("web-it-like", "LAW", ss, "web crawl",
+             O::PublisherCommunity, 49152, 18.0, hier(10, 4, 18, 0.2));
+    pool.add("wb-edu-like", "Gleich", ss, "web crawl",
+             O::PublisherBfs, 49152, 14.0, hier(8, 4, 14, 0.25));
+    pool.add("webbase-like", "WebBase", ss, "web crawl",
+             O::PublisherBfs, 114688, 18.0, hier(12, 4, 18, 0.15));
+    pool.add("kmer-v1r-like", "GenBank", ss, "protein k-mer",
+             O::Shuffled, 131072, 2.1, chain(0.03));
+    pool.add("kmer-a2a-like", "GenBank", ss, "protein k-mer",
+             O::Shuffled, 49152, 2.1, chain(0.03));
+    pool.add("cage15-like", "vanHeukelum", ss, "DNA electrophoresis",
+             O::Natural, 32768, 10.0, band(64, 0.08));
+    pool.add("cage12-like", "vanHeukelum", ss, "DNA electrophoresis",
+             O::Natural, 12288, 10.0, band(64, 0.08));
+    pool.add("nlpkkt-like", "Schenk", ss, "nonlinear optimization",
+             O::Natural, 65536, 10.2, band(128, 0.04));
+    pool.add("circuit5M-like", "Freescale", ss, "circuit simulation",
+             O::Natural, 49152, 10.0, circuitMix(8, 0.5, 2.0));
+    pool.add("ml-geer-like", "Janna", ss, "structural mechanics",
+             O::Natural, 27000, 26.0, stencil(27));
+    pool.add("thermal-like", "Botonakis", ss, "thermal FEM",
+             O::Natural, 65536, 6.9, stencil(7));
+    pool.add("atmosmodd-like", "Bourchtein", ss, "atmospheric model",
+             O::Natural, 74088, 6.9, stencil(7));
+    pool.add("dielfilter-like", "Dziekonski", ss, "electromagnetics",
+             O::Natural, 24576, 26.0, stencil(27));
+    pool.add("mawi-like", "MAWI", ss, "packet trace", O::Shuffled,
+             65536, 2.0, mawi(1, 0.95, 0.05));
+    pool.add("hollywood-like", "Stanford", ss, "collaboration",
+             O::Shuffled, 65536, 23.0, socialMix(512, 16, 2, 5), 2);
+    pool.add("patents-main-like", "Pajek", ss, "citation graph",
+             O::Shuffled, 32768, 10.0, socialMix(256, 6, 1, 3), 2);
+    pool.add("as-skitter-like", "Newman", ss, "internet topology",
+             O::Shuffled, 40960, 11.5, ba(6));
+    pool.add("citeseer-like", "CiteSeer", ss, "citation graph",
+             O::Shuffled, 36864, 14.0, temporal(256, 10, 0.02, 120),
+             2);
+    pool.add("human-gene-like", "Belcastro", ss, "gene network",
+             O::Shuffled, 16384, 50.0, temporal(64, 40, 0.02, 250),
+             2);
+    pool.add("ecology-like", "McRae", ss, "landscape ecology",
+             O::Natural, 73728, 3.0, grid(0.0));
+    pool.add("apache-like", "GHS_psdef", ss, "structural FEM",
+             O::Natural, 54872, 6.9, stencil(7));
+    pool.add("g3-circuit-like", "AMD", ss, "circuit simulation",
+             O::Natural, 90000, 3.0, grid(0.005));
+    pool.add("memchip-like", "Hamm", ss, "circuit simulation",
+             O::Natural, 40960, 9.9, band(16, 0.3));
+    pool.add("rajat-like", "Rajat", ss, "circuit simulation",
+             O::Natural, 28672, 5.8, circuitMix(4, 0.6, 1.0));
+    pool.add("ldoor-like", "INPRO", ss, "structural FEM",
+             O::Natural, 21952, 26.0, stencil(27));
+    pool.add("af-shell-like", "Schenk_AFE", ss, "sheet metal FEM",
+             O::Natural, 39304, 26.0, stencil(27));
+    pool.add("bone010-like", "Oberwolfach", ss, "bone micro-FEM",
+             O::Natural, 29791, 26.0, stencil(27));
+    pool.add("channel-like", "VLSI", ss, "channel routing",
+             O::Natural, 65536, 3.0, grid(0.002));
+    pool.add("zeros-like", "VanVelzen", ss, "knowledge base",
+             O::Shuffled, 53248, 11.0, temporal(128, 8, 0.02, 100),
+             2);
+    // Candidates the criteria are designed to exclude:
+    pool.add("uk-union-like", "UK", ss, "web crawl (too dense)",
+             O::Shuffled, 65536, 96.0, hier(10, 4, 96, 0.2));
+    pool.add("small-web-like", "TinyWeb", ss, "web crawl (too small)",
+             O::Shuffled, 8192, 12.0, hier(8, 3, 12, 0.25));
+
+    // --- Konect-like repository ---------------------------------------
+    pool.add("flickr-like", "KonectFlickr", ko, "social network",
+             O::Shuffled, 40960, 16.0, ba(8));
+    pool.add("lj-links-like", "KonectLJ", ko, "social network",
+             O::Shuffled, 73728, 11.0, temporal(512, 10, 0.015, 60));
+    pool.add("orkut-links-like", "KonectOrkut", ko, "social network",
+             O::Shuffled, 57344, 40.0, temporal(128, 24, 0.025, 250),
+             2);
+    pool.add("actor-collab-like", "KonectActor", ko, "collaboration",
+             O::Shuffled, 32768, 20.0, planted(512, 18, 2));
+    pool.add("dbpedia-like", "KonectDbpedia", ko, "knowledge base",
+             O::Shuffled, 65536, 8.0, socialMix(512, 4, 0.5, 3.5), 2);
+    pool.add("wordnet-like", "KonectWordnet", ko, "lexical network",
+             O::Shuffled, 24576, 7.0, hier(6, 4, 7, 0.3));
+    pool.add("topology-like", "KonectTopo", ko, "internet topology",
+             O::Shuffled, 20480, 8.0, ba(4));
+    pool.add("konect-small-like", "KonectSmall", ko,
+             "social network (too small)", O::Shuffled, 8192, 10.0,
+             planted(16, 6, 4));
+
+    // --- Web Data Commons-like repository ------------------------------
+    pool.add("wdc-pld-arc-like", "WDCPld", wd, "hyperlink graph",
+             O::Shuffled, 131072, 24.0, socialMix(2048, 16, 2, 6), 2);
+    pool.add("wdc-hyperlink-like", "WDCHyper", wd, "hyperlink graph",
+             O::Shuffled, 131072, 24.0, hier(16, 4, 24, 0.18));
+
+    return pool.entries;
+}
+
+std::vector<DatasetEntry>
+curate(const std::vector<DatasetEntry> &pool,
+       const CurationCriteria &criteria, Scale scale)
+{
+    // Size filters first (collection metadata).
+    std::vector<DatasetEntry> eligible;
+    for (const DatasetEntry &entry : pool) {
+        if (entry.rowsAt(scale) < criteria.minRows)
+            continue;
+        if (criteria.maxNnz > 0 &&
+            entry.nnzEstimateAt(scale) > criteria.maxNnz) {
+            continue;
+        }
+        eligible.push_back(entry);
+    }
+    if (!criteria.largestPerGroup)
+        return eligible;
+
+    // One (largest) candidate per repository+group, except exception
+    // groups which are aggregated from different sources.
+    auto is_exception = [&criteria](const std::string &group) {
+        return std::find(criteria.exceptionGroups.begin(),
+                         criteria.exceptionGroups.end(),
+                         group) != criteria.exceptionGroups.end();
+    };
+    std::unordered_map<std::string, std::size_t> best;
+    std::vector<bool> keep(eligible.size(), false);
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+        const DatasetEntry &entry = eligible[i];
+        if (is_exception(entry.group)) {
+            keep[i] = true;
+            continue;
+        }
+        const std::string key = entry.repository + "/" + entry.group;
+        const auto it = best.find(key);
+        if (it == best.end()) {
+            best[key] = i;
+        } else if (entry.rowsAt(scale) >
+                   eligible[it->second].rowsAt(scale)) {
+            it->second = i;
+        }
+    }
+    for (const auto &[key, index] : best)
+        keep[index] = true;
+
+    std::vector<DatasetEntry> result;
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+        if (keep[i])
+            result.push_back(eligible[i]);
+    }
+    return result;
+}
+
+std::vector<DatasetEntry>
+paperCorpus(Scale scale)
+{
+    return curate(candidatePool(), paperCriteria(scale), scale);
+}
+
+} // namespace slo::core

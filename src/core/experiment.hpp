@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Experiment runner shared by the benchmark harnesses.
+ *
+ * Wraps the full pipeline — corpus construction, ordering computation
+ * (with on-disk caching of permutations and measured reorder times),
+ * community analysis, matrix permutation, and GPU simulation — behind a
+ * handful of calls so each bench binary reads like the experiment it
+ * reproduces.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "community/clustering.hpp"
+#include "core/dataset.hpp"
+#include "gpu/simulate.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/permutation.hpp"
+#include "reorder/reorder.hpp"
+
+namespace slo::core
+{
+
+/** Simple wall-clock timer. */
+class Timer
+{
+  public:
+    Timer() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    elapsedSeconds() const
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start_).count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** A corpus matrix materialized at some scale. */
+struct CorpusMatrix
+{
+    DatasetEntry entry;
+    Csr original;
+};
+
+/**
+ * Build (or load from cache) the whole corpus at @p scale. Progress is
+ * logged to @p progress when non-null (corpus generation can take a
+ * minute cold).
+ */
+std::vector<CorpusMatrix> loadCorpus(Scale scale,
+                                     std::ostream *progress = nullptr);
+
+/** An ordering together with its measured pre-processing cost. */
+struct TimedOrdering
+{
+    Permutation perm;
+    double reorderSeconds = 0.0;
+};
+
+/**
+ * Compute (or load from cache) the ordering of @p technique for a
+ * corpus matrix. The measured reordering time is cached alongside the
+ * permutation so repeat runs report the original measurement.
+ */
+TimedOrdering orderingFor(const DatasetEntry &entry, const Csr &original,
+                          Scale scale, reorder::Technique technique,
+                          const reorder::ReorderOptions &options = {});
+
+/** RABBIT artifacts needed by the Sec. V / VI analyses. */
+struct RabbitArtifacts
+{
+    Permutation perm;
+    community::Clustering clustering;
+    double reorderSeconds = 0.0;
+    double insularity = 0.0; ///< of `clustering` on the matrix
+};
+
+/** Compute (or load) the RABBIT ordering + communities + insularity. */
+RabbitArtifacts rabbitArtifactsFor(const DatasetEntry &entry,
+                                   const Csr &original, Scale scale);
+
+/**
+ * Permute @p original by @p perm and simulate @p sim_options on
+ * @p spec. The permuted matrix is built on the fly (cheap relative to
+ * simulation).
+ */
+gpu::SimReport simulateOrdered(const Csr &original,
+                               const Permutation &perm,
+                               const gpu::GpuSpec &spec,
+                               const gpu::SimOptions &sim_options = {});
+
+} // namespace slo::core

@@ -1,0 +1,122 @@
+#include "core/report.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "matrix/types.hpp"
+
+namespace slo::core
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    require(!headers_.empty(), "Table: need at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    require(cells.size() == headers_.size(),
+            "Table::addRow: cell count mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &out) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c == 0) {
+                out << std::left << std::setw(
+                    static_cast<int>(widths[c])) << row[c];
+            } else {
+                out << "  " << std::right << std::setw(
+                    static_cast<int>(widths[c])) << row[c];
+            }
+        }
+        out << '\n';
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c == 0 ? 0 : 2);
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::writeCsv(std::ostream &out) const
+{
+    auto write_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0)
+                out << ',';
+            const bool quote =
+                row[c].find(',') != std::string::npos ||
+                row[c].find('"') != std::string::npos;
+            if (quote) {
+                out << '"';
+                for (char ch : row[c]) {
+                    if (ch == '"')
+                        out << '"';
+                    out << ch;
+                }
+                out << '"';
+            } else {
+                out << row[c];
+            }
+        }
+        out << '\n';
+    };
+    write_row(headers_);
+    for (const auto &row : rows_)
+        write_row(row);
+}
+
+void
+Table::writeCsvFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    require(out.is_open(), "Table::writeCsvFile: cannot open " + path);
+    writeCsv(out);
+}
+
+std::string
+fmt(double value, int precision)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << value;
+    return out.str();
+}
+
+std::string
+fmtX(double value, int precision)
+{
+    return fmt(value, precision) + "x";
+}
+
+std::string
+fmtPct(double fraction, int precision)
+{
+    return fmt(fraction * 100.0, precision) + "%";
+}
+
+void
+printHeading(std::ostream &out, const std::string &title)
+{
+    out << '\n' << "== " << title << " ==\n\n";
+}
+
+} // namespace slo::core

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text table / CSV reporting for the benchmark harnesses.
+ *
+ * Every bench binary prints the rows/series of one paper table or figure;
+ * this keeps the formatting consistent and lets EXPERIMENTS.md quote the
+ * output verbatim. CSV dumps (one per bench, optional) feed external
+ * plotting.
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace slo::core
+{
+
+/** A fixed-width text table with headers. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Render with column alignment (first column left, rest right). */
+    void print(std::ostream &out) const;
+
+    /** Write headers+rows as CSV. */
+    void writeCsv(std::ostream &out) const;
+
+    /** Write CSV to @p path (creating/truncating the file). */
+    void writeCsvFile(const std::string &path) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p value with @p precision digits after the decimal point. */
+std::string fmt(double value, int precision = 2);
+
+/** Format as the paper's "1.54x" style. */
+std::string fmtX(double value, int precision = 2);
+
+/** Format a [0,1] fraction as "54.3%". */
+std::string fmtPct(double fraction, int precision = 1);
+
+/** Print a section heading (bench output structure). */
+void printHeading(std::ostream &out, const std::string &title);
+
+} // namespace slo::core

@@ -1,0 +1,132 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "matrix/types.hpp"
+
+namespace slo::core
+{
+
+double
+mean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double v : values)
+        total += v;
+    return total / static_cast<double>(values.size());
+}
+
+double
+geomean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_total = 0.0;
+    for (double v : values) {
+        require(v > 0.0, "geomean: values must be positive");
+        log_total += std::log(v);
+    }
+    return std::exp(log_total / static_cast<double>(values.size()));
+}
+
+double
+minOf(std::span<const double> values)
+{
+    return values.empty()
+               ? 0.0
+               : *std::min_element(values.begin(), values.end());
+}
+
+double
+maxOf(std::span<const double> values)
+{
+    return values.empty()
+               ? 0.0
+               : *std::max_element(values.begin(), values.end());
+}
+
+double
+pearson(std::span<const double> xs, std::span<const double> ys)
+{
+    require(xs.size() == ys.size(), "pearson: size mismatch");
+    const auto n = static_cast<double>(xs.size());
+    if (xs.empty())
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    (void)n;
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+namespace
+{
+
+/** Average ranks (1-based; ties share their mean rank). */
+std::vector<double>
+ranksOf(std::span<const double> values)
+{
+    std::vector<std::size_t> order(values.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&values](std::size_t a, std::size_t b) {
+                  return values[a] < values[b];
+              });
+    std::vector<double> ranks(values.size());
+    std::size_t i = 0;
+    while (i < order.size()) {
+        std::size_t j = i;
+        while (j + 1 < order.size() &&
+               values[order[j + 1]] == values[order[i]]) {
+            ++j;
+        }
+        const double rank =
+            (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+            1.0;
+        for (std::size_t t = i; t <= j; ++t)
+            ranks[order[t]] = rank;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+} // namespace
+
+double
+spearman(std::span<const double> xs, std::span<const double> ys)
+{
+    require(xs.size() == ys.size(), "spearman: size mismatch");
+    const std::vector<double> rx = ranksOf(xs);
+    const std::vector<double> ry = ranksOf(ys);
+    return pearson(rx, ry);
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    require(p >= 0.0 && p <= 100.0, "percentile: p out of range");
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank =
+        p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+} // namespace slo::core

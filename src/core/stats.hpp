@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Summary statistics used by the paper's analysis: arithmetic/geometric
+ * means over the corpus and the Pearson correlations of Sec. V
+ * (insularity vs community size: -0.472; insularity vs skew: -0.721).
+ */
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace slo::core
+{
+
+/** Arithmetic mean (0 for empty input). */
+double mean(std::span<const double> values);
+
+/** Geometric mean (0 for empty input; requires positive values). */
+double geomean(std::span<const double> values);
+
+/** Minimum / maximum (0 for empty input). */
+double minOf(std::span<const double> values);
+double maxOf(std::span<const double> values);
+
+/**
+ * Pearson correlation coefficient between two equally-sized samples.
+ * Returns 0 when either sample has zero variance.
+ */
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/**
+ * Spearman rank correlation: Pearson on the ranks (average ranks for
+ * ties). Robust against the outliers that distort Pearson (e.g. the
+ * mawi anomaly in the Sec. V analysis).
+ */
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/** p-th percentile (0 <= p <= 100) by linear interpolation. */
+double percentile(std::vector<double> values, double p);
+
+} // namespace slo::core

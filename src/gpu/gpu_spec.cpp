@@ -1,0 +1,22 @@
+#include "gpu/gpu_spec.hpp"
+
+namespace slo::gpu
+{
+
+GpuSpec
+GpuSpec::a6000()
+{
+    return GpuSpec{};
+}
+
+GpuSpec
+GpuSpec::a6000ScaledL2(std::uint64_t l2_bytes)
+{
+    GpuSpec spec;
+    spec.l2.capacityBytes = l2_bytes;
+    spec.l2.validate();
+    spec.name = "NVIDIA A6000 (scaled L2)";
+    return spec;
+}
+
+} // namespace slo::gpu

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Evaluation-platform model: the NVIDIA A6000 of the paper's Table I,
+ * plus scaled variants for the synthetic corpus.
+ *
+ * The paper selects matrices so that the input vector's worst-case cache
+ * footprint exceeds the GPU's 6 MB L2 (>= 1.5M rows x 4B). Our synthetic
+ * corpus is smaller, so we scale the modelled L2 capacity down with the
+ * corpus scale, keeping the footprint/L2 ratio in the paper's regime
+ * (DESIGN.md, "Substitutions").
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cache.hpp"
+
+namespace slo::gpu
+{
+
+/** Bandwidth/cache model of the evaluation platform. */
+struct GpuSpec
+{
+    std::string name = "NVIDIA A6000";
+
+    /** L2 geometry (Table I: 6 MB; 32 B = GPU sector granularity). */
+    cache::CacheConfig l2{6ULL * 1024 * 1024, 32, 16};
+
+    /** Theoretical peak DRAM bandwidth (Table I): 768 GB/s. */
+    double peakBandwidthGBs = 768.0;
+
+    /**
+     * Achievable streaming bandwidth as measured with BabelStream
+     * (Sec. IV-B): 672 GB/s. Ideal run time = compulsory / this.
+     */
+    double streamBandwidthGBs = 672.0;
+
+    /**
+     * Efficiency of fine-grained (random) line fetches relative to
+     * streaming fetches. Calibrated at 0.45 so the paper's mean pairs
+     * (RANDOM: traffic 3.36x -> run time 6.21x; RABBIT: 1.27x -> 1.54x)
+     * both fall out of the model (see DESIGN.md).
+     */
+    double randomAccessEfficiency = 0.45;
+
+    /**
+     * Fraction of the streaming bandwidth a single CSR row's worth of
+     * work can engage. SpMV parallelizes across rows, so one monster
+     * row (mawi's hub row spans ~95% of the matrix) serializes on a
+     * small slice of the machine; run time is then bounded below by
+     * maxRowBytes / (streamBW * fraction). Calibrated at 1/12 so the
+     * mawi-like corpus entry lands near the paper's 4.18x anomaly
+     * while matrices with ordinary row lengths are unaffected.
+     */
+    double singleRowBandwidthFraction = 1.0 / 12.0;
+
+    /** Main memory capacity in bytes (Table I: 48 GB). */
+    std::uint64_t dramCapacityBytes = 48ULL * 1024 * 1024 * 1024;
+
+    /** The full-size A6000 of Table I. */
+    static GpuSpec a6000();
+
+    /**
+     * An A6000 with its L2 scaled by 1/factor — used so synthetic
+     * matrices of ~n rows sit in the same footprint/L2 regime as the
+     * paper's >= 1.5M-row matrices against 6 MB.
+     */
+    static GpuSpec a6000ScaledL2(std::uint64_t l2_bytes);
+};
+
+} // namespace slo::gpu

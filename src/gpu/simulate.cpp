@@ -1,0 +1,104 @@
+#include "gpu/simulate.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "cache/belady.hpp"
+
+namespace slo::gpu
+{
+
+namespace
+{
+
+/** Dispatch the right access-stream generator into @p sink. */
+template <typename Sink>
+void
+replayKernel(const Csr &matrix, const kernels::AddressLayout &layout,
+             const SimOptions &options, std::uint32_t line_bytes,
+             Sink &&sink)
+{
+    const kernels::StreamOptions stream_options{options.rowWindow,
+                                                options.denseCols};
+    switch (options.kernel) {
+      case kernels::KernelKind::SpmvCsr:
+        kernels::spmvCsrStream(matrix, layout, stream_options, sink);
+        break;
+      case kernels::KernelKind::SpmvCoo: {
+        const Coo coo = matrix.toCoo(); // row-major sorted
+        kernels::spmvCooStream(coo, layout, sink);
+        break;
+      }
+      case kernels::KernelKind::SpmmCsr:
+        kernels::spmmCsrStream(matrix, layout, stream_options,
+                               line_bytes, sink);
+        break;
+    }
+}
+
+} // namespace
+
+SimReport
+simulateKernel(const Csr &matrix, const GpuSpec &spec,
+               const SimOptions &options)
+{
+    require(matrix.isSquare(), "simulateKernel: matrix must be square");
+    const Index n = matrix.numRows();
+    const Offset nnz = matrix.numNonZeros();
+    const std::uint32_t line_bytes = spec.l2.lineBytes;
+    const kernels::AddressLayout layout = kernels::makeLayout(
+        options.kernel, n, nnz, options.denseCols, line_bytes);
+
+    SimReport report;
+    report.compulsoryBytes = compulsoryTrafficBytes(
+        options.kernel, n, nnz, options.denseCols);
+
+    if (options.useBelady) {
+        std::vector<std::uint64_t> trace;
+        // SpMV-CSR touches ~3 addresses per nnz + 3 per row.
+        trace.reserve(static_cast<std::size_t>(nnz) * 3 +
+                      static_cast<std::size_t>(n) * 3);
+        replayKernel(matrix, layout, options, line_bytes,
+                     [&trace](std::uint64_t addr) {
+                         trace.push_back(addr);
+                     });
+        report.cacheStats = cache::simulateBelady(
+            trace, spec.l2, layout.xBase, layout.xEnd);
+    } else {
+        cache::CacheSim sim(spec.l2);
+        sim.setIrregularRegion(layout.xBase, layout.xEnd);
+        replayKernel(matrix, layout, options, line_bytes,
+                     [&sim](std::uint64_t addr) { sim.access(addr); });
+        sim.finish();
+        report.cacheStats = sim.stats();
+    }
+
+    report.trafficBytes = report.cacheStats.fillBytes;
+    report.randomMissBytes = report.cacheStats.irregularFillBytes;
+    report.streamMissBytes =
+        report.trafficBytes - report.randomMissBytes;
+    report.normalizedTraffic =
+        report.compulsoryBytes == 0
+            ? 0.0
+            : static_cast<double>(report.trafficBytes) /
+                  static_cast<double>(report.compulsoryBytes);
+    report.idealSeconds =
+        idealRuntimeSeconds(spec, report.compulsoryBytes);
+    for (Index r = 0; r < n; ++r)
+        report.maxRowNnz = std::max(report.maxRowNnz, matrix.degree(r));
+    // A row's serialized work: coords + values + X per non-zero.
+    const auto max_row_bytes =
+        static_cast<std::uint64_t>(report.maxRowNnz) * 3 * kElemBytes;
+    report.modeledSeconds =
+        modeledRuntimeSeconds(spec, report.streamMissBytes,
+                              report.randomMissBytes, max_row_bytes);
+    report.normalizedRuntime =
+        report.idealSeconds == 0.0
+            ? 0.0
+            : report.modeledSeconds / report.idealSeconds;
+    report.l2HitRate = report.cacheStats.hitRate();
+    report.deadLineFraction = report.cacheStats.deadLineFraction();
+    return report;
+}
+
+} // namespace slo::gpu

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * End-to-end kernel simulation on the modelled GPU.
+ *
+ * Combines everything below it: the kernel's access stream is replayed
+ * through the L2 model (LRU, or Belady OPT for the Fig. 8 headroom
+ * analysis), DRAM traffic is split into streaming and irregular parts,
+ * and the run-time model converts traffic into the normalized run times
+ * the paper's tables report.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "cache/cache.hpp"
+#include "gpu/gpu_spec.hpp"
+#include "gpu/traffic_model.hpp"
+#include "kernels/access_stream.hpp"
+#include "matrix/csr.hpp"
+
+namespace slo::gpu
+{
+
+/** What to simulate. */
+struct SimOptions
+{
+    kernels::KernelKind kernel = kernels::KernelKind::SpmvCsr;
+    Index denseCols = 4;        ///< K for SpMM
+    int rowWindow = 1;          ///< concurrent-row interleaving
+    bool useBelady = false;     ///< OPT replacement instead of LRU
+};
+
+/** Everything the paper's figures/tables need about one simulation. */
+struct SimReport
+{
+    std::uint64_t compulsoryBytes = 0;
+    std::uint64_t trafficBytes = 0;
+    std::uint64_t streamMissBytes = 0;
+    std::uint64_t randomMissBytes = 0; ///< misses in the X/B region
+
+    /** DRAM traffic normalized to compulsory (Fig. 2's y-axis). */
+    double normalizedTraffic = 0.0;
+
+    double idealSeconds = 0.0;
+    double modeledSeconds = 0.0;
+    /** Run time normalized to ideal (Fig. 3 / Tables II & IV). */
+    double normalizedRuntime = 0.0;
+
+    double l2HitRate = 0.0;
+    double deadLineFraction = 0.0; ///< Table III's metric
+    Index maxRowNnz = 0; ///< longest row (drives the serialization floor)
+
+    cache::CacheStats cacheStats;
+};
+
+/** Simulate @p options.kernel on @p matrix against @p spec. */
+SimReport simulateKernel(const Csr &matrix, const GpuSpec &spec,
+                         const SimOptions &options = {});
+
+} // namespace slo::gpu

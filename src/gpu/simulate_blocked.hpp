@@ -1,0 +1,24 @@
+/**
+ * @file
+ * GPU simulation of propagation-blocked SpMV (Sec. VII extension).
+ *
+ * Like simulate_tiled.hpp, traffic is normalized to the *untiled*
+ * SpMV-CSR compulsory traffic: blocking converts the irregular y/x
+ * accesses into streaming bin records at a fixed ~16B/nnz overhead,
+ * making its traffic ordering-insensitive.
+ */
+
+#pragma once
+
+#include "gpu/simulate.hpp"
+#include "kernels/propagation_blocking.hpp"
+
+namespace slo::gpu
+{
+
+/** Simulate the two-phase blocked SpMV of @p blocked on @p spec. */
+SimReport simulateBlockedSpmv(
+    const kernels::PropagationBlockedSpmv &blocked,
+    const GpuSpec &spec);
+
+} // namespace slo::gpu

@@ -1,0 +1,118 @@
+#include "gpu/simulate_tiled.hpp"
+
+#include <algorithm>
+
+namespace slo::gpu
+{
+
+SimReport
+simulateTiledSpmv(const kernels::TiledCsr &tiled, const GpuSpec &spec)
+{
+    const Index n = tiled.numRows();
+    const Offset nnz = tiled.numNonZeros();
+    const std::uint32_t line_bytes = spec.l2.lineBytes;
+
+    // Address space: X, Y, then each strip's CSR arrays.
+    auto align_up = [line_bytes](std::uint64_t bytes) {
+        const std::uint64_t mask = line_bytes - 1;
+        return (bytes + mask) & ~mask;
+    };
+    const std::uint64_t x_base = 0;
+    const std::uint64_t x_end =
+        align_up(static_cast<std::uint64_t>(n) * kElemBytes);
+    const std::uint64_t y_base = x_end;
+    std::uint64_t cursor =
+        y_base + align_up(static_cast<std::uint64_t>(n) * kElemBytes);
+    struct TileLayout
+    {
+        std::uint64_t rowOffsets;
+        std::uint64_t coords;
+        std::uint64_t values;
+    };
+    std::vector<TileLayout> layouts;
+    for (Index t = 0; t < tiled.numTiles(); ++t) {
+        const Csr &strip = tiled.tile(t);
+        TileLayout layout{};
+        layout.rowOffsets = cursor;
+        cursor += align_up(static_cast<std::uint64_t>(n + 1) *
+                           kElemBytes);
+        layout.coords = cursor;
+        cursor += align_up(static_cast<std::uint64_t>(
+                               strip.numNonZeros()) *
+                           kElemBytes);
+        layout.values = cursor;
+        cursor += align_up(static_cast<std::uint64_t>(
+                               strip.numNonZeros()) *
+                           kElemBytes);
+        layouts.push_back(layout);
+    }
+
+    cache::CacheSim sim(spec.l2);
+    sim.setIrregularRegion(x_base, x_end);
+    Index max_row_nnz = 0;
+    for (Index t = 0; t < tiled.numTiles(); ++t) {
+        const Csr &strip = tiled.tile(t);
+        const TileLayout &layout =
+            layouts[static_cast<std::size_t>(t)];
+        const auto x_window =
+            x_base + static_cast<std::uint64_t>(t) *
+                         static_cast<std::uint64_t>(tiled.tileCols()) *
+                         kElemBytes;
+        for (Index r = 0; r < n; ++r) {
+            sim.access(layout.rowOffsets +
+                       static_cast<std::uint64_t>(r) * kElemBytes);
+            sim.access(layout.rowOffsets +
+                       static_cast<std::uint64_t>(r + 1) * kElemBytes);
+            const Offset begin =
+                strip.rowOffsets()[static_cast<std::size_t>(r)];
+            const Offset end =
+                strip.rowOffsets()[static_cast<std::size_t>(r) + 1];
+            max_row_nnz =
+                std::max(max_row_nnz, static_cast<Index>(end - begin));
+            for (Offset i = begin; i < end; ++i) {
+                sim.access(layout.coords +
+                           static_cast<std::uint64_t>(i) * kElemBytes);
+                sim.access(layout.values +
+                           static_cast<std::uint64_t>(i) * kElemBytes);
+                sim.access(x_window +
+                           static_cast<std::uint64_t>(
+                               strip.colIndices()[static_cast<
+                                   std::size_t>(i)]) *
+                               kElemBytes);
+            }
+            if (end > begin) {
+                // y[r] += acc: read-modify-write per strip.
+                sim.access(y_base +
+                           static_cast<std::uint64_t>(r) * kElemBytes);
+            }
+        }
+    }
+    sim.finish();
+
+    SimReport report;
+    report.cacheStats = sim.stats();
+    // Normalize against the *untiled* kernel's compulsory traffic so
+    // the numbers compare directly with simulateKernel's.
+    report.compulsoryBytes = compulsoryTrafficBytes(
+        kernels::KernelKind::SpmvCsr, n, nnz);
+    report.trafficBytes = report.cacheStats.fillBytes;
+    report.randomMissBytes = report.cacheStats.irregularFillBytes;
+    report.streamMissBytes =
+        report.trafficBytes - report.randomMissBytes;
+    report.normalizedTraffic =
+        static_cast<double>(report.trafficBytes) /
+        static_cast<double>(report.compulsoryBytes);
+    report.idealSeconds =
+        idealRuntimeSeconds(spec, report.compulsoryBytes);
+    report.maxRowNnz = max_row_nnz;
+    report.modeledSeconds = modeledRuntimeSeconds(
+        spec, report.streamMissBytes, report.randomMissBytes,
+        static_cast<std::uint64_t>(max_row_nnz) * 3 * kElemBytes);
+    report.normalizedRuntime =
+        report.modeledSeconds / report.idealSeconds;
+    report.l2HitRate = report.cacheStats.hitRate();
+    report.deadLineFraction = report.cacheStats.deadLineFraction();
+    return report;
+}
+
+} // namespace slo::gpu

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * GPU simulation of the cache-blocked SpMV (Sec. VII extension).
+ *
+ * Traffic is normalized to the *untiled* SpMV-CSR compulsory traffic so
+ * tiled and untiled runs are directly comparable: tiling pays extra
+ * streamed bytes (per-strip row bookkeeping and Y read-modify-write)
+ * to bound the X working set.
+ */
+
+#pragma once
+
+#include "gpu/simulate.hpp"
+#include "kernels/tiled_spmv.hpp"
+
+namespace slo::gpu
+{
+
+/** Simulate the strip-by-strip SpMV of @p tiled on @p spec. */
+SimReport simulateTiledSpmv(const kernels::TiledCsr &tiled,
+                            const GpuSpec &spec);
+
+} // namespace slo::gpu

@@ -1,0 +1,53 @@
+#include "gpu/traffic_model.hpp"
+
+#include <algorithm>
+
+namespace slo::gpu
+{
+
+std::uint64_t
+compulsoryTrafficBytes(kernels::KernelKind kind, Index n, Offset nnz,
+                       Index dense_cols)
+{
+    require(n >= 0 && nnz >= 0, "compulsoryTrafficBytes: negative sizes");
+    const auto nn = static_cast<std::uint64_t>(n);
+    const auto zz = static_cast<std::uint64_t>(nnz);
+    const auto elem = static_cast<std::uint64_t>(kElemBytes);
+    switch (kind) {
+      case kernels::KernelKind::SpmvCsr:
+        return (2 * nn + (nn + 1) + 2 * zz) * elem;
+      case kernels::KernelKind::SpmvCoo:
+        return (2 * nn + 3 * zz) * elem;
+      case kernels::KernelKind::SpmmCsr:
+        require(dense_cols > 0,
+                "compulsoryTrafficBytes: dense_cols must be > 0");
+        return (2 * nn * static_cast<std::uint64_t>(dense_cols) +
+                (nn + 1) + 2 * zz) * elem;
+    }
+    fatal("compulsoryTrafficBytes: unknown kernel");
+}
+
+double
+idealRuntimeSeconds(const GpuSpec &spec, std::uint64_t compulsory_bytes)
+{
+    return static_cast<double>(compulsory_bytes) /
+           (spec.streamBandwidthGBs * 1e9);
+}
+
+double
+modeledRuntimeSeconds(const GpuSpec &spec, std::uint64_t stream_bytes,
+                      std::uint64_t random_bytes,
+                      std::uint64_t max_row_bytes)
+{
+    const double stream_bw = spec.streamBandwidthGBs * 1e9;
+    const double random_bw = stream_bw * spec.randomAccessEfficiency;
+    const double bandwidth_time =
+        static_cast<double>(stream_bytes) / stream_bw +
+        static_cast<double>(random_bytes) / random_bw;
+    const double serial_time =
+        static_cast<double>(max_row_bytes) /
+        (stream_bw * spec.singleRowBandwidthFraction);
+    return std::max(bandwidth_time, serial_time);
+}
+
+} // namespace slo::gpu

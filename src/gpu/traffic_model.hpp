@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Compulsory-traffic and ideal-run-time formulas (paper Sec. IV-B).
+ *
+ * Compulsory DRAM traffic is reached when the last-level cache incurs
+ * only compulsory misses — each array is moved once:
+ *
+ *   SpMV-CSR : (2N + (N+1) + 2*NZ) * 4B   (X, Y, rowOffsets, coords, vals)
+ *   SpMV-COO : (2N + 3*NZ) * 4B           (X, Y, rowIdx, colIdx, vals)
+ *   SpMM-K   : (2*N*K + (N+1) + 2*NZ) * 4B
+ *
+ * Ideal run time = compulsory traffic / achievable streaming bandwidth
+ * (672 GB/s on the A6000, per BabelStream).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/gpu_spec.hpp"
+#include "kernels/access_stream.hpp"
+#include "matrix/types.hpp"
+
+namespace slo::gpu
+{
+
+/**
+ * Compulsory DRAM traffic in bytes for @p kind on an n x n matrix with
+ * @p nnz non-zeros (@p dense_cols = K for SpMM).
+ */
+std::uint64_t compulsoryTrafficBytes(kernels::KernelKind kind, Index n,
+                                     Offset nnz, Index dense_cols = 1);
+
+/** Ideal (minimum) kernel run time on @p spec, in seconds. */
+double idealRuntimeSeconds(const GpuSpec &spec,
+                           std::uint64_t compulsory_bytes);
+
+/**
+ * Modelled kernel run time: streaming bytes at streaming bandwidth plus
+ * irregular (random-line) bytes at de-rated bandwidth, floored by the
+ * single-row serialization bound (@p max_row_bytes of work that cannot
+ * spread across the GPU; pass 0 to disable).
+ */
+double modeledRuntimeSeconds(const GpuSpec &spec,
+                             std::uint64_t stream_bytes,
+                             std::uint64_t random_bytes,
+                             std::uint64_t max_row_bytes = 0);
+
+} // namespace slo::gpu

@@ -1,0 +1,72 @@
+#include "kernels/access_stream.hpp"
+
+namespace slo::kernels
+{
+
+namespace
+{
+
+/** Round @p bytes up to a multiple of @p line_bytes. */
+std::uint64_t
+alignUp(std::uint64_t bytes, std::uint32_t line_bytes)
+{
+    const std::uint64_t mask = line_bytes - 1;
+    return (bytes + mask) & ~mask;
+}
+
+} // namespace
+
+AddressLayout
+makeLayout(KernelKind kind, Index n, Offset nnz, Index dense_cols,
+           std::uint32_t line_bytes)
+{
+    require(n >= 0 && nnz >= 0, "makeLayout: negative sizes");
+    AddressLayout layout;
+    const auto vec_bytes =
+        static_cast<std::uint64_t>(n) * kElemBytes;
+    const auto nnz_bytes =
+        static_cast<std::uint64_t>(nnz) * kElemBytes;
+    std::uint64_t cursor = 0;
+    auto place = [&](std::uint64_t size) {
+        const std::uint64_t base = cursor;
+        cursor += alignUp(size, line_bytes);
+        return base;
+    };
+
+    switch (kind) {
+      case KernelKind::SpmvCsr:
+        layout.xBase = place(vec_bytes);
+        layout.xEnd = cursor;
+        layout.yBase = place(vec_bytes);
+        layout.rowOffsetsBase =
+            place(static_cast<std::uint64_t>(n + 1) * kElemBytes);
+        layout.coordsBase = place(nnz_bytes);
+        layout.valuesBase = place(nnz_bytes);
+        break;
+      case KernelKind::SpmvCoo:
+        layout.xBase = place(vec_bytes);
+        layout.xEnd = cursor;
+        layout.yBase = place(vec_bytes);
+        layout.rowIndicesBase = place(nnz_bytes);
+        layout.coordsBase = place(nnz_bytes);
+        layout.valuesBase = place(nnz_bytes);
+        break;
+      case KernelKind::SpmmCsr: {
+        require(dense_cols > 0, "makeLayout: dense_cols must be > 0");
+        const auto dense_bytes = static_cast<std::uint64_t>(n) *
+                                 static_cast<std::uint64_t>(dense_cols) *
+                                 kElemBytes;
+        layout.xBase = place(dense_bytes);
+        layout.xEnd = cursor;
+        layout.yBase = place(dense_bytes);
+        layout.rowOffsetsBase =
+            place(static_cast<std::uint64_t>(n + 1) * kElemBytes);
+        layout.coordsBase = place(nnz_bytes);
+        layout.valuesBase = place(nnz_bytes);
+        break;
+      }
+    }
+    return layout;
+}
+
+} // namespace slo::kernels

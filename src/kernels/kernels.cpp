@@ -1,0 +1,104 @@
+#include "kernels/kernels.hpp"
+
+namespace slo::kernels
+{
+
+void
+spmvCsr(const Csr &matrix, std::span<const Value> x, std::span<Value> y)
+{
+    require(x.size() == static_cast<std::size_t>(matrix.numCols()),
+            "spmvCsr: x size mismatch");
+    require(y.size() == static_cast<std::size_t>(matrix.numRows()),
+            "spmvCsr: y size mismatch");
+    const auto &offsets = matrix.rowOffsets();
+    const auto &coords = matrix.colIndices();
+    const auto &values = matrix.values();
+    for (Index row = 0; row < matrix.numRows(); ++row) {
+        const Offset row_start = offsets[static_cast<std::size_t>(row)];
+        const Offset row_end = offsets[static_cast<std::size_t>(row) + 1];
+        Value acc = 0.0f;
+        for (Offset i = row_start; i < row_end; ++i) {
+            const auto ii = static_cast<std::size_t>(i);
+            acc += values[ii] * x[static_cast<std::size_t>(coords[ii])];
+        }
+        y[static_cast<std::size_t>(row)] = acc;
+    }
+}
+
+std::vector<Value>
+spmvCsr(const Csr &matrix, const std::vector<Value> &x)
+{
+    std::vector<Value> y(static_cast<std::size_t>(matrix.numRows()));
+    spmvCsr(matrix, x, y);
+    return y;
+}
+
+void
+spmvCoo(const Coo &matrix, std::span<const Value> x, std::span<Value> y)
+{
+    require(x.size() == static_cast<std::size_t>(matrix.numCols()),
+            "spmvCoo: x size mismatch");
+    require(y.size() == static_cast<std::size_t>(matrix.numRows()),
+            "spmvCoo: y size mismatch");
+    const auto &rows = matrix.rows();
+    const auto &cols = matrix.cols();
+    const auto &vals = matrix.vals();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        y[static_cast<std::size_t>(rows[i])] +=
+            vals[i] * x[static_cast<std::size_t>(cols[i])];
+    }
+}
+
+void
+spmmCsr(const Csr &matrix, std::span<const Value> b, Index dense_cols,
+        std::span<Value> c)
+{
+    require(dense_cols > 0, "spmmCsr: dense_cols must be positive");
+    require(b.size() == static_cast<std::size_t>(matrix.numCols()) *
+                            static_cast<std::size_t>(dense_cols),
+            "spmmCsr: B size mismatch");
+    require(c.size() == static_cast<std::size_t>(matrix.numRows()) *
+                            static_cast<std::size_t>(dense_cols),
+            "spmmCsr: C size mismatch");
+    const auto k = static_cast<std::size_t>(dense_cols);
+    for (Index row = 0; row < matrix.numRows(); ++row) {
+        Value *const c_row = c.data() + static_cast<std::size_t>(row) * k;
+        auto idx = matrix.rowIndices(row);
+        auto val = matrix.rowValues(row);
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+            const Value *const b_row =
+                b.data() + static_cast<std::size_t>(idx[i]) * k;
+            const Value a = val[i];
+            for (std::size_t j = 0; j < k; ++j)
+                c_row[j] += a * b_row[j];
+        }
+    }
+}
+
+std::vector<Value>
+permuteVector(std::span<const Value> x, const Permutation &perm)
+{
+    require(x.size() == static_cast<std::size_t>(perm.size()),
+            "permuteVector: size mismatch");
+    std::vector<Value> result(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        result[static_cast<std::size_t>(
+            perm.newId(static_cast<Index>(i)))] = x[i];
+    }
+    return result;
+}
+
+std::vector<Value>
+unpermuteVector(std::span<const Value> y, const Permutation &perm)
+{
+    require(y.size() == static_cast<std::size_t>(perm.size()),
+            "unpermuteVector: size mismatch");
+    std::vector<Value> result(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        result[i] = y[static_cast<std::size_t>(
+            perm.newId(static_cast<Index>(i)))];
+    }
+    return result;
+}
+
+} // namespace slo::kernels

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * CPU reference implementations of the sparse kernels the paper studies.
+ *
+ * These mirror Algorithm 1 (SpMV on CSR) plus the Table IV variants
+ * (SpMV on COO, SpMM on CSR with a dense K-column matrix). They are used
+ * for functional correctness (results must be invariant, up to FP
+ * reassociation, under symmetric reordering) and for host-side timing in
+ * the examples. The GPU-side behaviour is modelled separately via the
+ * access streams in access_stream.hpp.
+ */
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/types.hpp"
+
+namespace slo::kernels
+{
+
+/** y = A*x with A in CSR (Algorithm 1). */
+void spmvCsr(const Csr &matrix, std::span<const Value> x,
+             std::span<Value> y);
+
+/** Convenience overload allocating the result. */
+std::vector<Value> spmvCsr(const Csr &matrix,
+                           const std::vector<Value> &x);
+
+/** y = A*x with A in (row-major sorted) COO. y must be zero-filled. */
+void spmvCoo(const Coo &matrix, std::span<const Value> x,
+             std::span<Value> y);
+
+/**
+ * C = A*B with A in CSR and B dense, row-major, @p dense_cols columns.
+ * C is dense, row-major, numRows x dense_cols; must be zero-filled.
+ */
+void spmmCsr(const Csr &matrix, std::span<const Value> b,
+             Index dense_cols, std::span<Value> c);
+
+/**
+ * Permute a dense vector into the reordered index space:
+ * result[perm[i]] = x[i]. (What a user must do to the input vector after
+ * reordering the matrix.)
+ */
+std::vector<Value> permuteVector(std::span<const Value> x,
+                                 const Permutation &perm);
+
+/** Inverse of permuteVector: result[i] = y[perm[i]]. */
+std::vector<Value> unpermuteVector(std::span<const Value> y,
+                                   const Permutation &perm);
+
+} // namespace slo::kernels

@@ -1,0 +1,77 @@
+#include "kernels/tiled_spmv.hpp"
+
+#include <algorithm>
+
+namespace slo::kernels
+{
+
+TiledCsr::TiledCsr(const Csr &matrix, Index tile_cols)
+    : numRows_(matrix.numRows()), numCols_(matrix.numCols()),
+      tileCols_(tile_cols)
+{
+    require(tile_cols > 0, "TiledCsr: tile width must be positive");
+    const Index num_tiles =
+        (numCols_ + tile_cols - 1) / std::max<Index>(tile_cols, 1);
+    tiles_.reserve(static_cast<std::size_t>(std::max<Index>(
+        num_tiles, 1)));
+
+    for (Index t = 0; t < std::max<Index>(num_tiles, 1); ++t) {
+        const Index lo = t * tile_cols;
+        const Index hi = std::min<Index>(lo + tile_cols, numCols_);
+        // Build the strip: entries with lo <= col < hi, columns
+        // rebased to the strip (so each strip's X window starts at 0).
+        Coo coo(numRows_, std::max<Index>(hi - lo, 1));
+        for (Index r = 0; r < numRows_; ++r) {
+            auto idx = matrix.rowIndices(r);
+            auto val = matrix.rowValues(r);
+            // Rows are sorted: binary search the strip's range.
+            const auto begin = std::lower_bound(idx.begin(), idx.end(),
+                                                lo) -
+                               idx.begin();
+            const auto end =
+                std::lower_bound(idx.begin(), idx.end(), hi) -
+                idx.begin();
+            for (auto i = begin; i != end; ++i) {
+                coo.add(r, idx[static_cast<std::size_t>(i)] - lo,
+                        val[static_cast<std::size_t>(i)]);
+            }
+        }
+        tiles_.push_back(Csr::fromCoo(coo, DuplicatePolicy::Keep));
+    }
+}
+
+Offset
+TiledCsr::numNonZeros() const
+{
+    Offset total = 0;
+    for (const Csr &tile : tiles_)
+        total += tile.numNonZeros();
+    return total;
+}
+
+void
+TiledCsr::spmv(std::span<const Value> x, std::span<Value> y) const
+{
+    require(x.size() == static_cast<std::size_t>(numCols_),
+            "TiledCsr::spmv: x size mismatch");
+    require(y.size() == static_cast<std::size_t>(numRows_),
+            "TiledCsr::spmv: y size mismatch");
+    for (Index t = 0; t < numTiles(); ++t) {
+        const Csr &tile = tiles_[static_cast<std::size_t>(t)];
+        const auto x_base =
+            static_cast<std::size_t>(t) *
+            static_cast<std::size_t>(tileCols_);
+        for (Index r = 0; r < numRows_; ++r) {
+            auto idx = tile.rowIndices(r);
+            auto val = tile.rowValues(r);
+            Value acc = 0.0f;
+            for (std::size_t i = 0; i < idx.size(); ++i) {
+                acc += val[i] *
+                       x[x_base + static_cast<std::size_t>(idx[i])];
+            }
+            y[static_cast<std::size_t>(r)] += acc;
+        }
+    }
+}
+
+} // namespace slo::kernels

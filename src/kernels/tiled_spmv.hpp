@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Cache-blocked (tiled) SpMV — the paper's Sec. VII extension hook.
+ *
+ * Tiling optimizations split the matrix into column strips so the
+ * irregular accesses of each strip stay within a bounded X range
+ * (bounded cache footprint), at the cost of extra sparse-format
+ * traffic (each strip re-streams row bookkeeping) and application
+ * changes. The paper leaves "RABBIT++ + tiling" composition to future
+ * work; this module implements it so the ext_tiling bench can measure
+ * it.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "matrix/csr.hpp"
+#include "matrix/types.hpp"
+
+namespace slo::kernels
+{
+
+/** A matrix split into vertical strips, each a CSR over all rows. */
+class TiledCsr
+{
+  public:
+    /**
+     * Split @p matrix into strips of @p tile_cols columns
+     * (the last strip may be narrower).
+     */
+    TiledCsr(const Csr &matrix, Index tile_cols);
+
+    Index numRows() const { return numRows_; }
+    Index numCols() const { return numCols_; }
+    Index tileCols() const { return tileCols_; }
+    Index numTiles() const
+    {
+        return static_cast<Index>(tiles_.size());
+    }
+    const Csr &tile(Index i) const
+    {
+        return tiles_[static_cast<std::size_t>(i)];
+    }
+
+    /** Total stored non-zeros across strips (== input nnz). */
+    Offset numNonZeros() const;
+
+    /** y = A*x, strip by strip (y must be zero-filled). */
+    void spmv(std::span<const Value> x, std::span<Value> y) const;
+
+  private:
+    Index numRows_ = 0;
+    Index numCols_ = 0;
+    Index tileCols_ = 0;
+    std::vector<Csr> tiles_;
+};
+
+} // namespace slo::kernels

@@ -1,0 +1,104 @@
+#include "matrix/binary_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace slo::io
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'S', 'L', 'O', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+writeScalar(std::ostream &out, T value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+template <typename T>
+T
+readScalar(std::istream &in)
+{
+    T value{};
+    in.read(reinterpret_cast<char *>(&value), sizeof(value));
+    require(static_cast<bool>(in), "binary CSR: truncated stream");
+    return value;
+}
+
+template <typename T>
+void
+writeVector(std::ostream &out, const std::vector<T> &vec)
+{
+    writeScalar<std::uint64_t>(out, vec.size());
+    out.write(reinterpret_cast<const char *>(vec.data()),
+              static_cast<std::streamsize>(vec.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T>
+readVector(std::istream &in)
+{
+    const auto size = readScalar<std::uint64_t>(in);
+    std::vector<T> vec(static_cast<std::size_t>(size));
+    in.read(reinterpret_cast<char *>(vec.data()),
+            static_cast<std::streamsize>(vec.size() * sizeof(T)));
+    require(static_cast<bool>(in), "binary CSR: truncated array");
+    return vec;
+}
+
+} // namespace
+
+void
+writeCsrBinary(std::ostream &out, const Csr &matrix)
+{
+    out.write(kMagic, sizeof(kMagic));
+    writeScalar<std::uint32_t>(out, kVersion);
+    writeScalar<std::int32_t>(out, matrix.numRows());
+    writeScalar<std::int32_t>(out, matrix.numCols());
+    writeVector(out, matrix.rowOffsets());
+    writeVector(out, matrix.colIndices());
+    writeVector(out, matrix.values());
+    require(static_cast<bool>(out), "binary CSR: write failed");
+}
+
+void
+writeCsrBinaryFile(const std::string &path, const Csr &matrix)
+{
+    std::ofstream out(path, std::ios::binary);
+    require(out.is_open(), "binary CSR: cannot open " + path);
+    writeCsrBinary(out, matrix);
+}
+
+Csr
+readCsrBinary(std::istream &in)
+{
+    char magic[4] = {};
+    in.read(magic, sizeof(magic));
+    require(static_cast<bool>(in) &&
+                std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+            "binary CSR: bad magic");
+    const auto version = readScalar<std::uint32_t>(in);
+    require(version == kVersion, "binary CSR: unsupported version");
+    const auto rows = readScalar<std::int32_t>(in);
+    const auto cols = readScalar<std::int32_t>(in);
+    auto offsets = readVector<Offset>(in);
+    auto indices = readVector<Index>(in);
+    auto values = readVector<Value>(in);
+    return Csr(rows, cols, std::move(offsets), std::move(indices),
+               std::move(values));
+}
+
+Csr
+readCsrBinaryFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    require(in.is_open(), "binary CSR: cannot open " + path);
+    return readCsrBinary(in);
+}
+
+} // namespace slo::io

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fast binary CSR serialization.
+ *
+ * MatrixMarket parsing dominates pre-processing time for large inputs, so
+ * (like most reordering tool chains) we provide a binary cache format:
+ * magic, version, dimensions, then the three CSR arrays verbatim
+ * (little-endian, as written by the host).
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/csr.hpp"
+
+namespace slo::io
+{
+
+/** Serialize @p matrix to a binary stream. */
+void writeCsrBinary(std::ostream &out, const Csr &matrix);
+
+/** Write a binary CSR file; @throws std::invalid_argument on IO errors. */
+void writeCsrBinaryFile(const std::string &path, const Csr &matrix);
+
+/** Deserialize a matrix written by writeCsrBinary. */
+Csr readCsrBinary(std::istream &in);
+
+/** Read a binary CSR file; @throws std::invalid_argument on errors. */
+Csr readCsrBinaryFile(const std::string &path);
+
+} // namespace slo::io

@@ -1,0 +1,96 @@
+#include "matrix/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace slo
+{
+
+Coo::Coo(Index num_rows, Index num_cols)
+    : numRows_(num_rows), numCols_(num_cols)
+{
+    require(num_rows >= 0 && num_cols >= 0,
+            "Coo: dimensions must be non-negative");
+}
+
+void
+Coo::add(Index row, Index col, Value val)
+{
+    require(row >= 0 && row < numRows_ && col >= 0 && col < numCols_,
+            "Coo::add: coordinate out of bounds");
+    rows_.push_back(row);
+    cols_.push_back(col);
+    vals_.push_back(val);
+}
+
+void
+Coo::addSymmetric(Index row, Index col, Value val)
+{
+    add(row, col, val);
+    if (row != col)
+        add(col, row, val);
+}
+
+Triplet
+Coo::at(Offset i) const
+{
+    require(i >= 0 && i < numEntries(), "Coo::at: index out of bounds");
+    auto idx = static_cast<std::size_t>(i);
+    return {rows_[idx], cols_[idx], vals_[idx]};
+}
+
+void
+Coo::reserve(Offset n)
+{
+    auto count = static_cast<std::size_t>(n);
+    rows_.reserve(count);
+    cols_.reserve(count);
+    vals_.reserve(count);
+}
+
+void
+Coo::sortRowMajor()
+{
+    std::vector<Offset> order(rows_.size());
+    std::iota(order.begin(), order.end(), Offset{0});
+    std::stable_sort(order.begin(), order.end(),
+        [this](Offset a, Offset b) {
+            auto ia = static_cast<std::size_t>(a);
+            auto ib = static_cast<std::size_t>(b);
+            if (rows_[ia] != rows_[ib])
+                return rows_[ia] < rows_[ib];
+            return cols_[ia] < cols_[ib];
+        });
+
+    auto apply = [&order](auto &vec) {
+        auto permuted = vec;
+        for (std::size_t i = 0; i < order.size(); ++i)
+            permuted[i] = vec[static_cast<std::size_t>(order[i])];
+        vec = std::move(permuted);
+    };
+    apply(rows_);
+    apply(cols_);
+    apply(vals_);
+}
+
+bool
+Coo::isRowMajorSorted() const
+{
+    for (std::size_t i = 1; i < rows_.size(); ++i) {
+        if (rows_[i - 1] > rows_[i])
+            return false;
+        if (rows_[i - 1] == rows_[i] && cols_[i - 1] > cols_[i])
+            return false;
+    }
+    return true;
+}
+
+void
+Coo::transposeInPlace()
+{
+    std::swap(rows_, cols_);
+    std::swap(numRows_, numCols_);
+}
+
+} // namespace slo

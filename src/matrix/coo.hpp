@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Coordinate-format (COO) sparse matrix.
+ *
+ * COO is the interchange format: generators emit COO, file readers parse
+ * into COO, and Csr::fromCoo converts it into the kernel-facing format.
+ * The cuSPARSE SpMV-COO kernel modelled in Table IV also consumes this
+ * layout (three parallel arrays sorted by row).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace slo
+{
+
+/** A single (row, col, value) entry. */
+struct Triplet
+{
+    Index row = 0;
+    Index col = 0;
+    Value val = 1.0f;
+
+    bool operator==(const Triplet &other) const = default;
+};
+
+/**
+ * Coordinate-format sparse matrix: parallel row/col/value arrays.
+ *
+ * Invariants maintained by the mutating API: rows/cols/vals always have
+ * identical length and all coordinates are within [0, numRows) x
+ * [0, numCols). Duplicates are allowed; Csr::fromCoo combines them.
+ */
+class Coo
+{
+  public:
+    Coo() = default;
+
+    /** Create an empty matrix with the given dimensions. */
+    Coo(Index num_rows, Index num_cols);
+
+    Index numRows() const { return numRows_; }
+    Index numCols() const { return numCols_; }
+    Offset numEntries() const { return static_cast<Offset>(rows_.size()); }
+    bool empty() const { return rows_.empty(); }
+
+    const std::vector<Index> &rows() const { return rows_; }
+    const std::vector<Index> &cols() const { return cols_; }
+    const std::vector<Value> &vals() const { return vals_; }
+
+    /** Append one entry; bounds-checked. */
+    void add(Index row, Index col, Value val = 1.0f);
+
+    /** Append both (r,c) and (c,r); bounds-checked. */
+    void addSymmetric(Index row, Index col, Value val = 1.0f);
+
+    /** Entry at position i. */
+    Triplet at(Offset i) const;
+
+    /** Reserve storage for n entries. */
+    void reserve(Offset n);
+
+    /**
+     * Sort entries by (row, col). Stable with respect to duplicate
+     * coordinates so value combination order is deterministic.
+     */
+    void sortRowMajor();
+
+    /** @return true if entries are sorted by (row, col). */
+    bool isRowMajorSorted() const;
+
+    /** Swap row and column arrays (transpose in place). */
+    void transposeInPlace();
+
+    bool operator==(const Coo &other) const = default;
+
+  private:
+    Index numRows_ = 0;
+    Index numCols_ = 0;
+    std::vector<Index> rows_;
+    std::vector<Index> cols_;
+    std::vector<Value> vals_;
+};
+
+} // namespace slo

@@ -1,0 +1,287 @@
+#include "matrix/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace slo
+{
+
+Csr::Csr(Index num_rows, Index num_cols,
+         std::vector<Offset> row_offsets,
+         std::vector<Index> col_indices,
+         std::vector<Value> values)
+    : numRows_(num_rows), numCols_(num_cols),
+      rowOffsets_(std::move(row_offsets)),
+      colIndices_(std::move(col_indices)),
+      values_(std::move(values))
+{
+    require(num_rows >= 0 && num_cols >= 0,
+            "Csr: dimensions must be non-negative");
+    require(rowOffsets_.size() ==
+                static_cast<std::size_t>(num_rows) + 1,
+            "Csr: rowOffsets must have numRows+1 entries");
+    require(rowOffsets_.front() == 0, "Csr: rowOffsets[0] must be 0");
+    require(rowOffsets_.back() ==
+                static_cast<Offset>(colIndices_.size()),
+            "Csr: rowOffsets must end at nnz");
+    require(values_.size() == colIndices_.size(),
+            "Csr: values/colIndices length mismatch");
+    for (std::size_t r = 0; r + 1 < rowOffsets_.size(); ++r) {
+        require(rowOffsets_[r] <= rowOffsets_[r + 1],
+                "Csr: rowOffsets must be non-decreasing");
+    }
+    for (Index col : colIndices_) {
+        require(col >= 0 && col < num_cols,
+                "Csr: column index out of bounds");
+    }
+}
+
+Csr
+Csr::fromCoo(const Coo &coo, DuplicatePolicy dup)
+{
+    const Index num_rows = coo.numRows();
+    const Index num_cols = coo.numCols();
+    const auto &rows = coo.rows();
+    const auto &cols = coo.cols();
+    const auto &vals = coo.vals();
+
+    // Counting sort by row.
+    std::vector<Offset> offsets(static_cast<std::size_t>(num_rows) + 1, 0);
+    for (Index r : rows)
+        ++offsets[static_cast<std::size_t>(r) + 1];
+    for (std::size_t r = 1; r < offsets.size(); ++r)
+        offsets[r] += offsets[r - 1];
+
+    std::vector<Index> col_indices(rows.size());
+    std::vector<Value> values(rows.size());
+    {
+        std::vector<Offset> cursor(offsets.begin(), offsets.end() - 1);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            auto &pos = cursor[static_cast<std::size_t>(rows[i])];
+            col_indices[static_cast<std::size_t>(pos)] = cols[i];
+            values[static_cast<std::size_t>(pos)] = vals[i];
+            ++pos;
+        }
+    }
+
+    Csr csr(num_rows, num_cols, std::move(offsets),
+            std::move(col_indices), std::move(values));
+    csr.sortRows();
+
+    if (dup == DuplicatePolicy::Keep)
+        return csr;
+
+    // Combine duplicates (sum values), compacting in place.
+    std::vector<Offset> new_offsets(
+        static_cast<std::size_t>(num_rows) + 1, 0);
+    Offset write = 0;
+    for (Index r = 0; r < num_rows; ++r) {
+        const Offset begin = csr.rowOffsets_[static_cast<std::size_t>(r)];
+        const Offset end = csr.rowOffsets_[static_cast<std::size_t>(r) + 1];
+        const Offset row_start = write;
+        for (Offset i = begin; i < end; ++i) {
+            auto ii = static_cast<std::size_t>(i);
+            auto wi = static_cast<std::size_t>(write);
+            if (write > row_start &&
+                csr.colIndices_[wi - 1] == csr.colIndices_[ii]) {
+                csr.values_[wi - 1] += csr.values_[ii];
+            } else {
+                csr.colIndices_[wi] = csr.colIndices_[ii];
+                csr.values_[wi] = csr.values_[ii];
+                ++write;
+            }
+        }
+        new_offsets[static_cast<std::size_t>(r) + 1] = write;
+    }
+    csr.colIndices_.resize(static_cast<std::size_t>(write));
+    csr.values_.resize(static_cast<std::size_t>(write));
+    csr.rowOffsets_ = std::move(new_offsets);
+    return csr;
+}
+
+double
+Csr::averageDegree() const
+{
+    if (numRows_ == 0)
+        return 0.0;
+    return static_cast<double>(numNonZeros()) /
+           static_cast<double>(numRows_);
+}
+
+bool
+Csr::hasEntry(Index row, Index col) const
+{
+    auto idx = rowIndices(row);
+    return std::binary_search(idx.begin(), idx.end(), col);
+}
+
+Csr
+Csr::transposed() const
+{
+    std::vector<Offset> offsets(static_cast<std::size_t>(numCols_) + 1, 0);
+    for (Index col : colIndices_)
+        ++offsets[static_cast<std::size_t>(col) + 1];
+    for (std::size_t c = 1; c < offsets.size(); ++c)
+        offsets[c] += offsets[c - 1];
+
+    std::vector<Index> col_indices(colIndices_.size());
+    std::vector<Value> values(values_.size());
+    std::vector<Offset> cursor(offsets.begin(), offsets.end() - 1);
+    for (Index r = 0; r < numRows_; ++r) {
+        const Offset begin = rowOffsets_[static_cast<std::size_t>(r)];
+        const Offset end = rowOffsets_[static_cast<std::size_t>(r) + 1];
+        for (Offset i = begin; i < end; ++i) {
+            auto ii = static_cast<std::size_t>(i);
+            auto &pos = cursor[static_cast<std::size_t>(colIndices_[ii])];
+            col_indices[static_cast<std::size_t>(pos)] = r;
+            values[static_cast<std::size_t>(pos)] = values_[ii];
+            ++pos;
+        }
+    }
+    // Rows of the transpose come out sorted because we scan rows in order.
+    return Csr(numCols_, numRows_, std::move(offsets),
+               std::move(col_indices), std::move(values));
+}
+
+Csr
+Csr::symmetrized() const
+{
+    require(isSquare(), "Csr::symmetrized: matrix must be square");
+    const Csr t = transposed();
+    Coo coo(numRows_, numCols_);
+    coo.reserve(numNonZeros() * 2);
+    for (Index r = 0; r < numRows_; ++r) {
+        auto idx = rowIndices(r);
+        auto val = rowValues(r);
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            coo.add(r, idx[i], val[i]);
+        auto tidx = t.rowIndices(r);
+        auto tval = t.rowValues(r);
+        for (std::size_t i = 0; i < tidx.size(); ++i) {
+            // Skip entries already present in A to keep A's value.
+            if (!hasEntry(r, tidx[i]))
+                coo.add(r, tidx[i], tval[i]);
+        }
+    }
+    return fromCoo(coo, DuplicatePolicy::Keep);
+}
+
+bool
+Csr::isSymmetricPattern() const
+{
+    if (!isSquare())
+        return false;
+    const Csr t = transposed();
+    return t.colIndices_ == colIndices_ && t.rowOffsets_ == rowOffsets_;
+}
+
+void
+Csr::sortRows()
+{
+    std::vector<std::pair<Index, Value>> buffer;
+    for (Index r = 0; r < numRows_; ++r) {
+        const Offset begin = rowOffsets_[static_cast<std::size_t>(r)];
+        const Offset end = rowOffsets_[static_cast<std::size_t>(r) + 1];
+        const auto len = static_cast<std::size_t>(end - begin);
+        if (len < 2)
+            continue;
+        bool sorted = true;
+        for (Offset i = begin + 1; i < end && sorted; ++i) {
+            sorted = colIndices_[static_cast<std::size_t>(i - 1)] <=
+                     colIndices_[static_cast<std::size_t>(i)];
+        }
+        if (sorted)
+            continue;
+        buffer.resize(len);
+        for (std::size_t i = 0; i < len; ++i) {
+            auto src = static_cast<std::size_t>(begin) + i;
+            buffer[i] = {colIndices_[src], values_[src]};
+        }
+        std::stable_sort(buffer.begin(), buffer.end(),
+            [](const auto &a, const auto &b) {
+                return a.first < b.first;
+            });
+        for (std::size_t i = 0; i < len; ++i) {
+            auto dst = static_cast<std::size_t>(begin) + i;
+            colIndices_[dst] = buffer[i].first;
+            values_[dst] = buffer[i].second;
+        }
+    }
+}
+
+bool
+Csr::rowsSorted() const
+{
+    for (Index r = 0; r < numRows_; ++r) {
+        auto idx = rowIndices(r);
+        for (std::size_t i = 1; i < idx.size(); ++i) {
+            if (idx[i - 1] > idx[i])
+                return false;
+        }
+    }
+    return true;
+}
+
+Csr
+Csr::permutedSymmetric(const Permutation &perm) const
+{
+    require(isSquare(),
+            "Csr::permutedSymmetric: matrix must be square");
+    require(perm.size() == numRows_,
+            "Csr::permutedSymmetric: permutation size mismatch");
+    return permuted(perm, perm);
+}
+
+Csr
+Csr::permuted(const Permutation &row_perm,
+              const Permutation &col_perm) const
+{
+    require(row_perm.size() == numRows_ && col_perm.size() == numCols_,
+            "Csr::permuted: permutation size mismatch");
+
+    // new row p(r) has the same length as old row r.
+    std::vector<Offset> offsets(static_cast<std::size_t>(numRows_) + 1, 0);
+    for (Index r = 0; r < numRows_; ++r) {
+        offsets[static_cast<std::size_t>(row_perm.newId(r)) + 1] =
+            degree(r);
+    }
+    for (std::size_t r = 1; r < offsets.size(); ++r)
+        offsets[r] += offsets[r - 1];
+
+    std::vector<Index> col_indices(colIndices_.size());
+    std::vector<Value> values(values_.size());
+    for (Index r = 0; r < numRows_; ++r) {
+        const Index nr = row_perm.newId(r);
+        Offset pos = offsets[static_cast<std::size_t>(nr)];
+        auto idx = rowIndices(r);
+        auto val = rowValues(r);
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+            col_indices[static_cast<std::size_t>(pos)] =
+                col_perm.newId(idx[i]);
+            values[static_cast<std::size_t>(pos)] = val[i];
+            ++pos;
+        }
+    }
+
+    Csr result(numRows_, numCols_, std::move(offsets),
+               std::move(col_indices), std::move(values));
+    result.sortRows();
+    return result;
+}
+
+Coo
+Csr::toCoo() const
+{
+    Coo coo(numRows_, numCols_);
+    coo.reserve(numNonZeros());
+    for (Index r = 0; r < numRows_; ++r) {
+        auto idx = rowIndices(r);
+        auto val = rowValues(r);
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            coo.add(r, idx[i], val[i]);
+    }
+    return coo;
+}
+
+} // namespace slo

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Compressed Sparse Row (CSR) matrix — the kernel-facing format.
+ *
+ * This is the format Algorithm 1 of the paper operates on: rowOffsets
+ * (N+1 entries), coords (column index per non-zero) and values. All
+ * reordering techniques consume and produce Csr instances; the symmetric
+ * permutation (relabelling rows *and* columns with the same bijection) is
+ * the operation matrix reordering performs.
+ */
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/coo.hpp"
+#include "matrix/permutation.hpp"
+#include "matrix/types.hpp"
+
+namespace slo
+{
+
+/** How Csr::fromCoo combines duplicate coordinates. */
+enum class DuplicatePolicy
+{
+    Sum,  ///< values of duplicates are added (MatrixMarket convention)
+    Keep, ///< duplicates kept as-is (multigraph semantics)
+};
+
+/** Compressed Sparse Row sparse matrix. */
+class Csr
+{
+  public:
+    Csr() = default;
+
+    /**
+     * Construct from raw arrays.
+     *
+     * @param num_rows number of rows (>= 0)
+     * @param num_cols number of columns (>= 0)
+     * @param row_offsets monotone array of num_rows+1 offsets
+     * @param col_indices column index per non-zero, in [0, num_cols)
+     * @param values one value per non-zero
+     * @throws std::invalid_argument on any structural inconsistency
+     */
+    Csr(Index num_rows, Index num_cols,
+        std::vector<Offset> row_offsets,
+        std::vector<Index> col_indices,
+        std::vector<Value> values);
+
+    /** Build from COO; entries need not be sorted. */
+    static Csr fromCoo(const Coo &coo,
+                       DuplicatePolicy dup = DuplicatePolicy::Sum);
+
+    Index numRows() const { return numRows_; }
+    Index numCols() const { return numCols_; }
+    Offset numNonZeros() const
+    {
+        return static_cast<Offset>(colIndices_.size());
+    }
+    bool empty() const { return colIndices_.empty(); }
+    bool isSquare() const { return numRows_ == numCols_; }
+
+    const std::vector<Offset> &rowOffsets() const { return rowOffsets_; }
+    const std::vector<Index> &colIndices() const { return colIndices_; }
+    const std::vector<Value> &values() const { return values_; }
+
+    /** Out-degree (row length) of @p row. */
+    Index
+    degree(Index row) const
+    {
+        auto r = static_cast<std::size_t>(row);
+        return static_cast<Index>(rowOffsets_[r + 1] - rowOffsets_[r]);
+    }
+
+    /** Column indices of @p row. */
+    std::span<const Index>
+    rowIndices(Index row) const
+    {
+        auto r = static_cast<std::size_t>(row);
+        return {colIndices_.data() + rowOffsets_[r],
+                static_cast<std::size_t>(rowOffsets_[r + 1] -
+                                         rowOffsets_[r])};
+    }
+
+    /** Values of @p row. */
+    std::span<const Value>
+    rowValues(Index row) const
+    {
+        auto r = static_cast<std::size_t>(row);
+        return {values_.data() + rowOffsets_[r],
+                static_cast<std::size_t>(rowOffsets_[r + 1] -
+                                         rowOffsets_[r])};
+    }
+
+    /** Mean non-zeros per row (the paper's "average degree"). */
+    double averageDegree() const;
+
+    /** @return true if (row, col) is a stored entry (row must be sorted). */
+    bool hasEntry(Index row, Index col) const;
+
+    /** A^T. */
+    Csr transposed() const;
+
+    /**
+     * Pattern-symmetrized matrix: union of A and A^T entry sets with
+     * duplicate coordinates combined (value from A wins, transposed-only
+     * entries keep their value). Self loops are preserved once.
+     * Reordering techniques operate on this undirected view.
+     */
+    Csr symmetrized() const;
+
+    /** @return true if the non-zero *pattern* equals that of A^T. */
+    bool isSymmetricPattern() const;
+
+    /** Sort the column indices (and values) within every row. */
+    void sortRows();
+
+    /** @return true if every row's column indices are ascending. */
+    bool rowsSorted() const;
+
+    /**
+     * Apply @p perm to rows and columns simultaneously — the matrix
+     * reordering operation. B[p(r)][p(c)] = A[r][c]. Rows of the result
+     * are sorted.
+     */
+    Csr permutedSymmetric(const Permutation &perm) const;
+
+    /** Apply independent row and column permutations (rows sorted). */
+    Csr permuted(const Permutation &row_perm,
+                 const Permutation &col_perm) const;
+
+    /** Convert back to (row-major sorted) COO. */
+    Coo toCoo() const;
+
+    /**
+     * Keep only non-zeros for which @p keep(row, col) is true; dimensions
+     * are unchanged. Used for the insular sub-matrix analysis (Fig. 6).
+     */
+    template <typename Pred>
+    Csr
+    filtered(Pred keep) const
+    {
+        Coo coo(numRows_, numCols_);
+        for (Index r = 0; r < numRows_; ++r) {
+            auto idx = rowIndices(r);
+            auto val = rowValues(r);
+            for (std::size_t i = 0; i < idx.size(); ++i) {
+                if (keep(r, idx[i]))
+                    coo.add(r, idx[i], val[i]);
+            }
+        }
+        return fromCoo(coo, DuplicatePolicy::Keep);
+    }
+
+    bool operator==(const Csr &other) const = default;
+
+  private:
+    Index numRows_ = 0;
+    Index numCols_ = 0;
+    std::vector<Offset> rowOffsets_ = {0};
+    std::vector<Index> colIndices_;
+    std::vector<Value> values_;
+};
+
+} // namespace slo

@@ -1,0 +1,431 @@
+#include "matrix/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "matrix/rng.hpp"
+
+namespace slo::gen
+{
+
+namespace
+{
+
+/** Finalize an undirected edge list: symmetrize, dedup, random values. */
+Csr
+finalize(Coo &&coo, std::uint64_t seed)
+{
+    Coo sym(coo.numRows(), coo.numCols());
+    sym.reserve(coo.numEntries() * 2);
+    for (Offset i = 0; i < coo.numEntries(); ++i) {
+        const Triplet t = coo.at(i);
+        if (t.row == t.col)
+            continue;
+        sym.add(t.row, t.col, t.val);
+        sym.add(t.col, t.row, t.val);
+    }
+    // Duplicate edges are collapsed to a single entry (pattern semantics):
+    // build with Keep after manual dedup via Sum would change values, so
+    // build with Sum and then overwrite values deterministically.
+    Csr csr = Csr::fromCoo(sym, DuplicatePolicy::Sum);
+    return withRandomValues(csr, seed ^ 0xabcdef0123456789ULL);
+}
+
+} // namespace
+
+Csr
+erdosRenyi(Index n, double avg_degree, std::uint64_t seed)
+{
+    require(n > 0, "erdosRenyi: n must be positive");
+    require(avg_degree >= 0.0, "erdosRenyi: negative degree");
+    Rng rng(seed);
+    // Undirected edges: n*avg_degree/2 samples.
+    const auto num_edges =
+        static_cast<Offset>(static_cast<double>(n) * avg_degree / 2.0);
+    Coo coo(n, n);
+    coo.reserve(num_edges);
+    for (Offset e = 0; e < num_edges; ++e) {
+        auto u = static_cast<Index>(rng.below(static_cast<std::uint64_t>(n)));
+        auto v = static_cast<Index>(rng.below(static_cast<std::uint64_t>(n)));
+        if (u != v)
+            coo.add(u, v);
+    }
+    return finalize(std::move(coo), seed);
+}
+
+Csr
+rmat(int scale, double avg_degree, double a, double b, double c,
+     std::uint64_t seed)
+{
+    require(scale > 0 && scale < 31, "rmat: scale out of range");
+    require(a + b + c <= 1.0 + 1e-9, "rmat: probabilities exceed 1");
+    const Index n = Index{1} << scale;
+    const auto num_edges =
+        static_cast<Offset>(static_cast<double>(n) * avg_degree / 2.0);
+    Rng rng(seed);
+    Coo coo(n, n);
+    coo.reserve(num_edges);
+    for (Offset e = 0; e < num_edges; ++e) {
+        Index row = 0;
+        Index col = 0;
+        for (int level = 0; level < scale; ++level) {
+            // Graph500-style parameter noise keeps degrees from being
+            // perfectly deterministic per quadrant.
+            const double noise = 0.9 + 0.2 * rng.uniform();
+            const double an = a * noise;
+            const double bn = b * noise;
+            const double cn = c * noise;
+            const double dn = (1.0 - a - b - c) * noise;
+            const double total = an + bn + cn + dn;
+            const double pick = rng.uniform() * total;
+            row <<= 1;
+            col <<= 1;
+            if (pick < an) {
+                // top-left quadrant
+            } else if (pick < an + bn) {
+                col |= 1;
+            } else if (pick < an + bn + cn) {
+                row |= 1;
+            } else {
+                row |= 1;
+                col |= 1;
+            }
+        }
+        if (row != col)
+            coo.add(row, col);
+    }
+    return finalize(std::move(coo), seed);
+}
+
+Csr
+rmatSocial(int scale, double avg_degree, std::uint64_t seed)
+{
+    return rmat(scale, avg_degree, 0.57, 0.19, 0.19, seed);
+}
+
+Csr
+plantedPartition(Index n, Index num_communities, double intra_degree,
+                 double inter_degree, std::uint64_t seed)
+{
+    require(n > 0 && num_communities > 0 && num_communities <= n,
+            "plantedPartition: bad sizes");
+    Rng rng(seed);
+    const Index block = (n + num_communities - 1) / num_communities;
+    Coo coo(n, n);
+    const auto intra_edges = static_cast<Offset>(
+        static_cast<double>(n) * intra_degree / 2.0);
+    const auto inter_edges = static_cast<Offset>(
+        static_cast<double>(n) * inter_degree / 2.0);
+    coo.reserve(intra_edges + inter_edges);
+    for (Offset e = 0; e < intra_edges; ++e) {
+        auto u = static_cast<Index>(rng.below(static_cast<std::uint64_t>(n)));
+        const Index community = u / block;
+        const Index lo = community * block;
+        const Index hi = std::min<Index>(lo + block, n);
+        auto v = static_cast<Index>(
+            lo + rng.below(static_cast<std::uint64_t>(hi - lo)));
+        if (u != v)
+            coo.add(u, v);
+    }
+    for (Offset e = 0; e < inter_edges; ++e) {
+        auto u = static_cast<Index>(rng.below(static_cast<std::uint64_t>(n)));
+        auto v = static_cast<Index>(rng.below(static_cast<std::uint64_t>(n)));
+        if (u != v)
+            coo.add(u, v);
+    }
+    return finalize(std::move(coo), seed);
+}
+
+Csr
+hierarchicalCommunity(Index n, int branching, int levels,
+                      double avg_degree, double level_decay,
+                      std::uint64_t seed)
+{
+    require(n > 0 && branching >= 2 && levels >= 1,
+            "hierarchicalCommunity: bad shape");
+    require(level_decay > 0.0 && level_decay < 1.0,
+            "hierarchicalCommunity: decay must be in (0,1)");
+    Rng rng(seed);
+    const auto num_edges =
+        static_cast<Offset>(static_cast<double>(n) * avg_degree / 2.0);
+    Coo coo(n, n);
+    coo.reserve(num_edges);
+
+    // Block size at level l (level 0 = innermost, smallest block;
+    // level levels-1 = the whole graph).
+    std::vector<Index> block_size(static_cast<std::size_t>(levels));
+    {
+        double size = static_cast<double>(n);
+        for (int l = levels - 1; l >= 0; --l) {
+            block_size[static_cast<std::size_t>(l)] =
+                std::max<Index>(2, static_cast<Index>(std::ceil(size)));
+            size /= branching;
+        }
+    }
+
+    for (Offset e = 0; e < num_edges; ++e) {
+        auto u = static_cast<Index>(rng.below(static_cast<std::uint64_t>(n)));
+        // Geometric level choice: level 0 with prob (1-decay), etc.
+        int level = 0;
+        while (level + 1 < levels && rng.chance(level_decay))
+            ++level;
+        const Index bs = block_size[static_cast<std::size_t>(level)];
+        const Index lo = (u / bs) * bs;
+        const Index hi = std::min<Index>(lo + bs, n);
+        auto v = static_cast<Index>(
+            lo + rng.below(static_cast<std::uint64_t>(hi - lo)));
+        if (u != v)
+            coo.add(u, v);
+    }
+    return finalize(std::move(coo), seed);
+}
+
+Csr
+barabasiAlbert(Index n, Index edges_per_node, std::uint64_t seed)
+{
+    require(n > 2 && edges_per_node >= 1, "barabasiAlbert: bad shape");
+    Rng rng(seed);
+    Coo coo(n, n);
+    coo.reserve(static_cast<Offset>(n) * edges_per_node);
+    // Endpoint multiset: sampling uniformly from past endpoints implements
+    // preferential attachment.
+    std::vector<Index> endpoints;
+    endpoints.reserve(static_cast<std::size_t>(n) * 2 *
+                      static_cast<std::size_t>(edges_per_node));
+    coo.add(0, 1);
+    endpoints.push_back(0);
+    endpoints.push_back(1);
+    for (Index u = 2; u < n; ++u) {
+        for (Index k = 0; k < edges_per_node; ++k) {
+            auto pick = static_cast<std::size_t>(
+                rng.below(endpoints.size()));
+            const Index v = endpoints[pick];
+            if (v != u) {
+                coo.add(u, v);
+                endpoints.push_back(u);
+                endpoints.push_back(v);
+            }
+        }
+    }
+    return finalize(std::move(coo), seed);
+}
+
+Csr
+grid2d(Index width, Index height, double shortcut_prob, std::uint64_t seed)
+{
+    require(width > 0 && height > 0, "grid2d: bad shape");
+    const Index n = width * height;
+    Rng rng(seed);
+    Coo coo(n, n);
+    coo.reserve(static_cast<Offset>(n) * 3);
+    auto id = [width](Index x, Index y) { return y * width + x; };
+    for (Index y = 0; y < height; ++y) {
+        for (Index x = 0; x < width; ++x) {
+            const Index u = id(x, y);
+            if (x + 1 < width)
+                coo.add(u, id(x + 1, y));
+            if (y + 1 < height)
+                coo.add(u, id(x, y + 1));
+            if (shortcut_prob > 0.0 && rng.chance(shortcut_prob)) {
+                auto v = static_cast<Index>(
+                    rng.below(static_cast<std::uint64_t>(n)));
+                if (v != u)
+                    coo.add(u, v);
+            }
+        }
+    }
+    return finalize(std::move(coo), seed);
+}
+
+Csr
+stencil3d(Index nx, Index ny, Index nz, int points, std::uint64_t seed)
+{
+    require(nx > 0 && ny > 0 && nz > 0, "stencil3d: bad shape");
+    require(points == 7 || points == 27, "stencil3d: points must be 7|27");
+    const Index n = nx * ny * nz;
+    Coo coo(n, n);
+    auto id = [nx, ny](Index x, Index y, Index z) {
+        return (z * ny + y) * nx + x;
+    };
+    for (Index z = 0; z < nz; ++z) {
+        for (Index y = 0; y < ny; ++y) {
+            for (Index x = 0; x < nx; ++x) {
+                const Index u = id(x, y, z);
+                for (Index dz = -1; dz <= 1; ++dz) {
+                    for (Index dy = -1; dy <= 1; ++dy) {
+                        for (Index dx = -1; dx <= 1; ++dx) {
+                            if (dx == 0 && dy == 0 && dz == 0)
+                                continue;
+                            if (points == 7 &&
+                                std::abs(dx) + std::abs(dy) +
+                                        std::abs(dz) != 1) {
+                                continue;
+                            }
+                            const Index X = x + dx;
+                            const Index Y = y + dy;
+                            const Index Z = z + dz;
+                            if (X < 0 || X >= nx || Y < 0 || Y >= ny ||
+                                Z < 0 || Z >= nz) {
+                                continue;
+                            }
+                            const Index v = id(X, Y, Z);
+                            if (u < v) // add each undirected edge once
+                                coo.add(u, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return finalize(std::move(coo), seed);
+}
+
+Csr
+banded(Index n, Index half_bandwidth, double fill, std::uint64_t seed)
+{
+    require(n > 0 && half_bandwidth > 0, "banded: bad shape");
+    require(fill > 0.0 && fill <= 1.0, "banded: fill must be in (0,1]");
+    Rng rng(seed);
+    Coo coo(n, n);
+    for (Index r = 0; r < n; ++r) {
+        const Index hi = std::min<Index>(n - 1, r + half_bandwidth);
+        for (Index c = r + 1; c <= hi; ++c) {
+            if (rng.chance(fill))
+                coo.add(r, c);
+        }
+    }
+    return finalize(std::move(coo), seed);
+}
+
+Csr
+chainWithBranches(Index n, double branch_prob, std::uint64_t seed)
+{
+    require(n > 1, "chainWithBranches: need at least 2 nodes");
+    Rng rng(seed);
+    Coo coo(n, n);
+    coo.reserve(static_cast<Offset>(n) + n / 8);
+    for (Index u = 0; u + 1 < n; ++u)
+        coo.add(u, u + 1);
+    for (Index u = 0; u < n; ++u) {
+        if (rng.chance(branch_prob)) {
+            // Branch to a node a short hop away: preserves the k-mer
+            // graph's high diameter.
+            const Index span = 64;
+            auto offset = static_cast<Index>(rng.below(span)) + 2;
+            const Index v = (u + offset < n) ? u + offset : u - offset;
+            if (v >= 0 && v < n && v != u)
+                coo.add(u, v);
+        }
+    }
+    return finalize(std::move(coo), seed);
+}
+
+Csr
+hubStar(Index n, Index num_hubs, double hub_coverage, double tail_degree,
+        std::uint64_t seed)
+{
+    require(n > 2 && num_hubs >= 1 && num_hubs < n, "hubStar: bad shape");
+    require(hub_coverage > 0.0 && hub_coverage <= 1.0,
+            "hubStar: coverage must be in (0,1]");
+    Rng rng(seed);
+    Coo coo(n, n);
+    const auto covered = static_cast<Index>(
+        static_cast<double>(n) * hub_coverage);
+    coo.reserve(static_cast<Offset>(covered) * num_hubs +
+                static_cast<Offset>(static_cast<double>(n) * tail_degree));
+    // Hubs occupy the first ids in natural order (packet-trace servers).
+    // Each hub connects to exactly `covered` distinct endpoints (partial
+    // Fisher-Yates), so one hub at coverage 0.95 really spans 95% of the
+    // graph — the degenerate single-community case of Sec. V-B.
+    std::vector<Index> ids(static_cast<std::size_t>(n));
+    for (Index h = 0; h < num_hubs; ++h) {
+        std::iota(ids.begin(), ids.end(), Index{0});
+        for (Index i = 0; i < covered; ++i) {
+            const auto j = static_cast<std::size_t>(i) +
+                           static_cast<std::size_t>(rng.below(
+                               static_cast<std::uint64_t>(n - i)));
+            std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
+            const Index v = ids[static_cast<std::size_t>(i)];
+            if (v != h)
+                coo.add(h, v);
+        }
+    }
+    const auto tail_edges = static_cast<Offset>(
+        static_cast<double>(n) * tail_degree / 2.0);
+    for (Offset e = 0; e < tail_edges; ++e) {
+        auto u = static_cast<Index>(rng.below(static_cast<std::uint64_t>(n)));
+        auto v = static_cast<Index>(rng.below(static_cast<std::uint64_t>(n)));
+        if (u != v)
+            coo.add(u, v);
+    }
+    return finalize(std::move(coo), seed);
+}
+
+Csr
+temporalInteraction(Index n, Index num_communities, double intra_degree,
+                    double hub_fraction, double hub_degree,
+                    std::uint64_t seed)
+{
+    require(hub_fraction >= 0.0 && hub_fraction < 1.0,
+            "temporalInteraction: bad hub fraction");
+    Csr base = plantedPartition(n, num_communities, intra_degree,
+                                /*inter_degree=*/0.2, seed);
+    // Hub overlay: a small set of "active users" touch random nodes.
+    Rng rng(seed ^ 0x7e3a1b5c9d2f4e68ULL);
+    const auto num_hubs = static_cast<Index>(
+        static_cast<double>(n) * hub_fraction);
+    Coo coo(n, n);
+    for (Index h = 0; h < std::max<Index>(num_hubs, 1); ++h) {
+        // Spread hubs across the id space so they hit many communities.
+        auto hub = static_cast<Index>(
+            rng.below(static_cast<std::uint64_t>(n)));
+        const auto edges = static_cast<Offset>(hub_degree);
+        for (Offset e = 0; e < edges; ++e) {
+            auto v = static_cast<Index>(
+                rng.below(static_cast<std::uint64_t>(n)));
+            if (v != hub)
+                coo.add(hub, v);
+        }
+    }
+    Csr hubs = finalize(std::move(coo), seed ^ 0x1111);
+    return overlay(base, hubs);
+}
+
+Csr
+overlay(const Csr &a, const Csr &b)
+{
+    require(a.numRows() == b.numRows() && a.numCols() == b.numCols(),
+            "overlay: dimension mismatch");
+    Coo coo(a.numRows(), a.numCols());
+    coo.reserve(a.numNonZeros() + b.numNonZeros());
+    for (Index r = 0; r < a.numRows(); ++r) {
+        auto ai = a.rowIndices(r);
+        auto av = a.rowValues(r);
+        for (std::size_t i = 0; i < ai.size(); ++i)
+            coo.add(r, ai[i], av[i]);
+        auto bi = b.rowIndices(r);
+        auto bv = b.rowValues(r);
+        for (std::size_t i = 0; i < bi.size(); ++i) {
+            if (!a.hasEntry(r, bi[i]))
+                coo.add(r, bi[i], bv[i]);
+        }
+    }
+    return Csr::fromCoo(coo, DuplicatePolicy::Keep);
+}
+
+Csr
+withRandomValues(const Csr &matrix, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Value> values(
+        static_cast<std::size_t>(matrix.numNonZeros()));
+    for (auto &v : values)
+        v = static_cast<Value>(rng.uniform()) + 1e-3f;
+    return Csr(matrix.numRows(), matrix.numCols(), matrix.rowOffsets(),
+               matrix.colIndices(), std::move(values));
+}
+
+} // namespace slo::gen

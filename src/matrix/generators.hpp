@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Synthetic sparse-matrix generators.
+ *
+ * These generators substitute for the paper's 50-matrix corpus (SuiteSparse
+ * / Konect / Web Data Commons; see DESIGN.md, "Substitutions"). Each family
+ * mimics one of the paper's source domains and is parameterized to span the
+ * structural properties the paper shows matter: community structure,
+ * degree-distribution skew, and average degree.
+ *
+ * All generators are deterministic in their seed, return square matrices
+ * with a symmetric non-zero pattern (the undirected view reordering
+ * operates on), exclude self loops, and emit vertices in the family's
+ * "natural" order (e.g. communities contiguous, grids row-major). The
+ * dataset layer decides what the publisher-visible ORIGINAL order is.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/csr.hpp"
+#include "matrix/types.hpp"
+
+namespace slo::gen
+{
+
+/**
+ * Erdos-Renyi random graph: no community structure, no skew.
+ * @param n nodes
+ * @param avg_degree expected mean degree (undirected edge endpoints)
+ */
+Csr erdosRenyi(Index n, double avg_degree, std::uint64_t seed);
+
+/**
+ * RMAT / Kronecker power-law graph (social networks, web crawls, knowledge
+ * graphs). Probabilities (a, b, c) follow the usual convention with
+ * d = 1-a-b-c; larger a-vs-d imbalance yields stronger skew.
+ *
+ * @param scale log2 of the number of nodes
+ * @param avg_degree expected mean degree
+ */
+Csr rmat(int scale, double avg_degree, double a, double b, double c,
+         std::uint64_t seed);
+
+/** Graph500 default RMAT parameters (a=.57, b=.19, c=.19). */
+Csr rmatSocial(int scale, double avg_degree, std::uint64_t seed);
+
+/**
+ * Planted-partition / stochastic block model (strong flat community
+ * structure). Nodes [0,n) are split into @p num_communities equal blocks,
+ * laid out contiguously in the natural order.
+ *
+ * @param intra_degree expected within-community degree per node
+ * @param inter_degree expected cross-community degree per node
+ */
+Csr plantedPartition(Index n, Index num_communities, double intra_degree,
+                     double inter_degree, std::uint64_t seed);
+
+/**
+ * Hierarchical community graph (the structure RABBIT was designed for):
+ * a balanced hierarchy of @p levels levels with @p branching children per
+ * level; an edge picks a hierarchy level with geometric decay
+ * @p level_decay and connects two nodes within the same block at that
+ * level. level_decay in (0,1); smaller means edges concentrate in the
+ * innermost (smallest) communities.
+ */
+Csr hierarchicalCommunity(Index n, int branching, int levels,
+                          double avg_degree, double level_decay,
+                          std::uint64_t seed);
+
+/**
+ * Barabasi-Albert preferential attachment (heavy-tailed degree
+ * distribution with hubs, weak community structure).
+ * @param edges_per_node edges added per arriving node
+ */
+Csr barabasiAlbert(Index n, Index edges_per_node, std::uint64_t seed);
+
+/**
+ * 2-D lattice with optional random shortcut edges (road networks).
+ * Natural order is row-major, which already has excellent locality.
+ * @param shortcut_prob probability per node of one extra random edge
+ */
+Csr grid2d(Index width, Index height, double shortcut_prob,
+           std::uint64_t seed);
+
+/**
+ * 3-D finite-difference stencil (CFD / electromagnetics meshes):
+ * 7-point (faces) or 27-point (faces+edges+corners) neighbourhoods.
+ */
+Csr stencil3d(Index nx, Index ny, Index nz, int points,
+              std::uint64_t seed);
+
+/**
+ * Banded matrix with random fill inside the band (circuit simulation /
+ * optimization KKT systems).
+ * @param half_bandwidth entries lie within |r-c| <= half_bandwidth
+ * @param fill fraction of in-band entries present
+ */
+Csr banded(Index n, Index half_bandwidth, double fill, std::uint64_t seed);
+
+/**
+ * Long chains with occasional branches (protein k-mer / DNA
+ * electrophoresis graphs): average degree ~2, huge diameter.
+ * @param branch_prob probability per node of one extra branch edge
+ */
+Csr chainWithBranches(Index n, double branch_prob, std::uint64_t seed);
+
+/**
+ * Hub-dominated star mixture (mawi-like packet traces): @p num_hubs hubs
+ * each connect to exactly hub_coverage * n distinct endpoints; the
+ * remaining nodes form a sparse random tail. Community detection degenerates on
+ * this family (one giant community), reproducing the paper's mawi
+ * anomaly (Sec. V-B).
+ */
+Csr hubStar(Index n, Index num_hubs, double hub_coverage,
+            double tail_degree, std::uint64_t seed);
+
+/**
+ * Temporal-interaction graph (sx-stackoverflow-like): planted communities
+ * overlaid with a power-law "active user" hub layer, yielding a large
+ * insular core plus many hubs.
+ * @param hub_fraction fraction of nodes in the hub overlay
+ */
+Csr temporalInteraction(Index n, Index num_communities,
+                        double intra_degree, double hub_fraction,
+                        double hub_degree, std::uint64_t seed);
+
+/** Union of the non-zero patterns of two equally-sized matrices. */
+Csr overlay(const Csr &a, const Csr &b);
+
+/** Replace all values with deterministic pseudo-random values in (0, 1]. */
+Csr withRandomValues(const Csr &matrix, std::uint64_t seed);
+
+} // namespace slo::gen

@@ -1,0 +1,177 @@
+#include "matrix/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace slo::io
+{
+
+namespace
+{
+
+std::string
+toLower(std::string text)
+{
+    std::transform(text.begin(), text.end(), text.begin(),
+                   [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                   });
+    return text;
+}
+
+} // namespace
+
+Coo
+readMatrixMarket(std::istream &in)
+{
+    std::string line;
+    require(static_cast<bool>(std::getline(in, line)),
+            "MatrixMarket: empty stream");
+
+    std::istringstream header(line);
+    std::string banner, object, format, field, symmetry;
+    header >> banner >> object >> format >> field >> symmetry;
+    require(banner == "%%MatrixMarket",
+            "MatrixMarket: missing %%MatrixMarket banner");
+    object = toLower(object);
+    format = toLower(format);
+    field = toLower(field);
+    symmetry = toLower(symmetry);
+    require(object == "matrix", "MatrixMarket: object must be 'matrix'");
+    require(format == "coordinate",
+            "MatrixMarket: only 'coordinate' format is supported");
+    require(field == "real" || field == "integer" || field == "pattern" ||
+                field == "double",
+            "MatrixMarket: unsupported field type: " + field);
+    require(symmetry == "general" || symmetry == "symmetric" ||
+                symmetry == "skew-symmetric",
+            "MatrixMarket: unsupported symmetry: " + symmetry);
+    const bool pattern = (field == "pattern");
+    const bool mirror = (symmetry != "general");
+
+    // Skip comment lines.
+    do {
+        require(static_cast<bool>(std::getline(in, line)),
+                "MatrixMarket: missing size line");
+    } while (!line.empty() && line[0] == '%');
+
+    std::istringstream size_line(line);
+    long long rows = 0, cols = 0, entries = 0;
+    size_line >> rows >> cols >> entries;
+    require(rows > 0 && cols > 0 && entries >= 0,
+            "MatrixMarket: bad size line");
+
+    Coo coo(static_cast<Index>(rows), static_cast<Index>(cols));
+    coo.reserve(mirror ? entries * 2 : entries);
+    for (long long i = 0; i < entries; ++i) {
+        require(static_cast<bool>(std::getline(in, line)),
+                "MatrixMarket: truncated entry list");
+        std::istringstream entry(line);
+        long long r = 0, c = 0;
+        double v = 1.0;
+        entry >> r >> c;
+        require(!entry.fail(), "MatrixMarket: malformed entry");
+        if (!pattern) {
+            entry >> v;
+            require(!entry.fail(), "MatrixMarket: malformed value");
+        }
+        require(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                "MatrixMarket: entry out of bounds");
+        const auto row = static_cast<Index>(r - 1);
+        const auto col = static_cast<Index>(c - 1);
+        const auto val = static_cast<Value>(v);
+        coo.add(row, col, val);
+        if (mirror && row != col) {
+            coo.add(col, row,
+                    symmetry == "skew-symmetric" ? -val : val);
+        }
+    }
+    return coo;
+}
+
+Coo
+readMatrixMarketFile(const std::string &path)
+{
+    std::ifstream in(path);
+    require(in.is_open(), "MatrixMarket: cannot open " + path);
+    return readMatrixMarket(in);
+}
+
+Csr
+readCsrFromMatrixMarketFile(const std::string &path)
+{
+    return Csr::fromCoo(readMatrixMarketFile(path),
+                        DuplicatePolicy::Sum);
+}
+
+void
+writeMatrixMarket(std::ostream &out, const Csr &matrix)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << "% written by slo (ISPASS'23 matrix-reordering reproduction)\n";
+    out << matrix.numRows() << ' ' << matrix.numCols() << ' '
+        << matrix.numNonZeros() << '\n';
+    for (Index r = 0; r < matrix.numRows(); ++r) {
+        auto idx = matrix.rowIndices(r);
+        auto val = matrix.rowValues(r);
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+            out << (r + 1) << ' ' << (idx[i] + 1) << ' ' << val[i]
+                << '\n';
+        }
+    }
+}
+
+void
+writeMatrixMarketFile(const std::string &path, const Csr &matrix)
+{
+    std::ofstream out(path);
+    require(out.is_open(), "MatrixMarket: cannot open " + path);
+    writeMatrixMarket(out, matrix);
+    require(static_cast<bool>(out), "MatrixMarket: write failed: " + path);
+}
+
+Coo
+readEdgeList(std::istream &in)
+{
+    std::vector<Index> sources;
+    std::vector<Index> targets;
+    std::vector<Value> weights;
+    long long max_id = -1;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#' || line[0] == '%')
+            continue;
+        std::istringstream entry(line);
+        long long src = 0, dst = 0;
+        double weight = 1.0;
+        entry >> src >> dst;
+        if (entry.fail())
+            fatal("edge list: malformed line: " + line);
+        entry >> weight; // optional third column
+        require(src >= 0 && dst >= 0,
+                "edge list: ids must be non-negative");
+        sources.push_back(static_cast<Index>(src));
+        targets.push_back(static_cast<Index>(dst));
+        weights.push_back(static_cast<Value>(
+            entry.fail() ? 1.0 : weight));
+        max_id = std::max({max_id, src, dst});
+    }
+    const auto n = static_cast<Index>(max_id + 1);
+    Coo coo(n, n);
+    coo.reserve(static_cast<Offset>(sources.size()));
+    for (std::size_t i = 0; i < sources.size(); ++i)
+        coo.add(sources[i], targets[i], weights[i]);
+    return coo;
+}
+
+Coo
+readEdgeListFile(const std::string &path)
+{
+    std::ifstream in(path);
+    require(in.is_open(), "edge list: cannot open " + path);
+    return readEdgeList(in);
+}
+
+} // namespace slo::io

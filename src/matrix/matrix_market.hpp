@@ -1,0 +1,50 @@
+/**
+ * @file
+ * MatrixMarket (.mtx) reader/writer.
+ *
+ * Supports the coordinate format with real / integer / pattern fields and
+ * general / symmetric symmetry, which covers everything SuiteSparse ships
+ * for the matrix classes the paper uses. Lets users run the library's
+ * pipeline on real downloaded matrices in addition to the synthetic corpus.
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+
+namespace slo::io
+{
+
+/** Parse a MatrixMarket stream into COO (symmetric entries mirrored). */
+Coo readMatrixMarket(std::istream &in);
+
+/** Read a .mtx file; @throws std::invalid_argument on parse/IO errors. */
+Coo readMatrixMarketFile(const std::string &path);
+
+/** Convenience: read a .mtx file straight into CSR (duplicates summed). */
+Csr readCsrFromMatrixMarketFile(const std::string &path);
+
+/**
+ * Write a matrix in MatrixMarket coordinate/real/general format.
+ * Entries are written row-major sorted, 1-based as per the spec.
+ */
+void writeMatrixMarket(std::ostream &out, const Csr &matrix);
+
+/** Write a .mtx file; @throws std::invalid_argument on IO errors. */
+void writeMatrixMarketFile(const std::string &path, const Csr &matrix);
+
+/**
+ * Parse a SNAP/Konect-style whitespace-separated edge list
+ * ("src dst [weight]" per line, '#' or '%' comments, 0-based ids).
+ * Node count is max id + 1 (square). Values default to 1.
+ */
+Coo readEdgeList(std::istream &in);
+
+/** Read an edge-list file; @throws std::invalid_argument on errors. */
+Coo readEdgeListFile(const std::string &path);
+
+} // namespace slo::io

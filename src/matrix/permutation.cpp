@@ -1,0 +1,109 @@
+#include "matrix/permutation.hpp"
+
+#include <numeric>
+#include <utility>
+
+#include "matrix/rng.hpp"
+
+namespace slo
+{
+
+Permutation::Permutation(std::vector<Index> new_ids)
+    : newIds_(std::move(new_ids))
+{
+    require(isPermutation(newIds_),
+            "Permutation: array is not a bijection over [0, n)");
+}
+
+Permutation
+Permutation::identity(Index n)
+{
+    require(n >= 0, "Permutation::identity: negative size");
+    Permutation p;
+    p.newIds_.resize(static_cast<std::size_t>(n));
+    std::iota(p.newIds_.begin(), p.newIds_.end(), Index{0});
+    return p;
+}
+
+Permutation
+Permutation::random(Index n, std::uint64_t seed)
+{
+    Permutation p = identity(n);
+    Rng rng(seed);
+    for (Index i = n - 1; i > 0; --i) {
+        auto j = static_cast<std::size_t>(
+            rng.below(static_cast<std::uint64_t>(i) + 1));
+        std::swap(p.newIds_[static_cast<std::size_t>(i)], p.newIds_[j]);
+    }
+    return p;
+}
+
+Permutation
+Permutation::fromNewToOld(const std::vector<Index> &order)
+{
+    require(isPermutation(order),
+            "Permutation::fromNewToOld: array is not a bijection");
+    Permutation p;
+    p.newIds_.resize(order.size());
+    for (std::size_t new_id = 0; new_id < order.size(); ++new_id)
+        p.newIds_[static_cast<std::size_t>(order[new_id])] =
+            static_cast<Index>(new_id);
+    return p;
+}
+
+bool
+Permutation::isPermutation(const std::vector<Index> &new_ids)
+{
+    const auto n = new_ids.size();
+    std::vector<bool> seen(n, false);
+    for (Index id : new_ids) {
+        if (id < 0 || static_cast<std::size_t>(id) >= n)
+            return false;
+        if (seen[static_cast<std::size_t>(id)])
+            return false;
+        seen[static_cast<std::size_t>(id)] = true;
+    }
+    return true;
+}
+
+std::vector<Index>
+Permutation::newToOld() const
+{
+    std::vector<Index> order(newIds_.size());
+    for (std::size_t old = 0; old < newIds_.size(); ++old)
+        order[static_cast<std::size_t>(newIds_[old])] =
+            static_cast<Index>(old);
+    return order;
+}
+
+Permutation
+Permutation::inverse() const
+{
+    Permutation p;
+    p.newIds_ = newToOld();
+    return p;
+}
+
+Permutation
+Permutation::then(const Permutation &next) const
+{
+    require(size() == next.size(),
+            "Permutation::then: size mismatch");
+    Permutation p;
+    p.newIds_.resize(newIds_.size());
+    for (std::size_t old = 0; old < newIds_.size(); ++old)
+        p.newIds_[old] = next.newId(newIds_[old]);
+    return p;
+}
+
+bool
+Permutation::isIdentity() const
+{
+    for (std::size_t i = 0; i < newIds_.size(); ++i) {
+        if (newIds_[i] != static_cast<Index>(i))
+            return false;
+    }
+    return true;
+}
+
+} // namespace slo

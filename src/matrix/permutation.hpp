@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Vertex/row permutations.
+ *
+ * Every reordering technique in the library produces a Permutation: a
+ * bijection old-id -> new-id over [0, n). The convention throughout the
+ * code base is the "destination" form, i.e. newIds()[old] == new. Helpers
+ * convert to/from the "source" form (order[new] == old) that ordering
+ * algorithms naturally produce when they emit vertices one by one.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace slo
+{
+
+/** A bijection over [0, n) mapping old ids to new ids. */
+class Permutation
+{
+  public:
+    /** Empty (size-0) permutation. */
+    Permutation() = default;
+
+    /**
+     * Construct from the destination form: new_ids[old] == new.
+     * @throws std::invalid_argument if new_ids is not a bijection.
+     */
+    explicit Permutation(std::vector<Index> new_ids);
+
+    /** The identity permutation over [0, n). */
+    static Permutation identity(Index n);
+
+    /** A uniformly random permutation (Fisher-Yates, deterministic seed). */
+    static Permutation random(Index n, std::uint64_t seed);
+
+    /**
+     * Construct from the source form: order[new] == old (i.e. the list of
+     * old ids in their new order, as ordering algorithms emit them).
+     */
+    static Permutation fromNewToOld(const std::vector<Index> &order);
+
+    /** @return true iff new_ids is a bijection over [0, n). */
+    static bool isPermutation(const std::vector<Index> &new_ids);
+
+    Index size() const { return static_cast<Index>(newIds_.size()); }
+
+    /** New id of old id @p old. */
+    Index
+    newId(Index old) const
+    {
+        return newIds_[static_cast<std::size_t>(old)];
+    }
+
+    Index operator[](Index old) const { return newId(old); }
+
+    /** Destination-form array (newIds()[old] == new). */
+    const std::vector<Index> &newIds() const { return newIds_; }
+
+    /** Source-form array (result[new] == old). */
+    std::vector<Index> newToOld() const;
+
+    /** The inverse bijection. */
+    Permutation inverse() const;
+
+    /**
+     * Composition: first apply *this, then @p next.
+     * (result[old] == next[this[old]]).
+     */
+    Permutation then(const Permutation &next) const;
+
+    /** @return true if this is the identity. */
+    bool isIdentity() const;
+
+    bool operator==(const Permutation &other) const = default;
+
+  private:
+    std::vector<Index> newIds_;
+};
+
+} // namespace slo

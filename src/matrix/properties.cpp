@@ -1,0 +1,156 @@
+#include "matrix/properties.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+namespace slo
+{
+
+DegreeStats
+degreeStats(const Csr &matrix)
+{
+    DegreeStats stats;
+    const Index n = matrix.numRows();
+    if (n == 0)
+        return stats;
+    std::vector<Index> degrees(static_cast<std::size_t>(n));
+    for (Index r = 0; r < n; ++r)
+        degrees[static_cast<std::size_t>(r)] = matrix.degree(r);
+    auto [min_it, max_it] =
+        std::minmax_element(degrees.begin(), degrees.end());
+    stats.minDegree = *min_it;
+    stats.maxDegree = *max_it;
+    stats.avgDegree = matrix.averageDegree();
+    std::nth_element(degrees.begin(), degrees.begin() + n / 2,
+                     degrees.end());
+    stats.medianDegree =
+        static_cast<double>(degrees[static_cast<std::size_t>(n / 2)]);
+    return stats;
+}
+
+std::vector<Index>
+inDegrees(const Csr &matrix)
+{
+    std::vector<Index> degrees(
+        static_cast<std::size_t>(matrix.numCols()), 0);
+    for (Index col : matrix.colIndices())
+        ++degrees[static_cast<std::size_t>(col)];
+    return degrees;
+}
+
+std::vector<Index>
+outDegrees(const Csr &matrix)
+{
+    std::vector<Index> degrees(
+        static_cast<std::size_t>(matrix.numRows()));
+    for (Index r = 0; r < matrix.numRows(); ++r)
+        degrees[static_cast<std::size_t>(r)] = matrix.degree(r);
+    return degrees;
+}
+
+double
+degreeSkew(const Csr &matrix, double top_fraction)
+{
+    require(top_fraction > 0.0 && top_fraction <= 1.0,
+            "degreeSkew: top_fraction must be in (0,1]");
+    const Offset nnz = matrix.numNonZeros();
+    if (nnz == 0 || matrix.numCols() == 0)
+        return 0.0;
+    std::vector<Index> degrees = inDegrees(matrix);
+    const auto top = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::floor(static_cast<double>(degrees.size()) *
+                          top_fraction)));
+    std::nth_element(degrees.begin(), degrees.begin() +
+                         static_cast<std::ptrdiff_t>(top - 1),
+                     degrees.end(), std::greater<Index>());
+    const Offset covered = std::accumulate(
+        degrees.begin(),
+        degrees.begin() + static_cast<std::ptrdiff_t>(top), Offset{0});
+    return static_cast<double>(covered) / static_cast<double>(nnz);
+}
+
+Index
+matrixBandwidth(const Csr &matrix)
+{
+    Index bandwidth = 0;
+    for (Index r = 0; r < matrix.numRows(); ++r) {
+        for (Index c : matrix.rowIndices(r))
+            bandwidth = std::max(bandwidth, std::abs(r - c));
+    }
+    return bandwidth;
+}
+
+double
+averageBandwidth(const Csr &matrix)
+{
+    if (matrix.numNonZeros() == 0)
+        return 0.0;
+    double total = 0.0;
+    for (Index r = 0; r < matrix.numRows(); ++r) {
+        for (Index c : matrix.rowIndices(r))
+            total += std::abs(r - c);
+    }
+    return total / static_cast<double>(matrix.numNonZeros());
+}
+
+Index
+emptyRowCount(const Csr &matrix)
+{
+    Index count = 0;
+    for (Index r = 0; r < matrix.numRows(); ++r) {
+        if (matrix.degree(r) == 0)
+            ++count;
+    }
+    return count;
+}
+
+std::vector<Offset>
+degreeHistogramLog2(const Csr &matrix)
+{
+    std::vector<Offset> histogram;
+    for (Index r = 0; r < matrix.numRows(); ++r) {
+        const Index degree = matrix.degree(r);
+        std::size_t bucket = 0;
+        if (degree > 1) {
+            bucket = static_cast<std::size_t>(
+                std::bit_width(static_cast<std::uint32_t>(degree)) - 1);
+        }
+        if (bucket >= histogram.size())
+            histogram.resize(bucket + 1, 0);
+        ++histogram[bucket];
+    }
+    return histogram;
+}
+
+Index
+connectedComponents(const Csr &matrix)
+{
+    const Index n = matrix.numRows();
+    std::vector<bool> visited(static_cast<std::size_t>(n), false);
+    std::vector<Index> stack;
+    Index components = 0;
+    for (Index start = 0; start < n; ++start) {
+        if (visited[static_cast<std::size_t>(start)])
+            continue;
+        ++components;
+        stack.push_back(start);
+        visited[static_cast<std::size_t>(start)] = true;
+        while (!stack.empty()) {
+            const Index u = stack.back();
+            stack.pop_back();
+            for (Index v : matrix.rowIndices(u)) {
+                if (!visited[static_cast<std::size_t>(v)]) {
+                    visited[static_cast<std::size_t>(v)] = true;
+                    stack.push_back(v);
+                }
+            }
+        }
+    }
+    return components;
+}
+
+} // namespace slo

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Structural properties of sparse matrices.
+ *
+ * These are the quantities the paper's analysis is built on: degree
+ * statistics, the degree-distribution *skew* metric (Sec. V-B: percentage
+ * of non-zeros connected to the top 10% most-connected rows), matrix
+ * bandwidth, and empty-row counts (the wiki-Talk footnote in Sec. VI-A).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/csr.hpp"
+#include "matrix/types.hpp"
+
+namespace slo
+{
+
+/** Summary of a matrix's (out-)degree distribution. */
+struct DegreeStats
+{
+    Index minDegree = 0;
+    Index maxDegree = 0;
+    double avgDegree = 0.0;
+    double medianDegree = 0.0;
+};
+
+/** Degree statistics over rows (out-degrees). */
+DegreeStats degreeStats(const Csr &matrix);
+
+/** In-degrees, i.e. column counts (what DEGSORT/DBG/HUBSORT sort by). */
+std::vector<Index> inDegrees(const Csr &matrix);
+
+/** Out-degrees (row lengths). */
+std::vector<Index> outDegrees(const Csr &matrix);
+
+/**
+ * Degree-distribution skew (Sec. V-B): the fraction of non-zeros whose
+ * column belongs to the top @p top_fraction most-connected columns (by
+ * in-degree). The paper reports this as a percentage with
+ * top_fraction = 0.1; returns a value in [0, 1].
+ */
+double degreeSkew(const Csr &matrix, double top_fraction = 0.1);
+
+/** Maximum |row - col| over all non-zeros (classic matrix bandwidth). */
+Index matrixBandwidth(const Csr &matrix);
+
+/** Mean |row - col| over all non-zeros. */
+double averageBandwidth(const Csr &matrix);
+
+/** Number of rows with no non-zeros. */
+Index emptyRowCount(const Csr &matrix);
+
+/**
+ * Histogram of out-degrees bucketed by floor(log2(degree)); bucket 0
+ * holds degrees 0 and 1. Used by DBG and by dataset characterization.
+ */
+std::vector<Offset> degreeHistogramLog2(const Csr &matrix);
+
+/**
+ * Number of connected components of the undirected pattern
+ * (matrix must have a symmetric pattern).
+ */
+Index connectedComponents(const Csr &matrix);
+
+} // namespace slo

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module in the library.
+ *
+ * The paper's traffic formulas (Sec. IV-B) assume 4-byte matrix values and
+ * 4-byte CSR coordinates, so vertex/row/column ids are 32-bit and values are
+ * single-precision floats. Non-zero *offsets* are 64-bit since the paper's
+ * corpus reaches 2B non-zeros.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace slo
+{
+
+/** Row/column/vertex identifier (4 bytes, as assumed by traffic formulas). */
+using Index = std::int32_t;
+
+/** Offset into the non-zero arrays; 64-bit to allow > 2^31 non-zeros. */
+using Offset = std::int64_t;
+
+/** Matrix value type (4 bytes, as assumed by traffic formulas). */
+using Value = float;
+
+/** Size of one matrix element / coordinate in bytes. */
+inline constexpr Offset kElemBytes = 4;
+
+/**
+ * Throw std::invalid_argument with a formatted message. Used for user-level
+ * errors (bad arguments, malformed files) as opposed to internal invariant
+ * violations, which use assert().
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw std::invalid_argument(msg);
+}
+
+/** Require a user-level precondition; throws std::invalid_argument. */
+inline void
+require(bool cond, const std::string &msg)
+{
+    if (!cond)
+        fatal(msg);
+}
+
+} // namespace slo

@@ -1,0 +1,534 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+
+#include "matrix/rng.hpp"
+
+namespace slo::partition
+{
+
+namespace
+{
+
+/** Internal weighted graph (edge + vertex weights). */
+struct WGraph
+{
+    Index n = 0;
+    std::vector<Offset> offsets = {0};
+    std::vector<Index> adj;
+    std::vector<double> ew;
+    std::vector<Index> vw;
+
+    Index
+    totalWeight() const
+    {
+        Index total = 0;
+        for (Index w : vw)
+            total += w;
+        return total;
+    }
+};
+
+WGraph
+fromCsr(const Csr &graph)
+{
+    WGraph wg;
+    wg.n = graph.numRows();
+    wg.offsets.assign(graph.rowOffsets().begin(),
+                      graph.rowOffsets().end());
+    wg.adj.assign(graph.colIndices().begin(),
+                  graph.colIndices().end());
+    wg.ew.assign(wg.adj.size(), 1.0);
+    wg.vw.assign(static_cast<std::size_t>(wg.n), 1);
+    return wg;
+}
+
+/** Random visit order. */
+std::vector<Index>
+shuffledOrder(Index n, Rng &rng)
+{
+    std::vector<Index> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), Index{0});
+    for (std::size_t i = order.size(); i > 1; --i) {
+        const auto j = static_cast<std::size_t>(rng.below(i));
+        std::swap(order[i - 1], order[j]);
+    }
+    return order;
+}
+
+/**
+ * Heavy-edge matching: match[v] = partner (or v itself).
+ * @return number of coarse vertices.
+ */
+Index
+heavyEdgeMatching(const WGraph &wg, Rng &rng,
+                  std::vector<Index> *coarse_id)
+{
+    std::vector<Index> match(static_cast<std::size_t>(wg.n), -1);
+    const std::vector<Index> order = shuffledOrder(wg.n, rng);
+    for (Index v : order) {
+        const auto sv = static_cast<std::size_t>(v);
+        if (match[sv] >= 0)
+            continue;
+        Index best = v;
+        double best_w = -1.0;
+        for (Offset i = wg.offsets[sv]; i < wg.offsets[sv + 1]; ++i) {
+            const auto si = static_cast<std::size_t>(i);
+            const Index u = wg.adj[si];
+            if (u == v || match[static_cast<std::size_t>(u)] >= 0)
+                continue;
+            if (wg.ew[si] > best_w) {
+                best_w = wg.ew[si];
+                best = u;
+            }
+        }
+        match[sv] = best;
+        match[static_cast<std::size_t>(best)] = v;
+    }
+
+    coarse_id->assign(static_cast<std::size_t>(wg.n), -1);
+    Index next = 0;
+    for (Index v = 0; v < wg.n; ++v) {
+        const auto sv = static_cast<std::size_t>(v);
+        if ((*coarse_id)[sv] >= 0)
+            continue;
+        (*coarse_id)[sv] = next;
+        const Index partner = match[sv];
+        if (partner != v)
+            (*coarse_id)[static_cast<std::size_t>(partner)] = next;
+        ++next;
+    }
+    return next;
+}
+
+/** Contract wg by coarse_id into a coarse graph. */
+WGraph
+contract(const WGraph &wg, const std::vector<Index> &coarse_id,
+         Index coarse_n)
+{
+    std::vector<std::unordered_map<Index, double>> adj(
+        static_cast<std::size_t>(coarse_n));
+    std::vector<Index> vw(static_cast<std::size_t>(coarse_n), 0);
+    for (Index v = 0; v < wg.n; ++v) {
+        const auto sv = static_cast<std::size_t>(v);
+        const Index cv = coarse_id[sv];
+        vw[static_cast<std::size_t>(cv)] += wg.vw[sv];
+        for (Offset i = wg.offsets[sv]; i < wg.offsets[sv + 1]; ++i) {
+            const auto si = static_cast<std::size_t>(i);
+            const Index cu =
+                coarse_id[static_cast<std::size_t>(wg.adj[si])];
+            if (cu != cv)
+                adj[static_cast<std::size_t>(cv)][cu] += wg.ew[si];
+        }
+    }
+
+    WGraph coarse;
+    coarse.n = coarse_n;
+    coarse.vw = std::move(vw);
+    coarse.offsets.assign(static_cast<std::size_t>(coarse_n) + 1, 0);
+    for (Index c = 0; c < coarse_n; ++c) {
+        coarse.offsets[static_cast<std::size_t>(c) + 1] =
+            coarse.offsets[static_cast<std::size_t>(c)] +
+            static_cast<Offset>(adj[static_cast<std::size_t>(c)]
+                                    .size());
+    }
+    coarse.adj.resize(static_cast<std::size_t>(coarse.offsets.back()));
+    coarse.ew.resize(coarse.adj.size());
+    for (Index c = 0; c < coarse_n; ++c) {
+        auto pos = static_cast<std::size_t>(
+            coarse.offsets[static_cast<std::size_t>(c)]);
+        std::vector<std::pair<Index, double>> entries(
+            adj[static_cast<std::size_t>(c)].begin(),
+            adj[static_cast<std::size_t>(c)].end());
+        std::sort(entries.begin(), entries.end());
+        for (const auto &[u, w] : entries) {
+            coarse.adj[pos] = u;
+            coarse.ew[pos] = w;
+            ++pos;
+        }
+    }
+    return coarse;
+}
+
+/**
+ * Greedy-growing initial bisection: BFS-grow side 0 from a random
+ * seed, preferring vertices with the strongest connection to the grown
+ * region, until it holds ~target_fraction of the weight.
+ */
+std::vector<std::uint8_t>
+growBisection(const WGraph &wg, double target_fraction, Rng &rng)
+{
+    std::vector<std::uint8_t> side(static_cast<std::size_t>(wg.n), 1);
+    if (wg.n == 0)
+        return side;
+    const double target =
+        target_fraction * static_cast<double>(wg.totalWeight());
+
+    std::vector<double> gain(static_cast<std::size_t>(wg.n), 0.0);
+    std::vector<bool> in_frontier(static_cast<std::size_t>(wg.n),
+                                  false);
+    std::vector<Index> frontier;
+    double grown = 0.0;
+
+    auto add = [&](Index v) {
+        const auto sv = static_cast<std::size_t>(v);
+        side[sv] = 0;
+        grown += wg.vw[sv];
+        for (Offset i = wg.offsets[sv]; i < wg.offsets[sv + 1]; ++i) {
+            const auto si = static_cast<std::size_t>(i);
+            const Index u = wg.adj[si];
+            const auto su = static_cast<std::size_t>(u);
+            if (side[su] == 0)
+                continue;
+            gain[su] += wg.ew[si];
+            if (!in_frontier[su]) {
+                in_frontier[su] = true;
+                frontier.push_back(u);
+            }
+        }
+    };
+
+    add(static_cast<Index>(rng.below(
+        static_cast<std::uint64_t>(wg.n))));
+    while (grown < target) {
+        // Pick the frontier vertex with max gain (linear scan: the
+        // coarsest graph is small by construction).
+        Index best = -1;
+        double best_gain = -1.0;
+        std::size_t best_pos = 0;
+        for (std::size_t i = 0; i < frontier.size(); ++i) {
+            const Index v = frontier[i];
+            const auto sv = static_cast<std::size_t>(v);
+            if (side[sv] == 0)
+                continue;
+            if (gain[sv] > best_gain) {
+                best_gain = gain[sv];
+                best = v;
+                best_pos = i;
+            }
+        }
+        if (best < 0) {
+            // Disconnected remainder: seed a new region.
+            Index fallback = -1;
+            for (Index v = 0; v < wg.n; ++v) {
+                if (side[static_cast<std::size_t>(v)] == 1) {
+                    fallback = v;
+                    break;
+                }
+            }
+            if (fallback < 0)
+                break;
+            add(fallback);
+            continue;
+        }
+        frontier[best_pos] = frontier.back();
+        frontier.pop_back();
+        in_frontier[static_cast<std::size_t>(best)] = false;
+        add(best);
+    }
+    return side;
+}
+
+/**
+ * FM-style boundary refinement: greedy positive-gain moves under a
+ * balance constraint, several passes.
+ */
+void
+refineBisection(const WGraph &wg, std::vector<std::uint8_t> *side,
+                double target_fraction, double imbalance, int passes,
+                Rng &rng)
+{
+    const double total = static_cast<double>(wg.totalWeight());
+    const double max0 = target_fraction * total * imbalance;
+    const double max1 = (1.0 - target_fraction) * total * imbalance;
+
+    // external/internal connection weight per vertex.
+    std::vector<double> ext(static_cast<std::size_t>(wg.n), 0.0);
+    std::vector<double> internal(static_cast<std::size_t>(wg.n), 0.0);
+    double weight0 = 0.0;
+    for (Index v = 0; v < wg.n; ++v) {
+        const auto sv = static_cast<std::size_t>(v);
+        if ((*side)[sv] == 0)
+            weight0 += wg.vw[sv];
+        for (Offset i = wg.offsets[sv]; i < wg.offsets[sv + 1]; ++i) {
+            const auto si = static_cast<std::size_t>(i);
+            if ((*side)[static_cast<std::size_t>(wg.adj[si])] ==
+                (*side)[sv]) {
+                internal[sv] += wg.ew[si];
+            } else {
+                ext[sv] += wg.ew[si];
+            }
+        }
+    }
+
+    // Rebalance first: recursive bisection and greedy growing can leave
+    // a side over its bound; force the cheapest moves off the heavy
+    // side (approximate: gains are not re-evaluated during the sweep).
+    auto rebalance = [&](std::uint8_t heavy, double limit,
+                         bool heavy_is_zero) {
+        double heavy_weight = heavy_is_zero ? weight0
+                                            : total - weight0;
+        if (heavy_weight <= limit)
+            return;
+        std::vector<Index> candidates;
+        for (Index v = 0; v < wg.n; ++v) {
+            if ((*side)[static_cast<std::size_t>(v)] == heavy)
+                candidates.push_back(v);
+        }
+        std::stable_sort(candidates.begin(), candidates.end(),
+            [&](Index a, Index b) {
+                const auto sa = static_cast<std::size_t>(a);
+                const auto sb = static_cast<std::size_t>(b);
+                return ext[sa] - internal[sa] >
+                       ext[sb] - internal[sb];
+            });
+        for (Index v : candidates) {
+            if (heavy_weight <= limit)
+                break;
+            const auto sv = static_cast<std::size_t>(v);
+            (*side)[sv] = heavy == 0 ? 1 : 0;
+            weight0 += heavy == 0 ? -wg.vw[sv] : wg.vw[sv];
+            heavy_weight -= wg.vw[sv];
+            std::swap(ext[sv], internal[sv]);
+            for (Offset i = wg.offsets[sv]; i < wg.offsets[sv + 1];
+                 ++i) {
+                const auto si = static_cast<std::size_t>(i);
+                const auto su =
+                    static_cast<std::size_t>(wg.adj[si]);
+                if ((*side)[su] == (*side)[sv]) {
+                    internal[su] += wg.ew[si];
+                    ext[su] -= wg.ew[si];
+                } else {
+                    internal[su] -= wg.ew[si];
+                    ext[su] += wg.ew[si];
+                }
+            }
+        }
+    };
+    rebalance(0, max0, true);
+    rebalance(1, max1, false);
+
+    for (int pass = 0; pass < passes; ++pass) {
+        bool moved = false;
+        for (Index v : shuffledOrder(wg.n, rng)) {
+            const auto sv = static_cast<std::size_t>(v);
+            const double gain = ext[sv] - internal[sv];
+            if (gain <= 0.0)
+                continue;
+            const bool to_zero = (*side)[sv] == 1;
+            const double new_w0 =
+                weight0 + (to_zero ? wg.vw[sv] : -wg.vw[sv]);
+            if (new_w0 > max0 || total - new_w0 > max1)
+                continue;
+            // Move v; update neighbours incrementally.
+            (*side)[sv] = to_zero ? 0 : 1;
+            weight0 = new_w0;
+            std::swap(ext[sv], internal[sv]);
+            for (Offset i = wg.offsets[sv]; i < wg.offsets[sv + 1];
+                 ++i) {
+                const auto si = static_cast<std::size_t>(i);
+                const auto su =
+                    static_cast<std::size_t>(wg.adj[si]);
+                if ((*side)[su] == (*side)[sv]) {
+                    internal[su] += wg.ew[si];
+                    ext[su] -= wg.ew[si];
+                } else {
+                    internal[su] -= wg.ew[si];
+                    ext[su] += wg.ew[si];
+                }
+            }
+            moved = true;
+        }
+        if (!moved)
+            break;
+    }
+}
+
+/** Multilevel bisection of wg into sides {0,1}. */
+std::vector<std::uint8_t>
+bisect(const WGraph &wg, double target_fraction,
+       const PartitionOptions &options, Rng &rng)
+{
+    if (wg.n <= options.coarsenTarget) {
+        std::vector<std::uint8_t> side =
+            growBisection(wg, target_fraction, rng);
+        refineBisection(wg, &side, target_fraction, options.imbalance,
+                        options.refinePasses, rng);
+        return side;
+    }
+
+    std::vector<Index> coarse_id;
+    const Index coarse_n = heavyEdgeMatching(wg, rng, &coarse_id);
+    if (coarse_n >= wg.n) {
+        // Matching made no progress (e.g. edgeless): bisect directly.
+        std::vector<std::uint8_t> side =
+            growBisection(wg, target_fraction, rng);
+        refineBisection(wg, &side, target_fraction, options.imbalance,
+                        options.refinePasses, rng);
+        return side;
+    }
+    const WGraph coarse = contract(wg, coarse_id, coarse_n);
+    const std::vector<std::uint8_t> coarse_side =
+        bisect(coarse, target_fraction, options, rng);
+
+    // Project and refine at this level.
+    std::vector<std::uint8_t> side(static_cast<std::size_t>(wg.n));
+    for (Index v = 0; v < wg.n; ++v) {
+        side[static_cast<std::size_t>(v)] =
+            coarse_side[static_cast<std::size_t>(
+                coarse_id[static_cast<std::size_t>(v)])];
+    }
+    refineBisection(wg, &side, target_fraction, options.imbalance,
+                    options.refinePasses, rng);
+    return side;
+}
+
+/** Extract the sub-graph induced by `vertices` (order preserved). */
+WGraph
+inducedSubgraph(const WGraph &wg, const std::vector<Index> &vertices,
+                std::vector<Index> *local_of)
+{
+    local_of->assign(static_cast<std::size_t>(wg.n), -1);
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+        (*local_of)[static_cast<std::size_t>(vertices[i])] =
+            static_cast<Index>(i);
+    }
+    WGraph sub;
+    sub.n = static_cast<Index>(vertices.size());
+    sub.vw.resize(vertices.size());
+    sub.offsets.assign(vertices.size() + 1, 0);
+    // Count, then fill.
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+        const auto sv = static_cast<std::size_t>(vertices[i]);
+        sub.vw[i] = wg.vw[sv];
+        Offset degree = 0;
+        for (Offset e = wg.offsets[sv]; e < wg.offsets[sv + 1]; ++e) {
+            if ((*local_of)[static_cast<std::size_t>(
+                    wg.adj[static_cast<std::size_t>(e)])] >= 0) {
+                ++degree;
+            }
+        }
+        sub.offsets[i + 1] = sub.offsets[i] + degree;
+    }
+    sub.adj.resize(static_cast<std::size_t>(sub.offsets.back()));
+    sub.ew.resize(sub.adj.size());
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+        const auto sv = static_cast<std::size_t>(vertices[i]);
+        auto pos = static_cast<std::size_t>(sub.offsets[i]);
+        for (Offset e = wg.offsets[sv]; e < wg.offsets[sv + 1]; ++e) {
+            const auto se = static_cast<std::size_t>(e);
+            const Index local =
+                (*local_of)[static_cast<std::size_t>(wg.adj[se])];
+            if (local >= 0) {
+                sub.adj[pos] = local;
+                sub.ew[pos] = wg.ew[se];
+                ++pos;
+            }
+        }
+    }
+    return sub;
+}
+
+/** Recursively split `vertices` of wg into `parts` parts. */
+void
+recursiveBisect(const WGraph &wg, const std::vector<Index> &vertices,
+                Index parts, Index first_part,
+                const PartitionOptions &options, Rng &rng,
+                std::vector<Index> *assignment)
+{
+    if (parts <= 1 || vertices.size() <= 1) {
+        for (Index v : vertices)
+            (*assignment)[static_cast<std::size_t>(v)] = first_part;
+        return;
+    }
+    const Index left_parts = (parts + 1) / 2;
+    const double target_fraction =
+        static_cast<double>(left_parts) / static_cast<double>(parts);
+
+    std::vector<Index> local_of;
+    const WGraph sub = inducedSubgraph(wg, vertices, &local_of);
+    const std::vector<std::uint8_t> side =
+        bisect(sub, target_fraction, options, rng);
+
+    std::vector<Index> left, right;
+    for (std::size_t i = 0; i < vertices.size(); ++i)
+        (side[i] == 0 ? left : right).push_back(vertices[i]);
+    // Degenerate splits (everything on one side) still terminate:
+    // steal one vertex if needed.
+    if (left.empty() && !right.empty()) {
+        left.push_back(right.back());
+        right.pop_back();
+    } else if (right.empty() && !left.empty()) {
+        right.push_back(left.back());
+        left.pop_back();
+    }
+    recursiveBisect(wg, left, left_parts, first_part, options, rng,
+                    assignment);
+    recursiveBisect(wg, right, parts - left_parts,
+                    first_part + left_parts, options, rng, assignment);
+}
+
+} // namespace
+
+Offset
+cutOf(const Csr &graph, const std::vector<Index> &assignment)
+{
+    require(assignment.size() ==
+                static_cast<std::size_t>(graph.numRows()),
+            "cutOf: assignment size mismatch");
+    Offset cut2 = 0;
+    for (Index v = 0; v < graph.numRows(); ++v) {
+        for (Index u : graph.rowIndices(v)) {
+            if (assignment[static_cast<std::size_t>(v)] !=
+                assignment[static_cast<std::size_t>(u)]) {
+                ++cut2;
+            }
+        }
+    }
+    return cut2 / 2; // symmetric pattern stores each edge twice
+}
+
+PartitionResult
+partitionGraph(const Csr &graph, const PartitionOptions &options)
+{
+    require(graph.isSquare(), "partitionGraph: graph must be square");
+    require(options.numParts >= 1,
+            "partitionGraph: need at least one part");
+    require(options.imbalance >= 1.0,
+            "partitionGraph: imbalance must be >= 1.0");
+
+    const Csr sym = graph.isSymmetricPattern() ? graph
+                                               : graph.symmetrized();
+    const WGraph wg = fromCsr(sym);
+    Rng rng(options.seed);
+
+    PartitionResult result;
+    result.parts = options.numParts;
+    result.assignment.assign(static_cast<std::size_t>(wg.n), 0);
+    std::vector<Index> all(static_cast<std::size_t>(wg.n));
+    std::iota(all.begin(), all.end(), Index{0});
+    recursiveBisect(wg, all, options.numParts, 0, options, rng,
+                    &result.assignment);
+    result.cutEdges = cutOf(sym, result.assignment);
+    return result;
+}
+
+Permutation
+partitionOrder(const Csr &matrix, const PartitionOptions &options)
+{
+    const PartitionResult result = partitionGraph(matrix, options);
+    std::vector<Index> order(
+        static_cast<std::size_t>(matrix.numRows()));
+    std::iota(order.begin(), order.end(), Index{0});
+    std::stable_sort(order.begin(), order.end(),
+        [&result](Index a, Index b) {
+            return result.assignment[static_cast<std::size_t>(a)] <
+                   result.assignment[static_cast<std::size_t>(b)];
+        });
+    return Permutation::fromNewToOld(order);
+}
+
+} // namespace slo::partition

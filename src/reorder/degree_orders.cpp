@@ -1,0 +1,112 @@
+#include "reorder/degree_orders.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <vector>
+
+#include "matrix/properties.hpp"
+
+namespace slo::reorder
+{
+
+namespace
+{
+
+std::vector<Index>
+identityOrder(Index n)
+{
+    std::vector<Index> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), Index{0});
+    return order;
+}
+
+} // namespace
+
+Permutation
+degSortOrder(const Csr &matrix)
+{
+    const std::vector<Index> degrees = inDegrees(matrix);
+    std::vector<Index> order = identityOrder(matrix.numRows());
+    std::stable_sort(order.begin(), order.end(),
+        [&degrees](Index a, Index b) {
+            return degrees[static_cast<std::size_t>(a)] >
+                   degrees[static_cast<std::size_t>(b)];
+        });
+    return Permutation::fromNewToOld(order);
+}
+
+Permutation
+dbgOrder(const Csr &matrix)
+{
+    const std::vector<Index> degrees = inDegrees(matrix);
+    auto bucket_of = [](Index degree) -> int {
+        if (degree <= 1)
+            return 0;
+        return static_cast<int>(
+            std::bit_width(static_cast<std::uint32_t>(degree))) - 1;
+    };
+    std::vector<Index> order = identityOrder(matrix.numRows());
+    // Stable sort by descending bucket: preserves relative order within
+    // each degree range — DBG's defining property.
+    std::stable_sort(order.begin(), order.end(),
+        [&degrees, &bucket_of](Index a, Index b) {
+            return bucket_of(degrees[static_cast<std::size_t>(a)]) >
+                   bucket_of(degrees[static_cast<std::size_t>(b)]);
+        });
+    return Permutation::fromNewToOld(order);
+}
+
+Permutation
+hubSortOrder(const Csr &matrix)
+{
+    const std::vector<Index> degrees = inDegrees(matrix);
+    const double avg = matrix.numRows() > 0
+        ? static_cast<double>(matrix.numNonZeros()) /
+              static_cast<double>(matrix.numRows())
+        : 0.0;
+    std::vector<Index> hubs;
+    std::vector<Index> rest;
+    for (Index v = 0; v < matrix.numRows(); ++v) {
+        if (static_cast<double>(degrees[static_cast<std::size_t>(v)]) >
+            avg) {
+            hubs.push_back(v);
+        } else {
+            rest.push_back(v);
+        }
+    }
+    std::stable_sort(hubs.begin(), hubs.end(),
+        [&degrees](Index a, Index b) {
+            return degrees[static_cast<std::size_t>(a)] >
+                   degrees[static_cast<std::size_t>(b)];
+        });
+    hubs.insert(hubs.end(), rest.begin(), rest.end());
+    return Permutation::fromNewToOld(hubs);
+}
+
+Permutation
+hubClusterOrder(const Csr &matrix)
+{
+    const std::vector<Index> degrees = inDegrees(matrix);
+    const double avg = matrix.numRows() > 0
+        ? static_cast<double>(matrix.numNonZeros()) /
+              static_cast<double>(matrix.numRows())
+        : 0.0;
+    std::vector<Index> order;
+    order.reserve(static_cast<std::size_t>(matrix.numRows()));
+    for (Index v = 0; v < matrix.numRows(); ++v) {
+        if (static_cast<double>(degrees[static_cast<std::size_t>(v)]) >
+            avg) {
+            order.push_back(v);
+        }
+    }
+    for (Index v = 0; v < matrix.numRows(); ++v) {
+        if (!(static_cast<double>(degrees[static_cast<std::size_t>(v)]) >
+              avg)) {
+            order.push_back(v);
+        }
+    }
+    return Permutation::fromNewToOld(order);
+}
+
+} // namespace slo::reorder

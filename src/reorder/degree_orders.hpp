@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Degree-based reordering techniques (Sec. IV-A's lightweight baselines).
+ *
+ * These exploit the power-law degree distribution: packing the most
+ * highly-referenced columns into the fewest cache lines. All of them sort
+ * or group by *in*-degree, following the paper ("We use in-degrees for
+ * both DEGSORT and DBG based on the observations of prior work for
+ * push-style workloads").
+ */
+
+#pragma once
+
+#include "matrix/csr.hpp"
+#include "matrix/permutation.hpp"
+
+namespace slo::reorder
+{
+
+/** DEGSORT: stable sort of all vertices by descending in-degree. */
+Permutation degSortOrder(const Csr &matrix);
+
+/**
+ * DBG (degree-based grouping, Faldu et al. IISWC'19): vertices are
+ * bucketed by power-of-two in-degree ranges; buckets are laid out from
+ * the highest degree range down, and the original relative order is
+ * preserved inside each bucket.
+ */
+Permutation dbgOrder(const Csr &matrix);
+
+/**
+ * HUBSORT: vertices with in-degree > average are placed first, sorted by
+ * descending in-degree; the rest keep their relative order after them.
+ */
+Permutation hubSortOrder(const Csr &matrix);
+
+/**
+ * HUBCLUSTER: like HUBSORT but hubs keep their original relative order
+ * (grouping without sorting; Balaji & Lucia IISWC'18).
+ */
+Permutation hubClusterOrder(const Csr &matrix);
+
+} // namespace slo::reorder

@@ -1,0 +1,114 @@
+#include "reorder/gorder.hpp"
+
+#include <deque>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace slo::reorder
+{
+
+namespace
+{
+
+/** Max-heap entry: (key, vertex), lazily validated against `keys`. */
+using HeapEntry = std::pair<std::int64_t, Index>;
+
+} // namespace
+
+Permutation
+gorderOrder(const Csr &matrix, const GorderOptions &options)
+{
+    require(matrix.isSquare(), "gorderOrder: matrix must be square");
+    require(options.window >= 1, "gorderOrder: window must be >= 1");
+    const Index n = matrix.numRows();
+    if (n == 0)
+        return Permutation::identity(0);
+
+    // Out-neighbours come from the matrix rows; in-neighbours from the
+    // transpose. For symmetric patterns the two coincide, but we keep
+    // the general directed formulation of the original algorithm.
+    const Csr &out = matrix;
+    const Csr in = matrix.isSymmetricPattern() ? matrix
+                                               : matrix.transposed();
+
+    std::vector<std::int64_t> keys(static_cast<std::size_t>(n), 0);
+    std::vector<bool> placed(static_cast<std::size_t>(n), false);
+    std::priority_queue<HeapEntry> heap;
+
+    // Adjust the locality-score contribution of window vertex `v` to all
+    // unplaced candidates by `delta` (+1 on window entry, -1 on exit).
+    auto adjust = [&](Index v, std::int64_t delta) {
+        const auto touch = [&](Index u) {
+            if (placed[static_cast<std::size_t>(u)])
+                return;
+            keys[static_cast<std::size_t>(u)] += delta;
+            if (delta > 0)
+                heap.emplace(keys[static_cast<std::size_t>(u)], u);
+        };
+        // Direct edges: v -> u and u -> v both contribute.
+        for (Index u : out.rowIndices(v))
+            touch(u);
+        for (Index u : in.rowIndices(v))
+            touch(u);
+        // Shared in-neighbours: w -> v and w -> u.
+        for (Index w : in.rowIndices(v)) {
+            if (options.hubCap > 0 && out.degree(w) > options.hubCap)
+                continue;
+            for (Index u : out.rowIndices(w))
+                touch(u);
+        }
+    };
+
+    // Start from the vertex with the highest in-degree.
+    Index start = 0;
+    for (Index v = 1; v < n; ++v) {
+        if (in.degree(v) > in.degree(start))
+            start = v;
+    }
+
+    std::vector<Index> order;
+    order.reserve(static_cast<std::size_t>(n));
+    std::deque<Index> window;
+    Index next_fallback = 0; // scan cursor for untouched vertices
+
+    auto place = [&](Index v) {
+        placed[static_cast<std::size_t>(v)] = true;
+        order.push_back(v);
+        window.push_back(v);
+        adjust(v, +1);
+        if (static_cast<int>(window.size()) > options.window) {
+            const Index expired = window.front();
+            window.pop_front();
+            adjust(expired, -1);
+        }
+    };
+
+    place(start);
+    while (order.size() < static_cast<std::size_t>(n)) {
+        Index chosen = -1;
+        while (!heap.empty()) {
+            const auto [key, v] = heap.top();
+            heap.pop();
+            if (placed[static_cast<std::size_t>(v)])
+                continue;
+            if (key != keys[static_cast<std::size_t>(v)]) {
+                // Stale: reinsert with the current key and retry.
+                heap.emplace(keys[static_cast<std::size_t>(v)], v);
+                continue;
+            }
+            chosen = v;
+            break;
+        }
+        if (chosen < 0) {
+            // No scored candidate (disconnected region): next unplaced.
+            while (placed[static_cast<std::size_t>(next_fallback)])
+                ++next_fallback;
+            chosen = next_fallback;
+        }
+        place(chosen);
+    }
+    return Permutation::fromNewToOld(order);
+}
+
+} // namespace slo::reorder

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * GORDER (Wei et al., SIGMOD'16).
+ *
+ * Greedy ordering that maximizes a windowed locality score: a vertex is
+ * appended if it shares many in-neighbours (or direct edges) with the w
+ * most recently placed vertices. Broadly effective (Fig. 2) but with a
+ * pre-processing cost that scales poorly with matrix size — the property
+ * Fig. 9 demonstrates and that motivates preferring RABBIT/RABBIT++.
+ */
+
+#pragma once
+
+#include "matrix/csr.hpp"
+#include "matrix/permutation.hpp"
+
+namespace slo::reorder
+{
+
+/** GORDER tuning knobs. */
+struct GorderOptions
+{
+    /** Sliding-window size (the paper of record recommends w = 5). */
+    int window = 5;
+
+    /**
+     * Skip the 2-hop candidate expansion through in-neighbours whose
+     * out-degree exceeds this cap (0 = exact algorithm). This is a
+     * documented approximation bounding the O(d^2) hub blow-up; it
+     * leaves the objective for non-hub structure intact.
+     */
+    Index hubCap = 4096;
+};
+
+/** Compute the GORDER ordering of @p matrix. */
+Permutation gorderOrder(const Csr &matrix,
+                        const GorderOptions &options = {});
+
+} // namespace slo::reorder

@@ -1,0 +1,103 @@
+#include "reorder/locality_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_set>
+
+namespace slo::reorder
+{
+
+double
+windowLocalityScore(const Csr &matrix, int window)
+{
+    require(window >= 1, "windowLocalityScore: window must be >= 1");
+    if (matrix.numNonZeros() == 0)
+        return 0.0;
+    double score = 0.0;
+    std::deque<Index> recent;
+    for (Index v = 0; v < matrix.numRows(); ++v) {
+        auto iv = matrix.rowIndices(v);
+        for (Index u : recent) {
+            auto iu = matrix.rowIndices(u);
+            // Shared neighbours via sorted-merge.
+            std::size_t a = 0, b = 0;
+            while (a < iu.size() && b < iv.size()) {
+                if (iu[a] < iv[b]) {
+                    ++a;
+                } else if (iu[a] > iv[b]) {
+                    ++b;
+                } else {
+                    score += 1.0;
+                    ++a;
+                    ++b;
+                }
+            }
+            if (matrix.hasEntry(u, v) || matrix.hasEntry(v, u))
+                score += 1.0;
+        }
+        recent.push_back(v);
+        if (static_cast<int>(recent.size()) > window)
+            recent.pop_front();
+    }
+    return score / static_cast<double>(matrix.numNonZeros());
+}
+
+double
+averageGapLines(const Csr &matrix, int elems_per_line)
+{
+    require(elems_per_line >= 1,
+            "averageGapLines: elems_per_line must be >= 1");
+    if (matrix.numNonZeros() == 0)
+        return 0.0;
+    double total = 0.0;
+    for (Index r = 0; r < matrix.numRows(); ++r) {
+        for (Index c : matrix.rowIndices(r))
+            total += std::abs(r - c);
+    }
+    return total / static_cast<double>(matrix.numNonZeros()) /
+           static_cast<double>(elems_per_line);
+}
+
+double
+sameLineFraction(const Csr &matrix, int elems_per_line)
+{
+    require(elems_per_line >= 1,
+            "sameLineFraction: elems_per_line must be >= 1");
+    const Offset nnz = matrix.numNonZeros();
+    if (nnz == 0)
+        return 0.0;
+    Offset same = 0;
+    for (Index r = 0; r < matrix.numRows(); ++r) {
+        auto idx = matrix.rowIndices(r);
+        for (std::size_t i = 1; i < idx.size(); ++i) {
+            if (idx[i] / elems_per_line == idx[i - 1] / elems_per_line)
+                ++same;
+        }
+    }
+    return static_cast<double>(same) / static_cast<double>(nnz);
+}
+
+double
+distinctLinesPerNonZero(const Csr &matrix, int elems_per_line)
+{
+    require(elems_per_line >= 1,
+            "distinctLinesPerNonZero: elems_per_line must be >= 1");
+    const Offset nnz = matrix.numNonZeros();
+    if (nnz == 0)
+        return 0.0;
+    Offset distinct = 0;
+    std::unordered_set<Index> lines;
+    for (Index r = 0; r < matrix.numRows(); ++r) {
+        auto idx = matrix.rowIndices(r);
+        if (idx.empty())
+            continue;
+        lines.clear();
+        for (Index c : idx)
+            lines.insert(c / elems_per_line);
+        distinct += static_cast<Offset>(lines.size());
+    }
+    return static_cast<double>(distinct) / static_cast<double>(nnz);
+}
+
+} // namespace slo::reorder

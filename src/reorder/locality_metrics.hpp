@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Static locality metrics for orderings.
+ *
+ * The paper's related work (Sec. VII, "Analysis of matrix reordering":
+ * Barik et al.'s gap measures, Esfahani et al.'s spatial-locality
+ * metrics) estimates reordering quality *without* running a simulator.
+ * This module implements the common estimators so users can screen
+ * orderings cheaply; `ext_locality_metrics` checks how well each
+ * estimator predicts the simulated DRAM traffic across the corpus.
+ *
+ * All metrics are computed over the matrix as ordered (apply the
+ * permutation first) and, unless noted, are normalized to [0, 1] or to
+ * per-edge units so they compare across matrices.
+ */
+
+#pragma once
+
+#include "matrix/csr.hpp"
+
+namespace slo::reorder
+{
+
+/**
+ * GORDER's objective, normalized per edge: for each vertex in new-id
+ * order, the number of neighbours-in-common (plus direct links) with
+ * the previous @p window vertices, divided by nnz. Higher is better.
+ */
+double windowLocalityScore(const Csr &matrix, int window = 5);
+
+/**
+ * Average gap |r - c| over non-zeros, in *cache lines* of
+ * @p elems_per_line vector elements (Barik et al.'s gap measure,
+ * line-normalized). Lower is better.
+ */
+double averageGapLines(const Csr &matrix, int elems_per_line = 8);
+
+/**
+ * Fraction of non-zeros whose column lands in the same cache line as
+ * the previous non-zero of the same row (spatial locality of the X
+ * gathers within a row). Higher is better.
+ */
+double sameLineFraction(const Csr &matrix, int elems_per_line = 8);
+
+/**
+ * Estimated number of *distinct* X cache lines touched per row,
+ * averaged over non-empty rows and divided by the row length (1/this
+ * is the per-row line reuse). Lower is better.
+ */
+double distinctLinesPerNonZero(const Csr &matrix,
+                               int elems_per_line = 8);
+
+} // namespace slo::reorder

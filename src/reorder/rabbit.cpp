@@ -1,0 +1,24 @@
+#include "reorder/rabbit.hpp"
+
+#include <utility>
+
+namespace slo::reorder
+{
+
+RabbitResult
+rabbitOrder(const Csr &matrix, const community::AggregationOptions &options)
+{
+    require(matrix.isSquare(), "rabbitOrder: matrix must be square");
+    const Csr graph = matrix.isSymmetricPattern() ? matrix
+                                                  : matrix.symmetrized();
+    community::AggregationResult agg =
+        community::aggregateCommunities(graph, options);
+    RabbitResult result{
+        Permutation::fromNewToOld(agg.dendrogram.dfsOrder()),
+        std::move(agg.clustering),
+        std::move(agg.dendrogram),
+    };
+    return result;
+}
+
+} // namespace slo::reorder

@@ -1,0 +1,93 @@
+#include "reorder/rabbitpp.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "community/metrics.hpp"
+#include "matrix/properties.hpp"
+
+namespace slo::reorder
+{
+
+RabbitPlusResult
+rabbitPlusFromRabbit(const Csr &matrix, const RabbitResult &rabbit,
+                     const RabbitPlusOptions &options)
+{
+    require(matrix.isSquare(), "rabbitPlus: matrix must be square");
+    const Index n = matrix.numRows();
+    require(rabbit.perm.size() == n,
+            "rabbitPlus: rabbit result size mismatch");
+
+    const Csr graph = matrix.isSymmetricPattern() ? matrix
+                                                  : matrix.symmetrized();
+
+    RabbitPlusResult result;
+    result.clustering = rabbit.clustering;
+    result.insular =
+        community::insularNodes(graph, rabbit.clustering);
+    if (!options.groupInsular) {
+        // Without modification 1 nothing is treated as insular; the hub
+        // treatment (if any) then applies to every node (Table II's
+        // left half).
+        result.insular.assign(static_cast<std::size_t>(n), false);
+    }
+
+    // Hubs: degree > factor * average degree of the undirected view.
+    const std::vector<Index> degrees = inDegrees(graph);
+    const double threshold = options.hubDegreeFactor *
+                             graph.averageDegree();
+    result.hub.assign(static_cast<std::size_t>(n), false);
+    for (Index v = 0; v < n; ++v) {
+        result.hub[static_cast<std::size_t>(v)] =
+            static_cast<double>(degrees[static_cast<std::size_t>(v)]) >
+            threshold;
+    }
+
+    for (Index v = 0; v < n; ++v) {
+        if (result.insular[static_cast<std::size_t>(v)])
+            ++result.numInsular;
+    }
+
+    // Walk vertices in RABBIT order and partition into the three groups,
+    // preserving RABBIT's relative order inside each.
+    const std::vector<Index> rabbit_order = rabbit.perm.newToOld();
+    std::vector<Index> hubs;
+    std::vector<Index> middle;
+    std::vector<Index> insular_group;
+    for (Index old_id : rabbit_order) {
+        const auto v = static_cast<std::size_t>(old_id);
+        if (result.insular[v]) {
+            insular_group.push_back(old_id);
+        } else if (options.hubTreatment != HubTreatment::None &&
+                   result.hub[v]) {
+            hubs.push_back(old_id);
+        } else {
+            middle.push_back(old_id);
+        }
+    }
+    result.numHubs = static_cast<Index>(hubs.size());
+
+    if (options.hubTreatment == HubTreatment::HubSort) {
+        std::stable_sort(hubs.begin(), hubs.end(),
+            [&degrees](Index a, Index b) {
+                return degrees[static_cast<std::size_t>(a)] >
+                       degrees[static_cast<std::size_t>(b)];
+            });
+    }
+
+    std::vector<Index> order;
+    order.reserve(static_cast<std::size_t>(n));
+    order.insert(order.end(), hubs.begin(), hubs.end());
+    order.insert(order.end(), middle.begin(), middle.end());
+    order.insert(order.end(), insular_group.begin(), insular_group.end());
+    result.perm = Permutation::fromNewToOld(order);
+    return result;
+}
+
+RabbitPlusResult
+rabbitPlusOrder(const Csr &matrix, const RabbitPlusOptions &options)
+{
+    return rabbitPlusFromRabbit(matrix, rabbitOrder(matrix), options);
+}
+
+} // namespace slo::reorder

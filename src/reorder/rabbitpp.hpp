@@ -1,0 +1,75 @@
+/**
+ * @file
+ * RABBIT++ — the paper's proposed enhancement of RABBIT (Sec. VI).
+ *
+ * Two modifications applied on top of the RABBIT ordering (Fig. 5):
+ *
+ *  1. *Group insular nodes*: nodes whose every neighbour shares their
+ *     community contribute no inter-community traffic; packing them
+ *     together gives the insular sub-matrix near-compulsory traffic
+ *     (Fig. 6) and shrinks the effective community sizes.
+ *  2. *Group hub nodes*: among the remaining (non-insular) nodes, nodes
+ *     with degree above the average are packed contiguously — either
+ *     sorted by descending in-degree (HUBSORT) or preserving RABBIT's
+ *     relative order (HUBGROUP). The paper finds HUBGROUP superior
+ *     because community structure exists even among hubs.
+ *
+ * RABBIT++ = group insular nodes, then HUBGROUP the non-insular hubs.
+ * The full 2x3 design space of Table II is exposed through the options.
+ *
+ * Layout (new id ranges, low to high):
+ *   [ hubs (treated) | other non-insular | insular ]
+ * with RABBIT's relative order preserved inside every group, matching
+ * the worked example in Sec. VI-A where the two hubs receive ids 0 and 1
+ * once both modifications are applied.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "community/clustering.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/permutation.hpp"
+#include "reorder/rabbit.hpp"
+#include "reorder/reorder.hpp"
+
+namespace slo::reorder
+{
+
+/** RABBIT++ output, including the analysis artifacts the benches plot. */
+struct RabbitPlusResult
+{
+    Permutation perm;
+    /** Communities discovered by the underlying RABBIT pass. */
+    community::Clustering clustering;
+    /** Per-original-vertex insular flags. */
+    std::vector<bool> insular;
+    /** Per-original-vertex hub flags (degree > factor * avg). */
+    std::vector<bool> hub;
+    Index numInsular = 0;
+    Index numHubs = 0; ///< hubs among non-insular nodes when grouping
+};
+
+/** Design-space knobs (subset of ReorderOptions, see Table II). */
+struct RabbitPlusOptions
+{
+    bool groupInsular = true;
+    HubTreatment hubTreatment = HubTreatment::HubGroup;
+    double hubDegreeFactor = 1.0;
+};
+
+/**
+ * Apply the RABBIT++ modifications on top of a pre-computed RABBIT
+ * result for @p matrix. Exposed separately so the benches can reuse one
+ * RABBIT pass across all six design-space combinations.
+ */
+RabbitPlusResult rabbitPlusFromRabbit(
+    const Csr &matrix, const RabbitResult &rabbit,
+    const RabbitPlusOptions &options = {});
+
+/** RABBIT pass + modifications in one call. */
+RabbitPlusResult rabbitPlusOrder(const Csr &matrix,
+                                 const RabbitPlusOptions &options = {});
+
+} // namespace slo::reorder

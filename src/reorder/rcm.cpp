@@ -1,0 +1,126 @@
+#include "reorder/rcm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace slo::reorder
+{
+
+namespace
+{
+
+/**
+ * One BFS from @p start over unvisited vertices; returns the traversal
+ * order (ascending-degree neighbour visits) and the last-level vertices.
+ */
+struct BfsResult
+{
+    std::vector<Index> order;
+    std::vector<Index> lastLevel;
+};
+
+BfsResult
+bfsAscendingDegree(const Csr &graph, Index start,
+                   std::vector<bool> *visited_out)
+{
+    BfsResult result;
+    std::vector<bool> &visited = *visited_out;
+
+    std::vector<Index> frontier = {start};
+    visited[static_cast<std::size_t>(start)] = true;
+    std::vector<Index> next;
+    while (!frontier.empty()) {
+        result.lastLevel = frontier;
+        for (Index u : frontier) {
+            result.order.push_back(u);
+            // Collect unvisited neighbours in ascending-degree order.
+            std::vector<Index> neighbours;
+            for (Index v : graph.rowIndices(u)) {
+                if (!visited[static_cast<std::size_t>(v)]) {
+                    visited[static_cast<std::size_t>(v)] = true;
+                    neighbours.push_back(v);
+                }
+            }
+            std::stable_sort(neighbours.begin(), neighbours.end(),
+                [&graph](Index a, Index b) {
+                    return graph.degree(a) < graph.degree(b);
+                });
+            next.insert(next.end(), neighbours.begin(),
+                        neighbours.end());
+        }
+        frontier = std::move(next);
+        next.clear();
+    }
+    return result;
+}
+
+/** George-Liu pseudo-peripheral vertex heuristic. */
+Index
+pseudoPeripheral(const Csr &graph, Index start)
+{
+    Index current = start;
+    std::size_t current_depth = 0;
+    for (int iteration = 0; iteration < 8; ++iteration) {
+        std::vector<bool> visited(
+            static_cast<std::size_t>(graph.numRows()), false);
+        // Count BFS depth from `current`.
+        std::vector<Index> frontier = {current};
+        visited[static_cast<std::size_t>(current)] = true;
+        std::size_t depth = 0;
+        std::vector<Index> last = frontier;
+        std::vector<Index> next;
+        while (!frontier.empty()) {
+            for (Index u : frontier) {
+                for (Index v : graph.rowIndices(u)) {
+                    if (!visited[static_cast<std::size_t>(v)]) {
+                        visited[static_cast<std::size_t>(v)] = true;
+                        next.push_back(v);
+                    }
+                }
+            }
+            if (next.empty())
+                break;
+            last = next;
+            frontier = std::move(next);
+            next.clear();
+            ++depth;
+        }
+        if (depth <= current_depth)
+            break;
+        current_depth = depth;
+        // Lowest-degree vertex of the deepest level.
+        Index best = last.front();
+        for (Index v : last) {
+            if (graph.degree(v) < graph.degree(best))
+                best = v;
+        }
+        current = best;
+    }
+    return current;
+}
+
+} // namespace
+
+Permutation
+rcmOrder(const Csr &matrix)
+{
+    require(matrix.isSquare(), "rcmOrder: matrix must be square");
+    const Csr graph = matrix.isSymmetricPattern() ? matrix
+                                                  : matrix.symmetrized();
+    const Index n = graph.numRows();
+    std::vector<bool> visited(static_cast<std::size_t>(n), false);
+    std::vector<Index> order;
+    order.reserve(static_cast<std::size_t>(n));
+
+    for (Index candidate = 0; candidate < n; ++candidate) {
+        if (visited[static_cast<std::size_t>(candidate)])
+            continue;
+        const Index start = pseudoPeripheral(graph, candidate);
+        BfsResult bfs = bfsAscendingDegree(graph, start, &visited);
+        order.insert(order.end(), bfs.order.begin(), bfs.order.end());
+    }
+    std::reverse(order.begin(), order.end());
+    return Permutation::fromNewToOld(order);
+}
+
+} // namespace slo::reorder

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Reverse Cuthill-McKee ordering.
+ *
+ * The classic bandwidth-reduction ordering (Karantasis et al. SC'14 is the
+ * parallel treatment the paper cites). Included as the traditional
+ * baseline RABBIT was originally shown to match or exceed.
+ */
+
+#pragma once
+
+#include "matrix/csr.hpp"
+#include "matrix/permutation.hpp"
+
+namespace slo::reorder
+{
+
+/**
+ * RCM on the symmetrized pattern of @p matrix. Each connected component
+ * is seeded from a pseudo-peripheral vertex (George-Liu heuristic); BFS
+ * levels are visited with neighbours in ascending-degree order, and the
+ * final order is reversed.
+ */
+Permutation rcmOrder(const Csr &matrix);
+
+} // namespace slo::reorder

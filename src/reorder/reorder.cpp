@@ -1,0 +1,122 @@
+#include "reorder/reorder.hpp"
+
+#include <unordered_map>
+
+#include "reorder/degree_orders.hpp"
+#include "reorder/gorder.hpp"
+#include "reorder/rabbit.hpp"
+#include "reorder/rabbitpp.hpp"
+#include "reorder/rcm.hpp"
+#include "reorder/slashburn.hpp"
+
+#include "partition/partition.hpp"
+
+namespace slo::reorder
+{
+
+Permutation
+computeOrdering(Technique technique, const Csr &matrix,
+                const ReorderOptions &options)
+{
+    require(matrix.isSquare(), "computeOrdering: matrix must be square");
+    switch (technique) {
+      case Technique::Original:
+        return Permutation::identity(matrix.numRows());
+      case Technique::Random:
+        return Permutation::random(matrix.numRows(), options.seed);
+      case Technique::DegSort:
+        return degSortOrder(matrix);
+      case Technique::Dbg:
+        return dbgOrder(matrix);
+      case Technique::HubSort:
+        return hubSortOrder(matrix);
+      case Technique::HubCluster:
+        return hubClusterOrder(matrix);
+      case Technique::Rcm:
+        return rcmOrder(matrix);
+      case Technique::SlashBurn:
+        return slashBurnOrder(matrix, {options.slashburnK});
+      case Technique::Gorder:
+        return gorderOrder(matrix,
+                           {options.gorderWindow, options.gorderHubCap});
+      case Technique::Rabbit:
+        return rabbitOrder(matrix).perm;
+      case Technique::RabbitPlusPlus:
+        return rabbitPlusOrder(matrix,
+                               {options.groupInsular,
+                                options.hubTreatment,
+                                options.hubDegreeFactor})
+            .perm;
+      case Technique::Partition: {
+        partition::PartitionOptions popts;
+        popts.numParts = options.partitionParts;
+        popts.seed = options.seed;
+        return partition::partitionOrder(matrix, popts);
+      }
+    }
+    fatal("computeOrdering: unknown technique");
+}
+
+std::string
+techniqueName(Technique technique)
+{
+    switch (technique) {
+      case Technique::Original: return "ORIGINAL";
+      case Technique::Random: return "RANDOM";
+      case Technique::DegSort: return "DEGSORT";
+      case Technique::Dbg: return "DBG";
+      case Technique::HubSort: return "HUBSORT";
+      case Technique::HubCluster: return "HUBCLUSTER";
+      case Technique::Rcm: return "RCM";
+      case Technique::SlashBurn: return "SLASHBURN";
+      case Technique::Gorder: return "GORDER";
+      case Technique::Rabbit: return "RABBIT";
+      case Technique::RabbitPlusPlus: return "RABBIT++";
+      case Technique::Partition: return "PARTITION";
+    }
+    fatal("techniqueName: unknown technique");
+}
+
+Technique
+techniqueFromName(const std::string &name)
+{
+    static const std::unordered_map<std::string, Technique> map = {
+        {"ORIGINAL", Technique::Original},
+        {"RANDOM", Technique::Random},
+        {"DEGSORT", Technique::DegSort},
+        {"DBG", Technique::Dbg},
+        {"HUBSORT", Technique::HubSort},
+        {"HUBCLUSTER", Technique::HubCluster},
+        {"RCM", Technique::Rcm},
+        {"SLASHBURN", Technique::SlashBurn},
+        {"GORDER", Technique::Gorder},
+        {"RABBIT", Technique::Rabbit},
+        {"RABBIT++", Technique::RabbitPlusPlus},
+        {"PARTITION", Technique::Partition},
+    };
+    const auto it = map.find(name);
+    require(it != map.end(),
+            "techniqueFromName: unknown technique: " + name);
+    return it->second;
+}
+
+std::vector<Technique>
+figure2Techniques()
+{
+    return {Technique::Random,  Technique::Original,
+            Technique::DegSort, Technique::Dbg,
+            Technique::Gorder,  Technique::Rabbit};
+}
+
+std::vector<Technique>
+allTechniques()
+{
+    return {Technique::Original,   Technique::Random,
+            Technique::DegSort,    Technique::Dbg,
+            Technique::HubSort,    Technique::HubCluster,
+            Technique::Rcm,        Technique::SlashBurn,
+            Technique::Gorder,     Technique::Rabbit,
+            Technique::RabbitPlusPlus, Technique::Partition};
+}
+
+} // namespace slo::reorder

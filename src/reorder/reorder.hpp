@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Common interface over all matrix-reordering techniques.
+ *
+ * Every technique consumes a square sparse matrix and produces a
+ * Permutation that is applied to rows and columns simultaneously
+ * (Csr::permutedSymmetric). The set of techniques matches the paper's
+ * evaluation (Sec. IV-A): ORIGINAL, RANDOM, DEGSORT, DBG, GORDER, RABBIT,
+ * plus the proposed RABBIT++ and the related-work baselines HUBSORT,
+ * HUBCLUSTER, RCM and SLASHBURN.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/csr.hpp"
+#include "matrix/permutation.hpp"
+
+namespace slo::reorder
+{
+
+/** Matrix reordering techniques. */
+enum class Technique
+{
+    Original,   ///< the order the matrix arrived in (identity)
+    Random,     ///< uniformly random relabelling
+    DegSort,    ///< sort by descending in-degree
+    Dbg,        ///< degree-based grouping (Faldu et al.)
+    HubSort,    ///< hubs sorted by degree first, rest untouched
+    HubCluster, ///< hubs grouped first (relative order kept), rest after
+    Rcm,        ///< reverse Cuthill-McKee
+    SlashBurn,  ///< iterative hub removal (Lim et al.)
+    Gorder,     ///< windowed locality-score maximization (Wei et al.)
+    Rabbit,     ///< community aggregation + dendrogram DFS (Arai et al.)
+    RabbitPlusPlus, ///< this paper: RABBIT + insular & hub grouping
+    Partition,  ///< multilevel k-way partitioning order (METIS-style)
+};
+
+/** How RABBIT++ orders hub nodes (Sec. VI-A, Fig. 5, Table II). */
+enum class HubTreatment
+{
+    None,     ///< leave hubs where RABBIT put them
+    HubSort,  ///< group hubs, sorted by descending in-degree
+    HubGroup, ///< group hubs, preserving RABBIT's relative order
+};
+
+/** Options shared by all techniques (each uses the fields it needs). */
+struct ReorderOptions
+{
+    /** Seed for RANDOM (and any tie-breaking shuffles). */
+    std::uint64_t seed = 1;
+
+    /** GORDER sliding-window size (w in Wei et al.; they recommend 5). */
+    int gorderWindow = 5;
+
+    /**
+     * GORDER: skip enumerating 2-hop candidates through in-neighbours
+     * with degree above this cap (documented approximation that bounds
+     * the O(d^2) hub blow-up; 0 = no cap).
+     */
+    Index gorderHubCap = 256;
+
+    /** SLASHBURN: hubs removed per iteration, as a fraction of n. */
+    double slashburnK = 0.005;
+
+    /** PARTITION: number of parts for the recursive bisection. */
+    Index partitionParts = 64;
+
+    /** RABBIT++: apply the insular-node grouping modification. */
+    bool groupInsular = true;
+
+    /** RABBIT++: hub treatment for (non-insular) nodes. */
+    HubTreatment hubTreatment = HubTreatment::HubGroup;
+
+    /**
+     * RABBIT++: a node is a hub if degree > hubDegreeFactor * average
+     * degree (the paper uses factor 1).
+     */
+    double hubDegreeFactor = 1.0;
+};
+
+/**
+ * Compute the ordering for @p technique on @p matrix.
+ * @param matrix square sparse matrix (directed patterns are symmetrized
+ *        internally where the technique requires an undirected view)
+ */
+Permutation computeOrdering(Technique technique, const Csr &matrix,
+                            const ReorderOptions &options = {});
+
+/** Canonical upper-case name (as used in the paper's figures). */
+std::string techniqueName(Technique technique);
+
+/** Parse a canonical name; @throws std::invalid_argument if unknown. */
+Technique techniqueFromName(const std::string &name);
+
+/** The six techniques of the paper's main characterization (Fig. 2). */
+std::vector<Technique> figure2Techniques();
+
+/** All eleven implemented techniques. */
+std::vector<Technique> allTechniques();
+
+} // namespace slo::reorder

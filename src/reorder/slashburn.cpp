@@ -1,0 +1,124 @@
+#include "reorder/slashburn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace slo::reorder
+{
+
+Permutation
+slashBurnOrder(const Csr &matrix, const SlashBurnOptions &options)
+{
+    require(matrix.isSquare(), "slashBurnOrder: matrix must be square");
+    require(options.hubFraction > 0.0 && options.hubFraction <= 1.0,
+            "slashBurnOrder: hubFraction must be in (0,1]");
+    const Csr graph = matrix.isSymmetricPattern() ? matrix
+                                                  : matrix.symmetrized();
+    const Index n = graph.numRows();
+    const auto k = std::max<Index>(
+        1, static_cast<Index>(std::ceil(
+               static_cast<double>(n) * options.hubFraction)));
+
+    std::vector<bool> active(static_cast<std::size_t>(n), true);
+    std::vector<Index> front;                 // hubs, iteration order
+    std::vector<std::vector<Index>> spokes;   // per-iteration spokes
+    std::vector<Index> degree(static_cast<std::size_t>(n), 0);
+    Index active_count = n;
+
+    while (active_count > k) {
+        // Degrees within the active subgraph.
+        for (Index v = 0; v < n; ++v) {
+            if (!active[static_cast<std::size_t>(v)])
+                continue;
+            Index d = 0;
+            for (Index u : graph.rowIndices(v)) {
+                if (active[static_cast<std::size_t>(u)])
+                    ++d;
+            }
+            degree[static_cast<std::size_t>(v)] = d;
+        }
+
+        // Slash: remove the k highest-degree active vertices.
+        std::vector<Index> candidates;
+        candidates.reserve(static_cast<std::size_t>(active_count));
+        for (Index v = 0; v < n; ++v) {
+            if (active[static_cast<std::size_t>(v)])
+                candidates.push_back(v);
+        }
+        std::stable_sort(candidates.begin(), candidates.end(),
+            [&degree](Index a, Index b) {
+                return degree[static_cast<std::size_t>(a)] >
+                       degree[static_cast<std::size_t>(b)];
+            });
+        const auto num_hubs = std::min<std::size_t>(
+            static_cast<std::size_t>(k), candidates.size());
+        for (std::size_t i = 0; i < num_hubs; ++i) {
+            front.push_back(candidates[i]);
+            active[static_cast<std::size_t>(candidates[i])] = false;
+            --active_count;
+        }
+
+        // Burn: connected components of the remainder; everything
+        // outside the giant component moves to the tail.
+        std::vector<Index> component(static_cast<std::size_t>(n), -1);
+        std::vector<std::vector<Index>> comps;
+        std::vector<Index> stack;
+        for (Index v = 0; v < n; ++v) {
+            if (!active[static_cast<std::size_t>(v)] ||
+                component[static_cast<std::size_t>(v)] >= 0) {
+                continue;
+            }
+            const auto id = static_cast<Index>(comps.size());
+            comps.emplace_back();
+            stack.push_back(v);
+            component[static_cast<std::size_t>(v)] = id;
+            while (!stack.empty()) {
+                const Index u = stack.back();
+                stack.pop_back();
+                comps[static_cast<std::size_t>(id)].push_back(u);
+                for (Index w : graph.rowIndices(u)) {
+                    if (active[static_cast<std::size_t>(w)] &&
+                        component[static_cast<std::size_t>(w)] < 0) {
+                        component[static_cast<std::size_t>(w)] = id;
+                        stack.push_back(w);
+                    }
+                }
+            }
+        }
+        if (comps.empty())
+            break;
+        std::size_t giant = 0;
+        for (std::size_t c = 1; c < comps.size(); ++c) {
+            if (comps[c].size() > comps[giant].size())
+                giant = c;
+        }
+        std::vector<Index> burned;
+        for (std::size_t c = 0; c < comps.size(); ++c) {
+            if (c == giant)
+                continue;
+            for (Index v : comps[c]) {
+                burned.push_back(v);
+                active[static_cast<std::size_t>(v)] = false;
+                --active_count;
+            }
+        }
+        spokes.push_back(std::move(burned));
+        if (comps[giant].size() <= static_cast<std::size_t>(k))
+            break;
+    }
+
+    // Final order: hubs, then the residual giant component, then spokes
+    // in reverse iteration order (earliest spokes take the highest ids).
+    std::vector<Index> order = std::move(front);
+    for (Index v = 0; v < n; ++v) {
+        if (active[static_cast<std::size_t>(v)])
+            order.push_back(v);
+    }
+    for (auto it = spokes.rbegin(); it != spokes.rend(); ++it)
+        order.insert(order.end(), it->begin(), it->end());
+    return Permutation::fromNewToOld(order);
+}
+
+} // namespace slo::reorder

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * SlashBurn ordering (Lim, Kang, Faloutsos, TKDE'14).
+ *
+ * Iterative hub removal: per iteration the k highest-degree vertices of
+ * the remaining graph take the lowest available ids ("slash"), the
+ * non-giant connected components take the highest available ids
+ * ("burn"), and the process recurses on the giant component. One of the
+ * community-based baselines RABBIT was shown to outperform; included for
+ * completeness of the related-work comparison.
+ */
+
+#pragma once
+
+#include "matrix/csr.hpp"
+#include "matrix/permutation.hpp"
+
+namespace slo::reorder
+{
+
+/** SlashBurn tuning knobs. */
+struct SlashBurnOptions
+{
+    /** Hubs removed per iteration as a fraction of n (k = ceil(f*n)). */
+    double hubFraction = 0.005;
+};
+
+/** Compute the SlashBurn ordering of @p matrix. */
+Permutation slashBurnOrder(const Csr &matrix,
+                           const SlashBurnOptions &options = {});
+
+} // namespace slo::reorder

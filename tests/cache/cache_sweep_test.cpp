@@ -1,0 +1,102 @@
+/**
+ * @file Parameterized invariant sweep across cache geometries: the
+ * accounting identities must hold for every (capacity, line, ways,
+ * sector) combination on a mixed streaming+random trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "matrix/rng.hpp"
+
+namespace slo::cache
+{
+namespace
+{
+
+struct Geometry
+{
+    std::uint64_t capacity;
+    std::uint32_t line;
+    std::uint32_t ways;
+    std::uint32_t sector;
+};
+
+class CacheGeometrySweep : public ::testing::TestWithParam<Geometry>
+{
+  protected:
+    /** Mixed trace: a stream, a hot set, and uniform noise. */
+    static std::vector<std::uint64_t>
+    trace()
+    {
+        std::vector<std::uint64_t> result;
+        Rng rng(99);
+        for (int i = 0; i < 30000; ++i) {
+            switch (i % 3) {
+              case 0: // stream
+                result.push_back(static_cast<std::uint64_t>(i) * 4);
+                break;
+              case 1: // hot set
+                result.push_back(1 << 20 | (rng.below(64) * 4));
+                break;
+              default: // noise
+                result.push_back(1 << 22 | (rng.below(1 << 18)));
+            }
+        }
+        return result;
+    }
+};
+
+TEST_P(CacheGeometrySweep, AccountingIdentitiesHold)
+{
+    const Geometry g = GetParam();
+    CacheConfig config{g.capacity, g.line, g.ways};
+    config.sectorBytes = g.sector;
+    ASSERT_NO_THROW(config.validate());
+
+    CacheSim sim(config);
+    sim.setIrregularRegion(1 << 22, 1 << 23);
+    for (std::uint64_t addr : trace())
+        sim.access(addr);
+    sim.finish();
+    const CacheStats &stats = sim.stats();
+
+    EXPECT_EQ(stats.hits + stats.misses, stats.accesses);
+    EXPECT_LE(stats.evictions, stats.misses);
+    EXPECT_LE(stats.linesFilled, stats.misses);
+    EXPECT_LE(stats.deadLines, stats.linesFilled);
+    EXPECT_LE(stats.irregularMisses, stats.misses);
+    EXPECT_LE(stats.irregularFillBytes, stats.fillBytes);
+    if (g.sector == 0) {
+        EXPECT_EQ(stats.fillBytes, stats.misses * g.line);
+        EXPECT_EQ(stats.linesFilled, stats.misses);
+    } else {
+        EXPECT_EQ(stats.fillBytes, stats.misses * g.sector);
+        // Sector misses on resident lines do not allocate new lines.
+        EXPECT_LE(stats.linesFilled, stats.misses);
+    }
+    // Every line is filled at least once for the touched footprint.
+    EXPECT_GT(stats.misses, 0u);
+    EXPECT_GT(stats.hits, 0u); // the hot set must produce hits
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometrySweep,
+    ::testing::Values(
+        Geometry{4 * 1024, 32, 2, 0}, Geometry{4 * 1024, 32, 16, 0},
+        Geometry{64 * 1024, 32, 16, 0},
+        Geometry{64 * 1024, 64, 8, 0},
+        Geometry{64 * 1024, 128, 16, 0},
+        Geometry{64 * 1024, 128, 16, 32},
+        Geometry{6 * 1024 * 1024, 32, 16, 0}, // the real A6000 L2
+        Geometry{6 * 1024 * 1024, 128, 16, 32},
+        Geometry{96 * 32, 32, 2, 0}), // non-power-of-two sets
+    [](const ::testing::TestParamInfo<Geometry> &info) {
+        return "cap" + std::to_string(info.param.capacity) + "_line" +
+               std::to_string(info.param.line) + "_w" +
+               std::to_string(info.param.ways) + "_s" +
+               std::to_string(info.param.sector);
+    });
+
+} // namespace
+} // namespace slo::cache

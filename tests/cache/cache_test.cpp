@@ -1,0 +1,252 @@
+/** @file Tests for the LRU set-associative cache simulator. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "matrix/rng.hpp"
+
+namespace slo::cache
+{
+namespace
+{
+
+/** Tiny cache: 4 lines of 32B, 2 ways -> 2 sets. */
+CacheConfig
+tinyConfig()
+{
+    return CacheConfig{4 * 32, 32, 2};
+}
+
+TEST(CacheConfigTest, GeometryDerivation)
+{
+    const CacheConfig config = tinyConfig();
+    EXPECT_EQ(config.numLines(), 4u);
+    EXPECT_EQ(config.numSets(), 2u);
+    EXPECT_NO_THROW(config.validate());
+}
+
+TEST(CacheConfigTest, ValidationCatchesBadGeometry)
+{
+    EXPECT_THROW((CacheConfig{128, 24, 2}.validate()),
+                 std::invalid_argument); // line not power of two
+    EXPECT_THROW((CacheConfig{32, 32, 2}.validate()),
+                 std::invalid_argument); // capacity < one set
+    EXPECT_NO_THROW((CacheConfig{96 * 32, 32, 2}.validate()));
+    // non-power-of-two set counts are legal (the real A6000 L2 has
+    // 12288 sets)
+    EXPECT_THROW((CacheConfig{128, 32, 0}.validate()),
+                 std::invalid_argument); // zero ways
+}
+
+TEST(CacheSimTest, FirstAccessMissesSecondHits)
+{
+    CacheSim sim(tinyConfig());
+    EXPECT_FALSE(sim.access(0));
+    EXPECT_TRUE(sim.access(0));
+    EXPECT_TRUE(sim.access(31)); // same line
+    EXPECT_FALSE(sim.access(32)); // next line
+    sim.finish();
+    EXPECT_EQ(sim.stats().accesses, 4u);
+    EXPECT_EQ(sim.stats().hits, 2u);
+    EXPECT_EQ(sim.stats().misses, 2u);
+}
+
+TEST(CacheSimTest, LruEvictsLeastRecentlyUsed)
+{
+    // One set in use: lines 0, 2, 4 map to set 0 (line index even).
+    CacheSim sim(tinyConfig());
+    sim.access(0 * 32);   // miss, set 0
+    sim.access(2 * 32);   // miss, set 0 (full now: {0,2})
+    sim.access(0 * 32);   // hit, 0 becomes MRU
+    sim.access(4 * 32);   // miss, evicts line 2 (LRU)
+    EXPECT_TRUE(sim.access(0 * 32));  // still resident
+    EXPECT_FALSE(sim.access(2 * 32)); // was evicted
+    sim.finish();
+    EXPECT_EQ(sim.stats().evictions, 2u);
+}
+
+TEST(CacheSimTest, SetsAreIndependent)
+{
+    CacheSim sim(tinyConfig());
+    // Lines 0,2 -> set 0; lines 1,3 -> set 1.
+    sim.access(0 * 32);
+    sim.access(1 * 32);
+    sim.access(2 * 32);
+    sim.access(3 * 32);
+    // All four resident (2 per set).
+    EXPECT_TRUE(sim.access(0 * 32));
+    EXPECT_TRUE(sim.access(1 * 32));
+    EXPECT_TRUE(sim.access(2 * 32));
+    EXPECT_TRUE(sim.access(3 * 32));
+}
+
+TEST(CacheSimTest, TrafficIsMissesTimesLineBytes)
+{
+    CacheSim sim(tinyConfig());
+    sim.access(0);
+    sim.access(64);
+    sim.access(0);
+    sim.finish();
+    EXPECT_EQ(sim.stats().trafficBytes(32), 64u);
+}
+
+TEST(CacheSimTest, DeadLineAccounting)
+{
+    CacheSim sim(tinyConfig());
+    sim.access(0 * 32);  // filled, never re-hit -> dead on eviction
+    sim.access(2 * 32);  // filled, re-hit below -> not dead
+    sim.access(2 * 32);
+    sim.access(4 * 32);  // evicts line 0 (LRU) -> dead++
+    sim.finish();        // lines 2 (reused) and 4 (never) resident
+    EXPECT_EQ(sim.stats().deadLines, 2u); // line 0 + line 4
+}
+
+TEST(CacheSimTest, FinishTwiceThrows)
+{
+    CacheSim sim(tinyConfig());
+    sim.finish();
+    EXPECT_THROW(sim.finish(), std::invalid_argument);
+}
+
+TEST(CacheSimTest, IrregularRegionCounting)
+{
+    CacheSim sim(tinyConfig());
+    sim.setIrregularRegion(64, 128);
+    sim.access(0);   // miss outside region
+    sim.access(64);  // miss inside region
+    sim.access(96);  // miss inside region (line 3)
+    sim.access(64);  // hit: not counted
+    sim.finish();
+    EXPECT_EQ(sim.stats().irregularMisses, 2u);
+}
+
+TEST(CacheSimTest, HitRateAndDeadFractionHelpers)
+{
+    CacheStats stats;
+    stats.accesses = 10;
+    stats.hits = 4;
+    stats.misses = 6;
+    stats.linesFilled = 6;
+    stats.deadLines = 3;
+    EXPECT_DOUBLE_EQ(stats.hitRate(), 0.4);
+    EXPECT_DOUBLE_EQ(stats.deadLineFraction(), 0.5);
+    EXPECT_DOUBLE_EQ(CacheStats{}.hitRate(), 0.0);
+    EXPECT_DOUBLE_EQ(CacheStats{}.deadLineFraction(), 0.0);
+}
+
+TEST(CacheSimTest, StreamingFootprintLargerThanCacheAllMisses)
+{
+    // Stream over 8 distinct lines through a 4-line cache, twice:
+    // no reuse distance fits -> every access misses.
+    CacheSim sim(tinyConfig());
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::uint64_t line = 0; line < 8; ++line)
+            sim.access(line * 32);
+    }
+    sim.finish();
+    EXPECT_EQ(sim.stats().misses, 16u);
+}
+
+TEST(CacheSimTest, WorkingSetWithinCacheFullyHitsAfterWarmup)
+{
+    CacheSim sim(tinyConfig());
+    for (int pass = 0; pass < 3; ++pass) {
+        for (std::uint64_t line = 0; line < 4; ++line)
+            sim.access(line * 32);
+    }
+    sim.finish();
+    EXPECT_EQ(sim.stats().misses, 4u);
+    EXPECT_EQ(sim.stats().hits, 8u);
+}
+
+TEST(CacheSimTest, LruStackPropertyFullyAssociative)
+{
+    // The LRU inclusion (stack) property: for fully-associative LRU,
+    // a larger cache never misses more on the same trace.
+    Rng rng(17);
+    std::vector<std::uint64_t> trace;
+    for (int i = 0; i < 20000; ++i)
+        trace.push_back(rng.below(64) * 32);
+    std::uint64_t previous = ~0ULL;
+    for (std::uint32_t lines : {4u, 8u, 16u, 32u, 64u}) {
+        CacheSim sim(CacheConfig{
+            static_cast<std::uint64_t>(lines) * 32, 32, lines});
+        for (std::uint64_t addr : trace)
+            sim.access(addr);
+        sim.finish();
+        EXPECT_LE(sim.stats().misses, previous)
+            << lines << " lines";
+        previous = sim.stats().misses;
+    }
+}
+
+TEST(SectoredCacheTest, ValidatesSectorGeometry)
+{
+    CacheConfig config{4 * 128, 128, 2};
+    config.sectorBytes = 24;
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+    config.sectorBytes = 128; // sector == line is not sectored
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+    config.sectorBytes = 32;
+    EXPECT_NO_THROW(config.validate());
+}
+
+TEST(SectoredCacheTest, SectorMissOnResidentLineFillsOneSector)
+{
+    CacheConfig config{4 * 128, 128, 2};
+    config.sectorBytes = 32;
+    CacheSim sim(config);
+    EXPECT_FALSE(sim.access(0));    // line fill, sector 0
+    EXPECT_TRUE(sim.access(16));    // same sector
+    EXPECT_FALSE(sim.access(32));   // resident line, new sector
+    EXPECT_TRUE(sim.access(40));    // now valid
+    sim.finish();
+    EXPECT_EQ(sim.stats().misses, 2u);
+    EXPECT_EQ(sim.stats().fillBytes, 64u); // two 32B sector fills
+    EXPECT_EQ(sim.stats().linesFilled, 1u);
+}
+
+TEST(SectoredCacheTest, ScatteredAccessesFillLessThanLineMode)
+{
+    // 4-byte accesses strided by 128B: sectored fills 32B each,
+    // unsectored fills 128B each.
+    CacheConfig sectored{64 * 128, 128, 16};
+    sectored.sectorBytes = 32;
+    CacheConfig unsectored{64 * 128, 128, 16};
+    CacheSim a(sectored), b(unsectored);
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        a.access(i * 128);
+        b.access(i * 128);
+    }
+    a.finish();
+    b.finish();
+    EXPECT_EQ(a.stats().fillBytes, 32u * 32u);
+    EXPECT_EQ(b.stats().fillBytes, 32u * 128u);
+}
+
+TEST(SectoredCacheTest, FillBytesMatchesLineModeWhenUnsectored)
+{
+    CacheConfig config{4 * 32, 32, 2};
+    CacheSim sim(config);
+    sim.access(0);
+    sim.access(64);
+    sim.finish();
+    EXPECT_EQ(sim.stats().fillBytes,
+              sim.stats().trafficBytes(32));
+}
+
+TEST(SectoredCacheTest, IrregularFillBytesTracked)
+{
+    CacheConfig config{4 * 128, 128, 2};
+    config.sectorBytes = 32;
+    CacheSim sim(config);
+    sim.setIrregularRegion(0, 128);
+    sim.access(0);    // irregular sector fill
+    sim.access(256);  // regular line
+    sim.finish();
+    EXPECT_EQ(sim.stats().irregularFillBytes, 32u);
+    EXPECT_EQ(sim.stats().fillBytes, 64u);
+}
+
+} // namespace
+} // namespace slo::cache

@@ -1,0 +1,86 @@
+/** @file Tests for the multi-level cache hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hpp"
+
+namespace slo::cache
+{
+namespace
+{
+
+std::vector<CacheConfig>
+twoLevels()
+{
+    // L1: 2 lines; L2: 8 lines (32B lines, fully associative-ish).
+    return {CacheConfig{2 * 32, 32, 2}, CacheConfig{8 * 32, 32, 8}};
+}
+
+TEST(HierarchyTest, FirstTouchGoesToDram)
+{
+    CacheHierarchy h(twoLevels());
+    EXPECT_EQ(h.access(0), 2u); // miss everywhere
+    EXPECT_EQ(h.access(0), 0u); // L1 hit
+    h.finish();
+    EXPECT_EQ(h.levelStats(0).misses, 1u);
+    EXPECT_EQ(h.levelStats(1).misses, 1u);
+    EXPECT_EQ(h.dramTrafficBytes(), 32u);
+}
+
+TEST(HierarchyTest, L1EvictionFallsBackToL2)
+{
+    CacheHierarchy h(twoLevels());
+    // Touch 3 lines: L1 (2 lines) must evict; L2 holds all 3.
+    h.access(0 * 32);
+    h.access(1 * 32);
+    h.access(2 * 32); // evicts one L1 line
+    // The evicted line hits in L2, not DRAM.
+    const std::size_t level = h.access(0 * 32);
+    EXPECT_GE(level, 0u);
+    EXPECT_LE(level, 1u);
+    h.finish();
+    EXPECT_EQ(h.dramTrafficBytes(), 3u * 32u);
+}
+
+TEST(HierarchyTest, WorkingSetWithinL2AvoidsDramAfterWarmup)
+{
+    CacheHierarchy h(twoLevels());
+    for (int pass = 0; pass < 4; ++pass) {
+        for (std::uint64_t line = 0; line < 8; ++line)
+            h.access(line * 32);
+    }
+    h.finish();
+    EXPECT_EQ(h.dramTrafficBytes(), 8u * 32u); // compulsory only
+    EXPECT_GT(h.levelStats(1).hits, 0u);
+}
+
+TEST(HierarchyTest, ValidatesLevelOrdering)
+{
+    EXPECT_THROW(CacheHierarchy({CacheConfig{8 * 32, 32, 8},
+                                 CacheConfig{2 * 32, 32, 2}}),
+                 std::invalid_argument);
+    EXPECT_THROW(CacheHierarchy({}), std::invalid_argument);
+}
+
+TEST(HierarchyTest, SingleLevelBehavesLikeCacheSim)
+{
+    CacheHierarchy h({CacheConfig{4 * 32, 32, 2}});
+    CacheSim reference(CacheConfig{4 * 32, 32, 2});
+    for (std::uint64_t addr :
+         {0u, 32u, 0u, 64u, 96u, 128u, 32u, 0u}) {
+        const bool hit = reference.access(addr);
+        EXPECT_EQ(h.access(addr) == 0, hit);
+    }
+    h.finish();
+    reference.finish();
+    EXPECT_EQ(h.levelStats(0).misses, reference.stats().misses);
+}
+
+TEST(HierarchyTest, LevelStatsBoundsChecked)
+{
+    CacheHierarchy h(twoLevels());
+    EXPECT_THROW(h.levelStats(2), std::invalid_argument);
+}
+
+} // namespace
+} // namespace slo::cache

@@ -1,0 +1,135 @@
+/** @file Tests for RABBIT-style incremental community aggregation. */
+
+#include <gtest/gtest.h>
+
+#include "community/aggregation.hpp"
+#include "community/metrics.hpp"
+#include "matrix/generators.hpp"
+
+namespace slo::community
+{
+namespace
+{
+
+Csr
+twoCliquesWithBridge(Index clique)
+{
+    Coo coo(clique * 2, clique * 2);
+    for (Index i = 0; i < clique; ++i) {
+        for (Index j = i + 1; j < clique; ++j) {
+            coo.addSymmetric(i, j);
+            coo.addSymmetric(clique + i, clique + j);
+        }
+    }
+    coo.addSymmetric(0, clique);
+    return Csr::fromCoo(coo);
+}
+
+TEST(AggregationTest, FindsTheTwoCliques)
+{
+    const AggregationResult result =
+        aggregateCommunities(twoCliquesWithBridge(8));
+    EXPECT_EQ(result.clustering.numCommunities(), 2);
+    // Each clique is one community.
+    for (Index v = 1; v < 8; ++v)
+        EXPECT_EQ(result.clustering.label(v), result.clustering.label(0));
+    for (Index v = 9; v < 16; ++v)
+        EXPECT_EQ(result.clustering.label(v), result.clustering.label(8));
+    EXPECT_NE(result.clustering.label(0), result.clustering.label(8));
+    EXPECT_EQ(result.numMerges, 14);
+}
+
+TEST(AggregationTest, DendrogramMatchesClustering)
+{
+    const AggregationResult result =
+        aggregateCommunities(twoCliquesWithBridge(6));
+    const Clustering from_tree = result.dendrogram.toClustering();
+    EXPECT_EQ(from_tree.numCommunities(),
+              result.clustering.numCommunities());
+    // Same partition up to label names.
+    for (Index u = 0; u < 12; ++u) {
+        for (Index v = 0; v < 12; ++v) {
+            EXPECT_EQ(result.clustering.label(u) ==
+                          result.clustering.label(v),
+                      from_tree.label(u) == from_tree.label(v));
+        }
+    }
+}
+
+TEST(AggregationTest, RecoversPlantedPartition)
+{
+    const Index n = 2048;
+    const Index comms = 16;
+    const Csr g = gen::plantedPartition(n, comms, 12.0, 0.5, 77);
+    const AggregationResult result = aggregateCommunities(g);
+    const double q = modularity(g, result.clustering);
+    EXPECT_GT(q, 0.7);
+    const double ins = insularity(g, result.clustering);
+    EXPECT_GT(ins, 0.8);
+}
+
+TEST(AggregationTest, ModularityBeatsTrivialClusterings)
+{
+    const Csr g = gen::hierarchicalCommunity(1024, 4, 3, 10.0, 0.3, 5);
+    const AggregationResult result = aggregateCommunities(g);
+    EXPECT_GT(modularity(g, result.clustering),
+              modularity(g, Clustering::whole(g.numRows())));
+    EXPECT_GT(modularity(g, result.clustering),
+              modularity(g, Clustering::singletons(g.numRows())));
+}
+
+TEST(AggregationTest, EdgelessGraphStaysSingletons)
+{
+    const Csr empty(5, 5, {0, 0, 0, 0, 0, 0}, {}, {});
+    const AggregationResult result = aggregateCommunities(empty);
+    EXPECT_EQ(result.clustering.numCommunities(), 5);
+    EXPECT_EQ(result.numMerges, 0);
+}
+
+TEST(AggregationTest, EmptyGraph)
+{
+    const AggregationResult result = aggregateCommunities(Csr());
+    EXPECT_EQ(result.clustering.numNodes(), 0);
+}
+
+TEST(AggregationTest, MaxCommunitySizeCapsMerges)
+{
+    const Csr g = twoCliquesWithBridge(8);
+    AggregationOptions options;
+    options.maxCommunitySize = 4;
+    const AggregationResult result = aggregateCommunities(g, options);
+    for (Index size : result.clustering.communitySizes())
+        EXPECT_LE(size, 4);
+}
+
+TEST(AggregationTest, StarGraphCollapsesToOneCommunity)
+{
+    // The mawi failure mode (Sec. V-B): a hub-dominated graph ends up
+    // as one giant community covering nearly everything (the paper's
+    // mawi: largest community ~98% of the matrix, insularity 0.988).
+    const Csr g = gen::hubStar(512, 1, 0.95, 0.0, 9);
+    const AggregationResult result = aggregateCommunities(g);
+    const CommunitySizeStats stats =
+        communitySizeStats(result.clustering);
+    EXPECT_GT(stats.maxSizeFraction, 0.9);
+    // And insularity is trivially high despite the useless structure.
+    EXPECT_GT(insularity(g, result.clustering), 0.9);
+}
+
+TEST(AggregationTest, DeterministicAcrossRuns)
+{
+    const Csr g = gen::rmatSocial(9, 8.0, 13);
+    const AggregationResult a = aggregateCommunities(g);
+    const AggregationResult b = aggregateCommunities(g);
+    EXPECT_EQ(a.clustering.labels(), b.clustering.labels());
+    EXPECT_EQ(a.numMerges, b.numMerges);
+}
+
+TEST(AggregationTest, RequiresSquareMatrix)
+{
+    const Csr rect(2, 3, {0, 0, 0}, {}, {});
+    EXPECT_THROW(aggregateCommunities(rect), std::invalid_argument);
+}
+
+} // namespace
+} // namespace slo::community

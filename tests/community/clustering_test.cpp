@@ -1,0 +1,87 @@
+/** @file Tests for Clustering and community size statistics. */
+
+#include <gtest/gtest.h>
+
+#include "community/clustering.hpp"
+
+namespace slo::community
+{
+namespace
+{
+
+TEST(ClusteringTest, ConstructFromLabels)
+{
+    const Clustering c({0, 1, 1, 2});
+    EXPECT_EQ(c.numNodes(), 4);
+    EXPECT_EQ(c.numCommunities(), 3);
+    EXPECT_EQ(c.label(2), 1);
+    EXPECT_EQ(c[3], 2);
+}
+
+TEST(ClusteringTest, RejectsNegativeLabels)
+{
+    EXPECT_THROW(Clustering({0, -1}), std::invalid_argument);
+}
+
+TEST(ClusteringTest, SingletonsAndWhole)
+{
+    const Clustering s = Clustering::singletons(3);
+    EXPECT_EQ(s.numCommunities(), 3);
+    EXPECT_EQ(s.label(2), 2);
+    const Clustering w = Clustering::whole(3);
+    EXPECT_EQ(w.numCommunities(), 1);
+    EXPECT_EQ(w.label(2), 0);
+}
+
+TEST(ClusteringTest, ContiguousBlocks)
+{
+    const Clustering c = Clustering::contiguousBlocks(10, 4);
+    EXPECT_EQ(c.numCommunities(), 3);
+    EXPECT_EQ(c.label(3), 0);
+    EXPECT_EQ(c.label(4), 1);
+    EXPECT_EQ(c.label(9), 2);
+}
+
+TEST(ClusteringTest, CommunitySizes)
+{
+    const Clustering c({0, 2, 2, 2});
+    EXPECT_EQ(c.communitySizes(), (std::vector<Index>{1, 0, 3}));
+}
+
+TEST(ClusteringTest, CompactedDropsGapsByFirstAppearance)
+{
+    const Clustering c({5, 3, 5, 0});
+    const Clustering d = c.compacted();
+    EXPECT_EQ(d.numCommunities(), 3);
+    EXPECT_EQ(d.labels(), (std::vector<Index>{0, 1, 0, 2}));
+}
+
+TEST(ClusteringTest, MembersGroupsVertices)
+{
+    const Clustering c({1, 0, 1});
+    const auto members = c.members();
+    ASSERT_EQ(members.size(), 2u);
+    EXPECT_EQ(members[0], (std::vector<Index>{1}));
+    EXPECT_EQ(members[1], (std::vector<Index>{0, 2}));
+}
+
+TEST(ClusteringTest, SizeStatsIgnoreEmptyCommunities)
+{
+    const Clustering c({0, 2, 2, 2}); // community 1 empty
+    const CommunitySizeStats stats = communitySizeStats(c);
+    EXPECT_EQ(stats.numCommunities, 2);
+    EXPECT_DOUBLE_EQ(stats.avgSize, 2.0);
+    EXPECT_EQ(stats.maxSize, 3);
+    EXPECT_DOUBLE_EQ(stats.maxSizeFraction, 0.75);
+    EXPECT_DOUBLE_EQ(stats.avgSizeFraction, 0.5);
+}
+
+TEST(ClusteringTest, SizeStatsOnEmptyClustering)
+{
+    const CommunitySizeStats stats = communitySizeStats(Clustering());
+    EXPECT_EQ(stats.numCommunities, 0);
+    EXPECT_DOUBLE_EQ(stats.avgSize, 0.0);
+}
+
+} // namespace
+} // namespace slo::community

@@ -1,0 +1,188 @@
+/** @file Tests for the merge dendrogram and its DFS ordering. */
+
+#include <gtest/gtest.h>
+
+#include "community/dendrogram.hpp"
+
+namespace slo::community
+{
+namespace
+{
+
+TEST(DendrogramTest, StartsAsSingletonForest)
+{
+    const Dendrogram d(4);
+    EXPECT_EQ(d.numNodes(), 4);
+    for (Index v = 0; v < 4; ++v) {
+        EXPECT_TRUE(d.isRoot(v));
+        EXPECT_EQ(d.parent(v), -1);
+        EXPECT_TRUE(d.children(v).empty());
+    }
+    EXPECT_EQ(d.roots(), (std::vector<Index>{0, 1, 2, 3}));
+}
+
+TEST(DendrogramTest, MergeRecordsParentAndChild)
+{
+    Dendrogram d(4);
+    d.merge(1, 0);
+    EXPECT_FALSE(d.isRoot(1));
+    EXPECT_EQ(d.parent(1), 0);
+    EXPECT_EQ(d.children(0), (std::vector<Index>{1}));
+    EXPECT_EQ(d.roots(), (std::vector<Index>{0, 2, 3}));
+}
+
+TEST(DendrogramTest, MergeValidation)
+{
+    Dendrogram d(3);
+    d.merge(1, 0);
+    EXPECT_THROW(d.merge(1, 2), std::invalid_argument); // not a root
+    EXPECT_THROW(d.merge(2, 2), std::invalid_argument); // self
+    EXPECT_THROW(d.merge(3, 0), std::invalid_argument); // out of range
+}
+
+TEST(DendrogramTest, SubtreeSize)
+{
+    Dendrogram d(5);
+    d.merge(1, 0);
+    d.merge(2, 1);
+    d.merge(3, 0);
+    EXPECT_EQ(d.subtreeSize(0), 4);
+    EXPECT_EQ(d.subtreeSize(1), 2);
+    EXPECT_EQ(d.subtreeSize(4), 1);
+}
+
+TEST(DendrogramTest, DfsVisitsParentBeforeChildren)
+{
+    Dendrogram d(5);
+    d.merge(1, 0);
+    d.merge(2, 1);
+    d.merge(3, 0);
+    // Tree rooted at 0: children [1,3]; 1's child [2]; root 4 alone.
+    const auto order = d.dfsOrder(RootOrder::ByVertexId);
+    EXPECT_EQ(order, (std::vector<Index>{0, 1, 2, 3, 4}));
+}
+
+TEST(DendrogramTest, DfsKeepsSubtreesContiguous)
+{
+    Dendrogram d(6);
+    d.merge(1, 0);
+    d.merge(4, 3);
+    d.merge(5, 3);
+    const auto order = d.dfsOrder(RootOrder::ByVertexId);
+    // {0,1} contiguous, {3,4,5} contiguous, 2 alone.
+    const auto pos = [&order](Index v) {
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            if (order[i] == v)
+                return static_cast<Index>(i);
+        }
+        return Index{-1};
+    };
+    EXPECT_EQ(std::abs(pos(0) - pos(1)), 1);
+    const Index lo = std::min({pos(3), pos(4), pos(5)});
+    const Index hi = std::max({pos(3), pos(4), pos(5)});
+    EXPECT_EQ(hi - lo, 2);
+}
+
+TEST(DendrogramTest, LargestFirstRootOrder)
+{
+    Dendrogram d(6);
+    d.merge(4, 3);
+    d.merge(5, 3); // subtree of 3 has size 3
+    d.merge(1, 0); // subtree of 0 has size 2
+    const auto order = d.dfsOrder(RootOrder::BySubtreeSizeDesc);
+    EXPECT_EQ(order[0], 3); // biggest tree first
+    EXPECT_EQ(order.size(), 6u);
+}
+
+TEST(DendrogramTest, DfsIsAPermutation)
+{
+    Dendrogram d(100);
+    for (Index v = 1; v < 100; v += 2)
+        d.merge(v, v - 1);
+    const auto order = d.dfsOrder();
+    std::vector<bool> seen(100, false);
+    for (Index v : order) {
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, 100);
+        ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
+        seen[static_cast<std::size_t>(v)] = true;
+    }
+}
+
+TEST(DendrogramTest, ToClusteringGroupsByRoot)
+{
+    Dendrogram d(5);
+    d.merge(1, 0);
+    d.merge(2, 1);
+    d.merge(4, 3);
+    const Clustering c = d.toClustering();
+    EXPECT_EQ(c.numCommunities(), 2);
+    EXPECT_EQ(c.label(0), c.label(1));
+    EXPECT_EQ(c.label(0), c.label(2));
+    EXPECT_EQ(c.label(3), c.label(4));
+    EXPECT_NE(c.label(0), c.label(3));
+}
+
+TEST(DendrogramTest, DeepChainClustering)
+{
+    Dendrogram d(64);
+    for (Index v = 1; v < 64; ++v)
+        d.merge(v, v - 1); // one long chain
+    const Clustering c = d.toClustering();
+    EXPECT_EQ(c.numCommunities(), 1);
+    const auto order = d.dfsOrder();
+    EXPECT_EQ(order.front(), 0);
+    EXPECT_EQ(order.back(), 63);
+}
+
+TEST(DendrogramTest, ClusteringAtDepthZeroMatchesRoots)
+{
+    Dendrogram d(6);
+    d.merge(1, 0);
+    d.merge(2, 1);
+    d.merge(4, 3);
+    const Clustering by_root = d.toClustering();
+    const Clustering at_zero = d.clusteringAtDepth(0);
+    for (Index u = 0; u < 6; ++u) {
+        for (Index v = 0; v < 6; ++v) {
+            EXPECT_EQ(by_root.label(u) == by_root.label(v),
+                      at_zero.label(u) == at_zero.label(v));
+        }
+    }
+}
+
+TEST(DendrogramTest, DeeperCutsAreFiner)
+{
+    // Chain 0 <- 1 <- 2 <- 3 (each merged into the previous).
+    Dendrogram d(4);
+    d.merge(1, 0);
+    d.merge(2, 1);
+    d.merge(3, 2);
+    EXPECT_EQ(d.clusteringAtDepth(0).numCommunities(), 1);
+    // depth 1: {0}, {1,2,3}
+    const Clustering c1 = d.clusteringAtDepth(1);
+    EXPECT_EQ(c1.numCommunities(), 2);
+    EXPECT_EQ(c1.label(2), c1.label(1));
+    EXPECT_EQ(c1.label(3), c1.label(1));
+    EXPECT_NE(c1.label(0), c1.label(1));
+    // depth >= 3: all singletons
+    EXPECT_EQ(d.clusteringAtDepth(3).numCommunities(), 4);
+}
+
+TEST(DendrogramTest, DepthCutsMonotonicallyRefine)
+{
+    Dendrogram d(16);
+    for (Index v = 1; v < 16; ++v)
+        d.merge(v, (v - 1) / 2); // binary-heap-shaped tree
+    Index previous = 0;
+    for (Index depth = 0; depth < 6; ++depth) {
+        const Index count =
+            d.clusteringAtDepth(depth).numCommunities();
+        EXPECT_GE(count, previous);
+        previous = count;
+    }
+    EXPECT_EQ(previous, 16);
+}
+
+} // namespace
+} // namespace slo::community

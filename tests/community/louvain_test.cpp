@@ -1,0 +1,94 @@
+/** @file Tests for the Louvain baseline community detector. */
+
+#include <gtest/gtest.h>
+
+#include "community/aggregation.hpp"
+#include "community/louvain.hpp"
+#include "community/metrics.hpp"
+#include "matrix/generators.hpp"
+
+namespace slo::community
+{
+namespace
+{
+
+TEST(LouvainTest, FindsTwoCliques)
+{
+    Coo coo(12, 12);
+    for (Index i = 0; i < 6; ++i) {
+        for (Index j = i + 1; j < 6; ++j) {
+            coo.addSymmetric(i, j);
+            coo.addSymmetric(6 + i, 6 + j);
+        }
+    }
+    coo.addSymmetric(0, 6);
+    const Csr g = Csr::fromCoo(coo);
+    const LouvainResult result = louvain(g);
+    EXPECT_EQ(result.clustering.numCommunities(), 2);
+    EXPECT_GT(result.modularity, 0.4);
+}
+
+TEST(LouvainTest, RecoversPlantedPartition)
+{
+    const Csr g = gen::plantedPartition(2048, 16, 12.0, 0.5, 3);
+    const LouvainResult result = louvain(g);
+    EXPECT_GT(result.modularity, 0.7);
+    EXPECT_NEAR(result.clustering.numCommunities(), 16, 8);
+}
+
+TEST(LouvainTest, ModularityMatchesGenericMetric)
+{
+    const Csr g = gen::hierarchicalCommunity(512, 4, 3, 8.0, 0.3, 11);
+    const LouvainResult result = louvain(g);
+    EXPECT_DOUBLE_EQ(result.modularity,
+                     modularity(g, result.clustering));
+}
+
+TEST(LouvainTest, ComparableToAggregationOnCommunityGraphs)
+{
+    // Both maximize modularity; Louvain's refinement sweeps should land
+    // in the same ballpark as (usually above) single-pass aggregation.
+    const Csr g = gen::plantedPartition(1024, 8, 10.0, 1.0, 21);
+    const double q_louvain = louvain(g).modularity;
+    const double q_agg =
+        modularity(g, aggregateCommunities(g).clustering);
+    EXPECT_GT(q_louvain, 0.6);
+    EXPECT_GT(q_agg, 0.6);
+    EXPECT_NEAR(q_louvain, q_agg, 0.15);
+}
+
+TEST(LouvainTest, EdgelessGraph)
+{
+    const Csr empty(4, 4, {0, 0, 0, 0, 0}, {}, {});
+    const LouvainResult result = louvain(empty);
+    EXPECT_EQ(result.clustering.numCommunities(), 4);
+    EXPECT_EQ(result.levels, 0);
+}
+
+TEST(LouvainTest, DeterministicInSeed)
+{
+    const Csr g = gen::rmatSocial(9, 8.0, 5);
+    LouvainOptions options;
+    options.seed = 123;
+    const LouvainResult a = louvain(g, options);
+    const LouvainResult b = louvain(g, options);
+    EXPECT_EQ(a.clustering.labels(), b.clustering.labels());
+}
+
+TEST(LouvainTest, LevelLimitRespected)
+{
+    const Csr g = gen::hierarchicalCommunity(512, 4, 3, 8.0, 0.3, 6);
+    LouvainOptions options;
+    options.maxLevels = 1;
+    const LouvainResult result = louvain(g, options);
+    EXPECT_LE(result.levels, 1);
+}
+
+TEST(LouvainTest, RequiresSquareMatrix)
+{
+    const Csr rect(2, 3, {0, 0, 0}, {}, {});
+    EXPECT_THROW(louvain(rect), std::invalid_argument);
+}
+
+} // namespace
+} // namespace slo::community

@@ -1,0 +1,151 @@
+/** @file Tests for the corpus and the Sec. III curation process. */
+
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "core/dataset.hpp"
+
+namespace slo::core
+{
+namespace
+{
+
+TEST(DatasetTest, PoolHasThreeRepositories)
+{
+    std::set<std::string> repositories;
+    for (const DatasetEntry &entry : candidatePool())
+        repositories.insert(entry.repository);
+    EXPECT_EQ(repositories,
+              (std::set<std::string>{"konect", "suitesparse", "wdc"}));
+}
+
+TEST(DatasetTest, CorpusHasAboutFiftyMatrices)
+{
+    const auto corpus = paperCorpus(Scale::Small);
+    EXPECT_GE(corpus.size(), 45u);
+    EXPECT_LE(corpus.size(), 55u);
+}
+
+TEST(DatasetTest, CorpusSplitMatchesPaperRepartition)
+{
+    // Paper: 41 SuiteSparse + 7 Konect + 2 WDC.
+    std::unordered_map<std::string, int> counts;
+    for (const DatasetEntry &entry : paperCorpus(Scale::Small))
+        ++counts[entry.repository];
+    EXPECT_NEAR(counts["suitesparse"], 41, 2);
+    EXPECT_EQ(counts["konect"], 7);
+    EXPECT_EQ(counts["wdc"], 2);
+}
+
+TEST(DatasetTest, CurationEnforcesMinRows)
+{
+    const CurationCriteria criteria = paperCriteria(Scale::Small);
+    for (const DatasetEntry &entry : paperCorpus(Scale::Small))
+        EXPECT_GE(entry.rowsAt(Scale::Small), criteria.minRows);
+}
+
+TEST(DatasetTest, CurationEnforcesMaxNnz)
+{
+    const CurationCriteria criteria = paperCriteria(Scale::Small);
+    for (const DatasetEntry &entry : paperCorpus(Scale::Small))
+        EXPECT_LE(entry.nnzEstimateAt(Scale::Small), criteria.maxNnz);
+}
+
+TEST(DatasetTest, DesignatedExclusionsAreExcluded)
+{
+    std::set<std::string> names;
+    for (const DatasetEntry &entry : paperCorpus(Scale::Small))
+        names.insert(entry.name);
+    EXPECT_EQ(names.count("uk-union-like"), 0u);    // too dense
+    EXPECT_EQ(names.count("small-web-like"), 0u);   // too small
+    EXPECT_EQ(names.count("konect-small-like"), 0u);
+}
+
+TEST(DatasetTest, LargestPerGroupKeepsOnlyOne)
+{
+    std::set<std::string> names;
+    for (const DatasetEntry &entry : paperCorpus(Scale::Small))
+        names.insert(entry.name);
+    // web-sk-like (96k rows) survives; web-it-like (48k, same LAW
+    // group) is dropped.
+    EXPECT_EQ(names.count("web-sk-like"), 1u);
+    EXPECT_EQ(names.count("web-it-like"), 0u);
+    EXPECT_EQ(names.count("kmer-v1r-like"), 1u);
+    EXPECT_EQ(names.count("kmer-a2a-like"), 0u);
+}
+
+TEST(DatasetTest, ExceptionGroupsRunAll)
+{
+    int snap = 0, dimacs = 0;
+    for (const DatasetEntry &entry : paperCorpus(Scale::Small)) {
+        if (entry.group == "SNAP")
+            ++snap;
+        if (entry.group == "DIMACS10")
+            ++dimacs;
+    }
+    EXPECT_EQ(snap, 8);
+    EXPECT_EQ(dimacs, 7);
+}
+
+TEST(DatasetTest, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const DatasetEntry &entry : candidatePool())
+        EXPECT_TRUE(names.insert(entry.name).second) << entry.name;
+}
+
+TEST(DatasetTest, ScalesMultiplyRows)
+{
+    const DatasetEntry entry = candidatePool().front();
+    EXPECT_EQ(entry.rowsAt(Scale::Medium),
+              entry.rowsAt(Scale::Small) * 4);
+    EXPECT_EQ(entry.rowsAt(Scale::Large),
+              entry.rowsAt(Scale::Small) * 16);
+}
+
+TEST(DatasetTest, SpecForScaleMatchesSelectionBoundary)
+{
+    // minRows * 4B == L2 capacity at every scale (the paper's rule).
+    for (Scale scale :
+         {Scale::Small, Scale::Medium, Scale::Large}) {
+        const CurationCriteria criteria = paperCriteria(scale);
+        EXPECT_EQ(static_cast<std::uint64_t>(criteria.minRows) * 4,
+                  specForScale(scale).l2.capacityBytes);
+    }
+}
+
+TEST(DatasetTest, BuildProducesDeclaredShape)
+{
+    // Build two cheap entries and verify metadata is honest.
+    for (const DatasetEntry &entry : candidatePool()) {
+        if (entry.name != "email-eu-like" &&
+            entry.name != "cage12-like") {
+            continue;
+        }
+        const Csr m = entry.build(Scale::Small);
+        EXPECT_TRUE(m.isSquare());
+        EXPECT_NEAR(static_cast<double>(m.numRows()),
+                    static_cast<double>(entry.rowsAt(Scale::Small)),
+                    0.05 * entry.rowsAt(Scale::Small))
+            << entry.name;
+        EXPECT_NEAR(static_cast<double>(m.numNonZeros()),
+                    static_cast<double>(
+                        entry.nnzEstimateAt(Scale::Small)),
+                    0.4 * static_cast<double>(
+                              entry.nnzEstimateAt(Scale::Small)))
+            << entry.name;
+    }
+}
+
+TEST(DatasetTest, ScaleEnvParsing)
+{
+    EXPECT_EQ(scaleFactor(Scale::Small), 1);
+    EXPECT_EQ(scaleFactor(Scale::Medium), 4);
+    EXPECT_EQ(scaleFactor(Scale::Large), 16);
+    EXPECT_EQ(scaleName(Scale::Large), "large");
+}
+
+} // namespace
+} // namespace slo::core

@@ -1,0 +1,153 @@
+/** @file Tests for the experiment runner and artifact cache. */
+
+#include <cstdlib>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/artifact_cache.hpp"
+#include "core/experiment.hpp"
+#include "matrix/generators.hpp"
+
+namespace slo::core
+{
+namespace
+{
+
+/** Point the cache at a fresh directory for the whole test binary. */
+class ExperimentTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("slo-exp-test-" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir_);
+        setenv("SLO_CACHE_DIR", dir_.c_str(), 1);
+        unsetenv("SLO_NO_CACHE");
+    }
+
+    void
+    TearDown() override
+    {
+        unsetenv("SLO_CACHE_DIR");
+        std::filesystem::remove_all(dir_);
+    }
+
+    DatasetEntry
+    smallEntry()
+    {
+        for (const DatasetEntry &entry : candidatePool()) {
+            if (entry.name == "email-eu-like")
+                return entry;
+        }
+        throw std::runtime_error("entry not found");
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(ExperimentTest, CsrCacheRoundTrips)
+{
+    int builds = 0;
+    auto build = [&builds] {
+        ++builds;
+        return gen::erdosRenyi(256, 4.0, 1);
+    };
+    const Csr a = loadOrBuildCsr("test-key", build);
+    const Csr b = loadOrBuildCsr("test-key", build);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(ExperimentTest, CacheDisabledByEnv)
+{
+    setenv("SLO_NO_CACHE", "1", 1);
+    int builds = 0;
+    auto build = [&builds] {
+        ++builds;
+        return gen::erdosRenyi(64, 4.0, 1);
+    };
+    (void)loadOrBuildCsr("nocache-key", build);
+    (void)loadOrBuildCsr("nocache-key", build);
+    EXPECT_EQ(builds, 2);
+    unsetenv("SLO_NO_CACHE");
+}
+
+TEST_F(ExperimentTest, IndexVectorCacheRoundTrips)
+{
+    int builds = 0;
+    auto build = [&builds] {
+        ++builds;
+        return std::vector<Index>{3, 1, 2};
+    };
+    const auto a = loadOrBuildIndexVector("vec-key", build);
+    const auto b = loadOrBuildIndexVector("vec-key", build);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, (std::vector<Index>{3, 1, 2}));
+}
+
+TEST_F(ExperimentTest, CacheKeysDoNotCollide)
+{
+    EXPECT_NE(cacheFileStem("a"), cacheFileStem("b"));
+    EXPECT_NE(cacheFileStem("key/with/slash"),
+              cacheFileStem("key_with_slash"));
+}
+
+TEST_F(ExperimentTest, OrderingForCachesPermAndTime)
+{
+    const DatasetEntry entry = smallEntry();
+    const Csr original = entry.build(Scale::Small);
+    const TimedOrdering first = orderingFor(
+        entry, original, Scale::Small, reorder::Technique::Dbg);
+    EXPECT_TRUE(Permutation::isPermutation(first.perm.newIds()));
+    EXPECT_GE(first.reorderSeconds, 0.0);
+    const TimedOrdering second = orderingFor(
+        entry, original, Scale::Small, reorder::Technique::Dbg);
+    EXPECT_EQ(first.perm, second.perm);
+    // Cached time equals the originally measured one.
+    EXPECT_DOUBLE_EQ(first.reorderSeconds, second.reorderSeconds);
+}
+
+TEST_F(ExperimentTest, RabbitArtifactsAreConsistent)
+{
+    const DatasetEntry entry = smallEntry();
+    const Csr original = entry.build(Scale::Small);
+    const RabbitArtifacts first =
+        rabbitArtifactsFor(entry, original, Scale::Small);
+    EXPECT_EQ(first.clustering.numNodes(), original.numRows());
+    EXPECT_GE(first.insularity, 0.0);
+    EXPECT_LE(first.insularity, 1.0);
+    const RabbitArtifacts second =
+        rabbitArtifactsFor(entry, original, Scale::Small);
+    EXPECT_EQ(first.perm, second.perm);
+    EXPECT_EQ(first.clustering.labels(), second.clustering.labels());
+    EXPECT_DOUBLE_EQ(first.insularity, second.insularity);
+}
+
+TEST_F(ExperimentTest, SimulateOrderedMatchesManualPipeline)
+{
+    const DatasetEntry entry = smallEntry();
+    const Csr original = entry.build(Scale::Small);
+    const Permutation perm =
+        Permutation::random(original.numRows(), 3);
+    const gpu::GpuSpec spec = specForScale(Scale::Small);
+    const gpu::SimReport a = simulateOrdered(original, perm, spec);
+    const gpu::SimReport b = gpu::simulateKernel(
+        original.permutedSymmetric(perm), spec);
+    EXPECT_EQ(a.trafficBytes, b.trafficBytes);
+}
+
+TEST_F(ExperimentTest, TimerMeasuresElapsedTime)
+{
+    const Timer timer;
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i)
+        sink = sink + 1.0;
+    EXPECT_GE(timer.elapsedSeconds(), 0.0);
+}
+
+} // namespace
+} // namespace slo::core

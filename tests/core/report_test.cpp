@@ -1,0 +1,74 @@
+/** @file Tests for table/CSV reporting. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+
+namespace slo::core
+{
+namespace
+{
+
+TEST(ReportTest, TablePrintsAlignedColumns)
+{
+    Table table({"matrix", "traffic"});
+    table.addRow({"web-sk-like", "1.05x"});
+    table.addRow({"mawi-like", "4.18x"});
+    std::ostringstream out;
+    table.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("matrix"), std::string::npos);
+    EXPECT_NE(text.find("web-sk-like"), std::string::npos);
+    EXPECT_NE(text.find("4.18x"), std::string::npos);
+    EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(ReportTest, TableRejectsCellCountMismatch)
+{
+    Table table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(ReportTest, TableRejectsNoColumns)
+{
+    EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(ReportTest, CsvEscapesSpecialCharacters)
+{
+    Table table({"name", "note"});
+    table.addRow({"a,b", "say \"hi\""});
+    std::ostringstream out;
+    table.writeCsv(out);
+    EXPECT_EQ(out.str(),
+              "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(ReportTest, NumRows)
+{
+    Table table({"x"});
+    EXPECT_EQ(table.numRows(), 0u);
+    table.addRow({"1"});
+    EXPECT_EQ(table.numRows(), 1u);
+}
+
+TEST(ReportTest, Formatters)
+{
+    EXPECT_EQ(fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt(1.5, 0), "2");
+    EXPECT_EQ(fmtX(1.544), "1.54x");
+    EXPECT_EQ(fmtPct(0.5432), "54.3%");
+    EXPECT_EQ(fmtPct(0.5432, 0), "54%");
+}
+
+TEST(ReportTest, HeadingFormat)
+{
+    std::ostringstream out;
+    printHeading(out, "Figure 2");
+    EXPECT_EQ(out.str(), "\n== Figure 2 ==\n\n");
+}
+
+} // namespace
+} // namespace slo::core

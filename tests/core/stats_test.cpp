@@ -1,0 +1,118 @@
+/** @file Tests for summary statistics. */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/stats.hpp"
+
+namespace slo::core
+{
+namespace
+{
+
+TEST(StatsTest, MeanBasics)
+{
+    const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(v), 2.5);
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, GeomeanBasics)
+{
+    const std::vector<double> v = {1.0, 4.0};
+    EXPECT_NEAR(geomean(v), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, GeomeanRejectsNonPositive)
+{
+    EXPECT_THROW(geomean(std::vector<double>{1.0, 0.0}),
+                 std::invalid_argument);
+}
+
+TEST(StatsTest, MinMax)
+{
+    const std::vector<double> v = {3.0, -1.0, 2.0};
+    EXPECT_DOUBLE_EQ(minOf(v), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf(v), 3.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation)
+{
+    const std::vector<double> x = {1, 2, 3, 4};
+    const std::vector<double> y = {2, 4, 6, 8};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+    const std::vector<double> neg = {8, 6, 4, 2};
+    EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonUncorrelated)
+{
+    const std::vector<double> x = {1, 2, 3, 4};
+    const std::vector<double> y = {1, -1, 1, -1};
+    EXPECT_LT(std::abs(pearson(x, y)), 0.5);
+}
+
+TEST(StatsTest, PearsonZeroVariance)
+{
+    const std::vector<double> x = {1, 1, 1};
+    const std::vector<double> y = {1, 2, 3};
+    EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(StatsTest, PearsonSizeMismatch)
+{
+    EXPECT_THROW(pearson(std::vector<double>{1.0},
+                         std::vector<double>{1.0, 2.0}),
+                 std::invalid_argument);
+}
+
+TEST(StatsTest, SpearmanMonotoneNonlinearIsOne)
+{
+    // Monotone but wildly nonlinear: Spearman 1, Pearson < 1.
+    const std::vector<double> x = {1, 2, 3, 4, 5};
+    const std::vector<double> y = {1, 10, 100, 1000, 10000};
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+    EXPECT_LT(pearson(x, y), 0.95);
+}
+
+TEST(StatsTest, SpearmanHandlesTies)
+{
+    const std::vector<double> x = {1, 2, 2, 3};
+    const std::vector<double> y = {1, 2, 2, 3};
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(StatsTest, SpearmanNegative)
+{
+    const std::vector<double> x = {1, 2, 3, 4};
+    const std::vector<double> y = {9, 7, 5, 1};
+    EXPECT_NEAR(spearman(x, y), -1.0, 1e-12);
+}
+
+TEST(StatsTest, SpearmanSizeMismatch)
+{
+    EXPECT_THROW(spearman(std::vector<double>{1.0},
+                          std::vector<double>{1.0, 2.0}),
+                 std::invalid_argument);
+}
+
+TEST(StatsTest, PercentileInterpolates)
+{
+    std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+}
+
+TEST(StatsTest, PercentileValidation)
+{
+    EXPECT_THROW(percentile({1.0}, -1), std::invalid_argument);
+    EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+} // namespace
+} // namespace slo::core

@@ -1,0 +1,112 @@
+/**
+ * @file Parameterized consistency sweep over the end-to-end simulator:
+ * every (kernel, ordering, spec) combination must produce an
+ * internally consistent SimReport.
+ */
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "gpu/simulate.hpp"
+#include "matrix/generators.hpp"
+#include "reorder/reorder.hpp"
+
+namespace slo::gpu
+{
+namespace
+{
+
+struct SimCase
+{
+    std::string name;
+    kernels::KernelKind kernel;
+    Index denseCols;
+    reorder::Technique technique;
+};
+
+class SimSweepTest : public ::testing::TestWithParam<SimCase>
+{
+  protected:
+    static const Csr &
+    matrix()
+    {
+        static const Csr m =
+            gen::temporalInteraction(16384, 128, 8.0, 0.02, 60.0, 3)
+                .permutedSymmetric(Permutation::random(16384, 7));
+        return m;
+    }
+};
+
+TEST_P(SimSweepTest, ReportIsInternallyConsistent)
+{
+    const SimCase c = GetParam();
+    const Csr reordered = matrix().permutedSymmetric(
+        reorder::computeOrdering(c.technique, matrix()));
+    const GpuSpec spec = GpuSpec::a6000ScaledL2(64 * 1024);
+    SimOptions options;
+    options.kernel = c.kernel;
+    options.denseCols = c.denseCols;
+    const SimReport report =
+        simulateKernel(reordered, spec, options);
+
+    // Traffic partitions exactly.
+    EXPECT_EQ(report.streamMissBytes + report.randomMissBytes,
+              report.trafficBytes);
+    EXPECT_EQ(report.trafficBytes, report.cacheStats.fillBytes);
+    // Normalizations are self-consistent.
+    EXPECT_NEAR(report.normalizedTraffic,
+                static_cast<double>(report.trafficBytes) /
+                    static_cast<double>(report.compulsoryBytes),
+                1e-12);
+    EXPECT_NEAR(report.normalizedRuntime,
+                report.modeledSeconds / report.idealSeconds, 1e-12);
+    // Physical floors: the modelled run cannot beat streaming the
+    // simulated traffic at full bandwidth.
+    EXPECT_GE(report.modeledSeconds,
+              static_cast<double>(report.trafficBytes) /
+                  (spec.streamBandwidthGBs * 1e9) * (1.0 - 1e-9));
+    EXPECT_GT(report.idealSeconds, 0.0);
+    // Rates live in [0, 1].
+    EXPECT_GE(report.l2HitRate, 0.0);
+    EXPECT_LE(report.l2HitRate, 1.0);
+    EXPECT_GE(report.deadLineFraction, 0.0);
+    EXPECT_LE(report.deadLineFraction, 1.0);
+    // The longest row is a real row.
+    EXPECT_GE(report.maxRowNnz, 1);
+    EXPECT_LE(static_cast<Offset>(report.maxRowNnz),
+              reordered.numNonZeros());
+}
+
+std::vector<SimCase>
+makeCases()
+{
+    std::vector<SimCase> cases;
+    const std::vector<std::pair<std::string, reorder::Technique>>
+        techniques = {
+            {"random", reorder::Technique::Random},
+            {"dbg", reorder::Technique::Dbg},
+            {"rabbitpp", reorder::Technique::RabbitPlusPlus},
+        };
+    for (const auto &[tname, technique] : techniques) {
+        cases.push_back({"csr_" + tname,
+                         kernels::KernelKind::SpmvCsr, 1, technique});
+        cases.push_back({"coo_" + tname,
+                         kernels::KernelKind::SpmvCoo, 1, technique});
+        cases.push_back({"spmm4_" + tname,
+                         kernels::KernelKind::SpmmCsr, 4, technique});
+        cases.push_back({"spmm32_" + tname,
+                         kernels::KernelKind::SpmmCsr, 32, technique});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsByTechnique, SimSweepTest,
+    ::testing::ValuesIn(makeCases()),
+    [](const ::testing::TestParamInfo<SimCase> &info) {
+        return info.param.name;
+    });
+
+} // namespace
+} // namespace slo::gpu

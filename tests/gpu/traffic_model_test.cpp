@@ -1,0 +1,90 @@
+/** @file Tests for compulsory-traffic formulas and the run-time model. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/traffic_model.hpp"
+
+namespace slo::gpu
+{
+namespace
+{
+
+TEST(TrafficModelTest, SpmvCsrFormulaMatchesPaper)
+{
+    // (2*N + (N+1) + 2*NZ) * 4B
+    EXPECT_EQ(compulsoryTrafficBytes(kernels::KernelKind::SpmvCsr, 100,
+                                     500),
+              (200u + 101u + 1000u) * 4u);
+}
+
+TEST(TrafficModelTest, SpmvCooFormula)
+{
+    EXPECT_EQ(compulsoryTrafficBytes(kernels::KernelKind::SpmvCoo, 100,
+                                     500),
+              (200u + 1500u) * 4u);
+}
+
+TEST(TrafficModelTest, SpmmFormulaScalesWithK)
+{
+    const auto k4 = compulsoryTrafficBytes(
+        kernels::KernelKind::SpmmCsr, 100, 500, 4);
+    const auto k256 = compulsoryTrafficBytes(
+        kernels::KernelKind::SpmmCsr, 100, 500, 256);
+    EXPECT_EQ(k4, (2u * 400u + 101u + 1000u) * 4u);
+    EXPECT_GT(k256, k4);
+}
+
+TEST(TrafficModelTest, RejectsBadArguments)
+{
+    EXPECT_THROW(compulsoryTrafficBytes(kernels::KernelKind::SpmvCsr,
+                                        -1, 0),
+                 std::invalid_argument);
+    EXPECT_THROW(compulsoryTrafficBytes(kernels::KernelKind::SpmmCsr,
+                                        10, 10, 0),
+                 std::invalid_argument);
+}
+
+TEST(TrafficModelTest, IdealRuntimeUsesStreamBandwidth)
+{
+    GpuSpec spec;
+    spec.streamBandwidthGBs = 672.0;
+    // 672 GB at 672 GB/s = 1 second.
+    EXPECT_NEAR(idealRuntimeSeconds(spec, 672ULL * 1000 * 1000 * 1000),
+                1.0, 1e-9);
+}
+
+TEST(TrafficModelTest, RandomBytesAreDerated)
+{
+    GpuSpec spec;
+    spec.streamBandwidthGBs = 100.0;
+    spec.randomAccessEfficiency = 0.5;
+    const auto gb = 100ULL * 1000 * 1000 * 1000;
+    EXPECT_NEAR(modeledRuntimeSeconds(spec, gb, 0), 1.0, 1e-9);
+    EXPECT_NEAR(modeledRuntimeSeconds(spec, 0, gb), 2.0, 1e-9);
+    EXPECT_NEAR(modeledRuntimeSeconds(spec, gb, gb), 3.0, 1e-9);
+}
+
+TEST(GpuSpecTest, A6000MatchesTableI)
+{
+    const GpuSpec spec = GpuSpec::a6000();
+    EXPECT_EQ(spec.l2.capacityBytes, 6ULL * 1024 * 1024);
+    EXPECT_DOUBLE_EQ(spec.peakBandwidthGBs, 768.0);
+    EXPECT_DOUBLE_EQ(spec.streamBandwidthGBs, 672.0);
+    EXPECT_EQ(spec.dramCapacityBytes, 48ULL * 1024 * 1024 * 1024);
+    EXPECT_NO_THROW(spec.l2.validate());
+}
+
+TEST(GpuSpecTest, ScaledL2KeepsOtherParameters)
+{
+    const GpuSpec spec = GpuSpec::a6000ScaledL2(64 * 1024);
+    EXPECT_EQ(spec.l2.capacityBytes, 64u * 1024u);
+    EXPECT_DOUBLE_EQ(spec.streamBandwidthGBs, 672.0);
+}
+
+TEST(GpuSpecTest, ScaledL2ValidatesGeometry)
+{
+    EXPECT_THROW(GpuSpec::a6000ScaledL2(100), std::invalid_argument);
+}
+
+} // namespace
+} // namespace slo::gpu

@@ -1,0 +1,152 @@
+/**
+ * @file Invariance properties that tie modules together: metrics and
+ * simulated traffic must behave predictably under relabelling, and the
+ * artifact cache must survive corruption.
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "community/metrics.hpp"
+#include "core/artifact_cache.hpp"
+#include "gpu/simulate.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/properties.hpp"
+#include "reorder/rabbit.hpp"
+
+namespace slo
+{
+namespace
+{
+
+TEST(InvarianceTest, InsularityIsPermutationInvariant)
+{
+    const Csr g = gen::temporalInteraction(4096, 64, 8.0, 0.02, 60.0,
+                                           3);
+    const reorder::RabbitResult rabbit = reorder::rabbitOrder(g);
+    const double before =
+        community::insularity(g, rabbit.clustering);
+
+    const Permutation perm = Permutation::random(g.numRows(), 7);
+    const Csr permuted = g.permutedSymmetric(perm);
+    // Move the labels into the new index space.
+    std::vector<Index> labels(
+        static_cast<std::size_t>(g.numRows()));
+    for (Index v = 0; v < g.numRows(); ++v) {
+        labels[static_cast<std::size_t>(perm.newId(v))] =
+            rabbit.clustering.label(v);
+    }
+    const double after = community::insularity(
+        permuted, community::Clustering(std::move(labels)));
+    EXPECT_DOUBLE_EQ(before, after);
+}
+
+TEST(InvarianceTest, ModularityIsPermutationInvariant)
+{
+    const Csr g = gen::plantedPartition(2048, 16, 10.0, 1.0, 5);
+    const community::Clustering truth =
+        community::Clustering::contiguousBlocks(2048, 128);
+    const double before = community::modularity(g, truth);
+    const Permutation perm = Permutation::random(2048, 9);
+    std::vector<Index> labels(2048);
+    for (Index v = 0; v < 2048; ++v)
+        labels[static_cast<std::size_t>(perm.newId(v))] =
+            truth.label(v);
+    const double after = community::modularity(
+        g.permutedSymmetric(perm),
+        community::Clustering(std::move(labels)));
+    EXPECT_NEAR(before, after, 1e-12);
+}
+
+TEST(InvarianceTest, SkewIsPermutationInvariant)
+{
+    const Csr g = gen::rmatSocial(11, 10.0, 13);
+    const double before = degreeSkew(g);
+    const double after = degreeSkew(
+        g.permutedSymmetric(Permutation::random(g.numRows(), 3)));
+    EXPECT_NEAR(before, after, 1e-12);
+}
+
+TEST(InvarianceTest, CompulsoryTrafficIsOrderingInvariant)
+{
+    const Csr g = gen::rmatSocial(12, 8.0, 17);
+    const gpu::GpuSpec spec = gpu::GpuSpec::a6000ScaledL2(64 * 1024);
+    const auto a = gpu::simulateKernel(g, spec);
+    const auto b = gpu::simulateKernel(
+        g.permutedSymmetric(Permutation::random(g.numRows(), 5)),
+        spec);
+    EXPECT_EQ(a.compulsoryBytes, b.compulsoryBytes);
+    EXPECT_EQ(a.cacheStats.accesses, b.cacheStats.accesses);
+}
+
+TEST(InvarianceTest, SimulationIsDeterministic)
+{
+    const Csr g = gen::rmatSocial(11, 8.0, 19);
+    const gpu::GpuSpec spec = gpu::GpuSpec::a6000ScaledL2(64 * 1024);
+    const auto a = gpu::simulateKernel(g, spec);
+    const auto b = gpu::simulateKernel(g, spec);
+    EXPECT_EQ(a.trafficBytes, b.trafficBytes);
+    EXPECT_EQ(a.cacheStats.hits, b.cacheStats.hits);
+    EXPECT_DOUBLE_EQ(a.modeledSeconds, b.modeledSeconds);
+}
+
+class CacheCorruptionTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               "slo-corrupt-test";
+        std::filesystem::create_directories(dir_);
+        setenv("SLO_CACHE_DIR", dir_.c_str(), 1);
+    }
+
+    void
+    TearDown() override
+    {
+        unsetenv("SLO_CACHE_DIR");
+        std::filesystem::remove_all(dir_);
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(CacheCorruptionTest, CorruptCsrEntryIsRebuilt)
+{
+    const std::string key = "corrupt-csr";
+    auto build = [] { return gen::erdosRenyi(128, 4.0, 1); };
+    const Csr original = core::loadOrBuildCsr(key, build);
+    // Clobber the cached file.
+    const auto path = std::filesystem::path(core::cacheDir()) /
+                      (core::cacheFileStem(key) + ".csr");
+    ASSERT_TRUE(std::filesystem::exists(path));
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "garbage";
+    }
+    const Csr rebuilt = core::loadOrBuildCsr(key, build);
+    EXPECT_EQ(rebuilt, original);
+}
+
+TEST_F(CacheCorruptionTest, CorruptVectorEntryIsRebuilt)
+{
+    const std::string key = "corrupt-vec";
+    auto build = [] { return std::vector<Index>{1, 2, 3}; };
+    (void)core::loadOrBuildIndexVector(key, build);
+    const auto path = std::filesystem::path(core::cacheDir()) /
+                      (core::cacheFileStem(key) + ".vec");
+    ASSERT_TRUE(std::filesystem::exists(path));
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "XX";
+    }
+    EXPECT_EQ(core::loadOrBuildIndexVector(key, build),
+              (std::vector<Index>{1, 2, 3}));
+}
+
+} // namespace
+} // namespace slo

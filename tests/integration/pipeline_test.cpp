@@ -1,0 +1,185 @@
+/**
+ * @file Cross-module integration tests: the paper's full pipeline
+ * (generate -> reorder -> permute -> simulate -> model) and the key
+ * qualitative claims it must reproduce.
+ */
+
+#include <gtest/gtest.h>
+
+#include "community/metrics.hpp"
+#include "core/experiment.hpp"
+#include "core/stats.hpp"
+#include "gpu/simulate.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/properties.hpp"
+#include "reorder/rabbitpp.hpp"
+#include "reorder/reorder.hpp"
+
+namespace slo
+{
+namespace
+{
+
+gpu::GpuSpec
+smallSpec()
+{
+    return gpu::GpuSpec::a6000ScaledL2(64 * 1024);
+}
+
+/** A community-structured graph whose footprint exceeds the L2. */
+Csr
+bigCommunityGraph()
+{
+    return gen::hierarchicalCommunity(65536, 8, 4, 12.0, 0.25, 3)
+        .permutedSymmetric(Permutation::random(65536, 7));
+}
+
+TEST(PipelineTest, TechniqueOrderingMatchesPaperOnCommunityGraph)
+{
+    // Observation 4: community-based reordering beats degree-based
+    // techniques on community-structured inputs; RANDOM is worst.
+    const Csr g = bigCommunityGraph();
+    const gpu::GpuSpec spec = smallSpec();
+    auto traffic = [&](reorder::Technique t) {
+        return gpu::simulateKernel(
+                   g.permutedSymmetric(reorder::computeOrdering(t, g)),
+                   spec)
+            .normalizedTraffic;
+    };
+    const double random = traffic(reorder::Technique::Random);
+    const double degsort = traffic(reorder::Technique::DegSort);
+    const double rabbit = traffic(reorder::Technique::Rabbit);
+    EXPECT_GT(random, degsort * 0.99);
+    EXPECT_GT(degsort, rabbit);
+    EXPECT_LT(rabbit, 1.35);
+}
+
+TEST(PipelineTest, RabbitPlusPlusHelpsLowInsularityMatrix)
+{
+    // Sec. VI: on skewed, low-insularity inputs RABBIT++ reduces
+    // traffic relative to RABBIT.
+    const Csr g =
+        gen::temporalInteraction(65536, 512, 8.0, 0.03, 120.0, 11)
+            .permutedSymmetric(Permutation::random(65536, 13));
+    const gpu::GpuSpec spec = smallSpec();
+    const reorder::RabbitResult rabbit = reorder::rabbitOrder(g);
+    const double ins = community::insularity(g, rabbit.clustering);
+    EXPECT_LT(ins, 0.95) << "fixture should be low-insularity";
+    const double t_rabbit =
+        gpu::simulateKernel(g.permutedSymmetric(rabbit.perm), spec)
+            .normalizedTraffic;
+    const reorder::RabbitPlusResult rpp = reorder::rabbitPlusFromRabbit(
+        g, rabbit, {true, reorder::HubTreatment::HubGroup, 1.0});
+    const double t_rpp =
+        gpu::simulateKernel(g.permutedSymmetric(rpp.perm), spec)
+            .normalizedTraffic;
+    EXPECT_LT(t_rpp, t_rabbit * 1.02);
+}
+
+TEST(PipelineTest, InsularityCorrelatesWithRuntime)
+{
+    // Fig. 3's trend on a controlled sweep: lower inter-community
+    // degree -> higher insularity -> lower normalized run time.
+    const gpu::GpuSpec spec = smallSpec();
+    std::vector<double> insularities, runtimes;
+    for (double inter : {0.5, 2.0, 6.0, 12.0}) {
+        Csr g = gen::plantedPartition(65536, 512, 10.0, inter, 17)
+                    .permutedSymmetric(Permutation::random(65536, 19));
+        const reorder::RabbitResult rabbit = reorder::rabbitOrder(g);
+        insularities.push_back(
+            community::insularity(g, rabbit.clustering));
+        runtimes.push_back(
+            gpu::simulateKernel(g.permutedSymmetric(rabbit.perm), spec)
+                .normalizedRuntime);
+    }
+    EXPECT_LT(core::pearson(insularities, runtimes), -0.7);
+}
+
+TEST(PipelineTest, SkewAnticorrelatesWithInsularity)
+{
+    // Sec. V-B: Pearson(insularity, skew) = -0.721 on the paper's
+    // corpus; reproduce the sign and strength on an RMAT skew sweep.
+    std::vector<double> skews, insularities;
+    for (double a : {0.30, 0.45, 0.57, 0.65}) {
+        const double bc = (1.0 - a) / 3.0;
+        Csr g = gen::rmat(15, 10.0, a, bc, bc, 23);
+        skews.push_back(degreeSkew(g));
+        insularities.push_back(community::insularity(
+            g, reorder::rabbitOrder(g).clustering));
+    }
+    EXPECT_LT(core::pearson(insularities, skews), -0.6);
+}
+
+TEST(PipelineTest, MawiAnomalyReproduced)
+{
+    // Sec. V-B: high insularity but one giant community and poor
+    // normalized run time.
+    const Csr g = gen::hubStar(65536, 1, 0.95, 0.05, 29)
+                      .permutedSymmetric(
+                          Permutation::random(65536, 31));
+    const reorder::RabbitResult rabbit = reorder::rabbitOrder(g);
+    const double ins = community::insularity(g, rabbit.clustering);
+    const community::CommunitySizeStats sizes =
+        community::communitySizeStats(rabbit.clustering);
+    EXPECT_GT(ins, 0.9);
+    EXPECT_GT(sizes.maxSizeFraction, 0.85);
+    const double runtime =
+        gpu::simulateKernel(g.permutedSymmetric(rabbit.perm),
+                            smallSpec())
+            .normalizedRuntime;
+    EXPECT_GT(runtime, 1.8); // far from ideal despite high insularity
+}
+
+TEST(PipelineTest, InsularSubMatrixReachesCompulsoryTraffic)
+{
+    // Fig. 6: after grouping insular nodes, the insular sub-matrix
+    // achieves ~compulsory traffic.
+    const Csr g =
+        gen::temporalInteraction(65536, 512, 8.0, 0.03, 120.0, 37)
+            .permutedSymmetric(Permutation::random(65536, 41));
+    const reorder::RabbitPlusResult rpp = reorder::rabbitPlusOrder(g);
+    const Csr masked = g.filtered([&rpp](Index r, Index c) {
+        return rpp.insular[static_cast<std::size_t>(r)] ||
+               rpp.insular[static_cast<std::size_t>(c)];
+    });
+    const gpu::SimReport report = gpu::simulateKernel(
+        masked.permutedSymmetric(rpp.perm), smallSpec());
+    EXPECT_LT(report.normalizedTraffic, 1.15);
+}
+
+TEST(PipelineTest, BeladyGapIsSmallForGoodOrderings)
+{
+    // Fig. 8: the LRU-vs-OPT gap shrinks once the ordering is good.
+    const Csr g = bigCommunityGraph();
+    const Permutation rabbit =
+        reorder::computeOrdering(reorder::Technique::Rabbit, g);
+    const Csr ordered = g.permutedSymmetric(rabbit);
+    gpu::SimOptions lru_opt, opt_opt;
+    opt_opt.useBelady = true;
+    const auto lru =
+        gpu::simulateKernel(ordered, smallSpec(), lru_opt);
+    const auto opt =
+        gpu::simulateKernel(ordered, smallSpec(), opt_opt);
+    EXPECT_LE(opt.trafficBytes, lru.trafficBytes);
+    EXPECT_LT(static_cast<double>(lru.trafficBytes) /
+                  static_cast<double>(opt.trafficBytes),
+              1.5);
+}
+
+TEST(PipelineTest, DeadLineFractionImprovesWithReordering)
+{
+    // Table III: better orderings waste less cache capacity.
+    const Csr g = bigCommunityGraph();
+    const gpu::GpuSpec spec = smallSpec();
+    const auto random = gpu::simulateKernel(
+        g.permutedSymmetric(Permutation::random(g.numRows(), 43)),
+        spec);
+    const auto rabbit = gpu::simulateKernel(
+        g.permutedSymmetric(reorder::computeOrdering(
+            reorder::Technique::Rabbit, g)),
+        spec);
+    EXPECT_LT(rabbit.deadLineFraction, random.deadLineFraction);
+}
+
+} // namespace
+} // namespace slo

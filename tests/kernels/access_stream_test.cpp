@@ -1,0 +1,195 @@
+/** @file Tests for the kernel access-stream generators and layouts. */
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/access_stream.hpp"
+#include "matrix/generators.hpp"
+
+namespace slo::kernels
+{
+namespace
+{
+
+/** [. x .; x . x; . x .] ring-of-3-ish path. */
+Csr
+pathMatrix()
+{
+    Coo coo(3, 3);
+    coo.addSymmetric(0, 1);
+    coo.addSymmetric(1, 2);
+    return Csr::fromCoo(coo);
+}
+
+std::vector<std::uint64_t>
+collect(const Csr &m, KernelKind kind, const StreamOptions &options)
+{
+    const AddressLayout layout = makeLayout(
+        kind, m.numRows(), m.numNonZeros(), options.denseCols, 32);
+    std::vector<std::uint64_t> trace;
+    switch (kind) {
+      case KernelKind::SpmvCsr:
+        spmvCsrStream(m, layout, options,
+                      [&trace](std::uint64_t a) { trace.push_back(a); });
+        break;
+      case KernelKind::SpmvCoo:
+        spmvCooStream(m.toCoo(), layout,
+                      [&trace](std::uint64_t a) { trace.push_back(a); });
+        break;
+      case KernelKind::SpmmCsr:
+        spmmCsrStream(m, layout, options, 32,
+                      [&trace](std::uint64_t a) { trace.push_back(a); });
+        break;
+    }
+    return trace;
+}
+
+TEST(LayoutTest, RegionsAreDisjointAndLineAligned)
+{
+    const AddressLayout layout =
+        makeLayout(KernelKind::SpmvCsr, 1000, 5000, 1, 32);
+    EXPECT_EQ(layout.xBase % 32, 0u);
+    EXPECT_EQ(layout.yBase % 32, 0u);
+    EXPECT_EQ(layout.rowOffsetsBase % 32, 0u);
+    EXPECT_EQ(layout.coordsBase % 32, 0u);
+    EXPECT_EQ(layout.valuesBase % 32, 0u);
+    EXPECT_LE(layout.xEnd, layout.yBase);
+    EXPECT_LT(layout.yBase, layout.rowOffsetsBase);
+    EXPECT_LT(layout.rowOffsetsBase, layout.coordsBase);
+    EXPECT_LT(layout.coordsBase, layout.valuesBase);
+}
+
+TEST(LayoutTest, IrregularRegionCoversX)
+{
+    const AddressLayout layout =
+        makeLayout(KernelKind::SpmvCsr, 100, 500, 1, 32);
+    EXPECT_TRUE(layout.isIrregular(layout.xBase));
+    EXPECT_TRUE(layout.isIrregular(layout.xBase + 399));
+    EXPECT_FALSE(layout.isIrregular(layout.yBase));
+}
+
+TEST(LayoutTest, SpmmScalesXWithDenseCols)
+{
+    const AddressLayout k4 =
+        makeLayout(KernelKind::SpmmCsr, 100, 500, 4, 32);
+    const AddressLayout k256 =
+        makeLayout(KernelKind::SpmmCsr, 100, 500, 256, 32);
+    EXPECT_GT(k256.xEnd - k256.xBase, (k4.xEnd - k4.xBase) * 32);
+}
+
+TEST(SpmvCsrStreamTest, AccessCountMatchesAlgorithm)
+{
+    const Csr m = pathMatrix();
+    const auto trace = collect(m, KernelKind::SpmvCsr, {});
+    // Per row: 2 rowOffsets + 1 Y; per nnz: coords + values + X.
+    EXPECT_EQ(trace.size(),
+              static_cast<std::size_t>(3 * m.numRows() +
+                                       3 * m.numNonZeros()));
+}
+
+TEST(SpmvCsrStreamTest, TouchesEveryXElementReferenced)
+{
+    const Csr m = gen::erdosRenyi(128, 4.0, 3);
+    const AddressLayout layout = makeLayout(
+        KernelKind::SpmvCsr, m.numRows(), m.numNonZeros(), 1, 32);
+    std::set<std::uint64_t> x_touched;
+    StreamOptions options;
+    spmvCsrStream(m, layout, options, [&](std::uint64_t a) {
+        if (layout.isIrregular(a))
+            x_touched.insert(a);
+    });
+    std::set<std::uint64_t> expected;
+    for (Index c : m.colIndices())
+        expected.insert(layout.xBase +
+                        static_cast<std::uint64_t>(c) * kElemBytes);
+    EXPECT_EQ(x_touched, expected);
+}
+
+TEST(SpmvCsrStreamTest, WindowPreservesAccessMultiset)
+{
+    const Csr m = gen::rmatSocial(8, 6.0, 5);
+    auto seq = collect(m, KernelKind::SpmvCsr, {1, 4});
+    StreamOptions windowed;
+    windowed.rowWindow = 32;
+    auto win = collect(m, KernelKind::SpmvCsr, windowed);
+    ASSERT_EQ(seq.size(), win.size());
+    std::sort(seq.begin(), seq.end());
+    std::sort(win.begin(), win.end());
+    EXPECT_EQ(seq, win);
+}
+
+TEST(SpmvCsrStreamTest, WindowInterleavesRows)
+{
+    // Two rows with two nnz each: windowed replay alternates them.
+    Coo coo(4, 4);
+    coo.add(0, 1);
+    coo.add(0, 2);
+    coo.add(1, 2);
+    coo.add(1, 3);
+    const Csr m = Csr::fromCoo(coo);
+    const AddressLayout layout = makeLayout(
+        KernelKind::SpmvCsr, m.numRows(), m.numNonZeros(), 1, 32);
+    std::vector<std::uint64_t> coords_order;
+    StreamOptions options;
+    options.rowWindow = 2;
+    spmvCsrStream(m, layout, options, [&](std::uint64_t a) {
+        if (a >= layout.coordsBase && a < layout.valuesBase)
+            coords_order.push_back((a - layout.coordsBase) / 4);
+    });
+    // Round-robin: nnz 0 (row0), 2 (row1), 1 (row0), 3 (row1).
+    EXPECT_EQ(coords_order,
+              (std::vector<std::uint64_t>{0, 2, 1, 3}));
+}
+
+TEST(SpmvCooStreamTest, FiveAccessesPerNonZero)
+{
+    const Csr m = pathMatrix();
+    const auto trace = collect(m, KernelKind::SpmvCoo, {});
+    EXPECT_EQ(trace.size(),
+              static_cast<std::size_t>(5 * m.numNonZeros()));
+}
+
+TEST(SpmmStreamTest, DenseRowsEmitOneAccessPerLine)
+{
+    const Csr m = pathMatrix();
+    StreamOptions options;
+    options.denseCols = 16; // 64 bytes = 2 lines of 32B
+    const AddressLayout layout = makeLayout(
+        KernelKind::SpmmCsr, m.numRows(), m.numNonZeros(), 16, 32);
+    std::size_t b_accesses = 0;
+    std::size_t c_accesses = 0;
+    spmmCsrStream(m, layout, options, 32, [&](std::uint64_t a) {
+        if (layout.isIrregular(a))
+            ++b_accesses;
+        else if (a >= layout.yBase && a < layout.rowOffsetsBase)
+            ++c_accesses;
+    });
+    EXPECT_EQ(b_accesses,
+              static_cast<std::size_t>(m.numNonZeros()) * 2);
+    EXPECT_EQ(c_accesses, static_cast<std::size_t>(m.numRows()) * 2);
+}
+
+TEST(SpmmStreamTest, HandlesEmptyRows)
+{
+    Coo coo(4, 4);
+    coo.add(1, 2);
+    const Csr m = Csr::fromCoo(coo);
+    StreamOptions options;
+    options.denseCols = 4;
+    EXPECT_NO_THROW(collect(m, KernelKind::SpmmCsr, options));
+}
+
+TEST(StreamTest, EmptyMatrixEmitsOnlyRowBookkeeping)
+{
+    const Csr m(2, 2, {0, 0, 0}, {}, {});
+    const auto trace = collect(m, KernelKind::SpmvCsr, {});
+    // 2 rowOffsets per row, no nnz, no Y store (empty rows still write
+    // y[row]? Algorithm 1 writes unconditionally; our stream emits Y
+    // only at end of a non-empty row).
+    EXPECT_EQ(trace.size(), 4u);
+}
+
+} // namespace
+} // namespace slo::kernels

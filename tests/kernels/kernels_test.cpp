@@ -1,0 +1,163 @@
+/** @file Tests for the CPU reference kernels. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kernels/kernels.hpp"
+#include "matrix/generators.hpp"
+
+namespace slo::kernels
+{
+namespace
+{
+
+/** [10 0 20; 0 30 0; 40 50 0] */
+Csr
+sample3x3()
+{
+    return Csr(3, 3, {0, 2, 3, 5}, {0, 2, 1, 0, 1},
+               {10.f, 20.f, 30.f, 40.f, 50.f});
+}
+
+/** Dense reference SpMV. */
+std::vector<Value>
+denseSpmv(const Csr &m, const std::vector<Value> &x)
+{
+    std::vector<Value> y(static_cast<std::size_t>(m.numRows()), 0.f);
+    for (Index r = 0; r < m.numRows(); ++r) {
+        auto idx = m.rowIndices(r);
+        auto val = m.rowValues(r);
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+            y[static_cast<std::size_t>(r)] +=
+                val[i] * x[static_cast<std::size_t>(idx[i])];
+        }
+    }
+    return y;
+}
+
+TEST(SpmvCsrTest, SmallKnownResult)
+{
+    const std::vector<Value> x = {1.f, 2.f, 3.f};
+    const auto y = spmvCsr(sample3x3(), x);
+    ASSERT_EQ(y.size(), 3u);
+    EXPECT_FLOAT_EQ(y[0], 10.f * 1 + 20.f * 3);
+    EXPECT_FLOAT_EQ(y[1], 30.f * 2);
+    EXPECT_FLOAT_EQ(y[2], 40.f * 1 + 50.f * 2);
+}
+
+TEST(SpmvCsrTest, SizeValidation)
+{
+    std::vector<Value> x(2), y(3);
+    EXPECT_THROW(spmvCsr(sample3x3(), x, y), std::invalid_argument);
+    std::vector<Value> x3(3), y2(2);
+    EXPECT_THROW(spmvCsr(sample3x3(), x3, y2), std::invalid_argument);
+}
+
+TEST(SpmvCsrTest, MatchesDenseReferenceOnRandomMatrix)
+{
+    const Csr m = gen::rmatSocial(9, 8.0, 3);
+    std::vector<Value> x(static_cast<std::size_t>(m.numCols()));
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<Value>((i * 37 % 101)) / 101.f;
+    const auto got = spmvCsr(m, x);
+    const auto expect = denseSpmv(m, x);
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_NEAR(got[i], expect[i], 1e-3f);
+}
+
+TEST(SpmvCooTest, MatchesCsr)
+{
+    const Csr m = gen::erdosRenyi(512, 6.0, 7);
+    std::vector<Value> x(static_cast<std::size_t>(m.numCols()));
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<Value>(i % 17) * 0.25f;
+    const auto y_csr = spmvCsr(m, x);
+    std::vector<Value> y_coo(x.size(), 0.f);
+    spmvCoo(m.toCoo(), x, y_coo);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y_csr[i], y_coo[i], 1e-3f);
+}
+
+TEST(SpmvCooTest, SizeValidation)
+{
+    const Coo coo(3, 3);
+    std::vector<Value> bad(2), good(3);
+    EXPECT_THROW(spmvCoo(coo, bad, good), std::invalid_argument);
+}
+
+TEST(SpmmCsrTest, EqualsColumnwiseSpmv)
+{
+    const Csr m = gen::plantedPartition(256, 8, 6.0, 1.0, 9);
+    const Index k = 4;
+    std::vector<Value> b(static_cast<std::size_t>(m.numCols()) * k);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b[i] = static_cast<Value>((i * 13) % 29) * 0.1f;
+    std::vector<Value> c(static_cast<std::size_t>(m.numRows()) * k,
+                         0.f);
+    spmmCsr(m, b, k, c);
+    // Column j of C equals SpMV with column j of B.
+    for (Index j = 0; j < k; ++j) {
+        std::vector<Value> x(static_cast<std::size_t>(m.numCols()));
+        for (Index r = 0; r < m.numCols(); ++r)
+            x[static_cast<std::size_t>(r)] =
+                b[static_cast<std::size_t>(r) * k +
+                  static_cast<std::size_t>(j)];
+        const auto y = spmvCsr(m, x);
+        for (Index r = 0; r < m.numRows(); ++r) {
+            EXPECT_NEAR(c[static_cast<std::size_t>(r) * k +
+                          static_cast<std::size_t>(j)],
+                        y[static_cast<std::size_t>(r)], 1e-3f);
+        }
+    }
+}
+
+TEST(SpmmCsrTest, SizeValidation)
+{
+    const Csr m = sample3x3();
+    std::vector<Value> b(12), c(12);
+    EXPECT_THROW(spmmCsr(m, b, 0, c), std::invalid_argument);
+    std::vector<Value> b_bad(11);
+    EXPECT_THROW(spmmCsr(m, b_bad, 4, c), std::invalid_argument);
+}
+
+TEST(PermuteVectorTest, RoundTrip)
+{
+    const Permutation p = Permutation::random(64, 3);
+    std::vector<Value> x(64);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<Value>(i);
+    const auto forward = permuteVector(x, p);
+    const auto back = unpermuteVector(forward, p);
+    EXPECT_EQ(back, x);
+}
+
+TEST(PermuteVectorTest, PlacesValueAtNewIndex)
+{
+    const Permutation p({2, 0, 1});
+    const std::vector<Value> x = {10.f, 20.f, 30.f};
+    const auto moved = permuteVector(x, p);
+    EXPECT_EQ(moved, (std::vector<Value>{20.f, 30.f, 10.f}));
+}
+
+TEST(SpmvPermutationInvariance, ResultsMatchAfterReordering)
+{
+    // The end-to-end contract of matrix reordering: reorder matrix and
+    // input vector, run the kernel, un-permute the result.
+    const Csr m = gen::temporalInteraction(1024, 16, 8.0, 0.02, 40.0, 5);
+    const Permutation p = Permutation::random(m.numRows(), 11);
+    std::vector<Value> x(static_cast<std::size_t>(m.numRows()));
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<Value>((i % 11)) * 0.3f + 0.1f;
+
+    const auto y_direct = spmvCsr(m, x);
+    const Csr reordered = m.permutedSymmetric(p);
+    const auto y_reordered =
+        spmvCsr(reordered, permuteVector(x, p));
+    const auto y_back = unpermuteVector(y_reordered, p);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y_direct[i], y_back[i], 1e-2f);
+}
+
+} // namespace
+} // namespace slo::kernels

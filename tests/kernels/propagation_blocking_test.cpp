@@ -1,0 +1,109 @@
+/** @file Tests for propagation-blocked SpMV. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/simulate_blocked.hpp"
+#include "kernels/kernels.hpp"
+#include "kernels/propagation_blocking.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/rng.hpp"
+
+namespace slo::kernels
+{
+namespace
+{
+
+TEST(PropagationBlockingTest, MatchesPlainSpmv)
+{
+    // Asymmetric values: catches push/pull transpose mistakes.
+    Coo coo(64, 64);
+    Rng rng(3);
+    for (int e = 0; e < 400; ++e) {
+        coo.add(static_cast<Index>(rng.below(64)),
+                static_cast<Index>(rng.below(64)),
+                static_cast<Value>(rng.uniform()) + 0.1f);
+    }
+    const Csr m = Csr::fromCoo(coo, DuplicatePolicy::Sum);
+    std::vector<Value> x(64);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<Value>(i % 7) * 0.5f + 0.25f;
+    const auto expect = spmvCsr(m, x);
+    for (Index bin_rows : {8, 17, 64, 200}) {
+        const PropagationBlockedSpmv blocked(m, bin_rows);
+        std::vector<Value> y(64, 0.0f);
+        blocked.spmv(x, y);
+        for (std::size_t i = 0; i < y.size(); ++i)
+            EXPECT_NEAR(y[i], expect[i], 1e-3f)
+                << "bin_rows " << bin_rows;
+    }
+}
+
+TEST(PropagationBlockingTest, MatchesOnLargerRandomMatrix)
+{
+    const Csr m = gen::temporalInteraction(4096, 64, 8.0, 0.02, 50.0,
+                                           7);
+    std::vector<Value> x(static_cast<std::size_t>(m.numCols()));
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<Value>((i * 31) % 97) * 0.01f;
+    const auto expect = spmvCsr(m, x);
+    const PropagationBlockedSpmv blocked(m, 512);
+    std::vector<Value> y(x.size(), 0.0f);
+    blocked.spmv(x, y);
+    for (std::size_t i = 0; i < y.size(); ++i)
+        EXPECT_NEAR(y[i], expect[i], 1e-2f);
+}
+
+TEST(PropagationBlockingTest, BinCountAndTraffic)
+{
+    const Csr m = gen::erdosRenyi(1000, 6.0, 5);
+    const PropagationBlockedSpmv blocked(m, 256);
+    EXPECT_EQ(blocked.numBins(), 4);
+    EXPECT_EQ(blocked.binTrafficBytes(),
+              2ULL * static_cast<std::uint64_t>(m.numNonZeros()) * 8);
+}
+
+TEST(PropagationBlockingTest, RejectsBadBinRows)
+{
+    const Csr m = gen::erdosRenyi(64, 4.0, 1);
+    EXPECT_THROW(PropagationBlockedSpmv(m, 0), std::invalid_argument);
+}
+
+TEST(BlockedSimulateTest, TrafficIsOrderingInsensitive)
+{
+    const Csr m = gen::plantedPartition(32768, 64, 10.0, 1.0, 9);
+    const Csr shuffled = m.permutedSymmetric(
+        Permutation::random(m.numRows(), 3));
+    const gpu::GpuSpec spec = gpu::GpuSpec::a6000ScaledL2(64 * 1024);
+    const auto bin_rows = static_cast<Index>(
+        spec.l2.capacityBytes / (2 * kElemBytes));
+    const double natural =
+        gpu::simulateBlockedSpmv(
+            kernels::PropagationBlockedSpmv(m, bin_rows), spec)
+            .normalizedTraffic;
+    const double random =
+        gpu::simulateBlockedSpmv(
+            kernels::PropagationBlockedSpmv(shuffled, bin_rows), spec)
+            .normalizedTraffic;
+    // Blocking's traffic barely moves with ordering (that's its whole
+    // point) — in contrast to the unblocked kernel.
+    EXPECT_NEAR(natural, random, 0.3);
+    const double unblocked_random =
+        gpu::simulateKernel(shuffled, spec).normalizedTraffic;
+    EXPECT_LT(random, unblocked_random);
+}
+
+TEST(BlockedSimulateTest, PaysStreamingOverheadOnGoodOrderings)
+{
+    const Csr m = gen::plantedPartition(32768, 64, 10.0, 1.0, 9);
+    const gpu::GpuSpec spec = gpu::GpuSpec::a6000ScaledL2(64 * 1024);
+    const double blocked =
+        gpu::simulateBlockedSpmv(
+            kernels::PropagationBlockedSpmv(m, 8192), spec)
+            .normalizedTraffic;
+    const double unblocked =
+        gpu::simulateKernel(m, spec).normalizedTraffic;
+    EXPECT_GT(blocked, unblocked);
+}
+
+} // namespace
+} // namespace slo::kernels

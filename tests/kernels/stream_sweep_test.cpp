@@ -1,0 +1,118 @@
+/**
+ * @file Parameterized sweep over kernels x generator families: the
+ * access-stream generators must emit exactly the access counts the
+ * kernel formulas predict, for every input shape.
+ */
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "kernels/access_stream.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/properties.hpp"
+
+namespace slo::kernels
+{
+namespace
+{
+
+struct SweepCase
+{
+    std::string name;
+    std::function<Csr()> build;
+};
+
+class StreamSweepTest : public ::testing::TestWithParam<SweepCase>
+{
+  protected:
+    static std::size_t
+    count(const Csr &m, KernelKind kind, const StreamOptions &options)
+    {
+        const AddressLayout layout =
+            makeLayout(kind, m.numRows(), m.numNonZeros(),
+                       options.denseCols, 32);
+        std::size_t n = 0;
+        auto sink = [&n](std::uint64_t) { ++n; };
+        switch (kind) {
+          case KernelKind::SpmvCsr:
+            spmvCsrStream(m, layout, options, sink);
+            break;
+          case KernelKind::SpmvCoo:
+            spmvCooStream(m.toCoo(), layout, sink);
+            break;
+          case KernelKind::SpmmCsr:
+            spmmCsrStream(m, layout, options, 32, sink);
+            break;
+        }
+        return n;
+    }
+};
+
+TEST_P(StreamSweepTest, SpmvCsrAccessCountFormula)
+{
+    const Csr m = GetParam().build();
+    const Index non_empty = m.numRows() - emptyRowCount(m);
+    // 2 rowOffsets per row + (coords, values, X) per nnz + 1 Y per
+    // non-empty row.
+    const auto expect =
+        static_cast<std::size_t>(2 * m.numRows()) +
+        static_cast<std::size_t>(3 * m.numNonZeros()) +
+        static_cast<std::size_t>(non_empty);
+    EXPECT_EQ(count(m, KernelKind::SpmvCsr, {}), expect);
+    // The row window changes interleaving, never the count.
+    StreamOptions windowed;
+    windowed.rowWindow = 17;
+    EXPECT_EQ(count(m, KernelKind::SpmvCsr, windowed), expect);
+}
+
+TEST_P(StreamSweepTest, SpmvCooAccessCountFormula)
+{
+    const Csr m = GetParam().build();
+    EXPECT_EQ(count(m, KernelKind::SpmvCoo, {}),
+              static_cast<std::size_t>(5 * m.numNonZeros()));
+}
+
+TEST_P(StreamSweepTest, SpmmAccessCountFormula)
+{
+    const Csr m = GetParam().build();
+    const Index non_empty = m.numRows() - emptyRowCount(m);
+    for (Index k : {4, 16, 64}) {
+        StreamOptions options;
+        options.denseCols = k;
+        // Lines per K-element segment (segments are k*4B aligned, so
+        // 32B lines divide evenly for k multiples of 8; k=4 gives 1).
+        const auto lines = static_cast<std::size_t>(
+            std::max<Index>(1, k * 4 / 32));
+        const auto expect =
+            static_cast<std::size_t>(2 * m.numRows()) +
+            static_cast<std::size_t>(2 * m.numNonZeros()) +
+            static_cast<std::size_t>(m.numNonZeros()) * lines +
+            static_cast<std::size_t>(non_empty) * lines;
+        EXPECT_EQ(count(m, KernelKind::SpmmCsr, options), expect)
+            << "k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, StreamSweepTest,
+    ::testing::Values(
+        SweepCase{"erdos",
+                  [] { return gen::erdosRenyi(512, 6.0, 3); }},
+        SweepCase{"rmat", [] { return gen::rmatSocial(9, 7.0, 5); }},
+        SweepCase{"grid", [] { return gen::grid2d(20, 25, 0.05, 7); }},
+        SweepCase{"star",
+                  [] { return gen::hubStar(400, 1, 0.8, 0.3, 9); }},
+        SweepCase{"emptyRows",
+                  [] {
+                      Coo coo(300, 300);
+                      coo.addSymmetric(0, 299);
+                      coo.addSymmetric(5, 7);
+                      return Csr::fromCoo(coo);
+                  }}),
+    [](const ::testing::TestParamInfo<SweepCase> &info) {
+        return info.param.name;
+    });
+
+} // namespace
+} // namespace slo::kernels

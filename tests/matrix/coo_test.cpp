@@ -1,0 +1,108 @@
+/** @file Unit tests for the COO container. */
+
+#include <gtest/gtest.h>
+
+#include "matrix/coo.hpp"
+
+namespace slo
+{
+namespace
+{
+
+TEST(CooTest, DefaultConstructedIsEmpty)
+{
+    Coo coo;
+    EXPECT_EQ(coo.numRows(), 0);
+    EXPECT_EQ(coo.numCols(), 0);
+    EXPECT_EQ(coo.numEntries(), 0);
+    EXPECT_TRUE(coo.empty());
+}
+
+TEST(CooTest, AddStoresTriplet)
+{
+    Coo coo(3, 4);
+    coo.add(1, 2, 5.0f);
+    ASSERT_EQ(coo.numEntries(), 1);
+    EXPECT_EQ(coo.at(0), (Triplet{1, 2, 5.0f}));
+}
+
+TEST(CooTest, AddDefaultsValueToOne)
+{
+    Coo coo(2, 2);
+    coo.add(0, 1);
+    EXPECT_FLOAT_EQ(coo.at(0).val, 1.0f);
+}
+
+TEST(CooTest, AddRejectsOutOfBounds)
+{
+    Coo coo(2, 2);
+    EXPECT_THROW(coo.add(2, 0), std::invalid_argument);
+    EXPECT_THROW(coo.add(0, 2), std::invalid_argument);
+    EXPECT_THROW(coo.add(-1, 0), std::invalid_argument);
+}
+
+TEST(CooTest, NegativeDimensionsRejected)
+{
+    EXPECT_THROW(Coo(-1, 2), std::invalid_argument);
+}
+
+TEST(CooTest, AddSymmetricMirrorsOffDiagonal)
+{
+    Coo coo(3, 3);
+    coo.addSymmetric(0, 2, 3.0f);
+    ASSERT_EQ(coo.numEntries(), 2);
+    EXPECT_EQ(coo.at(0), (Triplet{0, 2, 3.0f}));
+    EXPECT_EQ(coo.at(1), (Triplet{2, 0, 3.0f}));
+}
+
+TEST(CooTest, AddSymmetricDiagonalAddedOnce)
+{
+    Coo coo(3, 3);
+    coo.addSymmetric(1, 1, 2.0f);
+    EXPECT_EQ(coo.numEntries(), 1);
+}
+
+TEST(CooTest, SortRowMajorOrdersEntries)
+{
+    Coo coo(3, 3);
+    coo.add(2, 1);
+    coo.add(0, 2);
+    coo.add(2, 0);
+    coo.add(0, 1);
+    EXPECT_FALSE(coo.isRowMajorSorted());
+    coo.sortRowMajor();
+    EXPECT_TRUE(coo.isRowMajorSorted());
+    EXPECT_EQ(coo.at(0).row, 0);
+    EXPECT_EQ(coo.at(0).col, 1);
+    EXPECT_EQ(coo.at(3).row, 2);
+    EXPECT_EQ(coo.at(3).col, 1);
+}
+
+TEST(CooTest, SortIsStableForDuplicates)
+{
+    Coo coo(2, 2);
+    coo.add(0, 0, 1.0f);
+    coo.add(0, 0, 2.0f);
+    coo.sortRowMajor();
+    EXPECT_FLOAT_EQ(coo.at(0).val, 1.0f);
+    EXPECT_FLOAT_EQ(coo.at(1).val, 2.0f);
+}
+
+TEST(CooTest, TransposeInPlaceSwapsCoordinates)
+{
+    Coo coo(2, 3);
+    coo.add(0, 2, 7.0f);
+    coo.transposeInPlace();
+    EXPECT_EQ(coo.numRows(), 3);
+    EXPECT_EQ(coo.numCols(), 2);
+    EXPECT_EQ(coo.at(0), (Triplet{2, 0, 7.0f}));
+}
+
+TEST(CooTest, AtRejectsOutOfRange)
+{
+    Coo coo(1, 1);
+    EXPECT_THROW(coo.at(0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace slo

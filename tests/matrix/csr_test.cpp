@@ -1,0 +1,235 @@
+/** @file Unit tests for the CSR container and its transformations. */
+
+#include <gtest/gtest.h>
+
+#include "matrix/csr.hpp"
+
+namespace slo
+{
+namespace
+{
+
+/** 3x3 example:  [10 0 20; 0 30 0; 40 50 0] */
+Csr
+sample3x3()
+{
+    return Csr(3, 3, {0, 2, 3, 5}, {0, 2, 1, 0, 1},
+               {10.f, 20.f, 30.f, 40.f, 50.f});
+}
+
+TEST(CsrTest, ConstructFromRawArrays)
+{
+    const Csr m = sample3x3();
+    EXPECT_EQ(m.numRows(), 3);
+    EXPECT_EQ(m.numCols(), 3);
+    EXPECT_EQ(m.numNonZeros(), 5);
+    EXPECT_TRUE(m.isSquare());
+    EXPECT_EQ(m.degree(0), 2);
+    EXPECT_EQ(m.degree(1), 1);
+    EXPECT_EQ(m.degree(2), 2);
+}
+
+TEST(CsrTest, RowSpansExposeEntries)
+{
+    const Csr m = sample3x3();
+    auto idx = m.rowIndices(2);
+    auto val = m.rowValues(2);
+    ASSERT_EQ(idx.size(), 2u);
+    EXPECT_EQ(idx[0], 0);
+    EXPECT_EQ(idx[1], 1);
+    EXPECT_FLOAT_EQ(val[0], 40.f);
+    EXPECT_FLOAT_EQ(val[1], 50.f);
+}
+
+TEST(CsrTest, ValidationRejectsBadOffsets)
+{
+    EXPECT_THROW(Csr(2, 2, {0, 1}, {0}, {1.f}),
+                 std::invalid_argument); // offsets too short
+    EXPECT_THROW(Csr(2, 2, {0, 2, 1}, {0, 1}, {1.f, 1.f}),
+                 std::invalid_argument); // non-monotone
+    EXPECT_THROW(Csr(2, 2, {1, 1, 2}, {0, 1}, {1.f, 1.f}),
+                 std::invalid_argument); // first offset not 0
+    EXPECT_THROW(Csr(2, 2, {0, 1, 1}, {0, 1}, {1.f, 1.f}),
+                 std::invalid_argument); // last offset != nnz
+}
+
+TEST(CsrTest, ValidationRejectsBadColumns)
+{
+    EXPECT_THROW(Csr(2, 2, {0, 1, 2}, {0, 2}, {1.f, 1.f}),
+                 std::invalid_argument);
+    EXPECT_THROW(Csr(2, 2, {0, 1, 2}, {0, -1}, {1.f, 1.f}),
+                 std::invalid_argument);
+}
+
+TEST(CsrTest, ValidationRejectsValueLengthMismatch)
+{
+    EXPECT_THROW(Csr(2, 2, {0, 1, 2}, {0, 1}, {1.f}),
+                 std::invalid_argument);
+}
+
+TEST(CsrTest, FromCooSortsAndBuilds)
+{
+    Coo coo(3, 3);
+    coo.add(2, 1, 50.f);
+    coo.add(0, 2, 20.f);
+    coo.add(2, 0, 40.f);
+    coo.add(0, 0, 10.f);
+    coo.add(1, 1, 30.f);
+    EXPECT_EQ(Csr::fromCoo(coo), sample3x3());
+}
+
+TEST(CsrTest, FromCooSumsDuplicates)
+{
+    Coo coo(2, 2);
+    coo.add(0, 1, 1.f);
+    coo.add(0, 1, 2.f);
+    coo.add(1, 0, 3.f);
+    const Csr m = Csr::fromCoo(coo, DuplicatePolicy::Sum);
+    EXPECT_EQ(m.numNonZeros(), 2);
+    EXPECT_FLOAT_EQ(m.rowValues(0)[0], 3.f);
+}
+
+TEST(CsrTest, FromCooKeepsDuplicatesWhenAsked)
+{
+    Coo coo(2, 2);
+    coo.add(0, 1, 1.f);
+    coo.add(0, 1, 2.f);
+    const Csr m = Csr::fromCoo(coo, DuplicatePolicy::Keep);
+    EXPECT_EQ(m.numNonZeros(), 2);
+}
+
+TEST(CsrTest, FromCooHandlesEmptyRows)
+{
+    Coo coo(4, 4);
+    coo.add(1, 2, 1.f);
+    const Csr m = Csr::fromCoo(coo);
+    EXPECT_EQ(m.degree(0), 0);
+    EXPECT_EQ(m.degree(1), 1);
+    EXPECT_EQ(m.degree(2), 0);
+    EXPECT_EQ(m.degree(3), 0);
+}
+
+TEST(CsrTest, TransposeRoundTrip)
+{
+    const Csr m = sample3x3();
+    const Csr t = m.transposed();
+    EXPECT_EQ(t.numRows(), 3);
+    EXPECT_TRUE(t.hasEntry(0, 2));  // from A(2,0)
+    EXPECT_TRUE(t.hasEntry(1, 2));  // from A(2,1)
+    EXPECT_TRUE(t.hasEntry(2, 0));  // from A(0,2)
+    EXPECT_FALSE(t.hasEntry(0, 1)); // A(1,0) does not exist
+    EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(CsrTest, TransposePreservesValues)
+{
+    const Csr t = sample3x3().transposed();
+    // (2,0)=40 becomes (0,2)=40.
+    auto idx = t.rowIndices(0);
+    auto val = t.rowValues(0);
+    ASSERT_EQ(idx.size(), 2u);
+    EXPECT_EQ(idx[1], 2);
+    EXPECT_FLOAT_EQ(val[1], 40.f);
+}
+
+TEST(CsrTest, SymmetrizedUnionsPattern)
+{
+    const Csr m = sample3x3();
+    EXPECT_FALSE(m.isSymmetricPattern());
+    const Csr s = m.symmetrized();
+    EXPECT_TRUE(s.isSymmetricPattern());
+    // (0,2) in A and (2,0) in A: both present; (1,2) added from (2,1).
+    EXPECT_TRUE(s.hasEntry(1, 2));
+    EXPECT_TRUE(s.hasEntry(2, 1));
+    EXPECT_EQ(s.numNonZeros(), 6); // 5 entries of A plus (1,2) from A^T
+}
+
+TEST(CsrTest, SymmetrizedKeepsOriginalValues)
+{
+    const Csr s = sample3x3().symmetrized();
+    // A(0,2)=20 and A(2,0)=40 must keep their own values.
+    EXPECT_FLOAT_EQ(s.rowValues(0)[s.rowIndices(0).size() - 1], 20.f);
+}
+
+TEST(CsrTest, PermutedSymmetricRelabelsRowsAndCols)
+{
+    const Csr m = sample3x3();
+    // perm: 0->2, 1->0, 2->1
+    const Csr p = m.permutedSymmetric(Permutation({2, 0, 1}));
+    EXPECT_EQ(p.numNonZeros(), m.numNonZeros());
+    // A(0,0)=10 -> p(2,2); A(2,1)=50 -> p(1,0)
+    EXPECT_TRUE(p.hasEntry(2, 2));
+    EXPECT_TRUE(p.hasEntry(1, 0));
+    auto idx = p.rowIndices(1);
+    auto val = p.rowValues(1);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+        if (idx[i] == 0) {
+            EXPECT_FLOAT_EQ(val[i], 50.f);
+        }
+    }
+}
+
+TEST(CsrTest, PermuteByIdentityIsNoop)
+{
+    const Csr m = sample3x3();
+    EXPECT_EQ(m.permutedSymmetric(Permutation::identity(3)), m);
+}
+
+TEST(CsrTest, PermuteThenInverseRoundTrips)
+{
+    const Csr m = sample3x3();
+    const Permutation perm({2, 0, 1});
+    EXPECT_EQ(m.permutedSymmetric(perm).permutedSymmetric(
+                  perm.inverse()),
+              m);
+}
+
+TEST(CsrTest, PermutedRejectsSizeMismatch)
+{
+    EXPECT_THROW(sample3x3().permutedSymmetric(Permutation::identity(2)),
+                 std::invalid_argument);
+}
+
+TEST(CsrTest, ToCooRoundTrips)
+{
+    const Csr m = sample3x3();
+    EXPECT_EQ(Csr::fromCoo(m.toCoo(), DuplicatePolicy::Keep), m);
+}
+
+TEST(CsrTest, FilteredKeepsSelectedEntries)
+{
+    const Csr m = sample3x3();
+    const Csr diag_only =
+        m.filtered([](Index r, Index c) { return r == c; });
+    EXPECT_EQ(diag_only.numNonZeros(), 2); // (0,0) and (1,1)
+    EXPECT_EQ(diag_only.numRows(), 3);
+    EXPECT_TRUE(diag_only.hasEntry(0, 0));
+    EXPECT_TRUE(diag_only.hasEntry(1, 1));
+}
+
+TEST(CsrTest, AverageDegree)
+{
+    EXPECT_DOUBLE_EQ(sample3x3().averageDegree(), 5.0 / 3.0);
+    EXPECT_DOUBLE_EQ(Csr().averageDegree(), 0.0);
+}
+
+TEST(CsrTest, SortRowsNormalizesOrder)
+{
+    Csr m(2, 3, {0, 3, 3}, {2, 0, 1}, {3.f, 1.f, 2.f});
+    EXPECT_FALSE(m.rowsSorted());
+    m.sortRows();
+    EXPECT_TRUE(m.rowsSorted());
+    EXPECT_EQ(m.rowIndices(0)[0], 0);
+    EXPECT_FLOAT_EQ(m.rowValues(0)[0], 1.f);
+}
+
+TEST(CsrTest, EmptyMatrixBehaves)
+{
+    const Csr m;
+    EXPECT_EQ(m.numRows(), 0);
+    EXPECT_EQ(m.numNonZeros(), 0);
+    EXPECT_TRUE(m.rowsSorted());
+}
+
+} // namespace
+} // namespace slo

@@ -1,0 +1,298 @@
+/**
+ * @file Tests for the synthetic generators, including parameterized
+ * invariant sweeps across every family.
+ */
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.hpp"
+#include "matrix/properties.hpp"
+
+namespace slo
+{
+namespace
+{
+
+// ---- per-family behaviour -------------------------------------------
+
+TEST(GeneratorsTest, ErdosRenyiHitsTargetDegree)
+{
+    const Csr m = gen::erdosRenyi(4096, 8.0, 1);
+    EXPECT_EQ(m.numRows(), 4096);
+    // Symmetrized duplicates/self-loops trim a few percent.
+    EXPECT_NEAR(m.averageDegree(), 8.0, 1.0);
+}
+
+TEST(GeneratorsTest, ErdosRenyiHasNoSkew)
+{
+    const Csr m = gen::erdosRenyi(8192, 12.0, 2);
+    // Uniform degrees: top 10% of columns hold barely more than 10%.
+    EXPECT_LT(degreeSkew(m), 0.2);
+}
+
+TEST(GeneratorsTest, RmatIsSkewed)
+{
+    const Csr m = gen::rmatSocial(13, 16.0, 3);
+    EXPECT_EQ(m.numRows(), 8192);
+    EXPECT_GT(degreeSkew(m), 0.35);
+}
+
+TEST(GeneratorsTest, RmatSkewGrowsWithParameterImbalance)
+{
+    const double mild =
+        degreeSkew(gen::rmat(13, 16.0, 0.45, 0.22, 0.22, 4));
+    const double strong =
+        degreeSkew(gen::rmat(13, 16.0, 0.65, 0.15, 0.15, 4));
+    EXPECT_GT(strong, mild);
+}
+
+TEST(GeneratorsTest, PlantedPartitionConcentratesWithinBlocks)
+{
+    const Index n = 4096;
+    const Index comms = 16;
+    const Csr m = gen::plantedPartition(n, comms, 10.0, 1.0, 5);
+    const Index block = n / comms;
+    Offset intra = 0;
+    for (Index r = 0; r < n; ++r) {
+        for (Index c : m.rowIndices(r)) {
+            if (r / block == c / block)
+                ++intra;
+        }
+    }
+    const double frac = static_cast<double>(intra) /
+                        static_cast<double>(m.numNonZeros());
+    EXPECT_GT(frac, 0.85); // 10:1 intra:inter
+}
+
+TEST(GeneratorsTest, HierarchicalCommunityIsDenserInnermost)
+{
+    const Csr m = gen::hierarchicalCommunity(4096, 8, 3, 12.0, 0.2, 6);
+    // With decay .2, ~80% of edges live inside innermost blocks of
+    // size n/64 = 64.
+    const Index inner = 4096 / 64;
+    Offset intra = 0;
+    for (Index r = 0; r < m.numRows(); ++r) {
+        for (Index c : m.rowIndices(r)) {
+            if (r / inner == c / inner)
+                ++intra;
+        }
+    }
+    EXPECT_GT(static_cast<double>(intra) /
+                  static_cast<double>(m.numNonZeros()),
+              0.6);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertHasHubs)
+{
+    const Csr m = gen::barabasiAlbert(8192, 4, 7);
+    const DegreeStats stats = degreeStats(m);
+    EXPECT_GT(stats.maxDegree, 20 * static_cast<Index>(stats.avgDegree));
+}
+
+TEST(GeneratorsTest, Grid2dMatchesLatticeStructure)
+{
+    const Csr m = gen::grid2d(32, 16, 0.0, 8);
+    EXPECT_EQ(m.numRows(), 512);
+    // Interior nodes have degree 4; nnz = 2*(2*w*h - w - h).
+    EXPECT_EQ(m.numNonZeros(), 2 * (2 * 32 * 16 - 32 - 16));
+    const DegreeStats stats = degreeStats(m);
+    EXPECT_EQ(stats.maxDegree, 4);
+    EXPECT_EQ(stats.minDegree, 2);
+}
+
+TEST(GeneratorsTest, Grid2dShortcutsAddEdges)
+{
+    const Offset base = gen::grid2d(64, 64, 0.0, 9).numNonZeros();
+    const Offset with = gen::grid2d(64, 64, 0.5, 9).numNonZeros();
+    EXPECT_GT(with, base);
+}
+
+TEST(GeneratorsTest, Stencil7HasAtMostSixNeighbours)
+{
+    const Csr m = gen::stencil3d(8, 8, 8, 7, 10);
+    EXPECT_EQ(m.numRows(), 512);
+    EXPECT_EQ(degreeStats(m).maxDegree, 6);
+    // Interior 6^3 nodes all have 6 neighbours.
+    EXPECT_EQ(degreeStats(m).minDegree, 3);
+}
+
+TEST(GeneratorsTest, Stencil27HasAtMostTwentySixNeighbours)
+{
+    const Csr m = gen::stencil3d(6, 6, 6, 27, 10);
+    EXPECT_EQ(degreeStats(m).maxDegree, 26);
+}
+
+TEST(GeneratorsTest, StencilRejectsBadPointCount)
+{
+    EXPECT_THROW(gen::stencil3d(4, 4, 4, 9, 1), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, BandedStaysInBand)
+{
+    const Csr m = gen::banded(1024, 16, 0.3, 11);
+    EXPECT_LE(matrixBandwidth(m), 16);
+    EXPECT_GT(m.numNonZeros(), 0);
+}
+
+TEST(GeneratorsTest, ChainHasTinyDegreeAndOneComponent)
+{
+    const Csr m = gen::chainWithBranches(4096, 0.05, 12);
+    EXPECT_LT(m.averageDegree(), 3.0);
+    EXPECT_EQ(connectedComponents(m), 1);
+}
+
+TEST(GeneratorsTest, HubStarHasDominantHubs)
+{
+    const Csr m = gen::hubStar(4096, 2, 0.8, 1.0, 13);
+    const auto degrees = outDegrees(m);
+    // The two hubs (ids 0/1) dominate.
+    EXPECT_GT(degrees[0], 2000);
+    EXPECT_GT(degrees[1], 2000);
+    EXPECT_GT(degreeSkew(m), 0.4);
+}
+
+TEST(GeneratorsTest, TemporalInteractionMixesCommunitiesAndHubs)
+{
+    const Csr m = gen::temporalInteraction(4096, 64, 8.0, 0.02, 60.0, 14);
+    EXPECT_GT(degreeStats(m).maxDegree, 50);
+    EXPECT_GT(m.numNonZeros(), 4096 * 6);
+}
+
+TEST(GeneratorsTest, OverlayUnionsPatterns)
+{
+    const Csr a = gen::grid2d(16, 16, 0.0, 1);
+    const Csr b = gen::erdosRenyi(256, 4.0, 2);
+    const Csr u = gen::overlay(a, b);
+    EXPECT_GE(u.numNonZeros(), a.numNonZeros());
+    EXPECT_GE(u.numNonZeros(), b.numNonZeros());
+    EXPECT_LE(u.numNonZeros(), a.numNonZeros() + b.numNonZeros());
+    for (Index r = 0; r < 256; ++r) {
+        for (Index c : a.rowIndices(r))
+            EXPECT_TRUE(u.hasEntry(r, c));
+    }
+}
+
+TEST(GeneratorsTest, OverlayRejectsDimensionMismatch)
+{
+    EXPECT_THROW(gen::overlay(gen::grid2d(4, 4, 0.0, 1),
+                              gen::grid2d(5, 4, 0.0, 1)),
+                 std::invalid_argument);
+}
+
+TEST(GeneratorsTest, WithRandomValuesKeepsPattern)
+{
+    const Csr a = gen::erdosRenyi(512, 6.0, 3);
+    const Csr b = gen::withRandomValues(a, 99);
+    EXPECT_EQ(a.rowOffsets(), b.rowOffsets());
+    EXPECT_EQ(a.colIndices(), b.colIndices());
+    for (Value v : b.values())
+        EXPECT_GT(v, 0.0f);
+}
+
+// ---- invariants across all families (property sweep) ----------------
+
+struct FamilyCase
+{
+    std::string name;
+    std::function<Csr(std::uint64_t)> build;
+};
+
+class GeneratorFamilyTest
+    : public ::testing::TestWithParam<FamilyCase>
+{
+};
+
+TEST_P(GeneratorFamilyTest, PatternIsSymmetricWithoutSelfLoops)
+{
+    const Csr m = GetParam().build(21);
+    EXPECT_TRUE(m.isSymmetricPattern()) << GetParam().name;
+    for (Index r = 0; r < m.numRows(); ++r)
+        EXPECT_FALSE(m.hasEntry(r, r)) << GetParam().name;
+}
+
+TEST_P(GeneratorFamilyTest, RowsAreSortedAndDeduplicated)
+{
+    const Csr m = GetParam().build(22);
+    EXPECT_TRUE(m.rowsSorted());
+    for (Index r = 0; r < m.numRows(); ++r) {
+        auto idx = m.rowIndices(r);
+        for (std::size_t i = 1; i < idx.size(); ++i)
+            EXPECT_LT(idx[i - 1], idx[i]);
+    }
+}
+
+TEST_P(GeneratorFamilyTest, DeterministicInSeed)
+{
+    EXPECT_EQ(GetParam().build(33), GetParam().build(33));
+}
+
+TEST_P(GeneratorFamilyTest, DifferentSeedsDiffer)
+{
+    // Lattice-exact families ignore randomness only when they take no
+    // random decisions; every family here takes at least a value seed.
+    EXPECT_NE(GetParam().build(1).values(), GetParam().build(2).values());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, GeneratorFamilyTest,
+    ::testing::Values(
+        FamilyCase{"erdosRenyi",
+                   [](std::uint64_t s) {
+                       return gen::erdosRenyi(700, 7.0, s);
+                   }},
+        FamilyCase{"rmat",
+                   [](std::uint64_t s) {
+                       return gen::rmatSocial(10, 9.0, s);
+                   }},
+        FamilyCase{"planted",
+                   [](std::uint64_t s) {
+                       return gen::plantedPartition(600, 12, 8.0, 1.0, s);
+                   }},
+        FamilyCase{"hier",
+                   [](std::uint64_t s) {
+                       return gen::hierarchicalCommunity(600, 4, 3, 8.0,
+                                                         0.3, s);
+                   }},
+        FamilyCase{"ba",
+                   [](std::uint64_t s) {
+                       return gen::barabasiAlbert(600, 3, s);
+                   }},
+        FamilyCase{"grid2d",
+                   [](std::uint64_t s) {
+                       return gen::grid2d(24, 25, 0.05, s);
+                   }},
+        FamilyCase{"stencil7",
+                   [](std::uint64_t s) {
+                       return gen::stencil3d(8, 9, 10, 7, s);
+                   }},
+        FamilyCase{"stencil27",
+                   [](std::uint64_t s) {
+                       return gen::stencil3d(8, 8, 8, 27, s);
+                   }},
+        FamilyCase{"banded",
+                   [](std::uint64_t s) {
+                       return gen::banded(600, 12, 0.4, s);
+                   }},
+        FamilyCase{"chain",
+                   [](std::uint64_t s) {
+                       return gen::chainWithBranches(600, 0.1, s);
+                   }},
+        FamilyCase{"hubStar",
+                   [](std::uint64_t s) {
+                       return gen::hubStar(600, 2, 0.7, 1.5, s);
+                   }},
+        FamilyCase{"temporal",
+                   [](std::uint64_t s) {
+                       return gen::temporalInteraction(600, 12, 6.0,
+                                                       0.02, 30.0, s);
+                   }}),
+    [](const ::testing::TestParamInfo<FamilyCase> &info) {
+        return info.param.name;
+    });
+
+} // namespace
+} // namespace slo

@@ -1,0 +1,206 @@
+/** @file Tests for MatrixMarket and binary CSR IO. */
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "matrix/binary_io.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/matrix_market.hpp"
+
+namespace slo
+{
+namespace
+{
+
+class IoTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tempPath(const std::string &name)
+    {
+        const auto dir = std::filesystem::temp_directory_path() /
+                         "slo-io-test";
+        std::filesystem::create_directories(dir);
+        const auto path = dir / name;
+        paths_.push_back(path);
+        return path.string();
+    }
+
+    void
+    TearDown() override
+    {
+        for (const auto &path : paths_)
+            std::filesystem::remove(path);
+    }
+
+    std::vector<std::filesystem::path> paths_;
+};
+
+TEST_F(IoTest, ReadsGeneralRealMatrixMarket)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "3 3 3\n"
+        "1 1 10.0\n"
+        "2 3 -2.5\n"
+        "3 1 4\n");
+    const Coo coo = io::readMatrixMarket(in);
+    EXPECT_EQ(coo.numRows(), 3);
+    EXPECT_EQ(coo.numEntries(), 3);
+    EXPECT_EQ(coo.at(1), (Triplet{1, 2, -2.5f}));
+}
+
+TEST_F(IoTest, ReadsSymmetricMatrixMarketMirrored)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "2 1 1.5\n"
+        "3 3 2.0\n");
+    const Coo coo = io::readMatrixMarket(in);
+    // Off-diagonal mirrored, diagonal not.
+    EXPECT_EQ(coo.numEntries(), 3);
+    EXPECT_EQ(coo.at(0), (Triplet{1, 0, 1.5f}));
+    EXPECT_EQ(coo.at(1), (Triplet{0, 1, 1.5f}));
+}
+
+TEST_F(IoTest, ReadsPatternMatrixMarket)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 1\n"
+        "1 2\n");
+    const Coo coo = io::readMatrixMarket(in);
+    EXPECT_FLOAT_EQ(coo.at(0).val, 1.0f);
+}
+
+TEST_F(IoTest, RejectsBadBanner)
+{
+    std::istringstream in("%%NotMatrixMarket x y z w\n1 1 0\n");
+    EXPECT_THROW(io::readMatrixMarket(in), std::invalid_argument);
+}
+
+TEST_F(IoTest, RejectsArrayFormat)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+    EXPECT_THROW(io::readMatrixMarket(in), std::invalid_argument);
+}
+
+TEST_F(IoTest, RejectsOutOfBoundsEntries)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 1.0\n");
+    EXPECT_THROW(io::readMatrixMarket(in), std::invalid_argument);
+}
+
+TEST_F(IoTest, RejectsTruncatedEntryList)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n");
+    EXPECT_THROW(io::readMatrixMarket(in), std::invalid_argument);
+}
+
+TEST_F(IoTest, MatrixMarketRoundTripsThroughFile)
+{
+    const Csr original = gen::erdosRenyi(200, 5.0, 17);
+    const std::string path = tempPath("roundtrip.mtx");
+    io::writeMatrixMarketFile(path, original);
+    const Csr loaded = io::readCsrFromMatrixMarketFile(path);
+    EXPECT_EQ(loaded.numRows(), original.numRows());
+    EXPECT_EQ(loaded.rowOffsets(), original.rowOffsets());
+    EXPECT_EQ(loaded.colIndices(), original.colIndices());
+    // Values go through decimal text; compare loosely.
+    for (std::size_t i = 0; i < original.values().size(); ++i)
+        EXPECT_NEAR(loaded.values()[i], original.values()[i], 1e-4f);
+}
+
+TEST_F(IoTest, ReadMissingFileThrows)
+{
+    EXPECT_THROW(io::readMatrixMarketFile("/nonexistent/file.mtx"),
+                 std::invalid_argument);
+}
+
+TEST_F(IoTest, BinaryRoundTripIsExact)
+{
+    const Csr original = gen::rmatSocial(9, 8.0, 23);
+    const std::string path = tempPath("roundtrip.csr");
+    io::writeCsrBinaryFile(path, original);
+    EXPECT_EQ(io::readCsrBinaryFile(path), original);
+}
+
+TEST_F(IoTest, BinaryRejectsBadMagic)
+{
+    std::istringstream in("GARBAGEDATA");
+    EXPECT_THROW(io::readCsrBinary(in), std::invalid_argument);
+}
+
+TEST_F(IoTest, BinaryRejectsTruncatedStream)
+{
+    const Csr original = gen::erdosRenyi(64, 4.0, 3);
+    std::ostringstream out;
+    io::writeCsrBinary(out, original);
+    const std::string full = out.str();
+    std::istringstream in(full.substr(0, full.size() / 2));
+    EXPECT_THROW(io::readCsrBinary(in), std::invalid_argument);
+}
+
+TEST_F(IoTest, BinaryMissingFileThrows)
+{
+    EXPECT_THROW(io::readCsrBinaryFile("/nonexistent/file.csr"),
+                 std::invalid_argument);
+}
+
+TEST_F(IoTest, ReadsEdgeListWithCommentsAndWeights)
+{
+    std::istringstream in(
+        "# SNAP-style comment\n"
+        "% Konect-style comment\n"
+        "0 3\n"
+        "3 1 2.5\n"
+        "\n"
+        "2 2\n");
+    const Coo coo = io::readEdgeList(in);
+    EXPECT_EQ(coo.numRows(), 4);
+    EXPECT_EQ(coo.numEntries(), 3);
+    EXPECT_EQ(coo.at(0), (Triplet{0, 3, 1.0f}));
+    EXPECT_EQ(coo.at(1), (Triplet{3, 1, 2.5f}));
+    EXPECT_EQ(coo.at(2), (Triplet{2, 2, 1.0f}));
+}
+
+TEST_F(IoTest, EdgeListRejectsMalformedLines)
+{
+    std::istringstream in("0 1\nnot numbers\n");
+    EXPECT_THROW(io::readEdgeList(in), std::invalid_argument);
+}
+
+TEST_F(IoTest, EdgeListRejectsNegativeIds)
+{
+    std::istringstream in("0 -1\n");
+    EXPECT_THROW(io::readEdgeList(in), std::invalid_argument);
+}
+
+TEST_F(IoTest, EmptyEdgeListGivesEmptyMatrix)
+{
+    std::istringstream in("# nothing\n");
+    const Coo coo = io::readEdgeList(in);
+    EXPECT_EQ(coo.numRows(), 0);
+    EXPECT_EQ(coo.numEntries(), 0);
+}
+
+TEST_F(IoTest, EdgeListMissingFileThrows)
+{
+    EXPECT_THROW(io::readEdgeListFile("/nonexistent/file.txt"),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace slo

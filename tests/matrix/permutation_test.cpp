@@ -1,0 +1,99 @@
+/** @file Unit tests for Permutation. */
+
+#include <gtest/gtest.h>
+
+#include "matrix/permutation.hpp"
+
+namespace slo
+{
+namespace
+{
+
+TEST(PermutationTest, IdentityMapsToSelf)
+{
+    const Permutation p = Permutation::identity(4);
+    EXPECT_EQ(p.size(), 4);
+    EXPECT_TRUE(p.isIdentity());
+    for (Index i = 0; i < 4; ++i)
+        EXPECT_EQ(p.newId(i), i);
+}
+
+TEST(PermutationTest, ConstructorValidatesBijection)
+{
+    EXPECT_NO_THROW(Permutation({1, 0, 2}));
+    EXPECT_THROW(Permutation({0, 0, 1}), std::invalid_argument);
+    EXPECT_THROW(Permutation({0, 3, 1}), std::invalid_argument);
+    EXPECT_THROW(Permutation({0, -1, 1}), std::invalid_argument);
+}
+
+TEST(PermutationTest, IsPermutationChecks)
+{
+    EXPECT_TRUE(Permutation::isPermutation({2, 1, 0}));
+    EXPECT_FALSE(Permutation::isPermutation({2, 2, 0}));
+    EXPECT_TRUE(Permutation::isPermutation({}));
+}
+
+TEST(PermutationTest, FromNewToOldInverts)
+{
+    // order: new 0 <- old 2, new 1 <- old 0, new 2 <- old 1
+    const Permutation p = Permutation::fromNewToOld({2, 0, 1});
+    EXPECT_EQ(p.newId(2), 0);
+    EXPECT_EQ(p.newId(0), 1);
+    EXPECT_EQ(p.newId(1), 2);
+}
+
+TEST(PermutationTest, NewToOldRoundTrips)
+{
+    const std::vector<Index> order = {3, 1, 0, 2};
+    EXPECT_EQ(Permutation::fromNewToOld(order).newToOld(), order);
+}
+
+TEST(PermutationTest, InverseComposesToIdentity)
+{
+    const Permutation p = Permutation::random(64, 7);
+    EXPECT_TRUE(p.then(p.inverse()).isIdentity());
+    EXPECT_TRUE(p.inverse().then(p).isIdentity());
+}
+
+TEST(PermutationTest, ThenComposesInOrder)
+{
+    const Permutation a({1, 2, 0}); // 0->1,1->2,2->0
+    const Permutation b({0, 2, 1}); // 1->2, 2->1
+    const Permutation c = a.then(b);
+    EXPECT_EQ(c.newId(0), 2); // a:0->1, b:1->2
+    EXPECT_EQ(c.newId(1), 1);
+    EXPECT_EQ(c.newId(2), 0);
+}
+
+TEST(PermutationTest, ThenRejectsSizeMismatch)
+{
+    EXPECT_THROW(
+        Permutation::identity(2).then(Permutation::identity(3)),
+        std::invalid_argument);
+}
+
+TEST(PermutationTest, RandomIsDeterministicInSeed)
+{
+    const Permutation a = Permutation::random(100, 42);
+    const Permutation b = Permutation::random(100, 42);
+    const Permutation c = Permutation::random(100, 43);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(PermutationTest, RandomIsAPermutation)
+{
+    const Permutation p = Permutation::random(1000, 5);
+    EXPECT_TRUE(Permutation::isPermutation(p.newIds()));
+    EXPECT_FALSE(p.isIdentity());
+}
+
+TEST(PermutationTest, EmptyPermutation)
+{
+    const Permutation p;
+    EXPECT_EQ(p.size(), 0);
+    EXPECT_TRUE(p.isIdentity());
+}
+
+} // namespace
+} // namespace slo

@@ -1,0 +1,122 @@
+/** @file Tests for structural property metrics. */
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.hpp"
+#include "matrix/properties.hpp"
+
+namespace slo
+{
+namespace
+{
+
+Csr
+pathGraph(Index n)
+{
+    Coo coo(n, n);
+    for (Index i = 0; i + 1 < n; ++i)
+        coo.addSymmetric(i, i + 1);
+    return Csr::fromCoo(coo);
+}
+
+TEST(PropertiesTest, DegreeStatsOnPath)
+{
+    const DegreeStats stats = degreeStats(pathGraph(10));
+    EXPECT_EQ(stats.minDegree, 1);
+    EXPECT_EQ(stats.maxDegree, 2);
+    EXPECT_DOUBLE_EQ(stats.avgDegree, 18.0 / 10.0);
+    EXPECT_DOUBLE_EQ(stats.medianDegree, 2.0);
+}
+
+TEST(PropertiesTest, DegreeStatsEmptyMatrix)
+{
+    const DegreeStats stats = degreeStats(Csr());
+    EXPECT_EQ(stats.minDegree, 0);
+    EXPECT_EQ(stats.maxDegree, 0);
+}
+
+TEST(PropertiesTest, InAndOutDegreesOnAsymmetricMatrix)
+{
+    // 0->1, 0->2, 1->2
+    Coo coo(3, 3);
+    coo.add(0, 1);
+    coo.add(0, 2);
+    coo.add(1, 2);
+    const Csr m = Csr::fromCoo(coo);
+    EXPECT_EQ(outDegrees(m), (std::vector<Index>{2, 1, 0}));
+    EXPECT_EQ(inDegrees(m), (std::vector<Index>{0, 1, 2}));
+}
+
+TEST(PropertiesTest, SkewOfStarIsMaximal)
+{
+    // One hub connected to everyone: top 10% of columns cover all
+    // tail->hub entries plus their own.
+    const Csr m = gen::hubStar(1000, 1, 1.0, 0.0, 1);
+    EXPECT_GT(degreeSkew(m), 0.5);
+}
+
+TEST(PropertiesTest, SkewOfRegularGraphIsNearTopFraction)
+{
+    const Csr m = pathGraph(1000);
+    // Nearly-uniform degrees: top 10% hold about 10% of entries.
+    EXPECT_NEAR(degreeSkew(m), 0.1, 0.02);
+}
+
+TEST(PropertiesTest, SkewValidatesFraction)
+{
+    EXPECT_THROW(degreeSkew(pathGraph(10), 0.0), std::invalid_argument);
+    EXPECT_THROW(degreeSkew(pathGraph(10), 1.5), std::invalid_argument);
+}
+
+TEST(PropertiesTest, BandwidthOfPathIsOne)
+{
+    EXPECT_EQ(matrixBandwidth(pathGraph(16)), 1);
+    EXPECT_DOUBLE_EQ(averageBandwidth(pathGraph(16)), 1.0);
+}
+
+TEST(PropertiesTest, BandwidthDetectsFarEntries)
+{
+    Coo coo(100, 100);
+    coo.addSymmetric(0, 99);
+    EXPECT_EQ(matrixBandwidth(Csr::fromCoo(coo)), 99);
+}
+
+TEST(PropertiesTest, EmptyRowCount)
+{
+    Coo coo(5, 5);
+    coo.add(1, 2);
+    coo.add(3, 3);
+    EXPECT_EQ(emptyRowCount(Csr::fromCoo(coo)), 3);
+}
+
+TEST(PropertiesTest, DegreeHistogramBuckets)
+{
+    // degrees: 0,1,2,3,4 -> buckets 0,0,1,1,2
+    Coo coo(5, 5);
+    for (Index c = 0; c < 1; ++c) coo.add(1, c);
+    for (Index c = 0; c < 2; ++c) coo.add(2, c);
+    for (Index c = 0; c < 3; ++c) coo.add(3, c);
+    for (Index c = 0; c < 4; ++c) coo.add(4, c);
+    const auto histogram = degreeHistogramLog2(Csr::fromCoo(coo));
+    ASSERT_EQ(histogram.size(), 3u);
+    EXPECT_EQ(histogram[0], 2); // degrees 0 and 1
+    EXPECT_EQ(histogram[1], 2); // degrees 2 and 3
+    EXPECT_EQ(histogram[2], 1); // degree 4
+}
+
+TEST(PropertiesTest, ConnectedComponentsCountsIslands)
+{
+    Coo coo(6, 6);
+    coo.addSymmetric(0, 1);
+    coo.addSymmetric(2, 3);
+    // 4 and 5 isolated.
+    EXPECT_EQ(connectedComponents(Csr::fromCoo(coo)), 4);
+}
+
+TEST(PropertiesTest, ConnectedComponentsOfGridIsOne)
+{
+    EXPECT_EQ(connectedComponents(gen::grid2d(16, 16, 0.0, 1)), 1);
+}
+
+} // namespace
+} // namespace slo

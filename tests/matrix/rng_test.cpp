@@ -1,0 +1,94 @@
+/** @file Tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "matrix/rng.hpp"
+
+namespace slo
+{
+namespace
+{
+
+TEST(RngTest, DeterministicInSeed)
+{
+    Rng a(123), b(123), c(124);
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        (void)c.next();
+    }
+    Rng a2(123), c2(124);
+    EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double total = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        total += u;
+    }
+    EXPECT_NEAR(total / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BelowStaysInBound)
+{
+    Rng rng(8);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, BelowCoversAllResidues)
+{
+    Rng rng(9);
+    std::vector<int> counts(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++counts[static_cast<std::size_t>(rng.below(8))];
+    for (int count : counts)
+        EXPECT_GT(count, 800); // each residue within ~20% of uniform
+}
+
+TEST(RngTest, BelowZeroReturnsZero)
+{
+    Rng rng(10);
+    EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(RngTest, BetweenIsInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.between(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        saw_lo |= (v == -2);
+        saw_hi |= (v == 2);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(12);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RngTest, SplitMixAdvancesState)
+{
+    std::uint64_t state = 42;
+    const auto a = splitmix64(state);
+    const auto b = splitmix64(state);
+    EXPECT_NE(a, b);
+    EXPECT_NE(state, 42u);
+}
+
+} // namespace
+} // namespace slo

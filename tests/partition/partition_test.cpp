@@ -1,0 +1,199 @@
+/** @file Tests for the multilevel k-way graph partitioner. */
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.hpp"
+#include "partition/partition.hpp"
+#include "reorder/reorder.hpp"
+
+namespace slo::partition
+{
+namespace
+{
+
+/** Max part weight over perfect balance. */
+double
+imbalanceOf(const PartitionResult &result, Index n)
+{
+    std::vector<Index> weights(
+        static_cast<std::size_t>(result.parts), 0);
+    for (Index part : result.assignment)
+        ++weights[static_cast<std::size_t>(part)];
+    const Index max_weight =
+        *std::max_element(weights.begin(), weights.end());
+    const double perfect = static_cast<double>(n) /
+                           static_cast<double>(result.parts);
+    return static_cast<double>(max_weight) / perfect;
+}
+
+TEST(PartitionTest, AssignmentCoversAllParts)
+{
+    const Csr g = gen::grid2d(64, 64, 0.0, 1);
+    PartitionOptions options;
+    options.numParts = 8;
+    const PartitionResult result = partitionGraph(g, options);
+    EXPECT_EQ(result.parts, 8);
+    std::vector<bool> seen(8, false);
+    for (Index part : result.assignment) {
+        ASSERT_GE(part, 0);
+        ASSERT_LT(part, 8);
+        seen[static_cast<std::size_t>(part)] = true;
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(PartitionTest, BisectionOfTwoCliquesFindsTheCut)
+{
+    // Two 64-cliques joined by one edge: the optimal bisection cuts 1.
+    Coo coo(128, 128);
+    for (Index i = 0; i < 64; ++i) {
+        for (Index j = i + 1; j < 64; ++j) {
+            coo.addSymmetric(i, j);
+            coo.addSymmetric(64 + i, 64 + j);
+        }
+    }
+    coo.addSymmetric(0, 64);
+    const Csr g = Csr::fromCoo(coo);
+    PartitionOptions options;
+    options.numParts = 2;
+    const PartitionResult result = partitionGraph(g, options);
+    EXPECT_EQ(result.cutEdges, 1);
+}
+
+TEST(PartitionTest, RecoversShuffledPlantedPartition)
+{
+    const Index n = 4096;
+    const Csr g = gen::plantedPartition(n, 8, 12.0, 0.5, 3)
+                      .permutedSymmetric(Permutation::random(n, 7));
+    PartitionOptions options;
+    options.numParts = 8;
+    const PartitionResult result = partitionGraph(g, options);
+    // Inter-community edges ~ n*0.5/2 stored once ~ 1024; allow slack
+    // for the random overlay and imperfect refinement.
+    EXPECT_LT(result.cutEdges, g.numNonZeros() / 2 / 8);
+}
+
+TEST(PartitionTest, GridCutScalesLikePerimeter)
+{
+    const Csr g = gen::grid2d(64, 64, 0.0, 5);
+    PartitionOptions options;
+    options.numParts = 4;
+    const PartitionResult result = partitionGraph(g, options);
+    // A 4-way split of a 64x64 grid should cut O(3*64) edges; random
+    // assignment would cut ~3/4 of ~8k.
+    EXPECT_LT(result.cutEdges, 600);
+}
+
+TEST(PartitionTest, BalanceIsRespected)
+{
+    const Csr g = gen::rmatSocial(12, 8.0, 9);
+    PartitionOptions options;
+    options.numParts = 8;
+    const PartitionResult result = partitionGraph(g, options);
+    EXPECT_LT(imbalanceOf(result, g.numRows()), 1.6);
+}
+
+TEST(PartitionTest, CutMatchesCutOf)
+{
+    const Csr g = gen::erdosRenyi(512, 6.0, 11);
+    const PartitionResult result = partitionGraph(g, {4});
+    EXPECT_EQ(result.cutEdges, cutOf(g, result.assignment));
+}
+
+TEST(PartitionTest, SinglePartIsWholeGraph)
+{
+    const Csr g = gen::erdosRenyi(128, 4.0, 2);
+    PartitionOptions options;
+    options.numParts = 1;
+    const PartitionResult result = partitionGraph(g, options);
+    EXPECT_EQ(result.cutEdges, 0);
+    for (Index part : result.assignment)
+        EXPECT_EQ(part, 0);
+}
+
+TEST(PartitionTest, NonPowerOfTwoParts)
+{
+    const Csr g = gen::grid2d(48, 48, 0.0, 3);
+    PartitionOptions options;
+    options.numParts = 6;
+    const PartitionResult result = partitionGraph(g, options);
+    std::vector<Index> weights(6, 0);
+    for (Index part : result.assignment) {
+        ASSERT_LT(part, 6);
+        ++weights[static_cast<std::size_t>(part)];
+    }
+    for (Index w : weights)
+        EXPECT_GT(w, 0);
+}
+
+TEST(PartitionTest, HandlesDisconnectedAndEdgelessGraphs)
+{
+    const Csr empty(64, 64, std::vector<Offset>(65, 0), {}, {});
+    const PartitionResult result = partitionGraph(empty, {4});
+    EXPECT_EQ(result.cutEdges, 0);
+    Coo coo(64, 64);
+    coo.addSymmetric(0, 1);
+    coo.addSymmetric(60, 61);
+    EXPECT_NO_THROW(partitionGraph(Csr::fromCoo(coo), {4}));
+}
+
+TEST(PartitionTest, DeterministicInSeed)
+{
+    const Csr g = gen::rmatSocial(10, 8.0, 13);
+    PartitionOptions options;
+    options.seed = 99;
+    const PartitionResult a = partitionGraph(g, options);
+    const PartitionResult b = partitionGraph(g, options);
+    EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(PartitionTest, OptionValidation)
+{
+    const Csr g = gen::erdosRenyi(64, 4.0, 1);
+    PartitionOptions options;
+    options.numParts = 0;
+    EXPECT_THROW(partitionGraph(g, options), std::invalid_argument);
+    options.numParts = 2;
+    options.imbalance = 0.9;
+    EXPECT_THROW(partitionGraph(g, options), std::invalid_argument);
+}
+
+TEST(PartitionOrderTest, PartsBecomeContiguousIdRanges)
+{
+    const Csr g = gen::plantedPartition(2048, 8, 10.0, 0.5, 17)
+                      .permutedSymmetric(Permutation::random(2048, 3));
+    PartitionOptions options;
+    options.numParts = 8;
+    const PartitionResult result = partitionGraph(g, options);
+    const Permutation perm = partitionOrder(g, options);
+    // Vertices of the same part map to a contiguous new-id interval.
+    std::vector<Index> min_id(8, 2048), max_id(8, -1), count(8, 0);
+    for (Index v = 0; v < 2048; ++v) {
+        const auto p = static_cast<std::size_t>(
+            result.assignment[static_cast<std::size_t>(v)]);
+        min_id[p] = std::min(min_id[p], perm.newId(v));
+        max_id[p] = std::max(max_id[p], perm.newId(v));
+        ++count[p];
+    }
+    for (std::size_t p = 0; p < 8; ++p) {
+        if (count[p] > 0) {
+            EXPECT_EQ(max_id[p] - min_id[p] + 1, count[p]);
+        }
+    }
+}
+
+TEST(PartitionOrderTest, ImprovesTrafficOverRandomViaRegistry)
+{
+    const Csr g = gen::plantedPartition(8192, 32, 10.0, 1.0, 23)
+                      .permutedSymmetric(Permutation::random(8192, 5));
+    const Permutation p = reorder::computeOrdering(
+        reorder::Technique::Partition, g);
+    EXPECT_TRUE(Permutation::isPermutation(p.newIds()));
+}
+
+} // namespace
+} // namespace slo::partition

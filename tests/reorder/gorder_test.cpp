@@ -1,0 +1,112 @@
+/** @file Tests for GORDER. */
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.hpp"
+#include "reorder/gorder.hpp"
+
+namespace slo::reorder
+{
+namespace
+{
+
+/** Sum over consecutive id pairs of shared-neighbour counts: the
+ * locality objective GORDER approximates (window 1 version). */
+double
+windowLocalityScore(const Csr &g, const Permutation &p)
+{
+    const auto order = p.newToOld();
+    double score = 0.0;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        const Index u = order[i - 1];
+        const Index v = order[i];
+        auto iu = g.rowIndices(u);
+        auto iv = g.rowIndices(v);
+        // shared neighbours (rows are sorted)
+        std::size_t a = 0, b = 0;
+        while (a < iu.size() && b < iv.size()) {
+            if (iu[a] < iv[b]) {
+                ++a;
+            } else if (iu[a] > iv[b]) {
+                ++b;
+            } else {
+                score += 1.0;
+                ++a;
+                ++b;
+            }
+        }
+        if (g.hasEntry(u, v))
+            score += 1.0;
+    }
+    return score;
+}
+
+TEST(GorderTest, ProducesValidPermutation)
+{
+    const Csr g = gen::rmatSocial(9, 8.0, 3);
+    const Permutation p = gorderOrder(g);
+    EXPECT_TRUE(Permutation::isPermutation(p.newIds()));
+}
+
+TEST(GorderTest, BeatsRandomOrderOnLocalityScore)
+{
+    const Csr g = gen::plantedPartition(1024, 16, 10.0, 1.0, 5);
+    const Csr shuffled =
+        g.permutedSymmetric(Permutation::random(g.numRows(), 9));
+    const double random_score = windowLocalityScore(
+        shuffled, Permutation::identity(shuffled.numRows()));
+    const double gorder_score =
+        windowLocalityScore(shuffled, gorderOrder(shuffled));
+    EXPECT_GT(gorder_score, 2.0 * random_score);
+}
+
+TEST(GorderTest, HandlesDisconnectedGraphs)
+{
+    Coo coo(8, 8);
+    coo.addSymmetric(0, 1);
+    coo.addSymmetric(5, 6);
+    const Csr g = Csr::fromCoo(coo);
+    const Permutation p = gorderOrder(g);
+    EXPECT_TRUE(Permutation::isPermutation(p.newIds()));
+}
+
+TEST(GorderTest, HandlesEdgelessGraph)
+{
+    const Csr empty(4, 4, {0, 0, 0, 0, 0}, {}, {});
+    EXPECT_TRUE(
+        Permutation::isPermutation(gorderOrder(empty).newIds()));
+}
+
+TEST(GorderTest, WindowValidation)
+{
+    const Csr g = gen::erdosRenyi(64, 4.0, 1);
+    GorderOptions options;
+    options.window = 0;
+    EXPECT_THROW(gorderOrder(g, options), std::invalid_argument);
+}
+
+TEST(GorderTest, HubCapKeepsResultValid)
+{
+    const Csr g = gen::hubStar(256, 2, 0.8, 1.0, 3);
+    GorderOptions options;
+    options.hubCap = 8;
+    const Permutation p = gorderOrder(g, options);
+    EXPECT_TRUE(Permutation::isPermutation(p.newIds()));
+}
+
+TEST(GorderTest, DeterministicAcrossRuns)
+{
+    const Csr g = gen::rmatSocial(8, 6.0, 4);
+    EXPECT_EQ(gorderOrder(g).newIds(), gorderOrder(g).newIds());
+}
+
+TEST(GorderTest, StartsFromHighestInDegreeVertex)
+{
+    const Csr g = gen::hubStar(128, 1, 0.9, 0.5, 6);
+    const Permutation p = gorderOrder(g);
+    // Vertex 0 is the dominant hub in natural order.
+    EXPECT_EQ(p.newToOld().front(), 0);
+}
+
+} // namespace
+} // namespace slo::reorder

@@ -1,0 +1,88 @@
+/** @file Tests for the static locality metric estimators. */
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.hpp"
+#include "reorder/locality_metrics.hpp"
+#include "reorder/rabbit.hpp"
+
+namespace slo::reorder
+{
+namespace
+{
+
+/** Banded matrix: all neighbours nearby in id space. */
+Csr
+localMatrix()
+{
+    return gen::banded(1024, 4, 0.9, 3);
+}
+
+Csr
+scatteredMatrix()
+{
+    return localMatrix().permutedSymmetric(
+        Permutation::random(1024, 7));
+}
+
+TEST(LocalityMetricsTest, WindowScoreHigherForLocalOrder)
+{
+    EXPECT_GT(windowLocalityScore(localMatrix()),
+              2.0 * windowLocalityScore(scatteredMatrix()));
+}
+
+TEST(LocalityMetricsTest, WindowScoreValidatesWindow)
+{
+    EXPECT_THROW(windowLocalityScore(localMatrix(), 0),
+                 std::invalid_argument);
+}
+
+TEST(LocalityMetricsTest, AverageGapSmallForBandedLargeForShuffled)
+{
+    EXPECT_LT(averageGapLines(localMatrix()), 1.0); // within a line
+    EXPECT_GT(averageGapLines(scatteredMatrix()), 10.0);
+}
+
+TEST(LocalityMetricsTest, SameLineFractionDropsWhenShuffled)
+{
+    EXPECT_GT(sameLineFraction(localMatrix()),
+              2.0 * sameLineFraction(scatteredMatrix()));
+}
+
+TEST(LocalityMetricsTest, DistinctLinesBounded)
+{
+    // Per-nnz distinct lines is in (0, 1]; 1 means zero reuse.
+    const double local = distinctLinesPerNonZero(localMatrix());
+    const double scattered =
+        distinctLinesPerNonZero(scatteredMatrix());
+    EXPECT_GT(local, 0.0);
+    EXPECT_LE(local, 1.0);
+    EXPECT_LT(local, scattered);
+}
+
+TEST(LocalityMetricsTest, EmptyMatrixIsZero)
+{
+    const Csr empty(4, 4, {0, 0, 0, 0, 0}, {}, {});
+    EXPECT_DOUBLE_EQ(windowLocalityScore(empty), 0.0);
+    EXPECT_DOUBLE_EQ(averageGapLines(empty), 0.0);
+    EXPECT_DOUBLE_EQ(sameLineFraction(empty), 0.0);
+    EXPECT_DOUBLE_EQ(distinctLinesPerNonZero(empty), 0.0);
+}
+
+TEST(LocalityMetricsTest, RabbitImprovesEveryMetricOnCommunityGraph)
+{
+    const Csr g =
+        gen::hierarchicalCommunity(8192, 8, 3, 10.0, 0.25, 5)
+            .permutedSymmetric(Permutation::random(8192, 9));
+    const Csr reordered =
+        g.permutedSymmetric(rabbitOrder(g).perm);
+    EXPECT_GT(windowLocalityScore(reordered, 5),
+              windowLocalityScore(g, 5));
+    EXPECT_LT(averageGapLines(reordered), averageGapLines(g));
+    EXPECT_GT(sameLineFraction(reordered), sameLineFraction(g));
+    EXPECT_LE(distinctLinesPerNonZero(reordered),
+              distinctLinesPerNonZero(g));
+}
+
+} // namespace
+} // namespace slo::reorder

@@ -1,0 +1,132 @@
+/**
+ * @file Parameterized property sweep: every technique x every generator
+ * family must produce a valid symmetric reordering that preserves the
+ * multiset of row degrees and the non-zero pattern up to relabelling.
+ */
+
+#include <algorithm>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.hpp"
+#include "reorder/reorder.hpp"
+
+namespace slo::reorder
+{
+namespace
+{
+
+struct SweepCase
+{
+    std::string name;
+    Technique technique;
+    std::function<Csr()> build;
+};
+
+class TechniqueSweepTest : public ::testing::TestWithParam<SweepCase>
+{
+};
+
+TEST_P(TechniqueSweepTest, OrderingIsAValidPermutation)
+{
+    const Csr g = GetParam().build();
+    const Permutation p = computeOrdering(GetParam().technique, g);
+    EXPECT_EQ(p.size(), g.numRows());
+    EXPECT_TRUE(Permutation::isPermutation(p.newIds()));
+}
+
+TEST_P(TechniqueSweepTest, ReorderingPreservesStructure)
+{
+    const Csr g = GetParam().build();
+    const Permutation p = computeOrdering(GetParam().technique, g);
+    const Csr r = g.permutedSymmetric(p);
+    EXPECT_EQ(r.numNonZeros(), g.numNonZeros());
+    // Degree multiset preserved.
+    std::vector<Index> before, after;
+    for (Index v = 0; v < g.numRows(); ++v) {
+        before.push_back(g.degree(v));
+        after.push_back(r.degree(v));
+    }
+    std::sort(before.begin(), before.end());
+    std::sort(after.begin(), after.end());
+    EXPECT_EQ(before, after);
+    // Entry relabelling is exact.
+    for (Index v = 0; v < g.numRows(); ++v) {
+        for (Index c : g.rowIndices(v))
+            EXPECT_TRUE(r.hasEntry(p.newId(v), p.newId(c)));
+    }
+}
+
+std::vector<SweepCase>
+makeCases()
+{
+    struct Family
+    {
+        std::string name;
+        std::function<Csr()> build;
+    };
+    const std::vector<Family> families = {
+        {"planted",
+         [] { return gen::plantedPartition(512, 8, 8.0, 1.0, 3); }},
+        {"rmat", [] { return gen::rmatSocial(9, 8.0, 5); }},
+        {"grid", [] { return gen::grid2d(20, 20, 0.05, 7); }},
+        {"hubstar", [] { return gen::hubStar(400, 2, 0.6, 1.0, 9); }},
+        {"chain", [] { return gen::chainWithBranches(400, 0.1, 11); }},
+    };
+    std::vector<SweepCase> cases;
+    for (Technique technique : allTechniques()) {
+        for (const Family &family : families) {
+            cases.push_back({techniqueName(technique) + "_" +
+                                 family.name,
+                             technique, family.build});
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTechniquesAllFamilies, TechniqueSweepTest,
+    ::testing::ValuesIn(makeCases()),
+    [](const ::testing::TestParamInfo<SweepCase> &info) {
+        std::string name = info.param.name;
+        for (char &c : name) {
+            if (c == '+')
+                c = 'P';
+        }
+        return name;
+    });
+
+TEST(TechniqueRegistryTest, NamesRoundTrip)
+{
+    for (Technique technique : allTechniques()) {
+        EXPECT_EQ(techniqueFromName(techniqueName(technique)),
+                  technique);
+    }
+}
+
+TEST(TechniqueRegistryTest, UnknownNameThrows)
+{
+    EXPECT_THROW(techniqueFromName("NOPE"), std::invalid_argument);
+}
+
+TEST(TechniqueRegistryTest, Figure2SetMatchesPaper)
+{
+    const auto techniques = figure2Techniques();
+    ASSERT_EQ(techniques.size(), 6u);
+    EXPECT_EQ(techniqueName(techniques[0]), "RANDOM");
+    EXPECT_EQ(techniqueName(techniques[5]), "RABBIT");
+}
+
+TEST(TechniqueRegistryTest, RandomUsesSeed)
+{
+    const Csr g = gen::erdosRenyi(128, 4.0, 1);
+    ReorderOptions a, b;
+    a.seed = 1;
+    b.seed = 2;
+    EXPECT_NE(computeOrdering(Technique::Random, g, a).newIds(),
+              computeOrdering(Technique::Random, g, b).newIds());
+}
+
+} // namespace
+} // namespace slo::reorder

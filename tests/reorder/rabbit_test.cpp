@@ -1,0 +1,106 @@
+/** @file Tests for the RABBIT ordering. */
+
+#include <gtest/gtest.h>
+
+#include "community/metrics.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/properties.hpp"
+#include "reorder/rabbit.hpp"
+
+namespace slo::reorder
+{
+namespace
+{
+
+TEST(RabbitTest, ProducesValidPermutation)
+{
+    const Csr g = gen::rmatSocial(10, 8.0, 2);
+    const RabbitResult result = rabbitOrder(g);
+    EXPECT_TRUE(Permutation::isPermutation(result.perm.newIds()));
+    EXPECT_EQ(result.clustering.numNodes(), g.numRows());
+}
+
+TEST(RabbitTest, CommunitiesBecomeContiguousIdRanges)
+{
+    const Csr g = gen::plantedPartition(1024, 16, 10.0, 0.5, 7);
+    const Csr shuffled =
+        g.permutedSymmetric(Permutation::random(g.numRows(), 3));
+    const RabbitResult result = rabbitOrder(shuffled);
+    // Each detected community maps to a contiguous new-id interval.
+    const Index k = result.clustering.numCommunities();
+    std::vector<Index> min_id(static_cast<std::size_t>(k),
+                              shuffled.numRows());
+    std::vector<Index> max_id(static_cast<std::size_t>(k), -1);
+    std::vector<Index> count(static_cast<std::size_t>(k), 0);
+    for (Index v = 0; v < shuffled.numRows(); ++v) {
+        const auto c =
+            static_cast<std::size_t>(result.clustering.label(v));
+        const Index id = result.perm.newId(v);
+        min_id[c] = std::min(min_id[c], id);
+        max_id[c] = std::max(max_id[c], id);
+        ++count[c];
+    }
+    for (std::size_t c = 0; c < static_cast<std::size_t>(k); ++c) {
+        if (count[c] > 0) {
+            EXPECT_EQ(max_id[c] - min_id[c] + 1, count[c]);
+        }
+    }
+}
+
+TEST(RabbitTest, RecoversShuffledPlantedCommunities)
+{
+    const Csr g = gen::plantedPartition(2048, 32, 12.0, 0.3, 11);
+    const Csr shuffled =
+        g.permutedSymmetric(Permutation::random(g.numRows(), 5));
+    const RabbitResult result = rabbitOrder(shuffled);
+    EXPECT_GT(community::modularity(shuffled, result.clustering), 0.8);
+}
+
+TEST(RabbitTest, ReducesAverageBandwidthOfCommunityGraph)
+{
+    const Csr g = gen::hierarchicalCommunity(2048, 8, 3, 10.0, 0.25, 9);
+    const Csr shuffled =
+        g.permutedSymmetric(Permutation::random(g.numRows(), 13));
+    const double before = averageBandwidth(shuffled);
+    const Csr reordered =
+        shuffled.permutedSymmetric(rabbitOrder(shuffled).perm);
+    EXPECT_LT(averageBandwidth(reordered), before / 2);
+}
+
+TEST(RabbitTest, SymmetrizesDirectedInput)
+{
+    Coo coo(6, 6);
+    coo.add(0, 1);
+    coo.add(1, 2);
+    coo.add(3, 4);
+    coo.add(4, 5);
+    const Csr g = Csr::fromCoo(coo);
+    const RabbitResult result = rabbitOrder(g);
+    EXPECT_TRUE(Permutation::isPermutation(result.perm.newIds()));
+}
+
+TEST(RabbitTest, IsolatedVerticesKeepSingletonCommunities)
+{
+    Coo coo(6, 6);
+    coo.addSymmetric(0, 1);
+    const Csr g = Csr::fromCoo(coo);
+    const RabbitResult result = rabbitOrder(g);
+    // 0/1 merge; 2..5 remain singletons: 5 communities.
+    EXPECT_EQ(result.clustering.numCommunities(), 5);
+}
+
+TEST(RabbitTest, DeterministicAcrossRuns)
+{
+    const Csr g = gen::rmatSocial(9, 10.0, 17);
+    EXPECT_EQ(rabbitOrder(g).perm.newIds(),
+              rabbitOrder(g).perm.newIds());
+}
+
+TEST(RabbitTest, RequiresSquare)
+{
+    const Csr rect(2, 3, {0, 0, 0}, {}, {});
+    EXPECT_THROW(rabbitOrder(rect), std::invalid_argument);
+}
+
+} // namespace
+} // namespace slo::reorder

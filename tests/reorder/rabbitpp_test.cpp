@@ -1,0 +1,173 @@
+/** @file Tests for RABBIT++ and its Fig. 5 design space. */
+
+#include <gtest/gtest.h>
+
+#include "community/metrics.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/properties.hpp"
+#include "reorder/rabbitpp.hpp"
+
+namespace slo::reorder
+{
+namespace
+{
+
+Csr
+skewedCommunityGraph()
+{
+    // Communities + hub overlay: the kind of low-insularity input
+    // RABBIT++ targets.
+    return gen::temporalInteraction(4096, 64, 8.0, 0.02, 80.0, 7);
+}
+
+TEST(RabbitPlusTest, ProducesValidPermutation)
+{
+    const RabbitPlusResult result =
+        rabbitPlusOrder(skewedCommunityGraph());
+    EXPECT_TRUE(Permutation::isPermutation(result.perm.newIds()));
+}
+
+TEST(RabbitPlusTest, InsularNodesOccupyTheTailIdRange)
+{
+    const Csr g = skewedCommunityGraph();
+    const RabbitPlusResult result = rabbitPlusOrder(g);
+    ASSERT_GT(result.numInsular, 0);
+    const Index n = g.numRows();
+    const Index boundary = n - result.numInsular;
+    for (Index v = 0; v < n; ++v) {
+        const bool in_tail = result.perm.newId(v) >= boundary;
+        EXPECT_EQ(in_tail,
+                  static_cast<bool>(
+                      result.insular[static_cast<std::size_t>(v)]));
+    }
+}
+
+TEST(RabbitPlusTest, HubsOccupyTheHeadIdRange)
+{
+    const Csr g = skewedCommunityGraph();
+    const RabbitPlusResult result = rabbitPlusOrder(g);
+    ASSERT_GT(result.numHubs, 0);
+    for (Index v = 0; v < g.numRows(); ++v) {
+        const auto sv = static_cast<std::size_t>(v);
+        if (result.hub[sv] && !result.insular[sv]) {
+            EXPECT_LT(result.perm.newId(v), result.numHubs);
+        }
+    }
+}
+
+TEST(RabbitPlusTest, PreservesRabbitRelativeOrderInsideGroups)
+{
+    const Csr g = skewedCommunityGraph();
+    const RabbitResult rabbit = rabbitOrder(g);
+    const RabbitPlusResult result = rabbitPlusFromRabbit(
+        g, rabbit, {true, HubTreatment::HubGroup, 1.0});
+    // Within each of the three groups, new ids must be ordered the way
+    // RABBIT ordered the vertices.
+    const auto rabbit_order = rabbit.perm.newToOld();
+    Index last_hub = -1, last_mid = -1, last_ins = -1;
+    for (Index old_id : rabbit_order) {
+        const auto v = static_cast<std::size_t>(old_id);
+        const Index id = result.perm.newId(old_id);
+        if (result.insular[v]) {
+            EXPECT_GT(id, last_ins);
+            last_ins = id;
+        } else if (result.hub[v]) {
+            EXPECT_GT(id, last_hub);
+            last_hub = id;
+        } else {
+            EXPECT_GT(id, last_mid);
+            last_mid = id;
+        }
+    }
+}
+
+TEST(RabbitPlusTest, HubSortOrdersHubsByDescendingDegree)
+{
+    const Csr g = skewedCommunityGraph();
+    const RabbitPlusResult result = rabbitPlusOrder(
+        g, {true, HubTreatment::HubSort, 1.0});
+    const auto degrees = inDegrees(g);
+    const auto order = result.perm.newToOld();
+    for (Index i = 1; i < result.numHubs; ++i) {
+        EXPECT_GE(degrees[static_cast<std::size_t>(
+                      order[static_cast<std::size_t>(i - 1)])],
+                  degrees[static_cast<std::size_t>(
+                      order[static_cast<std::size_t>(i)])]);
+    }
+}
+
+TEST(RabbitPlusTest, NoModificationsReproducesRabbit)
+{
+    const Csr g = skewedCommunityGraph();
+    const RabbitResult rabbit = rabbitOrder(g);
+    const RabbitPlusResult result = rabbitPlusFromRabbit(
+        g, rabbit, {false, HubTreatment::None, 1.0});
+    EXPECT_EQ(result.perm, rabbit.perm);
+}
+
+TEST(RabbitPlusTest, WithoutInsularGroupingNothingIsInsular)
+{
+    const Csr g = skewedCommunityGraph();
+    const RabbitPlusResult result = rabbitPlusOrder(
+        g, {false, HubTreatment::HubGroup, 1.0});
+    EXPECT_EQ(result.numInsular, 0);
+}
+
+TEST(RabbitPlusTest, InsularSubMatrixHasNoCrossCommunityEdges)
+{
+    const Csr g = skewedCommunityGraph();
+    const RabbitPlusResult result = rabbitPlusOrder(g);
+    // Fig. 6's construction: mask non-zeros not connecting insular
+    // nodes; by definition the remainder is intra-community.
+    const Csr insular_only = g.filtered([&result](Index r, Index c) {
+        return result.insular[static_cast<std::size_t>(r)] ||
+               result.insular[static_cast<std::size_t>(c)];
+    });
+    for (Index r = 0; r < insular_only.numRows(); ++r) {
+        for (Index c : insular_only.rowIndices(r)) {
+            EXPECT_EQ(result.clustering.label(r),
+                      result.clustering.label(c));
+        }
+    }
+}
+
+TEST(RabbitPlusTest, GroupingShrinksInsularCommunitySpread)
+{
+    // Grouping insular nodes packs each community's insular members
+    // into a tighter id range than RABBIT gave the whole community.
+    const Csr g = skewedCommunityGraph();
+    const RabbitResult rabbit = rabbitOrder(g);
+    const RabbitPlusResult result = rabbitPlusFromRabbit(
+        g, rabbit, {true, HubTreatment::None, 1.0});
+    EXPECT_GT(result.numInsular, 0);
+    EXPECT_LT(result.numInsular, g.numRows());
+}
+
+TEST(RabbitPlusTest, HubFactorControlsHubCount)
+{
+    const Csr g = skewedCommunityGraph();
+    const RabbitPlusResult loose = rabbitPlusOrder(
+        g, {true, HubTreatment::HubGroup, 1.0});
+    const RabbitPlusResult strict = rabbitPlusOrder(
+        g, {true, HubTreatment::HubGroup, 4.0});
+    EXPECT_GT(loose.numHubs, strict.numHubs);
+}
+
+TEST(RabbitPlusTest, DeterministicAcrossRuns)
+{
+    const Csr g = gen::rmatSocial(9, 8.0, 23);
+    EXPECT_EQ(rabbitPlusOrder(g).perm.newIds(),
+              rabbitPlusOrder(g).perm.newIds());
+}
+
+TEST(RabbitPlusTest, MismatchedRabbitResultRejected)
+{
+    const Csr g = skewedCommunityGraph();
+    const Csr other = gen::erdosRenyi(16, 3.0, 1);
+    const RabbitResult rabbit = rabbitOrder(other);
+    EXPECT_THROW(rabbitPlusFromRabbit(g, rabbit, {}),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace slo::reorder

@@ -1,0 +1,74 @@
+/** @file Tests for Reverse Cuthill-McKee. */
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.hpp"
+#include "matrix/properties.hpp"
+#include "reorder/rcm.hpp"
+
+namespace slo::reorder
+{
+namespace
+{
+
+TEST(RcmTest, ReducesBandwidthOfShuffledBandMatrix)
+{
+    const Csr band = gen::banded(512, 4, 0.8, 3);
+    const Csr shuffled = band.permutedSymmetric(
+        Permutation::random(band.numRows(), 7));
+    const Index before = matrixBandwidth(shuffled);
+    const Csr restored =
+        shuffled.permutedSymmetric(rcmOrder(shuffled));
+    const Index after = matrixBandwidth(restored);
+    EXPECT_LT(after, before / 4);
+}
+
+TEST(RcmTest, PathGraphGetsOptimalBandwidth)
+{
+    Coo coo(64, 64);
+    for (Index i = 0; i + 1 < 64; ++i)
+        coo.addSymmetric(i, i + 1);
+    const Csr path = Csr::fromCoo(coo);
+    const Csr shuffled =
+        path.permutedSymmetric(Permutation::random(64, 5));
+    const Csr restored =
+        shuffled.permutedSymmetric(rcmOrder(shuffled));
+    EXPECT_EQ(matrixBandwidth(restored), 1);
+}
+
+TEST(RcmTest, HandlesMultipleComponents)
+{
+    Coo coo(10, 10);
+    coo.addSymmetric(0, 1);
+    coo.addSymmetric(2, 3);
+    coo.addSymmetric(4, 5);
+    const Csr g = Csr::fromCoo(coo);
+    const Permutation p = rcmOrder(g);
+    EXPECT_TRUE(Permutation::isPermutation(p.newIds()));
+    EXPECT_EQ(p.size(), 10);
+}
+
+TEST(RcmTest, WorksOnDirectedInput)
+{
+    // Directed pattern gets symmetrized internally.
+    Coo coo(6, 6);
+    coo.add(0, 1);
+    coo.add(1, 2);
+    coo.add(2, 3);
+    coo.add(3, 4);
+    coo.add(4, 5);
+    const Csr g = Csr::fromCoo(coo);
+    const Permutation p = rcmOrder(g);
+    EXPECT_TRUE(Permutation::isPermutation(p.newIds()));
+    const Csr r = g.symmetrized().permutedSymmetric(p);
+    EXPECT_EQ(matrixBandwidth(r), 1);
+}
+
+TEST(RcmTest, RequiresSquare)
+{
+    const Csr rect(2, 3, {0, 0, 0}, {}, {});
+    EXPECT_THROW(rcmOrder(rect), std::invalid_argument);
+}
+
+} // namespace
+} // namespace slo::reorder

@@ -1,0 +1,77 @@
+/** @file Tests for SlashBurn. */
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.hpp"
+#include "matrix/properties.hpp"
+#include "reorder/slashburn.hpp"
+
+namespace slo::reorder
+{
+namespace
+{
+
+TEST(SlashBurnTest, ProducesValidPermutation)
+{
+    const Csr g = gen::rmatSocial(10, 8.0, 3);
+    EXPECT_TRUE(
+        Permutation::isPermutation(slashBurnOrder(g).newIds()));
+}
+
+TEST(SlashBurnTest, TopHubGetsIdZero)
+{
+    const Csr g = gen::hubStar(512, 1, 0.9, 0.5, 4);
+    const Permutation p = slashBurnOrder(g);
+    // Vertex 0 is the dominant hub; SlashBurn slashes it first.
+    EXPECT_EQ(p.newId(0), 0);
+}
+
+TEST(SlashBurnTest, SpokesGetHighIds)
+{
+    // A 20-clique (the giant component survives hub removal) plus an
+    // isolated pair: the pair burns in the first iteration and must
+    // take the highest ids, while clique members are slashed to the
+    // front.
+    Coo coo(64, 64);
+    for (Index i = 0; i < 20; ++i) {
+        for (Index j = i + 1; j < 20; ++j)
+            coo.addSymmetric(i, j);
+    }
+    coo.addSymmetric(62, 63);
+    const Csr g = Csr::fromCoo(coo);
+    SlashBurnOptions options;
+    options.hubFraction = 0.02; // k = 2
+    const Permutation p = slashBurnOrder(g, options);
+    // The isolated pair is discovered last among the first-iteration
+    // burns, so it lands on the very highest ids.
+    EXPECT_GE(p.newId(62), 60);
+    EXPECT_GE(p.newId(63), 60);
+    // Slashed clique hubs occupy the lowest ids.
+    EXPECT_LT(p.newId(0), 2);
+}
+
+TEST(SlashBurnTest, ValidatesOptions)
+{
+    const Csr g = gen::erdosRenyi(64, 4.0, 1);
+    SlashBurnOptions options;
+    options.hubFraction = 0.0;
+    EXPECT_THROW(slashBurnOrder(g, options), std::invalid_argument);
+    options.hubFraction = 2.0;
+    EXPECT_THROW(slashBurnOrder(g, options), std::invalid_argument);
+}
+
+TEST(SlashBurnTest, HandlesEdgelessGraph)
+{
+    const Csr empty(8, 8, std::vector<Offset>(9, 0), {}, {});
+    EXPECT_TRUE(
+        Permutation::isPermutation(slashBurnOrder(empty).newIds()));
+}
+
+TEST(SlashBurnTest, DeterministicAcrossRuns)
+{
+    const Csr g = gen::rmatSocial(9, 6.0, 8);
+    EXPECT_EQ(slashBurnOrder(g).newIds(), slashBurnOrder(g).newIds());
+}
+
+} // namespace
+} // namespace slo::reorder
