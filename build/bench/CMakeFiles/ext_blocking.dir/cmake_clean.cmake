@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_blocking.dir/ext_blocking.cpp.o"
+  "CMakeFiles/ext_blocking.dir/ext_blocking.cpp.o.d"
+  "ext_blocking"
+  "ext_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

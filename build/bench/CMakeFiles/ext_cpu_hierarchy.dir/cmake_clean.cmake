@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cpu_hierarchy.dir/ext_cpu_hierarchy.cpp.o"
+  "CMakeFiles/ext_cpu_hierarchy.dir/ext_cpu_hierarchy.cpp.o.d"
+  "ext_cpu_hierarchy"
+  "ext_cpu_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cpu_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cpu_platform.dir/ext_cpu_platform.cpp.o"
+  "CMakeFiles/ext_cpu_platform.dir/ext_cpu_platform.cpp.o.d"
+  "ext_cpu_platform"
+  "ext_cpu_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cpu_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_locality_metrics.dir/ext_locality_metrics.cpp.o"
+  "CMakeFiles/ext_locality_metrics.dir/ext_locality_metrics.cpp.o.d"
+  "ext_locality_metrics"
+  "ext_locality_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_locality_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

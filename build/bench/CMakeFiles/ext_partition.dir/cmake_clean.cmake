@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_partition.dir/ext_partition.cpp.o"
+  "CMakeFiles/ext_partition.dir/ext_partition.cpp.o.d"
+  "ext_partition"
+  "ext_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

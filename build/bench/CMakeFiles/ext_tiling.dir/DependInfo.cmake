@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_tiling.cpp" "bench/CMakeFiles/ext_tiling.dir/ext_tiling.cpp.o" "gcc" "bench/CMakeFiles/ext_tiling.dir/ext_tiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/slo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorder/CMakeFiles/slo_reorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/community/CMakeFiles/slo_community.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/slo_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/slo_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/slo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/slo_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/slo_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_insularity_runtime.dir/fig3_insularity_runtime.cpp.o"
+  "CMakeFiles/fig3_insularity_runtime.dir/fig3_insularity_runtime.cpp.o.d"
+  "fig3_insularity_runtime"
+  "fig3_insularity_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_insularity_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_insular_nodes.dir/fig4_insular_nodes.cpp.o"
+  "CMakeFiles/fig4_insular_nodes.dir/fig4_insular_nodes.cpp.o.d"
+  "fig4_insular_nodes"
+  "fig4_insular_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_insular_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

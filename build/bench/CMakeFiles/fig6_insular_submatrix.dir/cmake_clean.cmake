@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_insular_submatrix.dir/fig6_insular_submatrix.cpp.o"
+  "CMakeFiles/fig6_insular_submatrix.dir/fig6_insular_submatrix.cpp.o.d"
+  "fig6_insular_submatrix"
+  "fig6_insular_submatrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_insular_submatrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

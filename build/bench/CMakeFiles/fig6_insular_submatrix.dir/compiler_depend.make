@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_insular_submatrix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_rabbitpp_traffic.dir/fig7_rabbitpp_traffic.cpp.o"
+  "CMakeFiles/fig7_rabbitpp_traffic.dir/fig7_rabbitpp_traffic.cpp.o.d"
+  "fig7_rabbitpp_traffic"
+  "fig7_rabbitpp_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_rabbitpp_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

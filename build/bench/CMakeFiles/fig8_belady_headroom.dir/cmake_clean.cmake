@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_belady_headroom.dir/fig8_belady_headroom.cpp.o"
+  "CMakeFiles/fig8_belady_headroom.dir/fig8_belady_headroom.cpp.o.d"
+  "fig8_belady_headroom"
+  "fig8_belady_headroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_belady_headroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_reorder.dir/micro_reorder.cpp.o"
+  "CMakeFiles/micro_reorder.dir/micro_reorder.cpp.o.d"
+  "micro_reorder"
+  "micro_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_dead_lines.dir/table3_dead_lines.cpp.o"
+  "CMakeFiles/table3_dead_lines.dir/table3_dead_lines.cpp.o.d"
+  "table3_dead_lines"
+  "table3_dead_lines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_dead_lines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

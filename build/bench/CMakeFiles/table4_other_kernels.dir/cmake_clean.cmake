@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_other_kernels.dir/table4_other_kernels.cpp.o"
+  "CMakeFiles/table4_other_kernels.dir/table4_other_kernels.cpp.o.d"
+  "table4_other_kernels"
+  "table4_other_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_other_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_explorer.dir/community_explorer.cpp.o"
+  "CMakeFiles/community_explorer.dir/community_explorer.cpp.o.d"
+  "community_explorer"
+  "community_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

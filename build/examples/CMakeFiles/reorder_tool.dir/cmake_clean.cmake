@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reorder_tool.dir/reorder_tool.cpp.o"
+  "CMakeFiles/reorder_tool.dir/reorder_tool.cpp.o.d"
+  "reorder_tool"
+  "reorder_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorder_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmm_pipeline.dir/spmm_pipeline.cpp.o"
+  "CMakeFiles/spmm_pipeline.dir/spmm_pipeline.cpp.o.d"
+  "spmm_pipeline"
+  "spmm_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webgraph_analysis.dir/webgraph_analysis.cpp.o"
+  "CMakeFiles/webgraph_analysis.dir/webgraph_analysis.cpp.o.d"
+  "webgraph_analysis"
+  "webgraph_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webgraph_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_cache.dir/belady.cpp.o"
+  "CMakeFiles/slo_cache.dir/belady.cpp.o.d"
+  "CMakeFiles/slo_cache.dir/cache.cpp.o"
+  "CMakeFiles/slo_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/slo_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/slo_cache.dir/hierarchy.cpp.o.d"
+  "libslo_cache.a"
+  "libslo_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

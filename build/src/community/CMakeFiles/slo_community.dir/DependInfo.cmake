@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/community/aggregation.cpp" "src/community/CMakeFiles/slo_community.dir/aggregation.cpp.o" "gcc" "src/community/CMakeFiles/slo_community.dir/aggregation.cpp.o.d"
+  "/root/repo/src/community/clustering.cpp" "src/community/CMakeFiles/slo_community.dir/clustering.cpp.o" "gcc" "src/community/CMakeFiles/slo_community.dir/clustering.cpp.o.d"
+  "/root/repo/src/community/dendrogram.cpp" "src/community/CMakeFiles/slo_community.dir/dendrogram.cpp.o" "gcc" "src/community/CMakeFiles/slo_community.dir/dendrogram.cpp.o.d"
+  "/root/repo/src/community/louvain.cpp" "src/community/CMakeFiles/slo_community.dir/louvain.cpp.o" "gcc" "src/community/CMakeFiles/slo_community.dir/louvain.cpp.o.d"
+  "/root/repo/src/community/metrics.cpp" "src/community/CMakeFiles/slo_community.dir/metrics.cpp.o" "gcc" "src/community/CMakeFiles/slo_community.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/slo_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

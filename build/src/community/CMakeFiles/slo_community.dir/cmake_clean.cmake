@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_community.dir/aggregation.cpp.o"
+  "CMakeFiles/slo_community.dir/aggregation.cpp.o.d"
+  "CMakeFiles/slo_community.dir/clustering.cpp.o"
+  "CMakeFiles/slo_community.dir/clustering.cpp.o.d"
+  "CMakeFiles/slo_community.dir/dendrogram.cpp.o"
+  "CMakeFiles/slo_community.dir/dendrogram.cpp.o.d"
+  "CMakeFiles/slo_community.dir/louvain.cpp.o"
+  "CMakeFiles/slo_community.dir/louvain.cpp.o.d"
+  "CMakeFiles/slo_community.dir/metrics.cpp.o"
+  "CMakeFiles/slo_community.dir/metrics.cpp.o.d"
+  "libslo_community.a"
+  "libslo_community.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_community.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

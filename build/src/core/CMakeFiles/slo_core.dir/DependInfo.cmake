@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/artifact_cache.cpp" "src/core/CMakeFiles/slo_core.dir/artifact_cache.cpp.o" "gcc" "src/core/CMakeFiles/slo_core.dir/artifact_cache.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/core/CMakeFiles/slo_core.dir/dataset.cpp.o" "gcc" "src/core/CMakeFiles/slo_core.dir/dataset.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/slo_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/slo_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/slo_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/slo_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/slo_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/slo_core.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/slo_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/community/CMakeFiles/slo_community.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorder/CMakeFiles/slo_reorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/slo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/slo_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/slo_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/slo_partition.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_core.dir/artifact_cache.cpp.o"
+  "CMakeFiles/slo_core.dir/artifact_cache.cpp.o.d"
+  "CMakeFiles/slo_core.dir/dataset.cpp.o"
+  "CMakeFiles/slo_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/slo_core.dir/experiment.cpp.o"
+  "CMakeFiles/slo_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/slo_core.dir/report.cpp.o"
+  "CMakeFiles/slo_core.dir/report.cpp.o.d"
+  "CMakeFiles/slo_core.dir/stats.cpp.o"
+  "CMakeFiles/slo_core.dir/stats.cpp.o.d"
+  "libslo_core.a"
+  "libslo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

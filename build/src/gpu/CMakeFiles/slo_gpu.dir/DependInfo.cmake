@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/gpu_spec.cpp" "src/gpu/CMakeFiles/slo_gpu.dir/gpu_spec.cpp.o" "gcc" "src/gpu/CMakeFiles/slo_gpu.dir/gpu_spec.cpp.o.d"
+  "/root/repo/src/gpu/simulate.cpp" "src/gpu/CMakeFiles/slo_gpu.dir/simulate.cpp.o" "gcc" "src/gpu/CMakeFiles/slo_gpu.dir/simulate.cpp.o.d"
+  "/root/repo/src/gpu/simulate_blocked.cpp" "src/gpu/CMakeFiles/slo_gpu.dir/simulate_blocked.cpp.o" "gcc" "src/gpu/CMakeFiles/slo_gpu.dir/simulate_blocked.cpp.o.d"
+  "/root/repo/src/gpu/simulate_tiled.cpp" "src/gpu/CMakeFiles/slo_gpu.dir/simulate_tiled.cpp.o" "gcc" "src/gpu/CMakeFiles/slo_gpu.dir/simulate_tiled.cpp.o.d"
+  "/root/repo/src/gpu/traffic_model.cpp" "src/gpu/CMakeFiles/slo_gpu.dir/traffic_model.cpp.o" "gcc" "src/gpu/CMakeFiles/slo_gpu.dir/traffic_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/slo_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/slo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/slo_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_gpu.dir/gpu_spec.cpp.o"
+  "CMakeFiles/slo_gpu.dir/gpu_spec.cpp.o.d"
+  "CMakeFiles/slo_gpu.dir/simulate.cpp.o"
+  "CMakeFiles/slo_gpu.dir/simulate.cpp.o.d"
+  "CMakeFiles/slo_gpu.dir/simulate_blocked.cpp.o"
+  "CMakeFiles/slo_gpu.dir/simulate_blocked.cpp.o.d"
+  "CMakeFiles/slo_gpu.dir/simulate_tiled.cpp.o"
+  "CMakeFiles/slo_gpu.dir/simulate_tiled.cpp.o.d"
+  "CMakeFiles/slo_gpu.dir/traffic_model.cpp.o"
+  "CMakeFiles/slo_gpu.dir/traffic_model.cpp.o.d"
+  "libslo_gpu.a"
+  "libslo_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/access_stream.cpp" "src/kernels/CMakeFiles/slo_kernels.dir/access_stream.cpp.o" "gcc" "src/kernels/CMakeFiles/slo_kernels.dir/access_stream.cpp.o.d"
+  "/root/repo/src/kernels/kernels.cpp" "src/kernels/CMakeFiles/slo_kernels.dir/kernels.cpp.o" "gcc" "src/kernels/CMakeFiles/slo_kernels.dir/kernels.cpp.o.d"
+  "/root/repo/src/kernels/propagation_blocking.cpp" "src/kernels/CMakeFiles/slo_kernels.dir/propagation_blocking.cpp.o" "gcc" "src/kernels/CMakeFiles/slo_kernels.dir/propagation_blocking.cpp.o.d"
+  "/root/repo/src/kernels/tiled_spmv.cpp" "src/kernels/CMakeFiles/slo_kernels.dir/tiled_spmv.cpp.o" "gcc" "src/kernels/CMakeFiles/slo_kernels.dir/tiled_spmv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/slo_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

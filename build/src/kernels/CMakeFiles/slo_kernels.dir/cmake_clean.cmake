@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_kernels.dir/access_stream.cpp.o"
+  "CMakeFiles/slo_kernels.dir/access_stream.cpp.o.d"
+  "CMakeFiles/slo_kernels.dir/kernels.cpp.o"
+  "CMakeFiles/slo_kernels.dir/kernels.cpp.o.d"
+  "CMakeFiles/slo_kernels.dir/propagation_blocking.cpp.o"
+  "CMakeFiles/slo_kernels.dir/propagation_blocking.cpp.o.d"
+  "CMakeFiles/slo_kernels.dir/tiled_spmv.cpp.o"
+  "CMakeFiles/slo_kernels.dir/tiled_spmv.cpp.o.d"
+  "libslo_kernels.a"
+  "libslo_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

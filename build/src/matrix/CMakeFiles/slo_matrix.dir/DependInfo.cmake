@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/binary_io.cpp" "src/matrix/CMakeFiles/slo_matrix.dir/binary_io.cpp.o" "gcc" "src/matrix/CMakeFiles/slo_matrix.dir/binary_io.cpp.o.d"
+  "/root/repo/src/matrix/coo.cpp" "src/matrix/CMakeFiles/slo_matrix.dir/coo.cpp.o" "gcc" "src/matrix/CMakeFiles/slo_matrix.dir/coo.cpp.o.d"
+  "/root/repo/src/matrix/csr.cpp" "src/matrix/CMakeFiles/slo_matrix.dir/csr.cpp.o" "gcc" "src/matrix/CMakeFiles/slo_matrix.dir/csr.cpp.o.d"
+  "/root/repo/src/matrix/generators.cpp" "src/matrix/CMakeFiles/slo_matrix.dir/generators.cpp.o" "gcc" "src/matrix/CMakeFiles/slo_matrix.dir/generators.cpp.o.d"
+  "/root/repo/src/matrix/matrix_market.cpp" "src/matrix/CMakeFiles/slo_matrix.dir/matrix_market.cpp.o" "gcc" "src/matrix/CMakeFiles/slo_matrix.dir/matrix_market.cpp.o.d"
+  "/root/repo/src/matrix/permutation.cpp" "src/matrix/CMakeFiles/slo_matrix.dir/permutation.cpp.o" "gcc" "src/matrix/CMakeFiles/slo_matrix.dir/permutation.cpp.o.d"
+  "/root/repo/src/matrix/properties.cpp" "src/matrix/CMakeFiles/slo_matrix.dir/properties.cpp.o" "gcc" "src/matrix/CMakeFiles/slo_matrix.dir/properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_matrix.dir/binary_io.cpp.o"
+  "CMakeFiles/slo_matrix.dir/binary_io.cpp.o.d"
+  "CMakeFiles/slo_matrix.dir/coo.cpp.o"
+  "CMakeFiles/slo_matrix.dir/coo.cpp.o.d"
+  "CMakeFiles/slo_matrix.dir/csr.cpp.o"
+  "CMakeFiles/slo_matrix.dir/csr.cpp.o.d"
+  "CMakeFiles/slo_matrix.dir/generators.cpp.o"
+  "CMakeFiles/slo_matrix.dir/generators.cpp.o.d"
+  "CMakeFiles/slo_matrix.dir/matrix_market.cpp.o"
+  "CMakeFiles/slo_matrix.dir/matrix_market.cpp.o.d"
+  "CMakeFiles/slo_matrix.dir/permutation.cpp.o"
+  "CMakeFiles/slo_matrix.dir/permutation.cpp.o.d"
+  "CMakeFiles/slo_matrix.dir/properties.cpp.o"
+  "CMakeFiles/slo_matrix.dir/properties.cpp.o.d"
+  "libslo_matrix.a"
+  "libslo_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

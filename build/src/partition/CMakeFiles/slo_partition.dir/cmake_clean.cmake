@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_partition.dir/partition.cpp.o"
+  "CMakeFiles/slo_partition.dir/partition.cpp.o.d"
+  "libslo_partition.a"
+  "libslo_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

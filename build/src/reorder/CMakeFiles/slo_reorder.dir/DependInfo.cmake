@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reorder/degree_orders.cpp" "src/reorder/CMakeFiles/slo_reorder.dir/degree_orders.cpp.o" "gcc" "src/reorder/CMakeFiles/slo_reorder.dir/degree_orders.cpp.o.d"
+  "/root/repo/src/reorder/gorder.cpp" "src/reorder/CMakeFiles/slo_reorder.dir/gorder.cpp.o" "gcc" "src/reorder/CMakeFiles/slo_reorder.dir/gorder.cpp.o.d"
+  "/root/repo/src/reorder/locality_metrics.cpp" "src/reorder/CMakeFiles/slo_reorder.dir/locality_metrics.cpp.o" "gcc" "src/reorder/CMakeFiles/slo_reorder.dir/locality_metrics.cpp.o.d"
+  "/root/repo/src/reorder/rabbit.cpp" "src/reorder/CMakeFiles/slo_reorder.dir/rabbit.cpp.o" "gcc" "src/reorder/CMakeFiles/slo_reorder.dir/rabbit.cpp.o.d"
+  "/root/repo/src/reorder/rabbitpp.cpp" "src/reorder/CMakeFiles/slo_reorder.dir/rabbitpp.cpp.o" "gcc" "src/reorder/CMakeFiles/slo_reorder.dir/rabbitpp.cpp.o.d"
+  "/root/repo/src/reorder/rcm.cpp" "src/reorder/CMakeFiles/slo_reorder.dir/rcm.cpp.o" "gcc" "src/reorder/CMakeFiles/slo_reorder.dir/rcm.cpp.o.d"
+  "/root/repo/src/reorder/reorder.cpp" "src/reorder/CMakeFiles/slo_reorder.dir/reorder.cpp.o" "gcc" "src/reorder/CMakeFiles/slo_reorder.dir/reorder.cpp.o.d"
+  "/root/repo/src/reorder/slashburn.cpp" "src/reorder/CMakeFiles/slo_reorder.dir/slashburn.cpp.o" "gcc" "src/reorder/CMakeFiles/slo_reorder.dir/slashburn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/slo_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/community/CMakeFiles/slo_community.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/slo_partition.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

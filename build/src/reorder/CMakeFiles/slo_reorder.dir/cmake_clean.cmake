@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_reorder.dir/degree_orders.cpp.o"
+  "CMakeFiles/slo_reorder.dir/degree_orders.cpp.o.d"
+  "CMakeFiles/slo_reorder.dir/gorder.cpp.o"
+  "CMakeFiles/slo_reorder.dir/gorder.cpp.o.d"
+  "CMakeFiles/slo_reorder.dir/locality_metrics.cpp.o"
+  "CMakeFiles/slo_reorder.dir/locality_metrics.cpp.o.d"
+  "CMakeFiles/slo_reorder.dir/rabbit.cpp.o"
+  "CMakeFiles/slo_reorder.dir/rabbit.cpp.o.d"
+  "CMakeFiles/slo_reorder.dir/rabbitpp.cpp.o"
+  "CMakeFiles/slo_reorder.dir/rabbitpp.cpp.o.d"
+  "CMakeFiles/slo_reorder.dir/rcm.cpp.o"
+  "CMakeFiles/slo_reorder.dir/rcm.cpp.o.d"
+  "CMakeFiles/slo_reorder.dir/reorder.cpp.o"
+  "CMakeFiles/slo_reorder.dir/reorder.cpp.o.d"
+  "CMakeFiles/slo_reorder.dir/slashburn.cpp.o"
+  "CMakeFiles/slo_reorder.dir/slashburn.cpp.o.d"
+  "libslo_reorder.a"
+  "libslo_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

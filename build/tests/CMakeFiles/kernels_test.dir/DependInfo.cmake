@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernels/access_stream_test.cpp" "tests/CMakeFiles/kernels_test.dir/kernels/access_stream_test.cpp.o" "gcc" "tests/CMakeFiles/kernels_test.dir/kernels/access_stream_test.cpp.o.d"
+  "/root/repo/tests/kernels/kernels_test.cpp" "tests/CMakeFiles/kernels_test.dir/kernels/kernels_test.cpp.o" "gcc" "tests/CMakeFiles/kernels_test.dir/kernels/kernels_test.cpp.o.d"
+  "/root/repo/tests/kernels/propagation_blocking_test.cpp" "tests/CMakeFiles/kernels_test.dir/kernels/propagation_blocking_test.cpp.o" "gcc" "tests/CMakeFiles/kernels_test.dir/kernels/propagation_blocking_test.cpp.o.d"
+  "/root/repo/tests/kernels/stream_sweep_test.cpp" "tests/CMakeFiles/kernels_test.dir/kernels/stream_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/kernels_test.dir/kernels/stream_sweep_test.cpp.o.d"
+  "/root/repo/tests/kernels/tiled_spmv_test.cpp" "tests/CMakeFiles/kernels_test.dir/kernels/tiled_spmv_test.cpp.o" "gcc" "tests/CMakeFiles/kernels_test.dir/kernels/tiled_spmv_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/slo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorder/CMakeFiles/slo_reorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/community/CMakeFiles/slo_community.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/slo_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/slo_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/slo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/slo_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/slo_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_test.dir/matrix/coo_test.cpp.o"
+  "CMakeFiles/matrix_test.dir/matrix/coo_test.cpp.o.d"
+  "CMakeFiles/matrix_test.dir/matrix/csr_test.cpp.o"
+  "CMakeFiles/matrix_test.dir/matrix/csr_test.cpp.o.d"
+  "CMakeFiles/matrix_test.dir/matrix/generators_test.cpp.o"
+  "CMakeFiles/matrix_test.dir/matrix/generators_test.cpp.o.d"
+  "CMakeFiles/matrix_test.dir/matrix/io_test.cpp.o"
+  "CMakeFiles/matrix_test.dir/matrix/io_test.cpp.o.d"
+  "CMakeFiles/matrix_test.dir/matrix/permutation_test.cpp.o"
+  "CMakeFiles/matrix_test.dir/matrix/permutation_test.cpp.o.d"
+  "CMakeFiles/matrix_test.dir/matrix/properties_test.cpp.o"
+  "CMakeFiles/matrix_test.dir/matrix/properties_test.cpp.o.d"
+  "CMakeFiles/matrix_test.dir/matrix/rng_test.cpp.o"
+  "CMakeFiles/matrix_test.dir/matrix/rng_test.cpp.o.d"
+  "matrix_test"
+  "matrix_test.pdb"
+  "matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reorder_test.dir/reorder/degree_orders_test.cpp.o"
+  "CMakeFiles/reorder_test.dir/reorder/degree_orders_test.cpp.o.d"
+  "CMakeFiles/reorder_test.dir/reorder/gorder_test.cpp.o"
+  "CMakeFiles/reorder_test.dir/reorder/gorder_test.cpp.o.d"
+  "CMakeFiles/reorder_test.dir/reorder/locality_metrics_test.cpp.o"
+  "CMakeFiles/reorder_test.dir/reorder/locality_metrics_test.cpp.o.d"
+  "CMakeFiles/reorder_test.dir/reorder/properties_param_test.cpp.o"
+  "CMakeFiles/reorder_test.dir/reorder/properties_param_test.cpp.o.d"
+  "CMakeFiles/reorder_test.dir/reorder/rabbit_test.cpp.o"
+  "CMakeFiles/reorder_test.dir/reorder/rabbit_test.cpp.o.d"
+  "CMakeFiles/reorder_test.dir/reorder/rabbitpp_test.cpp.o"
+  "CMakeFiles/reorder_test.dir/reorder/rabbitpp_test.cpp.o.d"
+  "CMakeFiles/reorder_test.dir/reorder/rcm_test.cpp.o"
+  "CMakeFiles/reorder_test.dir/reorder/rcm_test.cpp.o.d"
+  "CMakeFiles/reorder_test.dir/reorder/slashburn_test.cpp.o"
+  "CMakeFiles/reorder_test.dir/reorder/slashburn_test.cpp.o.d"
+  "reorder_test"
+  "reorder_test.pdb"
+  "reorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
