@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "community/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace slo::bench
 {
@@ -31,9 +32,28 @@ splitCsv(const std::string &text)
 Env
 loadEnv(const std::string &bench_name)
 {
+    // One hook for every bench binary: start the run manifest and make
+    // sure the trace/manifest/metrics artifacts get written on exit
+    // (only when SLO_TRACE is on).
+    obs::RunManifest::instance().begin(bench_name);
+    obs::installExitEmission();
+
     Env env;
     env.scale = core::scaleFromEnv();
     env.spec = core::specForScale(env.scale);
+
+    obs::RunManifest::instance().set("scale",
+                                     core::scaleName(env.scale));
+    {
+        obs::Json spec = obs::Json::object();
+        spec["name"] = env.spec.name;
+        spec["l2_capacity_bytes"] = env.spec.l2.capacityBytes;
+        spec["l2_line_bytes"] = env.spec.l2.lineBytes;
+        spec["l2_ways"] = env.spec.l2.ways;
+        spec["stream_bandwidth_gbs"] = env.spec.streamBandwidthGBs;
+        spec["peak_bandwidth_gbs"] = env.spec.peakBandwidthGBs;
+        obs::RunManifest::instance().set("spec", std::move(spec));
+    }
 
     std::cout << "# " << bench_name << "\n";
     std::cout << "# platform: " << env.spec.name << " | L2 "
@@ -46,28 +66,22 @@ loadEnv(const std::string &bench_name)
               << "\n";
     std::cout.flush();
 
-    env.corpus = core::loadCorpus(env.scale, &std::cerr);
-
+    core::CorpusFilter filter;
     if (const char *limit_env = std::getenv("REPRO_LIMIT")) {
-        const auto limit =
-            static_cast<std::size_t>(std::atoi(limit_env));
-        if (limit > 0 && limit < env.corpus.size())
-            env.corpus.resize(limit);
+        const int limit = std::atoi(limit_env);
+        if (limit > 0)
+            filter.limit = static_cast<std::size_t>(limit);
     }
-    if (const char *names_env = std::getenv("REPRO_MATRICES")) {
-        const auto names = splitCsv(names_env);
-        std::vector<core::CorpusMatrix> filtered;
-        for (auto &m : env.corpus) {
-            for (const std::string &name : names) {
-                if (m.entry.name == name) {
-                    filtered.push_back(std::move(m));
-                    break;
-                }
-            }
-        }
-        env.corpus = std::move(filtered);
+    if (const char *names_env = std::getenv("REPRO_MATRICES"))
+        filter.names = splitCsv(names_env);
+
+    {
+        SLO_SPAN("bench.load_corpus");
+        env.corpus = core::loadCorpus(env.scale, filter);
     }
     std::cout << "# matrices: " << env.corpus.size() << "\n";
+    obs::RunManifest::instance().set(
+        "num_matrices", static_cast<std::uint64_t>(env.corpus.size()));
     return env;
 }
 

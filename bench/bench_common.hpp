@@ -11,6 +11,11 @@
  *   REPRO_MATRICES=a,b,c            only the named corpus matrices
  *   REPRO_CSV_DIR=<dir>             also write each table as CSV
  *   SLO_CACHE_DIR / SLO_NO_CACHE    artifact cache control
+ *   SLO_LOG=<level>                 log verbosity (default info)
+ *   SLO_TRACE=1                     collect spans; emit the run
+ *                                   manifest, Chrome trace and metrics
+ *                                   JSONL on exit
+ *   SLO_OBS_DIR=<dir>               where those artifacts go (default .)
  */
 
 #pragma once

@@ -11,6 +11,7 @@
 
 #include "bench_common.hpp"
 #include "kernels/kernels.hpp"
+#include "obs/trace.hpp"
 
 using namespace slo;
 
@@ -25,9 +26,9 @@ timeSpmv(const Csr &m)
     std::vector<Value> y(static_cast<std::size_t>(m.numRows()));
     std::vector<double> samples;
     for (int run = 0; run < 5; ++run) {
-        const core::Timer timer;
+        const obs::Span span("ext_cpu.spmv");
         kernels::spmvCsr(m, x, y);
-        samples.push_back(timer.elapsedSeconds());
+        samples.push_back(span.elapsedSeconds());
     }
     return core::percentile(samples, 50);
 }

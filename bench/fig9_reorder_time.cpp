@@ -14,6 +14,7 @@
 
 #include "bench_common.hpp"
 #include "matrix/generators.hpp"
+#include "obs/trace.hpp"
 #include "reorder/gorder.hpp"
 #include "reorder/rabbit.hpp"
 #include "reorder/rabbitpp.hpp"
@@ -37,13 +38,13 @@ main()
         const Csr g = gen::rmatSocial(scale, 12.0, 77)
                           .permutedSymmetric(Permutation::random(
                               Index{1} << scale, 5));
-        core::Timer t_gorder;
+        const obs::Span t_gorder("fig9.gorder");
         (void)reorder::gorderOrder(g, {5, 256});
         const double gorder_s = t_gorder.elapsedSeconds();
-        core::Timer t_rabbit;
+        const obs::Span t_rabbit("fig9.rabbit");
         const reorder::RabbitResult rabbit = reorder::rabbitOrder(g);
         const double rabbit_s = t_rabbit.elapsedSeconds();
-        core::Timer t_rpp;
+        const obs::Span t_rpp("fig9.rabbitpp");
         (void)reorder::rabbitPlusFromRabbit(g, rabbit, {});
         const double rpp_s = rabbit_s + t_rpp.elapsedSeconds();
         sweep.addRow({std::to_string(g.numRows()),

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Validates the observability artifacts a traced bench run emits.
+ *
+ * Usage: obs_validate <manifest.json> <trace.json>
+ *
+ * Parses both documents with the same obs::Json parser the library
+ * uses, then checks the run-manifest schema (git SHA, scale, per-matrix
+ * phases and SimReport fields) and the Chrome trace-event shape (non-
+ * empty, complete "X" events with name/ts/dur/tid, nested pipeline
+ * spans). Exits non-zero with a message on the first violation; the
+ * `bench_smoke` ctest drives it after a tiny traced bench run.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace
+{
+
+using slo::obs::Json;
+
+int g_checks = 0;
+
+[[noreturn]] void
+fail(const std::string &message)
+{
+    std::cerr << "obs_validate: FAIL after " << g_checks
+              << " checks: " << message << "\n";
+    std::exit(1);
+}
+
+void
+check(bool ok, const std::string &message)
+{
+    if (!ok)
+        fail(message);
+    ++g_checks;
+}
+
+Json
+parseFile(const std::string &path, const std::string &what)
+{
+    std::ifstream in(path);
+    if (!in.good())
+        fail("cannot open " + what + " file: " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    auto parsed = Json::parse(buffer.str(), &error);
+    if (!parsed.has_value())
+        fail(what + " is not valid JSON (" + path + "): " + error);
+    return *std::move(parsed);
+}
+
+void
+validateManifest(const Json &manifest)
+{
+    check(manifest.isObject(), "manifest root must be an object");
+    check(manifest.at("schema").asString() == "slo.run-manifest/1",
+          "manifest schema tag mismatch");
+    check(!manifest.at("bench").asString().empty(),
+          "manifest.bench empty");
+    check(!manifest.at("started_at").asString().empty(),
+          "manifest.started_at empty");
+    check(!manifest.at("git_sha").asString().empty(),
+          "manifest.git_sha empty");
+    check(!manifest.at("hostname").asString().empty(),
+          "manifest.hostname empty");
+    check(manifest.at("build").contains("compiler"),
+          "manifest.build.compiler missing");
+    check(!manifest.at("scale").asString().empty(),
+          "manifest.scale empty");
+    check(manifest.at("num_matrices").asUint() >= 1,
+          "manifest.num_matrices must be >= 1");
+
+    const Json &matrices = manifest.at("matrices");
+    check(matrices.isObject() && matrices.size() >= 1,
+          "manifest.matrices must be a non-empty object");
+    for (const auto &[name, matrix] : matrices.entries()) {
+        const Json &phases = matrix.at("phases");
+        check(phases.isObject() && phases.size() >= 1,
+              "matrix '" + name + "' has no recorded phases");
+        for (const auto &[phase, seconds] : phases.entries())
+            check(seconds.isNumber() && seconds.asDouble() >= 0.0,
+                  "phase '" + phase + "' of '" + name +
+                      "' has a bad duration");
+        if (!matrix.contains("simulations"))
+            continue;
+        const Json &sims = matrix.at("simulations");
+        for (std::size_t i = 0; i < sims.size(); ++i) {
+            const Json &sim = sims.at(i);
+            for (const char *field :
+                 {"traffic_bytes", "compulsory_bytes",
+                  "normalized_traffic", "modeled_seconds",
+                  "l2_hit_rate", "dead_line_fraction"}) {
+                check(sim.contains(field) && sim.at(field).isNumber(),
+                      "simulation " + std::to_string(i) + " of '" +
+                          name + "' lacks numeric field " + field);
+            }
+            check(sim.at("cache").at("accesses").asUint() > 0,
+                  "simulation of '" + name + "' saw no cache accesses");
+        }
+    }
+    check(manifest.at("metrics").contains("counters"),
+          "manifest.metrics.counters missing");
+}
+
+void
+validateTrace(const Json &trace)
+{
+    const Json &events = trace.at("traceEvents");
+    check(events.isArray() && events.size() >= 3,
+          "traceEvents must hold at least a few spans");
+
+    bool saw_corpus = false, saw_reorder = false, saw_simulate = false;
+    bool saw_nested = false;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Json &event = events.at(i);
+        check(!event.at("name").asString().empty(),
+              "trace event without a name");
+        check(event.at("ph").asString() == "X",
+              "trace events must be complete ('X') events");
+        check(event.at("ts").asDouble() >= 0.0, "negative ts");
+        check(event.at("dur").asDouble() >= 0.0, "negative dur");
+        check(event.at("tid").isNumber(), "missing tid");
+        const std::string &name = event.at("name").asString();
+        saw_corpus |= name.rfind("corpus.", 0) == 0 ||
+                      name.rfind("bench.load_corpus", 0) == 0;
+        saw_reorder |= name.rfind("reorder.", 0) == 0 ||
+                       name.rfind("rabbit", 0) == 0;
+        saw_simulate |= name.rfind("simulate.", 0) == 0 ||
+                        name.rfind("gpu.", 0) == 0;
+        saw_nested |= event.at("args").at("depth").asInt() > 0;
+    }
+    check(saw_corpus, "no corpus-loading span in the trace");
+    check(saw_reorder, "no reordering span in the trace");
+    check(saw_simulate, "no simulation span in the trace");
+    check(saw_nested, "no nested span (depth > 0) in the trace");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::cerr << "usage: obs_validate <manifest.json> <trace.json>\n";
+        return 2;
+    }
+    // A structurally wrong document (e.g. the two paths swapped) shows
+    // up as a missing key; report it like any other failed check.
+    try {
+        validateManifest(parseFile(argv[1], "manifest"));
+        validateTrace(parseFile(argv[2], "trace"));
+    } catch (const std::exception &e) {
+        fail(std::string("unexpected document shape: ") + e.what());
+    }
+    std::cout << "obs_validate: OK (" << g_checks << " checks)\n";
+    return 0;
+}

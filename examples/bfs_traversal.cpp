@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "obs/trace.hpp"
 #include "matrix/generators.hpp"
 #include "reorder/reorder.hpp"
 
@@ -64,7 +65,7 @@ main()
     const Index source = 12345;
 
     // Baseline traversal (repeat to smooth timing noise).
-    core::Timer t_base;
+    const slo::obs::Span t_base("bfs.baseline");
     std::vector<Index> levels;
     for (int run = 0; run < 5; ++run)
         levels = bfsLevels(graph, source);
@@ -74,7 +75,7 @@ main()
         reorder::Technique::RabbitPlusPlus, graph);
     const Csr reordered = graph.permutedSymmetric(perm);
 
-    core::Timer t_fast;
+    const slo::obs::Span t_fast("bfs.reordered");
     std::vector<Index> levels_reordered;
     for (int run = 0; run < 5; ++run)
         levels_reordered = bfsLevels(reordered, perm.newId(source));

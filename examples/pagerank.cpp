@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "obs/trace.hpp"
 #include "kernels/kernels.hpp"
 #include "matrix/generators.hpp"
 #include "matrix/properties.hpp"
@@ -71,18 +72,18 @@ main()
     constexpr double kDamping = 0.85;
 
     // Baseline run.
-    core::Timer t_base;
+    const slo::obs::Span t_base("pagerank.baseline");
     const auto ranks = pagerank(matrix, kIterations, kDamping);
     const double base_seconds = t_base.elapsedSeconds();
 
     // Reorder once, run the same iterations.
-    core::Timer t_reorder;
+    const slo::obs::Span t_reorder("pagerank.reorder");
     const Permutation perm = reorder::computeOrdering(
         reorder::Technique::RabbitPlusPlus, matrix);
     const double reorder_seconds = t_reorder.elapsedSeconds();
     const Csr reordered = matrix.permutedSymmetric(perm);
 
-    core::Timer t_fast;
+    const slo::obs::Span t_fast("pagerank.reordered");
     const auto ranks_reordered =
         pagerank(reordered, kIterations, kDamping);
     const double fast_seconds = t_fast.elapsedSeconds();

@@ -1,0 +1,33 @@
+#!/bin/bash
+# Smoke-test the observability pipeline end to end: run one bench at
+# tiny scale with tracing on, then validate the emitted manifest and
+# Chrome trace with obs_validate.
+#
+# Usage: scripts/bench_smoke.sh <bench-binary> <obs-validate-binary>
+# (The bench_smoke ctest passes the build-tree paths.)
+set -eu
+
+bench="${1:?usage: bench_smoke.sh <bench-binary> <obs-validate-binary>}"
+validate="${2:?usage: bench_smoke.sh <bench-binary> <obs-validate-binary>}"
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+name="$(basename "$bench")"
+echo "== bench_smoke: $name -> $out"
+SLO_TRACE=1 SLO_OBS_DIR="$out" SLO_LOG=info \
+    REPRO_SCALE=small REPRO_LIMIT=1 \
+    "$bench" > "$out/$name.txt"
+
+# Artifact names are slugs of the bench's descriptive title, so find
+# them by suffix — the fresh temp dir holds exactly one run.
+manifest="$(ls "$out"/*.manifest.json 2>/dev/null | head -n1)"
+trace="$(ls "$out"/*.trace.json 2>/dev/null | head -n1)"
+metrics="$(ls "$out"/*.metrics.jsonl 2>/dev/null | head -n1)"
+for f in "$manifest" "$trace" "$metrics"; do
+    [ -n "$f" ] && [ -s "$f" ] ||
+        { echo "missing observability artifact in $out" >&2; exit 1; }
+done
+
+"$validate" "$manifest" "$trace"
+echo "== bench_smoke: OK"

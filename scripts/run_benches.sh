@@ -1,15 +1,40 @@
 #!/bin/bash
 # Run every bench binary sequentially, one output file per bench.
 # Usage: scripts/run_benches.sh [output-dir]   (default: bench_results)
+#
+# Tracing is on by default so each bench drops its run manifest, Chrome
+# trace and metrics JSONL next to its .txt table; export SLO_TRACE=0 to
+# disable. Exits non-zero if any bench failed, listing the failures.
 set -u
 cd "$(dirname "$0")/.."
 out="${1:-bench_results}"
 mkdir -p "$out"
+
+# Observability artifacts (<bench>.manifest.json / .trace.json /
+# .metrics.jsonl) land in the output dir alongside the tables.
+export SLO_TRACE="${SLO_TRACE:-1}"
+export SLO_OBS_DIR="$out"
+
+failed=()
+ran=0
 for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
     name="$(basename "$b")"
     echo "=== $name start $(date +%T) ==="
     "$b" > "$out/$name.txt" 2> "$out/$name.err"
-    echo "=== $name done $(date +%T) exit $? ==="
+    rc=$?
+    echo "=== $name done $(date +%T) exit $rc ==="
+    ran=$((ran + 1))
+    [ "$rc" -ne 0 ] && failed+=("$name (exit $rc)")
 done
-echo "all benches done; outputs in $out/"
+
+if [ "$ran" -eq 0 ]; then
+    echo "no bench binaries found under build/bench/ — build first" >&2
+    exit 1
+fi
+if [ "${#failed[@]}" -ne 0 ]; then
+    echo "FAILED benches (${#failed[@]}/$ran):" >&2
+    printf '  %s\n' "${failed[@]}" >&2
+    exit 1
+fi
+echo "all $ran benches passed; outputs in $out/"

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "obs/metrics.hpp"
+
 namespace slo::cache
 {
 
@@ -121,6 +123,24 @@ CacheSim::finish()
         if (way.tag != kInvalid && !way.reused)
             ++stats_.deadLines;
     }
+    // Flush the run's totals into the process-wide registry here, once
+    // per simulation, so the per-access hot path stays counter-free.
+    static obs::Counter &accesses = obs::counter("cache.accesses");
+    static obs::Counter &hits = obs::counter("cache.hits");
+    static obs::Counter &misses = obs::counter("cache.misses");
+    static obs::Counter &fill_bytes = obs::counter("cache.fill_bytes");
+    static obs::Counter &irregular_fill_bytes =
+        obs::counter("cache.irregular_fill_bytes");
+    static obs::Counter &lines_filled =
+        obs::counter("cache.lines_filled");
+    static obs::Counter &dead_lines = obs::counter("cache.dead_lines");
+    accesses.add(stats_.accesses);
+    hits.add(stats_.hits);
+    misses.add(stats_.misses);
+    fill_bytes.add(stats_.fillBytes);
+    irregular_fill_bytes.add(stats_.irregularFillBytes);
+    lines_filled.add(stats_.linesFilled);
+    dead_lines.add(stats_.deadLines);
 }
 
 } // namespace slo::cache

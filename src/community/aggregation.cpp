@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace slo::community
 {
 
@@ -54,6 +56,7 @@ aggregateCommunities(const Csr &graph, const AggregationOptions &options)
 {
     require(graph.isSquare(),
             "aggregateCommunities: graph must be square");
+    SLO_SPAN("community.aggregate");
     const Index n = graph.numRows();
     const auto m2 = static_cast<double>(graph.numNonZeros());
 

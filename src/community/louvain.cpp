@@ -8,6 +8,7 @@
 
 #include "community/metrics.hpp"
 #include "matrix/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace slo::community
 {
@@ -219,6 +220,7 @@ LouvainResult
 louvain(const Csr &graph, const LouvainOptions &options)
 {
     require(graph.isSquare(), "louvain: graph must be square");
+    SLO_SPAN("louvain.run");
     LouvainResult result;
 
     WeightedGraph wg = fromCsr(graph);
@@ -227,6 +229,8 @@ louvain(const Csr &graph, const LouvainOptions &options)
     std::iota(mapping.begin(), mapping.end(), Index{0});
 
     for (int level = 0; level < options.maxLevels; ++level) {
+        const obs::Span level_span("louvain.level:" +
+                                   std::to_string(level));
         std::vector<Index> labels(static_cast<std::size_t>(wg.n));
         std::iota(labels.begin(), labels.end(), Index{0});
         const bool moved = localMoving(wg, labels, options,
@@ -252,6 +256,10 @@ louvain(const Csr &graph, const LouvainOptions &options)
 
     result.clustering = Clustering(std::move(mapping)).compacted();
     result.modularity = modularity(graph, result.clustering);
+    obs::counter("louvain.levels").add(
+        static_cast<std::uint64_t>(result.levels));
+    obs::gauge("louvain.communities")
+        .set(static_cast<double>(result.clustering.numCommunities()));
     return result;
 }
 

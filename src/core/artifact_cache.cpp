@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "matrix/binary_io.hpp"
+#include "obs/obs.hpp"
 
 namespace slo::core
 {
@@ -86,11 +87,18 @@ loadOrBuildCsr(const std::string &key, const std::function<Csr()> &build)
         (cacheFileStem(key) + ".csr");
     if (std::filesystem::exists(path)) {
         try {
-            return io::readCsrBinaryFile(path.string());
+            Csr cached = io::readCsrBinaryFile(path.string());
+            obs::counter("artifact_cache.csr_hits").add();
+            return cached;
         } catch (const std::exception &) {
             // Corrupt cache entry: fall through and rebuild.
+            SLO_LOG_WARN("artifact_cache",
+                         "corrupt CSR cache entry for " << key
+                                                        << "; rebuilding");
         }
     }
+    obs::counter("artifact_cache.csr_misses").add();
+    const obs::Span span("artifact_cache.build_csr");
     Csr matrix = build();
     const std::filesystem::path tmp = path.string() + ".tmp";
     io::writeCsrBinaryFile(tmp.string(), matrix);
@@ -139,11 +147,17 @@ loadOrBuildIndexVector(const std::string &key,
             in.read(reinterpret_cast<char *>(vec.data()),
                     static_cast<std::streamsize>(vec.size() *
                                                  sizeof(Index)));
-            if (in)
+            if (in) {
+                obs::counter("artifact_cache.vec_hits").add();
                 return vec;
+            }
         }
         // Corrupt entry: rebuild below.
+        SLO_LOG_WARN("artifact_cache",
+                     "corrupt vector cache entry for " << key
+                                                       << "; rebuilding");
     }
+    obs::counter("artifact_cache.vec_misses").add();
     std::vector<Index> vec = build();
     storeIndexVector(key, vec);
     return vec;

@@ -7,6 +7,7 @@
 
 #include "core/artifact_cache.hpp"
 #include "matrix/generators.hpp"
+#include "obs/obs.hpp"
 #include "reorder/rabbit.hpp"
 #include "reorder/rcm.hpp"
 
@@ -296,6 +297,7 @@ Csr
 DatasetEntry::build(Scale scale) const
 {
     return loadOrBuildCsr(cacheKey(scale), [this, scale] {
+        const obs::Span span("corpus.generate:" + name);
         Csr matrix = generate(rowsAt(scale), seed);
         switch (originalOrder) {
           case OriginalOrder::Natural:

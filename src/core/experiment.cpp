@@ -1,11 +1,12 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
-#include <ostream>
 
 #include "community/metrics.hpp"
 #include "core/artifact_cache.hpp"
+#include "obs/obs.hpp"
 #include "reorder/rabbit.hpp"
 
 namespace slo::core
@@ -73,14 +74,32 @@ optionSuffix(reorder::Technique technique,
 } // namespace
 
 std::vector<CorpusMatrix>
-loadCorpus(Scale scale, std::ostream *progress)
+loadCorpus(Scale scale, const CorpusFilter &filter)
 {
+    SLO_SPAN("corpus.load");
+    std::vector<DatasetEntry> entries = paperCorpus(scale);
+    if (!filter.names.empty()) {
+        std::vector<DatasetEntry> selected;
+        for (DatasetEntry &entry : entries) {
+            if (std::find(filter.names.begin(), filter.names.end(),
+                          entry.name) != filter.names.end())
+                selected.push_back(std::move(entry));
+        }
+        entries = std::move(selected);
+    }
+    if (filter.limit > 0 && filter.limit < entries.size())
+        entries.resize(filter.limit);
+
     std::vector<CorpusMatrix> corpus;
-    for (const DatasetEntry &entry : paperCorpus(scale)) {
-        if (progress != nullptr)
-            *progress << "[corpus] building " << entry.name << "...\n";
+    corpus.reserve(entries.size());
+    for (DatasetEntry &entry : entries) {
+        SLO_LOG_INFO("corpus", "building " << entry.name << "...");
+        obs::setContext("matrix", entry.name);
+        const obs::Span span("corpus.build:" + entry.name);
         Csr matrix = entry.build(scale);
-        corpus.push_back({entry, std::move(matrix)});
+        obs::RunManifest::instance().recordPhase(
+            entry.name, "corpus.build", span.elapsedSeconds());
+        corpus.push_back({std::move(entry), std::move(matrix)});
     }
     return corpus;
 }
@@ -90,25 +109,32 @@ orderingFor(const DatasetEntry &entry, const Csr &original, Scale scale,
             reorder::Technique technique,
             const reorder::ReorderOptions &options)
 {
+    const std::string technique_name = reorder::techniqueName(technique);
     const std::string key = entry.cacheKey(scale) + "-perm-" +
-                            reorder::techniqueName(technique) +
+                            technique_name +
                             optionSuffix(technique, options);
+    obs::setContext("matrix", entry.name);
+    SLO_SPAN("reorder.ordering_for:" + technique_name);
     TimedOrdering result;
     double measured = -1.0;
     result.perm = loadOrBuildPerm(key, [&] {
-        const Timer timer;
+        const obs::Span span("reorder.compute:" + technique_name);
         Permutation perm =
             reorder::computeOrdering(technique, original, options);
-        measured = timer.elapsedSeconds();
+        measured = span.elapsedSeconds();
         return perm;
     });
     if (measured >= 0.0) {
+        obs::counter("perm_cache.misses").add();
         storeCachedDouble(key + "-time", measured);
         result.reorderSeconds = measured;
     } else {
+        obs::counter("perm_cache.hits").add();
         result.reorderSeconds =
             loadCachedDouble(key + "-time").value_or(0.0);
     }
+    obs::RunManifest::instance().recordPhase(
+        entry.name, "reorder." + technique_name, result.reorderSeconds);
     return result;
 }
 
@@ -118,24 +144,28 @@ rabbitArtifactsFor(const DatasetEntry &entry, const Csr &original,
 {
     const std::string key =
         entry.cacheKey(scale) + "-perm-RABBIT";
+    obs::setContext("matrix", entry.name);
+    SLO_SPAN("reorder.rabbit_artifacts");
     RabbitArtifacts result;
     double measured = -1.0;
     std::vector<Index> labels;
     result.perm = loadOrBuildPerm(key, [&] {
-        const Timer timer;
+        const obs::Span span("reorder.compute:RABBIT");
         reorder::RabbitResult rabbit = reorder::rabbitOrder(original);
-        measured = timer.elapsedSeconds();
+        measured = span.elapsedSeconds();
         labels = rabbit.clustering.labels();
         return rabbit.perm;
     });
     if (!labels.empty()) {
         // Fresh run: persist the labels and time too (overwriting any
         // stale leftovers from an interrupted earlier run).
+        obs::counter("perm_cache.misses").add();
         storeIndexVector(key + "-labels", labels);
         storeCachedDouble(key + "-time", measured);
         result.reorderSeconds = measured;
         result.clustering = community::Clustering(std::move(labels));
     } else {
+        obs::counter("perm_cache.hits").add();
         result.clustering =
             community::Clustering(loadOrBuildIndexVector(
                 key + "-labels", [&] {
@@ -146,8 +176,15 @@ rabbitArtifactsFor(const DatasetEntry &entry, const Csr &original,
         result.reorderSeconds =
             loadCachedDouble(key + "-time").value_or(0.0);
     }
-    result.insularity =
-        community::insularity(original, result.clustering);
+    obs::RunManifest::instance().recordPhase(
+        entry.name, "reorder.RABBIT", result.reorderSeconds);
+    {
+        SLO_SPAN("community.insularity");
+        result.insularity =
+            community::insularity(original, result.clustering);
+    }
+    obs::gauge("rabbit.communities")
+        .set(static_cast<double>(result.clustering.numCommunities()));
     return result;
 }
 
@@ -156,8 +193,24 @@ simulateOrdered(const Csr &original, const Permutation &perm,
                 const gpu::GpuSpec &spec,
                 const gpu::SimOptions &sim_options)
 {
-    const Csr reordered = original.permutedSymmetric(perm);
-    return gpu::simulateKernel(reordered, spec, sim_options);
+    const obs::Span span("simulate.ordered");
+    Csr reordered = [&] {
+        SLO_SPAN("simulate.permute");
+        return original.permutedSymmetric(perm);
+    }();
+    const gpu::SimReport report =
+        gpu::simulateKernel(reordered, spec, sim_options);
+    // Attribute the report to the matrix the pipeline last touched
+    // (sticky context set by loadCorpus/orderingFor); benches that
+    // simulate outside the per-matrix loop simply go unattributed.
+    const std::string matrix = obs::context("matrix");
+    if (!matrix.empty()) {
+        obs::RunManifest::instance().recordPhase(
+            matrix, "simulate", span.elapsedSeconds());
+        obs::RunManifest::instance().addSimulation(
+            matrix, gpu::simReportJson(report));
+    }
+    return report;
 }
 
 } // namespace slo::core

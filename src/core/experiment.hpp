@@ -11,8 +11,7 @@
 
 #pragma once
 
-#include <chrono>
-#include <iosfwd>
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,23 +26,6 @@
 namespace slo::core
 {
 
-/** Simple wall-clock timer. */
-class Timer
-{
-  public:
-    Timer() : start_(std::chrono::steady_clock::now()) {}
-
-    double
-    elapsedSeconds() const
-    {
-        const auto now = std::chrono::steady_clock::now();
-        return std::chrono::duration<double>(now - start_).count();
-    }
-
-  private:
-    std::chrono::steady_clock::time_point start_;
-};
-
 /** A corpus matrix materialized at some scale. */
 struct CorpusMatrix
 {
@@ -51,13 +33,22 @@ struct CorpusMatrix
     Csr original;
 };
 
+/** Optional pre-build corpus selection (REPRO_LIMIT/REPRO_MATRICES). */
+struct CorpusFilter
+{
+    std::size_t limit = 0;          ///< 0 = no limit
+    std::vector<std::string> names; ///< empty = all
+};
+
 /**
- * Build (or load from cache) the whole corpus at @p scale. Progress is
- * logged to @p progress when non-null (corpus generation can take a
- * minute cold).
+ * Build (or load from cache) the corpus at @p scale, restricted to
+ * @p filter *before* any matrix is built (so a limited run never pays
+ * generation cost for matrices it will not use). Progress is logged
+ * through the obs logger (`SLO_LOG`), and per-matrix build times are
+ * recorded in the run manifest.
  */
 std::vector<CorpusMatrix> loadCorpus(Scale scale,
-                                     std::ostream *progress = nullptr);
+                                     const CorpusFilter &filter = {});
 
 /** An ordering together with its measured pre-processing cost. */
 struct TimedOrdering

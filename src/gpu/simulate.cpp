@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "cache/belady.hpp"
+#include "obs/obs.hpp"
 
 namespace slo::gpu
 {
@@ -43,6 +44,7 @@ simulateKernel(const Csr &matrix, const GpuSpec &spec,
                const SimOptions &options)
 {
     require(matrix.isSquare(), "simulateKernel: matrix must be square");
+    SLO_SPAN("gpu.simulate");
     const Index n = matrix.numRows();
     const Offset nnz = matrix.numNonZeros();
     const std::uint32_t line_bytes = spec.l2.lineBytes;
@@ -54,6 +56,7 @@ simulateKernel(const Csr &matrix, const GpuSpec &spec,
         options.kernel, n, nnz, options.denseCols);
 
     if (options.useBelady) {
+        SLO_SPAN("gpu.replay:belady");
         std::vector<std::uint64_t> trace;
         // SpMV-CSR touches ~3 addresses per nnz + 3 per row.
         trace.reserve(static_cast<std::size_t>(nnz) * 3 +
@@ -65,6 +68,7 @@ simulateKernel(const Csr &matrix, const GpuSpec &spec,
         report.cacheStats = cache::simulateBelady(
             trace, spec.l2, layout.xBase, layout.xEnd);
     } else {
+        SLO_SPAN("gpu.replay:lru");
         cache::CacheSim sim(spec.l2);
         sim.setIrregularRegion(layout.xBase, layout.xEnd);
         replayKernel(matrix, layout, options, line_bytes,
@@ -98,7 +102,45 @@ simulateKernel(const Csr &matrix, const GpuSpec &spec,
             : report.modeledSeconds / report.idealSeconds;
     report.l2HitRate = report.cacheStats.hitRate();
     report.deadLineFraction = report.cacheStats.deadLineFraction();
+    // Per-region DRAM traffic split, accumulated process-wide so a
+    // run's streamed-vs-irregular byte mix is visible in the metrics
+    // dump without re-simulating.
+    obs::counter("gpu.simulations").add();
+    obs::counter("gpu.traffic_bytes").add(report.trafficBytes);
+    obs::counter("gpu.stream_miss_bytes").add(report.streamMissBytes);
+    obs::counter("gpu.random_miss_bytes").add(report.randomMissBytes);
+    obs::counter("gpu.compulsory_bytes").add(report.compulsoryBytes);
     return report;
+}
+
+obs::Json
+simReportJson(const SimReport &report)
+{
+    obs::Json j = obs::Json::object();
+    j["compulsory_bytes"] = report.compulsoryBytes;
+    j["traffic_bytes"] = report.trafficBytes;
+    j["stream_miss_bytes"] = report.streamMissBytes;
+    j["random_miss_bytes"] = report.randomMissBytes;
+    j["normalized_traffic"] = report.normalizedTraffic;
+    j["ideal_seconds"] = report.idealSeconds;
+    j["modeled_seconds"] = report.modeledSeconds;
+    j["normalized_runtime"] = report.normalizedRuntime;
+    j["l2_hit_rate"] = report.l2HitRate;
+    j["dead_line_fraction"] = report.deadLineFraction;
+    j["max_row_nnz"] = report.maxRowNnz;
+    obs::Json cache = obs::Json::object();
+    cache["accesses"] = report.cacheStats.accesses;
+    cache["hits"] = report.cacheStats.hits;
+    cache["misses"] = report.cacheStats.misses;
+    cache["evictions"] = report.cacheStats.evictions;
+    cache["lines_filled"] = report.cacheStats.linesFilled;
+    cache["dead_lines"] = report.cacheStats.deadLines;
+    cache["irregular_misses"] = report.cacheStats.irregularMisses;
+    cache["fill_bytes"] = report.cacheStats.fillBytes;
+    cache["irregular_fill_bytes"] =
+        report.cacheStats.irregularFillBytes;
+    j["cache"] = std::move(cache);
+    return j;
 }
 
 } // namespace slo::gpu

@@ -18,6 +18,7 @@
 #include "gpu/traffic_model.hpp"
 #include "kernels/access_stream.hpp"
 #include "matrix/csr.hpp"
+#include "obs/json.hpp"
 
 namespace slo::gpu
 {
@@ -57,5 +58,8 @@ struct SimReport
 /** Simulate @p options.kernel on @p matrix against @p spec. */
 SimReport simulateKernel(const Csr &matrix, const GpuSpec &spec,
                          const SimOptions &options = {});
+
+/** The full report as JSON (run manifests, tooling). */
+obs::Json simReportJson(const SimReport &report);
 
 } // namespace slo::gpu

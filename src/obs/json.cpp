@@ -1,0 +1,489 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace slo::obs
+{
+
+namespace
+{
+
+void
+appendEscaped(std::string &out, const std::string &text)
+{
+    out += '"';
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendDouble(std::string &out, double value)
+{
+    if (!std::isfinite(value)) {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        out += "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    out += buf;
+}
+
+/** Recursive-descent parser over a raw character range. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    std::optional<Json>
+    run()
+    {
+        skipSpace();
+        std::optional<Json> value = parseValue(0);
+        if (!value)
+            return std::nullopt;
+        skipSpace();
+        if (pos_ != text_.size()) {
+            fail("trailing characters");
+            return std::nullopt;
+        }
+        return value;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 128;
+
+    void
+    fail(const std::string &what)
+    {
+        if (error_ != nullptr && error_->empty()) {
+            *error_ = what + " at offset " + std::to_string(pos_);
+        }
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t len = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, len, word) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    std::optional<std::string>
+    parseString()
+    {
+        if (!consume('"')) {
+            fail("expected string");
+            return std::nullopt;
+        }
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size()) {
+                        fail("truncated \\u escape");
+                        return std::nullopt;
+                    }
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else {
+                            fail("bad \\u escape");
+                            return std::nullopt;
+                        }
+                    }
+                    // UTF-8 encode the BMP code point (we never emit
+                    // surrogate pairs ourselves).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    fail("bad escape");
+                    return std::nullopt;
+                }
+            } else {
+                out += c;
+            }
+        }
+        fail("unterminated string");
+        return std::nullopt;
+    }
+
+    std::optional<Json>
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (consume('-')) {}
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+        bool integral = true;
+        if (consume('.')) {
+            integral = false;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            integral = false;
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        if (token.empty() || token == "-") {
+            fail("expected number");
+            return std::nullopt;
+        }
+        if (integral) {
+            errno = 0;
+            char *end = nullptr;
+            if (token[0] == '-') {
+                const long long v =
+                    std::strtoll(token.c_str(), &end, 10);
+                if (errno == 0 && end != nullptr && *end == '\0')
+                    return Json(static_cast<std::int64_t>(v));
+            } else {
+                const unsigned long long v =
+                    std::strtoull(token.c_str(), &end, 10);
+                if (errno == 0 && end != nullptr && *end == '\0')
+                    return Json(static_cast<std::uint64_t>(v));
+            }
+            // Fall through to double on overflow.
+        }
+        errno = 0;
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            fail("malformed number");
+            return std::nullopt;
+        }
+        return Json(v);
+    }
+
+    std::optional<Json>
+    parseValue(int depth)
+    {
+        if (depth > kMaxDepth) {
+            fail("nesting too deep");
+            return std::nullopt;
+        }
+        skipSpace();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return std::nullopt;
+        }
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            Json obj = Json::object();
+            skipSpace();
+            if (consume('}'))
+                return obj;
+            while (true) {
+                skipSpace();
+                std::optional<std::string> key = parseString();
+                if (!key)
+                    return std::nullopt;
+                skipSpace();
+                if (!consume(':')) {
+                    fail("expected ':'");
+                    return std::nullopt;
+                }
+                std::optional<Json> value = parseValue(depth + 1);
+                if (!value)
+                    return std::nullopt;
+                obj[*key] = std::move(*value);
+                skipSpace();
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return obj;
+                fail("expected ',' or '}'");
+                return std::nullopt;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            Json arr = Json::array();
+            skipSpace();
+            if (consume(']'))
+                return arr;
+            while (true) {
+                std::optional<Json> value = parseValue(depth + 1);
+                if (!value)
+                    return std::nullopt;
+                arr.push(std::move(*value));
+                skipSpace();
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return arr;
+                fail("expected ',' or ']'");
+                return std::nullopt;
+            }
+        }
+        if (c == '"') {
+            std::optional<std::string> s = parseString();
+            if (!s)
+                return std::nullopt;
+            return Json(std::move(*s));
+        }
+        if (literal("true"))
+            return Json(true);
+        if (literal("false"))
+            return Json(false);
+        if (literal("null"))
+            return Json(nullptr);
+        return parseNumber();
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+double
+Json::asDouble() const
+{
+    if (holds<std::int64_t>())
+        return static_cast<double>(std::get<std::int64_t>(value_));
+    if (holds<std::uint64_t>())
+        return static_cast<double>(std::get<std::uint64_t>(value_));
+    return std::get<double>(value_);
+}
+
+std::int64_t
+Json::asInt() const
+{
+    if (holds<std::uint64_t>())
+        return static_cast<std::int64_t>(std::get<std::uint64_t>(value_));
+    if (holds<double>())
+        return static_cast<std::int64_t>(std::get<double>(value_));
+    return std::get<std::int64_t>(value_);
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    if (holds<std::int64_t>())
+        return static_cast<std::uint64_t>(std::get<std::int64_t>(value_));
+    if (holds<double>())
+        return static_cast<std::uint64_t>(std::get<double>(value_));
+    return std::get<std::uint64_t>(value_);
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (isNull())
+        value_ = Object{};
+    return std::get<Object>(value_)[key];
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    return std::get<Object>(value_).at(key);
+}
+
+bool
+Json::contains(const std::string &key) const
+{
+    return isObject() && std::get<Object>(value_).count(key) != 0;
+}
+
+void
+Json::push(Json element)
+{
+    if (isNull())
+        value_ = Array{};
+    std::get<Array>(value_).push_back(std::move(element));
+}
+
+const Json &
+Json::at(std::size_t index) const
+{
+    return std::get<Array>(value_).at(index);
+}
+
+std::size_t
+Json::size() const
+{
+    if (isArray())
+        return std::get<Array>(value_).size();
+    if (isObject())
+        return std::get<Object>(value_).size();
+    return 0;
+}
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    const auto newline = [&](int level) {
+        if (pretty) {
+            out += '\n';
+            out.append(static_cast<std::size_t>(indent * level), ' ');
+        }
+    };
+    if (holds<std::nullptr_t>()) {
+        out += "null";
+    } else if (holds<bool>()) {
+        out += std::get<bool>(value_) ? "true" : "false";
+    } else if (holds<std::int64_t>()) {
+        out += std::to_string(std::get<std::int64_t>(value_));
+    } else if (holds<std::uint64_t>()) {
+        out += std::to_string(std::get<std::uint64_t>(value_));
+    } else if (holds<double>()) {
+        appendDouble(out, std::get<double>(value_));
+    } else if (holds<std::string>()) {
+        appendEscaped(out, std::get<std::string>(value_));
+    } else if (holds<Array>()) {
+        const Array &arr = std::get<Array>(value_);
+        if (arr.empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        bool first = true;
+        for (const Json &item : arr) {
+            if (!first)
+                out += ',';
+            first = false;
+            newline(depth + 1);
+            item.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+    } else {
+        const Object &obj = std::get<Object>(value_);
+        if (obj.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        bool first = true;
+        for (const auto &[key, value] : obj) {
+            if (!first)
+                out += ',';
+            first = false;
+            newline(depth + 1);
+            appendEscaped(out, key);
+            out += pretty ? ": " : ":";
+            value.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+std::optional<Json>
+Json::parse(const std::string &text, std::string *error)
+{
+    if (error != nullptr)
+        error->clear();
+    return Parser(text, error).run();
+}
+
+} // namespace slo::obs

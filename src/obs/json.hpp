@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Minimal JSON value: build, serialize, parse.
+ *
+ * The observability layer emits three machine-readable artifacts (run
+ * manifests, Chrome trace-event files, metrics JSONL) and the tests
+ * parse them back; this header is the one JSON implementation behind
+ * all of them. Deliberately small: ordered objects (deterministic
+ * output), 64-bit integers kept exact (byte counters exceed a double's
+ * 53-bit mantissa at large scale), no external dependencies.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace slo::obs
+{
+
+/** A JSON document node (null/bool/int/uint/double/string/array/object). */
+class Json
+{
+  public:
+    using Array = std::vector<Json>;
+    using Object = std::map<std::string, Json>;
+
+    Json() : value_(nullptr) {}
+    Json(std::nullptr_t) : value_(nullptr) {}
+    Json(bool value) : value_(value) {}
+    Json(int value) : value_(static_cast<std::int64_t>(value)) {}
+    Json(long value) : value_(static_cast<std::int64_t>(value)) {}
+    Json(long long value) : value_(static_cast<std::int64_t>(value)) {}
+    Json(unsigned value) : value_(static_cast<std::uint64_t>(value)) {}
+    Json(unsigned long value) : value_(static_cast<std::uint64_t>(value)) {}
+    Json(unsigned long long value)
+        : value_(static_cast<std::uint64_t>(value)) {}
+    Json(double value) : value_(value) {}
+    Json(const char *value) : value_(std::string(value)) {}
+    Json(std::string value) : value_(std::move(value)) {}
+
+    static Json array() { Json j; j.value_ = Array{}; return j; }
+    static Json object() { Json j; j.value_ = Object{}; return j; }
+
+    bool isNull() const { return holds<std::nullptr_t>(); }
+    bool isBool() const { return holds<bool>(); }
+    bool isNumber() const
+    {
+        return holds<std::int64_t>() || holds<std::uint64_t>() ||
+               holds<double>();
+    }
+    bool isString() const { return holds<std::string>(); }
+    bool isArray() const { return holds<Array>(); }
+    bool isObject() const { return holds<Object>(); }
+
+    bool asBool() const { return std::get<bool>(value_); }
+    double asDouble() const;
+    std::int64_t asInt() const;
+    std::uint64_t asUint() const;
+    const std::string &asString() const
+    {
+        return std::get<std::string>(value_);
+    }
+
+    /** Object access; creates the key (converting null to object). */
+    Json &operator[](const std::string &key);
+    /** Object lookup. @throws std::out_of_range when absent. */
+    const Json &at(const std::string &key) const;
+    bool contains(const std::string &key) const;
+
+    /** Array append (converts null to array). */
+    void push(Json element);
+    /** Array element. @throws std::out_of_range when out of bounds. */
+    const Json &at(std::size_t index) const;
+
+    /** Elements for arrays, entries for objects, 0 otherwise. */
+    std::size_t size() const;
+
+    const Array &items() const { return std::get<Array>(value_); }
+    const Object &entries() const { return std::get<Object>(value_); }
+
+    /**
+     * Serialize. @p indent < 0 renders compact; otherwise pretty-print
+     * with that many spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+    /**
+     * Parse @p text. Returns nullopt on malformed input; when @p error
+     * is non-null it receives a one-line description with the offset.
+     */
+    static std::optional<Json> parse(const std::string &text,
+                                     std::string *error = nullptr);
+
+  private:
+    template <typename T>
+    bool holds() const { return std::holds_alternative<T>(value_); }
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t,
+                 double, std::string, Array, Object>
+        value_;
+};
+
+} // namespace slo::obs

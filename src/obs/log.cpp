@@ -1,0 +1,117 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <iostream>
+#include <mutex>
+
+namespace slo::obs
+{
+
+namespace
+{
+
+constexpr int kUnset = -1;
+
+std::atomic<int> g_level{kUnset};
+std::mutex g_sink_mutex;
+std::ostream *g_sink = nullptr; // nullptr = stderr
+
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("SLO_LOG");
+    if (env == nullptr)
+        return LogLevel::Info;
+    return parseLogLevel(env, LogLevel::Info);
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    int level = g_level.load(std::memory_order_relaxed);
+    if (level == kUnset) {
+        level = static_cast<int>(levelFromEnv());
+        int expected = kUnset;
+        // First caller wins; later setLogLevel overrides either way.
+        g_level.compare_exchange_strong(expected, level,
+                                        std::memory_order_relaxed);
+        level = g_level.load(std::memory_order_relaxed);
+    }
+    return static_cast<LogLevel>(level);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel
+parseLogLevel(std::string_view raw, LogLevel fallback)
+{
+    std::string lowered(raw);
+    for (char &c : lowered)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    const std::string_view text = lowered;
+    if (text == "off" || text == "none" || text == "0")
+        return LogLevel::Off;
+    if (text == "error")
+        return LogLevel::Error;
+    if (text == "warn" || text == "warning")
+        return LogLevel::Warn;
+    if (text == "info" || text == "1")
+        return LogLevel::Info;
+    if (text == "debug")
+        return LogLevel::Debug;
+    if (text == "trace")
+        return LogLevel::Trace;
+    return fallback;
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Off: return "off";
+      case LogLevel::Error: return "error";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Info: return "info";
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Trace: return "trace";
+    }
+    return "?";
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    const LogLevel active = logLevel();
+    return active != LogLevel::Off && level != LogLevel::Off &&
+           static_cast<int>(level) <= static_cast<int>(active);
+}
+
+void
+logMessage(LogLevel level, std::string_view component,
+           std::string_view message)
+{
+    const std::lock_guard<std::mutex> lock(g_sink_mutex);
+    std::ostream &out = g_sink != nullptr ? *g_sink : std::cerr;
+    out << "[slo][" << logLevelName(level) << "][" << component << "] "
+        << message << '\n';
+    out.flush();
+}
+
+void
+setLogSink(std::ostream *sink)
+{
+    const std::lock_guard<std::mutex> lock(g_sink_mutex);
+    g_sink = sink;
+}
+
+} // namespace slo::obs

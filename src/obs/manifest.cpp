@@ -1,0 +1,262 @@
+#include "obs/manifest.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include <unistd.h>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#ifndef SLO_GIT_SHA
+#define SLO_GIT_SHA "unknown"
+#endif
+#ifndef SLO_BUILD_TYPE
+#define SLO_BUILD_TYPE "unknown"
+#endif
+#ifndef SLO_CXX_COMPILER
+#define SLO_CXX_COMPILER "unknown"
+#endif
+#ifndef SLO_CXX_FLAGS
+#define SLO_CXX_FLAGS ""
+#endif
+
+namespace slo::obs
+{
+
+namespace
+{
+
+std::mutex g_context_mutex;
+std::map<std::string, std::string> g_context;
+
+std::string
+isoTimestampUtc()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+} // namespace
+
+BuildInfo
+buildInfo()
+{
+    BuildInfo info;
+    const char *sha_env = std::getenv("SLO_GIT_SHA");
+    info.gitSha = sha_env != nullptr && *sha_env != '\0' ? sha_env
+                                                         : SLO_GIT_SHA;
+    char host[256] = {0};
+    if (gethostname(host, sizeof host - 1) == 0 && host[0] != '\0') {
+        info.hostname = host;
+    } else {
+        const char *env = std::getenv("HOSTNAME");
+        info.hostname = env != nullptr ? env : "unknown";
+    }
+    info.buildType = SLO_BUILD_TYPE;
+    info.compiler = SLO_CXX_COMPILER;
+    info.flags = SLO_CXX_FLAGS;
+    return info;
+}
+
+std::string
+slugify(const std::string &name)
+{
+    std::string slug;
+    bool last_sep = true; // swallow leading separators
+    for (unsigned char c : name) {
+        if (std::isalnum(c)) {
+            slug += static_cast<char>(std::tolower(c));
+            last_sep = false;
+        } else if (!last_sep) {
+            slug += '_';
+            last_sep = true;
+        }
+    }
+    while (!slug.empty() && slug.back() == '_')
+        slug.pop_back();
+    return slug.empty() ? "run" : slug;
+}
+
+std::string
+obsDir()
+{
+    const char *env = std::getenv("SLO_OBS_DIR");
+    return env != nullptr && *env != '\0' ? env : ".";
+}
+
+void
+setContext(const std::string &key, std::string value)
+{
+    const std::lock_guard<std::mutex> lock(g_context_mutex);
+    g_context[key] = std::move(value);
+}
+
+std::string
+context(const std::string &key)
+{
+    const std::lock_guard<std::mutex> lock(g_context_mutex);
+    const auto it = g_context.find(key);
+    return it == g_context.end() ? std::string() : it->second;
+}
+
+RunManifest &
+RunManifest::instance()
+{
+    static RunManifest manifest;
+    return manifest;
+}
+
+void
+RunManifest::begin(const std::string &bench_name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    began_ = true;
+    bench_ = bench_name;
+    startedAt_ = isoTimestampUtc();
+}
+
+bool
+RunManifest::began() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return began_;
+}
+
+std::string
+RunManifest::benchName() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return bench_;
+}
+
+void
+RunManifest::set(const std::string &key, Json value)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    extras_[key] = std::move(value);
+}
+
+void
+RunManifest::recordPhase(const std::string &matrix,
+                         const std::string &phase, double seconds)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Json &slot = matrices_[matrix]["phases"][phase];
+    const double prior = slot.isNumber() ? slot.asDouble() : 0.0;
+    slot = prior + seconds;
+}
+
+void
+RunManifest::addSimulation(const std::string &matrix, Json report)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    matrices_[matrix]["simulations"].push(std::move(report));
+}
+
+Json
+RunManifest::toJson() const
+{
+    Json doc = Json::object();
+    doc["schema"] = "slo.run-manifest/1";
+    const BuildInfo info = buildInfo();
+    doc["git_sha"] = info.gitSha;
+    doc["hostname"] = info.hostname;
+    Json build = Json::object();
+    build["type"] = info.buildType;
+    build["compiler"] = info.compiler;
+    build["flags"] = info.flags;
+    doc["build"] = std::move(build);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        doc["bench"] = bench_;
+        doc["started_at"] = startedAt_;
+        for (const auto &[key, value] : extras_.entries())
+            doc[key] = value;
+        doc["matrices"] = matrices_;
+    }
+    doc["metrics"] = MetricsRegistry::instance().snapshot();
+    return doc;
+}
+
+void
+RunManifest::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    out << toJson().dump(2) << '\n';
+}
+
+void
+RunManifest::reset()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    began_ = false;
+    bench_.clear();
+    startedAt_.clear();
+    extras_ = Json::object();
+    matrices_ = Json::object();
+}
+
+bool
+emitAll()
+{
+    RunManifest &manifest = RunManifest::instance();
+    if (!manifest.began())
+        return false;
+    const std::string slug = slugify(manifest.benchName());
+    const std::filesystem::path dir = obsDir();
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const auto manifest_path = dir / (slug + ".manifest.json");
+    const auto trace_path = dir / (slug + ".trace.json");
+    const auto metrics_path = dir / (slug + ".metrics.jsonl");
+    manifest.writeFile(manifest_path.string());
+    writeTraceFile(trace_path.string());
+    MetricsRegistry::instance().writeJsonlFile(metrics_path.string());
+    SLO_LOG_INFO("obs", "wrote " << manifest_path.string() << ", "
+                                 << trace_path.string() << ", "
+                                 << metrics_path.string());
+    return true;
+}
+
+namespace
+{
+
+void
+emitAtExit()
+{
+    if (traceEnabled())
+        emitAll();
+}
+
+} // namespace
+
+void
+installExitEmission()
+{
+    static std::atomic<bool> installed{false};
+    bool expected = false;
+    if (installed.compare_exchange_strong(expected, true)) {
+        // Construct every singleton the emission path touches before
+        // registering the hook: function-local statics register their
+        // destructors on first construction, and exit runs destructors
+        // and atexit callbacks in reverse order — a registry first
+        // touched mid-run would otherwise be destroyed before the hook
+        // fires.
+        MetricsRegistry::instance();
+        RunManifest::instance();
+        std::atexit(emitAtExit);
+    }
+}
+
+} // namespace slo::obs

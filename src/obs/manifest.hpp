@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Machine-readable run manifests.
+ *
+ * One JSON document per bench/tool invocation recording everything a
+ * perf trajectory needs: git SHA, hostname, build configuration,
+ * corpus scale, per-matrix per-phase wall times, and every SimReport
+ * the run produced. The manifest is the canonical artifact to diff
+ * between PRs; bench binaries feed it implicitly through the
+ * instrumented pipeline (core::experiment) and `installExitEmission`
+ * writes it — together with the Chrome trace and the metrics JSONL —
+ * into `SLO_OBS_DIR` (default `.`) when `SLO_TRACE` is on.
+ *
+ * Schema (`slo.run-manifest/1`):
+ *   {
+ *     "schema": "slo.run-manifest/1",
+ *     "bench": "<name>", "started_at": "<ISO8601 UTC>",
+ *     "git_sha": "...", "hostname": "...",
+ *     "build": {"type","compiler","flags"},
+ *     ... caller extras (scale, spec, num_matrices, ...),
+ *     "matrices": {"<name>": {"phases": {"<phase>": seconds},
+ *                             "simulations": [{...SimReport...}]}},
+ *     "metrics": {counters/gauges/histograms snapshot}
+ *   }
+ */
+
+#pragma once
+
+#include <mutex>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace slo::obs
+{
+
+/** Facts about this binary, stamped into every manifest. */
+struct BuildInfo
+{
+    std::string gitSha;
+    std::string hostname;
+    std::string buildType;
+    std::string compiler;
+    std::string flags;
+};
+
+/** Compile-time values (CMake) with SLO_GIT_SHA env override. */
+BuildInfo buildInfo();
+
+/** Filesystem-safe slug of @p name (lowercase, [a-z0-9_]). */
+std::string slugify(const std::string &name);
+
+/** Directory observability artifacts are written to (SLO_OBS_DIR). */
+std::string obsDir();
+
+/**
+ * Sticky cross-layer context, e.g. `setContext("matrix", name)` when a
+ * pipeline stage starts working on a matrix so later stages that only
+ * see the Csr can still attribute their results.
+ */
+void setContext(const std::string &key, std::string value);
+std::string context(const std::string &key);
+
+/** The run's manifest under construction (thread-safe). */
+class RunManifest
+{
+  public:
+    static RunManifest &instance();
+
+    /** Start the manifest; remembers the name and wall-clock time. */
+    void begin(const std::string &bench_name);
+    bool began() const;
+    std::string benchName() const;
+
+    /** Set a top-level field (scale, spec, ...). */
+    void set(const std::string &key, Json value);
+
+    /** Accumulate wall seconds under matrices.<matrix>.phases.<phase>. */
+    void recordPhase(const std::string &matrix, const std::string &phase,
+                     double seconds);
+
+    /** Append a simulation report under matrices.<matrix>.simulations. */
+    void addSimulation(const std::string &matrix, Json report);
+
+    /** Assemble the full document (includes a metrics snapshot). */
+    Json toJson() const;
+
+    void writeFile(const std::string &path) const;
+
+    /** Clear all state (tests). */
+    void reset();
+
+  private:
+    RunManifest() = default;
+
+    mutable std::mutex mutex_;
+    bool began_ = false;
+    std::string bench_;
+    std::string startedAt_;
+    Json extras_ = Json::object();
+    Json matrices_ = Json::object();
+};
+
+/**
+ * Register a one-shot atexit hook that, when tracing is enabled and a
+ * manifest was begun, writes `<slug>.manifest.json`,
+ * `<slug>.trace.json` and `<slug>.metrics.jsonl` into obsDir().
+ */
+void installExitEmission();
+
+/** Write the three artifacts now (no-op unless begun). @return ok. */
+bool emitAll();
+
+} // namespace slo::obs

@@ -1,0 +1,226 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace slo::obs
+{
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1, 0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity())
+{
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+        throw std::invalid_argument(
+            "Histogram: bounds must be sorted ascending");
+}
+
+void
+Histogram::observe(double sample)
+{
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+    const auto bucket =
+        static_cast<std::size_t>(it - bounds_.begin());
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++counts_[bucket];
+    ++count_;
+    sum_ += sample;
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+double
+Histogram::sum() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sum_;
+}
+
+double
+Histogram::minSample() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return min_;
+}
+
+double
+Histogram::maxSample() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return max_;
+}
+
+std::vector<std::uint64_t>
+Histogram::bucketCounts() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counts_;
+}
+
+Json
+Histogram::toJson() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Json j = Json::object();
+    j["count"] = count_;
+    j["sum"] = sum_;
+    if (count_ > 0) {
+        j["min"] = min_;
+        j["max"] = max_;
+    }
+    Json bounds = Json::array();
+    for (double b : bounds_)
+        bounds.push(b);
+    Json counts = Json::array();
+    for (std::uint64_t c : counts_)
+        counts.push(c);
+    j["bounds"] = std::move(bounds);
+    j["bucket_counts"] = std::move(counts);
+    return j;
+}
+
+std::vector<double>
+defaultBuckets()
+{
+    std::vector<double> bounds;
+    for (int e = -6; e <= 3; ++e) {
+        double decade = 1.0;
+        for (int i = 0; i < (e < 0 ? -e : e); ++i)
+            decade *= 10.0;
+        bounds.push_back(e < 0 ? 1.0 / decade : decade);
+    }
+    return bounds;
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> bounds)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+}
+
+Json
+MetricsRegistry::snapshot() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Json j = Json::object();
+    Json counters = Json::object();
+    for (const auto &[name, c] : counters_)
+        counters[name] = c->value();
+    Json gauges = Json::object();
+    for (const auto &[name, g] : gauges_)
+        gauges[name] = g->value();
+    Json histograms = Json::object();
+    for (const auto &[name, h] : histograms_)
+        histograms[name] = h->toJson();
+    j["counters"] = std::move(counters);
+    j["gauges"] = std::move(gauges);
+    j["histograms"] = std::move(histograms);
+    return j;
+}
+
+void
+MetricsRegistry::writeJsonl(std::ostream &out) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, c] : counters_) {
+        Json line = Json::object();
+        line["type"] = "counter";
+        line["name"] = name;
+        line["value"] = c->value();
+        out << line.dump() << '\n';
+    }
+    for (const auto &[name, g] : gauges_) {
+        Json line = Json::object();
+        line["type"] = "gauge";
+        line["name"] = name;
+        line["value"] = g->value();
+        out << line.dump() << '\n';
+    }
+    for (const auto &[name, h] : histograms_) {
+        Json line = h->toJson();
+        line["type"] = "histogram";
+        line["name"] = name;
+        out << line.dump() << '\n';
+    }
+}
+
+void
+MetricsRegistry::writeJsonlFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    writeJsonl(out);
+}
+
+void
+MetricsRegistry::reset()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+Counter &
+counter(const std::string &name)
+{
+    return MetricsRegistry::instance().counter(name);
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    return MetricsRegistry::instance().gauge(name);
+}
+
+Histogram &
+histogram(const std::string &name)
+{
+    return MetricsRegistry::instance().histogram(name);
+}
+
+} // namespace slo::obs

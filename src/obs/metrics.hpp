@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, histograms.
+ *
+ * Pipeline code increments metrics unconditionally (a counter add is a
+ * relaxed atomic, a histogram observe takes a short lock) and the
+ * registry dumps everything to JSONL at emission time, so a run's
+ * cache-traffic / community-structure / artifact-cache numbers are
+ * queryable without rerunning under a debugger. Metric objects live for
+ * the whole process; references returned by the registry stay valid.
+ *
+ * Naming convention: `layer.thing` with snake_case leaves, e.g.
+ * `cache.fill_bytes`, `perm_cache.hits`, `rabbit.communities`.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace slo::obs
+{
+
+/** Monotonic counter (thread-safe, lock-free). */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value (thread-safe). */
+class Gauge
+{
+  public:
+    void
+    set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Cumulative histogram with explicit upper bounds (thread-safe). */
+class Histogram
+{
+  public:
+    /** @p bounds must be sorted ascending; one overflow bucket added. */
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double sample);
+
+    std::uint64_t count() const;
+    double sum() const;
+    double minSample() const; ///< +inf before the first observe
+    double maxSample() const; ///< -inf before the first observe
+    const std::vector<double> &bounds() const { return bounds_; }
+    /** One count per bound, plus the trailing overflow bucket. */
+    std::vector<std::uint64_t> bucketCounts() const;
+
+    Json toJson() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_;
+    double max_;
+};
+
+/** Powers-of-ten bounds suitable for seconds/ratios: 1e-6 .. 1e3. */
+std::vector<double> defaultBuckets();
+
+/** The process-wide named-metrics registry. */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &instance();
+
+    /** Get or create; the reference stays valid for the process. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> bounds = defaultBuckets());
+
+    /** {"counters": {...}, "gauges": {...}, "histograms": {...}}. */
+    Json snapshot() const;
+
+    /** One JSON object per line: {"type","name",...}. */
+    void writeJsonl(std::ostream &out) const;
+    void writeJsonlFile(const std::string &path) const;
+
+    /** Drop every metric (tests only — invalidates references). */
+    void reset();
+
+  private:
+    MetricsRegistry() = default;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** Shorthands for MetricsRegistry::instance().xxx(name). */
+Counter &counter(const std::string &name);
+Gauge &gauge(const std::string &name);
+Histogram &histogram(const std::string &name);
+
+} // namespace slo::obs

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Umbrella header for the observability layer.
+ *
+ * One include gives pipeline code the whole toolkit:
+ *
+ *   SLO_SPAN("layer.phase");                  // scoped tracing span
+ *   SLO_LOG_INFO("corpus", "built " << name); // leveled logging
+ *   obs::counter("cache.fill_bytes").add(n);  // metrics registry
+ *   obs::RunManifest::instance()...           // run manifest
+ *
+ * Environment knobs:
+ *   SLO_LOG=off|error|warn|info|debug|trace   log level (default info)
+ *   SLO_TRACE=1       collect spans; emit manifest/trace/metrics files
+ *   SLO_OBS_DIR=<dir> where emission writes them (default .)
+ *   SLO_GIT_SHA=<sha> override the compiled-in git SHA
+ */
+
+#pragma once
+
+#include "obs/json.hpp"     // IWYU pragma: export
+#include "obs/log.hpp"      // IWYU pragma: export
+#include "obs/manifest.hpp" // IWYU pragma: export
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export

@@ -1,0 +1,157 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+
+namespace slo::obs
+{
+
+namespace
+{
+
+constexpr int kUnset = -1;
+
+std::atomic<int> g_enabled{kUnset};
+std::mutex g_events_mutex;
+std::vector<TraceEvent> g_events;
+
+std::chrono::steady_clock::time_point
+traceEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+std::uint64_t
+threadOrdinal()
+{
+    static std::atomic<std::uint64_t> next{0};
+    thread_local const std::uint64_t ordinal =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return ordinal;
+}
+
+thread_local int t_depth = 0;
+
+bool
+envTruthy(const char *value)
+{
+    return value != nullptr && *value != '\0' &&
+           std::strcmp(value, "0") != 0 &&
+           std::strcmp(value, "false") != 0 &&
+           std::strcmp(value, "off") != 0;
+}
+
+} // namespace
+
+bool
+traceEnabled()
+{
+    int enabled = g_enabled.load(std::memory_order_relaxed);
+    if (enabled == kUnset) {
+        enabled = envTruthy(std::getenv("SLO_TRACE")) ? 1 : 0;
+        int expected = kUnset;
+        g_enabled.compare_exchange_strong(expected, enabled,
+                                          std::memory_order_relaxed);
+        enabled = g_enabled.load(std::memory_order_relaxed);
+    }
+    return enabled != 0;
+}
+
+void
+setTraceEnabled(bool on)
+{
+    g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void
+traceReset()
+{
+    const std::lock_guard<std::mutex> lock(g_events_mutex);
+    g_events.clear();
+}
+
+std::vector<TraceEvent>
+traceEvents()
+{
+    const std::lock_guard<std::mutex> lock(g_events_mutex);
+    return g_events;
+}
+
+Json
+traceJson()
+{
+    Json events = Json::array();
+    for (const TraceEvent &event : traceEvents()) {
+        Json e = Json::object();
+        e["name"] = event.name;
+        e["cat"] = "slo";
+        e["ph"] = "X";
+        e["ts"] = event.tsMicros;
+        e["dur"] = event.durMicros;
+        e["pid"] = 1;
+        e["tid"] = event.tid;
+        Json args = Json::object();
+        args["depth"] = event.depth;
+        e["args"] = std::move(args);
+        events.push(std::move(e));
+    }
+    Json doc = Json::object();
+    doc["traceEvents"] = std::move(events);
+    doc["displayTimeUnit"] = "ms";
+    return doc;
+}
+
+void
+writeTraceFile(const std::string &path)
+{
+    std::ofstream out(path);
+    out << traceJson().dump(2) << '\n';
+}
+
+Span::Span(std::string name)
+    : name_(std::move(name)),
+      start_(std::chrono::steady_clock::now()),
+      recording_(traceEnabled())
+{
+    if (recording_) {
+        depth_ = t_depth;
+        ++t_depth;
+    }
+}
+
+Span::~Span()
+{
+    if (!recording_)
+        return;
+    const auto end = std::chrono::steady_clock::now();
+    --t_depth;
+    TraceEvent event;
+    event.name = std::move(name_);
+    event.tsMicros =
+        std::chrono::duration<double, std::micro>(start_ - traceEpoch())
+            .count();
+    // The epoch is lazily captured by the first completing span; a span
+    // that started marginally earlier would otherwise get a negative ts.
+    if (event.tsMicros < 0.0)
+        event.tsMicros = 0.0;
+    event.durMicros =
+        std::chrono::duration<double, std::micro>(end - start_).count();
+    event.tid = threadOrdinal();
+    event.depth = depth_;
+    const std::lock_guard<std::mutex> lock(g_events_mutex);
+    g_events.push_back(std::move(event));
+}
+
+double
+Span::elapsedSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+} // namespace slo::obs

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Scoped tracing spans with Chrome trace-event export.
+ *
+ * `SLO_SPAN("rabbit.louvain")` opens a span for the enclosing scope;
+ * spans nest (a per-thread depth is tracked) and completed spans are
+ * collected thread-safely. `writeTraceFile` renders the collection as
+ * a Chrome trace-event JSON document that loads directly in Perfetto
+ * (https://ui.perfetto.dev) or `chrome://tracing`.
+ *
+ * Collection is off unless `SLO_TRACE` is set to a truthy value (or
+ * `setTraceEnabled(true)` is called); a disabled span still measures
+ * its own wall time (`elapsedSeconds()`), which is what replaced the
+ * old `core::Timer`, but records nothing.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace slo::obs
+{
+
+/** One completed span, relative to the process trace epoch. */
+struct TraceEvent
+{
+    std::string name;
+    double tsMicros = 0.0;  ///< start, microseconds since epoch
+    double durMicros = 0.0; ///< duration, microseconds
+    std::uint64_t tid = 0;  ///< small per-process thread ordinal
+    int depth = 0;          ///< nesting depth at span entry (0 = root)
+};
+
+/** Is collection on? First call consults SLO_TRACE. */
+bool traceEnabled();
+
+/** Force collection on/off (wins over the environment). */
+void setTraceEnabled(bool on);
+
+/** Drop all collected events (tests). */
+void traceReset();
+
+/** Snapshot of the events completed so far. */
+std::vector<TraceEvent> traceEvents();
+
+/** The collection as a Chrome trace-event document. */
+Json traceJson();
+
+/** Write traceJson() to @p path. */
+void writeTraceFile(const std::string &path);
+
+/**
+ * A scoped span. Cheap when tracing is disabled (two clock reads, no
+ * allocation beyond the name); records a complete event on
+ * destruction when enabled.
+ */
+class Span
+{
+  public:
+    explicit Span(std::string name);
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Wall-clock seconds since construction; works when disabled. */
+    double elapsedSeconds() const;
+
+  private:
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+    int depth_ = 0;
+    bool recording_ = false;
+};
+
+} // namespace slo::obs
+
+#define SLO_OBS_CONCAT_INNER(a_, b_) a_##b_
+#define SLO_OBS_CONCAT(a_, b_) SLO_OBS_CONCAT_INNER(a_, b_)
+
+/** Open a span named @p ... for the rest of the enclosing scope. */
+#define SLO_SPAN(...)                                                     \
+    const ::slo::obs::Span SLO_OBS_CONCAT(slo_span_, __LINE__)(__VA_ARGS__)

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace slo::reorder
 {
 
@@ -9,10 +11,26 @@ RabbitResult
 rabbitOrder(const Csr &matrix, const community::AggregationOptions &options)
 {
     require(matrix.isSquare(), "rabbitOrder: matrix must be square");
-    const Csr graph = matrix.isSymmetricPattern() ? matrix
-                                                  : matrix.symmetrized();
-    community::AggregationResult agg =
-        community::aggregateCommunities(graph, options);
+    SLO_SPAN("rabbit.order");
+    const Csr graph = [&] {
+        SLO_SPAN("rabbit.symmetrize");
+        return matrix.isSymmetricPattern() ? matrix
+                                           : matrix.symmetrized();
+    }();
+    community::AggregationResult agg = [&] {
+        SLO_SPAN("rabbit.aggregate");
+        return community::aggregateCommunities(graph, options);
+    }();
+    obs::counter("rabbit.merges").add(
+        static_cast<std::uint64_t>(agg.numMerges));
+    obs::gauge("rabbit.communities")
+        .set(static_cast<double>(agg.clustering.numCommunities()));
+    SLO_LOG_DEBUG("rabbit", "aggregated " << matrix.numRows()
+                                          << " nodes into "
+                                          << agg.clustering.numCommunities()
+                                          << " communities ("
+                                          << agg.numMerges << " merges)");
+    SLO_SPAN("rabbit.dfs_order");
     RabbitResult result{
         Permutation::fromNewToOld(agg.dendrogram.dfsOrder()),
         std::move(agg.clustering),

@@ -5,6 +5,7 @@
 
 #include "community/metrics.hpp"
 #include "matrix/properties.hpp"
+#include "obs/obs.hpp"
 
 namespace slo::reorder
 {
@@ -14,6 +15,7 @@ rabbitPlusFromRabbit(const Csr &matrix, const RabbitResult &rabbit,
                      const RabbitPlusOptions &options)
 {
     require(matrix.isSquare(), "rabbitPlus: matrix must be square");
+    SLO_SPAN("rabbitpp.order");
     const Index n = matrix.numRows();
     require(rabbit.perm.size() == n,
             "rabbitPlus: rabbit result size mismatch");
@@ -23,8 +25,11 @@ rabbitPlusFromRabbit(const Csr &matrix, const RabbitResult &rabbit,
 
     RabbitPlusResult result;
     result.clustering = rabbit.clustering;
-    result.insular =
-        community::insularNodes(graph, rabbit.clustering);
+    {
+        SLO_SPAN("rabbitpp.insular_detect");
+        result.insular =
+            community::insularNodes(graph, rabbit.clustering);
+    }
     if (!options.groupInsular) {
         // Without modification 1 nothing is treated as insular; the hub
         // treatment (if any) then applies to every node (Table II's
@@ -33,6 +38,7 @@ rabbitPlusFromRabbit(const Csr &matrix, const RabbitResult &rabbit,
     }
 
     // Hubs: degree > factor * average degree of the undirected view.
+    SLO_SPAN("rabbitpp.hub_detect_and_group");
     const std::vector<Index> degrees = inDegrees(graph);
     const double threshold = options.hubDegreeFactor *
                              graph.averageDegree();
@@ -81,6 +87,14 @@ rabbitPlusFromRabbit(const Csr &matrix, const RabbitResult &rabbit,
     order.insert(order.end(), middle.begin(), middle.end());
     order.insert(order.end(), insular_group.begin(), insular_group.end());
     result.perm = Permutation::fromNewToOld(order);
+    obs::gauge("rabbitpp.num_insular")
+        .set(static_cast<double>(result.numInsular));
+    obs::gauge("rabbitpp.num_hubs")
+        .set(static_cast<double>(result.numHubs));
+    SLO_LOG_DEBUG("rabbitpp", "grouped " << result.numInsular
+                                         << " insular + "
+                                         << result.numHubs << " hub of "
+                                         << n << " nodes");
     return result;
 }
 

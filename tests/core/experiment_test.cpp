@@ -140,13 +140,21 @@ TEST_F(ExperimentTest, SimulateOrderedMatchesManualPipeline)
     EXPECT_EQ(a.trafficBytes, b.trafficBytes);
 }
 
-TEST_F(ExperimentTest, TimerMeasuresElapsedTime)
+TEST_F(ExperimentTest, LoadCorpusHonoursFilter)
 {
-    const Timer timer;
-    volatile double sink = 0.0;
-    for (int i = 0; i < 100000; ++i)
-        sink = sink + 1.0;
-    EXPECT_GE(timer.elapsedSeconds(), 0.0);
+    const CorpusFilter limit_one{1, {}};
+    const auto corpus = loadCorpus(Scale::Small, limit_one);
+    ASSERT_EQ(corpus.size(), 1u);
+
+    CorpusFilter named;
+    named.names = {corpus[0].entry.name};
+    const auto by_name = loadCorpus(Scale::Small, named);
+    ASSERT_EQ(by_name.size(), 1u);
+    EXPECT_EQ(by_name[0].entry.name, corpus[0].entry.name);
+
+    CorpusFilter unknown;
+    unknown.names = {"no-such-matrix"};
+    EXPECT_TRUE(loadCorpus(Scale::Small, unknown).empty());
 }
 
 } // namespace

@@ -1,0 +1,102 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace slo::obs
+{
+namespace
+{
+
+TEST(JsonTest, BuildsAndDumpsCompactDocument)
+{
+    Json doc = Json::object();
+    doc["name"] = "corpus";
+    doc["count"] = 3;
+    doc["ratio"] = 0.5;
+    doc["ok"] = true;
+    doc["missing"] = nullptr;
+    Json list = Json::array();
+    list.push(1);
+    list.push("two");
+    doc["list"] = std::move(list);
+
+    // std::map keys come out sorted, so the dump is deterministic.
+    EXPECT_EQ(doc.dump(),
+              R"({"count":3,"list":[1,"two"],"missing":null,)"
+              R"("name":"corpus","ok":true,"ratio":0.5})");
+}
+
+TEST(JsonTest, RoundTripsThroughParse)
+{
+    Json doc = Json::object();
+    doc["text"] = "line\nbreak \"quoted\" \\slash\\";
+    doc["big"] = std::uint64_t{18446744073709551615ULL};
+    doc["negative"] = std::int64_t{-9007199254740993LL};
+    doc["pi"] = 3.140625; // exactly representable
+    Json nested = Json::object();
+    nested["empty_array"] = Json::array();
+    nested["empty_object"] = Json::object();
+    doc["nested"] = std::move(nested);
+
+    const std::string text = doc.dump(2);
+    std::string error;
+    const auto parsed = Json::parse(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->dump(), doc.dump());
+    // 64-bit integers survive exactly (they exceed a double mantissa).
+    EXPECT_EQ(parsed->at("big").asUint(), 18446744073709551615ULL);
+    EXPECT_EQ(parsed->at("negative").asInt(), -9007199254740993LL);
+    EXPECT_EQ(parsed->at("text").asString(),
+              "line\nbreak \"quoted\" \\slash\\");
+}
+
+TEST(JsonTest, ParsesEscapesAndUnicode)
+{
+    const auto parsed =
+        Json::parse(R"({"s":"a\tbAé","n":-0.25e2})");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->at("s").asString(), "a\tbA\xc3\xa9");
+    EXPECT_DOUBLE_EQ(parsed->at("n").asDouble(), -25.0);
+}
+
+TEST(JsonTest, RejectsMalformedInput)
+{
+    std::string error;
+    EXPECT_FALSE(Json::parse("", &error).has_value());
+    EXPECT_FALSE(Json::parse("{", &error).has_value());
+    EXPECT_FALSE(Json::parse("[1,]", &error).has_value());
+    EXPECT_FALSE(Json::parse(R"({"a":1,})", &error).has_value());
+    EXPECT_FALSE(Json::parse(R"({"a" 1})", &error).has_value());
+    EXPECT_FALSE(Json::parse("[1] trailing", &error).has_value());
+    EXPECT_FALSE(Json::parse("nul", &error).has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, AccessorsThrowOnMissingEntries)
+{
+    Json doc = Json::object();
+    doc["present"] = 1;
+    EXPECT_TRUE(doc.contains("present"));
+    EXPECT_FALSE(doc.contains("absent"));
+    EXPECT_THROW(doc.at("absent"), std::out_of_range);
+
+    Json list = Json::array();
+    list.push(7);
+    EXPECT_EQ(list.at(0).asInt(), 7);
+    EXPECT_THROW(list.at(1), std::out_of_range);
+}
+
+TEST(JsonTest, NumericCoercions)
+{
+    EXPECT_DOUBLE_EQ(Json(7).asDouble(), 7.0);
+    EXPECT_EQ(Json(7.0).asInt(), 7);
+    EXPECT_EQ(Json(std::uint64_t{7}).asInt(), 7);
+    EXPECT_EQ(Json(7).asUint(), 7u);
+}
+
+} // namespace
+} // namespace slo::obs

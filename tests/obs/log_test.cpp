@@ -1,0 +1,82 @@
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace slo::obs
+{
+namespace
+{
+
+/** Captures log output and restores the default sink/level on exit. */
+class LogTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        previous_ = logLevel();
+        setLogSink(&captured_);
+    }
+
+    void
+    TearDown() override
+    {
+        setLogSink(nullptr);
+        setLogLevel(previous_);
+    }
+
+    std::ostringstream captured_;
+    LogLevel previous_ = LogLevel::Info;
+};
+
+TEST_F(LogTest, LevelFilteringSuppressesLessSevereMessages)
+{
+    setLogLevel(LogLevel::Warn);
+    SLO_LOG_ERROR("test", "visible error");
+    SLO_LOG_WARN("test", "visible warn");
+    SLO_LOG_INFO("test", "hidden info");
+    SLO_LOG_DEBUG("test", "hidden debug");
+
+    const std::string out = captured_.str();
+    EXPECT_NE(out.find("visible error"), std::string::npos);
+    EXPECT_NE(out.find("visible warn"), std::string::npos);
+    EXPECT_EQ(out.find("hidden"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything)
+{
+    setLogLevel(LogLevel::Off);
+    SLO_LOG_ERROR("test", "nope");
+    EXPECT_TRUE(captured_.str().empty());
+}
+
+TEST_F(LogTest, MessagesCarryLevelAndComponentTags)
+{
+    setLogLevel(LogLevel::Debug);
+    SLO_LOG_DEBUG("corpus", "built " << 3 << " matrices");
+    EXPECT_EQ(captured_.str(),
+              "[slo][debug][corpus] built 3 matrices\n");
+}
+
+TEST_F(LogTest, ParseLogLevelHandlesNamesAndFallback)
+{
+    EXPECT_EQ(parseLogLevel("off", LogLevel::Info), LogLevel::Off);
+    EXPECT_EQ(parseLogLevel("error", LogLevel::Info), LogLevel::Error);
+    EXPECT_EQ(parseLogLevel("WARN", LogLevel::Info), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("trace", LogLevel::Info), LogLevel::Trace);
+    EXPECT_EQ(parseLogLevel("bogus", LogLevel::Debug), LogLevel::Debug);
+}
+
+TEST_F(LogTest, LogEnabledMatchesActiveLevel)
+{
+    setLogLevel(LogLevel::Info);
+    EXPECT_TRUE(logEnabled(LogLevel::Error));
+    EXPECT_TRUE(logEnabled(LogLevel::Info));
+    EXPECT_FALSE(logEnabled(LogLevel::Debug));
+    EXPECT_FALSE(logEnabled(LogLevel::Trace));
+}
+
+} // namespace
+} // namespace slo::obs

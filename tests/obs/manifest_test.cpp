@@ -1,0 +1,114 @@
+#include "obs/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace slo::obs
+{
+namespace
+{
+
+/** Resets the process-wide manifest around each test. */
+class ManifestTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { RunManifest::instance().reset(); }
+    void TearDown() override { RunManifest::instance().reset(); }
+};
+
+TEST_F(ManifestTest, SlugifyProducesFilesystemSafeNames)
+{
+    EXPECT_EQ(slugify("fig2_dram_traffic"), "fig2_dram_traffic");
+    EXPECT_EQ(slugify("Bench Name (v2)!"), "bench_name_v2");
+    EXPECT_EQ(slugify("___"), "run");
+    EXPECT_EQ(slugify(""), "run");
+}
+
+TEST_F(ManifestTest, BuildInfoIsPopulated)
+{
+    const BuildInfo info = buildInfo();
+    EXPECT_FALSE(info.gitSha.empty());
+    EXPECT_FALSE(info.hostname.empty());
+    EXPECT_FALSE(info.compiler.empty());
+}
+
+TEST_F(ManifestTest, ContextIsStickyAndOverwritable)
+{
+    setContext("matrix", "wiki-talk");
+    EXPECT_EQ(context("matrix"), "wiki-talk");
+    setContext("matrix", "road-usa");
+    EXPECT_EQ(context("matrix"), "road-usa");
+    EXPECT_EQ(context("unset-key"), "");
+}
+
+TEST_F(ManifestTest, RoundTripsThroughFile)
+{
+    RunManifest &manifest = RunManifest::instance();
+    EXPECT_FALSE(manifest.began());
+    manifest.begin("fig2_dram_traffic");
+    EXPECT_TRUE(manifest.began());
+    EXPECT_EQ(manifest.benchName(), "fig2_dram_traffic");
+
+    manifest.set("scale", "small");
+    manifest.set("num_matrices", 2u);
+    manifest.recordPhase("wiki-talk", "corpus.build", 0.125);
+    manifest.recordPhase("wiki-talk", "simulate", 0.25);
+    manifest.recordPhase("wiki-talk", "simulate", 0.25); // accumulates
+
+    Json report = Json::object();
+    report["traffic_bytes"] = 4096u;
+    report["normalized_traffic"] = 1.5;
+    manifest.addSimulation("wiki-talk", std::move(report));
+
+    const std::string path =
+        testing::TempDir() + "/slo_manifest_roundtrip.json";
+    manifest.writeFile(path);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    const auto parsed = Json::parse(buffer.str(), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+
+    EXPECT_EQ(parsed->at("schema").asString(), "slo.run-manifest/1");
+    EXPECT_EQ(parsed->at("bench").asString(), "fig2_dram_traffic");
+    EXPECT_FALSE(parsed->at("started_at").asString().empty());
+    EXPECT_FALSE(parsed->at("git_sha").asString().empty());
+    EXPECT_FALSE(parsed->at("hostname").asString().empty());
+    EXPECT_TRUE(parsed->at("build").contains("compiler"));
+    EXPECT_EQ(parsed->at("scale").asString(), "small");
+    EXPECT_EQ(parsed->at("num_matrices").asUint(), 2u);
+
+    const Json &matrix = parsed->at("matrices").at("wiki-talk");
+    EXPECT_DOUBLE_EQ(
+        matrix.at("phases").at("corpus.build").asDouble(), 0.125);
+    EXPECT_DOUBLE_EQ(matrix.at("phases").at("simulate").asDouble(), 0.5);
+    const Json &sims = matrix.at("simulations");
+    ASSERT_EQ(sims.size(), 1u);
+    EXPECT_EQ(sims.at(0).at("traffic_bytes").asUint(), 4096u);
+    EXPECT_TRUE(parsed->contains("metrics"));
+
+    std::remove(path.c_str());
+}
+
+TEST_F(ManifestTest, ResetClearsEverything)
+{
+    RunManifest &manifest = RunManifest::instance();
+    manifest.begin("something");
+    manifest.recordPhase("m", "p", 1.0);
+    manifest.reset();
+    EXPECT_FALSE(manifest.began());
+    EXPECT_EQ(manifest.benchName(), "");
+    EXPECT_EQ(manifest.toJson().at("matrices").size(), 0u);
+}
+
+} // namespace
+} // namespace slo::obs

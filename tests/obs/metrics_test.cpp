@@ -1,0 +1,117 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace slo::obs
+{
+namespace
+{
+
+/** Runs against the process-wide registry; clears it around each test. */
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { MetricsRegistry::instance().reset(); }
+    void TearDown() override { MetricsRegistry::instance().reset(); }
+};
+
+TEST_F(MetricsTest, CounterAccumulatesExactlyAcrossThreads)
+{
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kPerThread = 100000;
+
+    Counter &hits = counter("test.hits");
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+            // Re-resolve by name: all threads must get the same object.
+            Counter &c = counter("test.hits");
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                c.add();
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(hits.value(), kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, RegistryReturnsStableReferences)
+{
+    Counter &a = counter("test.same");
+    Counter &b = counter("test.same");
+    EXPECT_EQ(&a, &b);
+    a.add(5);
+    EXPECT_EQ(b.value(), 5u);
+
+    Gauge &g = gauge("test.gauge");
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(gauge("test.gauge").value(), 2.5);
+}
+
+TEST_F(MetricsTest, HistogramBucketsAndStats)
+{
+    Histogram &h =
+        MetricsRegistry::instance().histogram("test.h", {1.0, 10.0});
+    h.observe(0.5);
+    h.observe(0.7);
+    h.observe(5.0);
+    h.observe(100.0); // overflow bucket
+
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 106.2);
+    EXPECT_DOUBLE_EQ(h.minSample(), 0.5);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 100.0);
+    const auto counts = h.bucketCounts();
+    ASSERT_EQ(counts.size(), 3u); // two bounds + overflow
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 1u);
+    EXPECT_EQ(counts[2], 1u);
+}
+
+TEST_F(MetricsTest, SnapshotContainsAllMetricTypes)
+{
+    counter("test.c").add(3);
+    gauge("test.g").set(1.5);
+    histogram("test.h").observe(0.25);
+
+    const Json snap = MetricsRegistry::instance().snapshot();
+    EXPECT_EQ(snap.at("counters").at("test.c").asUint(), 3u);
+    EXPECT_DOUBLE_EQ(snap.at("gauges").at("test.g").asDouble(), 1.5);
+    EXPECT_EQ(snap.at("histograms").at("test.h").at("count").asUint(),
+              1u);
+}
+
+TEST_F(MetricsTest, JsonlEmitsOneValidObjectPerLine)
+{
+    counter("test.c").add(7);
+    gauge("test.g").set(0.5);
+    histogram("test.h").observe(2.0);
+
+    std::ostringstream out;
+    MetricsRegistry::instance().writeJsonl(out);
+
+    std::istringstream in(out.str());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        std::string error;
+        const auto parsed = Json::parse(line, &error);
+        ASSERT_TRUE(parsed.has_value()) << error << ": " << line;
+        EXPECT_TRUE(parsed->contains("type"));
+        EXPECT_TRUE(parsed->contains("name"));
+    }
+    EXPECT_EQ(lines, 3u);
+}
+
+} // namespace
+} // namespace slo::obs

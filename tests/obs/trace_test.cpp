@@ -1,0 +1,111 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace slo::obs
+{
+namespace
+{
+
+/** Forces collection on and clears the buffer around each test. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setTraceEnabled(true);
+        traceReset();
+    }
+
+    void
+    TearDown() override
+    {
+        traceReset();
+        setTraceEnabled(false);
+    }
+};
+
+TEST_F(TraceTest, SpansNestWithIncreasingDepth)
+{
+    {
+        SLO_SPAN("outer");
+        {
+            SLO_SPAN("inner");
+        }
+        {
+            SLO_SPAN("sibling");
+        }
+    }
+    auto events = traceEvents();
+    ASSERT_EQ(events.size(), 3u);
+
+    const auto find = [&](const std::string &name) {
+        return *std::find_if(events.begin(), events.end(),
+                             [&](const TraceEvent &e) {
+                                 return e.name == name;
+                             });
+    };
+    EXPECT_EQ(find("outer").depth, 0);
+    EXPECT_EQ(find("inner").depth, 1);
+    EXPECT_EQ(find("sibling").depth, 1);
+    // The outer span closes last, so it spans its children.
+    EXPECT_GE(find("outer").durMicros, find("inner").durMicros);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothingButStillTime)
+{
+    setTraceEnabled(false);
+    {
+        const Span span("quiet");
+        EXPECT_GE(span.elapsedSeconds(), 0.0);
+    }
+    setTraceEnabled(true);
+    EXPECT_TRUE(traceEvents().empty());
+}
+
+TEST_F(TraceTest, TraceJsonIsAValidChromeTraceDocument)
+{
+    {
+        SLO_SPAN("phase.one");
+        SLO_SPAN("phase.two");
+    }
+
+    const std::string text = traceJson().dump(2);
+    std::string error;
+    const auto parsed = Json::parse(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+
+    const Json &events = parsed->at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+    ASSERT_EQ(events.size(), 2u);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Json &event = events.at(i);
+        EXPECT_TRUE(event.at("name").isString());
+        EXPECT_EQ(event.at("ph").asString(), "X");
+        EXPECT_EQ(event.at("cat").asString(), "slo");
+        EXPECT_GE(event.at("ts").asDouble(), 0.0);
+        EXPECT_GE(event.at("dur").asDouble(), 0.0);
+        EXPECT_TRUE(event.at("pid").isNumber());
+        EXPECT_TRUE(event.at("tid").isNumber());
+        EXPECT_TRUE(event.at("args").at("depth").isNumber());
+    }
+    EXPECT_EQ(parsed->at("displayTimeUnit").asString(), "ms");
+}
+
+TEST_F(TraceTest, ElapsedSecondsGrowsMonotonically)
+{
+    const Span span("timer");
+    const double first = span.elapsedSeconds();
+    const double second = span.elapsedSeconds();
+    EXPECT_GE(second, first);
+    EXPECT_GE(first, 0.0);
+}
+
+} // namespace
+} // namespace slo::obs
