@@ -10,11 +10,11 @@
  * Build & run:  ./examples/spmm_pipeline
  */
 
-#include <chrono>
 #include <cstdio>
 
 #include "gpu/simulate.hpp"
 #include "matrix/generators.hpp"
+#include "obs/trace.hpp"
 #include "reorder/reorder.hpp"
 
 int
@@ -29,13 +29,10 @@ main()
     const gpu::GpuSpec spec = gpu::GpuSpec::a6000ScaledL2(64 * 1024);
 
     // One-off pre-processing (timed on this host).
-    const auto start = std::chrono::steady_clock::now();
+    const obs::Span reorder_span("example.reorder");
     const Permutation perm = reorder::computeOrdering(
         reorder::Technique::RabbitPlusPlus, matrix);
-    const double reorder_seconds =
-        std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - start)
-            .count();
+    const double reorder_seconds = reorder_span.elapsedSeconds();
     const Csr reordered = matrix.permutedSymmetric(perm);
     std::printf("RABBIT++ pre-processing took %.2fs (one-off)\n\n",
                 reorder_seconds);

@@ -1,0 +1,67 @@
+#!/bin/bash
+# Single local/CI gate for the slo tree (see CONTRIBUTING.md):
+#
+#   1. scripts/lint_slo.py over src/ and bench/ (project rules the
+#      compiler cannot express: Index/Offset discipline, chrono usage,
+#      include hygiene, ...).
+#   2. clang-tidy over the compilation database — skipped with a
+#      warning when the binary is not installed; set
+#      SLO_REQUIRE_CLANG_TIDY=1 to make its absence fatal (CI images
+#      that ship it should do this).
+#   3. ASan/UBSan build of the full test suite (cmake preset "asan":
+#      -DSLO_SANITIZE=address;undefined, -Werror, bench/examples off)
+#      and ctest with SLO_CHECK_LEVEL=full so every contract validator
+#      runs its deep checks under the sanitizers.
+#
+# On success writes .slo-check-stamp (git SHA + tree state) at the repo
+# root; scripts/run_benches.sh refuses to run without a stamp matching
+# the current SHA. Usage: scripts/check.sh [-j N]
+set -u
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+if [ "${1:-}" = "-j" ] && [ -n "${2:-}" ]; then
+    jobs="$2"
+fi
+
+step() { printf '\n== %s ==\n' "$*"; }
+die() { echo "check.sh: FAIL: $*" >&2; exit 1; }
+
+step "lint (scripts/lint_slo.py)"
+python3 scripts/lint_slo.py src bench || die "lint findings above"
+
+step "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+    # The database lives in whichever tree configured last; prefer the
+    # asan tree (configured below on first run) then the default one.
+    db_dir=""
+    for d in build-asan build; do
+        [ -f "$d/compile_commands.json" ] && db_dir="$d" && break
+    done
+    if [ -z "$db_dir" ]; then
+        cmake --preset asan >/dev/null || die "cmake configure (asan)"
+        db_dir=build-asan
+    fi
+    mapfile -t tidy_sources < <(git ls-files 'src/*.cpp')
+    clang-tidy -p "$db_dir" --quiet "${tidy_sources[@]}" \
+        || die "clang-tidy findings above"
+elif [ "${SLO_REQUIRE_CLANG_TIDY:-0}" = "1" ]; then
+    die "clang-tidy not installed but SLO_REQUIRE_CLANG_TIDY=1"
+else
+    echo "warning: clang-tidy not installed — skipping (set" \
+         "SLO_REQUIRE_CLANG_TIDY=1 to make this fatal)" >&2
+fi
+
+step "ASan/UBSan build (preset: asan, -j$jobs)"
+cmake --preset asan || die "cmake configure (asan)"
+cmake --build --preset asan -j "$jobs" || die "asan build"
+
+step "ctest under ASan/UBSan with SLO_CHECK_LEVEL=full"
+ctest --preset asan -j "$jobs" || die "asan ctest"
+
+sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+dirty=""
+git diff --quiet HEAD 2>/dev/null || dirty="-dirty"
+printf '%s%s\n' "$sha" "$dirty" > .slo-check-stamp
+step "OK"
+echo "stamp written: .slo-check-stamp ($sha$dirty)"

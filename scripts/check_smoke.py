@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""ctest-registered smoke test for the static-analysis layer.
+
+Two halves (see tests/CMakeLists.txt for the registration):
+
+  1. Run scripts/lint_slo.py over src/ — the tree must be lint-clean.
+  2. Run the check_probe binary (which corrupts a permutation on
+     purpose) with SLO_CHECK_REPORT pointing at a temp file, then
+     schema-check the slo.check-violation/1 JSON report it leaves.
+
+Usage: check_smoke.py <repo-root> <check_probe-binary>
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REQUIRED_FIELDS = {
+    "schema": "slo.check-violation/1",
+    "component": "check.permutation",
+}
+REQUIRED_KEYS = {"file", "line", "expression", "message",
+                 "check_level", "context"}
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    root = Path(argv[1])
+    probe = Path(argv[2])
+
+    lint = subprocess.run(
+        [sys.executable, str(root / "scripts" / "lint_slo.py"), "src"],
+        cwd=root)
+    if lint.returncode != 0:
+        print("check_smoke: lint findings in src/", file=sys.stderr)
+        return 1
+
+    with tempfile.TemporaryDirectory(prefix="slo-check-smoke-") as tmp:
+        report_path = Path(tmp) / "violation.json"
+        env = dict(os.environ, SLO_CHECK_REPORT=str(report_path))
+        run = subprocess.run([str(probe)], env=env,
+                             capture_output=True, text=True)
+        if run.returncode != 0:
+            print("check_smoke: probe failed:\n" + run.stdout +
+                  run.stderr, file=sys.stderr)
+            return 1
+        if not report_path.is_file():
+            print("check_smoke: probe left no violation report",
+                  file=sys.stderr)
+            return 1
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+
+    for key, expected in REQUIRED_FIELDS.items():
+        if report.get(key) != expected:
+            print(f"check_smoke: report[{key!r}] = {report.get(key)!r},"
+                  f" expected {expected!r}", file=sys.stderr)
+            return 1
+    missing = REQUIRED_KEYS - report.keys()
+    if missing:
+        print(f"check_smoke: report missing keys: {sorted(missing)}",
+              file=sys.stderr)
+        return 1
+    if not isinstance(report["line"], int) or report["line"] <= 0:
+        print("check_smoke: report line is not a positive integer",
+              file=sys.stderr)
+        return 1
+    if "validators.cpp" not in report["file"]:
+        print(f"check_smoke: unexpected source file {report['file']!r}",
+              file=sys.stderr)
+        return 1
+    if report["context"].get("where") != "check_probe":
+        print("check_smoke: context lacks the probe's `where` tag:"
+              f" {report['context']!r}", file=sys.stderr)
+        return 1
+
+    print("check_smoke: lint clean, violation report schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Project lint for the slo tree (AST-free, stdlib-only).
+
+Enforces repo rules that neither the compiler nor clang-tidy express:
+
+  raw-long            `long`/`unsigned long` in public headers where the
+                      Index/Offset typedefs belong (the 32/64-bit split
+                      is a deliberate contract; `long` is whatever the
+                      ABI says). Allowlisted: src/obs/json.hpp, which
+                      needs the full integer conversion ladder.
+  raw-int-id          `int` used for a row/col/vertex/nnz-style
+                      identifier in a header (should be Index/Offset).
+  raw-chrono          std::chrono timing outside src/obs — all timing
+                      goes through the observability layer so manifests
+                      stay the single source of truth.
+  assert-side-effect  assert() whose condition mutates state; NDEBUG
+                      builds would change behaviour. Use SLO_CHECK.
+  missing-pragma-once header without #pragma once.
+  relative-include    `#include "../..."` or a quoted include without a
+                      module prefix; includes are rooted at src/.
+  using-namespace-std `using namespace std`.
+  iostream-in-header  <iostream> in a header (drags in static ios
+                      initializers; use <iosfwd> or <ostream>).
+
+Suppress a finding by appending `// slo-lint: allow(<rule>)` to the
+line. Exit status: 0 clean, 1 findings, 2 usage error.
+
+Usage: lint_slo.py [--quiet] [PATH...]    (default: src bench)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# (rule, path-predicate, header-only)
+ALLOW_RAW_LONG = {Path("src/obs/json.hpp")}
+
+ID_PATTERN = re.compile(
+    r"\bint\s+(num_rows|num_cols|num_nodes|row|col|vertex|node|nnz|"
+    r"degree|label|community)\b"
+)
+ASSERT_PATTERN = re.compile(r"\bassert\s*\(")
+SUPPRESS_PATTERN = re.compile(r"//\s*slo-lint:\s*allow\(([\w,\s-]+)\)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line
+    structure so reported line numbers stay valid."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # str / chr
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(" " if c != "\n" else c)
+        i += 1
+    return "".join(out)
+
+
+def suppressed(raw_line: str, rule: str) -> bool:
+    match = SUPPRESS_PATTERN.search(raw_line)
+    if not match:
+        return False
+    allowed = {item.strip() for item in match.group(1).split(",")}
+    return rule in allowed
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.findings: list[tuple[Path, int, str, str]] = []
+
+    def report(self, path: Path, lineno: int, raw_line: str, rule: str,
+               message: str) -> None:
+        if not suppressed(raw_line, rule):
+            self.findings.append((path, lineno, rule, message))
+
+    def lint_file(self, path: Path, root: Path) -> None:
+        rel = path.relative_to(root) if path.is_relative_to(root) else path
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        raw_lines = raw.splitlines()
+        code_lines = strip_comments_and_strings(raw).splitlines()
+        is_header = path.suffix in {".hpp", ".h"}
+        in_obs = "src/obs" in path.as_posix()
+
+        if is_header and "#pragma once" not in raw:
+            self.report(rel, 1, "", "missing-pragma-once",
+                        "header lacks #pragma once")
+
+        for lineno, (code, rawl) in enumerate(
+                zip(code_lines, raw_lines), start=1):
+            if is_header and rel not in ALLOW_RAW_LONG:
+                if re.search(r"\b(unsigned\s+)?long\b", code):
+                    self.report(rel, lineno, rawl, "raw-long",
+                                "`long` in a public header — use "
+                                "Index/Offset (or a <cstdint> type)")
+                match = ID_PATTERN.search(code)
+                if match:
+                    self.report(rel, lineno, rawl, "raw-int-id",
+                                f"`int {match.group(1)}` — identifiers "
+                                "use Index/Offset")
+            if not in_obs and "std::chrono" in code:
+                self.report(rel, lineno, rawl, "raw-chrono",
+                            "raw std::chrono outside src/obs — time "
+                            "through SLO_SPAN / obs timers")
+            match = ASSERT_PATTERN.search(code)
+            if match:
+                args = code[match.end():]
+                if re.search(r"\+\+|--", args) or re.search(
+                        r"[^=!<>+\-*/%&|^]=[^=]", args):
+                    self.report(rel, lineno, rawl, "assert-side-effect",
+                                "assert() condition appears to mutate "
+                                "state; NDEBUG would change behaviour "
+                                "— use SLO_CHECK")
+            # Match on the raw line: the stripper blanks the quoted path.
+            include = re.match(r'\s*#\s*include\s+"([^"]+)"', rawl)
+            if include:
+                target = include.group(1)
+                if target.startswith("..") or "/.." in target:
+                    self.report(rel, lineno, rawl, "relative-include",
+                                "relative include — root includes at "
+                                "src/ (e.g. \"matrix/csr.hpp\")")
+                elif "/" not in target and "src/" in path.as_posix():
+                    # Only src/ has the module-prefix convention; bench
+                    # and tests legitimately include sibling helpers.
+                    self.report(rel, lineno, rawl, "relative-include",
+                                "unprefixed include — spell it "
+                                "\"<module>/" + target + "\"")
+            if re.search(r"\busing\s+namespace\s+std\b", code):
+                self.report(rel, lineno, rawl, "using-namespace-std",
+                            "`using namespace std` is banned")
+            if is_header and re.match(
+                    r"\s*#\s*include\s+<iostream>", code):
+                self.report(rel, lineno, rawl, "iostream-in-header",
+                            "<iostream> in a header — use <iosfwd> / "
+                            "<ostream>")
+
+
+def main(argv: list[str]) -> int:
+    quiet = False
+    args = [a for a in argv[1:] if a != "--quiet"]
+    quiet = len(args) != len(argv) - 1
+    root = Path.cwd()
+    targets = [Path(a) for a in args] or [Path("src"), Path("bench")]
+
+    files: list[Path] = []
+    for target in targets:
+        if target.is_file():
+            files.append(target)
+        elif target.is_dir():
+            files.extend(sorted(target.rglob("*.hpp")))
+            files.extend(sorted(target.rglob("*.h")))
+            files.extend(sorted(target.rglob("*.cpp")))
+        else:
+            print(f"lint_slo: no such path: {target}", file=sys.stderr)
+            return 2
+
+    linter = Linter()
+    for path in files:
+        linter.lint_file(path, root)
+
+    for path, lineno, rule, message in linter.findings:
+        print(f"{path}:{lineno}: [{rule}] {message}")
+    if not quiet:
+        status = ("clean" if not linter.findings
+                  else f"{len(linter.findings)} finding(s)")
+        print(f"lint_slo: {len(files)} files, {status}", file=sys.stderr)
+    return 1 if linter.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

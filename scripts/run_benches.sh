@@ -8,6 +8,24 @@
 set -u
 cd "$(dirname "$0")/.."
 out="${1:-bench_results}"
+
+# Benchmarks only mean something on a tree that passes the check gate:
+# require a .slo-check-stamp from scripts/check.sh matching the current
+# commit. SLO_SKIP_CHECK=1 overrides (e.g. on a machine that cannot
+# build the sanitizer tree).
+if [ "${SLO_SKIP_CHECK:-0}" != "1" ]; then
+    sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+    dirty=""
+    git diff --quiet HEAD 2>/dev/null || dirty="-dirty"
+    stamp="$(cat .slo-check-stamp 2>/dev/null || true)"
+    if [ "$stamp" != "$sha$dirty" ]; then
+        echo "run_benches.sh: no passing check stamp for this tree" >&2
+        echo "  expected: $sha$dirty" >&2
+        echo "  stamp:    ${stamp:-<none>}" >&2
+        echo "run scripts/check.sh first (or SLO_SKIP_CHECK=1)" >&2
+        exit 1
+    fi
+fi
 mkdir -p "$out"
 
 # Observability artifacts (<bench>.manifest.json / .trace.json /

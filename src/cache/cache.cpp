@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "check/check.hpp"
 #include "obs/metrics.hpp"
 
 namespace slo::cache
@@ -115,10 +116,84 @@ CacheSim::access(std::uint64_t addr)
 }
 
 void
+CacheSim::checkInvariants() const
+{
+    if (!check::enabled(check::Level::Cheap))
+        return;
+    check::Context ctx;
+    ctx.add("accesses", stats_.accesses);
+    ctx.add("hits", stats_.hits);
+    ctx.add("misses", stats_.misses);
+    SLO_CHECK_CTX(stats_.hits + stats_.misses == stats_.accesses,
+                  "check.cache", ctx,
+                  "hits + misses must equal accesses");
+    SLO_CHECK_CTX(stats_.linesFilled <= stats_.misses, "check.cache",
+                  ctx, "more lines filled than misses");
+    SLO_CHECK_CTX(stats_.evictions <= stats_.linesFilled, "check.cache",
+                  ctx, "more evictions than lines filled");
+    const std::uint64_t fill_granularity =
+        config_.sectorBytes != 0 ? config_.sectorBytes
+                                 : config_.lineBytes;
+    SLO_CHECK_CTX(stats_.fillBytes == stats_.misses * fill_granularity,
+                  "check.cache", ctx,
+                  "fill bytes inconsistent with fill granularity "
+                      << fill_granularity);
+    SLO_CHECK_CTX(stats_.irregularMisses <= stats_.misses,
+                  "check.cache", ctx,
+                  "more irregular misses than misses");
+
+    if (!check::enabled(check::Level::Full))
+        return;
+    const std::uint32_t sectors_per_line =
+        config_.sectorBytes != 0 ? config_.lineBytes / config_.sectorBytes
+                                 : 1;
+    const std::uint32_t valid_mask =
+        sectors_per_line >= 32
+            ? ~0u
+            : (1u << sectors_per_line) - 1u;
+    for (std::uint64_t set = 0; set < numSets_; ++set) {
+        const Way *const base =
+            ways_.data() + static_cast<std::size_t>(set) * config_.ways;
+        for (std::uint32_t w = 0; w < config_.ways; ++w) {
+            const Way &way = base[w];
+            if (way.tag == kInvalid)
+                continue;
+            check::Context way_ctx;
+            way_ctx.add("set", set);
+            way_ctx.add("way", w);
+            way_ctx.add("tag", way.tag);
+            SLO_CHECK_CTX(way.tag % numSets_ == set, "check.cache",
+                          way_ctx,
+                          "resident tag mapped to the wrong set");
+            SLO_CHECK_CTX(way.lastUse <= clock_, "check.cache", way_ctx,
+                          "LRU timestamp ahead of the access clock");
+            SLO_CHECK_CTX(way.sectorMask != 0 &&
+                              (way.sectorMask & ~valid_mask) == 0,
+                          "check.cache", way_ctx,
+                          "sector mask outside the line's sectors");
+            for (std::uint32_t other = w + 1; other < config_.ways;
+                 ++other) {
+                if (base[other].tag == kInvalid)
+                    continue;
+                SLO_CHECK_CTX(base[other].tag != way.tag, "check.cache",
+                              way_ctx,
+                              "duplicate tag resident in one set");
+                SLO_CHECK_CTX(base[other].lastUse != way.lastUse,
+                              "check.cache", way_ctx,
+                              "LRU stack not unique: two ways share "
+                              "timestamp "
+                                  << way.lastUse);
+            }
+        }
+    }
+}
+
+void
 CacheSim::finish()
 {
     require(!finished_, "CacheSim::finish: called twice");
     finished_ = true;
+    checkInvariants();
     for (const Way &way : ways_) {
         if (way.tag != kInvalid && !way.reused)
             ++stats_.deadLines;

@@ -128,8 +128,24 @@ class CacheSim
     /**
      * Finish the run: counts still-resident never-rehit lines as dead.
      * Must be called exactly once, after the last access.
+     * Runs checkInvariants() before flushing counters.
      */
     void finish();
+
+    /**
+     * Validate simulator state against the cache-consistency contract
+     * (gated on SLO_CHECK_LEVEL).
+     * cheap: counter coherence — hits + misses == accesses,
+     *        linesFilled <= misses, evictions <= linesFilled,
+     *        deadLines <= linesFilled, fill bytes match the fill
+     *        granularity.
+     * full:  per-set structural state — resident tags map to their set,
+     *        no duplicate tags within a set, LRU timestamps unique
+     *        among a set's valid ways and bounded by the access clock,
+     *        sector masks only set in sectored mode.
+     * @throws check::ContractViolation on the first violated invariant.
+     */
+    void checkInvariants() const;
 
     const CacheStats &stats() const { return stats_; }
     const CacheConfig &config() const { return config_; }

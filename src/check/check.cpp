@@ -1,0 +1,173 @@
+#include "check/check.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace slo::check
+{
+
+namespace
+{
+
+Level
+levelFromEnv()
+{
+    const char *env = std::getenv("SLO_CHECK_LEVEL");
+    if (env == nullptr)
+        return Level::Cheap;
+    return parseLevel(env, Level::Cheap);
+}
+
+std::atomic<Level> &
+activeLevel()
+{
+    static std::atomic<Level> level{levelFromEnv()};
+    return level;
+}
+
+/** Where the JSON violation report goes, or "" for nowhere. */
+std::string
+reportPath()
+{
+    const char *report = std::getenv("SLO_CHECK_REPORT");
+    if (report != nullptr && *report != '\0')
+        return report;
+    const char *dir = std::getenv("SLO_OBS_DIR");
+    if (dir != nullptr && *dir != '\0')
+        return std::string(dir) + "/check_violation.json";
+    return {};
+}
+
+} // namespace
+
+Level
+level()
+{
+    return activeLevel().load(std::memory_order_relaxed);
+}
+
+void
+setLevel(Level level)
+{
+    activeLevel().store(level, std::memory_order_relaxed);
+}
+
+Level
+parseLevel(std::string_view text, Level fallback)
+{
+    if (text == "off" || text == "0")
+        return Level::Off;
+    if (text == "cheap" || text == "1")
+        return Level::Cheap;
+    if (text == "full" || text == "2")
+        return Level::Full;
+    return fallback;
+}
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Off: return "off";
+      case Level::Cheap: return "cheap";
+      case Level::Full: return "full";
+    }
+    return "cheap";
+}
+
+Context &
+Context::add(std::string key, std::int64_t value)
+{
+    entries_.emplace_back(std::move(key), obs::Json(value).dump());
+    return *this;
+}
+
+Context &
+Context::add(std::string key, std::uint64_t value)
+{
+    entries_.emplace_back(std::move(key), obs::Json(value).dump());
+    return *this;
+}
+
+Context &
+Context::add(std::string key, double value)
+{
+    entries_.emplace_back(std::move(key), obs::Json(value).dump());
+    return *this;
+}
+
+Context &
+Context::add(std::string key, std::string value)
+{
+    entries_.emplace_back(std::move(key),
+                          obs::Json(std::move(value)).dump());
+    return *this;
+}
+
+std::string
+Context::toJson() const
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (i != 0)
+            out += ",";
+        out += obs::Json(entries_[i].first).dump();
+        out += ":";
+        out += entries_[i].second;
+    }
+    out += "}";
+    return out;
+}
+
+ContractViolation::ContractViolation(std::string what, std::string file,
+                                     int line)
+    : std::invalid_argument(std::move(what)), file_(std::move(file)),
+      line_(line)
+{
+}
+
+void
+fail(const char *file, int line, const char *expr,
+     std::string_view component, const std::string &message,
+     const Context &context)
+{
+    obs::counter("check.violations").add();
+
+    std::ostringstream what;
+    what << "contract violation [" << component << "] " << message
+         << " (" << expr << ") at " << file << ":" << line;
+    if (!context.empty())
+        what << " context=" << context.toJson();
+
+    SLO_LOG_ERROR(component, what.str());
+
+    // Machine-readable report for tooling (check_smoke schema-checks it).
+    if (const std::string path = reportPath(); !path.empty()) {
+        obs::Json report = obs::Json::object();
+        report["schema"] = "slo.check-violation/1";
+        report["component"] = std::string(component);
+        report["file"] = file;
+        report["line"] = line;
+        report["expression"] = expr;
+        report["message"] = message;
+        report["check_level"] = levelName(level());
+        obs::Json ctx = obs::Json::object();
+        for (const auto &[key, encoded] : context.entries()) {
+            if (auto value = obs::Json::parse(encoded))
+                ctx[key] = *value;
+        }
+        report["context"] = std::move(ctx);
+        std::ofstream out(path);
+        if (out)
+            out << report.dump(2) << '\n';
+    }
+
+    throw ContractViolation(what.str(), file, line);
+}
+
+} // namespace slo::check

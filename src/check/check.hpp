@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Runtime contract checking for the pipeline's structural invariants.
+ *
+ * Every traffic number in the experiments rests on invariants the code
+ * used to take on faith: permutations are bijections, CSR arrays are
+ * coherent, dendrograms are forests, the cache simulator's state is
+ * consistent. This header is the one place those contracts are stated
+ * and enforced:
+ *
+ *   SLO_CHECK(perm.size() == n, "reorder", "permutation size "
+ *                                              << perm.size());
+ *   SLO_CHECK_CTX(ok, "csr", ctx, "row_ptr not monotone");
+ *
+ * A violated contract throws check::ContractViolation (derived from
+ * std::invalid_argument so existing catch sites keep working) carrying
+ * file:line, the failed expression, and a structured key/value context.
+ * Before throwing, the failure is logged through slo::obs at error
+ * level and — when SLO_CHECK_REPORT or SLO_OBS_DIR is set — dumped as
+ * a machine-readable `slo.check-violation/1` JSON report.
+ *
+ * Cost control via the SLO_CHECK_LEVEL environment variable:
+ *   off    validators return immediately (macros still fire — a
+ *          reached SLO_CHECK is a stated contract, not a sample)
+ *   cheap  O(1)..O(n) non-allocating scans (default)
+ *   full   deep validation: bijection mark arrays, per-row sortedness,
+ *          acyclicity, LRU-stack uniqueness (O(n log n) worst case)
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace slo::check
+{
+
+/** How much validation the validators perform. */
+enum class Level
+{
+    Off = 0,   ///< validators are no-ops
+    Cheap = 1, ///< linear non-allocating scans (default)
+    Full = 2,  ///< deep structural validation
+};
+
+/** Active level (first call parses SLO_CHECK_LEVEL). */
+Level level();
+
+/** Override the active level (wins over the environment). */
+void setLevel(Level level);
+
+/** Parse a level name ("off"/"cheap"/"full"); @p fallback otherwise. */
+Level parseLevel(std::string_view text, Level fallback);
+
+/** Lower-case level name. */
+const char *levelName(Level level);
+
+/** Would validators at @p min_level run right now? */
+inline bool
+enabled(Level min_level)
+{
+    return level() >= min_level;
+}
+
+/** Ordered key/value pairs attached to a contract violation. */
+class Context
+{
+  public:
+    Context() = default;
+
+    Context &add(std::string key, std::int64_t value);
+    Context &add(std::string key, std::uint64_t value);
+    Context &add(std::string key, double value);
+    Context &add(std::string key, std::string value);
+
+    /** Convenience for Index/Offset and other integrals. */
+    template <typename T>
+        requires std::is_integral_v<T>
+    Context &
+    add(std::string key, T value)
+    {
+        if constexpr (std::is_signed_v<T>)
+            return add(std::move(key),
+                       static_cast<std::int64_t>(value));
+        else
+            return add(std::move(key),
+                       static_cast<std::uint64_t>(value));
+    }
+
+    /** Render as a compact JSON object string. */
+    std::string toJson() const;
+
+    bool empty() const { return entries_.empty(); }
+
+    const std::vector<std::pair<std::string, std::string>> &
+    entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    /** (key, JSON-encoded value) in insertion order. */
+    std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/** Thrown when a contract is violated. */
+class ContractViolation : public std::invalid_argument
+{
+  public:
+    ContractViolation(std::string what, std::string file, int line);
+
+    /** Source file of the failed SLO_CHECK. */
+    const std::string &file() const { return file_; }
+    /** Source line of the failed SLO_CHECK. */
+    int line() const { return line_; }
+
+  private:
+    std::string file_;
+    int line_;
+};
+
+/**
+ * Report a contract violation and throw ContractViolation.
+ *
+ * Logs `component: message (expr) at file:line` through slo::obs at
+ * error level, bumps the `check.violations` counter, writes a
+ * `slo.check-violation/1` JSON report (to $SLO_CHECK_REPORT when set,
+ * else $SLO_OBS_DIR/check_violation.json when SLO_OBS_DIR is set),
+ * then throws.
+ */
+[[noreturn]] void fail(const char *file, int line, const char *expr,
+                       std::string_view component,
+                       const std::string &message,
+                       const Context &context = {});
+
+} // namespace slo::check
+
+/**
+ * Enforce a contract: if @p expr_ is false, report through slo::obs
+ * and throw check::ContractViolation with file:line. Always active —
+ * level gating happens at validator granularity, not per check.
+ */
+#define SLO_CHECK(expr_, component_, stream_expr_)                        \
+    do {                                                                  \
+        if (!(expr_)) [[unlikely]] {                                      \
+            std::ostringstream slo_check_stream_;                         \
+            slo_check_stream_ << stream_expr_;                            \
+            ::slo::check::fail(__FILE__, __LINE__, #expr_, component_,    \
+                               slo_check_stream_.str());                  \
+        }                                                                 \
+    } while (0)
+
+/** SLO_CHECK with an attached check::Context dumped into the report. */
+#define SLO_CHECK_CTX(expr_, component_, context_, stream_expr_)          \
+    do {                                                                  \
+        if (!(expr_)) [[unlikely]] {                                      \
+            std::ostringstream slo_check_stream_;                         \
+            slo_check_stream_ << stream_expr_;                            \
+            ::slo::check::fail(__FILE__, __LINE__, #expr_, component_,    \
+                               slo_check_stream_.str(), context_);        \
+        }                                                                 \
+    } while (0)

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Range-checked integral conversions.
+ *
+ * The library keeps a deliberate 32/64-bit split — Index is 32-bit, the
+ * non-zero Offset is 64-bit because the paper's corpus reaches 2B
+ * non-zeros — which makes every Offset -> Index (or size_t -> Index)
+ * conversion a live overflow hazard. slo::checkedCast<> replaces the
+ * bare static_casts on those seams: same syntax, but a value outside
+ * the destination range throws check::ContractViolation instead of
+ * silently wrapping.
+ */
+
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "check/check.hpp"
+
+namespace slo
+{
+
+/**
+ * static_cast<To> that throws check::ContractViolation when @p value
+ * does not fit in To. Both types must be integral.
+ */
+template <typename To, typename From>
+    requires std::is_integral_v<To> && std::is_integral_v<From>
+To
+checkedCast(From value)
+{
+    if (!std::in_range<To>(value)) [[unlikely]] {
+        check::Context ctx;
+        ctx.add("value", value);
+        ctx.add("to_bits", static_cast<int>(sizeof(To) * 8));
+        ctx.add("to_signed", std::is_signed_v<To> ? "yes" : "no");
+        check::fail(__FILE__, __LINE__, "std::in_range<To>(value)",
+                    "checked_cast",
+                    "integral value out of destination range", ctx);
+    }
+    return static_cast<To>(value);
+}
+
+} // namespace slo

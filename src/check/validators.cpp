@@ -1,0 +1,248 @@
+#include "check/validators.hpp"
+
+#include <string>
+#include <vector>
+
+namespace slo::check
+{
+
+namespace
+{
+
+/** Standard context preamble shared by all validators. */
+Context
+baseContext(std::string_view where)
+{
+    Context ctx;
+    ctx.add("where", std::string(where));
+    return ctx;
+}
+
+} // namespace
+
+void
+checkPermutation(std::span<const Index> new_ids, Index expected_size,
+                 std::string_view where)
+{
+    if (!enabled(Level::Cheap))
+        return;
+    const auto n = new_ids.size();
+    Context ctx = baseContext(where);
+    ctx.add("size", n);
+    if (expected_size >= 0) {
+        ctx.add("expected_size", expected_size);
+        SLO_CHECK_CTX(n == static_cast<std::size_t>(expected_size),
+                      "check.permutation", ctx,
+                      where << ": permutation size mismatch");
+    }
+    std::vector<bool> seen(n, false);
+    for (std::size_t old = 0; old < n; ++old) {
+        const Index id = new_ids[old];
+        if (id < 0 || static_cast<std::size_t>(id) >= n) {
+            ctx.add("old_id", old);
+            ctx.add("new_id", id);
+            SLO_CHECK_CTX(false, "check.permutation", ctx,
+                          where << ": new id out of range [0, " << n
+                                << ")");
+        }
+        if (seen[static_cast<std::size_t>(id)]) {
+            ctx.add("old_id", old);
+            ctx.add("new_id", id);
+            SLO_CHECK_CTX(false, "check.permutation", ctx,
+                          where << ": duplicate new id (not a "
+                                   "bijection)");
+        }
+        seen[static_cast<std::size_t>(id)] = true;
+    }
+}
+
+void
+checkCsr(Index num_rows, Index num_cols,
+         std::span<const Offset> row_offsets,
+         std::span<const Index> col_indices, std::size_t num_values,
+         std::string_view where, bool require_sorted_rows)
+{
+    if (!enabled(Level::Cheap))
+        return;
+    Context ctx = baseContext(where);
+    ctx.add("num_rows", num_rows);
+    ctx.add("num_cols", num_cols);
+    ctx.add("nnz", col_indices.size());
+    SLO_CHECK_CTX(num_rows >= 0 && num_cols >= 0, "check.csr", ctx,
+                  where << ": dimensions must be non-negative");
+    SLO_CHECK_CTX(row_offsets.size() ==
+                      static_cast<std::size_t>(num_rows) + 1,
+                  "check.csr", ctx,
+                  where << ": row_offsets must have num_rows+1 entries, "
+                           "got "
+                        << row_offsets.size());
+    SLO_CHECK_CTX(row_offsets.front() == 0, "check.csr", ctx,
+                  where << ": row_offsets[0] must be 0, got "
+                        << row_offsets.front());
+    SLO_CHECK_CTX(row_offsets.back() ==
+                      static_cast<Offset>(col_indices.size()),
+                  "check.csr", ctx,
+                  where << ": row_offsets must end at nnz, got "
+                        << row_offsets.back());
+    SLO_CHECK_CTX(num_values == col_indices.size(), "check.csr", ctx,
+                  where << ": values/col_indices length mismatch ("
+                        << num_values << " vs " << col_indices.size()
+                        << ")");
+    for (std::size_t r = 0; r + 1 < row_offsets.size(); ++r) {
+        if (row_offsets[r] > row_offsets[r + 1]) {
+            ctx.add("row", r);
+            ctx.add("offset", row_offsets[r]);
+            ctx.add("next_offset", row_offsets[r + 1]);
+            SLO_CHECK_CTX(false, "check.csr", ctx,
+                          where << ": row_offsets not monotone at row "
+                                << r);
+        }
+    }
+    for (std::size_t i = 0; i < col_indices.size(); ++i) {
+        const Index col = col_indices[i];
+        if (col < 0 || col >= num_cols) {
+            ctx.add("entry", i);
+            ctx.add("col", col);
+            SLO_CHECK_CTX(false, "check.csr", ctx,
+                          where << ": column index out of range [0, "
+                                << num_cols << ")");
+        }
+    }
+    if (!enabled(Level::Full) || !require_sorted_rows)
+        return;
+    for (Index r = 0; r < num_rows; ++r) {
+        const auto begin =
+            static_cast<std::size_t>(row_offsets[static_cast<std::size_t>(r)]);
+        const auto end = static_cast<std::size_t>(
+            row_offsets[static_cast<std::size_t>(r) + 1]);
+        for (std::size_t i = begin + 1; i < end; ++i) {
+            if (col_indices[i - 1] > col_indices[i]) {
+                ctx.add("row", r);
+                ctx.add("entry", i);
+                SLO_CHECK_CTX(false, "check.csr", ctx,
+                              where << ": row " << r
+                                    << " column ids not sorted");
+            }
+        }
+    }
+}
+
+void
+checkCoo(Index num_rows, Index num_cols, std::span<const Index> rows,
+         std::span<const Index> cols, std::size_t num_values,
+         std::string_view where)
+{
+    if (!enabled(Level::Cheap))
+        return;
+    Context ctx = baseContext(where);
+    ctx.add("num_rows", num_rows);
+    ctx.add("num_cols", num_cols);
+    ctx.add("num_entries", rows.size());
+    SLO_CHECK_CTX(num_rows >= 0 && num_cols >= 0, "check.coo", ctx,
+                  where << ": dimensions must be non-negative");
+    SLO_CHECK_CTX(rows.size() == cols.size() &&
+                      rows.size() == num_values,
+                  "check.coo", ctx,
+                  where << ": row/col/value arrays must have equal "
+                           "length");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (rows[i] < 0 || rows[i] >= num_rows || cols[i] < 0 ||
+            cols[i] >= num_cols) {
+            ctx.add("entry", i);
+            ctx.add("row", rows[i]);
+            ctx.add("col", cols[i]);
+            SLO_CHECK_CTX(false, "check.coo", ctx,
+                          where << ": coordinate out of bounds");
+        }
+    }
+}
+
+void
+checkClustering(std::span<const Index> labels, Index num_communities,
+                std::string_view where, bool require_dense)
+{
+    if (!enabled(Level::Cheap))
+        return;
+    Context ctx = baseContext(where);
+    ctx.add("num_nodes", labels.size());
+    ctx.add("num_communities", num_communities);
+    SLO_CHECK_CTX(num_communities >= 0, "check.clustering", ctx,
+                  where << ": negative community count");
+    SLO_CHECK_CTX(!(labels.empty() && num_communities > 0),
+                  "check.clustering", ctx,
+                  where << ": communities without nodes");
+    for (std::size_t v = 0; v < labels.size(); ++v) {
+        if (labels[v] < 0 || labels[v] >= num_communities) {
+            ctx.add("node", v);
+            ctx.add("label", labels[v]);
+            SLO_CHECK_CTX(false, "check.clustering", ctx,
+                          where << ": label out of range [0, "
+                                << num_communities << ")");
+        }
+    }
+    if (!enabled(Level::Full) || !require_dense)
+        return;
+    std::vector<bool> used(static_cast<std::size_t>(num_communities),
+                           false);
+    for (const Index label : labels)
+        used[static_cast<std::size_t>(label)] = true;
+    for (std::size_t label = 0; label < used.size(); ++label) {
+        if (!used[label]) {
+            ctx.add("unused_label", label);
+            SLO_CHECK_CTX(false, "check.clustering", ctx,
+                          where << ": labels not dense (label " << label
+                                << " unused)");
+        }
+    }
+}
+
+void
+checkDendrogram(std::span<const Index> parents, std::string_view where)
+{
+    if (!enabled(Level::Cheap))
+        return;
+    const auto n = parents.size();
+    Context ctx = baseContext(where);
+    ctx.add("num_nodes", n);
+    for (std::size_t v = 0; v < n; ++v) {
+        const Index p = parents[v];
+        const bool valid =
+            p == -1 || (p >= 0 && static_cast<std::size_t>(p) < n &&
+                        p != static_cast<Index>(v));
+        if (!valid) {
+            ctx.add("node", v);
+            ctx.add("parent", p);
+            SLO_CHECK_CTX(false, "check.dendrogram", ctx,
+                          where << ": invalid parent pointer");
+        }
+    }
+    if (!enabled(Level::Full))
+        return;
+    // Acyclicity: follow parent chains, marking nodes whose path to a
+    // root is already proven. 0 = unvisited, 1 = on current path,
+    // 2 = proven.
+    std::vector<unsigned char> state(n, 0);
+    std::vector<Index> path;
+    for (std::size_t start = 0; start < n; ++start) {
+        if (state[start] != 0)
+            continue;
+        path.clear();
+        Index v = static_cast<Index>(start);
+        while (v != -1 && state[static_cast<std::size_t>(v)] == 0) {
+            state[static_cast<std::size_t>(v)] = 1;
+            path.push_back(v);
+            v = parents[static_cast<std::size_t>(v)];
+        }
+        if (v != -1 && state[static_cast<std::size_t>(v)] == 1) {
+            ctx.add("node", v);
+            SLO_CHECK_CTX(false, "check.dendrogram", ctx,
+                          where << ": parent pointers contain a cycle "
+                                   "through node "
+                                << v);
+        }
+        for (const Index u : path)
+            state[static_cast<std::size_t>(u)] = 2;
+    }
+}
+
+} // namespace slo::check

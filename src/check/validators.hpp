@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Contract validators for the library's core data structures.
+ *
+ * These operate on the raw arrays (spans) rather than the owning
+ * classes so the check layer stays at the bottom of the dependency
+ * graph: matrix/community/reorder code hands in its members and tags
+ * the call with a `where` string that ends up in the violation report.
+ *
+ * Each validator is gated on check::level():
+ *   off    return immediately
+ *   cheap  linear non-allocating scans (sizes, ranges, monotonicity)
+ *   full   allocating/deep validation (bijection mark arrays, per-row
+ *          sortedness, label density, forest acyclicity)
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+#include "check/check.hpp"
+#include "matrix/types.hpp"
+
+namespace slo::check
+{
+
+/**
+ * Validate a destination-form permutation array (new_ids[old] == new).
+ * cheap: size (against @p expected_size unless -1), ids in [0, n),
+ * and — because a corrupt bijection silently reshuffles every
+ * downstream traffic number — duplicate detection via a mark array.
+ */
+void checkPermutation(std::span<const Index> new_ids,
+                      Index expected_size, std::string_view where);
+
+/**
+ * Validate CSR arrays.
+ * cheap: row_offsets has num_rows+1 entries starting at 0 and ending
+ * at nnz, monotone; col_indices in [0, num_cols); values length == nnz.
+ * full: additionally requires ascending column ids per row when
+ * @p require_sorted_rows.
+ */
+void checkCsr(Index num_rows, Index num_cols,
+              std::span<const Offset> row_offsets,
+              std::span<const Index> col_indices,
+              std::size_t num_values, std::string_view where,
+              bool require_sorted_rows = false);
+
+/**
+ * Validate COO arrays: parallel lengths, coordinates within
+ * [0, num_rows) x [0, num_cols).
+ */
+void checkCoo(Index num_rows, Index num_cols,
+              std::span<const Index> rows, std::span<const Index> cols,
+              std::size_t num_values, std::string_view where);
+
+/**
+ * Validate a clustering label array.
+ * cheap: labels in [0, num_communities).
+ * full: when @p require_dense, every label in [0, num_communities)
+ * occurs at least once (compacted clusterings promise density).
+ */
+void checkClustering(std::span<const Index> labels,
+                     Index num_communities, std::string_view where,
+                     bool require_dense = false);
+
+/**
+ * Validate a dendrogram parent array (parent[v], -1 for roots).
+ * cheap: parents in [-1, n), no self-parent.
+ * full: the parent pointers form a forest (acyclic).
+ */
+void checkDendrogram(std::span<const Index> parents,
+                     std::string_view where);
+
+} // namespace slo::check

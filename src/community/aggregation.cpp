@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/validators.hpp"
 #include "obs/trace.hpp"
 
 namespace slo::community
@@ -163,6 +164,12 @@ aggregateCommunities(const Csr &graph, const AggregationOptions &options)
     for (Index v = 0; v < n; ++v)
         labels[static_cast<std::size_t>(v)] = sets.find(v);
     result.clustering = Clustering(std::move(labels)).compacted();
+    check::checkClustering(result.clustering.labels(),
+                           result.clustering.numCommunities(),
+                           "aggregateCommunities",
+                           /*require_dense=*/true);
+    check::checkDendrogram(result.dendrogram.parents(),
+                           "aggregateCommunities");
     return result;
 }
 

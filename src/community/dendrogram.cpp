@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "check/validators.hpp"
+
 namespace slo::community
 {
 
@@ -16,11 +18,18 @@ Dendrogram::Dendrogram(Index n)
 void
 Dendrogram::merge(Index child, Index parent)
 {
-    require(child >= 0 && child < numNodes() && parent >= 0 &&
-                parent < numNodes(),
-            "Dendrogram::merge: vertex out of range");
-    require(child != parent, "Dendrogram::merge: self merge");
-    require(isRoot(child), "Dendrogram::merge: child is not a root");
+    check::Context ctx;
+    ctx.add("child", child);
+    ctx.add("parent", parent);
+    ctx.add("num_nodes", numNodes());
+    SLO_CHECK_CTX(child >= 0 && child < numNodes() && parent >= 0 &&
+                      parent < numNodes(),
+                  "check.dendrogram", ctx,
+                  "Dendrogram::merge: vertex out of range");
+    SLO_CHECK_CTX(child != parent, "check.dendrogram", ctx,
+                  "Dendrogram::merge: self merge");
+    SLO_CHECK_CTX(isRoot(child), "check.dendrogram", ctx,
+                  "Dendrogram::merge: child is not a root");
     parent_[static_cast<std::size_t>(child)] = parent;
     children_[static_cast<std::size_t>(parent)].push_back(child);
 }
@@ -105,6 +114,16 @@ Dendrogram::dfsOrder(RootOrder root_order) const
             }
         }
     }
+    // The traversal must emit every vertex exactly once — a corrupt
+    // forest (shared child, cycle) would duplicate or drop vertices.
+    if (check::enabled(check::Level::Full))
+        check::checkPermutation(order, numNodes(),
+                                "Dendrogram::dfsOrder");
+    else
+        SLO_CHECK(order.size() == parent_.size(), "check.dendrogram",
+                  "Dendrogram::dfsOrder: traversal emitted "
+                      << order.size() << " of " << parent_.size()
+                      << " vertices");
     return order;
 }
 

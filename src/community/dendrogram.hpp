@@ -58,6 +58,9 @@ class Dendrogram
         return parent_[static_cast<std::size_t>(v)];
     }
 
+    /** Full parent array (parents()[v] == parent(v)); -1 for roots. */
+    const std::vector<Index> &parents() const { return parent_; }
+
     /** Children in merge order. */
     const std::vector<Index> &
     children(Index v) const

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/validators.hpp"
 #include "community/metrics.hpp"
 #include "matrix/rng.hpp"
 #include "obs/obs.hpp"
@@ -255,6 +256,9 @@ louvain(const Csr &graph, const LouvainOptions &options)
     }
 
     result.clustering = Clustering(std::move(mapping)).compacted();
+    check::checkClustering(result.clustering.labels(),
+                           result.clustering.numCommunities(), "louvain",
+                           /*require_dense=*/true);
     result.modularity = modularity(graph, result.clustering);
     obs::counter("louvain.levels").add(
         static_cast<std::uint64_t>(result.levels));

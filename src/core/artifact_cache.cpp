@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "check/checked_cast.hpp"
 #include "matrix/binary_io.hpp"
 #include "obs/obs.hpp"
 
@@ -122,7 +123,7 @@ storeIndexVector(const std::string &key, const std::vector<Index> &vec)
         out.write(kVecMagic, sizeof(kVecMagic));
         out.write(reinterpret_cast<const char *>(&size), sizeof(size));
         out.write(reinterpret_cast<const char *>(vec.data()),
-                  static_cast<std::streamsize>(vec.size() *
+                  checkedCast<std::streamsize>(vec.size() *
                                                sizeof(Index)));
     }
     std::error_code ec;
@@ -137,15 +138,26 @@ loadOrBuildIndexVector(const std::string &key,
         std::filesystem::path(cacheDir()) /
         (cacheFileStem(key) + ".vec");
     if (cacheEnabled() && std::filesystem::exists(path)) {
+        std::error_code size_ec;
+        const std::uintmax_t file_bytes =
+            std::filesystem::file_size(path, size_ec);
         std::ifstream in(path, std::ios::binary);
         char magic[4] = {};
         std::uint64_t size = 0;
         in.read(magic, sizeof(magic));
         in.read(reinterpret_cast<char *>(&size), sizeof(size));
-        if (in && std::equal(magic, magic + 4, kVecMagic)) {
-            std::vector<Index> vec(static_cast<std::size_t>(size));
+        // A corrupt size field must not allocate gigabytes before the
+        // read fails: the payload must fit in the file.
+        constexpr std::uintmax_t header_bytes =
+            sizeof(kVecMagic) + sizeof(std::uint64_t);
+        const bool size_sane =
+            !size_ec && file_bytes >= header_bytes &&
+            size <= (file_bytes - header_bytes) / sizeof(Index);
+        if (in && size_sane &&
+            std::equal(magic, magic + 4, kVecMagic)) {
+            std::vector<Index> vec(checkedCast<std::size_t>(size));
             in.read(reinterpret_cast<char *>(vec.data()),
-                    static_cast<std::streamsize>(vec.size() *
+                    checkedCast<std::streamsize>(vec.size() *
                                                  sizeof(Index)));
             if (in) {
                 obs::counter("artifact_cache.vec_hits").add();

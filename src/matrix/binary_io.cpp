@@ -4,6 +4,8 @@
 #include <fstream>
 #include <vector>
 
+#include "check/checked_cast.hpp"
+
 namespace slo::io
 {
 
@@ -36,7 +38,26 @@ writeVector(std::ostream &out, const std::vector<T> &vec)
 {
     writeScalar<std::uint64_t>(out, vec.size());
     out.write(reinterpret_cast<const char *>(vec.data()),
-              static_cast<std::streamsize>(vec.size() * sizeof(T)));
+              checkedCast<std::streamsize>(vec.size() * sizeof(T)));
+}
+
+/**
+ * Bytes left in @p in, or -1 when the stream is not seekable. Guards
+ * vector reads against corrupt size fields that would otherwise turn
+ * into multi-gigabyte allocations before the read even fails.
+ */
+std::int64_t
+remainingBytes(std::istream &in)
+{
+    const std::istream::pos_type pos = in.tellg();
+    if (pos == std::istream::pos_type(-1))
+        return -1;
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in.tellg();
+    in.seekg(pos);
+    if (end == std::istream::pos_type(-1) || !in)
+        return -1;
+    return static_cast<std::int64_t>(end - pos);
 }
 
 template <typename T>
@@ -44,9 +65,16 @@ std::vector<T>
 readVector(std::istream &in)
 {
     const auto size = readScalar<std::uint64_t>(in);
-    std::vector<T> vec(static_cast<std::size_t>(size));
+    const auto count = checkedCast<std::size_t>(size);
+    if (const std::int64_t remaining = remainingBytes(in);
+        remaining >= 0) {
+        require(size <= static_cast<std::uint64_t>(remaining) /
+                            sizeof(T),
+                "binary CSR: declared array size exceeds stream length");
+    }
+    std::vector<T> vec(count);
     in.read(reinterpret_cast<char *>(vec.data()),
-            static_cast<std::streamsize>(vec.size() * sizeof(T)));
+            checkedCast<std::streamsize>(count * sizeof(T)));
     require(static_cast<bool>(in), "binary CSR: truncated array");
     return vec;
 }
@@ -84,11 +112,16 @@ readCsrBinary(std::istream &in)
             "binary CSR: bad magic");
     const auto version = readScalar<std::uint32_t>(in);
     require(version == kVersion, "binary CSR: unsupported version");
-    const auto rows = readScalar<std::int32_t>(in);
-    const auto cols = readScalar<std::int32_t>(in);
+    const auto rows = checkedCast<Index>(readScalar<std::int32_t>(in));
+    const auto cols = checkedCast<Index>(readScalar<std::int32_t>(in));
+    require(rows >= 0 && cols >= 0,
+            "binary CSR: negative dimensions");
     auto offsets = readVector<Offset>(in);
     auto indices = readVector<Index>(in);
     auto values = readVector<Value>(in);
+    // The Csr constructor runs the cheap structural contract
+    // (monotone offsets, in-range columns); nothing read from disk is
+    // trusted beyond the byte level.
     return Csr(rows, cols, std::move(offsets), std::move(indices),
                std::move(values));
 }

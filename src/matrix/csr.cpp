@@ -4,6 +4,8 @@
 #include <numeric>
 #include <utility>
 
+#include "check/validators.hpp"
+
 namespace slo
 {
 
@@ -16,25 +18,8 @@ Csr::Csr(Index num_rows, Index num_cols,
       colIndices_(std::move(col_indices)),
       values_(std::move(values))
 {
-    require(num_rows >= 0 && num_cols >= 0,
-            "Csr: dimensions must be non-negative");
-    require(rowOffsets_.size() ==
-                static_cast<std::size_t>(num_rows) + 1,
-            "Csr: rowOffsets must have numRows+1 entries");
-    require(rowOffsets_.front() == 0, "Csr: rowOffsets[0] must be 0");
-    require(rowOffsets_.back() ==
-                static_cast<Offset>(colIndices_.size()),
-            "Csr: rowOffsets must end at nnz");
-    require(values_.size() == colIndices_.size(),
-            "Csr: values/colIndices length mismatch");
-    for (std::size_t r = 0; r + 1 < rowOffsets_.size(); ++r) {
-        require(rowOffsets_[r] <= rowOffsets_[r + 1],
-                "Csr: rowOffsets must be non-decreasing");
-    }
-    for (Index col : colIndices_) {
-        require(col >= 0 && col < num_cols,
-                "Csr: column index out of bounds");
-    }
+    check::checkCsr(num_rows, num_cols, rowOffsets_, colIndices_,
+                    values_.size(), "Csr");
 }
 
 Csr
@@ -45,6 +30,13 @@ Csr::fromCoo(const Coo &coo, DuplicatePolicy dup)
     const auto &rows = coo.rows();
     const auto &cols = coo.cols();
     const auto &vals = coo.vals();
+
+    // Coo::add bounds-checks each entry; re-verify the whole batch only
+    // under full validation (a corrupt COO would scatter the counting
+    // sort below out of bounds).
+    if (check::enabled(check::Level::Full))
+        check::checkCoo(num_rows, num_cols, rows, cols, vals.size(),
+                        "Csr::fromCoo");
 
     // Counting sort by row.
     std::vector<Offset> offsets(static_cast<std::size_t>(num_rows) + 1, 0);

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "check/checked_cast.hpp"
+
 namespace slo::io
 {
 
@@ -63,7 +65,7 @@ readMatrixMarket(std::istream &in)
     require(rows > 0 && cols > 0 && entries >= 0,
             "MatrixMarket: bad size line");
 
-    Coo coo(static_cast<Index>(rows), static_cast<Index>(cols));
+    Coo coo(checkedCast<Index>(rows), checkedCast<Index>(cols));
     coo.reserve(mirror ? entries * 2 : entries);
     for (long long i = 0; i < entries; ++i) {
         require(static_cast<bool>(std::getline(in, line)),
@@ -152,13 +154,13 @@ readEdgeList(std::istream &in)
         entry >> weight; // optional third column
         require(src >= 0 && dst >= 0,
                 "edge list: ids must be non-negative");
-        sources.push_back(static_cast<Index>(src));
-        targets.push_back(static_cast<Index>(dst));
+        sources.push_back(checkedCast<Index>(src));
+        targets.push_back(checkedCast<Index>(dst));
         weights.push_back(static_cast<Value>(
             entry.fail() ? 1.0 : weight));
         max_id = std::max({max_id, src, dst});
     }
-    const auto n = static_cast<Index>(max_id + 1);
+    const auto n = checkedCast<Index>(max_id + 1);
     Coo coo(n, n);
     coo.reserve(static_cast<Offset>(sources.size()));
     for (std::size_t i = 0; i < sources.size(); ++i)

@@ -3,6 +3,7 @@
 #include <numeric>
 #include <utility>
 
+#include "check/validators.hpp"
 #include "matrix/rng.hpp"
 
 namespace slo
@@ -11,8 +12,7 @@ namespace slo
 Permutation::Permutation(std::vector<Index> new_ids)
     : newIds_(std::move(new_ids))
 {
-    require(isPermutation(newIds_),
-            "Permutation: array is not a bijection over [0, n)");
+    check::checkPermutation(newIds_, -1, "Permutation");
 }
 
 Permutation
@@ -41,8 +41,7 @@ Permutation::random(Index n, std::uint64_t seed)
 Permutation
 Permutation::fromNewToOld(const std::vector<Index> &order)
 {
-    require(isPermutation(order),
-            "Permutation::fromNewToOld: array is not a bijection");
+    check::checkPermutation(order, -1, "Permutation::fromNewToOld");
     Permutation p;
     p.newIds_.resize(order.size());
     for (std::size_t new_id = 0; new_id < order.size(); ++new_id)

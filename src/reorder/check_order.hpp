@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Contract gate for permutations produced by reordering algorithms.
+ *
+ * Every technique returns through checkedOrder(), so a reordering bug
+ * that emits a wrong-sized or non-bijective permutation is caught at
+ * the boundary — tagged with the algorithm's name — instead of
+ * silently reshuffling every downstream traffic number.
+ */
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "check/validators.hpp"
+#include "matrix/permutation.hpp"
+
+namespace slo::reorder
+{
+
+/**
+ * Validate @p perm as the result of @p algorithm over @p expected_size
+ * vertices. Size mismatch is checked at cheap level and up; the full
+ * bijection is re-verified (beyond what the Permutation constructor
+ * already did) only under SLO_CHECK_LEVEL=full.
+ */
+inline Permutation
+checkedOrder(Permutation perm, Index expected_size,
+             std::string_view algorithm)
+{
+    if (check::enabled(check::Level::Cheap)) {
+        check::Context ctx;
+        ctx.add("where", std::string(algorithm));
+        ctx.add("size", perm.size());
+        ctx.add("expected_size", expected_size);
+        SLO_CHECK_CTX(perm.size() == expected_size, "check.reorder", ctx,
+                      algorithm << ": permutation size " << perm.size()
+                                << " != vertex count " << expected_size);
+    }
+    if (check::enabled(check::Level::Full))
+        check::checkPermutation(perm.newIds(), expected_size, algorithm);
+    return perm;
+}
+
+} // namespace slo::reorder

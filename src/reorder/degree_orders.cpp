@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "matrix/properties.hpp"
+#include "reorder/check_order.hpp"
 
 namespace slo::reorder
 {
@@ -33,7 +34,8 @@ degSortOrder(const Csr &matrix)
             return degrees[static_cast<std::size_t>(a)] >
                    degrees[static_cast<std::size_t>(b)];
         });
-    return Permutation::fromNewToOld(order);
+    return checkedOrder(Permutation::fromNewToOld(order),
+                        matrix.numRows(), "degSortOrder");
 }
 
 Permutation
@@ -54,7 +56,8 @@ dbgOrder(const Csr &matrix)
             return bucket_of(degrees[static_cast<std::size_t>(a)]) >
                    bucket_of(degrees[static_cast<std::size_t>(b)]);
         });
-    return Permutation::fromNewToOld(order);
+    return checkedOrder(Permutation::fromNewToOld(order),
+                        matrix.numRows(), "dbgOrder");
 }
 
 Permutation
@@ -81,7 +84,8 @@ hubSortOrder(const Csr &matrix)
                    degrees[static_cast<std::size_t>(b)];
         });
     hubs.insert(hubs.end(), rest.begin(), rest.end());
-    return Permutation::fromNewToOld(hubs);
+    return checkedOrder(Permutation::fromNewToOld(hubs),
+                        matrix.numRows(), "hubSortOrder");
 }
 
 Permutation
@@ -106,7 +110,8 @@ hubClusterOrder(const Csr &matrix)
             order.push_back(v);
         }
     }
-    return Permutation::fromNewToOld(order);
+    return checkedOrder(Permutation::fromNewToOld(order),
+                        matrix.numRows(), "hubClusterOrder");
 }
 
 } // namespace slo::reorder

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "reorder/check_order.hpp"
+
 namespace slo::reorder
 {
 
@@ -108,7 +110,8 @@ gorderOrder(const Csr &matrix, const GorderOptions &options)
         }
         place(chosen);
     }
-    return Permutation::fromNewToOld(order);
+    return checkedOrder(Permutation::fromNewToOld(order), n,
+                        "gorderOrder");
 }
 
 } // namespace slo::reorder

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "reorder/check_order.hpp"
 
 namespace slo::reorder
 {
@@ -32,7 +33,8 @@ rabbitOrder(const Csr &matrix, const community::AggregationOptions &options)
                                           << agg.numMerges << " merges)");
     SLO_SPAN("rabbit.dfs_order");
     RabbitResult result{
-        Permutation::fromNewToOld(agg.dendrogram.dfsOrder()),
+        checkedOrder(Permutation::fromNewToOld(agg.dendrogram.dfsOrder()),
+                     matrix.numRows(), "rabbitOrder"),
         std::move(agg.clustering),
         std::move(agg.dendrogram),
     };

@@ -6,6 +6,7 @@
 #include "community/metrics.hpp"
 #include "matrix/properties.hpp"
 #include "obs/obs.hpp"
+#include "reorder/check_order.hpp"
 
 namespace slo::reorder
 {
@@ -86,7 +87,8 @@ rabbitPlusFromRabbit(const Csr &matrix, const RabbitResult &rabbit,
     order.insert(order.end(), hubs.begin(), hubs.end());
     order.insert(order.end(), middle.begin(), middle.end());
     order.insert(order.end(), insular_group.begin(), insular_group.end());
-    result.perm = Permutation::fromNewToOld(order);
+    result.perm = checkedOrder(Permutation::fromNewToOld(order), n,
+                               "rabbitPlusOrder");
     obs::gauge("rabbitpp.num_insular")
         .set(static_cast<double>(result.numInsular));
     obs::gauge("rabbitpp.num_hubs")

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "reorder/check_order.hpp"
+
 namespace slo::reorder
 {
 
@@ -120,7 +122,8 @@ rcmOrder(const Csr &matrix)
         order.insert(order.end(), bfs.order.begin(), bfs.order.end());
     }
     std::reverse(order.begin(), order.end());
-    return Permutation::fromNewToOld(order);
+    return checkedOrder(Permutation::fromNewToOld(order), n,
+                        "rcmOrder");
 }
 
 } // namespace slo::reorder

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "reorder/check_order.hpp"
 #include "reorder/degree_orders.hpp"
 #include "reorder/gorder.hpp"
 #include "reorder/rabbit.hpp"
@@ -19,39 +20,47 @@ computeOrdering(Technique technique, const Csr &matrix,
                 const ReorderOptions &options)
 {
     require(matrix.isSquare(), "computeOrdering: matrix must be square");
+    // Each case below returns through checkedOrder() inside its
+    // implementation (or is trusted by construction: identity/random);
+    // the dispatch itself re-tags the contract with the technique name
+    // so a violation names what the experiment actually asked for.
+    const auto checked = [&](Permutation perm) {
+        return checkedOrder(std::move(perm), matrix.numRows(),
+                            techniqueName(technique));
+    };
     switch (technique) {
       case Technique::Original:
         return Permutation::identity(matrix.numRows());
       case Technique::Random:
         return Permutation::random(matrix.numRows(), options.seed);
       case Technique::DegSort:
-        return degSortOrder(matrix);
+        return checked(degSortOrder(matrix));
       case Technique::Dbg:
-        return dbgOrder(matrix);
+        return checked(dbgOrder(matrix));
       case Technique::HubSort:
-        return hubSortOrder(matrix);
+        return checked(hubSortOrder(matrix));
       case Technique::HubCluster:
-        return hubClusterOrder(matrix);
+        return checked(hubClusterOrder(matrix));
       case Technique::Rcm:
-        return rcmOrder(matrix);
+        return checked(rcmOrder(matrix));
       case Technique::SlashBurn:
-        return slashBurnOrder(matrix, {options.slashburnK});
+        return checked(slashBurnOrder(matrix, {options.slashburnK}));
       case Technique::Gorder:
-        return gorderOrder(matrix,
-                           {options.gorderWindow, options.gorderHubCap});
+        return checked(gorderOrder(
+            matrix, {options.gorderWindow, options.gorderHubCap}));
       case Technique::Rabbit:
-        return rabbitOrder(matrix).perm;
+        return checked(rabbitOrder(matrix).perm);
       case Technique::RabbitPlusPlus:
-        return rabbitPlusOrder(matrix,
-                               {options.groupInsular,
-                                options.hubTreatment,
-                                options.hubDegreeFactor})
-            .perm;
+        return checked(rabbitPlusOrder(matrix,
+                                       {options.groupInsular,
+                                        options.hubTreatment,
+                                        options.hubDegreeFactor})
+                           .perm);
       case Technique::Partition: {
         partition::PartitionOptions popts;
         popts.numParts = options.partitionParts;
         popts.seed = options.seed;
-        return partition::partitionOrder(matrix, popts);
+        return checked(partition::partitionOrder(matrix, popts));
       }
     }
     fatal("computeOrdering: unknown technique");

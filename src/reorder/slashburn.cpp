@@ -5,6 +5,8 @@
 #include <numeric>
 #include <vector>
 
+#include "reorder/check_order.hpp"
+
 namespace slo::reorder
 {
 
@@ -118,7 +120,8 @@ slashBurnOrder(const Csr &matrix, const SlashBurnOptions &options)
     }
     for (auto it = spokes.rbegin(); it != spokes.rend(); ++it)
         order.insert(order.end(), it->begin(), it->end());
-    return Permutation::fromNewToOld(order);
+    return checkedOrder(Permutation::fromNewToOld(order), n,
+                        "slashBurnOrder");
 }
 
 } // namespace slo::reorder

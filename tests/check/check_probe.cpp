@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Standalone probe for scripts/check_smoke.py: deliberately corrupts a
+ * permutation, lets the contract layer trip, and prints the diagnostic.
+ * The smoke test sets SLO_CHECK_REPORT and schema-checks the JSON
+ * report this run leaves behind. Exits 0 iff the violation fired with
+ * a file:line diagnostic.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/validators.hpp"
+#include "matrix/types.hpp"
+
+int
+main()
+{
+    using namespace slo;
+    check::setLevel(check::Level::Full);
+
+    std::vector<Index> new_ids(100);
+    for (Index i = 0; i < 100; ++i)
+        new_ids[static_cast<std::size_t>(i)] = i;
+    new_ids[41] = 7; // corrupt: id 7 now appears twice, 41 never
+
+    try {
+        check::checkPermutation(new_ids, 100, "check_probe");
+    } catch (const check::ContractViolation &violation) {
+        std::printf("tripped: %s\n", violation.what());
+        const bool has_location =
+            !violation.file().empty() && violation.line() > 0;
+        std::printf("location: %s:%d\n", violation.file().c_str(),
+                    violation.line());
+        return has_location ? 0 : 1;
+    }
+    std::fprintf(stderr, "corrupt permutation was NOT caught\n");
+    return 1;
+}

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Negative tests for the contract-checking layer: corrupt permutations,
+ * incoherent CSR arrays, truncated files, overflowing casts — each must
+ * trip SLO_CHECK with a file:line diagnostic rather than slip through.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "check/check.hpp"
+#include "check/checked_cast.hpp"
+#include "check/validators.hpp"
+#include "matrix/binary_io.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/matrix_market.hpp"
+#include "matrix/permutation.hpp"
+
+namespace slo
+{
+namespace
+{
+
+/** Pin the check level for a test, restoring the previous one after. */
+class CheckTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { previous_ = check::level(); }
+    void TearDown() override { check::setLevel(previous_); }
+
+  private:
+    check::Level previous_ = check::Level::Cheap;
+};
+
+TEST_F(CheckTest, ParsesLevelNames)
+{
+    using check::Level;
+    EXPECT_EQ(check::parseLevel("off", Level::Full), Level::Off);
+    EXPECT_EQ(check::parseLevel("cheap", Level::Full), Level::Cheap);
+    EXPECT_EQ(check::parseLevel("full", Level::Off), Level::Full);
+    EXPECT_EQ(check::parseLevel("2", Level::Off), Level::Full);
+    EXPECT_EQ(check::parseLevel("bogus", Level::Cheap), Level::Cheap);
+    EXPECT_STREQ(check::levelName(Level::Full), "full");
+}
+
+TEST_F(CheckTest, ViolationCarriesFileAndLine)
+{
+    try {
+        SLO_CHECK(1 == 2, "test", "deliberate failure, n=" << 42);
+        FAIL() << "SLO_CHECK did not throw";
+    } catch (const check::ContractViolation &violation) {
+        EXPECT_NE(violation.file().find("check_test.cpp"),
+                  std::string::npos);
+        EXPECT_GT(violation.line(), 0);
+        const std::string what = violation.what();
+        EXPECT_NE(what.find("contract violation [test]"),
+                  std::string::npos);
+        EXPECT_NE(what.find("deliberate failure, n=42"),
+                  std::string::npos);
+        EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    }
+}
+
+TEST_F(CheckTest, ContextRendersOrderedJson)
+{
+    check::Context ctx;
+    ctx.add("n", Index{7}).add("where", std::string("unit"));
+    EXPECT_EQ(ctx.toJson(), R"({"n":7,"where":"unit"})");
+}
+
+TEST_F(CheckTest, ViolationWritesSchemaReport)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "slo-check-test-report.json";
+    std::filesystem::remove(path);
+    ::setenv("SLO_CHECK_REPORT", path.c_str(), 1);
+    check::Context ctx;
+    ctx.add("n", Index{3});
+    EXPECT_THROW(
+        check::fail("f.cpp", 12, "expr", "test", "boom", ctx),
+        check::ContractViolation);
+    ::unsetenv("SLO_CHECK_REPORT");
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "no report at " << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string report = buffer.str();
+    EXPECT_NE(report.find("\"slo.check-violation/1\""),
+              std::string::npos);
+    EXPECT_NE(report.find("\"component\": \"test\""), std::string::npos);
+    EXPECT_NE(report.find("\"line\": 12"), std::string::npos);
+    std::filesystem::remove(path);
+}
+
+TEST_F(CheckTest, CheckedCastPassesAndThrows)
+{
+    EXPECT_EQ(checkedCast<Index>(std::int64_t{123}), 123);
+    EXPECT_EQ(checkedCast<std::size_t>(Offset{5}), 5u);
+    EXPECT_THROW(checkedCast<Index>(std::int64_t{1} << 40),
+                 check::ContractViolation);
+    EXPECT_THROW(checkedCast<Index>(std::int64_t{-1} << 40),
+                 check::ContractViolation);
+    EXPECT_THROW(checkedCast<std::uint32_t>(-1),
+                 check::ContractViolation);
+}
+
+TEST_F(CheckTest, CorruptPermutationTrips)
+{
+    check::setLevel(check::Level::Full);
+    // Duplicate id 1, id 2 missing: not a bijection.
+    const std::vector<Index> corrupt{0, 1, 1, 3};
+    try {
+        const Permutation perm{corrupt};
+        FAIL() << "corrupt permutation accepted";
+    } catch (const check::ContractViolation &violation) {
+        EXPECT_NE(violation.file().find("validators.cpp"),
+                  std::string::npos);
+        EXPECT_GT(violation.line(), 0);
+    }
+    EXPECT_THROW(check::checkPermutation(corrupt, 4, "unit"),
+                 check::ContractViolation);
+    EXPECT_THROW(
+        check::checkPermutation(std::vector<Index>{0, 9}, 2, "unit"),
+        check::ContractViolation); // out of range
+    EXPECT_THROW(
+        check::checkPermutation(std::vector<Index>{0, 1}, 3, "unit"),
+        check::ContractViolation); // size mismatch
+}
+
+TEST_F(CheckTest, OffLevelSkipsValidators)
+{
+    check::setLevel(check::Level::Off);
+    const std::vector<Index> corrupt{0, 0, 7};
+    EXPECT_NO_THROW(check::checkPermutation(corrupt, 3, "unit"));
+}
+
+TEST_F(CheckTest, CsrRejectsNonMonotoneRowPtr)
+{
+    // row_offsets must be monotone; {0, 2, 1, 3} dips at row 1.
+    EXPECT_THROW(Csr(3, 3, {0, 2, 1, 3}, {0, 1, 2},
+                     {1.0F, 1.0F, 1.0F}),
+                 std::invalid_argument);
+    EXPECT_THROW(Csr(3, 3, {1, 2, 3, 3}, {0, 1, 2},
+                     {1.0F, 1.0F, 1.0F}),
+                 std::invalid_argument); // does not start at 0
+}
+
+TEST_F(CheckTest, CsrRejectsOutOfRangeColumns)
+{
+    EXPECT_THROW(Csr(2, 2, {0, 1, 2}, {0, 5}, {1.0F, 1.0F}),
+                 std::invalid_argument);
+    EXPECT_THROW(Csr(2, 2, {0, 1, 2}, {0, -1}, {1.0F, 1.0F}),
+                 std::invalid_argument);
+}
+
+TEST_F(CheckTest, FullLevelEnforcesSortedRows)
+{
+    check::setLevel(check::Level::Full);
+    const std::vector<Offset> offsets{0, 2};
+    const std::vector<Index> unsorted{1, 0};
+    EXPECT_NO_THROW(check::checkCsr(1, 2, offsets, unsorted, 2, "unit"));
+    EXPECT_THROW(check::checkCsr(1, 2, offsets, unsorted, 2, "unit",
+                                 /*require_sorted_rows=*/true),
+                 check::ContractViolation);
+}
+
+TEST_F(CheckTest, ClusteringDensityRequiresEveryLabel)
+{
+    check::setLevel(check::Level::Full);
+    const std::vector<Index> labels{0, 0, 2}; // label 1 never used
+    EXPECT_NO_THROW(check::checkClustering(labels, 3, "unit"));
+    EXPECT_THROW(check::checkClustering(labels, 3, "unit",
+                                        /*require_dense=*/true),
+                 check::ContractViolation);
+    EXPECT_THROW(check::checkClustering(labels, 2, "unit"),
+                 check::ContractViolation); // label out of range
+}
+
+TEST_F(CheckTest, DendrogramRejectsCyclesAndSelfParents)
+{
+    EXPECT_THROW(
+        check::checkDendrogram(std::vector<Index>{0, -1}, "unit"),
+        check::ContractViolation); // self-parent
+    EXPECT_THROW(
+        check::checkDendrogram(std::vector<Index>{5, -1}, "unit"),
+        check::ContractViolation); // parent out of range
+    check::setLevel(check::Level::Full);
+    EXPECT_THROW(
+        check::checkDendrogram(std::vector<Index>{1, 2, 0}, "unit"),
+        check::ContractViolation); // 0 -> 1 -> 2 -> 0 cycle
+    EXPECT_NO_THROW(
+        check::checkDendrogram(std::vector<Index>{2, 2, -1}, "unit"));
+}
+
+TEST_F(CheckTest, TruncatedBinaryCsrThrows)
+{
+    const Csr matrix = gen::erdosRenyi(32, 0.1, 7);
+    std::ostringstream out(std::ios::binary);
+    io::writeCsrBinary(out, matrix);
+    const std::string bytes = out.str();
+
+    // Chop the payload: the declared array sizes now exceed the stream.
+    std::istringstream truncated(bytes.substr(0, bytes.size() / 2),
+                                 std::ios::binary);
+    EXPECT_THROW(io::readCsrBinary(truncated), std::invalid_argument);
+
+    // A bit-flipped declared array size must not cause a giant
+    // allocation: the reader cross-checks it against stream length.
+    // Byte 20 is inside the u64 row_offsets length that follows the
+    // 16-byte header (magic, version, rows, cols).
+    std::string corrupt = bytes;
+    corrupt[20] = '\x7f';
+    std::istringstream poisoned(corrupt, std::ios::binary);
+    EXPECT_THROW(io::readCsrBinary(poisoned), std::invalid_argument);
+}
+
+TEST_F(CheckTest, TruncatedMatrixMarketThrows)
+{
+    std::istringstream truncated(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "3 3 3\n"
+        "1 1 10.0\n"); // 3 entries declared, 1 present
+    EXPECT_THROW(io::readMatrixMarket(truncated),
+                 std::invalid_argument);
+}
+
+TEST_F(CheckTest, CacheInvariantsHoldUnderFullChecking)
+{
+    check::setLevel(check::Level::Full);
+    cache::CacheConfig config;
+    config.capacityBytes = 4 * 1024;
+    config.lineBytes = 32;
+    config.ways = 4;
+    cache::CacheSim sim(config);
+    for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 16)
+        sim.access(addr);
+    sim.checkInvariants();
+    EXPECT_NO_THROW(sim.finish());
+}
+
+} // namespace
+} // namespace slo
