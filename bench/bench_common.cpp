@@ -7,6 +7,7 @@
 
 #include "community/metrics.hpp"
 #include "obs/obs.hpp"
+#include "par/par.hpp"
 
 namespace slo::bench
 {
@@ -44,6 +45,11 @@ loadEnv(const std::string &bench_name)
 
     obs::RunManifest::instance().set("scale",
                                      core::scaleName(env.scale));
+    // Record the worker count (SLO_THREADS) in the manifest only — the
+    // stdout banner stays byte-identical across thread counts.
+    obs::RunManifest::instance().set(
+        "threads", static_cast<std::uint64_t>(
+                       par::ThreadPool::global().numThreads()));
     {
         obs::Json spec = obs::Json::object();
         spec["name"] = env.spec.name;

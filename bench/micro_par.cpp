@@ -1,0 +1,137 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the slo::par runtime:
+ * parallelFor / parallelReduce / parallelStableSort throughput at 1, 2,
+ * 4 and SLO_THREADS-default worker counts (host-side scaling data, not
+ * paper data). run_benches.sh captures the JSON so a trajectory can
+ * track the speedup curve per host.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "matrix/generators.hpp"
+#include "matrix/permutation.hpp"
+#include "par/par.hpp"
+
+namespace
+{
+
+using namespace slo;
+
+const Csr &
+benchMatrix()
+{
+    static const Csr matrix =
+        gen::rmatSocial(15, 10.0, 42).permutedSymmetric(
+            Permutation::random(1 << 15, 7));
+    return matrix;
+}
+
+/** Thread counts worth plotting: 1 (serial), 2, 4, host default. */
+void
+threadArgs(benchmark::internal::Benchmark *bench)
+{
+    bench->Arg(1)->Arg(2)->Arg(4)->Arg(par::defaultThreads());
+}
+
+void
+BM_ParallelForRowScan(benchmark::State &state)
+{
+    par::ThreadPool pool(static_cast<int>(state.range(0)));
+    const Csr &m = benchMatrix();
+    std::vector<std::int64_t> out(
+        static_cast<std::size_t>(m.numRows()));
+    for (auto _ : state) {
+        par::parallelFor(
+            std::size_t{0}, out.size(),
+            [&](std::size_t v) {
+                std::int64_t sum = 0;
+                for (Index c : m.rowIndices(static_cast<Index>(v)))
+                    sum += c;
+                out[v] = sum;
+            },
+            par::ForOptions{0, &pool});
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        m.numNonZeros());
+}
+BENCHMARK(BM_ParallelForRowScan)->Apply(threadArgs);
+
+void
+BM_ParallelReduceDegreeSum(benchmark::State &state)
+{
+    par::ThreadPool pool(static_cast<int>(state.range(0)));
+    const Csr &m = benchMatrix();
+    for (auto _ : state) {
+        const std::int64_t total = par::parallelReduce(
+            std::size_t{0}, static_cast<std::size_t>(m.numRows()),
+            /*grain=*/0, std::int64_t{0},
+            [&m](std::size_t lo, std::size_t hi) {
+                std::int64_t sum = 0;
+                for (std::size_t v = lo; v < hi; ++v)
+                    sum += m.degree(static_cast<Index>(v));
+                return sum;
+            },
+            [](std::int64_t a, std::int64_t b) { return a + b; },
+            &pool);
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * m.numRows());
+}
+BENCHMARK(BM_ParallelReduceDegreeSum)->Apply(threadArgs);
+
+void
+BM_ParallelStableSortByDegree(benchmark::State &state)
+{
+    par::ThreadPool pool(static_cast<int>(state.range(0)));
+    const Csr &m = benchMatrix();
+    std::vector<Index> base(static_cast<std::size_t>(m.numRows()));
+    std::iota(base.begin(), base.end(), Index{0});
+    for (auto _ : state) {
+        state.PauseTiming();
+        std::vector<Index> order = base;
+        state.ResumeTiming();
+        par::parallelStableSort(
+            order.begin(), order.end(),
+            [&m](Index a, Index b) {
+                return m.degree(a) < m.degree(b);
+            },
+            &pool);
+        benchmark::DoNotOptimize(order.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * m.numRows());
+}
+BENCHMARK(BM_ParallelStableSortByDegree)->Apply(threadArgs);
+
+void
+BM_TaskGroupSubmitDrain(benchmark::State &state)
+{
+    par::ThreadPool pool(static_cast<int>(state.range(0)));
+    constexpr int kTasks = 1024;
+    for (auto _ : state) {
+        std::int64_t counter = 0;
+        par::parallelFor(
+            std::size_t{0}, std::size_t{kTasks},
+            [&counter](std::size_t) {
+                // Near-empty body: scheduling overhead dominates,
+                // which is exactly what this measures.
+                benchmark::DoNotOptimize(counter);
+            },
+            par::ForOptions{1, &pool});
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kTasks);
+}
+BENCHMARK(BM_TaskGroupSubmitDrain)->Apply(threadArgs);
+
+} // namespace
+
+BENCHMARK_MAIN();

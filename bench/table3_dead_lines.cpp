@@ -10,6 +10,7 @@
 #include <map>
 
 #include "bench_common.hpp"
+#include "core/grid.hpp"
 
 using namespace slo;
 
@@ -22,16 +23,26 @@ main()
         reorder::figure2Techniques();
     techniques.push_back(reorder::Technique::RabbitPlusPlus);
 
-    std::map<reorder::Technique, std::vector<double>> dead;
-    for (const auto &m : env.corpus) {
-        for (auto t : techniques) {
+    // Parallel grid, positional gather: per-technique vectors come out
+    // in corpus order at any thread count.
+    const auto reports = core::runGrid(
+        env.corpus, techniques, [&env](const core::GridCell &cell) {
             const core::TimedOrdering ordering =
-                core::orderingFor(m.entry, m.original, env.scale, t);
-            const gpu::SimReport report = core::simulateOrdered(
-                m.original, ordering.perm, env.spec);
-            dead[t].push_back(report.deadLineFraction);
-        }
-        std::cerr << "[table3] " << m.entry.name << " done\n";
+                core::orderingFor(cell.matrix->entry,
+                                  cell.matrix->original, env.scale,
+                                  cell.technique);
+            return core::simulateOrderedAs(
+                cell.matrix->entry.name, cell.matrix->original,
+                ordering.perm, env.spec);
+        });
+
+    std::map<reorder::Technique, std::vector<double>> dead;
+    for (std::size_t mi = 0; mi < env.corpus.size(); ++mi) {
+        for (std::size_t ti = 0; ti < techniques.size(); ++ti)
+            dead[techniques[ti]].push_back(
+                reports[mi][ti].deadLineFraction);
+        std::cerr << "[table3] " << env.corpus[mi].entry.name
+                  << " done\n";
     }
 
     const std::map<reorder::Technique, std::string> paper = {

@@ -14,10 +14,13 @@
  * RABBIT++   1.4  1.55  1.23     3.79  5.85  2.18    18.7   43.97 3.95
  */
 
+#include <array>
 #include <iostream>
 #include <map>
 
 #include "bench_common.hpp"
+#include "core/grid.hpp"
+#include "par/par.hpp"
 
 using namespace slo;
 
@@ -47,29 +50,55 @@ main()
         reorder::Technique::Rabbit,
         reorder::Technique::RabbitPlusPlus};
 
+    // Per-matrix insularity classes, computed concurrently (vector<bool>
+    // packs bits, so gather through a byte vector to avoid write races).
+    std::vector<char> insularity_class(env.corpus.size(), 0);
+    par::parallelFor(
+        std::size_t{0}, env.corpus.size(),
+        [&](std::size_t mi) {
+            insularity_class[mi] =
+                bench::rabbitInfoFor(env, env.corpus[mi]).highInsularity
+                    ? 1
+                    : 0;
+        },
+        par::ForOptions{1});
+    std::vector<bool> high_insularity(env.corpus.size());
+    for (std::size_t mi = 0; mi < env.corpus.size(); ++mi)
+        high_insularity[mi] = insularity_class[mi] != 0;
+
+    // Each grid cell reorders once and runs all three kernels on it.
+    const auto grid = core::runGrid(
+        env.corpus, techniques,
+        [&env, &kernels](const core::GridCell &cell) {
+            const core::TimedOrdering ordering =
+                core::orderingFor(cell.matrix->entry,
+                                  cell.matrix->original, env.scale,
+                                  cell.technique);
+            const Csr reordered =
+                cell.matrix->original.permutedSymmetric(ordering.perm);
+            std::array<double, 3> runtimes{};
+            for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+                runtimes[ki] =
+                    gpu::simulateKernel(reordered, env.spec,
+                                        kernels[ki].options)
+                        .normalizedRuntime;
+            }
+            return runtimes;
+        });
+
     // results[kernel][technique] = per-matrix normalized run time.
     std::map<std::string,
              std::map<reorder::Technique, std::vector<double>>>
         results;
-    std::vector<bool> high_insularity;
-
-    for (const auto &m : env.corpus) {
-        high_insularity.push_back(
-            bench::rabbitInfoFor(env, m).highInsularity);
-        for (auto t : techniques) {
-            const core::TimedOrdering ordering =
-                core::orderingFor(m.entry, m.original, env.scale, t);
-            const Csr reordered =
-                m.original.permutedSymmetric(ordering.perm);
-            for (const KernelCase &k : kernels) {
-                const gpu::SimReport report =
-                    gpu::simulateKernel(reordered, env.spec,
-                                        k.options);
-                results[k.name][t].push_back(
-                    report.normalizedRuntime);
+    for (std::size_t mi = 0; mi < env.corpus.size(); ++mi) {
+        for (std::size_t ti = 0; ti < techniques.size(); ++ti) {
+            for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+                results[kernels[ki].name][techniques[ti]].push_back(
+                    grid[mi][ti][ki]);
             }
         }
-        std::cerr << "[table4] " << m.entry.name << " done\n";
+        std::cerr << "[table4] " << env.corpus[mi].entry.name
+                  << " done\n";
     }
 
     core::Table table({"technique", "SpMV-COO: ALL", "<0.95", ">=0.95",

@@ -12,6 +12,9 @@
 #      -DSLO_SANITIZE=address;undefined, -Werror, bench/examples off)
 #      and ctest with SLO_CHECK_LEVEL=full so every contract validator
 #      runs its deep checks under the sanitizers.
+#   4. TSan build (cmake preset "tsan") running the concurrency-labelled
+#      tests (thread pool, obs contention, artifact-cache races). Set
+#      SLO_TSAN_FULL=1 to run the whole suite under TSan instead.
 #
 # On success writes .slo-check-stamp (git SHA + tree state) at the repo
 # root; scripts/run_benches.sh refuses to run without a stamp matching
@@ -58,6 +61,18 @@ cmake --build --preset asan -j "$jobs" || die "asan build"
 
 step "ctest under ASan/UBSan with SLO_CHECK_LEVEL=full"
 ctest --preset asan -j "$jobs" || die "asan ctest"
+
+step "TSan build (preset: tsan, -j$jobs)"
+cmake --preset tsan || die "cmake configure (tsan)"
+cmake --build --preset tsan -j "$jobs" || die "tsan build"
+
+if [ "${SLO_TSAN_FULL:-0}" = "1" ]; then
+    step "ctest under TSan (full suite, SLO_TSAN_FULL=1)"
+    ctest --preset tsan -j "$jobs" || die "tsan ctest"
+else
+    step "ctest under TSan (concurrency label; SLO_TSAN_FULL=1 for all)"
+    ctest --preset tsan -L concurrency -j "$jobs" || die "tsan ctest"
+fi
 
 sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 dirty=""

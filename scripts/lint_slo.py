@@ -13,6 +13,10 @@ Enforces repo rules that neither the compiler nor clang-tidy express:
   raw-chrono          std::chrono timing outside src/obs — all timing
                       goes through the observability layer so manifests
                       stay the single source of truth.
+  raw-thread          std::thread/std::jthread/std::async outside
+                      src/par — parallelism goes through the par layer
+                      (parallelFor / TaskGroup) so SLO_THREADS=1 can
+                      restore serial behaviour everywhere.
   assert-side-effect  assert() whose condition mutates state; NDEBUG
                       builds would change behaviour. Use SLO_CHECK.
   missing-pragma-once header without #pragma once.
@@ -126,6 +130,7 @@ class Linter:
         code_lines = strip_comments_and_strings(raw).splitlines()
         is_header = path.suffix in {".hpp", ".h"}
         in_obs = "src/obs" in path.as_posix()
+        in_par = "src/par" in path.as_posix()
 
         if is_header and "#pragma once" not in raw:
             self.report(rel, 1, "", "missing-pragma-once",
@@ -147,6 +152,12 @@ class Linter:
                 self.report(rel, lineno, rawl, "raw-chrono",
                             "raw std::chrono outside src/obs — time "
                             "through SLO_SPAN / obs timers")
+            if not in_par and re.search(
+                    r"\bstd::(thread|jthread|async)\b", code):
+                self.report(rel, lineno, rawl, "raw-thread",
+                            "raw std::thread/std::async outside "
+                            "src/par — use par::parallelFor / "
+                            "par::TaskGroup")
             match = ASSERT_PATTERN.search(code)
             if match:
                 args = code[match.end():]

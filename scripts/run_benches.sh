@@ -29,19 +29,39 @@ fi
 mkdir -p "$out"
 
 # Observability artifacts (<bench>.manifest.json / .trace.json /
-# .metrics.jsonl) land in the output dir alongside the tables.
+# .metrics.jsonl) land in the output dir alongside the tables. Each
+# manifest also records wall_seconds and the thread count; timings.tsv
+# aggregates the same wall clocks across benches for quick comparison
+# between SLO_THREADS settings.
 export SLO_TRACE="${SLO_TRACE:-1}"
 export SLO_OBS_DIR="$out"
+
+threads="${SLO_THREADS:-$(nproc 2>/dev/null || echo 1)}"
+timings="$out/timings.tsv"
+printf 'bench\twall_seconds\tthreads\n' > "$timings"
 
 failed=()
 ran=0
 for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
     name="$(basename "$b")"
+    # Google-benchmark binaries (micro_*) additionally drop their
+    # machine-readable results as BENCH_<name>.json.
+    args=()
+    case "$name" in
+        micro_*)
+            args=("--benchmark_out=$out/BENCH_$name.json"
+                  "--benchmark_out_format=json")
+            ;;
+    esac
     echo "=== $name start $(date +%T) ==="
-    "$b" > "$out/$name.txt" 2> "$out/$name.err"
+    t0="$(date +%s.%N)"
+    "$b" "${args[@]}" > "$out/$name.txt" 2> "$out/$name.err"
     rc=$?
-    echo "=== $name done $(date +%T) exit $rc ==="
+    t1="$(date +%s.%N)"
+    wall="$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')"
+    printf '%s\t%s\t%s\n' "$name" "$wall" "$threads" >> "$timings"
+    echo "=== $name done $(date +%T) exit $rc wall ${wall}s ==="
     ran=$((ran + 1))
     [ "$rc" -ne 0 ] && failed+=("$name (exit $rc)")
 done

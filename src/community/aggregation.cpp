@@ -8,6 +8,7 @@
 
 #include "check/validators.hpp"
 #include "obs/trace.hpp"
+#include "par/par.hpp"
 
 namespace slo::community
 {
@@ -46,6 +47,19 @@ class DisjointSets
         parent_[static_cast<std::size_t>(find(loser))] = find(winner);
     }
 
+    /**
+     * Root of @p v without path compression. Safe to call from many
+     * threads concurrently once merging is finished (pure reads),
+     * unlike find(), whose compression writes would race.
+     */
+    Index
+    findRoot(Index v) const
+    {
+        while (parent_[static_cast<std::size_t>(v)] != v)
+            v = parent_[static_cast<std::size_t>(v)];
+        return v;
+    }
+
   private:
     std::vector<Index> parent_;
 };
@@ -74,7 +88,8 @@ aggregateCommunities(const Csr &graph, const AggregationOptions &options)
     std::vector<Index> size(static_cast<std::size_t>(n), 1);
     std::vector<std::unordered_map<Index, double>> adjacency(
         static_cast<std::size_t>(n));
-    for (Index v = 0; v < n; ++v) {
+    // Each vertex builds only its own adjacency map and strength slot.
+    par::parallelFor(Index{0}, n, [&](Index v) {
         strength[static_cast<std::size_t>(v)] =
             static_cast<double>(graph.degree(v));
         auto &adj = adjacency[static_cast<std::size_t>(v)];
@@ -83,12 +98,14 @@ aggregateCommunities(const Csr &graph, const AggregationOptions &options)
             if (u != v)
                 adj[u] += 1.0;
         }
-    }
+    });
 
-    // Ascending-degree visit order (stable: ties by vertex id).
+    // Ascending-degree visit order (stable: ties by vertex id; the
+    // parallel sort produces the same unique stable order as
+    // std::stable_sort at any thread count).
     std::vector<Index> visit(static_cast<std::size_t>(n));
     std::iota(visit.begin(), visit.end(), Index{0});
-    std::stable_sort(visit.begin(), visit.end(),
+    par::parallelStableSort(visit.begin(), visit.end(),
         [&graph](Index a, Index b) {
             return graph.degree(a) < graph.degree(b);
         });
@@ -159,10 +176,13 @@ aggregateCommunities(const Csr &graph, const AggregationOptions &options)
         // lazily through the union-find when the map is next read.
     }
 
-    // Top-level communities from the union-find.
+    // Top-level communities from the union-find. findRoot (no path
+    // compression) keeps the structure read-only here, so the label
+    // resolution is safely parallel.
     std::vector<Index> labels(static_cast<std::size_t>(n));
-    for (Index v = 0; v < n; ++v)
-        labels[static_cast<std::size_t>(v)] = sets.find(v);
+    par::parallelFor(Index{0}, n, [&](Index v) {
+        labels[static_cast<std::size_t>(v)] = sets.findRoot(v);
+    });
     result.clustering = Clustering(std::move(labels)).compacted();
     check::checkClustering(result.clustering.labels(),
                            result.clustering.numCommunities(),

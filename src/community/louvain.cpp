@@ -10,6 +10,7 @@
 #include "community/metrics.hpp"
 #include "matrix/rng.hpp"
 #include "obs/obs.hpp"
+#include "par/par.hpp"
 
 namespace slo::community
 {
@@ -51,8 +52,9 @@ fromCsr(const Csr &graph)
     wg.weights.assign(wg.neighbours.size(), 1.0);
     wg.selfLoops.assign(static_cast<std::size_t>(wg.n), 0.0);
     // Pull self loops out of the adjacency (they contribute to strength
-    // differently).
-    for (Index v = 0; v < wg.n; ++v) {
+    // differently). Rows are independent: each iteration only touches
+    // row v's weight range and selfLoops[v].
+    par::parallelFor(Index{0}, wg.n, [&wg](Index v) {
         for (Offset i = wg.offsets[static_cast<std::size_t>(v)];
              i < wg.offsets[static_cast<std::size_t>(v) + 1]; ++i) {
             if (wg.neighbours[static_cast<std::size_t>(i)] == v) {
@@ -60,10 +62,19 @@ fromCsr(const Csr &graph)
                 wg.selfLoops[static_cast<std::size_t>(v)] += 1.0;
             }
         }
-    }
-    wg.totalWeight2 = 0.0;
-    for (Index v = 0; v < wg.n; ++v)
-        wg.totalWeight2 += wg.strengthOf(v);
+    });
+    // Chunk boundaries are fixed by the grain (not the thread count)
+    // and partials fold in chunk order, so the sum is reproducible; the
+    // addends are all whole numbers anyway, making it exact.
+    wg.totalWeight2 = par::parallelReduce(
+        Index{0}, wg.n, /*grain=*/0, 0.0,
+        [&wg](Index begin, Index end) {
+            double sum = 0.0;
+            for (Index v = begin; v < end; ++v)
+                sum += wg.strengthOf(v);
+            return sum;
+        },
+        [](double a, double b) { return a + b; });
     return wg;
 }
 
@@ -79,9 +90,15 @@ localMoving(const WeightedGraph &wg, std::vector<Index> &labels,
     if (m2 == 0.0)
         return false;
 
+    // Per-vertex strength scans are the bulk of a pass's setup cost;
+    // they are pure reads of the graph and independent per vertex. The
+    // move sweeps below stay sequential on purpose: each move reads the
+    // labels written by earlier moves, so a parallel sweep would change
+    // the clustering with the thread count.
     std::vector<double> strength(static_cast<std::size_t>(wg.n));
-    for (Index v = 0; v < wg.n; ++v)
+    par::parallelFor(Index{0}, wg.n, [&](Index v) {
         strength[static_cast<std::size_t>(v)] = wg.strengthOf(v);
+    });
 
     std::vector<double> community_strength(
         static_cast<std::size_t>(wg.n), 0.0);
@@ -194,7 +211,9 @@ aggregate(const WeightedGraph &wg, const std::vector<Index> &dense_labels,
     out.neighbours.resize(
         static_cast<std::size_t>(out.offsets.back()));
     out.weights.resize(out.neighbours.size());
-    for (Index c = 0; c < num_communities; ++c) {
+    // Each community fills its own disjoint [offsets[c], offsets[c+1])
+    // slice, so the sort+fill parallelizes without coordination.
+    par::parallelFor(Index{0}, num_communities, [&](Index c) {
         auto pos = static_cast<std::size_t>(
             out.offsets[static_cast<std::size_t>(c)]);
         // Deterministic order: sort neighbours by id.
@@ -207,11 +226,17 @@ aggregate(const WeightedGraph &wg, const std::vector<Index> &dense_labels,
             out.weights[pos] = w;
             ++pos;
         }
-    }
+    });
     out.selfLoops = std::move(self);
-    out.totalWeight2 = 0.0;
-    for (Index c = 0; c < num_communities; ++c)
-        out.totalWeight2 += out.strengthOf(c);
+    out.totalWeight2 = par::parallelReduce(
+        Index{0}, num_communities, /*grain=*/0, 0.0,
+        [&out](Index begin, Index end) {
+            double sum = 0.0;
+            for (Index c = begin; c < end; ++c)
+                sum += out.strengthOf(c);
+            return sum;
+        },
+        [](double a, double b) { return a + b; });
     return out;
 }
 

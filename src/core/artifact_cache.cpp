@@ -3,6 +3,12 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
+
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <fcntl.h>
 
 #include "check/checked_cast.hpp"
 #include "matrix/binary_io.hpp"
@@ -40,7 +46,61 @@ hexOf(std::uint64_t value)
     return out;
 }
 
+/**
+ * Per-process-unique temp path next to @p path. Two processes filling
+ * the same cache slot must not share a temp file: interleaved writes
+ * would produce a torn file that then gets renamed into place.
+ */
+std::filesystem::path
+uniqueTmpPath(const std::filesystem::path &path)
+{
+    return path.string() + "." + std::to_string(::getpid()) + ".tmp";
+}
+
+/**
+ * flock() re-entrancy bookkeeping: flock on a *second* descriptor of
+ * the same file blocks even within one process, so a thread that
+ * already holds a key's lock (e.g. rabbitArtifactsFor locking around
+ * a loadOrBuild call) must not lock again.
+ */
+thread_local std::map<std::string, int> t_lock_depth;
+
 } // namespace
+
+CacheKeyLock::CacheKeyLock(const std::string &key)
+{
+    if (!cacheEnabled())
+        return;
+    stem_ = cacheFileStem(key);
+    if (++t_lock_depth[stem_] > 1)
+        return; // this thread already holds the flock
+    const std::filesystem::path path =
+        std::filesystem::path(cacheDir()) / (stem_ + ".lock");
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    if (fd_ < 0) {
+        // Lock failure degrades to the pre-locking behaviour (possible
+        // duplicate builds), never to a cache error.
+        SLO_LOG_WARN("artifact_cache",
+                     "cannot lock cache slot for " << key);
+    }
+}
+
+CacheKeyLock::~CacheKeyLock()
+{
+    if (stem_.empty())
+        return;
+    if (--t_lock_depth[stem_] == 0) {
+        t_lock_depth.erase(stem_);
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+    }
+}
 
 std::string
 cacheDir()
@@ -83,6 +143,7 @@ loadOrBuildCsr(const std::string &key, const std::function<Csr()> &build)
 {
     if (!cacheEnabled())
         return build();
+    const CacheKeyLock lock(key);
     const std::filesystem::path path =
         std::filesystem::path(cacheDir()) /
         (cacheFileStem(key) + ".csr");
@@ -101,7 +162,7 @@ loadOrBuildCsr(const std::string &key, const std::function<Csr()> &build)
     obs::counter("artifact_cache.csr_misses").add();
     const obs::Span span("artifact_cache.build_csr");
     Csr matrix = build();
-    const std::filesystem::path tmp = path.string() + ".tmp";
+    const std::filesystem::path tmp = uniqueTmpPath(path);
     io::writeCsrBinaryFile(tmp.string(), matrix);
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
@@ -113,10 +174,11 @@ storeIndexVector(const std::string &key, const std::vector<Index> &vec)
 {
     if (!cacheEnabled())
         return;
+    const CacheKeyLock lock(key);
     const std::filesystem::path path =
         std::filesystem::path(cacheDir()) /
         (cacheFileStem(key) + ".vec");
-    const std::filesystem::path tmp = path.string() + ".tmp";
+    const std::filesystem::path tmp = uniqueTmpPath(path);
     {
         std::ofstream out(tmp, std::ios::binary);
         const std::uint64_t size = vec.size();
@@ -130,44 +192,57 @@ storeIndexVector(const std::string &key, const std::vector<Index> &vec)
     std::filesystem::rename(tmp, path, ec);
 }
 
+std::optional<std::vector<Index>>
+tryLoadIndexVector(const std::string &key)
+{
+    if (!cacheEnabled())
+        return std::nullopt;
+    const std::filesystem::path path =
+        std::filesystem::path(cacheDir()) /
+        (cacheFileStem(key) + ".vec");
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt; // missing (or vanished) — not corrupt
+    // Take the size from the stream we opened, not a separate stat: a
+    // concurrent temp+rename can swap the inode between the two calls,
+    // and a size from the other version would flag a healthy file as
+    // corrupt.
+    in.seekg(0, std::ios::end);
+    const auto file_bytes = static_cast<std::uintmax_t>(in.tellg());
+    in.seekg(0);
+    char magic[4] = {};
+    std::uint64_t size = 0;
+    in.read(magic, sizeof(magic));
+    in.read(reinterpret_cast<char *>(&size), sizeof(size));
+    // A corrupt size field must not allocate gigabytes before the
+    // read fails: the payload must fit in the file.
+    constexpr std::uintmax_t header_bytes =
+        sizeof(kVecMagic) + sizeof(std::uint64_t);
+    const bool size_sane =
+        file_bytes >= header_bytes &&
+        size <= (file_bytes - header_bytes) / sizeof(Index);
+    if (in && size_sane && std::equal(magic, magic + 4, kVecMagic)) {
+        std::vector<Index> vec(checkedCast<std::size_t>(size));
+        in.read(reinterpret_cast<char *>(vec.data()),
+                checkedCast<std::streamsize>(vec.size() *
+                                             sizeof(Index)));
+        if (in)
+            return vec;
+    }
+    SLO_LOG_WARN("artifact_cache",
+                 "corrupt vector cache entry for " << key
+                                                   << "; rebuilding");
+    return std::nullopt;
+}
+
 std::vector<Index>
 loadOrBuildIndexVector(const std::string &key,
                        const std::function<std::vector<Index>()> &build)
 {
-    const std::filesystem::path path =
-        std::filesystem::path(cacheDir()) /
-        (cacheFileStem(key) + ".vec");
-    if (cacheEnabled() && std::filesystem::exists(path)) {
-        std::error_code size_ec;
-        const std::uintmax_t file_bytes =
-            std::filesystem::file_size(path, size_ec);
-        std::ifstream in(path, std::ios::binary);
-        char magic[4] = {};
-        std::uint64_t size = 0;
-        in.read(magic, sizeof(magic));
-        in.read(reinterpret_cast<char *>(&size), sizeof(size));
-        // A corrupt size field must not allocate gigabytes before the
-        // read fails: the payload must fit in the file.
-        constexpr std::uintmax_t header_bytes =
-            sizeof(kVecMagic) + sizeof(std::uint64_t);
-        const bool size_sane =
-            !size_ec && file_bytes >= header_bytes &&
-            size <= (file_bytes - header_bytes) / sizeof(Index);
-        if (in && size_sane &&
-            std::equal(magic, magic + 4, kVecMagic)) {
-            std::vector<Index> vec(checkedCast<std::size_t>(size));
-            in.read(reinterpret_cast<char *>(vec.data()),
-                    checkedCast<std::streamsize>(vec.size() *
-                                                 sizeof(Index)));
-            if (in) {
-                obs::counter("artifact_cache.vec_hits").add();
-                return vec;
-            }
-        }
-        // Corrupt entry: rebuild below.
-        SLO_LOG_WARN("artifact_cache",
-                     "corrupt vector cache entry for " << key
-                                                       << "; rebuilding");
+    const CacheKeyLock lock(key);
+    if (auto cached = tryLoadIndexVector(key)) {
+        obs::counter("artifact_cache.vec_hits").add();
+        return *std::move(cached);
     }
     obs::counter("artifact_cache.vec_misses").add();
     std::vector<Index> vec = build();

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,9 +32,40 @@ bool cacheEnabled();
 /** Sanitized, collision-safe filename stem for @p key. */
 std::string cacheFileStem(const std::string &key);
 
+/**
+ * Exclusive advisory lock on @p key's cache slot (flock on a sidecar
+ * .lock file), held for the object's lifetime. Excludes both other
+ * processes and other threads of this process (each holder opens its
+ * own descriptor), so concurrent benches build a missing artifact once
+ * instead of racing; writers pair it with write-to-temp + rename so a
+ * reader never sees a torn file. No-op when the cache is disabled.
+ */
+class CacheKeyLock
+{
+  public:
+    explicit CacheKeyLock(const std::string &key);
+    ~CacheKeyLock();
+
+    CacheKeyLock(const CacheKeyLock &) = delete;
+    CacheKeyLock &operator=(const CacheKeyLock &) = delete;
+
+  private:
+    std::string stem_;
+    int fd_ = -1;
+};
+
 /** Load the CSR cached under @p key, or build and cache it. */
 Csr loadOrBuildCsr(const std::string &key,
                    const std::function<Csr()> &build);
+
+/**
+ * Load the index vector cached under @p key if present and intact
+ * (nullopt when missing, corrupt, or the cache is disabled). Callers
+ * that need multi-artifact coherence hold a CacheKeyLock across the
+ * loads and stores.
+ */
+std::optional<std::vector<Index>> tryLoadIndexVector(
+    const std::string &key);
 
 /** Load the index vector cached under @p key, or build and cache it. */
 std::vector<Index> loadOrBuildIndexVector(

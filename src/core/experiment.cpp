@@ -4,9 +4,12 @@
 #include <filesystem>
 #include <fstream>
 
+#include <unistd.h>
+
 #include "community/metrics.hpp"
 #include "core/artifact_cache.hpp"
 #include "obs/obs.hpp"
+#include "par/par.hpp"
 #include "reorder/rabbit.hpp"
 
 namespace slo::core
@@ -39,9 +42,17 @@ storeCachedDouble(const std::string &key, double value)
     const std::filesystem::path path =
         std::filesystem::path(cacheDir()) /
         (cacheFileStem(key) + ".txt");
-    std::ofstream out(path);
-    out.precision(17);
-    out << value << '\n';
+    // Write-to-temp + rename so a concurrent reader never sees a torn
+    // value; the pid suffix keeps racing processes off each other's tmp.
+    const std::filesystem::path tmp =
+        path.string() + "." + std::to_string(::getpid()) + ".tmp";
+    {
+        std::ofstream out(tmp);
+        out.precision(17);
+        out << value << '\n';
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
 }
 
 /** Cache-key suffix identifying the option values a technique uses. */
@@ -90,17 +101,23 @@ loadCorpus(Scale scale, const CorpusFilter &filter)
     if (filter.limit > 0 && filter.limit < entries.size())
         entries.resize(filter.limit);
 
-    std::vector<CorpusMatrix> corpus;
-    corpus.reserve(entries.size());
-    for (DatasetEntry &entry : entries) {
-        SLO_LOG_INFO("corpus", "building " << entry.name << "...");
-        obs::setContext("matrix", entry.name);
-        const obs::Span span("corpus.build:" + entry.name);
-        Csr matrix = entry.build(scale);
-        obs::RunManifest::instance().recordPhase(
-            entry.name, "corpus.build", span.elapsedSeconds());
-        corpus.push_back({std::move(entry), std::move(matrix)});
-    }
+    // Build concurrently, gather by index: the returned corpus order is
+    // the dataset order no matter how many threads ran. grain=1 because
+    // each build is coarse (matrix generation or cache read).
+    std::vector<CorpusMatrix> corpus(entries.size());
+    par::parallelFor(
+        std::size_t{0}, entries.size(),
+        [&](std::size_t i) {
+            DatasetEntry &entry = entries[i];
+            SLO_LOG_INFO("corpus", "building " << entry.name << "...");
+            obs::setContext("matrix", entry.name);
+            const obs::Span span("corpus.build:" + entry.name);
+            Csr matrix = entry.build(scale);
+            obs::RunManifest::instance().recordPhase(
+                entry.name, "corpus.build", span.elapsedSeconds());
+            corpus[i] = {std::move(entry), std::move(matrix)};
+        },
+        par::ForOptions{1});
     return corpus;
 }
 
@@ -115,6 +132,9 @@ orderingFor(const DatasetEntry &entry, const Csr &original, Scale scale,
                             optionSuffix(technique, options);
     obs::setContext("matrix", entry.name);
     SLO_SPAN("reorder.ordering_for:" + technique_name);
+    // One lock spans the perm and its companion time entry so a reader
+    // never pairs a fresh permutation with a stale measurement.
+    const CacheKeyLock lock(key);
     TimedOrdering result;
     double measured = -1.0;
     result.perm = loadOrBuildPerm(key, [&] {
@@ -147,34 +167,31 @@ rabbitArtifactsFor(const DatasetEntry &entry, const Csr &original,
     obs::setContext("matrix", entry.name);
     SLO_SPAN("reorder.rabbit_artifacts");
     RabbitArtifacts result;
-    double measured = -1.0;
-    std::vector<Index> labels;
-    result.perm = loadOrBuildPerm(key, [&] {
-        const obs::Span span("reorder.compute:RABBIT");
-        reorder::RabbitResult rabbit = reorder::rabbitOrder(original);
-        measured = span.elapsedSeconds();
-        labels = rabbit.clustering.labels();
-        return rabbit.perm;
-    });
-    if (!labels.empty()) {
-        // Fresh run: persist the labels and time too (overwriting any
-        // stale leftovers from an interrupted earlier run).
-        obs::counter("perm_cache.misses").add();
-        storeIndexVector(key + "-labels", labels);
-        storeCachedDouble(key + "-time", measured);
-        result.reorderSeconds = measured;
-        result.clustering = community::Clustering(std::move(labels));
-    } else {
+    // The perm, labels, and time entries describe one computation and
+    // are only meaningful together: hold the key lock across all three
+    // so a miss on any of them triggers exactly one recomputation whose
+    // results replace the whole trio atomically (each store is
+    // temp+rename, so readers see old-or-new, never torn).
+    const CacheKeyLock lock(key);
+    std::optional<std::vector<Index>> perm_ids = tryLoadIndexVector(key);
+    std::optional<std::vector<Index>> labels =
+        tryLoadIndexVector(key + "-labels");
+    if (perm_ids.has_value() && labels.has_value()) {
         obs::counter("perm_cache.hits").add();
-        result.clustering =
-            community::Clustering(loadOrBuildIndexVector(
-                key + "-labels", [&] {
-                    // Cache miss on labels only: recompute.
-                    return reorder::rabbitOrder(original)
-                        .clustering.labels();
-                }));
+        result.perm = Permutation(*std::move(perm_ids));
+        result.clustering = community::Clustering(*std::move(labels));
         result.reorderSeconds =
             loadCachedDouble(key + "-time").value_or(0.0);
+    } else {
+        obs::counter("perm_cache.misses").add();
+        const obs::Span span("reorder.compute:RABBIT");
+        reorder::RabbitResult rabbit = reorder::rabbitOrder(original);
+        result.reorderSeconds = span.elapsedSeconds();
+        storeIndexVector(key, rabbit.perm.newIds());
+        storeIndexVector(key + "-labels", rabbit.clustering.labels());
+        storeCachedDouble(key + "-time", result.reorderSeconds);
+        result.perm = std::move(rabbit.perm);
+        result.clustering = std::move(rabbit.clustering);
     }
     obs::RunManifest::instance().recordPhase(
         entry.name, "reorder.RABBIT", result.reorderSeconds);
@@ -189,9 +206,9 @@ rabbitArtifactsFor(const DatasetEntry &entry, const Csr &original,
 }
 
 gpu::SimReport
-simulateOrdered(const Csr &original, const Permutation &perm,
-                const gpu::GpuSpec &spec,
-                const gpu::SimOptions &sim_options)
+simulateOrderedAs(const std::string &matrix, const Csr &original,
+                  const Permutation &perm, const gpu::GpuSpec &spec,
+                  const gpu::SimOptions &sim_options)
 {
     const obs::Span span("simulate.ordered");
     Csr reordered = [&] {
@@ -200,10 +217,6 @@ simulateOrdered(const Csr &original, const Permutation &perm,
     }();
     const gpu::SimReport report =
         gpu::simulateKernel(reordered, spec, sim_options);
-    // Attribute the report to the matrix the pipeline last touched
-    // (sticky context set by loadCorpus/orderingFor); benches that
-    // simulate outside the per-matrix loop simply go unattributed.
-    const std::string matrix = obs::context("matrix");
     if (!matrix.empty()) {
         obs::RunManifest::instance().recordPhase(
             matrix, "simulate", span.elapsedSeconds());
@@ -211,6 +224,18 @@ simulateOrdered(const Csr &original, const Permutation &perm,
             matrix, gpu::simReportJson(report));
     }
     return report;
+}
+
+gpu::SimReport
+simulateOrdered(const Csr &original, const Permutation &perm,
+                const gpu::GpuSpec &spec,
+                const gpu::SimOptions &sim_options)
+{
+    // Attribute the report to the matrix the calling thread last
+    // touched (sticky context set by loadCorpus/orderingFor); benches
+    // that simulate outside the per-matrix loop go unattributed.
+    return simulateOrderedAs(obs::context("matrix"), original, perm,
+                             spec, sim_options);
 }
 
 } // namespace slo::core

@@ -82,11 +82,25 @@ RabbitArtifacts rabbitArtifactsFor(const DatasetEntry &entry,
 /**
  * Permute @p original by @p perm and simulate @p sim_options on
  * @p spec. The permuted matrix is built on the fly (cheap relative to
- * simulation).
+ * simulation). The report is attributed in the run manifest to the
+ * sticky (thread-local) `obs::context("matrix")`; parallel callers
+ * should prefer simulateOrderedAs, which takes the matrix explicitly.
  */
 gpu::SimReport simulateOrdered(const Csr &original,
                                const Permutation &perm,
                                const gpu::GpuSpec &spec,
                                const gpu::SimOptions &sim_options = {});
+
+/**
+ * simulateOrdered with explicit manifest attribution to @p matrix
+ * (empty = unattributed). This is the form core::runGrid cells use:
+ * thread-local sticky context does not survive hand-off between pool
+ * workers, so fan-out code passes the matrix name through instead.
+ */
+gpu::SimReport simulateOrderedAs(const std::string &matrix,
+                                 const Csr &original,
+                                 const Permutation &perm,
+                                 const gpu::GpuSpec &spec,
+                                 const gpu::SimOptions &sim_options = {});
 
 } // namespace slo::core

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic parallel fan-out over an experiment grid.
+ *
+ * Every bench in this repo walks the same shape: for each corpus
+ * matrix, for each reordering technique, run the pipeline cell and
+ * print a row. runGrid parallelizes that double loop on the global
+ * par::ThreadPool while keeping the *gathering* deterministic: results
+ * land in a matrix-major table indexed by (matrixIndex, techniqueIndex)
+ * regardless of which worker finished first, so a bench that formats
+ * rows from the table produces byte-identical output at any
+ * SLO_THREADS value.
+ *
+ * Attribution: each cell runs with the thread-local
+ * obs::context("matrix") set to its matrix name, so pipeline stages
+ * that attribute implicitly (simulateOrdered, recordPhase callers)
+ * keep working inside a cell. Code that needs to attribute *across*
+ * cells passes names explicitly (core::simulateOrderedAs).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "obs/obs.hpp"
+#include "par/par.hpp"
+#include "reorder/reorder.hpp"
+
+namespace slo::core
+{
+
+/** One (matrix, technique) cell of an experiment grid. */
+struct GridCell
+{
+    std::size_t matrixIndex = 0;
+    std::size_t techniqueIndex = 0;
+    const CorpusMatrix *matrix = nullptr; ///< never null inside runGrid
+    reorder::Technique technique{};
+};
+
+/**
+ * Run @p fn over every (matrix, technique) cell and gather the results
+ * into `table[matrixIndex][techniqueIndex]`. Cells execute concurrently
+ * (grain 1 — each cell is coarse); the table layout is independent of
+ * execution order. @p fn's result type must be default-constructible
+ * and is move-assigned into the table.
+ *
+ * With SLO_THREADS=1 the cells run inline in row-major order, exactly
+ * like the serial double loop this replaces.
+ */
+template <typename Fn>
+auto
+runGrid(const std::vector<CorpusMatrix> &corpus,
+        const std::vector<reorder::Technique> &techniques, Fn &&fn)
+    -> std::vector<
+        std::vector<decltype(fn(std::declval<const GridCell &>()))>>
+{
+    using Result = decltype(fn(std::declval<const GridCell &>()));
+    std::vector<std::vector<Result>> table(corpus.size());
+    for (std::vector<Result> &row : table)
+        row.resize(techniques.size());
+    const std::size_t width = techniques.size();
+    par::parallelFor(
+        std::size_t{0}, corpus.size() * width,
+        [&](std::size_t cell) {
+            const GridCell c{cell / width, cell % width,
+                             &corpus[cell / width],
+                             techniques[cell % width]};
+            obs::setContext("matrix", c.matrix->entry.name);
+            table[c.matrixIndex][c.techniqueIndex] = fn(c);
+        },
+        par::ForOptions{1});
+    return table;
+}
+
+} // namespace slo::core

@@ -33,8 +33,8 @@ namespace slo::obs
 namespace
 {
 
-std::mutex g_context_mutex;
-std::map<std::string, std::string> g_context;
+// Thread-local: each pool task attributes independently (see header).
+thread_local std::map<std::string, std::string> t_context;
 
 std::string
 isoTimestampUtc()
@@ -98,16 +98,20 @@ obsDir()
 void
 setContext(const std::string &key, std::string value)
 {
-    const std::lock_guard<std::mutex> lock(g_context_mutex);
-    g_context[key] = std::move(value);
+    t_context[key] = std::move(value);
 }
 
 std::string
 context(const std::string &key)
 {
-    const std::lock_guard<std::mutex> lock(g_context_mutex);
-    const auto it = g_context.find(key);
-    return it == g_context.end() ? std::string() : it->second;
+    const auto it = t_context.find(key);
+    return it == t_context.end() ? std::string() : it->second;
+}
+
+void
+clearContext()
+{
+    t_context.clear();
 }
 
 RunManifest &
@@ -124,6 +128,7 @@ RunManifest::begin(const std::string &bench_name)
     began_ = true;
     bench_ = bench_name;
     startedAt_ = isoTimestampUtc();
+    startClock_ = std::chrono::steady_clock::now();
 }
 
 bool
@@ -181,6 +186,12 @@ RunManifest::toJson() const
         const std::lock_guard<std::mutex> lock(mutex_);
         doc["bench"] = bench_;
         doc["started_at"] = startedAt_;
+        if (began_) {
+            doc["wall_seconds"] =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - startClock_)
+                    .count();
+        }
         for (const auto &[key, value] : extras_.entries())
             doc[key] = value;
         doc["matrices"] = matrices_;

@@ -15,6 +15,7 @@
  *   {
  *     "schema": "slo.run-manifest/1",
  *     "bench": "<name>", "started_at": "<ISO8601 UTC>",
+ *     "wall_seconds": <seconds since begin(), at emission time>,
  *     "git_sha": "...", "hostname": "...",
  *     "build": {"type","compiler","flags"},
  *     ... caller extras (scale, spec, num_matrices, ...),
@@ -26,6 +27,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <mutex>
 #include <string>
 
@@ -57,9 +59,18 @@ std::string obsDir();
  * Sticky cross-layer context, e.g. `setContext("matrix", name)` when a
  * pipeline stage starts working on a matrix so later stages that only
  * see the Csr can still attribute their results.
+ *
+ * The context is **thread-local**: concurrent pipeline cells (one per
+ * par::ThreadPool task) each see only their own values, so attribution
+ * cannot be scrambled by another thread's setContext. The flip side is
+ * that context does not flow into tasks automatically — code that fans
+ * out should pass attribution explicitly (see core::runGrid /
+ * core::simulateOrderedAs) or re-set the context inside the task.
  */
 void setContext(const std::string &key, std::string value);
 std::string context(const std::string &key);
+/** Drop every context entry of the calling thread (tests). */
+void clearContext();
 
 /** The run's manifest under construction (thread-safe). */
 class RunManifest
@@ -97,6 +108,7 @@ class RunManifest
     bool began_ = false;
     std::string bench_;
     std::string startedAt_;
+    std::chrono::steady_clock::time_point startClock_{};
     Json extras_ = Json::object();
     Json matrices_ = Json::object();
 };

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Umbrella header for the parallel runtime.
+ *
+ *   par::parallelFor(0, n, [&](std::size_t i) { ... });
+ *   par::parallelInvoke([&]{ ... }, [&]{ ... });
+ *   par::TaskGroup group; group.run(...); group.wait();
+ *
+ * Sizing: SLO_THREADS=N (default hardware_concurrency; =1 restores
+ * the exact serial execution order).
+ */
+
+#pragma once
+
+#include "par/parallel.hpp"    // IWYU pragma: export
+#include "par/thread_pool.hpp" // IWYU pragma: export

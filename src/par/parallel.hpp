@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Parallel loop / reduce / invoke / sort built on par::ThreadPool.
+ *
+ * These are the primitives pipeline code is expected to use (raw
+ * std::thread is lint-forbidden outside src/par). All of them are
+ * deterministic by construction at any thread count:
+ *
+ *   - parallelFor / parallelForChunks run a body over disjoint index
+ *     ranges; the caller writes to disjoint slots, so the gathered
+ *     result is identical to the serial loop.
+ *   - parallelReduce splits [begin,end) into fixed-size chunks whose
+ *     boundaries depend only on `grain` (never on the thread count),
+ *     reduces each chunk independently and folds the partials in chunk
+ *     order — floating-point rounding is therefore reproducible across
+ *     SLO_THREADS values.
+ *   - parallelStableSort produces the unique stable order, regardless
+ *     of how the runs were split and merged.
+ *
+ * On a serial pool (SLO_THREADS=1) every entry point degenerates to
+ * the plain serial loop, in the same iteration order.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "par/thread_pool.hpp"
+
+namespace slo::par
+{
+
+/** Tuning for parallelFor/parallelForChunks. */
+struct ForOptions
+{
+    /** Indices per task; 0 = auto (range / (4 * threads), min 1). */
+    std::size_t grain = 0;
+    /** Pool to run on; nullptr = ThreadPool::global(). */
+    ThreadPool *pool = nullptr;
+};
+
+/**
+ * Run `body(lo, hi)` over disjoint chunks covering [begin, end).
+ * Blocks until every chunk ran; rethrows the first body exception.
+ */
+template <typename Body>
+void
+parallelForChunks(std::size_t begin, std::size_t end, const Body &body,
+                  ForOptions options = {})
+{
+    if (end <= begin)
+        return;
+    ThreadPool &pool =
+        options.pool != nullptr ? *options.pool : ThreadPool::global();
+    const std::size_t n = end - begin;
+    std::size_t grain = options.grain;
+    if (grain == 0) {
+        grain = n / (4 * static_cast<std::size_t>(pool.numThreads()));
+        if (grain == 0)
+            grain = 1;
+    }
+    if (pool.serial() || n <= grain) {
+        body(begin, end);
+        return;
+    }
+    TaskGroup group(pool);
+    for (std::size_t lo = begin; lo < end; lo += grain) {
+        const std::size_t hi = std::min(end, lo + grain);
+        group.run([&body, lo, hi] { body(lo, hi); });
+    }
+    group.wait();
+}
+
+/** Run `body(i)` for every i in [begin, end); blocks until done. */
+template <typename Body>
+void
+parallelFor(std::size_t begin, std::size_t end, const Body &body,
+            ForOptions options = {})
+{
+    parallelForChunks(
+        begin, end,
+        [&body](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                body(i);
+        },
+        options);
+}
+
+/**
+ * Deterministic chunked reduction: `chunk(lo, hi)` maps each fixed
+ * `grain`-sized chunk of [begin, end) to a T (chunks run in parallel),
+ * then `combine(acc, partial)` folds the partials in ascending chunk
+ * order starting from @p init. Chunk boundaries depend only on
+ * @p grain, so the result is identical at every thread count.
+ */
+template <typename T, typename ChunkFn, typename Combine>
+T
+parallelReduce(std::size_t begin, std::size_t end, std::size_t grain,
+               T init, const ChunkFn &chunk, const Combine &combine,
+               ThreadPool *pool = nullptr)
+{
+    if (end <= begin)
+        return init;
+    if (grain == 0)
+        grain = 1024;
+    const std::size_t chunks = (end - begin + grain - 1) / grain;
+    std::vector<T> partial(chunks);
+    parallelFor(
+        0, chunks,
+        [&](std::size_t c) {
+            const std::size_t lo = begin + c * grain;
+            partial[c] = chunk(lo, std::min(end, lo + grain));
+        },
+        {.grain = 1, .pool = pool});
+    T total = std::move(init);
+    for (T &p : partial)
+        total = combine(std::move(total), std::move(p));
+    return total;
+}
+
+/** Run the given callables concurrently; blocks until all returned. */
+template <typename... Fns>
+void
+parallelInvoke(Fns &&...fns)
+{
+    ThreadPool &pool = ThreadPool::global();
+    if (pool.serial()) {
+        (std::forward<Fns>(fns)(), ...);
+        return;
+    }
+    TaskGroup group(pool);
+    (group.run(std::forward<Fns>(fns)), ...);
+    group.wait();
+}
+
+/**
+ * Stable sort of [first, last) by @p comp: sorted runs in parallel,
+ * then pairwise stable merges. The result equals std::stable_sort
+ * exactly (a stable order is unique), at any thread count.
+ */
+template <typename Iterator, typename Compare>
+void
+parallelStableSort(Iterator first, Iterator last, Compare comp,
+                   ThreadPool *pool_opt = nullptr)
+{
+    ThreadPool &pool =
+        pool_opt != nullptr ? *pool_opt : ThreadPool::global();
+    const auto n = static_cast<std::size_t>(last - first);
+    constexpr std::size_t kMinRun = 2048;
+    if (pool.serial() || n < 2 * kMinRun) {
+        std::stable_sort(first, last, comp);
+        return;
+    }
+    std::size_t runs = 1;
+    while (runs < static_cast<std::size_t>(pool.numThreads()) &&
+           n / (runs * 2) >= kMinRun)
+        runs *= 2;
+    std::vector<std::size_t> bounds(runs + 1);
+    for (std::size_t i = 0; i <= runs; ++i)
+        bounds[i] = i * n / runs;
+    parallelFor(
+        0, runs,
+        [&](std::size_t r) {
+            std::stable_sort(first + static_cast<std::ptrdiff_t>(
+                                         bounds[r]),
+                             first + static_cast<std::ptrdiff_t>(
+                                         bounds[r + 1]),
+                             comp);
+        },
+        {.grain = 1, .pool = &pool});
+    for (std::size_t width = 1; width < runs; width *= 2) {
+        const std::size_t pairs = runs / (2 * width);
+        parallelFor(
+            0, pairs,
+            [&](std::size_t p) {
+                const std::size_t lo = bounds[2 * width * p];
+                const std::size_t mid = bounds[2 * width * p + width];
+                const std::size_t hi =
+                    bounds[std::min(2 * width * (p + 1), runs)];
+                std::inplace_merge(
+                    first + static_cast<std::ptrdiff_t>(lo),
+                    first + static_cast<std::ptrdiff_t>(mid),
+                    first + static_cast<std::ptrdiff_t>(hi), comp);
+            },
+            {.grain = 1, .pool = &pool});
+    }
+}
+
+} // namespace slo::par

@@ -1,0 +1,247 @@
+#include "par/thread_pool.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace slo::par
+{
+
+namespace
+{
+
+/** The pool the current thread is a worker of (nullptr otherwise). */
+thread_local ThreadPool *t_pool = nullptr;
+/** Worker index within t_pool. */
+thread_local std::size_t t_worker = 0;
+
+} // namespace
+
+int
+defaultThreads()
+{
+    static const int value = [] {
+        if (const char *env = std::getenv("SLO_THREADS")) {
+            const int parsed = std::atoi(env);
+            if (parsed > 0)
+                return parsed;
+        }
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : static_cast<int>(hw);
+    }();
+    return value;
+}
+
+ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads)
+{
+    if (threads_ == 1)
+        return; // serial: no workers, submit runs inline
+    workers_.reserve(static_cast<std::size_t>(threads_));
+    for (int i = 0; i < threads_; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    joiners_.reserve(workers_.size());
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+        joiners_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : joiners_)
+        t.join();
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (serial()) {
+        task();
+        return;
+    }
+    if (t_pool == this) {
+        Worker &own = *workers_[t_worker];
+        const std::lock_guard<std::mutex> lock(own.mutex);
+        own.tasks.push_back(std::move(task));
+    } else {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        injected_.push_back(std::move(task));
+    }
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++pending_;
+    }
+    wake_.notify_one();
+}
+
+bool
+ThreadPool::popTask(std::size_t home, std::function<void()> &task)
+{
+    bool found = false;
+    if (home < workers_.size()) {
+        Worker &own = *workers_[home];
+        const std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            task = std::move(own.tasks.back());
+            own.tasks.pop_back();
+            found = true;
+        }
+    }
+    if (!found) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!injected_.empty()) {
+            task = std::move(injected_.front());
+            injected_.pop_front();
+            found = true;
+        }
+    }
+    if (!found) {
+        for (std::size_t k = 1; k <= workers_.size() && !found; ++k) {
+            const std::size_t victim =
+                (home + k) % (workers_.size() + 1);
+            if (victim >= workers_.size())
+                continue; // the "no home" slot, not a real worker
+            Worker &other = *workers_[victim];
+            const std::lock_guard<std::mutex> lock(other.mutex);
+            if (!other.tasks.empty()) {
+                task = std::move(other.tasks.front());
+                other.tasks.pop_front();
+                found = true;
+                obs::counter("par.steals").add();
+            }
+        }
+    }
+    if (found) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        --pending_;
+    }
+    return found;
+}
+
+bool
+ThreadPool::tryRunOneTask()
+{
+    if (serial())
+        return false;
+    const std::size_t home =
+        t_pool == this ? t_worker : workers_.size();
+    std::function<void()> task;
+    if (!popTask(home, task))
+        return false;
+    obs::counter("par.tasks").add();
+    task();
+    return true;
+}
+
+void
+ThreadPool::workerLoop(std::size_t index)
+{
+    t_pool = this;
+    t_worker = index;
+    for (;;) {
+        std::function<void()> task;
+        if (popTask(index, task)) {
+            obs::counter("par.tasks").add();
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stop_ || pending_ > 0; });
+        if (stop_ && pending_ == 0)
+            return;
+    }
+}
+
+TaskGroup::TaskGroup(ThreadPool &pool) : pool_(pool) {}
+
+TaskGroup::~TaskGroup()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (pending_ > 0) {
+        lock.unlock();
+        if (!pool_.tryRunOneTask())
+            std::this_thread::yield();
+        lock.lock();
+    }
+}
+
+void
+TaskGroup::run(std::function<void()> task)
+{
+    if (pool_.serial()) {
+        try {
+            task();
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+        return;
+    }
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++pending_;
+    }
+    pool_.submit([this, task = std::move(task)] {
+        try {
+            task();
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+        finishOne();
+    });
+}
+
+void
+TaskGroup::finishOne()
+{
+    // Notify while still holding the mutex: a waiter that observes
+    // pending_ == 0 may destroy this group immediately, so cv_ must
+    // not be touched after the waiter can acquire the lock.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (--pending_ == 0)
+        cv_.notify_all();
+}
+
+void
+TaskGroup::wait()
+{
+    for (;;) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (pending_ == 0)
+                break;
+        }
+        // Help instead of blocking: a waiting thread that runs queued
+        // tasks keeps nested parallelFor calls deadlock-free and the
+        // cores busy. Sleep only when there is nothing runnable.
+        if (pool_.tryRunOneTask())
+            continue;
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (pending_ == 0)
+            break;
+        cv_.wait(lock, [this] { return pending_ == 0; });
+    }
+    std::exception_ptr error;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        std::swap(error, error_);
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace slo::par

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Work-stealing thread pool sized by SLO_THREADS.
+ *
+ * The pool is the only place in the tree allowed to own threads (the
+ * lint gate forbids raw std::thread elsewhere): pipeline code expresses
+ * parallelism through `parallelFor` / `parallelInvoke` / `TaskGroup`
+ * (par/parallel.hpp) and the pool schedules the chunks. Each worker
+ * owns a deque it pushes/pops LIFO; idle workers steal FIFO from their
+ * peers, and threads blocked in `TaskGroup::wait` help by running
+ * queued tasks instead of sleeping, so nested submission never
+ * deadlocks.
+ *
+ * `SLO_THREADS=1` builds a pool with no worker threads at all: every
+ * submit runs inline on the caller, restoring the exact serial
+ * execution order (and byte-identical bench output) of a pre-threading
+ * build. `SLO_THREADS=N` / unset sizes the global pool to N /
+ * hardware_concurrency.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slo::par
+{
+
+/** Parallelism requested by SLO_THREADS (default: hardware threads). */
+int defaultThreads();
+
+class ThreadPool
+{
+  public:
+    /** @p threads < 1 is clamped to 1 (serial). */
+    explicit ThreadPool(int threads = defaultThreads());
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Configured parallelism (1 = serial, no worker threads). */
+    int
+    numThreads() const
+    {
+        return threads_;
+    }
+
+    /** True when every submit runs inline on the calling thread. */
+    bool
+    serial() const
+    {
+        return workers_.empty();
+    }
+
+    /** The process-wide pool, sized by SLO_THREADS on first use. */
+    static ThreadPool &global();
+
+    /**
+     * Enqueue @p task (run inline on a serial pool). From one of this
+     * pool's workers the task lands on that worker's own deque; from
+     * any other thread it lands on the shared injection queue.
+     */
+    void submit(std::function<void()> task);
+
+    /**
+     * Run one queued task on the calling thread if any is available.
+     * Used by TaskGroup::wait so blocked threads help instead of
+     * idling. @return true iff a task was run.
+     */
+    bool tryRunOneTask();
+
+  private:
+    /** One worker's deque; owner pops back, thieves pop front. */
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(std::size_t index);
+
+    /**
+     * Pop a task: @p home's own deque first (LIFO), then the injection
+     * queue, then steal FIFO from the other workers. @p home ==
+     * workers_.size() means "no home deque" (external thread).
+     */
+    bool popTask(std::size_t home, std::function<void()> &task);
+
+    int threads_ = 1;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> joiners_;
+
+    std::mutex mutex_; ///< guards injected_, pending_, stop_
+    std::deque<std::function<void()>> injected_;
+    std::size_t pending_ = 0; ///< tasks queued anywhere, for sleep/wake
+    bool stop_ = false;
+    std::condition_variable wake_;
+};
+
+/**
+ * Fan-in for a batch of tasks: `run` any number of them, then `wait`
+ * until all have finished. The first exception thrown by any task is
+ * captured and rethrown from `wait` (the remaining tasks still run).
+ * On a serial pool, `run` executes the task inline.
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(ThreadPool &pool = ThreadPool::global());
+
+    /** Waits for stragglers; exceptions are swallowed here. */
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    void run(std::function<void()> task);
+
+    /** Block until every task ran; rethrows the first captured error. */
+    void wait();
+
+  private:
+    void finishOne();
+
+    ThreadPool &pool_;
+    std::mutex mutex_; ///< guards error_, pairs with cv_
+    std::condition_variable cv_;
+    std::size_t pending_ = 0; ///< under mutex_
+    std::exception_ptr error_;
+};
+
+} // namespace slo::par

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "matrix/properties.hpp"
+#include "par/par.hpp"
 #include "reorder/check_order.hpp"
 
 namespace slo::reorder
@@ -29,7 +30,7 @@ degSortOrder(const Csr &matrix)
 {
     const std::vector<Index> degrees = inDegrees(matrix);
     std::vector<Index> order = identityOrder(matrix.numRows());
-    std::stable_sort(order.begin(), order.end(),
+    par::parallelStableSort(order.begin(), order.end(),
         [&degrees](Index a, Index b) {
             return degrees[static_cast<std::size_t>(a)] >
                    degrees[static_cast<std::size_t>(b)];
@@ -50,8 +51,9 @@ dbgOrder(const Csr &matrix)
     };
     std::vector<Index> order = identityOrder(matrix.numRows());
     // Stable sort by descending bucket: preserves relative order within
-    // each degree range — DBG's defining property.
-    std::stable_sort(order.begin(), order.end(),
+    // each degree range — DBG's defining property (parallelStableSort
+    // keeps the same unique stable order at any thread count).
+    par::parallelStableSort(order.begin(), order.end(),
         [&degrees, &bucket_of](Index a, Index b) {
             return bucket_of(degrees[static_cast<std::size_t>(a)]) >
                    bucket_of(degrees[static_cast<std::size_t>(b)]);
@@ -78,7 +80,7 @@ hubSortOrder(const Csr &matrix)
             rest.push_back(v);
         }
     }
-    std::stable_sort(hubs.begin(), hubs.end(),
+    par::parallelStableSort(hubs.begin(), hubs.end(),
         [&degrees](Index a, Index b) {
             return degrees[static_cast<std::size_t>(a)] >
                    degrees[static_cast<std::size_t>(b)];

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <unordered_set>
+
+#include "par/par.hpp"
 
 namespace slo::reorder
 {
@@ -14,32 +15,39 @@ windowLocalityScore(const Csr &matrix, int window)
     require(window >= 1, "windowLocalityScore: window must be >= 1");
     if (matrix.numNonZeros() == 0)
         return 0.0;
-    double score = 0.0;
-    std::deque<Index> recent;
-    for (Index v = 0; v < matrix.numRows(); ++v) {
-        auto iv = matrix.rowIndices(v);
-        for (Index u : recent) {
-            auto iu = matrix.rowIndices(u);
-            // Shared neighbours via sorted-merge.
-            std::size_t a = 0, b = 0;
-            while (a < iu.size() && b < iv.size()) {
-                if (iu[a] < iv[b]) {
-                    ++a;
-                } else if (iu[a] > iv[b]) {
-                    ++b;
-                } else {
-                    score += 1.0;
-                    ++a;
-                    ++b;
+    // Each row's contribution only reads rows [v-window, v), so rows
+    // parallelize independently; every addend is 1.0, so the reduction
+    // is a whole-number sum and exact at any chunking.
+    const double score = par::parallelReduce(
+        Index{0}, matrix.numRows(), /*grain=*/0, 0.0,
+        [&matrix, window](Index begin, Index end) {
+            double sum = 0.0;
+            for (Index v = begin; v < end; ++v) {
+                auto iv = matrix.rowIndices(v);
+                const Index first =
+                    std::max(Index{0}, v - static_cast<Index>(window));
+                for (Index u = first; u < v; ++u) {
+                    auto iu = matrix.rowIndices(u);
+                    // Shared neighbours via sorted-merge.
+                    std::size_t a = 0, b = 0;
+                    while (a < iu.size() && b < iv.size()) {
+                        if (iu[a] < iv[b]) {
+                            ++a;
+                        } else if (iu[a] > iv[b]) {
+                            ++b;
+                        } else {
+                            sum += 1.0;
+                            ++a;
+                            ++b;
+                        }
+                    }
+                    if (matrix.hasEntry(u, v) || matrix.hasEntry(v, u))
+                        sum += 1.0;
                 }
             }
-            if (matrix.hasEntry(u, v) || matrix.hasEntry(v, u))
-                score += 1.0;
-        }
-        recent.push_back(v);
-        if (static_cast<int>(recent.size()) > window)
-            recent.pop_front();
-    }
+            return sum;
+        },
+        [](double a, double b) { return a + b; });
     return score / static_cast<double>(matrix.numNonZeros());
 }
 
@@ -50,11 +58,17 @@ averageGapLines(const Csr &matrix, int elems_per_line)
             "averageGapLines: elems_per_line must be >= 1");
     if (matrix.numNonZeros() == 0)
         return 0.0;
-    double total = 0.0;
-    for (Index r = 0; r < matrix.numRows(); ++r) {
-        for (Index c : matrix.rowIndices(r))
-            total += std::abs(r - c);
-    }
+    const double total = par::parallelReduce(
+        Index{0}, matrix.numRows(), /*grain=*/0, 0.0,
+        [&matrix](Index begin, Index end) {
+            double sum = 0.0;
+            for (Index r = begin; r < end; ++r) {
+                for (Index c : matrix.rowIndices(r))
+                    sum += std::abs(r - c);
+            }
+            return sum;
+        },
+        [](double a, double b) { return a + b; });
     return total / static_cast<double>(matrix.numNonZeros()) /
            static_cast<double>(elems_per_line);
 }
@@ -67,14 +81,21 @@ sameLineFraction(const Csr &matrix, int elems_per_line)
     const Offset nnz = matrix.numNonZeros();
     if (nnz == 0)
         return 0.0;
-    Offset same = 0;
-    for (Index r = 0; r < matrix.numRows(); ++r) {
-        auto idx = matrix.rowIndices(r);
-        for (std::size_t i = 1; i < idx.size(); ++i) {
-            if (idx[i] / elems_per_line == idx[i - 1] / elems_per_line)
-                ++same;
-        }
-    }
+    const Offset same = par::parallelReduce(
+        Index{0}, matrix.numRows(), /*grain=*/0, Offset{0},
+        [&matrix, elems_per_line](Index begin, Index end) {
+            Offset sum = 0;
+            for (Index r = begin; r < end; ++r) {
+                auto idx = matrix.rowIndices(r);
+                for (std::size_t i = 1; i < idx.size(); ++i) {
+                    if (idx[i] / elems_per_line ==
+                        idx[i - 1] / elems_per_line)
+                        ++sum;
+                }
+            }
+            return sum;
+        },
+        [](Offset a, Offset b) { return a + b; });
     return static_cast<double>(same) / static_cast<double>(nnz);
 }
 
@@ -86,17 +107,23 @@ distinctLinesPerNonZero(const Csr &matrix, int elems_per_line)
     const Offset nnz = matrix.numNonZeros();
     if (nnz == 0)
         return 0.0;
-    Offset distinct = 0;
-    std::unordered_set<Index> lines;
-    for (Index r = 0; r < matrix.numRows(); ++r) {
-        auto idx = matrix.rowIndices(r);
-        if (idx.empty())
-            continue;
-        lines.clear();
-        for (Index c : idx)
-            lines.insert(c / elems_per_line);
-        distinct += static_cast<Offset>(lines.size());
-    }
+    const Offset distinct = par::parallelReduce(
+        Index{0}, matrix.numRows(), /*grain=*/0, Offset{0},
+        [&matrix, elems_per_line](Index begin, Index end) {
+            Offset sum = 0;
+            std::unordered_set<Index> lines;
+            for (Index r = begin; r < end; ++r) {
+                auto idx = matrix.rowIndices(r);
+                if (idx.empty())
+                    continue;
+                lines.clear();
+                for (Index c : idx)
+                    lines.insert(c / elems_per_line);
+                sum += static_cast<Offset>(lines.size());
+            }
+            return sum;
+        },
+        [](Offset a, Offset b) { return a + b; });
     return static_cast<double>(distinct) / static_cast<double>(nnz);
 }
 

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Concurrency tests for core::artifact_cache: per-key locking must make
+ * concurrent threads and concurrent processes build a missing artifact
+ * exactly once, and temp+rename stores must never expose a torn file.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/artifact_cache.hpp"
+#include "par/par.hpp"
+
+namespace slo::core
+{
+namespace
+{
+
+class ArtifactCacheRaceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("slo-race-test-" + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir_);
+        ::setenv("SLO_CACHE_DIR", dir_.c_str(), 1);
+        ::unsetenv("SLO_NO_CACHE");
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+    }
+
+    std::filesystem::path dir_;
+};
+
+std::vector<Index>
+iotaVec(std::size_t n)
+{
+    std::vector<Index> v(n);
+    std::iota(v.begin(), v.end(), Index{0});
+    return v;
+}
+
+TEST_F(ArtifactCacheRaceTest, ConcurrentThreadsBuildOnce)
+{
+    std::atomic<int> builds{0};
+    par::ThreadPool pool(4);
+    std::vector<std::vector<Index>> results(8);
+    par::parallelFor(
+        std::size_t{0}, results.size(),
+        [&](std::size_t i) {
+            results[i] =
+                loadOrBuildIndexVector("race-thread-key", [&builds] {
+                    builds.fetch_add(1);
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(100));
+                    return iotaVec(512);
+                });
+        },
+        par::ForOptions{1, &pool});
+    EXPECT_EQ(builds.load(), 1);
+    for (const auto &r : results)
+        EXPECT_EQ(r, iotaVec(512));
+}
+
+TEST_F(ArtifactCacheRaceTest, CacheKeyLockIsReentrantPerThread)
+{
+    // loadOrBuild* take the key lock internally; callers that hold an
+    // outer lock for multi-artifact coherence (rabbitArtifactsFor) must
+    // not deadlock on the nested acquisition.
+    const CacheKeyLock outer("reentrant-key");
+    {
+        const CacheKeyLock inner("reentrant-key");
+        storeIndexVector("reentrant-key", iotaVec(16));
+    }
+    const auto loaded = tryLoadIndexVector("reentrant-key");
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, iotaVec(16));
+}
+
+TEST_F(ArtifactCacheRaceTest, StoreNeverExposesATornVector)
+{
+    const std::vector<Index> a(2048, Index{1});
+    const std::vector<Index> b(4096, Index{2});
+    storeIndexVector("torn-key", a);
+    std::atomic<bool> stop{false};
+    std::atomic<int> torn{0};
+    std::thread writer([&] {
+        for (int i = 0; i < 100; ++i)
+            storeIndexVector("torn-key", i % 2 == 0 ? b : a);
+        stop.store(true);
+    });
+    while (!stop.load()) {
+        const auto got = tryLoadIndexVector("torn-key");
+        if (!got.has_value() || (*got != a && *got != b))
+            torn.fetch_add(1);
+    }
+    writer.join();
+    EXPECT_EQ(torn.load(), 0);
+}
+
+TEST_F(ArtifactCacheRaceTest, TwoProcessesBuildOnce)
+{
+    // Locate the racer helper next to this test binary.
+    char exe[4096] = {0};
+    const ssize_t len =
+        ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    ASSERT_GT(len, 0);
+    const std::filesystem::path racer =
+        std::filesystem::path(exe).parent_path() /
+        "artifact_cache_racer";
+    ASSERT_TRUE(std::filesystem::exists(racer))
+        << "helper not built: " << racer;
+
+    const std::string out1 = (dir_ / "racer1.out").string();
+    const std::string out2 = (dir_ / "racer2.out").string();
+    const std::string cmd = "'" + racer.string() +
+                            "' race-proc-key 512 '" + out1 + "' & '" +
+                            racer.string() + "' race-proc-key 512 '" +
+                            out2 + "'; wait";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+    int builds_total = 0;
+    for (const std::string &out : {out1, out2}) {
+        std::ifstream in(out);
+        int builds = -1;
+        int ok = 0;
+        ASSERT_TRUE(in >> builds >> ok) << out;
+        EXPECT_EQ(ok, 1) << out;
+        builds_total += builds;
+    }
+    // The flock serializes the two processes: one builds, the other
+    // loads the stored artifact after the lock is released.
+    EXPECT_EQ(builds_total, 1);
+}
+
+} // namespace
+} // namespace slo::core

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Helper binary for the artifact-cache two-process race test.
+ *
+ * Usage: artifact_cache_racer <key> <n> <out-file>
+ *
+ * Calls core::loadOrBuildIndexVector(<key>) with a deliberately slow
+ * build returning [0, n), then writes "<builds> <ok>" to <out-file>.
+ * The race test launches two of these on the same key and the same
+ * SLO_CACHE_DIR and asserts that exactly one of them built.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/artifact_cache.hpp"
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 4)
+        return 2;
+    const std::string key = argv[1];
+    const auto n = static_cast<std::size_t>(std::atoi(argv[2]));
+    int builds = 0;
+    const std::vector<slo::Index> vec =
+        slo::core::loadOrBuildIndexVector(key, [&builds, n] {
+            ++builds;
+            // Stay inside the build long enough that the sibling
+            // process reliably hits the held lock.
+            std::this_thread::sleep_for(std::chrono::milliseconds(300));
+            std::vector<slo::Index> v(n);
+            std::iota(v.begin(), v.end(), slo::Index{0});
+            return v;
+        });
+    bool ok = vec.size() == n;
+    for (std::size_t i = 0; ok && i < n; ++i)
+        ok = vec[i] == static_cast<slo::Index>(i);
+    std::ofstream(argv[3]) << builds << ' ' << (ok ? 1 : 0) << '\n';
+    return ok ? 0 : 1;
+}

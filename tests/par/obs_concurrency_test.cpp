@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Concurrency tests for the obs layer: metrics and the run manifest
+ * must tolerate concurrent pipeline cells, and the sticky context must
+ * be per-thread so parallel cells cannot scramble each other's
+ * attribution.
+ */
+
+#include <atomic>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+#include "par/par.hpp"
+
+namespace slo
+{
+namespace
+{
+
+TEST(ObsConcurrencyTest, CountersSumAcrossThreads)
+{
+    obs::Counter &c = obs::counter("test.par.counter");
+    const std::uint64_t before = c.value();
+    par::ThreadPool pool(4);
+    par::parallelFor(
+        std::size_t{0}, std::size_t{1000},
+        [&c](std::size_t) { c.add(); }, par::ForOptions{1, &pool});
+    EXPECT_EQ(c.value(), before + 1000);
+}
+
+TEST(ObsConcurrencyTest, RecordPhaseAccumulatesUnderContention)
+{
+    obs::RunManifest &manifest = obs::RunManifest::instance();
+    manifest.reset();
+    manifest.begin("obs concurrency test");
+    par::ThreadPool pool(4);
+    par::parallelFor(
+        std::size_t{0}, std::size_t{400},
+        [&manifest](std::size_t i) {
+            manifest.recordPhase("m" + std::to_string(i % 4), "phase",
+                                 0.5);
+        },
+        par::ForOptions{1, &pool});
+    const obs::Json doc = manifest.toJson();
+    for (int m = 0; m < 4; ++m) {
+        const obs::Json &phase = doc.at("matrices")
+                                     .at("m" + std::to_string(m))
+                                     .at("phases")
+                                     .at("phase");
+        EXPECT_DOUBLE_EQ(phase.asDouble(), 50.0);
+    }
+    manifest.reset();
+}
+
+TEST(ObsConcurrencyTest, AddSimulationKeepsEveryReport)
+{
+    obs::RunManifest &manifest = obs::RunManifest::instance();
+    manifest.reset();
+    manifest.begin("obs concurrency test");
+    par::ThreadPool pool(4);
+    par::parallelFor(
+        std::size_t{0}, std::size_t{200},
+        [&manifest](std::size_t i) {
+            obs::Json report = obs::Json::object();
+            report["cell"] = static_cast<std::uint64_t>(i);
+            manifest.addSimulation("m", std::move(report));
+        },
+        par::ForOptions{1, &pool});
+    const obs::Json doc = manifest.toJson();
+    EXPECT_EQ(doc.at("matrices").at("m").at("simulations").size(),
+              200u);
+    manifest.reset();
+}
+
+TEST(ObsConcurrencyTest, ContextIsThreadLocal)
+{
+    // Every task sets its own value for the same key, does some work,
+    // and must read back its own value — never a sibling's.
+    obs::setContext("matrix", "main-thread-value");
+    par::ThreadPool pool(4);
+    std::atomic<int> mismatches{0};
+    par::parallelFor(
+        std::size_t{0}, std::size_t{500},
+        [&mismatches](std::size_t i) {
+            const std::string mine = "cell-" + std::to_string(i);
+            obs::setContext("matrix", mine);
+            // Touch the context a few times to widen the race window.
+            for (int k = 0; k < 10; ++k) {
+                if (obs::context("matrix") != mine)
+                    mismatches.fetch_add(1);
+            }
+        },
+        par::ForOptions{1, &pool});
+    EXPECT_EQ(mismatches.load(), 0);
+    // Worker-thread writes must not leak into the calling thread. The
+    // calling thread may have run cells itself while helping, so its
+    // context is either untouched or a cell value it set itself — but
+    // with a serial pool it is exactly untouched.
+    obs::clearContext();
+    obs::setContext("matrix", "serial-check");
+    par::ThreadPool serial(1);
+    par::parallelFor(
+        std::size_t{0}, std::size_t{1},
+        [](std::size_t) { obs::setContext("matrix", "inline-cell"); },
+        par::ForOptions{1, &serial});
+    // Serial pools run inline, so the inline cell's write IS visible.
+    EXPECT_EQ(obs::context("matrix"), "inline-cell");
+    obs::clearContext();
+    EXPECT_EQ(obs::context("matrix"), "");
+}
+
+TEST(ObsConcurrencyTest, SpansNestCorrectlyPerThread)
+{
+    par::ThreadPool pool(4);
+    par::parallelFor(
+        std::size_t{0}, std::size_t{100},
+        [](std::size_t i) {
+            obs::Span outer("test.par.outer:" + std::to_string(i));
+            obs::Span inner("test.par.inner:" + std::to_string(i));
+            EXPECT_GE(inner.elapsedSeconds(), 0.0);
+        },
+        par::ForOptions{1, &pool});
+}
+
+} // namespace
+} // namespace slo

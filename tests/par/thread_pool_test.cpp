@@ -1,0 +1,224 @@
+#include "par/par.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace slo::par
+{
+namespace
+{
+
+TEST(ThreadPoolTest, SerialPoolRunsInlineInSubmissionOrder)
+{
+    ThreadPool pool(1);
+    EXPECT_TRUE(pool.serial());
+    EXPECT_EQ(pool.numThreads(), 1);
+    std::vector<int> order;
+    pool.submit([&order] { order.push_back(0); });
+    pool.submit([&order] { order.push_back(1); });
+    pool.submit([&order] { order.push_back(2); });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne)
+{
+    ThreadPool pool(-3);
+    EXPECT_EQ(pool.numThreads(), 1);
+    EXPECT_TRUE(pool.serial());
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_FALSE(pool.serial());
+    constexpr int kTasks = 2000;
+    std::atomic<int> ran{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < kTasks; ++i)
+        group.run([&ran] { ran.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, TaskGroupRethrowsFirstException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 64; ++i) {
+        group.run([&ran, i] {
+            ran.fetch_add(1);
+            if (i % 8 == 3)
+                throw std::runtime_error("task failed");
+        });
+    }
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    // Every task still ran; a throwing task doesn't cancel the rest.
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, SerialTaskGroupCapturesExceptionsToo)
+{
+    ThreadPool pool(1);
+    TaskGroup group(pool);
+    group.run([] { throw std::runtime_error("inline failure"); });
+    EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionDoesNotDeadlock)
+{
+    // A task that itself fans out and waits must not deadlock even when
+    // tasks outnumber workers: waiting threads help run queued tasks.
+    ThreadPool pool(2);
+    std::atomic<int> inner_ran{0};
+    TaskGroup outer(pool);
+    for (int i = 0; i < 16; ++i) {
+        outer.run([&pool, &inner_ran] {
+            TaskGroup inner(pool);
+            for (int j = 0; j < 16; ++j)
+                inner.run([&inner_ran] { inner_ran.fetch_add(1); });
+            inner.wait();
+        });
+    }
+    outer.wait();
+    EXPECT_EQ(inner_ran.load(), 16 * 16);
+}
+
+TEST(ParallelForTest, GrainOneCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    std::vector<int> hits(1000, 0);
+    parallelFor(
+        std::size_t{0}, hits.size(),
+        [&hits](std::size_t i) { ++hits[i]; },
+        ForOptions{1, &pool});
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                            [](int h) { return h == 1; }));
+}
+
+TEST(ParallelForTest, LargeGrainCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    std::vector<int> hits(1000, 0);
+    parallelFor(
+        std::size_t{0}, hits.size(),
+        [&hits](std::size_t i) { ++hits[i]; },
+        ForOptions{100000, &pool}); // larger than the range: one chunk
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                            [](int h) { return h == 1; }));
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoOp)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    parallelFor(
+        std::size_t{5}, std::size_t{5},
+        [&ran](std::size_t) { ran = true; }, ForOptions{0, &pool});
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, BodyExceptionPropagates)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(parallelFor(
+                     std::size_t{0}, std::size_t{100},
+                     [](std::size_t i) {
+                         if (i == 37)
+                             throw std::runtime_error("bad index");
+                     },
+                     ForOptions{1, &pool}),
+                 std::runtime_error);
+}
+
+TEST(ParallelReduceTest, MatchesSerialSumAtEveryThreadCount)
+{
+    const std::size_t n = 10000;
+    std::vector<double> values(n);
+    for (std::size_t i = 0; i < n; ++i)
+        values[i] = static_cast<double>(i % 97) * 0.125;
+    const double expected =
+        std::accumulate(values.begin(), values.end(), 0.0);
+    for (int threads : {1, 2, 4, 8}) {
+        ThreadPool pool(threads);
+        const double got = parallelReduce(
+            std::size_t{0}, n, /*grain=*/128, 0.0,
+            [&values](std::size_t lo, std::size_t hi) {
+                double s = 0.0;
+                for (std::size_t i = lo; i < hi; ++i)
+                    s += values[i];
+                return s;
+            },
+            [](double a, double b) { return a + b; }, &pool);
+        // Fixed chunk boundaries + in-order fold: bitwise identical.
+        EXPECT_EQ(got, expected) << "threads=" << threads;
+    }
+}
+
+TEST(ParallelInvokeTest, RunsAllCallables)
+{
+    std::atomic<int> mask{0};
+    parallelInvoke([&mask] { mask.fetch_or(1); },
+                   [&mask] { mask.fetch_or(2); },
+                   [&mask] { mask.fetch_or(4); });
+    EXPECT_EQ(mask.load(), 7);
+}
+
+TEST(ParallelStableSortTest, EqualsStdStableSortWithTies)
+{
+    // Enough elements to trigger the parallel path (>= 2 * kMinRun)
+    // and heavy tie groups to exercise stability.
+    const std::size_t n = 20000;
+    std::vector<std::pair<int, int>> serial(n);
+    for (std::size_t i = 0; i < n; ++i)
+        serial[i] = {static_cast<int>((i * 2654435761u) % 16),
+                     static_cast<int>(i)};
+    auto parallel = serial;
+    const auto by_key = [](const std::pair<int, int> &a,
+                           const std::pair<int, int> &b) {
+        return a.first < b.first;
+    };
+    std::stable_sort(serial.begin(), serial.end(), by_key);
+    for (int threads : {1, 2, 4, 8}) {
+        auto copy = parallel;
+        ThreadPool pool(threads);
+        parallelStableSort(copy.begin(), copy.end(), by_key, &pool);
+        EXPECT_EQ(copy, serial) << "threads=" << threads;
+    }
+}
+
+TEST(ParallelStableSortTest, SmallInputsUseTheSerialPath)
+{
+    std::vector<int> values = {5, 3, 9, 1, 3, 5, 0};
+    auto expected = values;
+    std::stable_sort(expected.begin(), expected.end());
+    ThreadPool pool(4);
+    parallelStableSort(values.begin(), values.end(), std::less<>(),
+                       &pool);
+    EXPECT_EQ(values, expected);
+}
+
+TEST(ParallelForTest, StressManySmallBatches)
+{
+    // Repeatedly spin up small fan-outs to stress submit/steal/wake
+    // paths (and give TSan races to find if there are any).
+    ThreadPool pool(4);
+    std::atomic<long> total{0};
+    for (int round = 0; round < 50; ++round) {
+        parallelFor(
+            std::size_t{0}, std::size_t{64},
+            [&total](std::size_t i) {
+                total.fetch_add(static_cast<long>(i));
+            },
+            ForOptions{1, &pool});
+    }
+    EXPECT_EQ(total.load(), 50L * (63 * 64 / 2));
+}
+
+} // namespace
+} // namespace slo::par
