@@ -62,6 +62,17 @@ uniqueTmpPath(const std::filesystem::path &path)
  * the same file blocks even within one process, so a thread that
  * already holds a key's lock (e.g. rabbitArtifactsFor locking around
  * a loadOrBuild call) must not lock again.
+ *
+ * Keying the depth on the OS thread is sound only because
+ * par::TaskGroup waiters help strictly with their *own group's*
+ * tasks: everything that runs on this thread between acquire and
+ * release is part of the same logical build (nested calls, or leaf
+ * chunks of a parallelFor the build itself fanned out), never an
+ * unrelated stolen task that would piggy-back on the held lock and
+ * enter the critical section mid-build. The same group-scoped helping
+ * is what keeps the blocking flock below deadlock-free: no thread ever
+ * waits on one key's flock while holding a different key's flock
+ * picked up through stealing.
  */
 thread_local std::map<std::string, int> t_lock_depth;
 

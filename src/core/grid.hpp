@@ -14,8 +14,11 @@
  * Attribution: each cell runs with the thread-local
  * obs::context("matrix") set to its matrix name, so pipeline stages
  * that attribute implicitly (simulateOrdered, recordPhase callers)
- * keep working inside a cell. Code that needs to attribute *across*
- * cells passes names explicitly (core::simulateOrderedAs).
+ * keep working inside a cell. The context is scoped to the cell and
+ * restored afterwards, so a cell run inline on a helping or serial
+ * thread cannot leave its name behind in the surrounding work. Code
+ * that needs to attribute *across* cells passes names explicitly
+ * (core::simulateOrderedAs).
  */
 
 #pragma once
@@ -69,7 +72,12 @@ runGrid(const std::vector<CorpusMatrix> &corpus,
             const GridCell c{cell / width, cell % width,
                              &corpus[cell / width],
                              techniques[cell % width]};
-            obs::setContext("matrix", c.matrix->entry.name);
+            // Scoped, not sticky: a cell can run inline on a thread
+            // that is mid-way through other attributed work (the
+            // caller helping during wait, or SLO_THREADS=1), and its
+            // matrix name must not leak into that work.
+            const obs::ScopedContext ctx("matrix",
+                                         c.matrix->entry.name);
             table[c.matrixIndex][c.techniqueIndex] = fn(c);
         },
         par::ForOptions{1});

@@ -72,6 +72,30 @@ std::string context(const std::string &key);
 /** Drop every context entry of the calling thread (tests). */
 void clearContext();
 
+/**
+ * RAII: set context @p key to @p value for the current scope and
+ * restore the previous value on exit (including unwinding). Use where
+ * attribution must not leak past the scope — e.g. one grid cell run
+ * inline on a thread that continues with other work afterwards.
+ */
+class ScopedContext
+{
+  public:
+    ScopedContext(std::string key, std::string value)
+        : key_(std::move(key)), saved_(context(key_))
+    {
+        setContext(key_, std::move(value));
+    }
+    ~ScopedContext() { setContext(key_, std::move(saved_)); }
+
+    ScopedContext(const ScopedContext &) = delete;
+    ScopedContext &operator=(const ScopedContext &) = delete;
+
+  private:
+    std::string key_;
+    std::string saved_;
+};
+
 /** The run's manifest under construction (thread-safe). */
 class RunManifest
 {

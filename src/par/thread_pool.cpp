@@ -70,17 +70,23 @@ ThreadPool::submit(std::function<void()> task)
         task();
         return;
     }
+    // pending_ goes up *before* the task is published: popTask
+    // decrements after popping, so publishing first would let a thief
+    // drive pending_ through zero (size_t underflow) in the window
+    // before the increment lands — busy-spinning the workers and
+    // breaking the "stop_ && pending_ == 0" shutdown invariant.
     if (t_pool == this) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            ++pending_;
+        }
         Worker &own = *workers_[t_worker];
         const std::lock_guard<std::mutex> lock(own.mutex);
         own.tasks.push_back(std::move(task));
     } else {
         const std::lock_guard<std::mutex> lock(mutex_);
-        injected_.push_back(std::move(task));
-    }
-    {
-        const std::lock_guard<std::mutex> lock(mutex_);
         ++pending_;
+        injected_.push_back(std::move(task));
     }
     wake_.notify_one();
 }
@@ -129,21 +135,6 @@ ThreadPool::popTask(std::size_t home, std::function<void()> &task)
     return found;
 }
 
-bool
-ThreadPool::tryRunOneTask()
-{
-    if (serial())
-        return false;
-    const std::size_t home =
-        t_pool == this ? t_worker : workers_.size();
-    std::function<void()> task;
-    if (!popTask(home, task))
-        return false;
-    obs::counter("par.tasks").add();
-    task();
-    return true;
-}
-
 void
 ThreadPool::workerLoop(std::size_t index)
 {
@@ -163,17 +154,25 @@ ThreadPool::workerLoop(std::size_t index)
     }
 }
 
-TaskGroup::TaskGroup(ThreadPool &pool) : pool_(pool) {}
+struct TaskGroup::State
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    /** Group tasks not yet started; waiters and proxies pop front. */
+    std::deque<std::function<void()>> queued;
+    /** Queued plus currently-running tasks. */
+    std::size_t pending = 0;
+    std::exception_ptr error;
+};
+
+TaskGroup::TaskGroup(ThreadPool &pool)
+    : pool_(pool), state_(std::make_shared<State>())
+{
+}
 
 TaskGroup::~TaskGroup()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    while (pending_ > 0) {
-        lock.unlock();
-        if (!pool_.tryRunOneTask())
-            std::this_thread::yield();
-        lock.lock();
-    }
+    drain(); // exceptions stay captured in state_ and are dropped
 }
 
 void
@@ -183,62 +182,86 @@ TaskGroup::run(std::function<void()> task)
         try {
             task();
         } catch (...) {
-            const std::lock_guard<std::mutex> lock(mutex_);
-            if (!error_)
-                error_ = std::current_exception();
+            const std::lock_guard<std::mutex> lock(state_->mutex);
+            if (!state_->error)
+                state_->error = std::current_exception();
         }
         return;
     }
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        ++pending_;
+        const std::lock_guard<std::mutex> lock(state_->mutex);
+        ++state_->pending;
+        state_->queued.push_back(std::move(task));
     }
-    pool_.submit([this, task = std::move(task)] {
-        try {
-            task();
-        } catch (...) {
-            const std::lock_guard<std::mutex> lock(mutex_);
-            if (!error_)
-                error_ = std::current_exception();
-        }
-        finishOne();
-    });
+    // Wake a waiter blocked in drain(): a group task may fan more
+    // tasks into its own group, and the waiter must pick them up.
+    state_->cv.notify_one();
+    // The proxy drains one group task; if a waiter got there first it
+    // is a no-op. It shares State by shared_ptr so a straggling proxy
+    // that runs after the group object died stays safe.
+    pool_.submit([state = state_] { runOneQueued(*state); });
+}
+
+bool
+TaskGroup::runOneQueued(State &state)
+{
+    std::function<void()> task;
+    {
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        if (state.queued.empty())
+            return false;
+        task = std::move(state.queued.front());
+        state.queued.pop_front();
+    }
+    obs::counter("par.group_tasks").add();
+    try {
+        task();
+    } catch (...) {
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        if (!state.error)
+            state.error = std::current_exception();
+    }
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    if (--state.pending == 0)
+        state.cv.notify_all();
+    return true;
 }
 
 void
-TaskGroup::finishOne()
+TaskGroup::drain()
 {
-    // Notify while still holding the mutex: a waiter that observes
-    // pending_ == 0 may destroy this group immediately, so cv_ must
-    // not be touched after the waiter can acquire the lock.
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (--pending_ == 0)
-        cv_.notify_all();
+    // Help with *this group's* tasks only, never the pool at large:
+    // the waiter may hold locks (an artifact-cache flock around a
+    // build, say), and an unrelated stolen task could block on another
+    // lock while this one is held — hold-and-wait, and a deadlock once
+    // a second thread or process does the same in the other order.
+    // Group tasks are leaves the waiter itself fanned out, so running
+    // them inline is always safe.
+    State &state = *state_;
+    for (;;) {
+        if (runOneQueued(state))
+            continue;
+        std::unique_lock<std::mutex> lock(state.mutex);
+        if (state.pending == 0)
+            return;
+        if (!state.queued.empty())
+            continue; // a task landed after the failed pop; rerun it
+        state.cv.wait(lock, [&state] {
+            return state.pending == 0 || !state.queued.empty();
+        });
+        if (state.pending == 0)
+            return;
+    }
 }
 
 void
 TaskGroup::wait()
 {
-    for (;;) {
-        {
-            const std::lock_guard<std::mutex> lock(mutex_);
-            if (pending_ == 0)
-                break;
-        }
-        // Help instead of blocking: a waiting thread that runs queued
-        // tasks keeps nested parallelFor calls deadlock-free and the
-        // cores busy. Sleep only when there is nothing runnable.
-        if (pool_.tryRunOneTask())
-            continue;
-        std::unique_lock<std::mutex> lock(mutex_);
-        if (pending_ == 0)
-            break;
-        cv_.wait(lock, [this] { return pending_ == 0; });
-    }
+    drain();
     std::exception_ptr error;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        std::swap(error, error_);
+        const std::lock_guard<std::mutex> lock(state_->mutex);
+        std::swap(error, state_->error);
     }
     if (error)
         std::rethrow_exception(error);

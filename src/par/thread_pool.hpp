@@ -7,9 +7,16 @@
  * parallelism through `parallelFor` / `parallelInvoke` / `TaskGroup`
  * (par/parallel.hpp) and the pool schedules the chunks. Each worker
  * owns a deque it pushes/pops LIFO; idle workers steal FIFO from their
- * peers, and threads blocked in `TaskGroup::wait` help by running
- * queued tasks instead of sleeping, so nested submission never
- * deadlocks.
+ * peers, and a thread blocked in `TaskGroup::wait` helps by running
+ * tasks *of that group only* instead of sleeping, so nested submission
+ * never deadlocks. Helping is deliberately group-scoped: a waiter may
+ * hold locks (e.g. an artifact-cache per-key flock around a build), and
+ * picking up an unrelated coarse task there could block on a second
+ * lock while holding the first — with two processes sharing the cache
+ * that is a hold-and-wait cycle flock cannot detect. Group tasks are
+ * leaves of the computation the waiter itself spawned, so running them
+ * inline can never acquire a lock the waiter does not already own the
+ * right to.
  *
  * `SLO_THREADS=1` builds a pool with no worker threads at all: every
  * submit runs inline on the caller, restoring the exact serial
@@ -70,13 +77,6 @@ class ThreadPool
      */
     void submit(std::function<void()> task);
 
-    /**
-     * Run one queued task on the calling thread if any is available.
-     * Used by TaskGroup::wait so blocked threads help instead of
-     * idling. @return true iff a task was run.
-     */
-    bool tryRunOneTask();
-
   private:
     /** One worker's deque; owner pops back, thieves pop front. */
     struct Worker
@@ -110,6 +110,12 @@ class ThreadPool
  * until all have finished. The first exception thrown by any task is
  * captured and rethrown from `wait` (the remaining tasks still run).
  * On a serial pool, `run` executes the task inline.
+ *
+ * Tasks live on a queue owned by the group; `run` also submits a proxy
+ * to the pool that drains one group task. A blocked `wait` therefore
+ * helps only with this group's own tasks (see the file comment for why
+ * stealing unrelated work while waiting would risk deadlock), and a
+ * worker whose proxy finds the queue already drained simply returns.
  */
 class TaskGroup
 {
@@ -128,13 +134,21 @@ class TaskGroup
     void wait();
 
   private:
-    void finishOne();
+    /**
+     * Queue, fan-in counter and first error, shared with the pool
+     * proxies by shared_ptr so a proxy that runs after the group
+     * object died (the waiter drained every task itself) stays safe.
+     */
+    struct State;
+
+    /** Pop one queued task and run it. @return false if none queued. */
+    static bool runOneQueued(State &state);
+
+    /** Run/await group tasks until none is queued or running. */
+    void drain();
 
     ThreadPool &pool_;
-    std::mutex mutex_; ///< guards error_, pairs with cv_
-    std::condition_variable cv_;
-    std::size_t pending_ = 0; ///< under mutex_
-    std::exception_ptr error_;
+    std::shared_ptr<State> state_;
 };
 
 } // namespace slo::par

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "obs/json.hpp"
@@ -45,6 +46,32 @@ TEST_F(ManifestTest, ContextIsStickyAndOverwritable)
     setContext("matrix", "road-usa");
     EXPECT_EQ(context("matrix"), "road-usa");
     EXPECT_EQ(context("unset-key"), "");
+}
+
+TEST_F(ManifestTest, ScopedContextRestoresThePreviousValue)
+{
+    clearContext();
+    setContext("matrix", "outer");
+    {
+        const ScopedContext inner("matrix", "inner");
+        EXPECT_EQ(context("matrix"), "inner");
+    }
+    EXPECT_EQ(context("matrix"), "outer");
+    // Restores on unwinding too — a throwing grid cell must not leave
+    // its matrix name behind in the caller's attribution.
+    try {
+        const ScopedContext inner("matrix", "throwing");
+        throw std::runtime_error("cell failed");
+    } catch (const std::runtime_error &) {
+    }
+    EXPECT_EQ(context("matrix"), "outer");
+    // A key with no previous value goes back to unset ("").
+    {
+        const ScopedContext fresh("fresh-key", "value");
+        EXPECT_EQ(context("fresh-key"), "value");
+    }
+    EXPECT_EQ(context("fresh-key"), "");
+    clearContext();
 }
 
 TEST_F(ManifestTest, RoundTripsThroughFile)

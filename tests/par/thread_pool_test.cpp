@@ -4,6 +4,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -87,6 +88,53 @@ TEST(ThreadPoolTest, NestedSubmissionDoesNotDeadlock)
     }
     outer.wait();
     EXPECT_EQ(inner_ran.load(), 16 * 16);
+}
+
+TEST(ThreadPoolTest, WaitHelpsOnlyWithOwnGroupTasks)
+{
+    // A thread blocked in TaskGroup::wait may hold locks — the
+    // artifact cache holds a per-key flock around build(), and build()
+    // fans out a nested parallelFor. Helping must therefore be scoped
+    // to the waited-on group: picking up an unrelated coarse task
+    // could block on a *second* lock while the first is held, which
+    // with two processes sharing the cache dir is a hold-and-wait
+    // deadlock flock cannot detect. Park every worker, then check that
+    // a waiter drains only its own group and leaves foreign tasks
+    // untouched.
+    ThreadPool pool(2);
+    std::atomic<int> parked{0};
+    std::atomic<bool> release{false};
+    TaskGroup blockers(pool);
+    for (int i = 0; i < 2; ++i) {
+        blockers.run([&parked, &release] {
+            parked.fetch_add(1);
+            while (!release.load())
+                std::this_thread::yield();
+        });
+    }
+    while (parked.load() < 2)
+        std::this_thread::yield();
+
+    std::atomic<int> unrelated_ran{0};
+    TaskGroup unrelated(pool);
+    for (int i = 0; i < 32; ++i)
+        unrelated.run([&unrelated_ran] { unrelated_ran.fetch_add(1); });
+
+    std::atomic<int> mine_ran{0};
+    TaskGroup mine(pool);
+    for (int i = 0; i < 32; ++i)
+        mine.run([&mine_ran] { mine_ran.fetch_add(1); });
+    // Both workers are parked, so the only thread able to make
+    // progress here is this one, helping inside wait(). It must run
+    // all of its own group and none of the unrelated one.
+    mine.wait();
+    EXPECT_EQ(mine_ran.load(), 32);
+    EXPECT_EQ(unrelated_ran.load(), 0);
+
+    release.store(true);
+    blockers.wait();
+    unrelated.wait();
+    EXPECT_EQ(unrelated_ran.load(), 32);
 }
 
 TEST(ParallelForTest, GrainOneCoversEveryIndexOnce)
