@@ -12,9 +12,16 @@
 #      -DSLO_SANITIZE=address;undefined, -Werror, bench/examples off)
 #      and ctest with SLO_CHECK_LEVEL=full so every contract validator
 #      runs its deep checks under the sanitizers.
-#   4. TSan build (cmake preset "tsan") running the concurrency-labelled
-#      tests (thread pool, obs contention, artifact-cache races). Set
-#      SLO_TSAN_FULL=1 to run the whole suite under TSan instead.
+#   4. TSan build (cmake preset "tsan") running the concurrency- and
+#      qc-labelled tests (thread pool, obs contention, artifact-cache
+#      races, property-based oracles). Set SLO_TSAN_FULL=1 to run the
+#      whole suite under TSan instead.
+#   5. qc property suite on the default (unsanitized) tree with the
+#      full default case counts — the sanitizer presets cap cases via
+#      SLO_QC_CASES=25, this stage runs the deeper sweep.
+#   6. golden regression snapshots: the fig2/table3/table4 benches in
+#      the pinned configuration diffed against tests/golden/
+#      (scripts/golden.py; refresh intentional changes with --bless).
 #
 # On success writes .slo-check-stamp (git SHA + tree state) at the repo
 # root; scripts/run_benches.sh refuses to run without a stamp matching
@@ -70,9 +77,20 @@ if [ "${SLO_TSAN_FULL:-0}" = "1" ]; then
     step "ctest under TSan (full suite, SLO_TSAN_FULL=1)"
     ctest --preset tsan -j "$jobs" || die "tsan ctest"
 else
-    step "ctest under TSan (concurrency label; SLO_TSAN_FULL=1 for all)"
-    ctest --preset tsan -L concurrency -j "$jobs" || die "tsan ctest"
+    step "ctest under TSan (concurrency+qc; SLO_TSAN_FULL=1 for all)"
+    ctest --preset tsan -L 'concurrency|qc' -j "$jobs" \
+        || die "tsan ctest"
 fi
+
+step "default build for qc + golden (preset: default, -j$jobs)"
+cmake --preset default || die "cmake configure (default)"
+cmake --build --preset default -j "$jobs" || die "default build"
+
+step "qc property suite (default tree, full case counts)"
+ctest --preset default -L qc -j "$jobs" || die "qc ctest"
+
+step "golden regression snapshots (scripts/golden.py)"
+ctest --preset default -L golden -j "$jobs" || die "golden ctest"
 
 sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 dirty=""

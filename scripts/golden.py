@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Golden regression harness for the bench pipeline.
+
+Runs the snapshot benches (fig2/table3/table4) in a pinned
+configuration (REPRO_SCALE=small, REPRO_LIMIT=3, SLO_THREADS=1 so the
+manifest's per-matrix simulation arrays come out in deterministic
+order), distills each run into a `slo.golden/1` document — the CSV
+tables plus the run manifest with volatile fields stripped — and
+diffs it against the committed snapshot in tests/golden/.
+
+Usage:
+  scripts/golden.py [--build-dir build] [--filter fig2 ...]
+  scripts/golden.py --bless          # regenerate the snapshots
+  scripts/golden.py --expect-dirty   # succeed IFF something diverges
+                                     # (used by the golden_fault ctest)
+
+Numeric leaves compare with a relative tolerance (--tolerance,
+default 1e-9: runs are bit-deterministic, the slack only absorbs JSON
+round-tripping). Everything else must match exactly.
+"""
+
+import argparse
+import csv
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+SCHEMA = "slo.golden/1"
+REPO = pathlib.Path(__file__).resolve().parent.parent
+GOLDEN_DIR = REPO / "tests" / "golden"
+
+# bench binary -> committed snapshot stem
+BENCHES = {
+    "fig2_dram_traffic": "fig2_dram_traffic",
+    "table3_dead_lines": "table3_dead_lines",
+    "table4_other_kernels": "table4_other_kernels",
+}
+
+# Volatile manifest fields: host/build identity and wall-clock data.
+VOLATILE_TOP = {
+    "git_sha",
+    "hostname",
+    "build",
+    "started_at",
+    "wall_seconds",
+    "threads",
+    "metrics",
+}
+VOLATILE_PER_MATRIX = {"phases"}
+
+
+def run_bench(build_dir: pathlib.Path, name: str, out_dir: pathlib.Path):
+    binary = build_dir / "bench" / name
+    if not binary.is_file():
+        raise SystemExit(
+            f"golden.py: {binary} not built "
+            "(configure with -DSLO_BUILD_BENCH=ON and build)"
+        )
+    env = dict(os.environ)
+    env.update(
+        REPRO_SCALE="small",
+        REPRO_LIMIT="3",
+        REPRO_CSV_DIR=str(out_dir),
+        SLO_OBS_DIR=str(out_dir),
+        SLO_THREADS="1",
+        SLO_TRACE="1",
+        SLO_LOG="warn",
+    )
+    # Share one artifact cache across golden runs, but never the
+    # user's: a cache poisoned by an aborted run would corrupt every
+    # subsequent diff.
+    env.setdefault("SLO_CACHE_DIR", str(build_dir / "golden-cache"))
+    proc = subprocess.run(
+        [str(binary)],
+        env=env,
+        cwd=str(REPO),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"golden.py: {name} exited {proc.returncode}")
+
+
+def load_tables(out_dir: pathlib.Path):
+    tables = {}
+    for path in sorted(out_dir.glob("*.csv")):
+        with open(path, newline="") as handle:
+            tables[path.stem] = [row for row in csv.reader(handle)]
+    return tables
+
+
+def load_manifest(out_dir: pathlib.Path):
+    manifests = sorted(out_dir.glob("*.manifest.json"))
+    if len(manifests) != 1:
+        raise SystemExit(
+            f"golden.py: expected exactly one manifest in {out_dir}, "
+            f"found {[m.name for m in manifests]}"
+        )
+    with open(manifests[0]) as handle:
+        doc = json.load(handle)
+    for key in VOLATILE_TOP:
+        doc.pop(key, None)
+    for matrix in doc.get("matrices", {}).values():
+        for key in VOLATILE_PER_MATRIX:
+            matrix.pop(key, None)
+    return doc
+
+
+def snapshot(build_dir: pathlib.Path, name: str):
+    with tempfile.TemporaryDirectory(prefix=f"slo-golden-{name}-") as tmp:
+        out_dir = pathlib.Path(tmp)
+        run_bench(build_dir, name, out_dir)
+        return {
+            "schema": SCHEMA,
+            "bench": name,
+            "pinned_env": {
+                "REPRO_SCALE": "small",
+                "REPRO_LIMIT": "3",
+                "SLO_THREADS": "1",
+            },
+            "tables": load_tables(out_dir),
+            "manifest": load_manifest(out_dir),
+        }
+
+
+def diff_values(got, want, path, out, tolerance):
+    """Append human-readable differences between two JSON trees."""
+    if isinstance(want, (int, float)) and not isinstance(want, bool):
+        if not isinstance(got, (int, float)) or isinstance(got, bool):
+            out.append(f"{path}: {got!r} != {want!r}")
+        elif abs(got - want) > tolerance * max(1.0, abs(want)):
+            out.append(f"{path}: {got!r} != {want!r}")
+        return
+    if type(got) is not type(want):
+        out.append(f"{path}: type {type(got).__name__} != "
+                   f"{type(want).__name__}")
+        return
+    if isinstance(want, dict):
+        for key in sorted(set(got) | set(want)):
+            if key not in got:
+                out.append(f"{path}.{key}: missing in new run")
+            elif key not in want:
+                out.append(f"{path}.{key}: not in golden (re-bless?)")
+            else:
+                diff_values(got[key], want[key], f"{path}.{key}", out,
+                            tolerance)
+        return
+    if isinstance(want, list):
+        if len(got) != len(want):
+            out.append(f"{path}: length {len(got)} != {len(want)}")
+            return
+        for i, (g, w) in enumerate(zip(got, want)):
+            diff_values(g, w, f"{path}[{i}]", out, tolerance)
+        return
+    if got != want:
+        out.append(f"{path}: {got!r} != {want!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--bless", action="store_true",
+                        help="rewrite tests/golden/ from this run")
+    parser.add_argument("--expect-dirty", action="store_true",
+                        help="invert the verdict: succeed iff diffs "
+                        "exist (fault-injection self-test)")
+    parser.add_argument("--filter", nargs="*", default=None,
+                        help="substring filters on bench names")
+    parser.add_argument("--tolerance", type=float, default=1e-9)
+    args = parser.parse_args()
+
+    build_dir = (REPO / args.build_dir).resolve()
+    names = [
+        name
+        for name in BENCHES
+        if args.filter is None
+        or any(f in name for f in args.filter)
+    ]
+    if not names:
+        raise SystemExit("golden.py: --filter matched no benches")
+
+    if args.bless and os.environ.get("SLO_SIM_RANDOM_EFFICIENCY"):
+        raise SystemExit(
+            "golden.py: refusing to --bless with "
+            "SLO_SIM_RANDOM_EFFICIENCY set (the snapshots must come "
+            "from the calibrated model)"
+        )
+
+    dirty = []
+    for name in names:
+        doc = snapshot(build_dir, name)
+        golden_path = GOLDEN_DIR / f"{BENCHES[name]}.json"
+        if args.bless:
+            GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+            with open(golden_path, "w") as handle:
+                json.dump(doc, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"[golden] blessed {golden_path.relative_to(REPO)}")
+            continue
+        if not golden_path.is_file():
+            dirty.append(f"{name}: no snapshot at "
+                         f"{golden_path.relative_to(REPO)} "
+                         "(run scripts/golden.py --bless)")
+            continue
+        with open(golden_path) as handle:
+            want = json.load(handle)
+        if want.get("schema") != SCHEMA:
+            dirty.append(f"{name}: snapshot schema "
+                         f"{want.get('schema')!r} != {SCHEMA!r} "
+                         "(re-bless after the schema change)")
+            continue
+        diffs = []
+        diff_values(doc, want, name, diffs, args.tolerance)
+        if diffs:
+            limit = 25
+            shown = "\n  ".join(diffs[:limit])
+            more = len(diffs) - limit
+            tail = f"\n  ... and {more} more" if more > 0 else ""
+            dirty.append(f"{name}: {len(diffs)} difference(s)\n"
+                         f"  {shown}{tail}")
+        else:
+            print(f"[golden] {name}: matches "
+                  f"{golden_path.relative_to(REPO)}")
+
+    if args.bless:
+        return 0
+    if args.expect_dirty:
+        if dirty:
+            print("[golden] divergence detected as expected:")
+            print(dirty[0].splitlines()[0])
+            return 0
+        print("golden.py: --expect-dirty but every bench matched "
+              "(the snapshots are not sensitive to the model)",
+              file=sys.stderr)
+        return 1
+    if dirty:
+        print("golden.py: FAIL — bench outputs diverged from "
+              "tests/golden/:", file=sys.stderr)
+        for entry in dirty:
+            print(entry, file=sys.stderr)
+        print("If the change is intentional, refresh with "
+              "scripts/golden.py --bless and commit the diff.",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

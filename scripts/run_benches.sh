@@ -26,6 +26,26 @@ if [ "${SLO_SKIP_CHECK:-0}" != "1" ]; then
         exit 1
     fi
 fi
+
+# Benches whose outputs feed the golden regression harness must have a
+# committed snapshot of the current schema; otherwise a drifted
+# pipeline silently produces un-diffable results. SLO_SKIP_GOLDEN=1
+# overrides (e.g. while intentionally iterating on the schema).
+if [ "${SLO_SKIP_GOLDEN:-0}" != "1" ]; then
+    for g in fig2_dram_traffic table3_dead_lines table4_other_kernels; do
+        f="tests/golden/$g.json"
+        if [ ! -f "$f" ]; then
+            echo "run_benches.sh: missing golden snapshot $f" >&2
+            echo "run scripts/golden.py --bless (or SLO_SKIP_GOLDEN=1)" >&2
+            exit 1
+        fi
+        if ! grep -q '"schema": "slo.golden/1"' "$f"; then
+            echo "run_benches.sh: $f is not schema slo.golden/1" >&2
+            echo "re-bless with scripts/golden.py --bless" >&2
+            exit 1
+        fi
+    done
+fi
 mkdir -p "$out"
 
 # Observability artifacts (<bench>.manifest.json / .trace.json /

@@ -1,12 +1,50 @@
 #include "gpu/gpu_spec.hpp"
 
+#include <cstdlib>
+
+#include "obs/log.hpp"
+
 namespace slo::gpu
 {
+
+namespace
+{
+
+/**
+ * Test hook: SLO_SIM_RANDOM_EFFICIENCY overrides the calibrated
+ * random-access efficiency (0.45). The golden regression harness uses
+ * it to prove the goldens actually bite — a perturbed constant must
+ * make `ctest -L golden` fail. Never set it in real runs.
+ */
+void
+applyEnvOverrides(GpuSpec &spec)
+{
+    const char *raw = std::getenv("SLO_SIM_RANDOM_EFFICIENCY");
+    if (raw == nullptr || *raw == '\0')
+        return;
+    char *end = nullptr;
+    const double value = std::strtod(raw, &end);
+    if (end == raw || value <= 0.0 || value > 1.0) {
+        SLO_LOG_WARN("gpu", "ignoring bad SLO_SIM_RANDOM_EFFICIENCY="
+                                << raw);
+        return;
+    }
+    SLO_LOG_WARN("gpu", "SLO_SIM_RANDOM_EFFICIENCY="
+                            << value
+                            << " overrides the calibrated model "
+                               "(test hook; results are not "
+                               "comparable to the paper)");
+    spec.randomAccessEfficiency = value;
+}
+
+} // namespace
 
 GpuSpec
 GpuSpec::a6000()
 {
-    return GpuSpec{};
+    GpuSpec spec;
+    applyEnvOverrides(spec);
+    return spec;
 }
 
 GpuSpec
@@ -16,6 +54,7 @@ GpuSpec::a6000ScaledL2(std::uint64_t l2_bytes)
     spec.l2.capacityBytes = l2_bytes;
     spec.l2.validate();
     spec.name = "NVIDIA A6000 (scaled L2)";
+    applyEnvOverrides(spec);
     return spec;
 }
 

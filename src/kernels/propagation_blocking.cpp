@@ -34,6 +34,8 @@ PropagationBlockedSpmv::spmv(std::span<const Value> x,
     // sequential read, and each non-zero appends one (dst,
     // contribution) record to the bin owning dst. Everything streams.
     const Index bins = numBins();
+    if (bins == 0)
+        return; // empty matrix: no destinations, nothing to bin
     std::vector<std::vector<std::pair<Index, Value>>> buffers(
         static_cast<std::size_t>(bins));
     const auto expected =

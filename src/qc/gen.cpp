@@ -1,0 +1,397 @@
+#include "qc/gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "matrix/generators.hpp"
+#include "matrix/types.hpp"
+
+namespace slo::qc
+{
+
+namespace
+{
+
+/** Family generators need a few nodes (barabasiAlbert requires > 2). */
+constexpr Index kFamilyMinRows = 3;
+
+Index
+clampIndex(Index value, Index lo, Index hi)
+{
+    return std::max(lo, std::min(hi, value));
+}
+
+/** Expand a non-Raw spec through the matching gen:: family. */
+Csr
+buildFamily(const CsrSpec &spec)
+{
+    const Index n = spec.rows;
+    require(n >= kFamilyMinRows,
+            "qc::build: family kinds need rows >= 3");
+    Csr pattern;
+    switch (spec.kind) {
+      case MatrixKind::Random:
+        pattern = gen::erdosRenyi(n, spec.avgDegree, spec.seed);
+        break;
+      case MatrixKind::Banded: {
+        const Index hb = clampIndex(spec.halfBandwidth, 1, n - 1);
+        const double fill = std::clamp(
+            spec.avgDegree / (2.0 * static_cast<double>(hb)), 0.05,
+            1.0);
+        pattern = gen::banded(n, hb, fill, spec.seed);
+        break;
+      }
+      case MatrixKind::PowerLaw: {
+        const auto edges = static_cast<Index>(
+            std::llround(spec.avgDegree / 2.0));
+        pattern = gen::barabasiAlbert(n, clampIndex(edges, 1, n - 1),
+                                      spec.seed);
+        break;
+      }
+      case MatrixKind::BlockCommunity: {
+        const Index k = clampIndex(spec.communities, 1, n);
+        const double inter = std::clamp(spec.interFraction, 0.0, 1.0);
+        pattern = gen::plantedPartition(n, k,
+                                        spec.avgDegree * (1.0 - inter),
+                                        spec.avgDegree * inter,
+                                        spec.seed);
+        break;
+      }
+      case MatrixKind::Raw:
+        fatal("qc::buildFamily: Raw is not a family kind");
+    }
+    return gen::withRandomValues(pattern,
+                                 spec.seed ^ 0x9e3779b97f4a7c15ULL);
+}
+
+} // namespace
+
+const char *
+matrixKindName(MatrixKind kind)
+{
+    switch (kind) {
+      case MatrixKind::Raw: return "raw";
+      case MatrixKind::Random: return "random";
+      case MatrixKind::Banded: return "banded";
+      case MatrixKind::PowerLaw: return "power-law";
+      case MatrixKind::BlockCommunity: return "block-community";
+    }
+    return "unknown";
+}
+
+CsrSpec
+arbitraryCsrSpec(Rng &rng, const SpecBounds &bounds)
+{
+    CsrSpec spec;
+    const int kind_lo = bounds.familiesOnly ? 1 : 0;
+    const int kind_hi = bounds.rawOnly ? 0 : 4;
+    spec.kind =
+        static_cast<MatrixKind>(rng.between(kind_lo, kind_hi));
+
+    if (spec.kind == MatrixKind::Raw) {
+        const Index min_rows = bounds.allowEmpty ? 0 : 1;
+        spec.rows = static_cast<Index>(
+            rng.between(min_rows, std::max(min_rows, bounds.maxRows)));
+        spec.cols = bounds.squareOnly
+                        ? spec.rows
+                        : static_cast<Index>(rng.between(
+                              min_rows,
+                              std::max(min_rows, bounds.maxRows)));
+        spec.selfLoops = bounds.allowSelfLoops && rng.chance(0.3);
+        spec.duplicates = rng.chance(0.25);
+    } else {
+        spec.rows = static_cast<Index>(rng.between(
+            kFamilyMinRows, std::max(kFamilyMinRows, bounds.maxRows)));
+        spec.cols = spec.rows;
+        spec.halfBandwidth = static_cast<Index>(
+            rng.between(1, std::max<Index>(1, spec.rows / 4)));
+        spec.communities = static_cast<Index>(
+            rng.between(1, std::max<Index>(1, spec.rows / 8)));
+        spec.interFraction = rng.uniform() * 0.5;
+    }
+    spec.avgDegree = rng.uniform() * bounds.maxAvgDegree;
+    spec.seed = rng.next();
+    return spec;
+}
+
+Coo
+buildCoo(const CsrSpec &spec)
+{
+    require(spec.kind == MatrixKind::Raw,
+            "qc::buildCoo: only Raw specs expand to COO directly");
+    require(spec.selfLoopFraction == 0.0 || spec.rows == spec.cols,
+            "qc::buildCoo: selfLoopFraction needs a square shape");
+    Rng rng(spec.seed);
+    Coo coo(spec.rows, spec.cols);
+    if (spec.rows == 0 || spec.cols == 0)
+        return coo;
+    const auto target = static_cast<Offset>(std::llround(
+        spec.avgDegree * static_cast<double>(spec.rows)));
+    coo.reserve(target);
+    for (Offset e = 0; e < target; ++e) {
+        auto row = static_cast<Index>(
+            rng.below(static_cast<std::uint64_t>(spec.rows)));
+        auto col = static_cast<Index>(
+            rng.below(static_cast<std::uint64_t>(spec.cols)));
+        if (rng.chance(spec.selfLoopFraction))
+            col = row;
+        if (!spec.selfLoops && spec.selfLoopFraction == 0.0 &&
+            row == col) {
+            if (spec.cols < 2)
+                continue;
+            col = (col + 1) % spec.cols;
+        }
+        const auto value =
+            static_cast<Value>(1.0 - rng.uniform()); // (0, 1]
+        coo.add(row, col, value);
+        if (spec.duplicates && rng.chance(0.2))
+            coo.add(row, col, value);
+    }
+    return coo;
+}
+
+Csr
+build(const CsrSpec &spec)
+{
+    if (spec.kind == MatrixKind::Raw)
+        return Csr::fromCoo(buildCoo(spec), DuplicatePolicy::Sum);
+    return buildFamily(spec);
+}
+
+std::function<std::vector<CsrSpec>(const CsrSpec &)>
+csrSpecShrinker(const SpecBounds &bounds)
+{
+    return [bounds](const CsrSpec &spec) {
+        std::vector<CsrSpec> out;
+        const bool raw = spec.kind == MatrixKind::Raw;
+        const Index floor =
+            raw ? (bounds.allowEmpty ? 0 : 1) : kFamilyMinRows;
+
+        // Simplify the kind first: a Raw repro is easier to read than
+        // a family one (unless the property only accepts families).
+        if (!raw && !bounds.familiesOnly) {
+            CsrSpec simpler = spec;
+            simpler.kind = MatrixKind::Raw;
+            out.push_back(simpler);
+        }
+
+        auto with_rows = [&](Index rows) {
+            CsrSpec smaller = spec;
+            smaller.rows = rows;
+            if (!raw || bounds.squareOnly || spec.rows == spec.cols)
+                smaller.cols = rows;
+            out.push_back(smaller);
+        };
+        if (spec.rows > floor) {
+            with_rows(floor);
+            if (spec.rows / 2 > floor)
+                with_rows(spec.rows / 2);
+            with_rows(spec.rows - 1);
+        }
+        if (raw && !bounds.squareOnly && spec.cols > floor &&
+            spec.cols != spec.rows) {
+            CsrSpec narrower = spec;
+            narrower.cols = std::max(floor, spec.cols / 2);
+            out.push_back(narrower);
+        }
+
+        if (spec.avgDegree > 0.0) {
+            CsrSpec sparser = spec;
+            sparser.avgDegree = 0.0;
+            out.push_back(sparser);
+            sparser.avgDegree = spec.avgDegree / 2.0;
+            out.push_back(sparser);
+        }
+
+        auto drop_flag = [&](auto member, auto off_value) {
+            if (spec.*member != off_value) {
+                CsrSpec plainer = spec;
+                plainer.*member = off_value;
+                out.push_back(plainer);
+            }
+        };
+        drop_flag(&CsrSpec::selfLoops, false);
+        drop_flag(&CsrSpec::duplicates, false);
+        drop_flag(&CsrSpec::selfLoopFraction, 0.0);
+        if (spec.halfBandwidth > 1)
+            drop_flag(&CsrSpec::halfBandwidth, Index{1});
+        if (spec.communities > 1)
+            drop_flag(&CsrSpec::communities, Index{1});
+        return out;
+    };
+}
+
+obs::Json
+describeCsrSpec(const CsrSpec &spec)
+{
+    obs::Json out = obs::Json::object();
+    out["kind"] = matrixKindName(spec.kind);
+    out["rows"] = spec.rows;
+    out["cols"] = spec.cols;
+    out["avg_degree"] = spec.avgDegree;
+    if (spec.kind == MatrixKind::Banded)
+        out["half_bandwidth"] = spec.halfBandwidth;
+    if (spec.kind == MatrixKind::BlockCommunity) {
+        out["communities"] = spec.communities;
+        out["inter_fraction"] = spec.interFraction;
+    }
+    if (spec.selfLoops)
+        out["self_loops"] = true;
+    if (spec.selfLoopFraction > 0.0)
+        out["self_loop_fraction"] = spec.selfLoopFraction;
+    if (spec.duplicates)
+        out["duplicates"] = true;
+    out["seed"] = spec.seed;
+    return out;
+}
+
+obs::Json
+describeBounds(const SpecBounds &bounds)
+{
+    obs::Json out = obs::Json::object();
+    out["max_rows"] = bounds.maxRows;
+    out["max_avg_degree"] = bounds.maxAvgDegree;
+    out["square_only"] = bounds.squareOnly;
+    out["allow_empty"] = bounds.allowEmpty;
+    out["raw_only"] = bounds.rawOnly;
+    out["families_only"] = bounds.familiesOnly;
+    out["allow_self_loops"] = bounds.allowSelfLoops;
+    return out;
+}
+
+Permutation
+arbitraryPermutation(Rng &rng, Index n)
+{
+    return Permutation::random(n, rng.next());
+}
+
+community::Clustering
+arbitraryClustering(Rng &rng, Index n)
+{
+    std::vector<Index> labels(static_cast<std::size_t>(n));
+    if (n > 0) {
+        const auto k = static_cast<std::uint64_t>(rng.between(1, n));
+        for (Index v = 0; v < n; ++v)
+            labels[static_cast<std::size_t>(v)] =
+                static_cast<Index>(rng.below(k));
+    }
+    return community::Clustering(std::move(labels));
+}
+
+community::Dendrogram
+arbitraryDendrogram(Rng &rng, Index n)
+{
+    community::Dendrogram dendrogram(n);
+    if (n < 2)
+        return dendrogram;
+    // Visit vertices in a random order; each may merge (as a root,
+    // since it was not visited before) under any earlier vertex —
+    // earlier vertices are roots or already merged, so every merge is
+    // valid by construction.
+    const Permutation shuffle = arbitraryPermutation(rng, n);
+    const std::vector<Index> order = shuffle.inverse().newIds();
+    for (Index i = 1; i < n; ++i) {
+        if (!rng.chance(0.7))
+            continue;
+        const Index child = order[static_cast<std::size_t>(i)];
+        const Index parent = order[static_cast<std::size_t>(
+            rng.below(static_cast<std::uint64_t>(i)))];
+        dendrogram.merge(child, parent);
+    }
+    return dendrogram;
+}
+
+CacheCase
+arbitraryCacheCase(Rng &rng, bool allow_sectored)
+{
+    CacheCase value;
+    cache::CacheConfig &config = value.config;
+    config.lineBytes = 1u << rng.between(4, 7); // 16..128 B
+    config.ways = 1u << rng.between(0, 3);      // 1..8
+    const auto sets = static_cast<std::uint64_t>(rng.between(1, 24));
+    config.capacityBytes = static_cast<std::uint64_t>(config.lineBytes) *
+                           config.ways * sets;
+    config.sectorBytes = 0;
+    if (allow_sectored && config.lineBytes >= 32 && rng.chance(0.4)) {
+        // 2 or 4 sectors per line, always a power of two >= 8 B.
+        config.sectorBytes =
+            config.lineBytes / (1u << rng.between(1, 2));
+    }
+
+    // Size the address space past the capacity so evictions (and with
+    // them dead-line and LRU-order behaviour) actually happen.
+    value.trace.addressSpace = std::max<std::uint64_t>(
+        256, config.capacityBytes *
+                 static_cast<std::uint64_t>(rng.between(1, 6)));
+    value.trace.length = static_cast<int>(rng.between(0, 1500));
+    value.trace.jumpProbability = rng.uniform();
+    value.trace.seed = rng.next();
+    return value;
+}
+
+std::vector<std::uint64_t>
+buildTrace(const TraceSpec &spec)
+{
+    Rng rng(spec.seed);
+    std::vector<std::uint64_t> trace;
+    trace.reserve(static_cast<std::size_t>(std::max(spec.length, 0)));
+    std::uint64_t addr = 0;
+    for (int i = 0; i < spec.length; ++i) {
+        if (i == 0 || rng.chance(spec.jumpProbability))
+            addr = rng.below(spec.addressSpace);
+        else
+            addr = (addr + 4) % spec.addressSpace;
+        trace.push_back(addr);
+    }
+    return trace;
+}
+
+std::vector<CacheCase>
+shrinkCacheCase(const CacheCase &value)
+{
+    std::vector<CacheCase> out;
+    auto with_length = [&](int length) {
+        CacheCase shorter = value;
+        shorter.trace.length = length;
+        out.push_back(shorter);
+    };
+    if (value.trace.length > 0) {
+        with_length(0);
+        if (value.trace.length > 1)
+            with_length(value.trace.length / 2);
+        with_length(value.trace.length - 1);
+    }
+    if (value.trace.jumpProbability > 0.0) {
+        CacheCase straighter = value;
+        straighter.trace.jumpProbability = 0.0;
+        out.push_back(straighter);
+    }
+    if (value.trace.addressSpace > 256) {
+        CacheCase denser = value;
+        denser.trace.addressSpace =
+            std::max<std::uint64_t>(256, value.trace.addressSpace / 2);
+        out.push_back(denser);
+    }
+    return out;
+}
+
+obs::Json
+describeCacheCase(const CacheCase &value)
+{
+    obs::Json config = obs::Json::object();
+    config["capacity_bytes"] = value.config.capacityBytes;
+    config["line_bytes"] = value.config.lineBytes;
+    config["ways"] = value.config.ways;
+    config["sector_bytes"] = value.config.sectorBytes;
+    obs::Json trace = obs::Json::object();
+    trace["length"] = value.trace.length;
+    trace["address_space"] = value.trace.addressSpace;
+    trace["jump_probability"] = value.trace.jumpProbability;
+    trace["seed"] = value.trace.seed;
+    obs::Json out = obs::Json::object();
+    out["config"] = std::move(config);
+    out["trace"] = std::move(trace);
+    return out;
+}
+
+} // namespace slo::qc

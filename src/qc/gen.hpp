@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Seeded generators for sparse structures, with shrinking.
+ *
+ * Generators follow a *spec* pattern: an arbitrary* function draws a
+ * small plain-data spec from an Rng, build* expands the spec into the
+ * real structure (Csr/Coo/trace), and a shrinker proposes strictly
+ * simpler specs. Shrinking specs instead of structures keeps
+ * counterexamples reproducible (the spec embeds its own seed) and
+ * trivially serializable into `slo.qc-counterexample/1` reports.
+ *
+ * Matrix specs span the repo's generator families (random, banded,
+ * power-law, block-community) plus a Raw kind that covers everything
+ * the family generators deliberately exclude: rectangular shapes, self
+ * loops, duplicate coordinates, empty matrices and all-empty rows.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "community/clustering.hpp"
+#include "community/dendrogram.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/permutation.hpp"
+#include "matrix/rng.hpp"
+#include "obs/json.hpp"
+
+namespace slo::qc
+{
+
+/** Structural family of a generated matrix. */
+enum class MatrixKind
+{
+    Raw,            ///< uniform COO draws; may be rectangular/self-loop
+    Random,         ///< gen::erdosRenyi
+    Banded,         ///< gen::banded
+    PowerLaw,       ///< gen::barabasiAlbert
+    BlockCommunity, ///< gen::plantedPartition
+};
+
+/** Stable display name of @p kind. */
+const char *matrixKindName(MatrixKind kind);
+
+/** A reproducible recipe for one generated matrix. */
+struct CsrSpec
+{
+    MatrixKind kind = MatrixKind::Raw;
+    Index rows = 0;
+    Index cols = 0;            ///< == rows for all non-Raw kinds
+    double avgDegree = 0.0;    ///< target mean non-zeros per row
+    Index halfBandwidth = 1;   ///< Banded only
+    Index communities = 1;     ///< BlockCommunity only
+    /** BlockCommunity: share of degree crossing communities (0 =
+     * disconnected block-diagonal components). */
+    double interFraction = 0.25;
+    bool selfLoops = false;    ///< Raw only
+    /** Raw only: force this share of entries onto the diagonal
+     * (1.0 = self-loop-only matrix). Requires a square shape. */
+    double selfLoopFraction = 0.0;
+    bool duplicates = false;   ///< Raw only: emit duplicate coordinates
+    std::uint64_t seed = 0;
+};
+
+/** Envelope arbitraryCsrSpec draws from (and shrinking respects). */
+struct SpecBounds
+{
+    Index maxRows = 96;
+    double maxAvgDegree = 8.0;
+    bool squareOnly = false;  ///< Raw too stays square
+    bool allowEmpty = true;   ///< permit rows/cols == 0
+    bool rawOnly = false;     ///< only MatrixKind::Raw
+    bool familiesOnly = false; ///< exclude Raw (symmetric, no loops)
+    bool allowSelfLoops = true; ///< Raw may place diagonal entries
+};
+
+/** Draw a spec inside @p bounds. */
+CsrSpec arbitraryCsrSpec(Rng &rng, const SpecBounds &bounds = {});
+
+/** Expand @p spec to COO (duplicates preserved). */
+Coo buildCoo(const CsrSpec &spec);
+
+/** Expand @p spec to CSR (duplicate coordinates summed). */
+Csr build(const CsrSpec &spec);
+
+/**
+ * Shrinker for CsrSpec honouring @p bounds (candidates never leave the
+ * envelope the property generated from, so a shrunk counterexample is
+ * still a valid input for the property). Pass the result as
+ * PropertyOptions::shrink.
+ */
+std::function<std::vector<CsrSpec>(const CsrSpec &)>
+csrSpecShrinker(const SpecBounds &bounds = {});
+
+/** JSON rendering for counterexample reports. */
+obs::Json describeCsrSpec(const CsrSpec &spec);
+
+/** JSON rendering of @p bounds for manifest parameters. */
+obs::Json describeBounds(const SpecBounds &bounds);
+
+/** Uniformly random permutation of [0, n). */
+Permutation arbitraryPermutation(Rng &rng, Index n);
+
+/** Random (possibly non-dense-labelled) clustering of n vertices. */
+community::Clustering arbitraryClustering(Rng &rng, Index n);
+
+/** Random merge forest over n vertices (valid by construction). */
+community::Dendrogram arbitraryDendrogram(Rng &rng, Index n);
+
+/** A reproducible recipe for one synthetic byte-address trace. */
+struct TraceSpec
+{
+    int length = 0;
+    std::uint64_t addressSpace = 4096; ///< addresses lie in [0, this)
+    double jumpProbability = 0.3; ///< else sequential 4-byte stride
+    std::uint64_t seed = 0;
+};
+
+/** One generated cache-simulation input: a geometry plus a trace. */
+struct CacheCase
+{
+    cache::CacheConfig config;
+    TraceSpec trace;
+};
+
+/**
+ * Draw a small cache geometry (line 16..128 B, 1..8 ways, 1..24 sets —
+ * deliberately including non-power-of-two set counts) and a trace
+ * sized to overflow it. @p allow_sectored adds sectored-line configs;
+ * Belady comparisons need it off (simulateBelady rejects sectoring).
+ */
+CacheCase arbitraryCacheCase(Rng &rng, bool allow_sectored = true);
+
+/** Expand the trace half of @p spec. */
+std::vector<std::uint64_t> buildTrace(const TraceSpec &spec);
+
+/** Shrink the trace (the geometry is left alone). */
+std::vector<CacheCase> shrinkCacheCase(const CacheCase &value);
+
+/** JSON rendering for counterexample reports. */
+obs::Json describeCacheCase(const CacheCase &value);
+
+} // namespace slo::qc

@@ -1,0 +1,321 @@
+#include "qc/oracles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <sstream>
+
+#include "matrix/types.hpp"
+
+namespace slo::qc
+{
+
+std::vector<double>
+referenceSpmv(const Csr &matrix, std::span<const Value> x)
+{
+    require(static_cast<Index>(x.size()) == matrix.numCols(),
+            "referenceSpmv: x size mismatch");
+    std::vector<double> y(static_cast<std::size_t>(matrix.numRows()),
+                          0.0);
+    for (Index r = 0; r < matrix.numRows(); ++r) {
+        const auto cols = matrix.rowIndices(r);
+        const auto vals = matrix.rowValues(r);
+        double sum = 0.0;
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+            sum += static_cast<double>(vals[i]) *
+                   static_cast<double>(
+                       x[static_cast<std::size_t>(cols[i])]);
+        }
+        y[static_cast<std::size_t>(r)] = sum;
+    }
+    return y;
+}
+
+std::vector<double>
+referenceSpmm(const Csr &matrix, std::span<const Value> b,
+              Index dense_cols)
+{
+    require(dense_cols > 0, "referenceSpmm: dense_cols must be > 0");
+    require(static_cast<Offset>(b.size()) ==
+                static_cast<Offset>(matrix.numCols()) * dense_cols,
+            "referenceSpmm: B size mismatch");
+    std::vector<double> c(static_cast<std::size_t>(matrix.numRows()) *
+                              static_cast<std::size_t>(dense_cols),
+                          0.0);
+    for (Index r = 0; r < matrix.numRows(); ++r) {
+        const auto cols = matrix.rowIndices(r);
+        const auto vals = matrix.rowValues(r);
+        double *row = c.data() + static_cast<std::size_t>(r) *
+                                     static_cast<std::size_t>(dense_cols);
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+            const double a = static_cast<double>(vals[i]);
+            const Value *brow =
+                b.data() + static_cast<std::size_t>(cols[i]) *
+                               static_cast<std::size_t>(dense_cols);
+            for (Index k = 0; k < dense_cols; ++k)
+                row[k] += a * static_cast<double>(brow[k]);
+        }
+    }
+    return c;
+}
+
+bool
+nearlyEqual(std::span<const Value> got, std::span<const double> want,
+            double tolerance, std::string *message)
+{
+    if (got.size() != want.size()) {
+        if (message != nullptr) {
+            std::ostringstream out;
+            out << "size mismatch: got " << got.size() << ", want "
+                << want.size();
+            *message = out.str();
+        }
+        return false;
+    }
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        const double diff =
+            std::abs(static_cast<double>(got[i]) - want[i]);
+        const double bound =
+            tolerance * std::max(1.0, std::abs(want[i]));
+        if (!(diff <= bound)) { // NaN-proof: NaN fails every compare
+            if (message != nullptr) {
+                std::ostringstream out;
+                out << "element " << i << ": got " << got[i]
+                    << ", want " << want[i] << " (|diff| " << diff
+                    << " > " << bound << ")";
+                *message = out.str();
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+namespace
+{
+
+/** Row r's columns as a plain vector (storage order). */
+std::vector<Index>
+rowCols(const Csr &matrix, Index r)
+{
+    const auto span = matrix.rowIndices(r);
+    return {span.begin(), span.end()};
+}
+
+/** Naive adjacency test: scan r's columns for c. */
+bool
+hasEdge(const Csr &matrix, Index r, Index c)
+{
+    for (const Index col : matrix.rowIndices(r)) {
+        if (col == c)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+double
+referenceWindowLocalityScore(const Csr &matrix, int window)
+{
+    require(window >= 1, "referenceWindowLocalityScore: bad window");
+    if (matrix.numNonZeros() == 0)
+        return 0.0;
+    double score = 0.0;
+    for (Index v = 0; v < matrix.numRows(); ++v) {
+        const std::vector<Index> nv = rowCols(matrix, v);
+        const Index first =
+            std::max(Index{0}, v - static_cast<Index>(window));
+        for (Index u = first; u < v; ++u) {
+            // Shared neighbours by quadratic membership scan (the
+            // production code merges sorted rows instead).
+            for (const Index c : rowCols(matrix, u)) {
+                if (std::find(nv.begin(), nv.end(), c) != nv.end())
+                    score += 1.0;
+            }
+            if (hasEdge(matrix, u, v) || hasEdge(matrix, v, u))
+                score += 1.0;
+        }
+    }
+    return score / static_cast<double>(matrix.numNonZeros());
+}
+
+double
+referenceAverageGapLines(const Csr &matrix, int elems_per_line)
+{
+    require(elems_per_line >= 1,
+            "referenceAverageGapLines: bad elems_per_line");
+    if (matrix.numNonZeros() == 0)
+        return 0.0;
+    double total = 0.0;
+    const Coo coo = matrix.toCoo();
+    for (Offset i = 0; i < coo.numEntries(); ++i) {
+        const auto entry = coo.at(i);
+        total += std::abs(static_cast<double>(entry.row) -
+                          static_cast<double>(entry.col));
+    }
+    // Same division sequence as the production code so results agree
+    // to the last bit.
+    return total / static_cast<double>(matrix.numNonZeros()) /
+           static_cast<double>(elems_per_line);
+}
+
+double
+referenceSameLineFraction(const Csr &matrix, int elems_per_line)
+{
+    require(elems_per_line >= 1,
+            "referenceSameLineFraction: bad elems_per_line");
+    const Offset nnz = matrix.numNonZeros();
+    if (nnz == 0)
+        return 0.0;
+    Offset same = 0;
+    for (Index r = 0; r < matrix.numRows(); ++r) {
+        const std::vector<Index> cols = rowCols(matrix, r);
+        for (std::size_t i = 1; i < cols.size(); ++i) {
+            if (cols[i] / elems_per_line == cols[i - 1] / elems_per_line)
+                ++same;
+        }
+    }
+    return static_cast<double>(same) / static_cast<double>(nnz);
+}
+
+double
+referenceDistinctLinesPerNonZero(const Csr &matrix, int elems_per_line)
+{
+    require(elems_per_line >= 1,
+            "referenceDistinctLinesPerNonZero: bad elems_per_line");
+    const Offset nnz = matrix.numNonZeros();
+    if (nnz == 0)
+        return 0.0;
+    Offset distinct = 0;
+    for (Index r = 0; r < matrix.numRows(); ++r) {
+        std::vector<Index> lines = rowCols(matrix, r);
+        for (Index &line : lines)
+            line /= elems_per_line;
+        std::sort(lines.begin(), lines.end());
+        distinct += static_cast<Offset>(
+            std::unique(lines.begin(), lines.end()) - lines.begin());
+    }
+    return static_cast<double>(distinct) / static_cast<double>(nnz);
+}
+
+cache::CacheStats
+referenceLru(const std::vector<std::uint64_t> &trace,
+             const cache::CacheConfig &config, std::uint64_t irregular_lo,
+             std::uint64_t irregular_hi)
+{
+    config.validate();
+    struct Line
+    {
+        std::uint64_t lastUse = 0;
+        std::uint32_t sectorMask = 0;
+        bool reused = false;
+    };
+    const std::uint64_t num_sets = config.numSets();
+    const bool sectored = config.sectorBytes != 0;
+    const std::uint64_t fill_bytes =
+        sectored ? config.sectorBytes : config.lineBytes;
+    // One ordered map of resident lines per set; smallness over speed.
+    std::vector<std::map<std::uint64_t, Line>> sets(
+        static_cast<std::size_t>(num_sets));
+
+    cache::CacheStats stats;
+    std::uint64_t clock = 0;
+    for (const std::uint64_t addr : trace) {
+        const std::uint64_t line = addr / config.lineBytes;
+        auto &resident = sets[static_cast<std::size_t>(line % num_sets)];
+        const std::uint32_t sector_bit =
+            sectored ? (1u << ((addr % config.lineBytes) /
+                               config.sectorBytes))
+                     : 1u;
+        const bool irregular =
+            addr >= irregular_lo && addr < irregular_hi;
+        ++stats.accesses;
+        ++clock;
+
+        const auto found = resident.find(line);
+        if (found != resident.end()) {
+            found->second.lastUse = clock;
+            if ((found->second.sectorMask & sector_bit) != 0) {
+                found->second.reused = true;
+                ++stats.hits;
+                continue;
+            }
+            // Sector miss on a resident line: fill just the sector.
+            found->second.sectorMask |= sector_bit;
+            ++stats.misses;
+            stats.fillBytes += fill_bytes;
+            if (irregular) {
+                ++stats.irregularMisses;
+                stats.irregularFillBytes += fill_bytes;
+            }
+            continue;
+        }
+
+        ++stats.misses;
+        ++stats.linesFilled;
+        stats.fillBytes += fill_bytes;
+        if (irregular) {
+            ++stats.irregularMisses;
+            stats.irregularFillBytes += fill_bytes;
+        }
+        if (resident.size() == config.ways) {
+            auto victim = resident.begin();
+            for (auto it = resident.begin(); it != resident.end(); ++it) {
+                if (it->second.lastUse < victim->second.lastUse)
+                    victim = it;
+            }
+            ++stats.evictions;
+            if (!victim->second.reused)
+                ++stats.deadLines;
+            resident.erase(victim);
+        }
+        resident.emplace(line, Line{clock, sector_bit, false});
+    }
+
+    for (const auto &resident : sets) {
+        for (const auto &[line, state] : resident) {
+            if (!state.reused)
+                ++stats.deadLines;
+        }
+    }
+    return stats;
+}
+
+bool
+statsEqual(const cache::CacheStats &a, const cache::CacheStats &b,
+           std::string *message)
+{
+    const struct
+    {
+        const char *name;
+        std::uint64_t lhs;
+        std::uint64_t rhs;
+    } fields[] = {
+        {"accesses", a.accesses, b.accesses},
+        {"hits", a.hits, b.hits},
+        {"misses", a.misses, b.misses},
+        {"evictions", a.evictions, b.evictions},
+        {"linesFilled", a.linesFilled, b.linesFilled},
+        {"deadLines", a.deadLines, b.deadLines},
+        {"irregularMisses", a.irregularMisses, b.irregularMisses},
+        {"fillBytes", a.fillBytes, b.fillBytes},
+        {"irregularFillBytes", a.irregularFillBytes,
+         b.irregularFillBytes},
+    };
+    for (const auto &field : fields) {
+        if (field.lhs != field.rhs) {
+            if (message != nullptr) {
+                std::ostringstream out;
+                out << field.name << ": " << field.lhs
+                    << " != " << field.rhs;
+                *message = out.str();
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace slo::qc

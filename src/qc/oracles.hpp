@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Differential oracles: independent reference implementations.
+ *
+ * Each reference deliberately uses a *different* algorithm from the
+ * production code it checks — double-precision row sums vs. the float
+ * kernels, O(deg^2) membership scans vs. sorted merges, a map-based
+ * LRU vs. the array-based CacheSim — so a bug in shared logic cannot
+ * cancel out. References are allowed to be slow; properties run them
+ * on qc-generated inputs only.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "matrix/csr.hpp"
+
+namespace slo::qc
+{
+
+/** Scalar double-precision y = A*x (the SpMV ground truth). */
+std::vector<double> referenceSpmv(const Csr &matrix,
+                                  std::span<const Value> x);
+
+/**
+ * Scalar double-precision C = A*B for row-major dense B of
+ * @p dense_cols columns (the SpMM ground truth).
+ */
+std::vector<double> referenceSpmm(const Csr &matrix,
+                                  std::span<const Value> b,
+                                  Index dense_cols);
+
+/**
+ * Compare a float kernel result against a double reference:
+ * |got - want| <= tolerance * max(1, |want|) elementwise. On mismatch
+ * returns false and, when @p message is non-null, describes the first
+ * offending element.
+ */
+bool nearlyEqual(std::span<const Value> got,
+                 std::span<const double> want, double tolerance,
+                 std::string *message = nullptr);
+
+/** Naive re-implementations of reorder/locality_metrics.hpp. */
+double referenceWindowLocalityScore(const Csr &matrix, int window);
+double referenceAverageGapLines(const Csr &matrix, int elems_per_line);
+double referenceSameLineFraction(const Csr &matrix, int elems_per_line);
+double referenceDistinctLinesPerNonZero(const Csr &matrix,
+                                        int elems_per_line);
+
+/**
+ * Tiny obviously-correct LRU simulator (per-set ordered maps, evicts
+ * the minimum last-use line once a set holds `ways` lines), mirroring
+ * CacheSim's contract bit-for-bit: sectored fills, irregular-region
+ * accounting, and dead lines counted on eviction or at finish.
+ */
+cache::CacheStats referenceLru(const std::vector<std::uint64_t> &trace,
+                               const cache::CacheConfig &config,
+                               std::uint64_t irregular_lo = 1,
+                               std::uint64_t irregular_hi = 0);
+
+/**
+ * Field-by-field comparison of two stat blocks. On mismatch returns
+ * false and, when @p message is non-null, names the first field.
+ */
+bool statsEqual(const cache::CacheStats &a, const cache::CacheStats &b,
+                std::string *message = nullptr);
+
+} // namespace slo::qc

@@ -1,0 +1,184 @@
+#include "qc/property.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "obs/log.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+
+namespace slo::qc
+{
+
+namespace
+{
+
+/** Where the counterexample JSON report goes, or "" for nowhere. */
+std::string
+reportPath()
+{
+    const char *report = std::getenv("SLO_QC_REPORT");
+    if (report != nullptr && *report != '\0')
+        return report;
+    const char *dir = std::getenv("SLO_OBS_DIR");
+    if (dir != nullptr && *dir != '\0')
+        return std::string(dir) + "/qc_counterexample.json";
+    return {};
+}
+
+Config
+parseEnvConfig()
+{
+    Config config;
+    if (const char *env = std::getenv("SLO_QC_SEED");
+        env != nullptr && *env != '\0') {
+        config.seed = std::strtoull(env, nullptr, 0);
+    }
+    if (const char *env = std::getenv("SLO_QC_CASES");
+        env != nullptr && *env != '\0') {
+        const int cases = std::atoi(env);
+        if (cases > 0)
+            config.cases = cases;
+    }
+    return config;
+}
+
+std::mutex &
+manifestMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+/** The manifest's "qc" node under construction (guarded by above). */
+obs::Json &
+manifestNode()
+{
+    static obs::Json node = obs::Json::object();
+    return node;
+}
+
+/** Re-publish the qc node into the process run manifest. */
+void
+publishLocked()
+{
+    obs::RunManifest &manifest = obs::RunManifest::instance();
+    if (!manifest.began())
+        manifest.begin("qc");
+    manifest.set("qc", manifestNode());
+}
+
+} // namespace
+
+Config
+configFromEnv()
+{
+    // Re-read every call: cheap, and tests legitimately flip
+    // SLO_QC_SEED/SLO_QC_CASES mid-process.
+    return parseEnvConfig();
+}
+
+std::string
+Outcome::summary() const
+{
+    std::ostringstream out;
+    if (ok) {
+        out << "property '" << property << "' held for " << cases
+            << " cases (seed " << seed << ")";
+        return out.str();
+    }
+    out << "property '" << property << "' FALSIFIED\n"
+        << "  case " << failedCase << " of " << cases << ", run seed "
+        << seed << " (rerun: SLO_QC_SEED=" << seed << "), case seed "
+        << failingCaseSeed << "\n"
+        << "  minimal counterexample after " << shrinkSteps
+        << " shrink(s): " << counterexample << "\n"
+        << "  failure: " << (message.empty() ? "(none)" : message);
+    return out.str();
+}
+
+namespace detail
+{
+
+std::uint64_t
+hashName(std::string_view text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+caseSeed(std::uint64_t run_seed, std::string_view name, int index)
+{
+    // splitmix64 walk from (seed ^ name-hash); index+1 steps so case 0
+    // does not reproduce the raw run seed.
+    std::uint64_t state = run_seed ^ hashName(name);
+    std::uint64_t out = 0;
+    for (int i = 0; i <= index; ++i)
+        out = splitmix64(state);
+    return out;
+}
+
+void
+announce(const std::string &property, const Config &config,
+         const obs::Json &parameters)
+{
+    // The seed banner is the contract: every qc run must be
+    // reproducible from its test log alone.
+    std::printf("[qc] %s seed=%llu cases=%d\n", property.c_str(),
+                static_cast<unsigned long long>(config.seed),
+                config.cases);
+    std::fflush(stdout);
+
+    const std::lock_guard<std::mutex> lock(manifestMutex());
+    obs::Json entry = obs::Json::object();
+    entry["seed"] = config.seed;
+    entry["cases"] = config.cases;
+    if (!parameters.isNull())
+        entry["parameters"] = parameters;
+    manifestNode()["seed"] = configFromEnv().seed;
+    manifestNode()["properties"][property] = std::move(entry);
+    publishLocked();
+}
+
+void
+emitFailure(const Outcome &outcome, const obs::Json &counterexample)
+{
+    obs::counter("qc.counterexamples").add();
+    SLO_LOG_ERROR("qc", outcome.summary());
+
+    obs::Json report = obs::Json::object();
+    report["schema"] = "slo.qc-counterexample/1";
+    report["property"] = outcome.property;
+    report["seed"] = outcome.seed;
+    report["case"] = outcome.failedCase;
+    report["cases"] = outcome.cases;
+    report["case_seed"] = outcome.failingCaseSeed;
+    report["shrink_steps"] = outcome.shrinkSteps;
+    report["message"] = outcome.message;
+    report["counterexample"] = counterexample;
+    obs::Json repro = obs::Json::object();
+    repro["SLO_QC_SEED"] = std::to_string(outcome.seed);
+    report["repro_env"] = std::move(repro);
+
+    if (const std::string path = reportPath(); !path.empty()) {
+        std::ofstream out(path);
+        if (out)
+            out << report.dump(2) << '\n';
+    }
+
+    const std::lock_guard<std::mutex> lock(manifestMutex());
+    manifestNode()["counterexamples"].push(std::move(report));
+    publishLocked();
+}
+
+} // namespace detail
+
+} // namespace slo::qc

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Property-based test runner: seeded generation, shrinking, reporting.
+ *
+ * A property is a predicate that must hold for every value a generator
+ * can produce. checkProperty draws `cases` values from per-case RNGs
+ * derived from one run seed, evaluates the predicate, and on the first
+ * failure shrinks the value to a minimal counterexample before
+ * reporting it. Every run prints its seed, records it in the run
+ * manifest, and emits failures as machine-readable
+ * `slo.qc-counterexample/1` reports through slo::obs, so a red run is
+ * reproducible with a single environment variable:
+ *
+ *     SLO_QC_SEED=<printed seed> ctest -L qc
+ *
+ * The runner is deliberately value-shape agnostic: generators return a
+ * cheap *spec* (e.g. qc::CsrSpec) rather than the expensive structure,
+ * and shrinking operates on the spec — see gen.hpp.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "matrix/rng.hpp"
+#include "obs/json.hpp"
+
+namespace slo::qc
+{
+
+/** Knobs of one checkProperty run (env-derived by default). */
+struct Config
+{
+    /** Run seed; every case seed is derived from it (SLO_QC_SEED). */
+    std::uint64_t seed = 0x51099c5eedULL;
+    /** Number of generated cases per property (SLO_QC_CASES). */
+    int cases = 100;
+    /** Budget of candidate evaluations during shrinking. */
+    int maxShrinkSteps = 500;
+
+    /** Copy with cases capped at @p cap (for expensive properties). */
+    Config
+    withMaxCases(int cap) const
+    {
+        Config copy = *this;
+        if (copy.cases > cap)
+            copy.cases = cap;
+        return copy;
+    }
+};
+
+/**
+ * The process-wide default configuration: seed from SLO_QC_SEED
+ * (decimal or 0x-hex), case count from SLO_QC_CASES. Parsed once.
+ */
+Config configFromEnv();
+
+/** Result of one checkProperty run. */
+struct Outcome
+{
+    bool ok = true;
+    std::string property;
+    std::uint64_t seed = 0;        ///< run seed (rerun with this)
+    std::uint64_t failingCaseSeed = 0; ///< derived seed of the failure
+    int cases = 0;
+    int failedCase = -1;
+    int shrinkSteps = 0;           ///< successful shrink applications
+    std::string message;           ///< predicate's failure description
+    std::string counterexample;    ///< JSON text of the shrunk value
+
+    /** Human-readable multi-line failure description (gtest output). */
+    std::string summary() const;
+};
+
+/** Optional hooks for checkProperty (all may be left empty). */
+template <typename T>
+struct PropertyOptions
+{
+    /** Smaller candidate values; first still-failing one is taken. */
+    std::function<std::vector<T>(const T &)> shrink;
+    /** Render a value for reports; defaults to an opaque note. */
+    std::function<obs::Json(const T &)> describe;
+    /** Generator parameters, recorded in the run manifest. */
+    obs::Json parameters;
+    /** Config override; defaults to configFromEnv(). */
+    std::optional<Config> config;
+};
+
+namespace detail
+{
+
+/** FNV-1a hash of @p text (names perturb the per-property seeds). */
+std::uint64_t hashName(std::string_view text);
+
+/** Seed of case @p index of property @p name under @p run_seed. */
+std::uint64_t caseSeed(std::uint64_t run_seed, std::string_view name,
+                       int index);
+
+/** Print the seed banner and record the property in the manifest. */
+void announce(const std::string &property, const Config &config,
+              const obs::Json &parameters);
+
+/** Log/count/report a falsified property (slo.qc-counterexample/1). */
+void emitFailure(const Outcome &outcome, const obs::Json &counterexample);
+
+/**
+ * Evaluate @p holds on @p value. Supports bool(const T&) and
+ * bool(const T&, std::string &message); a thrown std::exception counts
+ * as a failure with its what() as the message.
+ */
+template <typename T, typename Holds>
+bool
+evalHolds(const Holds &holds, const T &value, std::string &message)
+{
+    try {
+        if constexpr (std::is_invocable_r_v<bool, const Holds &,
+                                            const T &, std::string &>) {
+            return holds(value, message);
+        } else {
+            static_assert(
+                std::is_invocable_r_v<bool, const Holds &, const T &>,
+                "property must be callable as bool(const T&) or "
+                "bool(const T&, std::string&)");
+            return holds(value);
+        }
+    } catch (const std::exception &error) {
+        message = std::string("exception: ") + error.what();
+        return false;
+    }
+}
+
+} // namespace detail
+
+/**
+ * Check that @p holds is true for @p config.cases values drawn from
+ * @p generate. On the first failure the value is shrunk via
+ * @p options.shrink (greedy: repeatedly replace the counterexample by
+ * its first still-failing shrink candidate) and reported through
+ * slo::obs. Deterministic in the run seed; each case re-seeds its Rng
+ * from (seed, property name, case index) so cases are independent.
+ *
+ * @tparam T the generated value type (name it explicitly at the call
+ *           site; it cannot be deduced from lambdas).
+ */
+template <typename T, typename Generate, typename Holds>
+Outcome
+checkProperty(std::string_view name, Generate &&generate, Holds &&holds,
+              PropertyOptions<T> options = {})
+{
+    const Config config =
+        options.config ? *options.config : configFromEnv();
+    Outcome outcome;
+    outcome.property = std::string(name);
+    outcome.seed = config.seed;
+    outcome.cases = config.cases;
+    detail::announce(outcome.property, config, options.parameters);
+
+    for (int index = 0; index < config.cases; ++index) {
+        const std::uint64_t case_seed =
+            detail::caseSeed(config.seed, name, index);
+        Rng rng(case_seed);
+        T value = generate(rng);
+        std::string message;
+        if (detail::evalHolds(holds, value, message))
+            continue;
+
+        outcome.ok = false;
+        outcome.failedCase = index;
+        outcome.failingCaseSeed = case_seed;
+
+        // Greedy shrink within the step budget: each round scans the
+        // candidate list for the first one that still fails and
+        // restarts from it; stop when a round finds none.
+        if (options.shrink) {
+            int steps = 0;
+            bool progressed = true;
+            while (progressed && steps < config.maxShrinkSteps) {
+                progressed = false;
+                std::vector<T> candidates = options.shrink(value);
+                for (T &candidate : candidates) {
+                    if (++steps > config.maxShrinkSteps)
+                        break;
+                    std::string candidate_message;
+                    if (!detail::evalHolds(holds, candidate,
+                                           candidate_message)) {
+                        value = std::move(candidate);
+                        message = std::move(candidate_message);
+                        ++outcome.shrinkSteps;
+                        progressed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        outcome.message = message;
+        const obs::Json described =
+            options.describe ? options.describe(value)
+                             : obs::Json("(no describer provided)");
+        outcome.counterexample = described.dump();
+        detail::emitFailure(outcome, described);
+        return outcome;
+    }
+    return outcome;
+}
+
+} // namespace slo::qc

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Umbrella header for the qc property-testing subsystem.
+ *
+ * See CONTRIBUTING.md ("Testing guide") for how to write a property,
+ * reproduce a failure from its printed seed, and interpret
+ * `slo.qc-counterexample/1` reports.
+ */
+
+#pragma once
+
+#include "qc/gen.hpp"      // IWYU pragma: export
+#include "qc/oracles.hpp"  // IWYU pragma: export
+#include "qc/property.hpp" // IWYU pragma: export

@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include <csignal>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
@@ -115,6 +117,84 @@ TEST_F(ArtifactCacheRaceTest, StoreNeverExposesATornVector)
     EXPECT_EQ(torn.load(), 0);
 }
 
+/** One spawned racer: its pid and the read end of its stderr pipe. */
+struct RacerChild
+{
+    pid_t pid = -1;
+    int stderrFd = -1;
+};
+
+/** What a racer wrote to its out-file plus its captured stderr. */
+struct RacerResult
+{
+    int builds = -1;
+    int ok = 0;
+    int initialMiss = 0;
+    std::string stderrText;
+};
+
+RacerChild
+spawnRacer(const std::filesystem::path &racer, const std::string &key,
+           const std::string &out, int hold_ms)
+{
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) != 0)
+        return {};
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        ::close(fds[0]);
+        ::dup2(fds[1], STDERR_FILENO);
+        ::close(fds[1]);
+        const std::string hold = std::to_string(hold_ms);
+        ::execl(racer.c_str(), racer.c_str(), key.c_str(), "512",
+                out.c_str(), hold.c_str(), nullptr);
+        _exit(127); // exec failed
+    }
+    ::close(fds[1]);
+    return {pid, fds[0]};
+}
+
+std::string
+drainFd(int fd)
+{
+    std::string text;
+    char buf[4096];
+    ssize_t got = 0;
+    while ((got = ::read(fd, buf, sizeof(buf))) > 0)
+        text.append(buf, static_cast<std::size_t>(got));
+    ::close(fd);
+    return text;
+}
+
+/**
+ * Wait for @p child with a deadline instead of blocking forever: poll
+ * waitpid(WNOHANG), and past the deadline kill the child so the test
+ * fails with its captured stderr rather than hanging until the ctest
+ * timeout reaps the whole binary.
+ */
+bool
+reapWithDeadline(const RacerChild &child,
+                 std::chrono::milliseconds deadline, int *exit_code)
+{
+    const auto start = std::chrono::steady_clock::now();
+    int status = 0;
+    for (;;) {
+        const pid_t done = ::waitpid(child.pid, &status, WNOHANG);
+        if (done == child.pid) {
+            *exit_code =
+                WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+            return true;
+        }
+        if (std::chrono::steady_clock::now() - start > deadline) {
+            ::kill(child.pid, SIGKILL);
+            ::waitpid(child.pid, &status, 0);
+            *exit_code = -1;
+            return false;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+}
+
 TEST_F(ArtifactCacheRaceTest, TwoProcessesBuildOnce)
 {
     // Locate the racer helper next to this test binary.
@@ -128,26 +208,68 @@ TEST_F(ArtifactCacheRaceTest, TwoProcessesBuildOnce)
     ASSERT_TRUE(std::filesystem::exists(racer))
         << "helper not built: " << racer;
 
-    const std::string out1 = (dir_ / "racer1.out").string();
-    const std::string out2 = (dir_ / "racer2.out").string();
-    const std::string cmd = "'" + racer.string() +
-                            "' race-proc-key 512 '" + out1 + "' & '" +
-                            racer.string() + "' race-proc-key 512 '" +
-                            out2 + "'; wait";
-    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    // Retry with a growing lock-hold time until both processes saw the
+    // artifact missing at start — only such a run actually exercised
+    // the two-process race (a late starter just loads the stored
+    // vector). Every attempt, raced or not, must build exactly once.
+    bool raced = false;
+    for (const int hold_ms : {50, 100, 200, 400, 800}) {
+        const std::string key =
+            "race-proc-key-" + std::to_string(hold_ms);
+        const std::string out1 =
+            (dir_ / (key + ".1.out")).string();
+        const std::string out2 =
+            (dir_ / (key + ".2.out")).string();
+        const RacerChild child1 =
+            spawnRacer(racer, key, out1, hold_ms);
+        const RacerChild child2 =
+            spawnRacer(racer, key, out2, hold_ms);
+        ASSERT_GT(child1.pid, 0);
+        ASSERT_GT(child2.pid, 0);
 
-    int builds_total = 0;
-    for (const std::string &out : {out1, out2}) {
-        std::ifstream in(out);
-        int builds = -1;
-        int ok = 0;
-        ASSERT_TRUE(in >> builds >> ok) << out;
-        EXPECT_EQ(ok, 1) << out;
-        builds_total += builds;
+        const auto deadline =
+            std::chrono::milliseconds(20 * hold_ms + 10000);
+        int code1 = -1;
+        int code2 = -1;
+        const bool done1 =
+            reapWithDeadline(child1, deadline, &code1);
+        const bool done2 =
+            reapWithDeadline(child2, deadline, &code2);
+        RacerResult results[2];
+        results[0].stderrText = drainFd(child1.stderrFd);
+        results[1].stderrText = drainFd(child2.stderrFd);
+        ASSERT_TRUE(done1 && done2)
+            << "racer timed out after " << deadline.count()
+            << " ms\n--- racer 1 stderr ---\n"
+            << results[0].stderrText
+            << "--- racer 2 stderr ---\n" << results[1].stderrText;
+        ASSERT_EQ(code1, 0) << results[0].stderrText;
+        ASSERT_EQ(code2, 0) << results[1].stderrText;
+
+        int builds_total = 0;
+        int misses = 0;
+        const std::string *outs[2] = {&out1, &out2};
+        for (int i = 0; i < 2; ++i) {
+            std::ifstream in(*outs[i]);
+            RacerResult &r = results[i];
+            ASSERT_TRUE(in >> r.builds >> r.ok >> r.initialMiss)
+                << *outs[i] << "\n" << r.stderrText;
+            EXPECT_EQ(r.ok, 1) << r.stderrText;
+            builds_total += r.builds;
+            misses += r.initialMiss;
+        }
+        // The flock serializes the two processes: one builds, the
+        // other loads the stored artifact after the lock drops.
+        ASSERT_EQ(builds_total, 1)
+            << results[0].stderrText << results[1].stderrText;
+        if (misses == 2) {
+            raced = true;
+            break;
+        }
     }
-    // The flock serializes the two processes: one builds, the other
-    // loads the stored artifact after the lock is released.
-    EXPECT_EQ(builds_total, 1);
+    EXPECT_TRUE(raced)
+        << "no attempt had both processes start before the artifact "
+           "existed, even at the longest hold time";
 }
 
 } // namespace

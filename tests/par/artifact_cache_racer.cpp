@@ -2,38 +2,51 @@
  * @file
  * Helper binary for the artifact-cache two-process race test.
  *
- * Usage: artifact_cache_racer <key> <n> <out-file>
+ * Usage: artifact_cache_racer <key> <n> <out-file> [hold-ms]
  *
- * Calls core::loadOrBuildIndexVector(<key>) with a deliberately slow
- * build returning [0, n), then writes "<builds> <ok>" to <out-file>.
- * The race test launches two of these on the same key and the same
- * SLO_CACHE_DIR and asserts that exactly one of them built.
+ * Calls core::loadOrBuildIndexVector(<key>) with a build that holds
+ * the key lock for <hold-ms> (default 100) and returns [0, n), then
+ * writes "<builds> <ok> <initial-miss>" to <out-file>. <initial-miss>
+ * records whether the artifact was absent when this process started —
+ * the race test retries with growing hold times until both processes
+ * report a miss, i.e. until the run provably exercised the race.
+ * Progress goes to stderr so a hung run can be diagnosed from the
+ * parent's captured output.
  */
 
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <numeric>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "core/artifact_cache.hpp"
 
 int
 main(int argc, char **argv)
 {
-    if (argc != 4)
+    if (argc != 4 && argc != 5)
         return 2;
     const std::string key = argv[1];
     const auto n = static_cast<std::size_t>(std::atoi(argv[2]));
+    const int hold_ms = argc == 5 ? std::atoi(argv[4]) : 100;
+    const bool initial_miss =
+        !slo::core::tryLoadIndexVector(key).has_value();
+    std::cerr << "[racer " << ::getpid() << "] start key=" << key
+              << " initial_miss=" << initial_miss << '\n';
     int builds = 0;
     const std::vector<slo::Index> vec =
-        slo::core::loadOrBuildIndexVector(key, [&builds, n] {
+        slo::core::loadOrBuildIndexVector(key, [&builds, n, hold_ms] {
             ++builds;
             // Stay inside the build long enough that the sibling
             // process reliably hits the held lock.
-            std::this_thread::sleep_for(std::chrono::milliseconds(300));
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(hold_ms));
             std::vector<slo::Index> v(n);
             std::iota(v.begin(), v.end(), slo::Index{0});
             return v;
@@ -41,6 +54,9 @@ main(int argc, char **argv)
     bool ok = vec.size() == n;
     for (std::size_t i = 0; ok && i < n; ++i)
         ok = vec[i] == static_cast<slo::Index>(i);
-    std::ofstream(argv[3]) << builds << ' ' << (ok ? 1 : 0) << '\n';
+    std::cerr << "[racer " << ::getpid() << "] done builds=" << builds
+              << " ok=" << ok << '\n';
+    std::ofstream(argv[3]) << builds << ' ' << (ok ? 1 : 0) << ' '
+                           << (initial_miss ? 1 : 0) << '\n';
     return ok ? 0 : 1;
 }

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Cache-simulator differential oracles: CacheSim (streaming LRU) vs.
+ * the map-based reference simulator, and LRU vs. Belady's OPT bound
+ * (an optimal policy never hits less) across a 100-seed sweep.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/belady.hpp"
+#include "cache/cache.hpp"
+#include "qc/qc.hpp"
+
+namespace slo::qc
+{
+namespace
+{
+
+/** Fixed irregular window: the middle half of the address space. */
+void
+irregularWindow(const CacheCase &value, std::uint64_t &lo,
+                std::uint64_t &hi)
+{
+    lo = value.trace.addressSpace / 4;
+    hi = value.trace.addressSpace / 2;
+}
+
+TEST(QcCacheProps, CacheSimMatchesTheReferenceLru)
+{
+    PropertyOptions<CacheCase> options;
+    options.shrink = shrinkCacheCase;
+    options.describe = describeCacheCase;
+    const Outcome outcome = checkProperty<CacheCase>(
+        "qc.cache.lru_vs_reference",
+        [](Rng &rng) { return arbitraryCacheCase(rng, true); },
+        [](const CacheCase &value, std::string &message) {
+            std::uint64_t lo = 0;
+            std::uint64_t hi = 0;
+            irregularWindow(value, lo, hi);
+            const std::vector<std::uint64_t> trace =
+                buildTrace(value.trace);
+
+            cache::CacheSim sim(value.config);
+            sim.setIrregularRegion(lo, hi);
+            for (const std::uint64_t addr : trace)
+                sim.access(addr);
+            sim.finish();
+
+            const cache::CacheStats want =
+                referenceLru(trace, value.config, lo, hi);
+            return statsEqual(sim.stats(), want, &message);
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcCacheProps, LruNeverBeatsBelady)
+{
+    // The acceptance sweep: 100 distinct seeds, unsectored geometries
+    // (simulateBelady rejects sectoring). OPT is optimal, so
+    // hits_LRU <= hits_OPT and misses_LRU >= misses_OPT always.
+    Config config = configFromEnv();
+    config.cases = 100;
+    PropertyOptions<CacheCase> options;
+    options.shrink = shrinkCacheCase;
+    options.describe = describeCacheCase;
+    options.config = config;
+    const Outcome outcome = checkProperty<CacheCase>(
+        "qc.cache.lru_vs_belady_bound",
+        [](Rng &rng) { return arbitraryCacheCase(rng, false); },
+        [](const CacheCase &value, std::string &message) {
+            const std::vector<std::uint64_t> trace =
+                buildTrace(value.trace);
+
+            cache::CacheSim sim(value.config);
+            for (const std::uint64_t addr : trace)
+                sim.access(addr);
+            sim.finish();
+            const cache::CacheStats lru = sim.stats();
+            const cache::CacheStats opt =
+                cache::simulateBelady(trace, value.config);
+
+            if (lru.accesses != opt.accesses) {
+                message = "access counts diverge";
+                return false;
+            }
+            if (lru.hits > opt.hits) {
+                message = "LRU hits " + std::to_string(lru.hits) +
+                          " exceed OPT hits " +
+                          std::to_string(opt.hits);
+                return false;
+            }
+            if (lru.misses < opt.misses) {
+                message = "LRU misses " + std::to_string(lru.misses) +
+                          " below OPT misses " +
+                          std::to_string(opt.misses);
+                return false;
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcCacheProps, StatsStayCoherentOnEveryGeneratedTrace)
+{
+    PropertyOptions<CacheCase> options;
+    options.shrink = shrinkCacheCase;
+    options.describe = describeCacheCase;
+    const Outcome outcome = checkProperty<CacheCase>(
+        "qc.cache.stats_coherence",
+        [](Rng &rng) { return arbitraryCacheCase(rng, true); },
+        [](const CacheCase &value, std::string &message) {
+            const std::vector<std::uint64_t> trace =
+                buildTrace(value.trace);
+            cache::CacheSim sim(value.config);
+            for (const std::uint64_t addr : trace)
+                sim.access(addr);
+            sim.finish();
+            const cache::CacheStats &stats = sim.stats();
+            if (stats.hits + stats.misses != stats.accesses) {
+                message = "hits + misses != accesses";
+                return false;
+            }
+            if (stats.deadLines > stats.linesFilled) {
+                message = "more dead lines than fills";
+                return false;
+            }
+            if (stats.evictions > stats.linesFilled) {
+                message = "more evictions than fills";
+                return false;
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+} // namespace
+} // namespace slo::qc

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Properties of the qc generators themselves: everything they produce
+ * must satisfy the repo's structural contracts (src/check validators),
+ * and the Raw kind must actually cover the shapes the family
+ * generators exclude (self loops, duplicates, rectangles, emptiness).
+ */
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/validators.hpp"
+#include "qc/qc.hpp"
+
+namespace slo::qc
+{
+namespace
+{
+
+TEST(QcGenProps, GeneratedCsrSatisfiesTheCsrContract)
+{
+    const SpecBounds bounds;
+    PropertyOptions<CsrSpec> options;
+    options.shrink = csrSpecShrinker(bounds);
+    options.describe = describeCsrSpec;
+    options.parameters = describeBounds(bounds);
+    const Outcome outcome = checkProperty<CsrSpec>(
+        "qc.gen.csr_contract",
+        [&bounds](Rng &rng) { return arbitraryCsrSpec(rng, bounds); },
+        [](const CsrSpec &spec, std::string &message) {
+            const Csr matrix = build(spec);
+            if (matrix.numRows() != spec.rows ||
+                matrix.numCols() != spec.cols) {
+                message = "generated shape does not match the spec";
+                return false;
+            }
+            // The Csr constructor validates; run the deep validator
+            // too so a relaxed constructor cannot mask a bad build.
+            check::checkCsr(matrix.numRows(), matrix.numCols(),
+                            matrix.rowOffsets(), matrix.colIndices(),
+                            matrix.values().size(), "qc.gen");
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcGenProps, GeneratedPermutationIsABijection)
+{
+    PropertyOptions<Index> options;
+    options.describe = [](const Index &n) {
+        obs::Json out = obs::Json::object();
+        out["n"] = n;
+        return out;
+    };
+    const Outcome outcome = checkProperty<Index>(
+        "qc.gen.permutation_bijection",
+        [](Rng &rng) { return static_cast<Index>(rng.below(200)); },
+        [](const Index &n, std::string &message) {
+            Rng derived(static_cast<std::uint64_t>(n) * 7919 + 1);
+            const Permutation perm = arbitraryPermutation(derived, n);
+            check::checkPermutation(perm.newIds(), n, "qc.gen");
+            if (!perm.then(perm.inverse()).isIdentity()) {
+                message = "perm ∘ perm⁻¹ is not the identity";
+                return false;
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcGenProps, GeneratedClusteringIsValid)
+{
+    PropertyOptions<Index> options;
+    const Outcome outcome = checkProperty<Index>(
+        "qc.gen.clustering_valid",
+        [](Rng &rng) { return static_cast<Index>(rng.below(200)); },
+        [](const Index &n) {
+            Rng derived(static_cast<std::uint64_t>(n) * 104729 + 3);
+            const community::Clustering clustering =
+                arbitraryClustering(derived, n);
+            check::checkClustering(clustering.labels(),
+                                   clustering.numCommunities(),
+                                   "qc.gen");
+            return clustering.numNodes() == n;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcGenProps, GeneratedDendrogramIsAForestWithAFullDfsOrder)
+{
+    PropertyOptions<Index> options;
+    const Outcome outcome = checkProperty<Index>(
+        "qc.gen.dendrogram_forest",
+        [](Rng &rng) { return static_cast<Index>(rng.below(150)); },
+        [](const Index &n, std::string &message) {
+            Rng derived(static_cast<std::uint64_t>(n) * 31337 + 5);
+            const community::Dendrogram dendrogram =
+                arbitraryDendrogram(derived, n);
+            check::checkDendrogram(dendrogram.parents(), "qc.gen");
+            // The DFS order must enumerate every vertex exactly once.
+            const std::vector<Index> order = dendrogram.dfsOrder();
+            const Permutation as_perm = Permutation::fromNewToOld(order);
+            if (as_perm.size() != n) {
+                message = "dfsOrder is not a permutation of [0, n)";
+                return false;
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcGenProps, RawSpecsCoverSelfLoopsDuplicatesAndEmptyRows)
+{
+    // Statistical coverage check over one deterministic batch: the Raw
+    // generator must exercise the shapes the family generators forbid.
+    SpecBounds bounds;
+    bounds.rawOnly = true;
+    Rng rng(20260805);
+    int with_diagonal = 0;
+    int with_empty_row = 0;
+    int rectangular = 0;
+    int empty = 0;
+    for (int i = 0; i < 120; ++i) {
+        const CsrSpec spec = arbitraryCsrSpec(rng, bounds);
+        const Csr matrix = build(spec);
+        if (matrix.numRows() == 0 || matrix.numNonZeros() == 0)
+            ++empty;
+        if (matrix.numRows() != matrix.numCols())
+            ++rectangular;
+        bool diagonal = false;
+        bool empty_row = false;
+        for (Index r = 0; r < matrix.numRows(); ++r) {
+            if (matrix.rowIndices(r).empty())
+                empty_row = true;
+            if (r < matrix.numCols() && matrix.hasEntry(r, r))
+                diagonal = true;
+        }
+        with_diagonal += diagonal ? 1 : 0;
+        with_empty_row += empty_row ? 1 : 0;
+    }
+    EXPECT_GT(with_diagonal, 0);
+    EXPECT_GT(with_empty_row, 0);
+    EXPECT_GT(rectangular, 0);
+    EXPECT_GT(empty, 0);
+}
+
+TEST(QcGenProps, SelfLoopFractionOneYieldsADiagonalOnlyMatrix)
+{
+    CsrSpec spec;
+    spec.kind = MatrixKind::Raw;
+    spec.rows = spec.cols = 24;
+    spec.avgDegree = 3.0;
+    spec.selfLoopFraction = 1.0;
+    spec.seed = 99;
+    const Csr matrix = build(spec);
+    ASSERT_GT(matrix.numNonZeros(), 0);
+    for (Index r = 0; r < matrix.numRows(); ++r) {
+        for (const Index c : matrix.rowIndices(r))
+            EXPECT_EQ(c, r);
+    }
+}
+
+} // namespace
+} // namespace slo::qc

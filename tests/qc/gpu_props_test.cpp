@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Properties of the end-to-end GPU simulation: bit-exact determinism,
+ * report invariants, and the Belady OPT bound (an optimal L2 never
+ * produces more DRAM traffic than LRU) on qc-generated matrices.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_spec.hpp"
+#include "gpu/simulate.hpp"
+#include "qc/qc.hpp"
+
+namespace slo::qc
+{
+namespace
+{
+
+SpecBounds
+simBounds()
+{
+    SpecBounds bounds;
+    bounds.familiesOnly = true; // simulateKernel requires square
+    bounds.maxRows = 48;
+    bounds.maxAvgDegree = 6.0;
+    return bounds;
+}
+
+/** A tiny L2 so 48-row matrices actually thrash it. */
+gpu::GpuSpec
+tinySpec()
+{
+    return gpu::GpuSpec::a6000ScaledL2(2048);
+}
+
+constexpr kernels::KernelKind kKernels[] = {
+    kernels::KernelKind::SpmvCsr,
+    kernels::KernelKind::SpmvCoo,
+    kernels::KernelKind::SpmmCsr,
+};
+
+TEST(QcGpuProps, SimulationIsDeterministicAndCoherent)
+{
+    const SpecBounds bounds = simBounds();
+    PropertyOptions<CsrSpec> options;
+    options.shrink = csrSpecShrinker(bounds);
+    options.describe = describeCsrSpec;
+    options.parameters = describeBounds(bounds);
+    options.config = configFromEnv().withMaxCases(25);
+    const Outcome outcome = checkProperty<CsrSpec>(
+        "qc.gpu.simulate_deterministic",
+        [&bounds](Rng &rng) { return arbitraryCsrSpec(rng, bounds); },
+        [](const CsrSpec &spec, std::string &message) {
+            const Csr matrix = build(spec);
+            const gpu::GpuSpec gpu_spec = tinySpec();
+            for (const kernels::KernelKind kernel : kKernels) {
+                gpu::SimOptions sim_options;
+                sim_options.kernel = kernel;
+                const gpu::SimReport first =
+                    gpu::simulateKernel(matrix, gpu_spec, sim_options);
+                const gpu::SimReport second =
+                    gpu::simulateKernel(matrix, gpu_spec, sim_options);
+                if (gpu::simReportJson(first).dump() !=
+                    gpu::simReportJson(second).dump()) {
+                    message = "two identical runs diverged";
+                    return false;
+                }
+                const cache::CacheStats &stats = first.cacheStats;
+                if (stats.hits + stats.misses != stats.accesses) {
+                    message = "hits + misses != accesses";
+                    return false;
+                }
+                if (first.trafficBytes != stats.fillBytes) {
+                    message = "trafficBytes != fillBytes";
+                    return false;
+                }
+                if (first.streamMissBytes + first.randomMissBytes !=
+                    first.trafficBytes) {
+                    message = "traffic split does not add up";
+                    return false;
+                }
+                if (first.l2HitRate < 0.0 || first.l2HitRate > 1.0 ||
+                    first.deadLineFraction < 0.0 ||
+                    first.deadLineFraction > 1.0) {
+                    message = "rate outside [0, 1]";
+                    return false;
+                }
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcGpuProps, BeladyNeverIncreasesSimulatedTraffic)
+{
+    const SpecBounds bounds = simBounds();
+    PropertyOptions<CsrSpec> options;
+    options.shrink = csrSpecShrinker(bounds);
+    options.describe = describeCsrSpec;
+    options.parameters = describeBounds(bounds);
+    options.config = configFromEnv().withMaxCases(25);
+    const Outcome outcome = checkProperty<CsrSpec>(
+        "qc.gpu.belady_traffic_bound",
+        [&bounds](Rng &rng) { return arbitraryCsrSpec(rng, bounds); },
+        [](const CsrSpec &spec, std::string &message) {
+            const Csr matrix = build(spec);
+            const gpu::GpuSpec gpu_spec = tinySpec();
+            for (const kernels::KernelKind kernel : kKernels) {
+                gpu::SimOptions sim_options;
+                sim_options.kernel = kernel;
+                const gpu::SimReport lru =
+                    gpu::simulateKernel(matrix, gpu_spec, sim_options);
+                sim_options.useBelady = true;
+                const gpu::SimReport opt =
+                    gpu::simulateKernel(matrix, gpu_spec, sim_options);
+                if (opt.cacheStats.accesses != lru.cacheStats.accesses) {
+                    message = "LRU and OPT replayed different streams";
+                    return false;
+                }
+                if (opt.trafficBytes > lru.trafficBytes) {
+                    message = "OPT traffic " +
+                              std::to_string(opt.trafficBytes) +
+                              " exceeds LRU traffic " +
+                              std::to_string(lru.trafficBytes);
+                    return false;
+                }
+                if (opt.cacheStats.hits < lru.cacheStats.hits) {
+                    message = "OPT hit less often than LRU";
+                    return false;
+                }
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+} // namespace
+} // namespace slo::qc

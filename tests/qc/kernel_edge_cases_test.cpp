@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Edge cases of the tiled/blocked SpMV kernels and their GPU
+ * simulations, each checked against the scalar reference: the empty
+ * matrix, all-empty rows, a single-column matrix, and a row longer
+ * than one tile (so it spans several strips).
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_spec.hpp"
+#include "gpu/simulate_blocked.hpp"
+#include "gpu/simulate_tiled.hpp"
+#include "kernels/propagation_blocking.hpp"
+#include "kernels/tiled_spmv.hpp"
+#include "qc/qc.hpp"
+
+namespace slo::qc
+{
+namespace
+{
+
+gpu::GpuSpec
+tinySpec()
+{
+    return gpu::GpuSpec::a6000ScaledL2(2048);
+}
+
+std::vector<Value>
+onesVector(Index n)
+{
+    return std::vector<Value>(static_cast<std::size_t>(n), 1.0f);
+}
+
+/** Check tiled + blocked spmv and both simulations on @p matrix. */
+void
+checkAllVariants(const Csr &matrix, Index tile_cols, Index bin_rows)
+{
+    const std::vector<Value> x = onesVector(matrix.numCols());
+    const std::vector<double> want = referenceSpmv(matrix, x);
+    std::string message;
+
+    const kernels::TiledCsr tiled(matrix, tile_cols);
+    EXPECT_EQ(tiled.numNonZeros(), matrix.numNonZeros());
+    std::vector<Value> tiled_y(
+        static_cast<std::size_t>(matrix.numRows()), 0.0f);
+    tiled.spmv(x, tiled_y);
+    EXPECT_TRUE(nearlyEqual(tiled_y, want, 1e-5, &message)) << message;
+
+    const gpu::SimReport tiled_report =
+        gpu::simulateTiledSpmv(tiled, tinySpec());
+    const cache::CacheStats &ts = tiled_report.cacheStats;
+    EXPECT_EQ(ts.hits + ts.misses, ts.accesses);
+    EXPECT_EQ(tiled_report.trafficBytes, ts.fillBytes);
+    EXPECT_TRUE(tiled_report.normalizedTraffic >= 0.0)
+        << tiled_report.normalizedTraffic;
+    EXPECT_TRUE(tiled_report.normalizedRuntime >= 0.0)
+        << tiled_report.normalizedRuntime;
+
+    if (matrix.isSquare()) {
+        const kernels::PropagationBlockedSpmv blocked(matrix,
+                                                      bin_rows);
+        std::vector<Value> blocked_y(
+            static_cast<std::size_t>(matrix.numRows()), 0.0f);
+        blocked.spmv(x, blocked_y);
+        EXPECT_TRUE(nearlyEqual(blocked_y, want, 1e-5, &message))
+            << message;
+
+        const gpu::SimReport blocked_report =
+            gpu::simulateBlockedSpmv(blocked, tinySpec());
+        const cache::CacheStats &bs = blocked_report.cacheStats;
+        EXPECT_EQ(bs.hits + bs.misses, bs.accesses);
+        EXPECT_EQ(blocked_report.trafficBytes, bs.fillBytes);
+        EXPECT_TRUE(blocked_report.normalizedTraffic >= 0.0)
+            << blocked_report.normalizedTraffic;
+        EXPECT_TRUE(blocked_report.normalizedRuntime >= 0.0)
+            << blocked_report.normalizedRuntime;
+    }
+}
+
+TEST(QcKernelEdgeCases, EmptyMatrix)
+{
+    const Csr matrix(0, 0, {0}, {}, {});
+    checkAllVariants(matrix, 4, 1);
+}
+
+TEST(QcKernelEdgeCases, AllEmptyRows)
+{
+    const Csr matrix(5, 5, {0, 0, 0, 0, 0, 0}, {}, {});
+    checkAllVariants(matrix, 2, 2);
+    // Even with zero non-zeros the tiled simulation still streams the
+    // per-strip row bookkeeping — accesses must not be zero.
+    const kernels::TiledCsr tiled(matrix, 2);
+    const gpu::SimReport report =
+        gpu::simulateTiledSpmv(tiled, tinySpec());
+    EXPECT_GT(report.cacheStats.accesses, 0u);
+}
+
+TEST(QcKernelEdgeCases, SingleColumnRectangular)
+{
+    // 6 x 1: every non-empty row has its entry in column 0.
+    const Csr matrix(6, 1, {0, 1, 2, 2, 3, 4, 5}, {0, 0, 0, 0, 0},
+                     {1.0f, 2.0f, 3.0f, 4.0f, 5.0f});
+    checkAllVariants(matrix, 4, 1); // tile wider than the matrix
+    checkAllVariants(matrix, 1, 1); // tile exactly the matrix
+}
+
+TEST(QcKernelEdgeCases, SingleColumnSquare)
+{
+    // All entries in column 0 of a square matrix: the irregular X
+    // footprint degenerates to one line.
+    const Csr matrix(6, 6, {0, 1, 2, 3, 4, 5, 6}, {0, 0, 0, 0, 0, 0},
+                     {1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f});
+    checkAllVariants(matrix, 2, 3);
+}
+
+TEST(QcKernelEdgeCases, RowLongerThanOneTile)
+{
+    // Row 0 is dense over 8 columns with tile_cols 2: it must be split
+    // across 4 strips and still sum correctly.
+    std::vector<Offset> offsets = {0, 8, 8, 8, 9, 9, 9, 9, 10};
+    std::vector<Index> cols = {0, 1, 2, 3, 4, 5, 6, 7, 3, 6};
+    std::vector<Value> vals(10, 1.0f);
+    const Csr matrix(8, 8, std::move(offsets), std::move(cols),
+                     std::move(vals));
+    const kernels::TiledCsr tiled(matrix, 2);
+    EXPECT_EQ(tiled.numTiles(), 4);
+    checkAllVariants(matrix, 2, 4);
+
+    // The dense row serializes per strip: maxRowNnz in the tiled
+    // simulation is the per-strip row length, not the full row.
+    const gpu::SimReport report =
+        gpu::simulateTiledSpmv(tiled, tinySpec());
+    EXPECT_EQ(report.maxRowNnz, 2);
+}
+
+} // namespace
+} // namespace slo::qc

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Kernel differential oracles: the CSR/COO/tiled/propagation-blocked
+ * SpMV variants and SpMM must all agree with the double-precision
+ * scalar references on qc-generated matrices, and vector permutation
+ * must round-trip.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/kernels.hpp"
+#include "kernels/propagation_blocking.hpp"
+#include "kernels/tiled_spmv.hpp"
+#include "qc/qc.hpp"
+
+namespace slo::qc
+{
+namespace
+{
+
+/** Deterministic input vector in (0, 1], independent of the kernels. */
+std::vector<Value>
+inputVector(Index n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Value> x(static_cast<std::size_t>(n));
+    for (Value &v : x)
+        v = static_cast<Value>(1.0 - rng.uniform());
+    return x;
+}
+
+constexpr double kTolerance = 1e-4;
+
+TEST(QcKernelProps, SpmvVariantsAgreeWithTheScalarReference)
+{
+    SpecBounds bounds; // Raw included: rectangular + empty rows
+    PropertyOptions<CsrSpec> options;
+    options.shrink = csrSpecShrinker(bounds);
+    options.describe = describeCsrSpec;
+    options.parameters = describeBounds(bounds);
+    const Outcome outcome = checkProperty<CsrSpec>(
+        "qc.kernels.spmv_variants_vs_reference",
+        [&bounds](Rng &rng) { return arbitraryCsrSpec(rng, bounds); },
+        [](const CsrSpec &spec, std::string &message) {
+            const Csr matrix = build(spec);
+            const std::vector<Value> x =
+                inputVector(matrix.numCols(), spec.seed ^ 0xf00d);
+            const std::vector<double> want = referenceSpmv(matrix, x);
+
+            const std::vector<Value> csr = kernels::spmvCsr(matrix, x);
+            if (!nearlyEqual(csr, want, kTolerance, &message)) {
+                message = "spmvCsr: " + message;
+                return false;
+            }
+
+            std::vector<Value> coo(
+                static_cast<std::size_t>(matrix.numRows()), 0.0f);
+            kernels::spmvCoo(matrix.toCoo(), x, coo);
+            if (!nearlyEqual(coo, want, kTolerance, &message)) {
+                message = "spmvCoo: " + message;
+                return false;
+            }
+
+            // Tile width derived from the spec seed: 1..cols+1 covers
+            // single-column strips and one-strip (full-width) cases.
+            Rng rng(spec.seed ^ 0x7117);
+            const auto tile_cols = static_cast<Index>(
+                rng.between(1, matrix.numCols() + 1));
+            const kernels::TiledCsr tiled(matrix, tile_cols);
+            std::vector<Value> tiled_y(
+                static_cast<std::size_t>(matrix.numRows()), 0.0f);
+            tiled.spmv(x, tiled_y);
+            if (!nearlyEqual(tiled_y, want, kTolerance, &message)) {
+                message = "tiled spmv: " + message;
+                return false;
+            }
+
+            const auto bin_rows = static_cast<Index>(
+                rng.between(1, matrix.numRows() + 1));
+            const kernels::PropagationBlockedSpmv blocked(matrix,
+                                                          bin_rows);
+            std::vector<Value> blocked_y(
+                static_cast<std::size_t>(matrix.numRows()), 0.0f);
+            blocked.spmv(x, blocked_y);
+            if (!nearlyEqual(blocked_y, want, kTolerance, &message)) {
+                message = "blocked spmv: " + message;
+                return false;
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcKernelProps, SpmmMatchesTheScalarReference)
+{
+    SpecBounds bounds;
+    bounds.maxRows = 48;
+    PropertyOptions<CsrSpec> options;
+    options.shrink = csrSpecShrinker(bounds);
+    options.describe = describeCsrSpec;
+    options.parameters = describeBounds(bounds);
+    const Outcome outcome = checkProperty<CsrSpec>(
+        "qc.kernels.spmm_vs_reference",
+        [&bounds](Rng &rng) { return arbitraryCsrSpec(rng, bounds); },
+        [](const CsrSpec &spec, std::string &message) {
+            const Csr matrix = build(spec);
+            Rng rng(spec.seed ^ 0x5b3);
+            const auto dense_cols =
+                static_cast<Index>(rng.between(1, 8));
+            const std::vector<Value> b = inputVector(
+                matrix.numCols() * dense_cols, spec.seed ^ 0xbeef);
+            const std::vector<double> want =
+                referenceSpmm(matrix, b, dense_cols);
+            std::vector<Value> c(
+                static_cast<std::size_t>(matrix.numRows()) *
+                    static_cast<std::size_t>(dense_cols),
+                0.0f);
+            kernels::spmmCsr(matrix, b, dense_cols, c);
+            if (!nearlyEqual(c, want, kTolerance, &message)) {
+                message = "spmmCsr: " + message;
+                return false;
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcKernelProps, PermuteVectorRoundTrips)
+{
+    PropertyOptions<Index> options;
+    const Outcome outcome = checkProperty<Index>(
+        "qc.kernels.permute_vector_round_trip",
+        [](Rng &rng) { return static_cast<Index>(rng.below(300)); },
+        [](const Index &n, std::string &message) {
+            Rng rng(static_cast<std::uint64_t>(n) * 65537 + 11);
+            const Permutation perm = arbitraryPermutation(rng, n);
+            const std::vector<Value> x = inputVector(n, rng.next());
+            const std::vector<Value> round = kernels::unpermuteVector(
+                kernels::permuteVector(x, perm), perm);
+            if (round != x) {
+                message = "unpermute(permute(x)) != x";
+                return false;
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+} // namespace
+} // namespace slo::qc

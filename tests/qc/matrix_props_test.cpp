@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Differential properties of the matrix layer on qc-generated inputs:
+ * permutation round trips, transpose involution, and duplicate
+ * summation against a naive accumulator.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "qc/qc.hpp"
+
+namespace slo::qc
+{
+namespace
+{
+
+/** Spec + permutation seed: one generated (matrix, permutation) pair. */
+struct PermCase
+{
+    CsrSpec spec;
+    std::uint64_t permSeed = 0;
+};
+
+TEST(QcMatrixProps, PermutedSymmetricRoundTripsThroughTheInverse)
+{
+    SpecBounds bounds;
+    bounds.familiesOnly = true; // permutedSymmetric needs square
+    bounds.maxRows = 64;
+    PropertyOptions<PermCase> options;
+    options.describe = [](const PermCase &value) {
+        obs::Json out = describeCsrSpec(value.spec);
+        out["perm_seed"] = value.permSeed;
+        return out;
+    };
+    options.shrink = [shrink = csrSpecShrinker(bounds)](
+                         const PermCase &value) {
+        std::vector<PermCase> out;
+        for (CsrSpec &smaller : shrink(value.spec))
+            out.push_back(PermCase{std::move(smaller), value.permSeed});
+        return out;
+    };
+    options.parameters = describeBounds(bounds);
+    const Outcome outcome = checkProperty<PermCase>(
+        "qc.matrix.permute_round_trip",
+        [&bounds](Rng &rng) {
+            PermCase value;
+            value.spec = arbitraryCsrSpec(rng, bounds);
+            value.permSeed = rng.next();
+            return value;
+        },
+        [](const PermCase &value, std::string &message) {
+            Csr matrix = build(value.spec);
+            matrix.sortRows();
+            Rng perm_rng(value.permSeed);
+            const Permutation perm =
+                arbitraryPermutation(perm_rng, matrix.numRows());
+            Csr round = matrix.permutedSymmetric(perm)
+                            .permutedSymmetric(perm.inverse());
+            round.sortRows();
+            if (!(round == matrix)) {
+                message = "A != P⁻¹(P(A))";
+                return false;
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcMatrixProps, TransposeIsAnInvolution)
+{
+    SpecBounds bounds; // Raw included: rectangular shapes transpose too
+    PropertyOptions<CsrSpec> options;
+    options.shrink = csrSpecShrinker(bounds);
+    options.describe = describeCsrSpec;
+    options.parameters = describeBounds(bounds);
+    const Outcome outcome = checkProperty<CsrSpec>(
+        "qc.matrix.transpose_involution",
+        [&bounds](Rng &rng) { return arbitraryCsrSpec(rng, bounds); },
+        [](const CsrSpec &spec, std::string &message) {
+            Csr matrix = build(spec);
+            matrix.sortRows();
+            Csr round = matrix.transposed().transposed();
+            round.sortRows();
+            if (!(round == matrix)) {
+                message = "A != (Aᵀ)ᵀ";
+                return false;
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcMatrixProps, FromCooSumMatchesANaiveAccumulator)
+{
+    SpecBounds bounds;
+    bounds.rawOnly = true; // duplicates only exist in Raw specs
+    PropertyOptions<CsrSpec> options;
+    options.shrink = csrSpecShrinker(bounds);
+    options.describe = describeCsrSpec;
+    options.parameters = describeBounds(bounds);
+    const Outcome outcome = checkProperty<CsrSpec>(
+        "qc.matrix.from_coo_sum",
+        [&bounds](Rng &rng) { return arbitraryCsrSpec(rng, bounds); },
+        [](const CsrSpec &spec, std::string &message) {
+            const Coo coo = buildCoo(spec);
+            const Csr summed = Csr::fromCoo(coo, DuplicatePolicy::Sum);
+            // Naive oracle: accumulate into an ordered map.
+            std::map<std::pair<Index, Index>, double> cells;
+            for (Offset i = 0; i < coo.numEntries(); ++i) {
+                const auto entry = coo.at(i);
+                cells[{entry.row, entry.col}] +=
+                    static_cast<double>(entry.val);
+            }
+            if (static_cast<std::size_t>(summed.numNonZeros()) !=
+                cells.size()) {
+                message = "nnz differs from the distinct cell count";
+                return false;
+            }
+            for (Index r = 0; r < summed.numRows(); ++r) {
+                const auto cols = summed.rowIndices(r);
+                const auto vals = summed.rowValues(r);
+                for (std::size_t i = 0; i < cols.size(); ++i) {
+                    const auto found = cells.find({r, cols[i]});
+                    if (found == cells.end()) {
+                        message = "cell missing from the naive sum";
+                        return false;
+                    }
+                    const double diff = std::abs(
+                        static_cast<double>(vals[i]) - found->second);
+                    if (diff > 1e-4 * std::max(1.0, found->second)) {
+                        message = "summed value differs from naive sum";
+                        return false;
+                    }
+                }
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+} // namespace
+} // namespace slo::qc

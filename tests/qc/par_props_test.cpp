@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Determinism contracts of the slo::par runtime: every primitive must
+ * produce bit-identical results on a serial pool and a 4-thread pool
+ * (the property behind "SLO_THREADS=1 reproduces parallel runs").
+ */
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "par/par.hpp"
+#include "qc/qc.hpp"
+
+namespace slo::qc
+{
+namespace
+{
+
+/** One generated reduction problem. */
+struct ReduceCase
+{
+    int length = 0;
+    std::size_t grain = 1;
+    std::uint64_t seed = 0;
+};
+
+std::vector<double>
+randomDoubles(int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> out(static_cast<std::size_t>(n));
+    for (double &v : out)
+        v = rng.uniform() * 2.0 - 1.0;
+    return out;
+}
+
+double
+reduceWith(const std::vector<double> &data, std::size_t grain,
+           par::ThreadPool &pool)
+{
+    return par::parallelReduce<double>(
+        0, data.size(), grain, 0.0,
+        [&data](std::size_t lo, std::size_t hi) {
+            double sum = 0.0;
+            for (std::size_t i = lo; i < hi; ++i)
+                sum += data[i];
+            return sum;
+        },
+        [](double acc, double partial) { return acc + partial; },
+        &pool);
+}
+
+TEST(QcParProps, ParallelReduceIsBitIdenticalAcrossThreadCounts)
+{
+    PropertyOptions<ReduceCase> options;
+    options.describe = [](const ReduceCase &value) {
+        obs::Json out = obs::Json::object();
+        out["length"] = value.length;
+        out["grain"] = value.grain;
+        out["seed"] = value.seed;
+        return out;
+    };
+    options.shrink = [](const ReduceCase &value) {
+        std::vector<ReduceCase> out;
+        if (value.length > 0) {
+            ReduceCase smaller = value;
+            smaller.length /= 2;
+            out.push_back(smaller);
+        }
+        return out;
+    };
+    const Outcome outcome = checkProperty<ReduceCase>(
+        "qc.par.reduce_thread_invariant",
+        [](Rng &rng) {
+            ReduceCase value;
+            value.length = static_cast<int>(rng.below(5000));
+            value.grain = 1 + rng.below(700);
+            value.seed = rng.next();
+            return value;
+        },
+        [](const ReduceCase &value, std::string &message) {
+            const std::vector<double> data =
+                randomDoubles(value.length, value.seed);
+            par::ThreadPool serial(1);
+            par::ThreadPool wide(4);
+            const double a = reduceWith(data, value.grain, serial);
+            const double b = reduceWith(data, value.grain, wide);
+            if (a != b) {
+                message = "serial " + std::to_string(a) +
+                          " != parallel " + std::to_string(b);
+                return false;
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcParProps, ParallelStableSortMatchesStdStableSort)
+{
+    PropertyOptions<std::uint64_t> options;
+    const Outcome outcome = checkProperty<std::uint64_t>(
+        "qc.par.stable_sort_vs_std",
+        [](Rng &rng) { return rng.next(); },
+        [](const std::uint64_t &seed, std::string &message) {
+            Rng rng(seed);
+            // Big enough to cross the parallel-path threshold
+            // sometimes; few distinct keys so stability is observable.
+            const std::size_t n = rng.below(12000);
+            std::vector<std::pair<int, int>> data(n);
+            for (std::size_t i = 0; i < n; ++i)
+                data[i] = {static_cast<int>(rng.below(16)),
+                           static_cast<int>(i)};
+            std::vector<std::pair<int, int>> want = data;
+            const auto by_key = [](const std::pair<int, int> &a,
+                                   const std::pair<int, int> &b) {
+                return a.first < b.first;
+            };
+            std::stable_sort(want.begin(), want.end(), by_key);
+            par::ThreadPool pool(4);
+            par::parallelStableSort(data.begin(), data.end(), by_key,
+                                    &pool);
+            if (data != want) {
+                message = "stable order diverged at n=" +
+                          std::to_string(n);
+                return false;
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcParProps, ParallelForCoversEveryIndexExactlyOnce)
+{
+    PropertyOptions<std::uint64_t> options;
+    const Outcome outcome = checkProperty<std::uint64_t>(
+        "qc.par.for_covers_range",
+        [](Rng &rng) { return rng.next(); },
+        [](const std::uint64_t &seed, std::string &message) {
+            Rng rng(seed);
+            const std::size_t n = rng.below(4000);
+            const std::size_t grain = 1 + rng.below(128);
+            par::ThreadPool pool(4);
+            std::vector<int> touched(n, 0);
+            par::parallelFor(
+                0, n, [&touched](std::size_t i) { touched[i] += 1; },
+                {.grain = grain, .pool = &pool});
+            for (std::size_t i = 0; i < n; ++i) {
+                if (touched[i] != 1) {
+                    message = "index " + std::to_string(i) +
+                              " touched " +
+                              std::to_string(touched[i]) + " times";
+                    return false;
+                }
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+} // namespace
+} // namespace slo::qc

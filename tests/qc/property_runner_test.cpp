@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The qc runner itself: seed determinism, shrinking to a minimal
+ * counterexample (via a deliberately-broken in-test oracle),
+ * machine-readable failure reports, and env-driven configuration.
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "obs/manifest.hpp"
+#include "qc/qc.hpp"
+
+namespace slo::qc
+{
+namespace
+{
+
+Config
+fixedConfig()
+{
+    Config config;
+    config.seed = 20260805;
+    config.cases = 60;
+    return config;
+}
+
+/** Rebuild a CsrSpec from its describeCsrSpec JSON (Raw kind only). */
+CsrSpec
+rawSpecFromJson(const obs::Json &json)
+{
+    CsrSpec spec;
+    EXPECT_EQ(json.at("kind").asString(), "raw");
+    spec.kind = MatrixKind::Raw;
+    spec.rows = static_cast<Index>(json.at("rows").asInt());
+    spec.cols = static_cast<Index>(json.at("cols").asInt());
+    spec.avgDegree = json.at("avg_degree").asDouble();
+    if (json.contains("self_loops"))
+        spec.selfLoops = json.at("self_loops").asBool();
+    if (json.contains("self_loop_fraction"))
+        spec.selfLoopFraction = json.at("self_loop_fraction").asDouble();
+    if (json.contains("duplicates"))
+        spec.duplicates = json.at("duplicates").asBool();
+    spec.seed = json.at("seed").asUint();
+    return spec;
+}
+
+/** The deliberately-broken oracle: "no matrix has 3+ non-zeros". */
+Outcome
+runBrokenOracle(const std::string &name)
+{
+    const SpecBounds bounds;
+    PropertyOptions<CsrSpec> options;
+    options.shrink = csrSpecShrinker(bounds);
+    options.describe = describeCsrSpec;
+    options.parameters = describeBounds(bounds);
+    options.config = fixedConfig();
+    return checkProperty<CsrSpec>(
+        name,
+        [&bounds](Rng &rng) { return arbitraryCsrSpec(rng, bounds); },
+        [](const CsrSpec &spec) {
+            return build(spec).numNonZeros() < 3;
+        },
+        options);
+}
+
+TEST(QcRunner, ShrinkingFindsAMinimalCounterexample)
+{
+    const Outcome outcome = runBrokenOracle("qc.broken.nnz_below_3");
+    ASSERT_FALSE(outcome.ok);
+    EXPECT_GE(outcome.failedCase, 0);
+    EXPECT_GT(outcome.shrinkSteps, 0) << outcome.summary();
+
+    const auto json = obs::Json::parse(outcome.counterexample);
+    ASSERT_TRUE(json.has_value()) << outcome.counterexample;
+    // Shrinking must have simplified the spec: the default envelope
+    // draws up to 96 rows across five kinds, but the broken oracle
+    // fails for any 3-nonzero matrix, so the minimum is tiny and Raw.
+    ASSERT_EQ(json->at("kind").asString(), "raw");
+    EXPECT_LE(json->at("rows").asInt(), 8) << outcome.counterexample;
+
+    // The shrunk spec must still falsify the oracle (shrinking only
+    // ever replaces a counterexample with a failing candidate).
+    const CsrSpec spec = rawSpecFromJson(*json);
+    EXPECT_GE(build(spec).numNonZeros(), 3);
+}
+
+TEST(QcRunner, SameSeedReproducesTheSameCounterexample)
+{
+    const Outcome first = runBrokenOracle("qc.broken.repro");
+    const Outcome second = runBrokenOracle("qc.broken.repro");
+    ASSERT_FALSE(first.ok);
+    EXPECT_EQ(first.failedCase, second.failedCase);
+    EXPECT_EQ(first.failingCaseSeed, second.failingCaseSeed);
+    EXPECT_EQ(first.counterexample, second.counterexample);
+    EXPECT_EQ(first.shrinkSteps, second.shrinkSteps);
+}
+
+TEST(QcRunner, CaseSeedsDifferAcrossCasesAndProperties)
+{
+    const std::uint64_t a0 = detail::caseSeed(7, "prop-a", 0);
+    const std::uint64_t a1 = detail::caseSeed(7, "prop-a", 1);
+    const std::uint64_t b0 = detail::caseSeed(7, "prop-b", 0);
+    const std::uint64_t other_run = detail::caseSeed(8, "prop-a", 0);
+    EXPECT_NE(a0, a1);
+    EXPECT_NE(a0, b0);
+    EXPECT_NE(a0, other_run);
+    EXPECT_NE(a0, std::uint64_t{7}) << "case 0 must not leak the seed";
+}
+
+TEST(QcRunner, PassingPropertyReportsAllCases)
+{
+    PropertyOptions<int> options;
+    options.config = fixedConfig();
+    const Outcome outcome = checkProperty<int>(
+        "qc.trivial.int_is_small",
+        [](Rng &rng) { return static_cast<int>(rng.below(100)); },
+        [](int value) { return value < 100; }, options);
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.cases, fixedConfig().cases);
+    EXPECT_EQ(outcome.failedCase, -1);
+}
+
+TEST(QcRunner, CounterexampleReportIsEmittedWithReproEnv)
+{
+    const std::filesystem::path path =
+        std::filesystem::temp_directory_path() /
+        ("slo-qc-report-" + std::to_string(::getpid()) + ".json");
+    std::filesystem::remove(path);
+    ::setenv("SLO_QC_REPORT", path.c_str(), 1);
+    const Outcome outcome = runBrokenOracle("qc.broken.report");
+    ::unsetenv("SLO_QC_REPORT");
+    ASSERT_FALSE(outcome.ok);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "no report at " << path;
+    std::stringstream text;
+    text << in.rdbuf();
+    const auto report = obs::Json::parse(text.str());
+    ASSERT_TRUE(report.has_value()) << text.str();
+    EXPECT_EQ(report->at("schema").asString(),
+              "slo.qc-counterexample/1");
+    EXPECT_EQ(report->at("property").asString(), "qc.broken.report");
+    EXPECT_EQ(report->at("seed").asUint(), fixedConfig().seed);
+    EXPECT_EQ(report->at("repro_env").at("SLO_QC_SEED").asString(),
+              std::to_string(fixedConfig().seed));
+    EXPECT_TRUE(report->at("counterexample").isObject());
+    std::filesystem::remove(path);
+}
+
+TEST(QcRunner, RunManifestRecordsSeedsAndCounterexamples)
+{
+    runBrokenOracle("qc.broken.manifest");
+    const obs::Json manifest =
+        obs::RunManifest::instance().toJson();
+    ASSERT_TRUE(manifest.contains("qc"));
+    const obs::Json &qc = manifest.at("qc");
+    ASSERT_TRUE(qc.contains("properties"));
+    ASSERT_TRUE(qc.at("properties").contains("qc.broken.manifest"));
+    EXPECT_EQ(
+        qc.at("properties").at("qc.broken.manifest").at("seed").asUint(),
+        fixedConfig().seed);
+    ASSERT_TRUE(qc.contains("counterexamples"));
+    EXPECT_GE(qc.at("counterexamples").size(), std::size_t{1});
+}
+
+TEST(QcRunner, ConfigComesFromTheEnvironment)
+{
+    ::setenv("SLO_QC_SEED", "0xabcdef", 1);
+    ::setenv("SLO_QC_CASES", "7", 1);
+    const Config config = configFromEnv();
+    ::unsetenv("SLO_QC_SEED");
+    ::unsetenv("SLO_QC_CASES");
+    EXPECT_EQ(config.seed, 0xabcdefULL);
+    EXPECT_EQ(config.cases, 7);
+    EXPECT_EQ(configFromEnv().cases, Config{}.cases);
+    EXPECT_EQ(config.withMaxCases(3).cases, 3);
+}
+
+TEST(QcRunner, ExceptionsInsideAPropertyCountAsFailures)
+{
+    PropertyOptions<int> options;
+    options.config = fixedConfig();
+    const Outcome outcome = checkProperty<int>(
+        "qc.throwing",
+        [](Rng &rng) { return static_cast<int>(rng.below(10)); },
+        [](int) -> bool {
+            throw std::runtime_error("boom");
+        },
+        options);
+    ASSERT_FALSE(outcome.ok);
+    EXPECT_NE(outcome.message.find("boom"), std::string::npos);
+}
+
+} // namespace
+} // namespace slo::qc

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * RCM and SlashBurn on the degenerate graphs the qc generators can
+ * produce on demand: disconnected block-diagonal graphs (planted
+ * partition with zero inter-community degree) and self-loop-only
+ * matrices. Both orderings must stay valid bijections, and RCM must
+ * keep disconnected components contiguous.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/validators.hpp"
+#include "qc/qc.hpp"
+#include "reorder/rcm.hpp"
+#include "reorder/reorder.hpp"
+#include "reorder/slashburn.hpp"
+
+namespace slo::qc
+{
+namespace
+{
+
+/** Disconnected graph: k communities, zero inter-community edges. */
+CsrSpec
+disconnectedSpec(Index rows, Index communities, std::uint64_t seed)
+{
+    CsrSpec spec;
+    spec.kind = MatrixKind::BlockCommunity;
+    spec.rows = spec.cols = rows;
+    spec.avgDegree = 4.0;
+    spec.communities = communities;
+    spec.interFraction = 0.0;
+    spec.seed = seed;
+    return spec;
+}
+
+/** Self-loop-only matrix: every entry on the diagonal. */
+CsrSpec
+selfLoopOnlySpec(Index rows, std::uint64_t seed)
+{
+    CsrSpec spec;
+    spec.kind = MatrixKind::Raw;
+    spec.rows = spec.cols = rows;
+    spec.avgDegree = 2.0;
+    spec.selfLoops = true;
+    spec.selfLoopFraction = 1.0;
+    spec.seed = seed;
+    return spec;
+}
+
+/** Component label per vertex via union of undirected edges. */
+std::vector<Index>
+componentLabels(const Csr &matrix)
+{
+    const Index n = matrix.numRows();
+    std::vector<Index> parent(static_cast<std::size_t>(n));
+    for (Index v = 0; v < n; ++v)
+        parent[static_cast<std::size_t>(v)] = v;
+    const auto find = [&parent](Index v) {
+        while (parent[static_cast<std::size_t>(v)] != v)
+            v = parent[static_cast<std::size_t>(v)];
+        return v;
+    };
+    for (Index r = 0; r < n; ++r) {
+        for (const Index c : matrix.rowIndices(r)) {
+            const Index a = find(r);
+            const Index b = find(c);
+            if (a != b)
+                parent[static_cast<std::size_t>(a)] = b;
+        }
+    }
+    std::vector<Index> labels(static_cast<std::size_t>(n));
+    for (Index v = 0; v < n; ++v)
+        labels[static_cast<std::size_t>(v)] = find(v);
+    return labels;
+}
+
+TEST(QcReorderEdgeCases, RcmOnDisconnectedGraphs)
+{
+    for (const std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+        const Csr matrix = build(disconnectedSpec(40, 5, seed));
+        const Permutation perm = reorder::rcmOrder(matrix);
+        check::checkPermutation(perm.newIds(), matrix.numRows(),
+                                "qc.rcm");
+        // RCM orders one component at a time, so in the new order the
+        // component label changes at most (num_components - 1) times.
+        const std::vector<Index> labels = componentLabels(matrix);
+        std::vector<Index> distinct = labels;
+        std::sort(distinct.begin(), distinct.end());
+        distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                       distinct.end());
+        const Permutation inverse = perm.inverse();
+        int switches = 0;
+        for (Index pos = 1; pos < matrix.numRows(); ++pos) {
+            const Index prev = inverse.newIds()[static_cast<
+                std::size_t>(pos - 1)];
+            const Index cur =
+                inverse.newIds()[static_cast<std::size_t>(pos)];
+            if (labels[static_cast<std::size_t>(prev)] !=
+                labels[static_cast<std::size_t>(cur)])
+                ++switches;
+        }
+        EXPECT_LT(switches, static_cast<int>(distinct.size()))
+            << "RCM interleaved disconnected components (seed "
+            << seed << ")";
+    }
+}
+
+TEST(QcReorderEdgeCases, SlashBurnOnDisconnectedGraphs)
+{
+    for (const std::uint64_t seed : {7ULL, 14ULL, 21ULL}) {
+        const Csr matrix = build(disconnectedSpec(48, 6, seed));
+        const Permutation perm = reorder::slashBurnOrder(matrix);
+        check::checkPermutation(perm.newIds(), matrix.numRows(),
+                                "qc.slashburn");
+    }
+}
+
+TEST(QcReorderEdgeCases, RcmOnSelfLoopOnlyMatrices)
+{
+    for (const std::uint64_t seed : {5ULL, 10ULL}) {
+        const Csr matrix = build(selfLoopOnlySpec(24, seed));
+        ASSERT_GT(matrix.numNonZeros(), 0);
+        const Permutation perm = reorder::rcmOrder(matrix);
+        check::checkPermutation(perm.newIds(), matrix.numRows(),
+                                "qc.rcm");
+    }
+}
+
+TEST(QcReorderEdgeCases, SlashBurnOnSelfLoopOnlyMatrices)
+{
+    for (const std::uint64_t seed : {5ULL, 10ULL}) {
+        const Csr matrix = build(selfLoopOnlySpec(24, seed));
+        const Permutation perm = reorder::slashBurnOrder(matrix);
+        check::checkPermutation(perm.newIds(), matrix.numRows(),
+                                "qc.slashburn");
+    }
+}
+
+TEST(QcReorderEdgeCases, EveryTechniqueHandlesTheDegenerateShapes)
+{
+    // The full technique sweep on both degenerate families: nothing
+    // may throw or return a non-bijection.
+    std::vector<Csr> matrices;
+    matrices.push_back(build(disconnectedSpec(30, 4, 3)));
+    matrices.push_back(build(selfLoopOnlySpec(16, 3)));
+    matrices.push_back(Csr(0, 0, {0}, {}, {}));
+    for (const Csr &matrix : matrices) {
+        for (const reorder::Technique technique :
+             reorder::allTechniques()) {
+            const Permutation perm =
+                reorder::computeOrdering(technique, matrix);
+            check::checkPermutation(perm.newIds(), matrix.numRows(),
+                                    "qc.reorder.edge");
+        }
+    }
+}
+
+} // namespace
+} // namespace slo::qc

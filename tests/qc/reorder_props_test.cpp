@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Ordering properties on qc-generated matrices: every technique must
+ * return a valid bijection (check::checkPermutation), and the
+ * optimized locality metrics must agree with the naive O(n²)
+ * references in qc/oracles.hpp.
+ */
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/validators.hpp"
+#include "qc/qc.hpp"
+#include "reorder/locality_metrics.hpp"
+#include "reorder/reorder.hpp"
+
+namespace slo::qc
+{
+namespace
+{
+
+SpecBounds
+orderingBounds()
+{
+    SpecBounds bounds;
+    bounds.familiesOnly = true; // orderings expect square symmetric
+    bounds.maxRows = 48;
+    bounds.maxAvgDegree = 6.0;
+    return bounds;
+}
+
+TEST(QcReorderProps, EveryTechniqueReturnsAValidPermutation)
+{
+    const SpecBounds bounds = orderingBounds();
+    PropertyOptions<CsrSpec> options;
+    options.shrink = csrSpecShrinker(bounds);
+    options.describe = describeCsrSpec;
+    options.parameters = describeBounds(bounds);
+    // Each case sweeps all techniques; cap the case count to keep the
+    // default suite quick (the nightly SLO_QC_CASES bump deepens it).
+    options.config = configFromEnv().withMaxCases(15);
+    const Outcome outcome = checkProperty<CsrSpec>(
+        "qc.reorder.all_techniques_bijective",
+        [&bounds](Rng &rng) { return arbitraryCsrSpec(rng, bounds); },
+        [](const CsrSpec &spec, std::string &message) {
+            const Csr matrix = build(spec);
+            for (const reorder::Technique technique :
+                 reorder::allTechniques()) {
+                const Permutation perm =
+                    reorder::computeOrdering(technique, matrix);
+                if (perm.size() != matrix.numRows()) {
+                    message = std::string("size mismatch from ") +
+                              reorder::techniqueName(technique);
+                    return false;
+                }
+                check::checkPermutation(perm.newIds(),
+                                        matrix.numRows(), "qc.reorder");
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcReorderProps, LocalityMetricsMatchTheNaiveReferences)
+{
+    SpecBounds bounds;
+    bounds.maxRows = 64;
+    PropertyOptions<CsrSpec> options;
+    options.shrink = csrSpecShrinker(bounds);
+    options.describe = describeCsrSpec;
+    options.parameters = describeBounds(bounds);
+    const Outcome outcome = checkProperty<CsrSpec>(
+        "qc.reorder.locality_metrics_vs_reference",
+        [&bounds](Rng &rng) { return arbitraryCsrSpec(rng, bounds); },
+        [](const CsrSpec &spec, std::string &message) {
+            Csr matrix = build(spec);
+            matrix.sortRows(); // windowLocalityScore merges sorted rows
+            const struct
+            {
+                const char *name;
+                double got;
+                double want;
+            } metrics[] = {
+                {"windowLocalityScore",
+                 reorder::windowLocalityScore(matrix, 5),
+                 referenceWindowLocalityScore(matrix, 5)},
+                {"averageGapLines",
+                 reorder::averageGapLines(matrix, 8),
+                 referenceAverageGapLines(matrix, 8)},
+                {"sameLineFraction",
+                 reorder::sameLineFraction(matrix, 8),
+                 referenceSameLineFraction(matrix, 8)},
+                {"distinctLinesPerNonZero",
+                 reorder::distinctLinesPerNonZero(matrix, 8),
+                 referenceDistinctLinesPerNonZero(matrix, 8)},
+            };
+            for (const auto &metric : metrics) {
+                if (std::abs(metric.got - metric.want) > 1e-12) {
+                    message = std::string(metric.name) + ": " +
+                              std::to_string(metric.got) + " vs " +
+                              std::to_string(metric.want);
+                    return false;
+                }
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+} // namespace
+} // namespace slo::qc
