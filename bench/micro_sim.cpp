@@ -1,0 +1,232 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the streamed cache-simulation
+ * hot path (host-side throughput data, not paper data):
+ *
+ *   - access-stream generation alone (no-op sink) — the generator's
+ *     ceiling, and the baseline for attributing simulation cost
+ *   - serial batched LRU simulation (CacheSim::accessBatch)
+ *   - set-sharded LRU simulation at 1, 2, 4 and SLO_THREADS-default
+ *     worker counts (ShardedCacheSim on an explicit pool)
+ *   - streamed two-pass Belady vs. the materialized-trace wrapper
+ *
+ * Items processed = simulated cache accesses, so google-benchmark's
+ * items_per_second is accesses/second directly. Peak RSS (VmHWM) is
+ * attached to every benchmark as a counter, making trace-allocation
+ * regressions visible in BENCH_micro_sim.json. run_benches.sh picks
+ * this binary up with the other micro_* benches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/belady.hpp"
+#include "cache/sharded.hpp"
+#include "core/dataset.hpp"
+#include "gpu/sim_stream.hpp"
+#include "kernels/access_stream.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/permutation.hpp"
+#include "par/par.hpp"
+
+namespace
+{
+
+using namespace slo;
+
+/** A scale-free matrix under a random permutation: worst-case X
+ * locality, so the simulator sees realistic miss/scan pressure. */
+const Csr &
+benchMatrix()
+{
+    static const Csr matrix =
+        gen::rmatSocial(15, 10.0, 42).permutedSymmetric(
+            Permutation::random(1 << 15, 7));
+    return matrix;
+}
+
+cache::CacheConfig
+benchCache()
+{
+    return core::specForScale(core::Scale::Small).l2;
+}
+
+/** Peak RSS in bytes (VmHWM), 0 if the kernel doesn't expose it. */
+double
+peakRssBytes()
+{
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) != 0)
+            continue;
+        std::istringstream fields(line.substr(6));
+        double kib = 0.0;
+        fields >> kib;
+        return kib * 1024.0;
+    }
+    return 0.0;
+}
+
+/** Replay the SpMV-CSR stream into @p sink; returns nothing. */
+template <typename Sink>
+void
+replaySpmv(const Csr &matrix, const kernels::AddressLayout &layout,
+           std::uint32_t line_bytes, Sink &&sink)
+{
+    kernels::forEachAccess(kernels::KernelKind::SpmvCsr, matrix, layout,
+                           kernels::StreamOptions{}, line_bytes, sink);
+}
+
+std::uint64_t
+countAccesses(const Csr &matrix, const kernels::AddressLayout &layout,
+              std::uint32_t line_bytes)
+{
+    std::uint64_t count = 0;
+    replaySpmv(matrix, layout, line_bytes,
+               [&count](std::uint64_t) { ++count; });
+    return count;
+}
+
+struct Setup
+{
+    const Csr &matrix;
+    cache::CacheConfig config;
+    kernels::AddressLayout layout;
+    std::uint64_t accesses;
+};
+
+Setup
+makeSetup()
+{
+    const Csr &matrix = benchMatrix();
+    const cache::CacheConfig config = benchCache();
+    const kernels::AddressLayout layout = kernels::makeLayout(
+        kernels::KernelKind::SpmvCsr, matrix.numRows(),
+        matrix.numNonZeros(), 1, config.lineBytes);
+    const std::uint64_t accesses =
+        countAccesses(matrix, layout, config.lineBytes);
+    return Setup{matrix, config, layout, accesses};
+}
+
+void
+finishState(benchmark::State &state, std::uint64_t accesses)
+{
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(accesses));
+    state.counters["peak_rss_bytes"] = benchmark::Counter(
+        peakRssBytes(), benchmark::Counter::kDefaults);
+}
+
+/** Generation ceiling: the stream with a sink that keeps nothing. */
+void
+BM_StreamGenOnly(benchmark::State &state)
+{
+    const Setup s = makeSetup();
+    for (auto _ : state) {
+        std::uint64_t sum = 0;
+        replaySpmv(s.matrix, s.layout, s.config.lineBytes,
+                   [&sum](std::uint64_t addr) { sum += addr; });
+        benchmark::DoNotOptimize(sum);
+    }
+    finishState(state, s.accesses);
+}
+BENCHMARK(BM_StreamGenOnly);
+
+/** Serial hot path: batched generation into one CacheSim. */
+void
+BM_SimSerialBatched(benchmark::State &state)
+{
+    const Setup s = makeSetup();
+    for (auto _ : state) {
+        cache::CacheSim sim(s.config);
+        sim.setIrregularRegion(s.layout.xBase, s.layout.xEnd);
+        gpu::BatchSink sink(
+            gpu::kSimBatchAccesses,
+            [&sim](const std::uint64_t *addrs, std::size_t n) {
+                sim.accessBatch(addrs, n);
+            });
+        replaySpmv(s.matrix, s.layout, s.config.lineBytes, sink);
+        sink.drain();
+        sim.finish();
+        benchmark::DoNotOptimize(sim.stats().fillBytes);
+    }
+    finishState(state, s.accesses);
+}
+BENCHMARK(BM_SimSerialBatched);
+
+/** Sharded hot path at 1/2/4/default workers. */
+void
+BM_SimSharded(benchmark::State &state)
+{
+    const Setup s = makeSetup();
+    par::ThreadPool pool(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        cache::ShardedCacheSim sim(s.config, /*num_shards=*/0, &pool);
+        sim.setIrregularRegion(s.layout.xBase, s.layout.xEnd);
+        gpu::BatchSink sink(
+            gpu::kSimBatchAccesses,
+            [&sim](const std::uint64_t *addrs, std::size_t n) {
+                sim.accessBatch(addrs, n);
+            });
+        replaySpmv(s.matrix, s.layout, s.config.lineBytes, sink);
+        sink.drain();
+        sim.finish();
+        benchmark::DoNotOptimize(sim.stats().fillBytes);
+    }
+    finishState(state, s.accesses);
+}
+BENCHMARK(BM_SimSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(
+    par::defaultThreads());
+
+/** Streamed two-pass OPT: 4 bytes/access, two generation passes. */
+void
+BM_BeladyStreamed(benchmark::State &state)
+{
+    const Setup s = makeSetup();
+    cache::CacheConfig config = s.config;
+    config.sectorBytes = 0; // OPT models whole-line fills
+    for (auto _ : state) {
+        const cache::CacheStats stats = cache::simulateBeladyStreamed(
+            config, s.layout.xBase, s.layout.xEnd, s.accesses,
+            [&](auto &&sink) {
+                replaySpmv(s.matrix, s.layout, s.config.lineBytes,
+                           sink);
+            });
+        benchmark::DoNotOptimize(stats.fillBytes);
+    }
+    finishState(state, s.accesses);
+}
+BENCHMARK(BM_BeladyStreamed);
+
+/** Trace-based OPT wrapper: the memory-hungry shape, for contrast. */
+void
+BM_BeladyTrace(benchmark::State &state)
+{
+    const Setup s = makeSetup();
+    cache::CacheConfig config = s.config;
+    config.sectorBytes = 0;
+    for (auto _ : state) {
+        std::vector<std::uint64_t> trace;
+        trace.reserve(static_cast<std::size_t>(s.accesses));
+        replaySpmv(s.matrix, s.layout, s.config.lineBytes,
+                   [&trace](std::uint64_t addr) {
+                       trace.push_back(addr);
+                   });
+        const cache::CacheStats stats = cache::simulateBelady(
+            trace, config, s.layout.xBase, s.layout.xEnd);
+        benchmark::DoNotOptimize(stats.fillBytes);
+    }
+    finishState(state, s.accesses);
+}
+BENCHMARK(BM_BeladyTrace);
+
+} // namespace
+
+BENCHMARK_MAIN();

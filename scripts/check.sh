@@ -1,100 +1,184 @@
 #!/bin/bash
 # Single local/CI gate for the slo tree (see CONTRIBUTING.md):
 #
-#   1. scripts/lint_slo.py over src/ and bench/ (project rules the
-#      compiler cannot express: Index/Offset discipline, chrono usage,
-#      include hygiene, ...).
-#   2. clang-tidy over the compilation database — skipped with a
-#      warning when the binary is not installed; set
-#      SLO_REQUIRE_CLANG_TIDY=1 to make its absence fatal (CI images
-#      that ship it should do this).
-#   3. ASan/UBSan build of the full test suite (cmake preset "asan":
-#      -DSLO_SANITIZE=address;undefined, -Werror, bench/examples off)
-#      and ctest with SLO_CHECK_LEVEL=full so every contract validator
-#      runs its deep checks under the sanitizers.
-#   4. TSan build (cmake preset "tsan") running the concurrency- and
-#      qc-labelled tests (thread pool, obs contention, artifact-cache
-#      races, property-based oracles). Set SLO_TSAN_FULL=1 to run the
-#      whole suite under TSan instead.
-#   5. qc property suite on the default (unsanitized) tree with the
-#      full default case counts — the sanitizer presets cap cases via
-#      SLO_QC_CASES=25, this stage runs the deeper sweep.
-#   6. golden regression snapshots: the fig2/table3/table4 benches in
-#      the pinned configuration diffed against tests/golden/
-#      (scripts/golden.py; refresh intentional changes with --bless).
+#   lint    scripts/lint_slo.py over src/ and bench/ (project rules the
+#           compiler cannot express: Index/Offset discipline, chrono
+#           usage, include hygiene, ...).
+#   tidy    clang-tidy over the compilation database — skipped with a
+#           warning when the binary is not installed; set
+#           SLO_REQUIRE_CLANG_TIDY=1 to make its absence fatal (CI
+#           images that ship it should do this).
+#   asan    ASan/UBSan build of the full test suite (cmake preset
+#           "asan": -DSLO_SANITIZE=address;undefined, -Werror) and
+#           ctest with SLO_CHECK_LEVEL=full so every contract validator
+#           runs its deep checks under the sanitizers.
+#   tsan    TSan build (cmake preset "tsan") running the concurrency-
+#           and qc-labelled tests (thread pool, obs contention,
+#           artifact-cache races, property-based oracles). Set
+#           SLO_TSAN_FULL=1 to run the whole suite under TSan.
+#   qc      property suite on the default (unsanitized) tree with the
+#           full default case counts — the sanitizer presets cap cases
+#           via SLO_QC_CASES=25, this stage runs the deeper sweep.
+#   golden  regression snapshots: the fig2/table3/table4 benches in the
+#           pinned configuration diffed against tests/golden/
+#           (scripts/golden.py; refresh intentional changes with
+#           --bless).
 #
-# On success writes .slo-check-stamp (git SHA + tree state) at the repo
-# root; scripts/run_benches.sh refuses to run without a stamp matching
-# the current SHA. Usage: scripts/check.sh [-j N]
-set -u
+# Usage: scripts/check.sh [-j N] [--stages lint,asan,...] [--stamp-only]
+#
+# SLO_CHECK_STAGES (or --stages) selects a comma/space-separated subset
+# of stages, e.g. for CI jobs that split the gate across runners:
+#     SLO_CHECK_STAGES=lint,tidy scripts/check.sh
+# The gate is non-interactive and fail-fast: the first failing stage
+# aborts the run with its exit code.
+#
+# On success of the FULL stage set this writes .slo-check-stamp
+# (git SHA + tree state) at the repo root; scripts/run_benches.sh
+# refuses to run without a stamp matching the current SHA. A subset run
+# never writes the stamp. CI pipelines that run the stages as separate
+# jobs write the stamp from a final job — gated on every stage job
+# succeeding — with:
+#     scripts/check.sh --stamp-only
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
+all_stages="lint tidy asan tsan qc golden"
+stages="${SLO_CHECK_STAGES:-$all_stages}"
 jobs="$(nproc 2>/dev/null || echo 4)"
-if [ "${1:-}" = "-j" ] && [ -n "${2:-}" ]; then
-    jobs="$2"
+stamp_only=0
+
+while [ "$#" -gt 0 ]; do
+    case "$1" in
+        -j)
+            [ -n "${2:-}" ] || { echo "check.sh: -j needs a value" >&2
+                                 exit 2; }
+            jobs="$2"; shift 2 ;;
+        --stages)
+            [ -n "${2:-}" ] || { echo "check.sh: --stages needs a" \
+                                      "value" >&2; exit 2; }
+            stages="$2"; shift 2 ;;
+        --stamp-only)
+            stamp_only=1; shift ;;
+        *)
+            echo "check.sh: unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+stages="${stages//,/ }"
+
+write_stamp() {
+    local sha dirty=""
+    sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+    git diff --quiet HEAD 2>/dev/null || dirty="-dirty"
+    printf '%s%s\n' "$sha" "$dirty" > .slo-check-stamp
+    echo "stamp written: .slo-check-stamp ($sha$dirty)"
+}
+
+if [ "$stamp_only" = "1" ]; then
+    write_stamp
+    exit 0
 fi
 
 step() { printf '\n== %s ==\n' "$*"; }
 die() { echo "check.sh: FAIL: $*" >&2; exit 1; }
 
-step "lint (scripts/lint_slo.py)"
-python3 scripts/lint_slo.py src bench || die "lint findings above"
+wants() { case " $stages " in *" $1 "*) return 0 ;; esac; return 1; }
 
-step "clang-tidy"
-if command -v clang-tidy >/dev/null 2>&1; then
-    # The database lives in whichever tree configured last; prefer the
-    # asan tree (configured below on first run) then the default one.
-    db_dir=""
-    for d in build-asan build; do
-        [ -f "$d/compile_commands.json" ] && db_dir="$d" && break
-    done
-    if [ -z "$db_dir" ]; then
-        cmake --preset asan >/dev/null || die "cmake configure (asan)"
-        db_dir=build-asan
+stage_lint() {
+    step "lint (scripts/lint_slo.py)"
+    python3 scripts/lint_slo.py src bench || die "lint findings above"
+}
+
+stage_tidy() {
+    step "clang-tidy"
+    if command -v clang-tidy >/dev/null 2>&1; then
+        # The database lives in whichever tree configured last; prefer
+        # the asan tree (configured below on first run) then the
+        # default one.
+        local db_dir=""
+        for d in build-asan build; do
+            [ -f "$d/compile_commands.json" ] && db_dir="$d" && break
+        done
+        if [ -z "$db_dir" ]; then
+            cmake --preset asan >/dev/null \
+                || die "cmake configure (asan)"
+            db_dir=build-asan
+        fi
+        mapfile -t tidy_sources < <(git ls-files 'src/*.cpp')
+        clang-tidy -p "$db_dir" --quiet "${tidy_sources[@]}" \
+            || die "clang-tidy findings above"
+    elif [ "${SLO_REQUIRE_CLANG_TIDY:-0}" = "1" ]; then
+        die "clang-tidy not installed but SLO_REQUIRE_CLANG_TIDY=1"
+    else
+        echo "warning: clang-tidy not installed — skipping (set" \
+             "SLO_REQUIRE_CLANG_TIDY=1 to make this fatal)" >&2
     fi
-    mapfile -t tidy_sources < <(git ls-files 'src/*.cpp')
-    clang-tidy -p "$db_dir" --quiet "${tidy_sources[@]}" \
-        || die "clang-tidy findings above"
-elif [ "${SLO_REQUIRE_CLANG_TIDY:-0}" = "1" ]; then
-    die "clang-tidy not installed but SLO_REQUIRE_CLANG_TIDY=1"
-else
-    echo "warning: clang-tidy not installed — skipping (set" \
-         "SLO_REQUIRE_CLANG_TIDY=1 to make this fatal)" >&2
-fi
+}
 
-step "ASan/UBSan build (preset: asan, -j$jobs)"
-cmake --preset asan || die "cmake configure (asan)"
-cmake --build --preset asan -j "$jobs" || die "asan build"
+stage_asan() {
+    step "ASan/UBSan build (preset: asan, -j$jobs)"
+    cmake --preset asan || die "cmake configure (asan)"
+    cmake --build --preset asan -j "$jobs" || die "asan build"
+    step "ctest under ASan/UBSan with SLO_CHECK_LEVEL=full"
+    ctest --preset asan -j "$jobs" || die "asan ctest"
+}
 
-step "ctest under ASan/UBSan with SLO_CHECK_LEVEL=full"
-ctest --preset asan -j "$jobs" || die "asan ctest"
+stage_tsan() {
+    step "TSan build (preset: tsan, -j$jobs)"
+    cmake --preset tsan || die "cmake configure (tsan)"
+    cmake --build --preset tsan -j "$jobs" || die "tsan build"
+    if [ "${SLO_TSAN_FULL:-0}" = "1" ]; then
+        step "ctest under TSan (full suite, SLO_TSAN_FULL=1)"
+        ctest --preset tsan -j "$jobs" || die "tsan ctest"
+    else
+        step "ctest under TSan (concurrency+qc; SLO_TSAN_FULL=1" \
+             "for all)"
+        ctest --preset tsan -L 'concurrency|qc' -j "$jobs" \
+            || die "tsan ctest"
+    fi
+}
 
-step "TSan build (preset: tsan, -j$jobs)"
-cmake --preset tsan || die "cmake configure (tsan)"
-cmake --build --preset tsan -j "$jobs" || die "tsan build"
+build_default() {
+    step "default build (preset: default, -j$jobs)"
+    cmake --preset default || die "cmake configure (default)"
+    cmake --build --preset default -j "$jobs" || die "default build"
+}
 
-if [ "${SLO_TSAN_FULL:-0}" = "1" ]; then
-    step "ctest under TSan (full suite, SLO_TSAN_FULL=1)"
-    ctest --preset tsan -j "$jobs" || die "tsan ctest"
-else
-    step "ctest under TSan (concurrency+qc; SLO_TSAN_FULL=1 for all)"
-    ctest --preset tsan -L 'concurrency|qc' -j "$jobs" \
-        || die "tsan ctest"
-fi
+stage_qc() {
+    step "qc property suite (default tree, full case counts)"
+    ctest --preset default -L qc -j "$jobs" || die "qc ctest"
+}
 
-step "default build for qc + golden (preset: default, -j$jobs)"
-cmake --preset default || die "cmake configure (default)"
-cmake --build --preset default -j "$jobs" || die "default build"
+stage_golden() {
+    step "golden regression snapshots (scripts/golden.py)"
+    ctest --preset default -L golden -j "$jobs" || die "golden ctest"
+}
 
-step "qc property suite (default tree, full case counts)"
-ctest --preset default -L qc -j "$jobs" || die "qc ctest"
+ran_any=0
+default_built=0
+for stage in $stages; do
+    case "$stage" in
+        lint|tidy|asan|tsan|qc|golden) ;;
+        *) die "unknown stage '$stage' (valid: $all_stages)" ;;
+    esac
+done
+for stage in $stages; do
+    if [ "$stage" = "qc" ] || [ "$stage" = "golden" ]; then
+        [ "$default_built" = "1" ] || { build_default
+                                        default_built=1; }
+    fi
+    "stage_$stage"
+    ran_any=1
+done
+[ "$ran_any" = "1" ] || die "no stages selected"
 
-step "golden regression snapshots (scripts/golden.py)"
-ctest --preset default -L golden -j "$jobs" || die "golden ctest"
-
-sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
-dirty=""
-git diff --quiet HEAD 2>/dev/null || dirty="-dirty"
-printf '%s%s\n' "$sha" "$dirty" > .slo-check-stamp
+# Only a run of the complete gate earns the bench stamp.
+full=1
+for stage in $all_stages; do
+    wants "$stage" || full=0
+done
 step "OK"
-echo "stamp written: .slo-check-stamp ($sha$dirty)"
+if [ "$full" = "1" ]; then
+    write_stamp
+else
+    echo "subset run ($stages) — stamp not written"
+fi

@@ -1,109 +1,137 @@
 #include "cache/belady.hpp"
 
 #include <bit>
-#include <limits>
-#include <unordered_map>
 
 namespace slo::cache
 {
+
+BeladySim::BeladySim(const CacheConfig &config,
+                     std::uint64_t irregular_lo,
+                     std::uint64_t irregular_hi)
+    : config_(config), irregularLo_(irregular_lo),
+      irregularHi_(irregular_hi)
+{
+    config_.validate();
+    require(config_.sectorBytes == 0,
+            "BeladySim: sectored mode is not supported");
+    indexer_ = SetIndexer(config_.numSets());
+    lineShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(config_.lineBytes));
+    const auto slots =
+        static_cast<std::size_t>(config_.numSets()) * config_.ways;
+    tags_.assign(slots, kInvalid);
+    nextUse_.assign(slots, kNever);
+    reused_.assign(slots, 0);
+}
+
+void
+BeladySim::access(std::uint64_t addr, std::uint64_t next_use)
+{
+    const std::uint64_t line = addr >> lineShift_;
+    const std::size_t base =
+        static_cast<std::size_t>(indexer_.setOf(line)) * config_.ways;
+    const std::uint32_t ways = config_.ways;
+    ++stats_.accesses;
+
+    const std::uint64_t *const tags = tags_.data() + base;
+    std::uint32_t w = 0;
+    while (w < ways && tags[w] != line)
+        ++w;
+    if (w < ways) {
+        nextUse_[base + w] = next_use;
+        reused_[base + w] = 1;
+        ++stats_.hits;
+        return;
+    }
+
+    ++stats_.misses;
+    ++stats_.linesFilled;
+    stats_.fillBytes += config_.lineBytes;
+    if (addr >= irregularLo_ && addr < irregularHi_) {
+        ++stats_.irregularMisses;
+        stats_.irregularFillBytes += config_.lineBytes;
+    }
+
+    // Victim: the first empty way, else the resident line whose next
+    // use is furthest out (ties keep the lowest way index).
+    std::size_t victim = base;
+    for (std::uint32_t i = 0; i < ways; ++i) {
+        const std::size_t slot = base + i;
+        if (tags_[slot] == kInvalid) {
+            if (tags_[victim] != kInvalid)
+                victim = slot;
+        } else if (tags_[victim] != kInvalid &&
+                   nextUse_[slot] > nextUse_[victim]) {
+            victim = slot;
+        }
+    }
+    // OPT refinement: if the incoming line's next use is further out
+    // than every resident line's, the best decision is to not let it
+    // displace useful data (cache bypass, which OPT subsumes).
+    if (tags_[victim] != kInvalid && nextUse_[victim] < next_use) {
+        if (next_use == kNever)
+            ++stats_.deadLines; // bypassed line is never reused
+        return;
+    }
+    if (tags_[victim] != kInvalid) {
+        ++stats_.evictions;
+        if (reused_[victim] == 0)
+            ++stats_.deadLines;
+    }
+    tags_[victim] = line;
+    nextUse_[victim] = next_use;
+    reused_[victim] = 0;
+}
+
+void
+BeladySim::finish()
+{
+    require(!finished_, "BeladySim::finish: called twice");
+    finished_ = true;
+    for (std::size_t slot = 0; slot < tags_.size(); ++slot) {
+        if (tags_[slot] != kInvalid && reused_[slot] == 0)
+            ++stats_.deadLines;
+    }
+}
+
+NextUseRecorder::NextUseRecorder(const CacheConfig &config,
+                                 std::uint64_t reserve_hint)
+{
+    lineShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(config.lineBytes));
+    nextDelta_.reserve(static_cast<std::size_t>(reserve_hint));
+    lastSeen_.reserve(static_cast<std::size_t>(reserve_hint / 4 + 1));
+}
+
+void
+NextUseRecorder::push(std::uint64_t addr)
+{
+    const std::uint64_t line = addr >> lineShift_;
+    const std::uint64_t index = nextDelta_.size();
+    require(index < kNeverDelta,
+            "NextUseRecorder: streams of 2^32-1+ accesses are not "
+            "supported");
+    nextDelta_.push_back(kNeverDelta);
+    const auto [it, inserted] = lastSeen_.try_emplace(line, index);
+    if (!inserted) {
+        // The delta fits: both indices are < 2^32 - 1.
+        nextDelta_[static_cast<std::size_t>(it->second)] =
+            static_cast<std::uint32_t>(index - it->second);
+        it->second = index;
+    }
+}
 
 CacheStats
 simulateBelady(const std::vector<std::uint64_t> &trace,
                const CacheConfig &config, std::uint64_t irregular_lo,
                std::uint64_t irregular_hi)
 {
-    config.validate();
-    require(config.sectorBytes == 0,
-            "simulateBelady: sectored mode is not supported");
-    const auto line_shift = static_cast<std::uint32_t>(
-        std::countr_zero(config.lineBytes));
-    const std::uint64_t num_sets = config.numSets();
-    constexpr std::uint64_t kNever =
-        std::numeric_limits<std::uint64_t>::max();
-    constexpr std::uint64_t kInvalid = ~0ULL;
-
-    // next_use[i] = index of the next access to the same line, or kNever.
-    std::vector<std::uint64_t> next_use(trace.size());
-    {
-        std::unordered_map<std::uint64_t, std::uint64_t> last_seen;
-        last_seen.reserve(trace.size() / 4 + 1);
-        for (std::size_t i = trace.size(); i-- > 0;) {
-            const std::uint64_t line = trace[i] >> line_shift;
-            const auto it = last_seen.find(line);
-            next_use[i] = (it == last_seen.end()) ? kNever : it->second;
-            last_seen[line] = i;
-        }
-    }
-
-    struct Way
-    {
-        std::uint64_t tag = kInvalid;
-        std::uint64_t nextUse = kNever;
-        bool reused = false;
-    };
-    std::vector<Way> ways(static_cast<std::size_t>(config.numSets()) *
-                          config.ways);
-
-    CacheStats stats;
-    for (std::size_t i = 0; i < trace.size(); ++i) {
-        const std::uint64_t line = trace[i] >> line_shift;
-        const std::uint64_t set = line % num_sets;
-        Way *const base =
-            ways.data() + static_cast<std::size_t>(set) * config.ways;
-        ++stats.accesses;
-
-        Way *victim = base;
-        bool hit = false;
-        for (std::uint32_t w = 0; w < config.ways; ++w) {
-            Way &way = base[w];
-            if (way.tag == line) {
-                way.nextUse = next_use[i];
-                way.reused = true;
-                ++stats.hits;
-                hit = true;
-                break;
-            }
-            if (way.tag == kInvalid) {
-                if (victim->tag != kInvalid)
-                    victim = &way;
-            } else if (victim->tag != kInvalid &&
-                       way.nextUse > victim->nextUse) {
-                victim = &way;
-            }
-        }
-        if (hit)
-            continue;
-
-        ++stats.misses;
-        ++stats.linesFilled;
-        stats.fillBytes += config.lineBytes;
-        if (trace[i] >= irregular_lo && trace[i] < irregular_hi) {
-            ++stats.irregularMisses;
-            stats.irregularFillBytes += config.lineBytes;
-        }
-        // OPT refinement: if the incoming line's next use is further out
-        // than every resident line's, the best decision is to not let it
-        // displace useful data (cache bypass, which OPT subsumes).
-        if (victim->tag != kInvalid && victim->nextUse < next_use[i]) {
-            if (next_use[i] == kNever)
-                ++stats.deadLines; // bypassed line is never reused
-            continue;
-        }
-        if (victim->tag != kInvalid) {
-            ++stats.evictions;
-            if (!victim->reused)
-                ++stats.deadLines;
-        }
-        victim->tag = line;
-        victim->nextUse = next_use[i];
-        victim->reused = false;
-    }
-
-    for (const Way &way : ways) {
-        if (way.tag != kInvalid && !way.reused)
-            ++stats.deadLines;
-    }
-    return stats;
+    return simulateBeladyStreamed(
+        config, irregular_lo, irregular_hi, trace.size(),
+        [&trace](auto &&sink) {
+            for (const std::uint64_t addr : trace)
+                sink(addr);
+        });
 }
 
 } // namespace slo::cache

@@ -1,16 +1,25 @@
 /**
  * @file
- * Belady's OPT replacement policy over a materialized trace.
+ * Belady's OPT replacement policy, streamed.
  *
  * Fig. 8's headroom analysis: an idealized L2 that evicts the line whose
- * next use lies furthest in the future (Belady 1966). OPT needs the whole
- * future, so unlike the streaming LRU simulator it consumes a
- * pre-recorded trace of byte addresses.
+ * next use lies furthest in the future (Belady 1966). OPT needs the
+ * future, but it does not need a materialized address trace: the
+ * access stream is generated twice (generation is deterministic and
+ * cheap next to simulation). Pass 1 records, per access, the distance
+ * to the next access of the same line as a 4-byte delta; pass 2
+ * regenerates the stream and feeds (address, next-use) pairs to the
+ * incremental BeladySim core. Peak memory drops from 16+ bytes per
+ * access (the old byte-address trace plus a full-width next-use array)
+ * to 4 bytes per access — the delta array is the one per-access
+ * allocation exact OPT fundamentally requires.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/cache.hpp"
@@ -19,9 +28,122 @@ namespace slo::cache
 {
 
 /**
+ * Incremental OPT simulator: the caller supplies each access's
+ * next-use index (the global index of the next access to the same
+ * line, or kNever). Counter semantics match CacheSim's, including the
+ * bypass refinement: an incoming line whose next use lies beyond every
+ * resident line's is not allowed to displace useful data.
+ */
+class BeladySim
+{
+  public:
+    /** next_use value for "this line is never accessed again". */
+    static constexpr std::uint64_t kNever =
+        std::numeric_limits<std::uint64_t>::max();
+
+    /** @p config must be unsectored (OPT models whole-line fills). */
+    explicit BeladySim(const CacheConfig &config,
+                       std::uint64_t irregular_lo = 1,
+                       std::uint64_t irregular_hi = 0);
+
+    /** Consume one access; @p next_use per the class contract. */
+    void access(std::uint64_t addr, std::uint64_t next_use);
+
+    /** Count still-resident never-rehit lines as dead. Call once. */
+    void finish();
+
+    const CacheStats &stats() const { return stats_; }
+
+  private:
+    static constexpr std::uint64_t kInvalid = ~0ULL;
+
+    CacheConfig config_;
+    SetIndexer indexer_;
+    std::uint64_t irregularLo_ = 1;
+    std::uint64_t irregularHi_ = 0;
+    std::uint32_t lineShift_ = 0;
+    bool finished_ = false;
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint64_t> nextUse_;
+    std::vector<std::uint8_t> reused_;
+    CacheStats stats_;
+};
+
+/**
+ * Pass-1 accumulator for the streamed two-pass OPT: push every address
+ * in stream order, then read back each access's next-use index during
+ * the second pass. Distances are stored as 4-byte deltas; streams of
+ * 2^32-1 or more accesses are rejected up front (far beyond any
+ * matrix this library simulates).
+ */
+class NextUseRecorder
+{
+  public:
+    /**
+     * @param reserve_hint expected access count (pre-sizes the delta
+     *        array; 0 is fine).
+     */
+    explicit NextUseRecorder(const CacheConfig &config,
+                             std::uint64_t reserve_hint);
+
+    /** Record the next access (pass 1 sink). */
+    void push(std::uint64_t addr);
+
+    /** Accesses recorded so far. */
+    std::uint64_t size() const { return nextDelta_.size(); }
+
+    /** Next-use index of access @p index, or BeladySim::kNever. */
+    std::uint64_t
+    nextUseAt(std::uint64_t index) const
+    {
+        const std::uint32_t delta =
+            nextDelta_[static_cast<std::size_t>(index)];
+        return delta == kNeverDelta ? BeladySim::kNever : index + delta;
+    }
+
+  private:
+    static constexpr std::uint32_t kNeverDelta = ~0u;
+
+    std::uint32_t lineShift_ = 0;
+    std::vector<std::uint32_t> nextDelta_;
+    std::unordered_map<std::uint64_t, std::uint64_t> lastSeen_;
+};
+
+/**
+ * Streamed two-pass OPT simulation. @p replay must be callable twice
+ * with a `void(std::uint64_t addr)` sink and emit the identical
+ * address sequence both times (every generator in this library is
+ * deterministic).
+ */
+template <typename Replay>
+CacheStats
+simulateBeladyStreamed(const CacheConfig &config,
+                       std::uint64_t irregular_lo,
+                       std::uint64_t irregular_hi,
+                       std::uint64_t reserve_hint, Replay &&replay)
+{
+    NextUseRecorder recorder(config, reserve_hint);
+    replay([&recorder](std::uint64_t addr) { recorder.push(addr); });
+
+    BeladySim sim(config, irregular_lo, irregular_hi);
+    std::uint64_t index = 0;
+    replay([&sim, &recorder, &index](std::uint64_t addr) {
+        sim.access(addr, recorder.nextUseAt(index));
+        ++index;
+    });
+    require(index == recorder.size(),
+            "simulateBeladyStreamed: replay emitted a different "
+            "number of accesses on the second pass");
+    sim.finish();
+    return sim.stats();
+}
+
+/**
  * Simulate @p trace (byte addresses) through a cache of geometry
  * @p config with Belady's optimal replacement. Dead-line accounting
  * matches CacheSim's (evicted or left resident without a re-hit).
+ * Thin wrapper over the streamed two-pass core, kept for callers and
+ * oracles that already hold a materialized trace.
  */
 CacheStats simulateBelady(const std::vector<std::uint64_t> &trace,
                           const CacheConfig &config,

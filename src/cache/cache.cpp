@@ -21,7 +21,7 @@ CacheConfig::validate() const
             "CacheConfig: capacity must be a multiple of lineBytes*ways");
     // Note: the set count need NOT be a power of two — the real A6000
     // L2 (6 MB, 16-way, 32 B sectors) has 12288 sets; indexing uses
-    // modulo.
+    // SetIndexer's divide-free reduction.
     if (sectorBytes != 0) {
         require(std::has_single_bit(sectorBytes),
                 "CacheConfig: sectorBytes must be a power of two");
@@ -32,87 +32,214 @@ CacheConfig::validate() const
 }
 
 CacheSim::CacheSim(const CacheConfig &config)
+    : CacheSim(config, 0, config.numSets())
+{
+}
+
+CacheSim::CacheSim(const CacheConfig &config, std::uint64_t set_begin,
+                   std::uint64_t set_count)
     : config_(config)
 {
     config_.validate();
-    numSets_ = config_.numSets();
+    require(set_count >= 1 &&
+                set_begin + set_count <= config_.numSets(),
+            "CacheSim: set range outside the cache's sets");
+    indexer_ = SetIndexer(config_.numSets());
+    setBegin_ = set_begin;
+    setCount_ = set_count;
     lineShift_ = static_cast<std::uint32_t>(
         std::countr_zero(config_.lineBytes));
-    if (config_.sectorBytes != 0) {
+    sectored_ = config_.sectorBytes != 0;
+    if (sectored_) {
         sectorShift_ = static_cast<std::uint32_t>(
             std::countr_zero(config_.sectorBytes));
+        sectorIndexMask_ = (config_.lineBytes >> sectorShift_) - 1;
     }
-    ways_.resize(static_cast<std::size_t>(config_.numSets()) *
-                 config_.ways);
+    fillBytes_ = sectored_ ? config_.sectorBytes : config_.lineBytes;
+    const auto slots =
+        static_cast<std::size_t>(setCount_) * config_.ways;
+    tags_.assign(slots, kInvalid);
+    lastUse_.assign(slots, 0);
+    sectorMasks_.assign(slots, 0);
+    reused_.assign(slots, 0);
+    mruWay_.assign(static_cast<std::size_t>(setCount_), 0);
+}
+
+/**
+ * The batched per-access core, shared by accessBatch() and
+ * accessRouted() (and, with a one-element batch, access()).
+ *
+ * All hot state lives in locals for the duration of the loop: the
+ * way-state arrays are written through __restrict pointers and the
+ * counters/clock are registers, so a tag store cannot force the
+ * compiler to re-load the counters (a uint64_t store may legally alias
+ * a uint64_t member) and the loop stays free of redundant member
+ * traffic. State is written back once per batch.
+ *
+ * Replacement is exact LRU: on a miss the victim is the way with the
+ * smallest LRU age, where empty ways carry age 0 — a real timestamp is
+ * never 0 (the clock pre-increments), so any empty way outranks every
+ * resident line, and the strict < keeps the lowest-indexed minimum,
+ * i.e. the first empty way. Timestamps are unique within a set (one
+ * clock tick per access), so the resident victim is unique too.
+ */
+template <bool Routed, std::uint32_t StaticWays>
+void
+CacheSim::accessLoop(const std::uint64_t *addrs,
+                     const std::uint8_t *shard_ids, std::size_t count,
+                     std::uint8_t own)
+{
+    const SetIndexer indexer = indexer_;
+    const std::uint64_t set_begin = setBegin_;
+    // StaticWays != 0 pins the associativity at compile time so the
+    // way-scan loops fully unroll (every modelled config is 16-way);
+    // StaticWays == 0 is the generic runtime-trip-count fallback.
+    const std::uint32_t ways = StaticWays != 0 ? StaticWays
+                                               : config_.ways;
+    const std::uint32_t line_shift = lineShift_;
+    const bool sectored = sectored_;
+    const std::uint32_t sector_shift = sectorShift_;
+    const std::uint32_t sector_index_mask = sectorIndexMask_;
+    const std::uint64_t fill_bytes = fillBytes_;
+    const std::uint64_t irregular_lo = irregularLo_;
+    const std::uint64_t irregular_hi = irregularHi_;
+    std::uint64_t *__restrict const tags_base = tags_.data();
+    std::uint64_t *__restrict const last_use = lastUse_.data();
+    std::uint32_t *__restrict const sector_masks = sectorMasks_.data();
+    std::uint8_t *__restrict const reused = reused_.data();
+    std::uint8_t *__restrict const mru = mruWay_.data();
+    std::uint64_t clock = clock_;
+    // Counters kept in registers across the batch; hits are derived at
+    // the end (every processed access is a hit or a miss) so the
+    // common hit path pays for the clock tick and nothing else.
+    std::uint64_t processed = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t lines_filled = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dead_lines = 0;
+    std::uint64_t irregular_misses = 0;
+
+    for (std::size_t i = 0; i < count; ++i) {
+        if constexpr (Routed) {
+            if (shard_ids[i] != own)
+                continue;
+        }
+        const std::uint64_t addr = addrs[i];
+        const std::uint64_t line = addr >> line_shift;
+        const std::size_t set =
+            static_cast<std::size_t>(indexer.setOf(line) - set_begin);
+        const std::size_t base = set * ways;
+        ++processed;
+        ++clock;
+
+        std::uint64_t *__restrict const tags = tags_base + base;
+        // Probe the set's most-recently-touched way first: streaming
+        // accesses re-touch the line they just filled, so one
+        // predictable compare usually resolves the search. (The
+        // stored way index may be truncated to 8 bits; it is always
+        // < ways, so the probe is in bounds — a wrong probe just
+        // falls through to the full scan.)
+        std::uint32_t w = mru[set];
+        if (tags[w] != line) {
+            // Full scan: a single branch-free conditional-select chain.
+            // Tags are unique within a set, so at most one position
+            // matches; no match leaves w == ways. With StaticWays the
+            // trip count is a constant and the loop fully unrolls.
+            w = tags[0] == line ? 0 : ways;
+            for (std::uint32_t j = 1; j < ways; ++j)
+                w = tags[j] == line ? j : w;
+        }
+        if (w < ways) {
+            const std::size_t slot = base + w;
+            mru[set] = static_cast<std::uint8_t>(w);
+            last_use[slot] = clock;
+            if (!sectored) {
+                reused[slot] = 1;
+                continue;
+            }
+            const std::uint32_t sector_bit =
+                1u << ((addr >> sector_shift) & sector_index_mask);
+            if ((sector_masks[slot] & sector_bit) != 0) {
+                reused[slot] = 1;
+                continue;
+            }
+            // Sector miss on a resident line: fill one sector.
+            sector_masks[slot] |= sector_bit;
+            ++misses;
+            irregular_misses +=
+                addr >= irregular_lo && addr < irregular_hi ? 1 : 0;
+            continue;
+        }
+
+        // Line miss: evict the LRU way. Empty ways carry age 0, which
+        // no real timestamp can equal, so the argmin lands on the
+        // first empty way when one exists; the strict < keeps the
+        // lowest-indexed minimum. This second short loop only runs on
+        // misses, so the (dominant) hit path never pays for it.
+        const std::uint64_t *__restrict const ages = last_use + base;
+        std::uint32_t victim = 0;
+        std::uint64_t best = ages[0];
+        for (std::uint32_t j = 1; j < ways; ++j) {
+            victim = ages[j] < best ? j : victim;
+            best = ages[j] < best ? ages[j] : best;
+        }
+        ++misses;
+        ++lines_filled;
+        irregular_misses +=
+            addr >= irregular_lo && addr < irregular_hi ? 1 : 0;
+        const std::size_t slot = base + victim;
+        mru[set] = static_cast<std::uint8_t>(victim);
+        if (tags[victim] != kInvalid) {
+            ++evictions;
+            dead_lines += reused[slot] == 0 ? 1 : 0;
+        }
+        tags[victim] = line;
+        last_use[slot] = clock;
+        sector_masks[slot] =
+            sectored
+                ? 1u << ((addr >> sector_shift) & sector_index_mask)
+                : 1u;
+        reused[slot] = 0;
+    }
+
+    clock_ = clock;
+    stats_.accesses += processed;
+    stats_.hits += processed - misses;
+    stats_.misses += misses;
+    stats_.linesFilled += lines_filled;
+    stats_.evictions += evictions;
+    stats_.deadLines += dead_lines;
+    stats_.irregularMisses += irregular_misses;
+    stats_.fillBytes += misses * fill_bytes;
+    stats_.irregularFillBytes += irregular_misses * fill_bytes;
 }
 
 bool
 CacheSim::access(std::uint64_t addr)
 {
-    const std::uint64_t line = addr >> lineShift_;
-    const std::uint64_t set = line % numSets_;
-    const bool sectored = config_.sectorBytes != 0;
-    const std::uint32_t sector_bit =
-        sectored ? (1u << ((addr >> sectorShift_) &
-                           ((config_.lineBytes >> sectorShift_) - 1)))
-                 : 1u;
-    const std::uint32_t fill_bytes =
-        sectored ? config_.sectorBytes : config_.lineBytes;
-    const bool irregular = addr >= irregularLo_ && addr < irregularHi_;
+    const std::uint64_t hits_before = stats_.hits;
+    accessBatch(&addr, 1);
+    return stats_.hits != hits_before;
+}
 
-    Way *const base =
-        ways_.data() + static_cast<std::size_t>(set) * config_.ways;
-    ++stats_.accesses;
-    ++clock_;
+void
+CacheSim::accessBatch(const std::uint64_t *addrs, std::size_t count)
+{
+    if (config_.ways == 16)
+        accessLoop<false, 16>(addrs, nullptr, count, 0);
+    else
+        accessLoop<false, 0>(addrs, nullptr, count, 0);
+}
 
-    Way *victim = base;
-    for (std::uint32_t w = 0; w < config_.ways; ++w) {
-        Way &way = base[w];
-        if (way.tag == line) {
-            way.lastUse = clock_;
-            if ((way.sectorMask & sector_bit) != 0) {
-                way.reused = true;
-                ++stats_.hits;
-                return true;
-            }
-            // Sector miss on a resident line: fill one sector.
-            way.sectorMask |= sector_bit;
-            ++stats_.misses;
-            stats_.fillBytes += fill_bytes;
-            if (irregular) {
-                ++stats_.irregularMisses;
-                stats_.irregularFillBytes += fill_bytes;
-            }
-            return false;
-        }
-        if (way.tag == kInvalid) {
-            // Prefer an empty way over evicting; an empty way can never
-            // be "older" in LRU terms.
-            if (victim->tag != kInvalid)
-                victim = &way;
-        } else if (victim->tag != kInvalid &&
-                   way.lastUse < victim->lastUse) {
-            victim = &way;
-        }
-    }
-
-    ++stats_.misses;
-    ++stats_.linesFilled;
-    stats_.fillBytes += fill_bytes;
-    if (irregular) {
-        ++stats_.irregularMisses;
-        stats_.irregularFillBytes += fill_bytes;
-    }
-    if (victim->tag != kInvalid) {
-        ++stats_.evictions;
-        if (!victim->reused)
-            ++stats_.deadLines;
-    }
-    victim->tag = line;
-    victim->lastUse = clock_;
-    victim->sectorMask = sector_bit;
-    victim->reused = false;
-    return false;
+void
+CacheSim::accessRouted(const std::uint64_t *addrs,
+                       const std::uint8_t *shard_ids, std::size_t count,
+                       std::uint8_t own)
+{
+    if (config_.ways == 16)
+        accessLoop<true, 16>(addrs, shard_ids, count, own);
+    else
+        accessLoop<true, 0>(addrs, shard_ids, count, own);
 }
 
 void
@@ -131,13 +258,10 @@ CacheSim::checkInvariants() const
                   ctx, "more lines filled than misses");
     SLO_CHECK_CTX(stats_.evictions <= stats_.linesFilled, "check.cache",
                   ctx, "more evictions than lines filled");
-    const std::uint64_t fill_granularity =
-        config_.sectorBytes != 0 ? config_.sectorBytes
-                                 : config_.lineBytes;
-    SLO_CHECK_CTX(stats_.fillBytes == stats_.misses * fill_granularity,
+    SLO_CHECK_CTX(stats_.fillBytes == stats_.misses * fillBytes_,
                   "check.cache", ctx,
                   "fill bytes inconsistent with fill granularity "
-                      << fill_granularity);
+                      << fillBytes_);
     SLO_CHECK_CTX(stats_.irregularMisses <= stats_.misses,
                   "check.cache", ctx,
                   "more irregular misses than misses");
@@ -145,44 +269,54 @@ CacheSim::checkInvariants() const
     if (!check::enabled(check::Level::Full))
         return;
     const std::uint32_t sectors_per_line =
-        config_.sectorBytes != 0 ? config_.lineBytes / config_.sectorBytes
-                                 : 1;
+        sectored_ ? config_.lineBytes / config_.sectorBytes : 1;
     const std::uint32_t valid_mask =
         sectors_per_line >= 32
             ? ~0u
             : (1u << sectors_per_line) - 1u;
-    for (std::uint64_t set = 0; set < numSets_; ++set) {
-        const Way *const base =
-            ways_.data() + static_cast<std::size_t>(set) * config_.ways;
+    for (std::uint64_t set = 0; set < setCount_; ++set) {
+        const std::size_t base =
+            static_cast<std::size_t>(set) * config_.ways;
         for (std::uint32_t w = 0; w < config_.ways; ++w) {
-            const Way &way = base[w];
-            if (way.tag == kInvalid)
+            const std::size_t slot = base + w;
+            if (tags_[slot] == kInvalid) {
+                check::Context way_ctx;
+                way_ctx.add("set", setBegin_ + set);
+                way_ctx.add("way", w);
+                SLO_CHECK_CTX(lastUse_[slot] == 0, "check.cache",
+                              way_ctx,
+                              "empty way carries an LRU timestamp");
                 continue;
+            }
             check::Context way_ctx;
-            way_ctx.add("set", set);
+            way_ctx.add("set", setBegin_ + set);
             way_ctx.add("way", w);
-            way_ctx.add("tag", way.tag);
-            SLO_CHECK_CTX(way.tag % numSets_ == set, "check.cache",
-                          way_ctx,
+            way_ctx.add("tag", tags_[slot]);
+            SLO_CHECK_CTX(indexer_.setOf(tags_[slot]) ==
+                              setBegin_ + set,
+                          "check.cache", way_ctx,
                           "resident tag mapped to the wrong set");
-            SLO_CHECK_CTX(way.lastUse <= clock_, "check.cache", way_ctx,
+            SLO_CHECK_CTX(lastUse_[slot] >= 1 &&
+                              lastUse_[slot] <= clock_,
+                          "check.cache", way_ctx,
                           "LRU timestamp ahead of the access clock");
-            SLO_CHECK_CTX(way.sectorMask != 0 &&
-                              (way.sectorMask & ~valid_mask) == 0,
+            SLO_CHECK_CTX(sectorMasks_[slot] != 0 &&
+                              (sectorMasks_[slot] & ~valid_mask) == 0,
                           "check.cache", way_ctx,
                           "sector mask outside the line's sectors");
             for (std::uint32_t other = w + 1; other < config_.ways;
                  ++other) {
-                if (base[other].tag == kInvalid)
+                const std::size_t other_slot = base + other;
+                if (tags_[other_slot] == kInvalid)
                     continue;
-                SLO_CHECK_CTX(base[other].tag != way.tag, "check.cache",
-                              way_ctx,
+                SLO_CHECK_CTX(tags_[other_slot] != tags_[slot],
+                              "check.cache", way_ctx,
                               "duplicate tag resident in one set");
-                SLO_CHECK_CTX(base[other].lastUse != way.lastUse,
+                SLO_CHECK_CTX(lastUse_[other_slot] != lastUse_[slot],
                               "check.cache", way_ctx,
                               "LRU stack not unique: two ways share "
                               "timestamp "
-                                  << way.lastUse);
+                                  << lastUse_[slot]);
             }
         }
     }
@@ -194,8 +328,8 @@ CacheSim::finish()
     require(!finished_, "CacheSim::finish: called twice");
     finished_ = true;
     checkInvariants();
-    for (const Way &way : ways_) {
-        if (way.tag != kInvalid && !way.reused)
+    for (std::size_t slot = 0; slot < tags_.size(); ++slot) {
+        if (tags_[slot] != kInvalid && reused_[slot] == 0)
             ++stats_.deadLines;
     }
     // Flush the run's totals into the process-wide registry here, once

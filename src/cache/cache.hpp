@@ -17,6 +17,15 @@
  *
  * Dead lines (Table III): a line is dead if it is evicted — or still
  * resident when the run ends — without ever being hit after its fill.
+ *
+ * Hot path: state is stored as compact per-field arrays (tags, LRU
+ * ages, sector masks) instead of an array of way structs, the set index
+ * is computed without a hardware divide (mask for power-of-two set
+ * counts, a Lemire multiply-shift reduction otherwise), and consumers
+ * feed addresses through accessBatch() so the per-access work inlines
+ * into one tight loop. A CacheSim can also be restricted to a set
+ * range, which is how sharded.hpp parallelizes one simulation across
+ * disjoint set partitions without changing any counter.
  */
 
 #pragma once
@@ -75,6 +84,21 @@ struct CacheStats
     /** Fill bytes for misses inside the irregular region. */
     std::uint64_t irregularFillBytes = 0;
 
+    /** Fold @p other into this block (shard merging; all additive). */
+    void
+    accumulate(const CacheStats &other)
+    {
+        accesses += other.accesses;
+        hits += other.hits;
+        misses += other.misses;
+        evictions += other.evictions;
+        linesFilled += other.linesFilled;
+        deadLines += other.deadLines;
+        irregularMisses += other.irregularMisses;
+        fillBytes += other.fillBytes;
+        irregularFillBytes += other.irregularFillBytes;
+    }
+
     double
     hitRate() const
     {
@@ -101,11 +125,66 @@ struct CacheStats
     }
 };
 
-/** LRU set-associative cache. */
+/**
+ * line -> set mapping without a per-access divide: a mask when the set
+ * count is a power of two, otherwise Lemire's multiply-shift modulus
+ * for 32-bit line numbers (every layout this library builds stays well
+ * below 2^32 lines) with a plain % fallback above that.
+ */
+class SetIndexer
+{
+  public:
+    SetIndexer() = default;
+
+    explicit SetIndexer(std::uint64_t num_sets) : numSets_(num_sets)
+    {
+        pow2_ = (num_sets & (num_sets - 1)) == 0;
+        mask_ = num_sets - 1;
+        if (num_sets > 1)
+            fastmodM_ = ~0ULL / num_sets + 1;
+    }
+
+    std::uint64_t numSets() const { return numSets_; }
+
+    std::uint64_t
+    setOf(std::uint64_t line) const
+    {
+        if (pow2_)
+            return line & mask_;
+#if defined(__SIZEOF_INT128__)
+        if (line <= 0xFFFFFFFFULL && numSets_ <= 0xFFFFFFFFULL) {
+            const std::uint64_t low = fastmodM_ * line;
+            return static_cast<std::uint64_t>(
+                (static_cast<unsigned __int128>(low) * numSets_) >> 64);
+        }
+#endif
+        return line % numSets_;
+    }
+
+  private:
+    std::uint64_t numSets_ = 1;
+    std::uint64_t mask_ = 0;
+    std::uint64_t fastmodM_ = 0;
+    bool pow2_ = true;
+};
+
+/**
+ * LRU set-associative cache.
+ *
+ * The default constructor simulates the whole cache; the set-range
+ * constructor restricts the instance to sets [setBegin, setBegin +
+ * setCount) so independent shards can split one simulation (LRU state
+ * never crosses a set boundary). A set-range instance must only ever
+ * see addresses mapping into its range.
+ */
 class CacheSim
 {
   public:
     explicit CacheSim(const CacheConfig &config);
+
+    /** Shard over sets [set_begin, set_begin + set_count). */
+    CacheSim(const CacheConfig &config, std::uint64_t set_begin,
+             std::uint64_t set_count);
 
     /**
      * Mark [lo, hi) as the irregularly-accessed region; misses inside it
@@ -124,6 +203,19 @@ class CacheSim
      * miss. @return true on hit.
      */
     bool access(std::uint64_t addr);
+
+    /** Replay @p count addresses in order (the batched hot path). */
+    void accessBatch(const std::uint64_t *addrs, std::size_t count);
+
+    /**
+     * Replay only the addresses whose routing byte matches @p own:
+     * `addrs[i]` is consumed iff `shard_ids[i] == own`. Order among the
+     * consumed addresses is preserved, which is all per-set LRU state
+     * can observe. Used by ShardedCacheSim.
+     */
+    void accessRouted(const std::uint64_t *addrs,
+                      const std::uint8_t *shard_ids, std::size_t count,
+                      std::uint8_t own);
 
     /**
      * Finish the run: counts still-resident never-rehit lines as dead.
@@ -149,27 +241,47 @@ class CacheSim
 
     const CacheStats &stats() const { return stats_; }
     const CacheConfig &config() const { return config_; }
+    std::uint64_t setBegin() const { return setBegin_; }
+    std::uint64_t setCount() const { return setCount_; }
 
   private:
-    struct Way
-    {
-        std::uint64_t tag = kInvalid;
-        std::uint64_t lastUse = 0;
-        std::uint32_t sectorMask = 0; ///< valid sectors (sectored mode)
-        bool reused = false;
-    };
-
     static constexpr std::uint64_t kInvalid = ~0ULL;
 
+    /**
+     * Batched core; @p shard_ids/@p own only read when Routed.
+     * StaticWays != 0 bakes the associativity into the instantiation
+     * (way-scan loops fully unroll); 0 reads config_.ways at runtime.
+     */
+    template <bool Routed, std::uint32_t StaticWays>
+    void accessLoop(const std::uint64_t *addrs,
+                    const std::uint8_t *shard_ids, std::size_t count,
+                    std::uint8_t own);
+
     CacheConfig config_;
+    SetIndexer indexer_;
     std::uint64_t irregularLo_ = 1;
     std::uint64_t irregularHi_ = 0;
-    std::uint64_t numSets_ = 1;
+    std::uint64_t setBegin_ = 0;
+    std::uint64_t setCount_ = 1;
     std::uint32_t lineShift_ = 0;
-    std::uint32_t sectorShift_ = 0; ///< 0 in unsectored mode
+    std::uint32_t sectorShift_ = 0;
+    std::uint32_t sectorIndexMask_ = 0; ///< sectorsPerLine - 1
+    std::uint32_t fillBytes_ = 0; ///< bytes per fill (sector or line)
+    bool sectored_ = false;
     std::uint64_t clock_ = 0;
     bool finished_ = false;
-    std::vector<Way> ways_; ///< numSets * ways, set-major
+    /** Way state, set-major compact arrays (setCount * ways each). */
+    std::vector<std::uint64_t> tags_;     ///< kInvalid = empty way
+    std::vector<std::uint64_t> lastUse_;  ///< 0 = empty way
+    std::vector<std::uint32_t> sectorMasks_;
+    std::vector<std::uint8_t> reused_;
+    /**
+     * Most-recently-touched way per set — a search accelerator only
+     * (one probe usually resolves streaming re-accesses without the
+     * full way scan); never consulted for replacement, so simulated
+     * results are independent of it.
+     */
+    std::vector<std::uint8_t> mruWay_;
     CacheStats stats_;
 };
 

@@ -1,0 +1,106 @@
+#include "cache/sharded.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "check/check.hpp"
+#include "par/parallel.hpp"
+
+namespace slo::cache
+{
+
+namespace
+{
+
+/** Routing bytes cap the shard count (one uint8 per access). */
+constexpr int kMaxShards = 64;
+
+} // namespace
+
+ShardedCacheSim::ShardedCacheSim(const CacheConfig &config,
+                                 int num_shards, par::ThreadPool *pool)
+    : config_(config),
+      pool_(pool != nullptr ? pool : &par::ThreadPool::global())
+{
+    config_.validate();
+    indexer_ = SetIndexer(config_.numSets());
+    lineShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(config_.lineBytes));
+    const std::uint64_t num_sets = config_.numSets();
+    std::uint64_t shards =
+        num_shards > 0 ? static_cast<std::uint64_t>(num_shards)
+                       : static_cast<std::uint64_t>(
+                             pool_->numThreads());
+    // Every shard scans the whole batch to pick out its accesses, so
+    // shards beyond the physical core count only multiply that scan —
+    // clamp to the hardware unless the caller pinned a count (results
+    // are identical for any shard count; see the qc properties).
+    if (num_shards <= 0) {
+        shards = std::min<std::uint64_t>(
+            shards,
+            static_cast<std::uint64_t>(par::hardwareThreads()));
+    }
+    shards = std::clamp<std::uint64_t>(shards, 1, kMaxShards);
+    shards = std::min(shards, num_sets);
+
+    shards_.reserve(static_cast<std::size_t>(shards));
+    shardOfSet_.resize(static_cast<std::size_t>(num_sets));
+    for (std::uint64_t s = 0; s < shards; ++s) {
+        // Even contiguous partition; bounds depend only on the shard
+        // count, never on the thread count or the batch contents.
+        const std::uint64_t begin = s * num_sets / shards;
+        const std::uint64_t end = (s + 1) * num_sets / shards;
+        shards_.emplace_back(config_, begin, end - begin);
+        std::fill(shardOfSet_.begin() +
+                      static_cast<std::ptrdiff_t>(begin),
+                  shardOfSet_.begin() + static_cast<std::ptrdiff_t>(end),
+                  static_cast<std::uint8_t>(s));
+    }
+}
+
+void
+ShardedCacheSim::setIrregularRegion(std::uint64_t lo, std::uint64_t hi)
+{
+    for (CacheSim &shard : shards_)
+        shard.setIrregularRegion(lo, hi);
+}
+
+void
+ShardedCacheSim::accessBatch(const std::uint64_t *addrs,
+                             std::size_t count)
+{
+    if (count == 0)
+        return;
+    if (shards_.size() == 1) {
+        shards_[0].accessBatch(addrs, count);
+        return;
+    }
+    routing_.resize(count);
+    const std::uint8_t *const shard_of_set = shardOfSet_.data();
+    for (std::size_t i = 0; i < count; ++i) {
+        routing_[i] = shard_of_set[static_cast<std::size_t>(
+            indexer_.setOf(addrs[i] >> lineShift_))];
+    }
+    par::parallelFor(
+        std::size_t{0}, shards_.size(),
+        [&](std::size_t s) {
+            shards_[s].accessRouted(addrs, routing_.data(), count,
+                                    static_cast<std::uint8_t>(s));
+        },
+        {.grain = 1, .pool = pool_});
+}
+
+void
+ShardedCacheSim::finish()
+{
+    require(!finished_, "ShardedCacheSim::finish: called twice");
+    finished_ = true;
+    // Shard order is fixed, so the merged counters are reproducible;
+    // they are sums of disjoint per-set contributions either way.
+    for (CacheSim &shard : shards_) {
+        shard.finish();
+        stats_.accumulate(shard.stats());
+    }
+}
+
+} // namespace slo::cache

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Set-sharded LRU cache simulation on the slo::par runtime.
+ *
+ * A set-associative LRU cache is a collection of completely independent
+ * sets: an access only ever reads or writes the state of the one set
+ * its line maps to. ShardedCacheSim exploits that by partitioning the
+ * set space into contiguous ranges, one CacheSim shard per range, and
+ * replaying each incoming batch on all shards concurrently — every
+ * shard consumes exactly the subsequence of the batch that maps into
+ * its sets, in batch order.
+ *
+ * Determinism: per-set state evolves identically to a serial replay
+ * (each set sees the same access subsequence in the same order), every
+ * CacheStats counter is a sum over sets, and finish() merges shard
+ * counters in fixed shard order — so the final stats are bit-identical
+ * to a single CacheSim at ANY shard count and ANY SLO_THREADS value,
+ * enforced by the qc property suite (tests/qc/sharded_cache_props).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "par/thread_pool.hpp"
+
+namespace slo::cache
+{
+
+/** LRU cache simulation split over per-set-range shards. */
+class ShardedCacheSim
+{
+  public:
+    /**
+     * @param num_shards shard count; <= 0 picks the pool's thread
+     *        count (clamped to the set count). The shard count never
+     *        affects the simulated stats, only the parallelism.
+     * @param pool pool to replay batches on; nullptr =
+     *        par::ThreadPool::global().
+     */
+    explicit ShardedCacheSim(const CacheConfig &config,
+                             int num_shards = 0,
+                             par::ThreadPool *pool = nullptr);
+
+    /** Forwarded to every shard (misses split by shard afterwards). */
+    void setIrregularRegion(std::uint64_t lo, std::uint64_t hi);
+
+    /**
+     * Replay @p count addresses in order. Routing is computed once on
+     * the calling thread; shards then replay their subsequences
+     * concurrently. Blocks until the whole batch is consumed.
+     */
+    void accessBatch(const std::uint64_t *addrs, std::size_t count);
+
+    /**
+     * Finish every shard (invariant checks + dead-line accounting) and
+     * merge the counters in shard order. Call exactly once.
+     */
+    void finish();
+
+    /** Merged stats; only meaningful after finish(). */
+    const CacheStats &stats() const { return stats_; }
+
+    int numShards() const { return static_cast<int>(shards_.size()); }
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    CacheConfig config_;
+    SetIndexer indexer_;
+    std::uint32_t lineShift_ = 0;
+    par::ThreadPool *pool_ = nullptr;
+    std::vector<CacheSim> shards_;
+    /** set -> owning shard id (numSets entries). */
+    std::vector<std::uint8_t> shardOfSet_;
+    /** Per-batch routing bytes, reused across batches. */
+    std::vector<std::uint8_t> routing_;
+    CacheStats stats_;
+    bool finished_ = false;
+};
+
+} // namespace slo::cache

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fused access-stream -> cache-simulation driver.
+ *
+ * The simulators never materialize an address trace: the kernel's
+ * access generator emits byte addresses into a fixed-size batch
+ * buffer, and every full batch is replayed through the set-sharded LRU
+ * simulator (cache/sharded.hpp) on the slo::par pool. Peak transient
+ * memory is one batch (256 KiB) regardless of matrix size, and the
+ * batched replay loop inlines the per-access core instead of paying a
+ * cross-TU call per address.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cache/sharded.hpp"
+
+namespace slo::gpu
+{
+
+/**
+ * Addresses buffered per flush. Large enough to amortize the routing
+ * pass and the per-batch parallelFor, small enough to stay resident in
+ * L2 while the shards scan it. Fixed (never derived from the thread
+ * count): simulated results are bit-identical at any batch size, but a
+ * constant keeps replay byte-for-byte reproducible by inspection.
+ */
+constexpr std::size_t kSimBatchAccesses = std::size_t{1} << 15;
+
+/**
+ * Sink adapter turning a per-address generator into fixed-size
+ * batches: buffers each address and hands every full batch to
+ * @p Flush (signature `void(const std::uint64_t *, std::size_t)`).
+ * Call drain() after the generator returns to flush the tail.
+ */
+template <typename Flush>
+class BatchSink
+{
+  public:
+    BatchSink(std::size_t capacity, Flush flush)
+        : capacity_(capacity), flush_(std::move(flush))
+    {
+        buffer_.reserve(capacity_);
+    }
+
+    void
+    operator()(std::uint64_t addr)
+    {
+        buffer_.push_back(addr);
+        if (buffer_.size() == capacity_)
+            drain();
+    }
+
+    void
+    drain()
+    {
+        if (buffer_.empty())
+            return;
+        flush_(buffer_.data(), buffer_.size());
+        buffer_.clear();
+    }
+
+  private:
+    std::size_t capacity_;
+    Flush flush_;
+    std::vector<std::uint64_t> buffer_;
+};
+
+/**
+ * Run one LRU cache simulation over the stream @p replay emits.
+ * @p replay is called once with a `void(std::uint64_t)` sink and must
+ * emit the kernel's full access stream into it. Stats are
+ * bit-identical to a serial per-access CacheSim replay at any shard /
+ * thread / batch configuration (see sharded.hpp).
+ */
+template <typename Replay>
+cache::CacheStats
+runLruSim(const cache::CacheConfig &config, std::uint64_t irregular_lo,
+          std::uint64_t irregular_hi, Replay &&replay)
+{
+    cache::ShardedCacheSim sim(config);
+    sim.setIrregularRegion(irregular_lo, irregular_hi);
+    BatchSink sink(kSimBatchAccesses,
+                   [&sim](const std::uint64_t *addrs, std::size_t n) {
+                       sim.accessBatch(addrs, n);
+                   });
+    replay(sink);
+    sink.drain();
+    sim.finish();
+    return sim.stats();
+}
+
+} // namespace slo::gpu

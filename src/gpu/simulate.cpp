@@ -1,43 +1,13 @@
 #include "gpu/simulate.hpp"
 
 #include <algorithm>
-#include <vector>
 
 #include "cache/belady.hpp"
+#include "gpu/sim_stream.hpp"
 #include "obs/obs.hpp"
 
 namespace slo::gpu
 {
-
-namespace
-{
-
-/** Dispatch the right access-stream generator into @p sink. */
-template <typename Sink>
-void
-replayKernel(const Csr &matrix, const kernels::AddressLayout &layout,
-             const SimOptions &options, std::uint32_t line_bytes,
-             Sink &&sink)
-{
-    const kernels::StreamOptions stream_options{options.rowWindow,
-                                                options.denseCols};
-    switch (options.kernel) {
-      case kernels::KernelKind::SpmvCsr:
-        kernels::spmvCsrStream(matrix, layout, stream_options, sink);
-        break;
-      case kernels::KernelKind::SpmvCoo: {
-        const Coo coo = matrix.toCoo(); // row-major sorted
-        kernels::spmvCooStream(coo, layout, sink);
-        break;
-      }
-      case kernels::KernelKind::SpmmCsr:
-        kernels::spmmCsrStream(matrix, layout, stream_options,
-                               line_bytes, sink);
-        break;
-    }
-}
-
-} // namespace
 
 SimReport
 simulateKernel(const Csr &matrix, const GpuSpec &spec,
@@ -50,6 +20,8 @@ simulateKernel(const Csr &matrix, const GpuSpec &spec,
     const std::uint32_t line_bytes = spec.l2.lineBytes;
     const kernels::AddressLayout layout = kernels::makeLayout(
         options.kernel, n, nnz, options.denseCols, line_bytes);
+    const kernels::StreamOptions stream_options{options.rowWindow,
+                                                options.denseCols};
 
     SimReport report;
     report.compulsoryBytes = compulsoryTrafficBytes(
@@ -57,24 +29,30 @@ simulateKernel(const Csr &matrix, const GpuSpec &spec,
 
     if (options.useBelady) {
         SLO_SPAN("gpu.replay:belady");
-        std::vector<std::uint64_t> trace;
+        // The two-pass OPT driver regenerates the stream, so hold the
+        // COO across both passes instead of converting twice.
+        Coo coo;
+        if (options.kernel == kernels::KernelKind::SpmvCoo)
+            coo = matrix.toCoo(); // row-major sorted
         // SpMV-CSR touches ~3 addresses per nnz + 3 per row.
-        trace.reserve(static_cast<std::size_t>(nnz) * 3 +
-                      static_cast<std::size_t>(n) * 3);
-        replayKernel(matrix, layout, options, line_bytes,
-                     [&trace](std::uint64_t addr) {
-                         trace.push_back(addr);
-                     });
-        report.cacheStats = cache::simulateBelady(
-            trace, spec.l2, layout.xBase, layout.xEnd);
+        const std::uint64_t hint =
+            static_cast<std::uint64_t>(nnz) * 3 +
+            static_cast<std::uint64_t>(n) * 3;
+        report.cacheStats = cache::simulateBeladyStreamed(
+            spec.l2, layout.xBase, layout.xEnd, hint,
+            [&](auto &&sink) {
+                kernels::forEachAccess(options.kernel, matrix, coo,
+                                       layout, stream_options,
+                                       line_bytes, sink);
+            });
     } else {
         SLO_SPAN("gpu.replay:lru");
-        cache::CacheSim sim(spec.l2);
-        sim.setIrregularRegion(layout.xBase, layout.xEnd);
-        replayKernel(matrix, layout, options, line_bytes,
-                     [&sim](std::uint64_t addr) { sim.access(addr); });
-        sim.finish();
-        report.cacheStats = sim.stats();
+        report.cacheStats = runLruSim(
+            spec.l2, layout.xBase, layout.xEnd, [&](auto &sink) {
+                kernels::forEachAccess(options.kernel, matrix, layout,
+                                       stream_options, line_bytes,
+                                       sink);
+            });
     }
 
     report.trafficBytes = report.cacheStats.fillBytes;

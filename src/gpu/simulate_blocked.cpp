@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "gpu/sim_stream.hpp"
+
 namespace slo::gpu
 {
 
@@ -52,67 +54,67 @@ simulateBlockedSpmv(const kernels::PropagationBlockedSpmv &blocked,
                   line_bytes);
     }
 
-    cache::CacheSim sim(spec.l2);
+    const Index bin_rows = blocked.binRows();
     // The irregular operand of the blocked kernel is the per-bin y
     // slice in phase 2 (bounded by construction).
-    sim.setIrregularRegion(y_base, y_end);
-
-    // Phase 1: stream CSC + x, append records round the bins.
-    std::vector<std::uint64_t> bin_cursor(
-        static_cast<std::size_t>(bins), 0);
-    const Index bin_rows = blocked.binRows();
-    for (Index c = 0; c < n; ++c) {
-        sim.access(offsets_base +
-                   static_cast<std::uint64_t>(c) * kElemBytes);
-        sim.access(offsets_base +
-                   static_cast<std::uint64_t>(c + 1) * kElemBytes);
-        sim.access(x_base + static_cast<std::uint64_t>(c) *
-                                kElemBytes);
-        const Offset begin =
-            csc.rowOffsets()[static_cast<std::size_t>(c)];
-        const Offset end =
-            csc.rowOffsets()[static_cast<std::size_t>(c) + 1];
-        for (Offset i = begin; i < end; ++i) {
-            const auto si = static_cast<std::size_t>(i);
-            sim.access(coords_base +
-                       static_cast<std::uint64_t>(i) * kElemBytes);
-            sim.access(values_base +
-                       static_cast<std::uint64_t>(i) * kElemBytes);
-            const auto b = static_cast<std::size_t>(
-                csc.colIndices()[si] / bin_rows);
-            sim.access(bin_base[b] + bin_cursor[b]);
-            bin_cursor[b] += record_bytes;
-        }
-    }
-
-    // Phase 2: drain bins sequentially, update the y slice.
-    for (Index b = 0; b < bins; ++b) {
-        const auto sb = static_cast<std::size_t>(b);
-        // Re-walk this bin's records in order; destinations repeat the
-        // phase-1 assignment, which we reproduce by a second pass over
-        // the CSC restricted to this bin.
-        std::uint64_t read_cursor = 0;
-        for (Index c = 0; c < n; ++c) {
-            const Offset begin =
-                csc.rowOffsets()[static_cast<std::size_t>(c)];
-            const Offset end =
-                csc.rowOffsets()[static_cast<std::size_t>(c) + 1];
-            for (Offset i = begin; i < end; ++i) {
-                const auto si = static_cast<std::size_t>(i);
-                const Index dst = csc.colIndices()[si];
-                if (dst / bin_rows != b)
-                    continue;
-                sim.access(bin_base[sb] + read_cursor);
-                read_cursor += record_bytes;
-                sim.access(y_base + static_cast<std::uint64_t>(dst) *
-                                        kElemBytes);
+    const cache::CacheStats stats = runLruSim(
+        spec.l2, y_base, y_end, [&](auto &sink) {
+            // Phase 1: stream CSC + x, append records round the bins.
+            std::vector<std::uint64_t> bin_cursor(
+                static_cast<std::size_t>(bins), 0);
+            for (Index c = 0; c < n; ++c) {
+                sink(offsets_base +
+                     static_cast<std::uint64_t>(c) * kElemBytes);
+                sink(offsets_base +
+                     static_cast<std::uint64_t>(c + 1) * kElemBytes);
+                sink(x_base +
+                     static_cast<std::uint64_t>(c) * kElemBytes);
+                const Offset begin =
+                    csc.rowOffsets()[static_cast<std::size_t>(c)];
+                const Offset end =
+                    csc.rowOffsets()[static_cast<std::size_t>(c) + 1];
+                for (Offset i = begin; i < end; ++i) {
+                    const auto si = static_cast<std::size_t>(i);
+                    sink(coords_base +
+                         static_cast<std::uint64_t>(i) * kElemBytes);
+                    sink(values_base +
+                         static_cast<std::uint64_t>(i) * kElemBytes);
+                    const auto b = static_cast<std::size_t>(
+                        csc.colIndices()[si] / bin_rows);
+                    sink(bin_base[b] + bin_cursor[b]);
+                    bin_cursor[b] += record_bytes;
+                }
             }
-        }
-    }
-    sim.finish();
+
+            // Phase 2: drain bins sequentially, update the y slice.
+            for (Index b = 0; b < bins; ++b) {
+                const auto sb = static_cast<std::size_t>(b);
+                // Re-walk this bin's records in order; destinations
+                // repeat the phase-1 assignment, which we reproduce by
+                // a second pass over the CSC restricted to this bin.
+                std::uint64_t read_cursor = 0;
+                for (Index c = 0; c < n; ++c) {
+                    const Offset begin =
+                        csc.rowOffsets()[static_cast<std::size_t>(c)];
+                    const Offset end =
+                        csc.rowOffsets()[static_cast<std::size_t>(c) +
+                                         1];
+                    for (Offset i = begin; i < end; ++i) {
+                        const auto si = static_cast<std::size_t>(i);
+                        const Index dst = csc.colIndices()[si];
+                        if (dst / bin_rows != b)
+                            continue;
+                        sink(bin_base[sb] + read_cursor);
+                        read_cursor += record_bytes;
+                        sink(y_base + static_cast<std::uint64_t>(dst) *
+                                          kElemBytes);
+                    }
+                }
+            }
+        });
 
     SimReport report;
-    report.cacheStats = sim.stats();
+    report.cacheStats = stats;
     report.compulsoryBytes = compulsoryTrafficBytes(
         kernels::KernelKind::SpmvCsr, n, nnz);
     report.trafficBytes = report.cacheStats.fillBytes;

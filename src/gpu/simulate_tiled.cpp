@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "gpu/sim_stream.hpp"
+
 namespace slo::gpu
 {
 
@@ -47,50 +49,65 @@ simulateTiledSpmv(const kernels::TiledCsr &tiled, const GpuSpec &spec)
         layouts.push_back(layout);
     }
 
-    cache::CacheSim sim(spec.l2);
-    sim.setIrregularRegion(x_base, x_end);
     Index max_row_nnz = 0;
     for (Index t = 0; t < tiled.numTiles(); ++t) {
         const Csr &strip = tiled.tile(t);
-        const TileLayout &layout =
-            layouts[static_cast<std::size_t>(t)];
-        const auto x_window =
-            x_base + static_cast<std::uint64_t>(t) *
-                         static_cast<std::uint64_t>(tiled.tileCols()) *
-                         kElemBytes;
         for (Index r = 0; r < n; ++r) {
-            sim.access(layout.rowOffsets +
-                       static_cast<std::uint64_t>(r) * kElemBytes);
-            sim.access(layout.rowOffsets +
-                       static_cast<std::uint64_t>(r + 1) * kElemBytes);
             const Offset begin =
                 strip.rowOffsets()[static_cast<std::size_t>(r)];
             const Offset end =
                 strip.rowOffsets()[static_cast<std::size_t>(r) + 1];
             max_row_nnz =
                 std::max(max_row_nnz, static_cast<Index>(end - begin));
-            for (Offset i = begin; i < end; ++i) {
-                sim.access(layout.coords +
-                           static_cast<std::uint64_t>(i) * kElemBytes);
-                sim.access(layout.values +
-                           static_cast<std::uint64_t>(i) * kElemBytes);
-                sim.access(x_window +
-                           static_cast<std::uint64_t>(
-                               strip.colIndices()[static_cast<
-                                   std::size_t>(i)]) *
-                               kElemBytes);
-            }
-            if (end > begin) {
-                // y[r] += acc: read-modify-write per strip.
-                sim.access(y_base +
-                           static_cast<std::uint64_t>(r) * kElemBytes);
-            }
         }
     }
-    sim.finish();
+
+    const cache::CacheStats stats = runLruSim(
+        spec.l2, x_base, x_end, [&](auto &sink) {
+            for (Index t = 0; t < tiled.numTiles(); ++t) {
+                const Csr &strip = tiled.tile(t);
+                const TileLayout &layout =
+                    layouts[static_cast<std::size_t>(t)];
+                const auto x_window =
+                    x_base +
+                    static_cast<std::uint64_t>(t) *
+                        static_cast<std::uint64_t>(tiled.tileCols()) *
+                        kElemBytes;
+                const Offset *row_offsets = strip.rowOffsets().data();
+                const Index *cols = strip.colIndices().data();
+                for (Index r = 0; r < n; ++r) {
+                    sink(layout.rowOffsets +
+                         static_cast<std::uint64_t>(r) * kElemBytes);
+                    sink(layout.rowOffsets +
+                         static_cast<std::uint64_t>(r + 1) *
+                             kElemBytes);
+                    const Offset begin =
+                        row_offsets[static_cast<std::size_t>(r)];
+                    const Offset end =
+                        row_offsets[static_cast<std::size_t>(r) + 1];
+                    for (Offset i = begin; i < end; ++i) {
+                        sink(layout.coords +
+                             static_cast<std::uint64_t>(i) *
+                                 kElemBytes);
+                        sink(layout.values +
+                             static_cast<std::uint64_t>(i) *
+                                 kElemBytes);
+                        sink(x_window +
+                             static_cast<std::uint64_t>(
+                                 cols[static_cast<std::size_t>(i)]) *
+                                 kElemBytes);
+                    }
+                    if (end > begin) {
+                        // y[r] += acc: read-modify-write per strip.
+                        sink(y_base + static_cast<std::uint64_t>(r) *
+                                          kElemBytes);
+                    }
+                }
+            }
+        });
 
     SimReport report;
-    report.cacheStats = sim.stats();
+    report.cacheStats = stats;
     // Normalize against the *untiled* kernel's compulsory traffic so
     // the numbers compare directly with simulateKernel's.
     report.compulsoryBytes = compulsoryTrafficBytes(

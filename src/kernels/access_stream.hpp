@@ -92,6 +92,38 @@ spmvCsrStream(const Csr &matrix, const AddressLayout &layout,
     const auto window = static_cast<Index>(
         options.rowWindow < 1 ? 1 : options.rowWindow);
 
+    if (window == 1) {
+        // Sequential replay: same emission order as the round-robin
+        // loop below with a one-row block, minus its bookkeeping (no
+        // per-block cursor allocation on this hot path).
+        for (Index r = 0; r < n; ++r) {
+            sink(layout.rowOffsetsBase +
+                 static_cast<std::uint64_t>(r) * kElemBytes);
+            sink(layout.rowOffsetsBase +
+                 static_cast<std::uint64_t>(r + 1) * kElemBytes);
+            const Offset begin = offsets[static_cast<std::size_t>(r)];
+            const Offset end =
+                offsets[static_cast<std::size_t>(r) + 1];
+            for (Offset i = begin; i < end; ++i) {
+                sink(layout.coordsBase +
+                     static_cast<std::uint64_t>(i) * kElemBytes);
+                sink(layout.valuesBase +
+                     static_cast<std::uint64_t>(i) * kElemBytes);
+                sink(layout.xBase +
+                     static_cast<std::uint64_t>(
+                         coords[static_cast<std::size_t>(i)]) *
+                         kElemBytes);
+            }
+            if (end > begin) {
+                // Row complete: the accumulated result is stored.
+                sink(layout.yBase +
+                     static_cast<std::uint64_t>(r) * kElemBytes);
+            }
+        }
+        return;
+    }
+
+    std::vector<Offset> cursor(static_cast<std::size_t>(window));
     for (Index block = 0; block < n; block += window) {
         const Index block_end = std::min<Index>(block + window, n);
         // Row bounds load once per row (offsets r and r+1).
@@ -103,8 +135,6 @@ spmvCsrStream(const Csr &matrix, const AddressLayout &layout,
         }
         // Round-robin over the rows of the block, one non-zero each.
         bool remaining = true;
-        std::vector<Offset> cursor(
-            static_cast<std::size_t>(block_end - block));
         for (Index r = block; r < block_end; ++r) {
             cursor[static_cast<std::size_t>(r - block)] =
                 offsets[static_cast<std::size_t>(r)];
@@ -184,6 +214,39 @@ spmmCsrStream(const Csr &matrix, const AddressLayout &layout,
         }
     };
 
+    if (window == 1) {
+        // Sequential fast path; emission order identical to the
+        // round-robin loop below with one-row blocks.
+        for (Index r = 0; r < n; ++r) {
+            sink(layout.rowOffsetsBase +
+                 static_cast<std::uint64_t>(r) * kElemBytes);
+            sink(layout.rowOffsetsBase +
+                 static_cast<std::uint64_t>(r + 1) * kElemBytes);
+            const Offset begin =
+                matrix.rowOffsets()[static_cast<std::size_t>(r)];
+            const Offset end =
+                matrix.rowOffsets()[static_cast<std::size_t>(r) + 1];
+            for (Offset i = begin; i < end; ++i) {
+                sink(layout.coordsBase +
+                     static_cast<std::uint64_t>(i) * kElemBytes);
+                sink(layout.valuesBase +
+                     static_cast<std::uint64_t>(i) * kElemBytes);
+                emit_row_segment(layout.xBase +
+                                 static_cast<std::uint64_t>(
+                                     coords[static_cast<std::size_t>(
+                                         i)]) *
+                                     k_bytes);
+            }
+            if (end > begin) {
+                emit_row_segment(layout.yBase +
+                                 static_cast<std::uint64_t>(r) *
+                                     k_bytes);
+            }
+        }
+        return;
+    }
+
+    std::vector<Offset> cursor(static_cast<std::size_t>(window));
     for (Index block = 0; block < n; block += window) {
         const Index block_end = std::min<Index>(block + window, n);
         for (Index r = block; r < block_end; ++r) {
@@ -192,8 +255,6 @@ spmmCsrStream(const Csr &matrix, const AddressLayout &layout,
             sink(layout.rowOffsetsBase +
                  static_cast<std::uint64_t>(r + 1) * kElemBytes);
         }
-        std::vector<Offset> cursor(
-            static_cast<std::size_t>(block_end - block));
         for (Index r = block; r < block_end; ++r) {
             cursor[static_cast<std::size_t>(r - block)] =
                 matrix.rowOffsets()[static_cast<std::size_t>(r)];
@@ -226,6 +287,52 @@ spmmCsrStream(const Csr &matrix, const AddressLayout &layout,
             }
         }
     }
+}
+
+/**
+ * Replay @p kind's access stream into @p sink — the one entry point
+ * the simulators consume (cache simulation fuses with generation; no
+ * trace is ever materialized). @p sink is invoked once per byte
+ * address, in kernel order; callers that want batches wrap @p sink in
+ * a buffering adapter (gpu/sim_stream.hpp).
+ *
+ * SpmvCoo converts the matrix to row-major sorted COO per call; pass a
+ * pre-built COO via the overload below when replaying more than once
+ * (e.g. the two-pass Belady driver).
+ */
+template <typename Sink>
+void
+forEachAccess(KernelKind kind, const Csr &matrix,
+              const AddressLayout &layout, const StreamOptions &options,
+              std::uint32_t line_bytes, Sink &&sink)
+{
+    switch (kind) {
+      case KernelKind::SpmvCsr:
+        spmvCsrStream(matrix, layout, options, sink);
+        break;
+      case KernelKind::SpmvCoo: {
+        const Coo coo = matrix.toCoo(); // row-major sorted
+        spmvCooStream(coo, layout, sink);
+        break;
+      }
+      case KernelKind::SpmmCsr:
+        spmmCsrStream(matrix, layout, options, line_bytes, sink);
+        break;
+    }
+}
+
+/** As above with a caller-held COO (only read when kind == SpmvCoo). */
+template <typename Sink>
+void
+forEachAccess(KernelKind kind, const Csr &matrix, const Coo &coo,
+              const AddressLayout &layout, const StreamOptions &options,
+              std::uint32_t line_bytes, Sink &&sink)
+{
+    if (kind == KernelKind::SpmvCoo) {
+        spmvCooStream(coo, layout, sink);
+        return;
+    }
+    forEachAccess(kind, matrix, layout, options, line_bytes, sink);
 }
 
 } // namespace slo::kernels

@@ -171,6 +171,12 @@ Csr::isSymmetricPattern() const
 void
 Csr::sortRows()
 {
+    // Most rows are short, so the workhorse is an in-place stable
+    // insertion sort on the parallel (column, value) arrays — no
+    // per-row allocation (std::stable_sort grabs a temporary buffer
+    // on every call, which dominated the permutation pipeline). Long
+    // rows fall back to stable_sort on a buffer reused across rows.
+    constexpr std::size_t kInsertionCutoff = 64;
     std::vector<std::pair<Index, Value>> buffer;
     for (Index r = 0; r < numRows_; ++r) {
         const Offset begin = rowOffsets_[static_cast<std::size_t>(r)];
@@ -185,6 +191,23 @@ Csr::sortRows()
         }
         if (sorted)
             continue;
+        if (len <= kInsertionCutoff) {
+            // Stable: equal columns never swap (strict > shifts).
+            const auto b = static_cast<std::size_t>(begin);
+            for (std::size_t i = b + 1; i < b + len; ++i) {
+                const Index col = colIndices_[i];
+                const Value val = values_[i];
+                std::size_t j = i;
+                while (j > b && colIndices_[j - 1] > col) {
+                    colIndices_[j] = colIndices_[j - 1];
+                    values_[j] = values_[j - 1];
+                    --j;
+                }
+                colIndices_[j] = col;
+                values_[j] = val;
+            }
+            continue;
+        }
         buffer.resize(len);
         for (std::size_t i = 0; i < len; ++i) {
             auto src = static_cast<std::size_t>(begin) + i;

@@ -33,6 +33,13 @@ defaultThreads()
     return value;
 }
 
+int
+hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
 ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads)
 {
     if (threads_ == 1)

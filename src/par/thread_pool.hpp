@@ -43,6 +43,9 @@ namespace slo::par
 /** Parallelism requested by SLO_THREADS (default: hardware threads). */
 int defaultThreads();
 
+/** Physical hardware concurrency (never 0; 1 when unknown). */
+int hardwareThreads();
+
 class ThreadPool
 {
   public:

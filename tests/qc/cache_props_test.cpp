@@ -13,6 +13,8 @@
 
 #include "cache/belady.hpp"
 #include "cache/cache.hpp"
+#include "cache/sharded.hpp"
+#include "par/thread_pool.hpp"
 #include "qc/qc.hpp"
 
 namespace slo::qc
@@ -53,6 +55,111 @@ TEST(QcCacheProps, CacheSimMatchesTheReferenceLru)
             const cache::CacheStats want =
                 referenceLru(trace, value.config, lo, hi);
             return statsEqual(sim.stats(), want, &message);
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcCacheProps, BatchedAndShardedMatchTheSingleAccessPath)
+{
+    // The streaming refactor's core determinism claim: feeding the
+    // trace through accessBatch in odd-sized chunks, or through a
+    // ShardedCacheSim at any shard count (serial pool or a real
+    // 4-thread pool), produces counters bit-identical to the
+    // one-access-at-a-time path — which the property above pins to the
+    // map-based reference oracle. Covers sectored and unsectored
+    // geometries and the irregular-region accounting.
+    par::ThreadPool pool(4);
+    PropertyOptions<CacheCase> options;
+    options.shrink = shrinkCacheCase;
+    options.describe = describeCacheCase;
+    const Outcome outcome = checkProperty<CacheCase>(
+        "qc.cache.batched_sharded_vs_serial",
+        [](Rng &rng) { return arbitraryCacheCase(rng, true); },
+        [&pool](const CacheCase &value, std::string &message) {
+            std::uint64_t lo = 0;
+            std::uint64_t hi = 0;
+            irregularWindow(value, lo, hi);
+            const std::vector<std::uint64_t> trace =
+                buildTrace(value.trace);
+
+            cache::CacheSim serial(value.config);
+            serial.setIrregularRegion(lo, hi);
+            for (const std::uint64_t addr : trace)
+                serial.access(addr);
+            serial.finish();
+            const cache::CacheStats want = serial.stats();
+
+            // Odd chunk sizes so batch boundaries land mid-set-streak.
+            for (const std::size_t chunk : {std::size_t{1},
+                                            std::size_t{3},
+                                            std::size_t{7},
+                                            trace.size() + 1}) {
+                cache::CacheSim batched(value.config);
+                batched.setIrregularRegion(lo, hi);
+                for (std::size_t i = 0; i < trace.size(); i += chunk) {
+                    batched.accessBatch(
+                        trace.data() + i,
+                        std::min(chunk, trace.size() - i));
+                }
+                batched.finish();
+                if (!statsEqual(batched.stats(), want, &message)) {
+                    message = "accessBatch(chunk=" +
+                              std::to_string(chunk) + "): " + message;
+                    return false;
+                }
+            }
+
+            for (const int shards : {1, 2, 3, 5}) {
+                cache::ShardedCacheSim sharded(value.config, shards,
+                                               &pool);
+                sharded.setIrregularRegion(lo, hi);
+                for (std::size_t i = 0; i < trace.size(); i += 5) {
+                    sharded.accessBatch(
+                        trace.data() + i,
+                        std::min<std::size_t>(5, trace.size() - i));
+                }
+                sharded.finish();
+                if (!statsEqual(sharded.stats(), want, &message)) {
+                    message = "sharded(" + std::to_string(shards) +
+                              "): " + message;
+                    return false;
+                }
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcCacheProps, StreamedBeladyMatchesTraceBelady)
+{
+    // The two-pass streamed OPT (regenerate the stream, 4-byte next-use
+    // deltas) must agree field-for-field with the materialized-trace
+    // Belady it replaced.
+    PropertyOptions<CacheCase> options;
+    options.shrink = shrinkCacheCase;
+    options.describe = describeCacheCase;
+    const Outcome outcome = checkProperty<CacheCase>(
+        "qc.cache.belady_streamed_vs_trace",
+        [](Rng &rng) { return arbitraryCacheCase(rng, false); },
+        [](const CacheCase &value, std::string &message) {
+            std::uint64_t lo = 0;
+            std::uint64_t hi = 0;
+            irregularWindow(value, lo, hi);
+            const std::vector<std::uint64_t> trace =
+                buildTrace(value.trace);
+
+            const cache::CacheStats streamed =
+                cache::simulateBeladyStreamed(
+                    value.config, lo, hi, trace.size() / 2,
+                    [&trace](auto &&sink) {
+                        for (const std::uint64_t addr : trace)
+                            sink(addr);
+                    });
+            const cache::CacheStats want =
+                cache::simulateBelady(trace, value.config, lo, hi);
+            return statsEqual(streamed, want, &message);
         },
         options);
     EXPECT_TRUE(outcome.ok) << outcome.summary();

@@ -9,8 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "gpu/gpu_spec.hpp"
 #include "gpu/simulate.hpp"
+#include "kernels/access_stream.hpp"
 #include "qc/qc.hpp"
 
 namespace slo::qc
@@ -85,6 +89,61 @@ TEST(QcGpuProps, SimulationIsDeterministicAndCoherent)
                     first.deadLineFraction < 0.0 ||
                     first.deadLineFraction > 1.0) {
                     message = "rate outside [0, 1]";
+                    return false;
+                }
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcGpuProps, StreamedSimulationMatchesMaterializedTraceOracle)
+{
+    // simulateKernel never materializes the access stream; this
+    // property collects the same stream into a vector and pushes it
+    // through the map-based reference LRU, pinning the fused
+    // generator+simulator path to trace-replay semantics end to end
+    // (counters, irregular-region split and all).
+    const SpecBounds bounds = simBounds();
+    PropertyOptions<CsrSpec> options;
+    options.shrink = csrSpecShrinker(bounds);
+    options.describe = describeCsrSpec;
+    options.parameters = describeBounds(bounds);
+    options.config = configFromEnv().withMaxCases(25);
+    const Outcome outcome = checkProperty<CsrSpec>(
+        "qc.gpu.streamed_vs_trace_oracle",
+        [&bounds](Rng &rng) { return arbitraryCsrSpec(rng, bounds); },
+        [](const CsrSpec &spec, std::string &message) {
+            const Csr matrix = build(spec);
+            const gpu::GpuSpec gpu_spec = tinySpec();
+            for (const kernels::KernelKind kernel : kKernels) {
+                gpu::SimOptions sim_options;
+                sim_options.kernel = kernel;
+                const gpu::SimReport report =
+                    gpu::simulateKernel(matrix, gpu_spec, sim_options);
+
+                const kernels::AddressLayout layout =
+                    kernels::makeLayout(kernel, matrix.numRows(),
+                                        matrix.numNonZeros(),
+                                        sim_options.denseCols,
+                                        gpu_spec.l2.lineBytes);
+                const kernels::StreamOptions stream_options{
+                    sim_options.rowWindow, sim_options.denseCols};
+                std::vector<std::uint64_t> trace;
+                kernels::forEachAccess(
+                    kernel, matrix, layout, stream_options,
+                    gpu_spec.l2.lineBytes,
+                    [&trace](std::uint64_t addr) {
+                        trace.push_back(addr);
+                    });
+
+                const cache::CacheStats want = referenceLru(
+                    trace, gpu_spec.l2, layout.xBase, layout.xEnd);
+                if (!statsEqual(report.cacheStats, want, &message)) {
+                    message = "kernel " +
+                              std::to_string(static_cast<int>(kernel)) +
+                              ": " + message;
                     return false;
                 }
             }
