@@ -8,6 +8,7 @@
 #include "community/metrics.hpp"
 #include "obs/obs.hpp"
 #include "par/par.hpp"
+#include "prof/prof.hpp"
 
 namespace slo::bench
 {
@@ -38,6 +39,10 @@ loadEnv(const std::string &bench_name)
     // (only when SLO_TRACE is on).
     obs::RunManifest::instance().begin(bench_name);
     obs::installExitEmission();
+    // Probe the counter backend once and register the manifest hooks
+    // (`prof`/`latency` sections); degradation to rusage is logged,
+    // never fatal.
+    prof::initProcess();
 
     Env env;
     env.scale = core::scaleFromEnv();

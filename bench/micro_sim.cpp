@@ -20,8 +20,6 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -33,6 +31,7 @@
 #include "matrix/generators.hpp"
 #include "matrix/permutation.hpp"
 #include "par/par.hpp"
+#include "prof/prof.hpp"
 
 namespace
 {
@@ -54,23 +53,6 @@ cache::CacheConfig
 benchCache()
 {
     return core::specForScale(core::Scale::Small).l2;
-}
-
-/** Peak RSS in bytes (VmHWM), 0 if the kernel doesn't expose it. */
-double
-peakRssBytes()
-{
-    std::ifstream status("/proc/self/status");
-    std::string line;
-    while (std::getline(status, line)) {
-        if (line.rfind("VmHWM:", 0) != 0)
-            continue;
-        std::istringstream fields(line.substr(6));
-        double kib = 0.0;
-        fields >> kib;
-        return kib * 1024.0;
-    }
-    return 0.0;
 }
 
 /** Replay the SpMV-CSR stream into @p sink; returns nothing. */
@@ -121,7 +103,8 @@ finishState(benchmark::State &state, std::uint64_t accesses)
         static_cast<std::int64_t>(state.iterations()) *
         static_cast<std::int64_t>(accesses));
     state.counters["peak_rss_bytes"] = benchmark::Counter(
-        peakRssBytes(), benchmark::Counter::kDefaults);
+        static_cast<double>(prof::peakRssKb()) * 1024.0,
+        benchmark::Counter::kDefaults);
 }
 
 /** Generation ceiling: the stream with a sink that keeps nothing. */

@@ -6,8 +6,10 @@
  *
  * Parses both documents with the same obs::Json parser the library
  * uses, then checks the run-manifest schema (git SHA, scale, per-matrix
- * phases and SimReport fields) and the Chrome trace-event shape (non-
- * empty, complete "X" events with name/ts/dur/tid, nested pipeline
+ * phases and SimReport fields, the v2 prof/pool/latency sections and
+ * per-phase counter deltas) and the Chrome trace-event shape (non-
+ * empty; complete "X" events with name/ts/dur/tid; optional "C"
+ * counter samples and "M" thread-name metadata; nested pipeline
  * spans). Exits non-zero with a message on the first violation; the
  * `bench_smoke` ctest drives it after a tiny traced bench run.
  */
@@ -63,7 +65,7 @@ void
 validateManifest(const Json &manifest)
 {
     check(manifest.isObject(), "manifest root must be an object");
-    check(manifest.at("schema").asString() == "slo.run-manifest/1",
+    check(manifest.at("schema").asString() == "slo.run-manifest/2",
           "manifest schema tag mismatch");
     check(!manifest.at("bench").asString().empty(),
           "manifest.bench empty");
@@ -80,9 +82,48 @@ validateManifest(const Json &manifest)
     check(manifest.at("num_matrices").asUint() >= 1,
           "manifest.num_matrices must be >= 1");
 
+    // v2 prof section: whichever backend ran, the section must say
+    // which one and (when degraded) why — degradation is recorded,
+    // never silent and never fatal.
+    const Json &prof = manifest.at("prof");
+    const std::string &backend = prof.at("backend").asString();
+    check(backend == "perf" || backend == "rusage" || backend == "off",
+          "manifest.prof.backend must be perf|rusage|off");
+    check(prof.contains("degraded"), "manifest.prof.degraded missing");
+    if (prof.at("degraded").asBool())
+        check(!prof.at("degradation_reason").asString().empty(),
+              "degraded prof section lacks a degradation_reason");
+    check(prof.at("peak_rss_kb").isNumber(),
+          "manifest.prof.peak_rss_kb missing");
+
+    // v2 pool section: the par runtime's self-observability.
+    const Json &pool = manifest.at("pool");
+    check(pool.at("threads").asInt() >= 1,
+          "manifest.pool.threads must be >= 1");
+    const double utilization = pool.at("utilization").asDouble();
+    check(utilization >= 0.0 && utilization <= 1.0,
+          "manifest.pool.utilization out of [0, 1]");
+    check(pool.at("workers").isArray(),
+          "manifest.pool.workers must be an array");
+
+    // v2 latency section: quantiles must be ordered and bracketed.
+    const Json &latency = manifest.at("latency");
+    check(latency.isObject(), "manifest.latency must be an object");
+    for (const auto &[name, hist] : latency.entries()) {
+        const double p50 = hist.at("p50_seconds").asDouble();
+        const double p99 = hist.at("p99_seconds").asDouble();
+        check(hist.at("count").asUint() > 0,
+              "latency '" + name + "' recorded no samples");
+        check(p50 <= p99, "latency '" + name + "': p50 > p99");
+        check(hist.at("min_seconds").asDouble() <= p50 &&
+                  p99 <= hist.at("max_seconds").asDouble(),
+              "latency '" + name + "': quantiles outside [min, max]");
+    }
+
     const Json &matrices = manifest.at("matrices");
     check(matrices.isObject() && matrices.size() >= 1,
           "manifest.matrices must be a non-empty object");
+    bool saw_counters = false;
     for (const auto &[name, matrix] : matrices.entries()) {
         const Json &phases = matrix.at("phases");
         check(phases.isObject() && phases.size() >= 1,
@@ -91,6 +132,18 @@ validateManifest(const Json &manifest)
             check(seconds.isNumber() && seconds.asDouble() >= 0.0,
                   "phase '" + phase + "' of '" + name +
                       "' has a bad duration");
+        // v2 per-phase counter deltas (absent only when the backend is
+        // forced off).
+        if (matrix.contains("counters")) {
+            const Json &counters = matrix.at("counters");
+            check(counters.isObject() && counters.size() >= 1,
+                  "matrix '" + name + "' has an empty counters section");
+            for (const auto &[phase, delta] : counters.entries())
+                check(delta.isObject() && delta.size() >= 1,
+                      "counters for phase '" + phase + "' of '" + name +
+                          "' are empty");
+            saw_counters = true;
+        }
         if (!matrix.contains("simulations"))
             continue;
         const Json &sims = matrix.at("simulations");
@@ -108,6 +161,9 @@ validateManifest(const Json &manifest)
                   "simulation of '" + name + "' saw no cache accesses");
         }
     }
+    check(backend == "off" || saw_counters,
+          "no matrix carries per-phase counter deltas although the "
+          "prof backend is on");
     check(manifest.at("metrics").contains("counters"),
           "manifest.metrics.counters missing");
 }
@@ -120,17 +176,33 @@ validateTrace(const Json &trace)
           "traceEvents must hold at least a few spans");
 
     bool saw_corpus = false, saw_reorder = false, saw_simulate = false;
-    bool saw_nested = false;
+    bool saw_nested = false, saw_span = false;
     for (std::size_t i = 0; i < events.size(); ++i) {
         const Json &event = events.at(i);
         check(!event.at("name").asString().empty(),
               "trace event without a name");
-        check(event.at("ph").asString() == "X",
-              "trace events must be complete ('X') events");
-        check(event.at("ts").asDouble() >= 0.0, "negative ts");
-        check(event.at("dur").asDouble() >= 0.0, "negative dur");
+        const std::string &ph = event.at("ph").asString();
+        check(ph == "X" || ph == "C" || ph == "M",
+              "trace events must be 'X' spans, 'C' counter samples or "
+              "'M' metadata");
         check(event.at("tid").isNumber(), "missing tid");
         const std::string &name = event.at("name").asString();
+        if (ph == "M") {
+            // Thread-name metadata (par workers name their tracks).
+            check(name == "thread_name",
+                  "unexpected metadata event: " + name);
+            check(!event.at("args").at("name").asString().empty(),
+                  "thread_name metadata without a name");
+            continue;
+        }
+        check(event.at("ts").asDouble() >= 0.0, "negative ts");
+        if (ph == "C") {
+            check(event.at("args").at("value").isNumber(),
+                  "counter sample '" + name + "' without a value");
+            continue;
+        }
+        saw_span = true;
+        check(event.at("dur").asDouble() >= 0.0, "negative dur");
         saw_corpus |= name.rfind("corpus.", 0) == 0 ||
                       name.rfind("bench.load_corpus", 0) == 0;
         saw_reorder |= name.rfind("reorder.", 0) == 0 ||
@@ -139,6 +211,7 @@ validateTrace(const Json &trace)
                         name.rfind("gpu.", 0) == 0;
         saw_nested |= event.at("args").at("depth").asInt() > 0;
     }
+    check(saw_span, "no complete ('X') span in the trace");
     check(saw_corpus, "no corpus-loading span in the trace");
     check(saw_reorder, "no reordering span in the trace");
     check(saw_simulate, "no simulation span in the trace");

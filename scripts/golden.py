@@ -39,7 +39,9 @@ BENCHES = {
     "table4_other_kernels": "table4_other_kernels",
 }
 
-# Volatile manifest fields: host/build identity and wall-clock data.
+# Volatile manifest fields: host/build identity, wall-clock data, and
+# the v2 profiling sections (hardware/rusage counters, pool stats and
+# latency quantiles are all host- and load-dependent).
 VOLATILE_TOP = {
     "git_sha",
     "hostname",
@@ -48,8 +50,11 @@ VOLATILE_TOP = {
     "wall_seconds",
     "threads",
     "metrics",
+    "prof",
+    "pool",
+    "latency",
 }
-VOLATILE_PER_MATRIX = {"phases"}
+VOLATILE_PER_MATRIX = {"phases", "counters"}
 
 
 def run_bench(build_dir: pathlib.Path, name: str, out_dir: pathlib.Path):

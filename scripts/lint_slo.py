@@ -10,9 +10,13 @@ Enforces repo rules that neither the compiler nor clang-tidy express:
                       needs the full integer conversion ladder.
   raw-int-id          `int` used for a row/col/vertex/nnz-style
                       identifier in a header (should be Index/Offset).
-  raw-chrono          std::chrono timing outside src/obs — all timing
-                      goes through the observability layer so manifests
-                      stay the single source of truth.
+  raw-chrono          std::chrono timing outside src/obs and src/prof —
+                      all timing goes through the observability layer so
+                      manifests stay the single source of truth.
+  raw-rusage          getrusage/perf_event_open outside src/obs and
+                      src/prof — resource and hardware counters go
+                      through prof::CounterSet / prof::peakRssKb so the
+                      perf/rusage degradation story stays in one place.
   raw-thread          std::thread/std::jthread/std::async outside
                       src/par — parallelism goes through the par layer
                       (parallelFor / TaskGroup) so SLO_THREADS=1 can
@@ -131,6 +135,7 @@ class Linter:
         is_header = path.suffix in {".hpp", ".h"}
         in_obs = "src/obs" in path.as_posix()
         in_par = "src/par" in path.as_posix()
+        in_prof = "src/prof" in path.as_posix()
 
         if is_header and "#pragma once" not in raw:
             self.report(rel, 1, "", "missing-pragma-once",
@@ -148,10 +153,16 @@ class Linter:
                     self.report(rel, lineno, rawl, "raw-int-id",
                                 f"`int {match.group(1)}` — identifiers "
                                 "use Index/Offset")
-            if not in_obs and "std::chrono" in code:
+            if not in_obs and not in_prof and "std::chrono" in code:
                 self.report(rel, lineno, rawl, "raw-chrono",
                             "raw std::chrono outside src/obs — time "
                             "through SLO_SPAN / obs timers")
+            if not in_obs and not in_prof and re.search(
+                    r"\b(getrusage|perf_event_open)\b", code):
+                self.report(rel, lineno, rawl, "raw-rusage",
+                            "raw getrusage/perf_event_open outside "
+                            "src/prof — use prof::CounterSet / "
+                            "prof::peakRssKb")
             if not in_par and re.search(
                     r"\bstd::(thread|jthread|async)\b", code):
                 self.report(rel, lineno, rawl, "raw-thread",

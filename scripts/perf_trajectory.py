@@ -1,0 +1,420 @@
+#!/usr/bin/env python3
+"""Perf-trajectory pipeline: normalize run manifests, diff with noise.
+
+`snapshot` ingests every `*.manifest.json` a bench run produced
+(scripts/run_benches.sh leaves them next to the tables) and writes one
+normalized document, `BENCH_perf.json`:
+
+    {
+      "schema": "slo.perf-trajectory/1",
+      "git_sha": "<12 hex>",
+      "host": {"hostname": ..., "threads": ..., "compiler": ...},
+      "benches": {
+        "<bench>": {
+          "<metric>": {"value": 1.23, "unit": "seconds", "kind": "time"}
+        }
+      }
+    }
+
+The committed copy at the repo root is the baseline the CI
+perf-trajectory job diffs new runs against.
+
+`diff` compares two snapshots metric-by-metric with per-kind noise
+tolerances (a metric must get worse by BOTH the relative margin and the
+absolute floor to count as a regression — tiny benches fluctuating by
+milliseconds never fire the gate):
+
+    kind    worse when   relative   absolute floor
+    time    larger       30%        0.05 s
+    space   larger       10%        2048 KB
+    count   larger       25%        1000
+    ratio   (informational only, never gates)
+
+A host-fingerprint mismatch (different machine, thread count or
+compiler) downgrades regressions to warnings: cross-host numbers are
+not comparable, the diff still prints them for eyeballing. Exit code:
+0 clean / warn-only, 1 regression, 2 usage error.
+
+`selftest` proves the gate actually fires: it builds a synthetic
+baseline, injects a 2x slowdown, and asserts the diff flags exactly
+that metric while an identical-within-noise pair passes.
+
+Usage:
+  perf_trajectory.py snapshot --in DIR --out BENCH_perf.json
+  perf_trajectory.py diff --baseline OLD.json --candidate NEW.json
+                          [--summary OUT.md]
+  perf_trajectory.py peak-rss MANIFEST.json
+  perf_trajectory.py selftest
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+SCHEMA = "slo.perf-trajectory/1"
+
+# kind -> (relative margin, absolute floor). A candidate regresses when
+# candidate > baseline * (1 + rel) AND candidate - baseline > floor.
+TOLERANCES = {
+    "time": (0.30, 0.05),
+    "space": (0.10, 2048.0),
+    "count": (0.25, 1000.0),
+}
+
+
+def git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def host_fingerprint(manifest: dict | None = None) -> dict:
+    """Hostname + thread count + compiler: the facts that make two
+    runs' absolute numbers comparable."""
+    fp = {
+        "hostname": socket.gethostname(),
+        "threads": os.cpu_count() or 1,
+        "compiler": "",
+    }
+    if manifest:
+        fp["hostname"] = manifest.get("hostname", fp["hostname"])
+        if isinstance(manifest.get("threads"), int):
+            fp["threads"] = manifest["threads"]
+        build = manifest.get("build", {})
+        if isinstance(build, dict):
+            fp["compiler"] = build.get("compiler", "")
+    return fp
+
+
+def metric(value: float, unit: str, kind: str) -> dict:
+    return {"value": float(value), "unit": unit, "kind": kind}
+
+
+def metrics_from_manifest(doc: dict) -> dict:
+    """Normalize one run manifest into {metric: {value, unit, kind}}."""
+    out: dict[str, dict] = {}
+    if isinstance(doc.get("wall_seconds"), (int, float)):
+        out["wall_seconds"] = metric(doc["wall_seconds"], "seconds",
+                                     "time")
+
+    prof = doc.get("prof", {})
+    if isinstance(prof, dict):
+        if isinstance(prof.get("peak_rss_kb"), (int, float)):
+            out["prof.peak_rss_kb"] = metric(prof["peak_rss_kb"], "kb",
+                                             "space")
+        for key in ("minor_faults", "major_faults"):
+            if isinstance(prof.get(key), (int, float)):
+                out[f"prof.{key}"] = metric(prof[key], "faults",
+                                            "count")
+
+    pool = doc.get("pool", {})
+    if isinstance(pool, dict) and isinstance(
+            pool.get("utilization"), (int, float)):
+        out["pool.utilization"] = metric(pool["utilization"], "ratio",
+                                         "ratio")
+
+    # Per-phase wall time, summed across matrices: coarse enough to be
+    # stable, fine enough to attribute a wall_seconds regression.
+    phase_totals: dict[str, float] = {}
+    matrices = doc.get("matrices", {})
+    if isinstance(matrices, dict):
+        for per_matrix in matrices.values():
+            phases = per_matrix.get("phases", {})
+            if not isinstance(phases, dict):
+                continue
+            for phase, seconds in phases.items():
+                if isinstance(seconds, (int, float)):
+                    phase_totals[phase] = (
+                        phase_totals.get(phase, 0.0) + seconds)
+    for phase, seconds in sorted(phase_totals.items()):
+        out[f"phase.{phase}.seconds"] = metric(seconds, "seconds",
+                                               "time")
+
+    latency = doc.get("latency", {})
+    if isinstance(latency, dict):
+        for name, hist in sorted(latency.items()):
+            if not isinstance(hist, dict):
+                continue
+            for q in ("p50_seconds", "p99_seconds"):
+                if isinstance(hist.get(q), (int, float)):
+                    out[f"latency.{name}.{q}"] = metric(
+                        hist[q], "seconds", "time")
+    return out
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    src = Path(args.src)
+    manifests = sorted(src.glob("*.manifest.json"))
+    benches: dict[str, dict] = {}
+    fingerprint: dict | None = None
+    sha = git_sha()
+    for path in manifests:
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"perf_trajectory: skipping {path}: {err}",
+                  file=sys.stderr)
+            continue
+        bench = doc.get("bench") or path.stem.replace(".manifest", "")
+        extracted = metrics_from_manifest(doc)
+        if extracted:
+            benches[bench] = extracted
+        if fingerprint is None:
+            fingerprint = host_fingerprint(doc)
+            if doc.get("git_sha"):
+                sha = doc["git_sha"]
+    snapshot = {
+        "schema": SCHEMA,
+        "git_sha": sha,
+        "host": fingerprint or host_fingerprint(),
+        "benches": benches,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    total = sum(len(m) for m in benches.values())
+    print(f"perf_trajectory: {len(benches)} bench(es), "
+          f"{total} metric(s) -> {out}")
+    if not benches:
+        print("perf_trajectory: WARNING: no manifests found "
+              f"under {src} (SLO_TRACE off?)", file=sys.stderr)
+    return 0
+
+
+def compare(baseline: dict, candidate: dict) -> tuple[list, list, list]:
+    """-> (regressions, improvements, notes); each row is
+    (bench, metric, old, new, unit, pct)."""
+    regressions, improvements, notes = [], [], []
+    base_benches = baseline.get("benches", {})
+    cand_benches = candidate.get("benches", {})
+    for bench in sorted(set(base_benches) & set(cand_benches)):
+        base_metrics = base_benches[bench]
+        cand_metrics = cand_benches[bench]
+        for name in sorted(set(base_metrics) & set(cand_metrics)):
+            old = base_metrics[name]
+            new = cand_metrics[name]
+            if old.get("unit") != new.get("unit"):
+                notes.append((bench, name,
+                              f"unit changed {old.get('unit')} -> "
+                              f"{new.get('unit')}; not compared"))
+                continue
+            kind = new.get("kind", old.get("kind", ""))
+            if kind not in TOLERANCES:
+                continue  # ratio & unknown kinds: informational
+            rel, floor = TOLERANCES[kind]
+            old_v, new_v = old["value"], new["value"]
+            delta = new_v - old_v
+            pct = (delta / old_v * 100.0) if old_v else 0.0
+            row = (bench, name, old_v, new_v, new.get("unit", ""), pct)
+            if delta > max(old_v * rel, floor):
+                regressions.append(row)
+            elif -delta > max(old_v * rel, floor):
+                improvements.append(row)
+    return regressions, improvements, notes
+
+
+def render_rows(title: str, rows: list) -> str:
+    lines = [f"\n{title}"]
+    for bench, name, old_v, new_v, unit, pct in rows:
+        lines.append(f"  {bench} / {name}: {old_v:.6g} -> {new_v:.6g} "
+                     f"{unit} ({pct:+.1f}%)")
+    return "\n".join(lines)
+
+
+def render_markdown(regressions: list, improvements: list,
+                    host_match: bool, base_sha: str,
+                    cand_sha: str) -> str:
+    lines = ["## Perf trajectory", "",
+             f"Baseline `{base_sha}` vs candidate `{cand_sha}`."]
+    if not host_match:
+        lines.append("")
+        lines.append("> :warning: host fingerprint mismatch — numbers "
+                     "are not comparable, regressions reported as "
+                     "warnings only.")
+    if not regressions and not improvements:
+        lines.append("")
+        lines.append("No perf movement beyond noise tolerances.")
+    for title, rows in (("Regressions", regressions),
+                        ("Improvements", improvements)):
+        if not rows:
+            continue
+        lines += ["", f"### {title}", "",
+                  "| bench | metric | baseline | candidate | delta |",
+                  "|---|---|---|---|---|"]
+        for bench, name, old_v, new_v, unit, pct in rows:
+            lines.append(f"| {bench} | {name} | {old_v:.6g} {unit} | "
+                         f"{new_v:.6g} {unit} | {pct:+.1f}% |")
+    return "\n".join(lines) + "\n"
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    try:
+        baseline = json.loads(
+            Path(args.baseline).read_text(encoding="utf-8"))
+        candidate = json.loads(
+            Path(args.candidate).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"perf_trajectory: {err}", file=sys.stderr)
+        return 2
+    for doc, label in ((baseline, args.baseline),
+                       (candidate, args.candidate)):
+        if doc.get("schema") != SCHEMA:
+            print(f"perf_trajectory: {label} is not {SCHEMA}",
+                  file=sys.stderr)
+            return 2
+
+    host_match = baseline.get("host") == candidate.get("host")
+    regressions, improvements, notes = compare(baseline, candidate)
+
+    base_sha = baseline.get("git_sha", "?")
+    cand_sha = candidate.get("git_sha", "?")
+    print(f"perf_trajectory: baseline {base_sha} vs candidate "
+          f"{cand_sha} (host match: {host_match})")
+    if regressions:
+        print(render_rows("REGRESSIONS:", regressions))
+    if improvements:
+        print(render_rows("improvements:", improvements))
+    for bench, name, note in notes:
+        print(f"  note: {bench} / {name}: {note}")
+    if not regressions and not improvements:
+        print("no perf movement beyond noise tolerances")
+
+    summary_path = args.summary or os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        markdown = render_markdown(regressions, improvements,
+                                   host_match, base_sha, cand_sha)
+        with open(summary_path, "a", encoding="utf-8") as fh:
+            fh.write(markdown)
+
+    if regressions and not host_match:
+        print("perf_trajectory: host fingerprint mismatch — "
+              "treating regressions as warnings", file=sys.stderr)
+        return 0
+    return 1 if regressions else 0
+
+
+def cmd_peak_rss(args: argparse.Namespace) -> int:
+    """Print a manifest's prof.peak_rss_kb (or '-'), for timings.tsv."""
+    try:
+        doc = json.loads(Path(args.manifest).read_text(encoding="utf-8"))
+        value = doc["prof"]["peak_rss_kb"]
+        print(int(value))
+    except (OSError, json.JSONDecodeError, KeyError, TypeError,
+            ValueError):
+        print("-")
+    return 0
+
+
+def cmd_selftest(_args: argparse.Namespace) -> int:
+    host = {"hostname": "h", "threads": 4, "compiler": "cc"}
+    base = {
+        "schema": SCHEMA, "git_sha": "base000000000", "host": host,
+        "benches": {
+            "fig2": {
+                "wall_seconds": metric(10.0, "seconds", "time"),
+                "prof.peak_rss_kb": metric(100000, "kb", "space"),
+                "pool.utilization": metric(0.5, "ratio", "ratio"),
+            },
+        },
+    }
+
+    def clone_with(wall: float, rss: float, util: float) -> dict:
+        return {
+            "schema": SCHEMA, "git_sha": "cand000000000", "host": host,
+            "benches": {
+                "fig2": {
+                    "wall_seconds": metric(wall, "seconds", "time"),
+                    "prof.peak_rss_kb": metric(rss, "kb", "space"),
+                    "pool.utilization": metric(util, "ratio", "ratio"),
+                },
+            },
+        }
+
+    failures = []
+
+    # 1. An injected 2x slowdown must gate.
+    regressions, _, _ = compare(base, clone_with(20.0, 100000, 0.5))
+    if [(r[0], r[1]) for r in regressions] != [("fig2", "wall_seconds")]:
+        failures.append(f"2x slowdown not flagged: {regressions}")
+
+    # 2. Within-noise jitter (+5% time, +1% rss) must NOT gate.
+    regressions, _, _ = compare(base, clone_with(10.5, 101000, 0.45))
+    if regressions:
+        failures.append(f"noise flagged as regression: {regressions}")
+
+    # 3. A memory blow-up (+50%) must gate as space.
+    regressions, _, _ = compare(base, clone_with(10.0, 150000, 0.5))
+    if [(r[0], r[1]) for r in regressions] != [
+            ("fig2", "prof.peak_rss_kb")]:
+        failures.append(f"rss regression not flagged: {regressions}")
+
+    # 4. Ratio metrics never gate.
+    regressions, _, _ = compare(base, clone_with(10.0, 100000, 0.01))
+    if regressions:
+        failures.append(f"ratio metric gated: {regressions}")
+
+    # 5. Small absolute movement below the floor never gates, even at a
+    #    large relative change (0.01s -> 0.03s is +200% but < 0.05s).
+    tiny_base = {
+        "schema": SCHEMA, "git_sha": "b", "host": host,
+        "benches": {"b": {
+            "wall_seconds": metric(0.01, "seconds", "time")}},
+    }
+    tiny_cand = {
+        "schema": SCHEMA, "git_sha": "c", "host": host,
+        "benches": {"b": {
+            "wall_seconds": metric(0.03, "seconds", "time")}},
+    }
+    regressions, _, _ = compare(tiny_base, tiny_cand)
+    if regressions:
+        failures.append(
+            f"sub-floor movement gated: {regressions}")
+
+    if failures:
+        for failure in failures:
+            print(f"perf_trajectory selftest: FAIL: {failure}",
+                  file=sys.stderr)
+        return 1
+    print("perf_trajectory selftest: ok (gate fires on injected "
+          "slowdown, stays quiet on noise)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="perf_trajectory.py")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_snap = sub.add_parser("snapshot")
+    p_snap.add_argument("--in", dest="src", required=True)
+    p_snap.add_argument("--out", default="BENCH_perf.json")
+    p_snap.set_defaults(func=cmd_snapshot)
+
+    p_diff = sub.add_parser("diff")
+    p_diff.add_argument("--baseline", required=True)
+    p_diff.add_argument("--candidate", required=True)
+    p_diff.add_argument("--summary", default=None)
+    p_diff.set_defaults(func=cmd_diff)
+
+    p_rss = sub.add_parser("peak-rss")
+    p_rss.add_argument("manifest")
+    p_rss.set_defaults(func=cmd_peak_rss)
+
+    p_self = sub.add_parser("selftest")
+    p_self.set_defaults(func=cmd_selftest)
+
+    args = parser.parse_args(argv[1:])
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -58,7 +58,7 @@ export SLO_OBS_DIR="$out"
 
 threads="${SLO_THREADS:-$(nproc 2>/dev/null || echo 1)}"
 timings="$out/timings.tsv"
-printf 'bench\twall_seconds\tthreads\n' > "$timings"
+printf 'bench\twall_seconds\tthreads\tpeak_rss_kb\n' > "$timings"
 
 failed=()
 ran=0
@@ -75,12 +75,25 @@ for b in build/bench/*; do
             ;;
     esac
     echo "=== $name start $(date +%T) ==="
+    touch "$out/.bench_start"
     t0="$(date +%s.%N)"
     "$b" "${args[@]}" > "$out/$name.txt" 2> "$out/$name.err"
     rc=$?
     t1="$(date +%s.%N)"
     wall="$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')"
-    printf '%s\t%s\t%s\n' "$name" "$wall" "$threads" >> "$timings"
+    # Peak RSS from the bench's manifest prof section ("-" for benches
+    # that don't write one, e.g. the google-benchmark micro_* binaries).
+    # Manifest filenames are slugs of the bench *title*, so pick
+    # whichever manifest this bench just wrote rather than guessing.
+    manifest="$(find "$out" -maxdepth 1 -name '*.manifest.json' \
+                    -newer "$out/.bench_start" | head -1)"
+    rss="-"
+    if [ -n "$manifest" ]; then
+        rss="$(python3 scripts/perf_trajectory.py peak-rss "$manifest" \
+                   2>/dev/null || echo '-')"
+    fi
+    printf '%s\t%s\t%s\t%s\n' "$name" "$wall" "$threads" "$rss" \
+        >> "$timings"
     echo "=== $name done $(date +%T) exit $rc wall ${wall}s ==="
     ran=$((ran + 1))
     [ "$rc" -ne 0 ] && failed+=("$name (exit $rc)")
@@ -90,6 +103,14 @@ if [ "$ran" -eq 0 ]; then
     echo "no bench binaries found under build/bench/ — build first" >&2
     exit 1
 fi
+
+# Normalize whatever manifests this run produced into the
+# perf-trajectory snapshot — always, even for subset runs (REPRO_LIMIT,
+# a single bench binary, failures): a partial snapshot diffs fine
+# because the diff only compares bench/metric pairs both sides have.
+python3 scripts/perf_trajectory.py snapshot --in "$out" \
+    --out "$out/BENCH_perf.json" || true
+
 if [ "${#failed[@]}" -ne 0 ]; then
     echo "FAILED benches (${#failed[@]}/$ran):" >&2
     printf '  %s\n' "${failed[@]}" >&2

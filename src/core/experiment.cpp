@@ -10,6 +10,7 @@
 #include "core/artifact_cache.hpp"
 #include "obs/obs.hpp"
 #include "par/par.hpp"
+#include "prof/prof.hpp"
 #include "reorder/rabbit.hpp"
 
 namespace slo::core
@@ -112,7 +113,11 @@ loadCorpus(Scale scale, const CorpusFilter &filter)
             SLO_LOG_INFO("corpus", "building " << entry.name << "...");
             obs::setContext("matrix", entry.name);
             const obs::Span span("corpus.build:" + entry.name);
-            Csr matrix = entry.build(scale);
+            Csr matrix = [&] {
+                const prof::ScopedCounters counters(entry.name,
+                                                    "corpus.build");
+                return entry.build(scale);
+            }();
             obs::RunManifest::instance().recordPhase(
                 entry.name, "corpus.build", span.elapsedSeconds());
             corpus[i] = {std::move(entry), std::move(matrix)};
@@ -139,9 +144,12 @@ orderingFor(const DatasetEntry &entry, const Csr &original, Scale scale,
     double measured = -1.0;
     result.perm = loadOrBuildPerm(key, [&] {
         const obs::Span span("reorder.compute:" + technique_name);
+        const prof::ScopedCounters counters(
+            entry.name, "reorder." + technique_name);
         Permutation perm =
             reorder::computeOrdering(technique, original, options);
         measured = span.elapsedSeconds();
+        prof::latencyHistogram("reorder.seconds").record(measured);
         return perm;
     });
     if (measured >= 0.0) {
@@ -185,8 +193,14 @@ rabbitArtifactsFor(const DatasetEntry &entry, const Csr &original,
     } else {
         obs::counter("perm_cache.misses").add();
         const obs::Span span("reorder.compute:RABBIT");
-        reorder::RabbitResult rabbit = reorder::rabbitOrder(original);
+        reorder::RabbitResult rabbit = [&] {
+            const prof::ScopedCounters counters(entry.name,
+                                                "reorder.RABBIT");
+            return reorder::rabbitOrder(original);
+        }();
         result.reorderSeconds = span.elapsedSeconds();
+        prof::latencyHistogram("reorder.seconds")
+            .record(result.reorderSeconds);
         storeIndexVector(key, rabbit.perm.newIds());
         storeIndexVector(key + "-labels", rabbit.clustering.labels());
         storeCachedDouble(key + "-time", result.reorderSeconds);
@@ -211,12 +225,16 @@ simulateOrderedAs(const std::string &matrix, const Csr &original,
                   const gpu::SimOptions &sim_options)
 {
     const obs::Span span("simulate.ordered");
+    const prof::ScopedCounters counters(matrix, "simulate");
     Csr reordered = [&] {
         SLO_SPAN("simulate.permute");
         return original.permutedSymmetric(perm);
     }();
-    const gpu::SimReport report =
-        gpu::simulateKernel(reordered, spec, sim_options);
+    const gpu::SimReport report = [&] {
+        const prof::ScopedLatency timed(
+            prof::latencyHistogram("simulate.seconds"));
+        return gpu::simulateKernel(reordered, spec, sim_options);
+    }();
     if (!matrix.empty()) {
         obs::RunManifest::instance().recordPhase(
             matrix, "simulate", span.elapsedSeconds());

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <vector>
 
 #include <unistd.h>
 
@@ -117,8 +118,12 @@ clearContext()
 RunManifest &
 RunManifest::instance()
 {
-    static RunManifest manifest;
-    return manifest;
+    // Intentionally leaked, same as MetricsRegistry::instance(): the
+    // global thread pool's destructor publishes its final stats here,
+    // which may run after a mid-run-constructed manifest would have
+    // been destroyed.
+    static RunManifest *manifest = new RunManifest();
+    return *manifest;
 }
 
 void
@@ -163,6 +168,26 @@ RunManifest::recordPhase(const std::string &matrix,
 }
 
 void
+RunManifest::recordPhaseCounters(const std::string &matrix,
+                                 const std::string &phase,
+                                 const Json &deltas)
+{
+    if (!deltas.isObject())
+        return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Json &slot = matrices_[matrix]["counters"][phase];
+    if (!slot.isObject())
+        slot = Json::object();
+    for (const auto &[key, value] : deltas.entries()) {
+        Json &field = slot[key];
+        if (value.isNumber() && field.isNumber())
+            field = field.asDouble() + value.asDouble();
+        else
+            field = value;
+    }
+}
+
+void
 RunManifest::addSimulation(const std::string &matrix, Json report)
 {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -173,7 +198,7 @@ Json
 RunManifest::toJson() const
 {
     Json doc = Json::object();
-    doc["schema"] = "slo.run-manifest/1";
+    doc["schema"] = "slo.run-manifest/2";
     const BuildInfo info = buildInfo();
     doc["git_sha"] = info.gitSha;
     doc["hostname"] = info.hostname;
@@ -218,12 +243,53 @@ RunManifest::reset()
     matrices_ = Json::object();
 }
 
+namespace
+{
+
+std::mutex g_hooks_mutex;
+std::vector<std::function<void()>> g_pre_emission_hooks;
+
+} // namespace
+
+void
+addPreEmissionHook(std::function<void()> hook)
+{
+    const std::lock_guard<std::mutex> lock(g_hooks_mutex);
+    g_pre_emission_hooks.push_back(std::move(hook));
+}
+
+void
+clearPreEmissionHooks()
+{
+    const std::lock_guard<std::mutex> lock(g_hooks_mutex);
+    g_pre_emission_hooks.clear();
+}
+
+void
+runPreEmissionHooks()
+{
+    std::vector<std::function<void()>> hooks;
+    {
+        const std::lock_guard<std::mutex> lock(g_hooks_mutex);
+        hooks = g_pre_emission_hooks;
+    }
+    for (const auto &hook : hooks) {
+        try {
+            hook();
+        } catch (const std::exception &error) {
+            SLO_LOG_WARN("obs", "pre-emission hook failed: "
+                                    << error.what());
+        }
+    }
+}
+
 bool
 emitAll()
 {
     RunManifest &manifest = RunManifest::instance();
     if (!manifest.began())
         return false;
+    runPreEmissionHooks();
     const std::string slug = slugify(manifest.benchName());
     const std::filesystem::path dir = obsDir();
     std::error_code ec;
@@ -258,12 +324,9 @@ installExitEmission()
     static std::atomic<bool> installed{false};
     bool expected = false;
     if (installed.compare_exchange_strong(expected, true)) {
-        // Construct every singleton the emission path touches before
-        // registering the hook: function-local statics register their
-        // destructors on first construction, and exit runs destructors
-        // and atexit callbacks in reverse order — a registry first
-        // touched mid-run would otherwise be destroyed before the hook
-        // fires.
+        // Warm up the singletons the emission path touches (they are
+        // leaked, so this is belt-and-braces rather than a
+        // destruction-order requirement).
         MetricsRegistry::instance();
         RunManifest::instance();
         std::atexit(emitAtExit);

@@ -11,23 +11,35 @@
  * writes it — together with the Chrome trace and the metrics JSONL —
  * into `SLO_OBS_DIR` (default `.`) when `SLO_TRACE` is on.
  *
- * Schema (`slo.run-manifest/1`):
+ * Schema (`slo.run-manifest/2`):
  *   {
- *     "schema": "slo.run-manifest/1",
+ *     "schema": "slo.run-manifest/2",
  *     "bench": "<name>", "started_at": "<ISO8601 UTC>",
  *     "wall_seconds": <seconds since begin(), at emission time>,
  *     "git_sha": "...", "hostname": "...",
  *     "build": {"type","compiler","flags"},
  *     ... caller extras (scale, spec, num_matrices, ...),
+ *     "prof":  {"backend","degraded","degradation_reason",
+ *               "peak_rss_kb", process rusage totals}   (src/prof hook)
+ *     "pool":  {"threads","utilization","workers":[...]} (src/par hook)
+ *     "latency": {"<name>": {"count","p50_seconds",...}}  (src/prof hook)
  *     "matrices": {"<name>": {"phases": {"<phase>": seconds},
+ *                             "counters": {"<phase>": {"cycles": n,...}},
  *                             "simulations": [{...SimReport...}]}},
- *     "metrics": {counters/gauges/histograms snapshot}
+ *     "metrics": {counters/gauges/histograms snapshot; histograms
+ *                 carry interpolated p50/p90/p99/p99.9 quantiles}
  *   }
+ *
+ * v2 over v1: the `prof`/`pool`/`latency` sections (filled by
+ * pre-emission hooks, see addPreEmissionHook), per-phase hardware- or
+ * rusage-counter deltas under matrices.<m>.counters, and quantiles in
+ * the metrics histogram snapshot.
  */
 
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -114,6 +126,15 @@ class RunManifest
     void recordPhase(const std::string &matrix, const std::string &phase,
                      double seconds);
 
+    /**
+     * Accumulate counter deltas under matrices.<matrix>.counters.<phase>.
+     * Numeric members of @p deltas add onto any prior values (so a phase
+     * run repeatedly reports its total, like recordPhase); non-numeric
+     * members overwrite. Used by prof::ScopedCounters.
+     */
+    void recordPhaseCounters(const std::string &matrix,
+                             const std::string &phase, const Json &deltas);
+
     /** Append a simulation report under matrices.<matrix>.simulations. */
     void addSimulation(const std::string &matrix, Json report);
 
@@ -143,6 +164,25 @@ class RunManifest
  * `<slug>.trace.json` and `<slug>.metrics.jsonl` into obsDir().
  */
 void installExitEmission();
+
+/**
+ * Register @p hook to run at the start of every emitAll(), before the
+ * manifest document is assembled. This is how layers above obs (prof's
+ * backend/latency sections, par's pool stats) contribute their
+ * manifest sections without obs depending on them. Hooks run in
+ * registration order; a throwing hook is caught and logged.
+ */
+void addPreEmissionHook(std::function<void()> hook);
+
+/** Run every registered pre-emission hook now (tests, emitAll). */
+void runPreEmissionHooks();
+
+/**
+ * Drop every registered hook (tests only — layers that registered
+ * process-lifetime hooks, e.g. prof::initProcess, will not re-register
+ * in the same process).
+ */
+void clearPreEmissionHooks();
 
 /** Write the three artifacts now (no-op unless begun). @return ok. */
 bool emitAll();

@@ -1,10 +1,12 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 namespace slo::obs
 {
@@ -70,6 +72,47 @@ Histogram::bucketCounts() const
     return counts_;
 }
 
+namespace
+{
+
+/**
+ * Nearest-rank quantile estimate over cumulative bucket counts with
+ * linear interpolation inside the winning bucket. Bucket b covers
+ * (bounds[b-1], bounds[b]]; the edges are clamped to the observed
+ * [min, max] so the under/overflow buckets stay finite.
+ */
+double
+estimateQuantile(const std::vector<double> &bounds,
+                 const std::vector<std::uint64_t> &counts,
+                 std::uint64_t count, double min_sample,
+                 double max_sample, double q)
+{
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(count))));
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        if (counts[b] == 0)
+            continue;
+        if (cumulative + counts[b] >= rank) {
+            double lo = b == 0 ? min_sample : bounds[b - 1];
+            double hi = b == bounds.size() ? max_sample : bounds[b];
+            lo = std::max(lo, min_sample);
+            hi = std::min(hi, max_sample);
+            if (hi < lo)
+                hi = lo;
+            const double fraction =
+                (static_cast<double>(rank - cumulative) - 0.5) /
+                static_cast<double>(counts[b]);
+            return lo + fraction * (hi - lo);
+        }
+        cumulative += counts[b];
+    }
+    return max_sample;
+}
+
+} // namespace
+
 Json
 Histogram::toJson() const
 {
@@ -80,6 +123,14 @@ Histogram::toJson() const
     if (count_ > 0) {
         j["min"] = min_;
         j["max"] = max_;
+        Json quantiles = Json::object();
+        const std::pair<const char *, double> points[] = {
+            {"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"p999", 0.999}};
+        for (const auto &[label, q] : points) {
+            quantiles[label] = estimateQuantile(bounds_, counts_, count_,
+                                                min_, max_, q);
+        }
+        j["quantiles"] = std::move(quantiles);
     }
     Json bounds = Json::array();
     for (double b : bounds_)
@@ -108,8 +159,14 @@ defaultBuckets()
 MetricsRegistry &
 MetricsRegistry::instance()
 {
-    static MetricsRegistry registry;
-    return registry;
+    // Intentionally leaked: static destructors (the global thread
+    // pool publishing its final stats) and the atexit emission hook
+    // both touch the registry after a mid-run-constructed instance
+    // would already have been destroyed. A never-destroyed heap
+    // instance is immune to destruction order; the destructor has no
+    // side effects to lose.
+    static MetricsRegistry *registry = new MetricsRegistry();
+    return *registry;
 }
 
 Counter &

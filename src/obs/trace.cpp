@@ -17,6 +17,9 @@ constexpr int kUnset = -1;
 std::atomic<int> g_enabled{kUnset};
 std::mutex g_events_mutex;
 std::vector<TraceEvent> g_events;
+/** tid -> latest thread name (metadata events; last call wins). */
+std::mutex g_names_mutex;
+std::vector<std::pair<std::uint64_t, std::string>> g_thread_names;
 
 std::chrono::steady_clock::time_point
 traceEpoch()
@@ -70,8 +73,12 @@ setTraceEnabled(bool on)
 void
 traceReset()
 {
-    const std::lock_guard<std::mutex> lock(g_events_mutex);
-    g_events.clear();
+    {
+        const std::lock_guard<std::mutex> lock(g_events_mutex);
+        g_events.clear();
+    }
+    const std::lock_guard<std::mutex> lock(g_names_mutex);
+    g_thread_names.clear();
 }
 
 std::vector<TraceEvent>
@@ -85,17 +92,37 @@ Json
 traceJson()
 {
     Json events = Json::array();
+    {
+        // thread_name metadata first so viewers label the tracks
+        // before any samples land on them.
+        const std::lock_guard<std::mutex> lock(g_names_mutex);
+        for (const auto &[tid, name] : g_thread_names) {
+            Json e = Json::object();
+            e["name"] = "thread_name";
+            e["ph"] = "M";
+            e["pid"] = 1;
+            e["tid"] = tid;
+            Json args = Json::object();
+            args["name"] = name;
+            e["args"] = std::move(args);
+            events.push(std::move(e));
+        }
+    }
     for (const TraceEvent &event : traceEvents()) {
         Json e = Json::object();
         e["name"] = event.name;
         e["cat"] = "slo";
-        e["ph"] = "X";
+        e["ph"] = std::string(1, event.ph);
         e["ts"] = event.tsMicros;
-        e["dur"] = event.durMicros;
         e["pid"] = 1;
         e["tid"] = event.tid;
         Json args = Json::object();
-        args["depth"] = event.depth;
+        if (event.ph == 'C') {
+            args["value"] = event.value;
+        } else {
+            e["dur"] = event.durMicros;
+            args["depth"] = event.depth;
+        }
         e["args"] = std::move(args);
         events.push(std::move(e));
     }
@@ -152,6 +179,47 @@ Span::elapsedSeconds() const
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - start_)
         .count();
+}
+
+std::uint64_t
+monotonicNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - traceEpoch())
+            .count());
+}
+
+void
+emitCounter(const std::string &name, double value)
+{
+    if (!traceEnabled())
+        return;
+    TraceEvent event;
+    event.name = name;
+    event.ph = 'C';
+    event.tsMicros =
+        static_cast<double>(monotonicNanos()) / 1000.0;
+    event.value = value;
+    event.tid = threadOrdinal();
+    const std::lock_guard<std::mutex> lock(g_events_mutex);
+    g_events.push_back(std::move(event));
+}
+
+void
+setThreadName(const std::string &name)
+{
+    if (!traceEnabled())
+        return;
+    const std::uint64_t tid = threadOrdinal();
+    const std::lock_guard<std::mutex> lock(g_names_mutex);
+    for (auto &[existing_tid, existing_name] : g_thread_names) {
+        if (existing_tid == tid) {
+            existing_name = name;
+            return;
+        }
+    }
+    g_thread_names.emplace_back(tid, name);
 }
 
 } // namespace slo::obs

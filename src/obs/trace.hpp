@@ -26,12 +26,18 @@
 namespace slo::obs
 {
 
-/** One completed span, relative to the process trace epoch. */
+/**
+ * One collected event, relative to the process trace epoch. Complete
+ * spans are `ph == 'X'`; counter samples (`emitCounter`) are 'C' and
+ * render as per-thread counter tracks in a trace viewer.
+ */
 struct TraceEvent
 {
     std::string name;
+    char ph = 'X';          ///< 'X' complete span, 'C' counter sample
     double tsMicros = 0.0;  ///< start, microseconds since epoch
-    double durMicros = 0.0; ///< duration, microseconds
+    double durMicros = 0.0; ///< duration, microseconds ('X' only)
+    double value = 0.0;     ///< sample value ('C' only)
     std::uint64_t tid = 0;  ///< small per-process thread ordinal
     int depth = 0;          ///< nesting depth at span entry (0 = root)
 };
@@ -53,6 +59,27 @@ Json traceJson();
 
 /** Write traceJson() to @p path. */
 void writeTraceFile(const std::string &path);
+
+/**
+ * Monotonic nanoseconds since an arbitrary process epoch. The one
+ * sanctioned raw clock for layers that must measure without opening a
+ * span (e.g. the par workers' busy/park accounting); everything else
+ * should prefer Span / prof::ScopedLatency.
+ */
+std::uint64_t monotonicNanos();
+
+/**
+ * Record a counter sample on the calling thread's track (Chrome
+ * trace 'C' event). No-op when tracing is disabled; intended for
+ * low-frequency samples (per park, per phase), not per-access data.
+ */
+void emitCounter(const std::string &name, double value);
+
+/**
+ * Name the calling thread's track in the trace viewer (Chrome trace
+ * 'M'/thread_name metadata). Last call per thread wins.
+ */
+void setThreadName(const std::string &name);
 
 /**
  * A scoped span. Cheap when tracing is disabled (two clock reads, no

@@ -1,9 +1,12 @@
 #include "par/thread_pool.hpp"
 
 #include <cstdlib>
+#include <string>
 #include <utility>
 
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace slo::par
 {
@@ -15,6 +18,16 @@ namespace
 thread_local ThreadPool *t_pool = nullptr;
 /** Worker index within t_pool. */
 thread_local std::size_t t_worker = 0;
+
+/**
+ * The global pool while it is alive. The obs pre-emission hook reads
+ * pool stats through this; the destructor publishes a final snapshot
+ * and clears it, so the atexit emission (which can outlive the pool —
+ * function-local statics die in reverse construction order and the
+ * pool is usually constructed after installExitEmission registered)
+ * never touches a destroyed pool.
+ */
+std::atomic<ThreadPool *> g_global_pool{nullptr};
 
 } // namespace
 
@@ -61,12 +74,28 @@ ThreadPool::~ThreadPool()
     wake_.notify_all();
     for (std::thread &t : joiners_)
         t.join();
+    ThreadPool *self = this;
+    if (g_global_pool.compare_exchange_strong(self, nullptr)) {
+        // Final numbers into the manifest now; the pre-emission hook
+        // will find g_global_pool cleared and leave them untouched.
+        publishStats();
+    }
 }
 
 ThreadPool &
 ThreadPool::global()
 {
     static ThreadPool pool;
+    static const bool hooked = [] {
+        g_global_pool.store(&pool, std::memory_order_release);
+        obs::addPreEmissionHook([] {
+            if (ThreadPool *alive =
+                    g_global_pool.load(std::memory_order_acquire))
+                alive->publishStats();
+        });
+        return true;
+    }();
+    (void)hooked;
     return pool;
 }
 
@@ -132,6 +161,10 @@ ThreadPool::popTask(std::size_t home, std::function<void()> &task)
                 other.tasks.pop_front();
                 found = true;
                 obs::counter("par.steals").add();
+                if (home < workers_.size()) {
+                    workers_[home]->steals.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
             }
         }
     }
@@ -147,18 +180,114 @@ ThreadPool::workerLoop(std::size_t index)
 {
     t_pool = this;
     t_worker = index;
+    Worker &self = *workers_[index];
+    const std::string track = "par.worker/" + std::to_string(index);
+    obs::setThreadName(track);
     for (;;) {
         std::function<void()> task;
         if (popTask(index, task)) {
             obs::counter("par.tasks").add();
+            const std::uint64_t start = obs::monotonicNanos();
             task();
+            self.busyNanos.fetch_add(obs::monotonicNanos() - start,
+                                     std::memory_order_relaxed);
+            self.runs.fetch_add(1, std::memory_order_relaxed);
             continue;
         }
-        std::unique_lock<std::mutex> lock(mutex_);
-        wake_.wait(lock, [this] { return stop_ || pending_ > 0; });
-        if (stop_ && pending_ == 0)
+        // Park boundary: sample this worker's cumulative counters onto
+        // its trace track — low frequency (once per sleep), and the
+        // run/steal staircase lines up with the spans around it.
+        self.parks.fetch_add(1, std::memory_order_relaxed);
+        if (obs::traceEnabled()) {
+            obs::emitCounter(
+                track + ".runs",
+                static_cast<double>(
+                    self.runs.load(std::memory_order_relaxed)));
+            obs::emitCounter(
+                track + ".steals",
+                static_cast<double>(
+                    self.steals.load(std::memory_order_relaxed)));
+        }
+        const std::uint64_t park_start = obs::monotonicNanos();
+        bool exiting = false;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] { return stop_ || pending_ > 0; });
+            exiting = stop_ && pending_ == 0;
+        }
+        self.parkNanos.fetch_add(obs::monotonicNanos() - park_start,
+                                 std::memory_order_relaxed);
+        if (exiting)
             return;
     }
+}
+
+obs::Json
+ThreadPool::statsJson() const
+{
+    obs::Json j = obs::Json::object();
+    j["threads"] = threads_;
+    j["serial"] = serial();
+    obs::Json workers = obs::Json::array();
+    std::uint64_t runs = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t parks = 0;
+    std::uint64_t busy_nanos = 0;
+    std::uint64_t park_nanos = 0;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        const Worker &w = *workers_[i];
+        const std::uint64_t w_runs =
+            w.runs.load(std::memory_order_relaxed);
+        const std::uint64_t w_steals =
+            w.steals.load(std::memory_order_relaxed);
+        const std::uint64_t w_parks =
+            w.parks.load(std::memory_order_relaxed);
+        const std::uint64_t w_busy =
+            w.busyNanos.load(std::memory_order_relaxed);
+        const std::uint64_t w_park =
+            w.parkNanos.load(std::memory_order_relaxed);
+        obs::Json entry = obs::Json::object();
+        entry["index"] = i;
+        entry["runs"] = w_runs;
+        entry["steals"] = w_steals;
+        entry["parks"] = w_parks;
+        entry["busy_seconds"] = static_cast<double>(w_busy) / 1e9;
+        entry["park_seconds"] = static_cast<double>(w_park) / 1e9;
+        workers.push(std::move(entry));
+        runs += w_runs;
+        steals += w_steals;
+        parks += w_parks;
+        busy_nanos += w_busy;
+        park_nanos += w_park;
+    }
+    j["tasks_run"] = runs;
+    j["steals"] = steals;
+    j["parks"] = parks;
+    j["busy_seconds"] = static_cast<double>(busy_nanos) / 1e9;
+    j["park_seconds"] = static_cast<double>(park_nanos) / 1e9;
+    const double denom = static_cast<double>(busy_nanos + park_nanos);
+    j["utilization"] =
+        denom > 0.0 ? static_cast<double>(busy_nanos) / denom
+                    : (serial() ? 1.0 : 0.0);
+    j["workers"] = std::move(workers);
+    return j;
+}
+
+void
+ThreadPool::publishStats() const
+{
+    std::uint64_t busy_nanos = 0;
+    std::uint64_t park_nanos = 0;
+    for (const auto &w : workers_) {
+        busy_nanos += w->busyNanos.load(std::memory_order_relaxed);
+        park_nanos += w->parkNanos.load(std::memory_order_relaxed);
+    }
+    const double denom = static_cast<double>(busy_nanos + park_nanos);
+    const double utilization =
+        denom > 0.0 ? static_cast<double>(busy_nanos) / denom
+                    : (serial() ? 1.0 : 0.0);
+    obs::gauge("par.pool_utilization").set(utilization);
+    obs::RunManifest::instance().set("pool", statsJson());
 }
 
 struct TaskGroup::State

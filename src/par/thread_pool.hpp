@@ -27,8 +27,10 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -36,6 +38,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/json.hpp"
 
 namespace slo::par
 {
@@ -80,12 +84,37 @@ class ThreadPool
      */
     void submit(std::function<void()> task);
 
+    /**
+     * Live snapshot of the pool's self-observability counters:
+     * {"threads","serial","tasks_run","steals","parks","busy_seconds",
+     *  "park_seconds","utilization","workers":[{...per worker...}]}.
+     * Utilization is busy/(busy+park) over all workers (1.0 serial).
+     */
+    obs::Json statsJson() const;
+
+    /**
+     * Write statsJson() into the run manifest's `pool` section and the
+     * `par.pool_utilization` gauge. The global pool publishes from an
+     * obs pre-emission hook while alive and once more from its
+     * destructor, so the section survives the static-destruction
+     * ordering where the pool dies before the atexit emission runs.
+     */
+    void publishStats() const;
+
   private:
     /** One worker's deque; owner pops back, thieves pop front. */
     struct Worker
     {
         std::mutex mutex;
         std::deque<std::function<void()>> tasks;
+
+        // Self-observability. Relaxed atomics: each is written by one
+        // worker (steals by the thieving worker) and only snapshotted.
+        std::atomic<std::uint64_t> runs{0};   ///< tasks executed
+        std::atomic<std::uint64_t> steals{0}; ///< tasks stolen *by* us
+        std::atomic<std::uint64_t> parks{0};  ///< times gone to sleep
+        std::atomic<std::uint64_t> busyNanos{0}; ///< inside task()
+        std::atomic<std::uint64_t> parkNanos{0}; ///< asleep in wait
     };
 
     void workerLoop(std::size_t index);

@@ -1,0 +1,589 @@
+#include "prof/counters.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define SLO_PROF_HAVE_PERF 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#else
+#define SLO_PROF_HAVE_PERF 0
+#endif
+
+#include "obs/log.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "prof/histogram.hpp"
+
+namespace slo::prof
+{
+
+namespace
+{
+
+std::mutex g_state_mutex;
+bool g_probed = false;
+Backend g_backend = Backend::Off;
+std::string g_reason;
+/** Bumped by setBackendForTest so thread-local sets reopen. */
+std::atomic<std::uint64_t> g_generation{1};
+
+#if SLO_PROF_HAVE_PERF
+
+long
+perfEventOpen(perf_event_attr *attr, pid_t pid, int cpu, int group_fd,
+              unsigned long flags)
+{
+    return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+perf_event_attr
+makeAttr(std::uint32_t type, std::uint64_t config, bool leader)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof attr);
+    attr.type = type;
+    attr.size = sizeof attr;
+    attr.config = config;
+    attr.disabled = leader ? 1 : 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP |
+                       PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING | PERF_FORMAT_ID;
+    return attr;
+}
+
+constexpr std::uint64_t
+hwCacheConfig(std::uint64_t cache, std::uint64_t op, std::uint64_t result)
+{
+    return cache | (op << 8) | (result << 16);
+}
+
+#endif // SLO_PROF_HAVE_PERF
+
+std::string
+errnoName(int err)
+{
+    switch (err) {
+      case EPERM:
+        return "EPERM";
+      case EACCES:
+        return "EACCES";
+      case ENOENT:
+        return "ENOENT";
+      case ENOSYS:
+        return "ENOSYS";
+      case ENODEV:
+        return "ENODEV";
+      case EINVAL:
+        return "EINVAL";
+      default:
+        return "errno " + std::to_string(err);
+    }
+}
+
+/** Probe: can this process open a cycles counter on itself? */
+Backend
+probeBackend(std::string &reason)
+{
+#if SLO_PROF_HAVE_PERF
+    perf_event_attr attr =
+        makeAttr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, true);
+    const long fd = perfEventOpen(&attr, 0, -1, -1, 0);
+    if (fd >= 0) {
+        close(static_cast<int>(fd));
+        reason.clear();
+        return Backend::Perf;
+    }
+    reason = "perf_event_open failed: " + errnoName(errno) + " (" +
+             std::strerror(errno) + ")";
+    return Backend::Rusage;
+#else
+    reason = "perf events not available on this platform";
+    return Backend::Rusage;
+#endif
+}
+
+void
+probeLocked()
+{
+    if (g_probed)
+        return;
+    const char *forced = std::getenv("SLO_PROF_BACKEND");
+    if (forced != nullptr && *forced != '\0') {
+        const std::string value = forced;
+        if (value == "off" || value == "0") {
+            g_backend = Backend::Off;
+            g_reason = "forced by SLO_PROF_BACKEND=" + value;
+        } else if (value == "rusage") {
+            g_backend = Backend::Rusage;
+            g_reason = "forced by SLO_PROF_BACKEND=rusage";
+        } else {
+            // "perf" (or anything else): try perf, degrade honestly.
+            g_backend = probeBackend(g_reason);
+        }
+    } else {
+        g_backend = probeBackend(g_reason);
+    }
+    g_probed = true;
+}
+
+void
+readRusageInto(CounterSample &sample)
+{
+#ifdef RUSAGE_THREAD
+    constexpr int kWho = RUSAGE_THREAD;
+#else
+    constexpr int kWho = RUSAGE_SELF;
+#endif
+    rusage usage{};
+    if (getrusage(kWho, &usage) != 0)
+        return;
+    sample.utimeSeconds =
+        static_cast<double>(usage.ru_utime.tv_sec) +
+        static_cast<double>(usage.ru_utime.tv_usec) / 1e6;
+    sample.stimeSeconds =
+        static_cast<double>(usage.ru_stime.tv_sec) +
+        static_cast<double>(usage.ru_stime.tv_usec) / 1e6;
+    sample.minorFaults = static_cast<std::uint64_t>(usage.ru_minflt);
+    sample.majorFaults = static_cast<std::uint64_t>(usage.ru_majflt);
+    sample.voluntaryCtxSwitches =
+        static_cast<std::uint64_t>(usage.ru_nvcsw);
+    sample.involuntaryCtxSwitches =
+        static_cast<std::uint64_t>(usage.ru_nivcsw);
+}
+
+std::uint64_t
+clampedDelta(std::uint64_t end, std::uint64_t start)
+{
+    return end >= start ? end - start : 0;
+}
+
+double
+clampedDelta(double end, double start)
+{
+    return end >= start ? end - start : 0.0;
+}
+
+} // namespace
+
+const char *
+backendName(Backend backend)
+{
+    switch (backend) {
+      case Backend::Perf:
+        return "perf";
+      case Backend::Rusage:
+        return "rusage";
+      default:
+        return "off";
+    }
+}
+
+Backend
+activeBackend()
+{
+    const std::lock_guard<std::mutex> lock(g_state_mutex);
+    probeLocked();
+    return g_backend;
+}
+
+std::string
+degradationReason()
+{
+    const std::lock_guard<std::mutex> lock(g_state_mutex);
+    probeLocked();
+    return g_reason;
+}
+
+void
+setBackendForTest(const char *backend)
+{
+    {
+        const std::lock_guard<std::mutex> lock(g_state_mutex);
+        if (backend == nullptr) {
+            g_probed = false;
+        } else {
+            const std::string value = backend;
+            if (value == "perf") {
+                g_backend = probeBackend(g_reason);
+            } else if (value == "rusage") {
+                g_backend = Backend::Rusage;
+                g_reason = "forced by SLO_PROF_BACKEND=rusage";
+            } else {
+                g_backend = Backend::Off;
+                g_reason = "forced by SLO_PROF_BACKEND=off";
+            }
+            g_probed = true;
+        }
+    }
+    g_generation.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+peakRssKb()
+{
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) != 0)
+            continue;
+        std::istringstream fields(line.substr(6));
+        std::uint64_t kib = 0;
+        fields >> kib;
+        return kib;
+    }
+    rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0)
+        return static_cast<std::uint64_t>(usage.ru_maxrss);
+    return 0;
+}
+
+CounterSample
+CounterSample::deltaSince(const CounterSample &start) const
+{
+    CounterSample delta = *this;
+    delta.cycles = clampedDelta(cycles, start.cycles);
+    delta.instructions = clampedDelta(instructions, start.instructions);
+    delta.llcLoads = clampedDelta(llcLoads, start.llcLoads);
+    delta.llcMisses = clampedDelta(llcMisses, start.llcMisses);
+    delta.branchMisses = clampedDelta(branchMisses, start.branchMisses);
+    delta.timeEnabledSeconds =
+        clampedDelta(timeEnabledSeconds, start.timeEnabledSeconds);
+    delta.timeRunningSeconds =
+        clampedDelta(timeRunningSeconds, start.timeRunningSeconds);
+    delta.utimeSeconds = clampedDelta(utimeSeconds, start.utimeSeconds);
+    delta.stimeSeconds = clampedDelta(stimeSeconds, start.stimeSeconds);
+    delta.minorFaults = clampedDelta(minorFaults, start.minorFaults);
+    delta.majorFaults = clampedDelta(majorFaults, start.majorFaults);
+    delta.voluntaryCtxSwitches =
+        clampedDelta(voluntaryCtxSwitches, start.voluntaryCtxSwitches);
+    delta.involuntaryCtxSwitches = clampedDelta(
+        involuntaryCtxSwitches, start.involuntaryCtxSwitches);
+    return delta;
+}
+
+obs::Json
+CounterSample::toJson() const
+{
+    obs::Json j = obs::Json::object();
+    if (backend == Backend::Perf) {
+        if (hasCycles)
+            j["cycles"] = cycles;
+        if (hasInstructions)
+            j["instructions"] = instructions;
+        if (hasLlcLoads)
+            j["llc_loads"] = llcLoads;
+        if (hasLlcMisses)
+            j["llc_misses"] = llcMisses;
+        if (hasBranchMisses)
+            j["branch_misses"] = branchMisses;
+        j["time_enabled_seconds"] = timeEnabledSeconds;
+        j["time_running_seconds"] = timeRunningSeconds;
+    } else if (backend == Backend::Rusage) {
+        j["utime_seconds"] = utimeSeconds;
+        j["stime_seconds"] = stimeSeconds;
+        j["minor_faults"] = minorFaults;
+        j["major_faults"] = majorFaults;
+        j["voluntary_ctx_switches"] = voluntaryCtxSwitches;
+        j["involuntary_ctx_switches"] = involuntaryCtxSwitches;
+    }
+    return j;
+}
+
+/** The grouped perf fds of one thread (Perf backend only). */
+struct CounterSet::PerfGroup
+{
+#if SLO_PROF_HAVE_PERF
+    struct Member
+    {
+        int fd = -1;
+        std::uint64_t id = 0;
+        std::uint64_t CounterSample::*field = nullptr;
+        bool CounterSample::*flag = nullptr;
+    };
+
+    int leaderFd = -1;
+    std::vector<Member> members;
+
+    ~PerfGroup()
+    {
+        for (const Member &member : members) {
+            if (member.fd >= 0)
+                close(member.fd);
+        }
+    }
+
+    bool
+    open()
+    {
+        struct Spec
+        {
+            std::uint32_t type;
+            std::uint64_t config;
+            std::uint64_t CounterSample::*field;
+            bool CounterSample::*flag;
+        };
+        const Spec specs[] = {
+            {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES,
+             &CounterSample::cycles, &CounterSample::hasCycles},
+            {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS,
+             &CounterSample::instructions,
+             &CounterSample::hasInstructions},
+            {PERF_TYPE_HW_CACHE,
+             hwCacheConfig(PERF_COUNT_HW_CACHE_LL,
+                           PERF_COUNT_HW_CACHE_OP_READ,
+                           PERF_COUNT_HW_CACHE_RESULT_ACCESS),
+             &CounterSample::llcLoads, &CounterSample::hasLlcLoads},
+            {PERF_TYPE_HW_CACHE,
+             hwCacheConfig(PERF_COUNT_HW_CACHE_LL,
+                           PERF_COUNT_HW_CACHE_OP_READ,
+                           PERF_COUNT_HW_CACHE_RESULT_MISS),
+             &CounterSample::llcMisses, &CounterSample::hasLlcMisses},
+            {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES,
+             &CounterSample::branchMisses,
+             &CounterSample::hasBranchMisses},
+        };
+        for (const Spec &spec : specs) {
+            const bool leader = leaderFd < 0;
+            perf_event_attr attr =
+                makeAttr(spec.type, spec.config, leader);
+            const long fd =
+                perfEventOpen(&attr, 0, -1, leader ? -1 : leaderFd, 0);
+            if (fd < 0) {
+                if (leader)
+                    return false; // no leader, no group
+                continue; // follower unsupported: skip that counter
+            }
+            Member member;
+            member.fd = static_cast<int>(fd);
+            if (ioctl(member.fd, PERF_EVENT_IOC_ID, &member.id) != 0) {
+                close(member.fd);
+                if (leader)
+                    return false;
+                continue;
+            }
+            member.field = spec.field;
+            member.flag = spec.flag;
+            if (leader)
+                leaderFd = member.fd;
+            members.push_back(member);
+        }
+        if (leaderFd < 0)
+            return false;
+        ioctl(leaderFd, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+        ioctl(leaderFd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+        return true;
+    }
+
+    void
+    read(CounterSample &sample) const
+    {
+        // struct read_format { u64 nr, time_enabled, time_running;
+        //                      struct { u64 value, id; } values[nr]; };
+        std::vector<std::uint64_t> buffer(3 + 2 * members.size());
+        const ssize_t wanted = static_cast<ssize_t>(
+            buffer.size() * sizeof(std::uint64_t));
+        const ssize_t got = ::read(leaderFd, buffer.data(),
+                                   static_cast<std::size_t>(wanted));
+        if (got < static_cast<ssize_t>(3 * sizeof(std::uint64_t)))
+            return;
+        const std::uint64_t nr = buffer[0];
+        const std::uint64_t enabled = buffer[1];
+        const std::uint64_t running = buffer[2];
+        sample.timeEnabledSeconds = static_cast<double>(enabled) / 1e9;
+        sample.timeRunningSeconds = static_cast<double>(running) / 1e9;
+        // Scale for multiplexing: with more events than hardware
+        // counters the kernel time-slices the group; enabled/running
+        // extrapolates to the full window.
+        const double scale =
+            running > 0 ? static_cast<double>(enabled) /
+                              static_cast<double>(running)
+                        : 1.0;
+        for (std::uint64_t i = 0; i < nr; ++i) {
+            const std::uint64_t value = buffer[3 + 2 * i];
+            const std::uint64_t id = buffer[3 + 2 * i + 1];
+            for (const Member &member : members) {
+                if (member.id != id)
+                    continue;
+                sample.*(member.field) = static_cast<std::uint64_t>(
+                    static_cast<double>(value) * scale);
+                sample.*(member.flag) = true;
+                break;
+            }
+        }
+    }
+#else
+    bool
+    open()
+    {
+        return false;
+    }
+
+    void
+    read(CounterSample &) const
+    {
+    }
+#endif // SLO_PROF_HAVE_PERF
+};
+
+CounterSet::CounterSet() : backend_(activeBackend())
+{
+    if (backend_ != Backend::Perf)
+        return;
+    auto group = std::make_unique<PerfGroup>();
+    if (group->open()) {
+        perf_ = group.release();
+    } else {
+        // The probe passed but this thread's group failed (fd limits,
+        // races with the paranoid setting): degrade just this set.
+        backend_ = Backend::Rusage;
+    }
+}
+
+CounterSet::~CounterSet()
+{
+    delete perf_;
+}
+
+bool
+CounterSet::usable() const
+{
+    return backend_ != Backend::Off;
+}
+
+CounterSample
+CounterSet::read() const
+{
+    CounterSample sample;
+    sample.backend = backend_;
+    if (backend_ == Backend::Perf && perf_ != nullptr)
+        perf_->read(sample);
+    else if (backend_ == Backend::Rusage)
+        readRusageInto(sample);
+    return sample;
+}
+
+CounterSet &
+CounterSet::forCurrentThread()
+{
+    thread_local std::unique_ptr<CounterSet> t_set;
+    thread_local std::uint64_t t_generation = 0;
+    const std::uint64_t generation =
+        g_generation.load(std::memory_order_relaxed);
+    if (t_set == nullptr || t_generation != generation) {
+        t_set = std::make_unique<CounterSet>();
+        t_generation = generation;
+    }
+    return *t_set;
+}
+
+ScopedCounters::ScopedCounters(std::string matrix, std::string phase)
+    : matrix_(std::move(matrix)), phase_(std::move(phase))
+{
+    initProcess();
+    start_ = CounterSet::forCurrentThread().read();
+}
+
+ScopedCounters::~ScopedCounters()
+{
+    const CounterSet &set = CounterSet::forCurrentThread();
+    if (!set.usable())
+        return;
+    const CounterSample end = set.read();
+    const CounterSample delta = end.deltaSince(start_);
+    if (!matrix_.empty()) {
+        obs::RunManifest::instance().recordPhaseCounters(
+            matrix_, phase_, delta.toJson());
+    }
+    if (delta.backend == Backend::Perf) {
+        obs::counter("prof.cycles").add(delta.cycles);
+        obs::counter("prof.instructions").add(delta.instructions);
+        obs::counter("prof.llc_loads").add(delta.llcLoads);
+        obs::counter("prof.llc_misses").add(delta.llcMisses);
+        obs::counter("prof.branch_misses").add(delta.branchMisses);
+        // Cumulative per-thread samples make monotonic counter tracks
+        // in the trace viewer, aligned with the enclosing span.
+        obs::emitCounter("prof.cycles",
+                         static_cast<double>(end.cycles));
+        obs::emitCounter("prof.llc_misses",
+                         static_cast<double>(end.llcMisses));
+    } else if (delta.backend == Backend::Rusage) {
+        obs::counter("prof.cpu_nanos")
+            .add(static_cast<std::uint64_t>(
+                (delta.utimeSeconds + delta.stimeSeconds) * 1e9));
+        obs::counter("prof.minor_faults").add(delta.minorFaults);
+        obs::counter("prof.major_faults").add(delta.majorFaults);
+        obs::counter("prof.ctx_switches")
+            .add(delta.voluntaryCtxSwitches +
+                 delta.involuntaryCtxSwitches);
+        obs::emitCounter("prof.cpu_seconds",
+                         end.utimeSeconds + end.stimeSeconds);
+        obs::emitCounter("prof.minor_faults",
+                         static_cast<double>(end.minorFaults));
+    }
+}
+
+void
+writeManifestSections()
+{
+    obs::Json prof = obs::Json::object();
+    const Backend backend = activeBackend();
+    prof["backend"] = backendName(backend);
+    prof["degraded"] = backend != Backend::Perf;
+    prof["degradation_reason"] = degradationReason();
+    prof["peak_rss_kb"] = peakRssKb();
+    rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+        prof["utime_seconds"] =
+            static_cast<double>(usage.ru_utime.tv_sec) +
+            static_cast<double>(usage.ru_utime.tv_usec) / 1e6;
+        prof["stime_seconds"] =
+            static_cast<double>(usage.ru_stime.tv_sec) +
+            static_cast<double>(usage.ru_stime.tv_usec) / 1e6;
+        prof["minor_faults"] =
+            static_cast<std::uint64_t>(usage.ru_minflt);
+        prof["major_faults"] =
+            static_cast<std::uint64_t>(usage.ru_majflt);
+        prof["voluntary_ctx_switches"] =
+            static_cast<std::uint64_t>(usage.ru_nvcsw);
+        prof["involuntary_ctx_switches"] =
+            static_cast<std::uint64_t>(usage.ru_nivcsw);
+    }
+    obs::RunManifest::instance().set("prof", std::move(prof));
+    obs::RunManifest::instance().set("latency", latencyRegistryJson());
+    obs::gauge("prof.peak_rss_kb")
+        .set(static_cast<double>(peakRssKb()));
+}
+
+void
+initProcess()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const Backend backend = activeBackend();
+        if (backend != Backend::Perf) {
+            SLO_LOG_INFO("prof",
+                         "hardware counters unavailable, backend="
+                             << backendName(backend) << " ("
+                             << degradationReason() << ")");
+        }
+        obs::addPreEmissionHook(writeManifestSections);
+    });
+}
+
+} // namespace slo::prof

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Hardware-counter profiling with graceful degradation.
+ *
+ * `CounterSet` opens one grouped `perf_event_open` descriptor per
+ * thread (leader: cycles; followers: instructions, LLC loads/misses,
+ * branch misses) so all counters start and stop together and a single
+ * group read yields a coherent sample. Where perf events are
+ * unavailable — containers and CI commonly deny the syscall with
+ * EPERM/EACCES, seccomp filters surface ENOSYS/ENOENT, and
+ * `perf_event_paranoid` can forbid it — the whole layer degrades to a
+ * `getrusage(RUSAGE_THREAD)` fallback (utime/stime, minor/major
+ * faults, context switches) and records *why* in the manifest's `prof`
+ * section. Degradation is never a failure: the same pipeline runs on a
+ * perf-capable workstation and a locked-down CI runner, emitting
+ * whichever counters the host can supply.
+ *
+ * `ScopedCounters` is the pipeline-facing RAII: it samples on entry
+ * and exit and attaches the delta to the run manifest's per-phase
+ * counters (`matrices.<m>.counters.<phase>`), to process-wide metrics
+ * (`prof.cycles`, ...), and — when tracing — to the enclosing span's
+ * thread track as Chrome-trace counter samples.
+ *
+ * Environment knobs:
+ *   SLO_PROF_BACKEND=perf|rusage|off  force a backend; `perf` still
+ *                                     falls back when unavailable,
+ *                                     `off` disables scoped counters
+ *                                     entirely (wall-clock phases keep
+ *                                     working through obs).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace slo::prof
+{
+
+enum class Backend
+{
+    Perf,   ///< grouped perf_event_open hardware counters
+    Rusage, ///< getrusage/procfs software counters
+    Off,    ///< scoped counters disabled
+};
+
+const char *backendName(Backend backend);
+
+/**
+ * The process's active backend, probed once on first use: the forced
+ * SLO_PROF_BACKEND if set, else Perf when a probe group opens, else
+ * Rusage. Thread-safe.
+ */
+Backend activeBackend();
+
+/**
+ * Why the perf backend is not active ("" when it is): the errno name
+ * from the probe, "forced by SLO_PROF_BACKEND", or "not linux".
+ */
+std::string degradationReason();
+
+/** Peak resident set size (VmHWM) in KiB; 0 when procfs hides it. */
+std::uint64_t peakRssKb();
+
+/**
+ * One cumulative sample; subtract two to get a phase delta. Fields of
+ * the inactive backend stay zero; `has*` flags say which perf
+ * counters actually opened (LLC events are frequently unsupported).
+ */
+struct CounterSample
+{
+    Backend backend = Backend::Off;
+
+    // Perf (scaled for multiplexing by enabled/running at read time).
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t llcLoads = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t branchMisses = 0;
+    double timeEnabledSeconds = 0.0;
+    double timeRunningSeconds = 0.0;
+    bool hasCycles = false;
+    bool hasInstructions = false;
+    bool hasLlcLoads = false;
+    bool hasLlcMisses = false;
+    bool hasBranchMisses = false;
+
+    // Rusage (calling thread).
+    double utimeSeconds = 0.0;
+    double stimeSeconds = 0.0;
+    std::uint64_t minorFaults = 0;
+    std::uint64_t majorFaults = 0;
+    std::uint64_t voluntaryCtxSwitches = 0;
+    std::uint64_t involuntaryCtxSwitches = 0;
+
+    /** Member-wise delta (this - start); clamps at zero. */
+    CounterSample deltaSince(const CounterSample &start) const;
+
+    /** Numeric fields of the active backend only (manifest shape). */
+    obs::Json toJson() const;
+};
+
+/**
+ * The calling thread's counter group. Opened lazily on first use and
+ * kept for the thread's lifetime; reads are cumulative since open.
+ * Never throws: a set that failed to open reports `usable() == false`
+ * and samples as all-zero.
+ */
+class CounterSet
+{
+  public:
+    /** Opens according to activeBackend(). */
+    CounterSet();
+    ~CounterSet();
+
+    CounterSet(const CounterSet &) = delete;
+    CounterSet &operator=(const CounterSet &) = delete;
+
+    Backend backend() const { return backend_; }
+    bool usable() const;
+
+    /** Cumulative sample since the set opened. */
+    CounterSample read() const;
+
+    /** The calling thread's set (one per thread, lazily opened). */
+    static CounterSet &forCurrentThread();
+
+  private:
+    struct PerfGroup;
+
+    Backend backend_ = Backend::Off;
+    PerfGroup *perf_ = nullptr; ///< owned; non-null only for Perf
+};
+
+/**
+ * RAII phase profiler: records the counter delta of the enclosing
+ * scope under matrices.<matrix>.counters.<phase> in the run manifest,
+ * bumps the process-wide `prof.*` metrics, and emits Chrome-trace
+ * counter samples on the calling thread's track. An empty @p matrix
+ * skips the manifest attribution (metrics still accumulate). No-op
+ * under SLO_PROF_BACKEND=off.
+ */
+class ScopedCounters
+{
+  public:
+    ScopedCounters(std::string matrix, std::string phase);
+    ~ScopedCounters();
+
+    ScopedCounters(const ScopedCounters &) = delete;
+    ScopedCounters &operator=(const ScopedCounters &) = delete;
+
+  private:
+    std::string matrix_;
+    std::string phase_;
+    CounterSample start_;
+};
+
+/**
+ * Probe the backend, register the manifest pre-emission hook (the
+ * `prof` + `latency` sections) and log the degradation reason once.
+ * Benches call this from loadEnv; ScopedCounters calls it lazily.
+ */
+void initProcess();
+
+/**
+ * Write the `prof` and `latency` sections into the run manifest now.
+ * Called by the pre-emission hook; callable directly from tests.
+ */
+void writeManifestSections();
+
+/**
+ * Force a backend and re-run the probe (tests only — not thread-safe
+ * against concurrent ScopedCounters). Pass nullptr to re-read the
+ * environment.
+ */
+void setBackendForTest(const char *backend);
+
+} // namespace slo::prof

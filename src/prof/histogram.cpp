@@ -1,0 +1,269 @@
+#include "prof/histogram.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace slo::prof
+{
+
+/**
+ * One thread's counts. Plain relaxed atomics: the owning thread is the
+ * only incrementer, but snapshot() may read concurrently, and relaxed
+ * loads/increments keep that race benign (and TSan-clean) without
+ * contended cache lines.
+ */
+struct LatencyHistogram::Shard
+{
+    std::array<std::atomic<std::uint64_t>, kBuckets> counts{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sumNanos{0};
+    std::atomic<std::uint64_t> minNanos{
+        std::numeric_limits<std::uint64_t>::max()};
+    std::atomic<std::uint64_t> maxNanos{0};
+};
+
+namespace
+{
+
+/**
+ * Each histogram gets a process-unique id and threads cache their
+ * shard per id; ids are never reused, so a stale cache entry for a
+ * destroyed histogram can never alias a new one.
+ */
+std::atomic<std::uint64_t> g_next_id{1};
+
+thread_local std::unordered_map<std::uint64_t, LatencyHistogram::Shard *>
+    t_shards;
+
+void
+atomicMin(std::atomic<std::uint64_t> &slot, std::uint64_t value)
+{
+    std::uint64_t current = slot.load(std::memory_order_relaxed);
+    while (value < current &&
+           !slot.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMax(std::atomic<std::uint64_t> &slot, std::uint64_t value)
+{
+    std::uint64_t current = slot.load(std::memory_order_relaxed);
+    while (value > current &&
+           !slot.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+LatencyHistogram::LatencyHistogram()
+    : id_(g_next_id.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+LatencyHistogram::~LatencyHistogram() = default;
+
+std::size_t
+LatencyHistogram::bucketIndex(std::uint64_t nanos)
+{
+    if (nanos < kSubBuckets)
+        return static_cast<std::size_t>(nanos);
+    const int exponent = 63 - std::countl_zero(nanos);
+    const int shift = exponent - kSubBucketBits;
+    const std::size_t sub =
+        static_cast<std::size_t>(nanos >> shift) - kSubBuckets;
+    return static_cast<std::size_t>(shift + 1) * kSubBuckets + sub;
+}
+
+double
+LatencyHistogram::bucketValueNanos(std::size_t bucket)
+{
+    if (bucket < 2 * kSubBuckets)
+        return static_cast<double>(bucket);
+    const std::size_t block = bucket / kSubBuckets;
+    const std::size_t sub = bucket % kSubBuckets;
+    const int shift = static_cast<int>(block) - 1;
+    const double lo = std::ldexp(
+        static_cast<double>(kSubBuckets + sub), shift);
+    const double width = std::ldexp(1.0, shift);
+    return lo + width / 2.0;
+}
+
+LatencyHistogram::Shard &
+LatencyHistogram::localShard()
+{
+    Shard *&cached = t_shards[id_];
+    if (cached == nullptr) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        shards_.push_back(std::make_unique<Shard>());
+        cached = shards_.back().get();
+    }
+    return *cached;
+}
+
+void
+LatencyHistogram::recordNanos(std::uint64_t nanos)
+{
+    Shard &shard = localShard();
+    shard.counts[bucketIndex(nanos)].fetch_add(
+        1, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    shard.sumNanos.fetch_add(nanos, std::memory_order_relaxed);
+    atomicMin(shard.minNanos, nanos);
+    atomicMax(shard.maxNanos, nanos);
+}
+
+void
+LatencyHistogram::record(double seconds)
+{
+    if (!(seconds > 0.0)) {
+        recordNanos(0);
+        return;
+    }
+    recordNanos(static_cast<std::uint64_t>(seconds * 1e9));
+}
+
+LatencyHistogram::Snapshot
+LatencyHistogram::snapshot() const
+{
+    Snapshot merged;
+    merged.counts.assign(kBuckets, 0);
+    std::uint64_t min_nanos = std::numeric_limits<std::uint64_t>::max();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &shard : shards_) {
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            merged.counts[b] +=
+                shard->counts[b].load(std::memory_order_relaxed);
+        }
+        merged.count += shard->count.load(std::memory_order_relaxed);
+        merged.sumNanos +=
+            shard->sumNanos.load(std::memory_order_relaxed);
+        min_nanos = std::min(
+            min_nanos, shard->minNanos.load(std::memory_order_relaxed));
+        merged.maxNanos = std::max(
+            merged.maxNanos,
+            shard->maxNanos.load(std::memory_order_relaxed));
+    }
+    merged.minNanos = merged.count == 0 ? 0 : min_nanos;
+    return merged;
+}
+
+double
+LatencyHistogram::Snapshot::quantileNanos(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(count))));
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        cumulative += counts[b];
+        if (cumulative >= rank) {
+            const double value = bucketValueNanos(b);
+            return std::clamp(value, static_cast<double>(minNanos),
+                              static_cast<double>(maxNanos));
+        }
+    }
+    return static_cast<double>(maxNanos);
+}
+
+double
+LatencyHistogram::Snapshot::quantileSeconds(double q) const
+{
+    return quantileNanos(q) / 1e9;
+}
+
+obs::Json
+LatencyHistogram::toJson() const
+{
+    const Snapshot snap = snapshot();
+    obs::Json j = obs::Json::object();
+    j["count"] = snap.count;
+    j["sum_seconds"] = static_cast<double>(snap.sumNanos) / 1e9;
+    j["min_seconds"] = static_cast<double>(snap.minNanos) / 1e9;
+    j["max_seconds"] = static_cast<double>(snap.maxNanos) / 1e9;
+    const std::pair<const char *, double> points[] = {
+        {"p50_seconds", 0.50},
+        {"p90_seconds", 0.90},
+        {"p99_seconds", 0.99},
+        {"p999_seconds", 0.999}};
+    for (const auto &[label, q] : points)
+        j[label] = snap.quantileSeconds(q);
+    return j;
+}
+
+namespace
+{
+
+struct LatencyRegistry
+{
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms;
+
+    static LatencyRegistry &
+    instance()
+    {
+        // Intentionally leaked: the registry is created lazily by the
+        // first record mid-run, which would order its destructor
+        // *before* the atexit manifest emission that reads it. A
+        // never-destroyed heap instance is immune to that ordering.
+        static LatencyRegistry *registry = new LatencyRegistry();
+        return *registry;
+    }
+};
+
+} // namespace
+
+LatencyHistogram &
+latencyHistogram(const std::string &name)
+{
+    LatencyRegistry &registry = LatencyRegistry::instance();
+    const std::lock_guard<std::mutex> lock(registry.mutex);
+    auto &slot = registry.histograms[name];
+    if (slot == nullptr)
+        slot = std::make_unique<LatencyHistogram>();
+    return *slot;
+}
+
+obs::Json
+latencyRegistryJson()
+{
+    LatencyRegistry &registry = LatencyRegistry::instance();
+    const std::lock_guard<std::mutex> lock(registry.mutex);
+    obs::Json j = obs::Json::object();
+    for (const auto &[name, histogram] : registry.histograms)
+        j[name] = histogram->toJson();
+    return j;
+}
+
+void
+latencyRegistryReset()
+{
+    LatencyRegistry &registry = LatencyRegistry::instance();
+    const std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.histograms.clear();
+}
+
+ScopedLatency::ScopedLatency(LatencyHistogram &histogram)
+    : histogram_(histogram), startNanos_(obs::monotonicNanos())
+{
+}
+
+ScopedLatency::~ScopedLatency()
+{
+    histogram_.recordNanos(obs::monotonicNanos() - startNanos_);
+}
+
+} // namespace slo::prof

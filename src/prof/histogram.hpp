@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Fixed-memory log-bucketed latency histogram (HDR-style).
+ *
+ * `LatencyHistogram` records durations in nanoseconds into
+ * power-of-two segments split into 32 sub-buckets each, so every
+ * bucket's width is at most 1/32 of its value (kRelativeError) and the
+ * whole 64-bit range fits in a fixed ~15 KiB table — no allocation on
+ * the record path, no unbounded memory under heavy traffic.
+ *
+ * Recording goes to a per-thread shard (one relaxed atomic increment
+ * after a thread-local lookup), so concurrent recorders never contend.
+ * `snapshot()` merges the shards by summing counts — integer addition
+ * is order-independent, so the merged histogram is deterministic at
+ * any `SLO_THREADS`, which the qc suite checks.
+ *
+ * Quantiles come from the merged counts: `quantileNanos(q)` returns
+ * the representative (midpoint) value of the bucket holding the
+ * nearest-rank sample, exact min/max are tracked on the side. This is
+ * the latency primitive the serving work (ROADMAP item 3) will consume
+ * for p50/p99 under load; today the pipeline feeds it per-phase and
+ * per-simulation durations.
+ *
+ * Named histograms live in a process-wide registry
+ * (`prof::latencyHistogram("simulate.seconds")`) and are written into
+ * the run manifest's `latency` section and the metrics JSONL at
+ * emission time.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace slo::prof
+{
+
+class LatencyHistogram
+{
+  public:
+    /** Sub-buckets per power-of-two segment (2^5 = 32). */
+    static constexpr int kSubBucketBits = 5;
+    static constexpr std::size_t kSubBuckets = std::size_t{1}
+                                               << kSubBucketBits;
+    /** Total bucket count covering the full 64-bit nanosecond range. */
+    static constexpr std::size_t kBuckets =
+        kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;
+    /** Worst-case relative bucket width (1/32 ≈ 3.1%). */
+    static constexpr double kRelativeError =
+        1.0 / static_cast<double>(kSubBuckets);
+
+    LatencyHistogram();
+    ~LatencyHistogram();
+
+    LatencyHistogram(const LatencyHistogram &) = delete;
+    LatencyHistogram &operator=(const LatencyHistogram &) = delete;
+
+    /** Record one duration; negatives clamp to zero. */
+    void record(double seconds);
+    void recordNanos(std::uint64_t nanos);
+
+    /** Deterministic merge of every thread shard. */
+    struct Snapshot
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sumNanos = 0;
+        std::uint64_t minNanos = 0; ///< exact (0 when count == 0)
+        std::uint64_t maxNanos = 0; ///< exact (0 when count == 0)
+        std::vector<std::uint64_t> counts; ///< kBuckets merged counts
+
+        /**
+         * Nearest-rank quantile, q in [0, 1]: the representative value
+         * of the bucket holding sample ceil(q * count), clamped to the
+         * exact [min, max]. 0 when empty.
+         */
+        double quantileNanos(double q) const;
+        double quantileSeconds(double q) const;
+    };
+
+    Snapshot snapshot() const;
+
+    /** {"count","sum_seconds","min/max_seconds","p50..p999_seconds"}. */
+    obs::Json toJson() const;
+
+    /** Bucket of @p nanos (exact below kSubBuckets, log above). */
+    static std::size_t bucketIndex(std::uint64_t nanos);
+    /** Midpoint representative of @p bucket (inverse of bucketIndex). */
+    static double bucketValueNanos(std::size_t bucket);
+
+    /** One thread's counts (public for the thread-local shard cache). */
+    struct Shard;
+
+  private:
+    Shard &localShard();
+
+    const std::uint64_t id_; ///< process-unique (thread cache key)
+    mutable std::mutex mutex_; ///< guards shard registration only
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/**
+ * Process-wide named histogram; the reference stays valid for the
+ * process. Names follow the metrics convention (`layer.thing`), with a
+ * `_seconds`-style unit suffix.
+ */
+LatencyHistogram &latencyHistogram(const std::string &name);
+
+/** {"<name>": toJson(), ...} for every registered histogram. */
+obs::Json latencyRegistryJson();
+
+/** Drop every registered histogram (tests only). */
+void latencyRegistryReset();
+
+/** RAII: time the enclosing scope into @p histogram. */
+class ScopedLatency
+{
+  public:
+    explicit ScopedLatency(LatencyHistogram &histogram);
+    ~ScopedLatency();
+
+    ScopedLatency(const ScopedLatency &) = delete;
+    ScopedLatency &operator=(const ScopedLatency &) = delete;
+
+  private:
+    LatencyHistogram &histogram_;
+    std::uint64_t startNanos_;
+};
+
+} // namespace slo::prof

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Umbrella for the profiling layer: hardware counters with graceful
+ * degradation (counters.hpp) and fixed-memory latency histograms
+ * (histogram.hpp). Sits directly above obs — it feeds the run
+ * manifest's `prof`/`latency` sections through pre-emission hooks and
+ * depends on nothing else in src/.
+ */
+
+#pragma once
+
+#include "prof/counters.hpp"
+#include "prof/histogram.hpp"

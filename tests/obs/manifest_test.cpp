@@ -105,7 +105,7 @@ TEST_F(ManifestTest, RoundTripsThroughFile)
     const auto parsed = Json::parse(buffer.str(), &error);
     ASSERT_TRUE(parsed.has_value()) << error;
 
-    EXPECT_EQ(parsed->at("schema").asString(), "slo.run-manifest/1");
+    EXPECT_EQ(parsed->at("schema").asString(), "slo.run-manifest/2");
     EXPECT_EQ(parsed->at("bench").asString(), "fig2_dram_traffic");
     EXPECT_FALSE(parsed->at("started_at").asString().empty());
     EXPECT_FALSE(parsed->at("git_sha").asString().empty());
@@ -124,6 +124,52 @@ TEST_F(ManifestTest, RoundTripsThroughFile)
     EXPECT_TRUE(parsed->contains("metrics"));
 
     std::remove(path.c_str());
+}
+
+TEST_F(ManifestTest, PhaseCountersAccumulateNumericMembers)
+{
+    RunManifest &manifest = RunManifest::instance();
+    manifest.begin("bench");
+
+    Json first = Json::object();
+    first["cycles"] = 100u;
+    first["utime_seconds"] = 0.25;
+    first["note"] = "a";
+    manifest.recordPhaseCounters("m", "simulate", first);
+
+    Json second = Json::object();
+    second["cycles"] = 50u;
+    second["utime_seconds"] = 0.25;
+    second["note"] = "b";
+    manifest.recordPhaseCounters("m", "simulate", second);
+
+    const Json doc = manifest.toJson();
+    const Json &delta =
+        doc.at("matrices").at("m").at("counters").at("simulate");
+    // Numeric members add like recordPhase (a phase run repeatedly
+    // reports its total); non-numeric members overwrite.
+    EXPECT_DOUBLE_EQ(delta.at("cycles").asDouble(), 150.0);
+    EXPECT_DOUBLE_EQ(delta.at("utime_seconds").asDouble(), 0.5);
+    EXPECT_EQ(delta.at("note").asString(), "b");
+}
+
+TEST_F(ManifestTest, PreEmissionHooksRunAndSurviveThrows)
+{
+    RunManifest &manifest = RunManifest::instance();
+    manifest.begin("bench");
+    // Registered hooks capture locals: clear them again before leaving
+    // the test so no later emitAll runs a dangling closure.
+    clearPreEmissionHooks();
+    int calls = 0;
+    addPreEmissionHook([&calls] { ++calls; });
+    addPreEmissionHook([] { throw std::runtime_error("hook broke"); });
+    addPreEmissionHook([&calls] { ++calls; });
+    // A throwing hook is caught and logged; later hooks still run.
+    runPreEmissionHooks();
+    EXPECT_EQ(calls, 2);
+    runPreEmissionHooks();
+    EXPECT_EQ(calls, 4);
+    clearPreEmissionHooks();
 }
 
 TEST_F(ManifestTest, ResetClearsEverything)

@@ -90,6 +90,39 @@ TEST_F(MetricsTest, SnapshotContainsAllMetricTypes)
               1u);
 }
 
+TEST_F(MetricsTest, HistogramJsonCarriesOrderedQuantiles)
+{
+    Histogram &h = histogram("test.quantiles");
+    // 1..100 ms: quantiles land inside the default log buckets and the
+    // interpolated estimates must stay ordered and within [min, max].
+    for (int i = 1; i <= 100; ++i)
+        h.observe(static_cast<double>(i) / 1000.0);
+
+    const Json j = h.toJson();
+    ASSERT_TRUE(j.contains("quantiles"));
+    const Json &q = j.at("quantiles");
+    const double p50 = q.at("p50").asDouble();
+    const double p90 = q.at("p90").asDouble();
+    const double p99 = q.at("p99").asDouble();
+    const double p999 = q.at("p999").asDouble();
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_LE(p99, p999);
+    EXPECT_GE(p50, j.at("min").asDouble());
+    EXPECT_LE(p999, j.at("max").asDouble());
+    // p50 of a uniform 1..100 ms sweep is ~50 ms; the log buckets are
+    // coarse (decades), so just require the right order of magnitude.
+    EXPECT_GT(p50, 0.005);
+    EXPECT_LT(p50, 0.1);
+}
+
+TEST_F(MetricsTest, EmptyHistogramEmitsNoQuantiles)
+{
+    const Json j = histogram("test.empty").toJson();
+    EXPECT_FALSE(j.contains("quantiles"));
+    EXPECT_EQ(j.at("count").asUint(), 0u);
+}
+
 TEST_F(MetricsTest, JsonlEmitsOneValidObjectPerLine)
 {
     counter("test.c").add(7);

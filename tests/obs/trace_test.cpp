@@ -98,6 +98,54 @@ TEST_F(TraceTest, TraceJsonIsAValidChromeTraceDocument)
     EXPECT_EQ(parsed->at("displayTimeUnit").asString(), "ms");
 }
 
+TEST_F(TraceTest, CounterSamplesRenderAsCounterEvents)
+{
+    emitCounter("pool.runs", 3.0);
+    emitCounter("pool.runs", 7.0);
+
+    const Json doc = traceJson();
+    const Json &events = doc.at("traceEvents");
+    ASSERT_EQ(events.size(), 2u);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Json &event = events.at(i);
+        EXPECT_EQ(event.at("ph").asString(), "C");
+        EXPECT_EQ(event.at("name").asString(), "pool.runs");
+        EXPECT_TRUE(event.at("args").at("value").isNumber());
+    }
+    EXPECT_DOUBLE_EQ(events.at(0).at("args").at("value").asDouble(),
+                     3.0);
+    EXPECT_DOUBLE_EQ(events.at(1).at("args").at("value").asDouble(),
+                     7.0);
+}
+
+TEST_F(TraceTest, CounterSamplesAreDroppedWhenDisabled)
+{
+    setTraceEnabled(false);
+    emitCounter("quiet.counter", 1.0);
+    setTraceEnabled(true);
+    EXPECT_TRUE(traceEvents().empty());
+}
+
+TEST_F(TraceTest, ThreadNamesBecomeMetadataEvents)
+{
+    setThreadName("par.worker/0");
+    setThreadName("par.worker/0-renamed"); // last call per thread wins
+    {
+        SLO_SPAN("work");
+    }
+
+    const Json doc = traceJson();
+    const Json &events = doc.at("traceEvents");
+    ASSERT_EQ(events.size(), 2u);
+    // Metadata events come first so viewers name tracks before use.
+    const Json &meta = events.at(0);
+    EXPECT_EQ(meta.at("ph").asString(), "M");
+    EXPECT_EQ(meta.at("name").asString(), "thread_name");
+    EXPECT_EQ(meta.at("args").at("name").asString(),
+              "par.worker/0-renamed");
+    EXPECT_EQ(events.at(1).at("ph").asString(), "X");
+}
+
 TEST_F(TraceTest, ElapsedSecondsGrowsMonotonically)
 {
     const Span span("timer");

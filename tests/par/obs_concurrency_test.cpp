@@ -30,6 +30,16 @@ TEST(ObsConcurrencyTest, CountersSumAcrossThreads)
     EXPECT_EQ(c.value(), before + 1000);
 }
 
+/** "m" + to_string via append: sidesteps a GCC 12 -Wrestrict false
+ * positive on operator+(const char *, std::string &&) at -O2. */
+std::string
+matrixName(std::size_t index)
+{
+    std::string name("m");
+    name += std::to_string(index);
+    return name;
+}
+
 TEST(ObsConcurrencyTest, RecordPhaseAccumulatesUnderContention)
 {
     obs::RunManifest &manifest = obs::RunManifest::instance();
@@ -39,16 +49,16 @@ TEST(ObsConcurrencyTest, RecordPhaseAccumulatesUnderContention)
     par::parallelFor(
         std::size_t{0}, std::size_t{400},
         [&manifest](std::size_t i) {
-            manifest.recordPhase("m" + std::to_string(i % 4), "phase",
-                                 0.5);
+            manifest.recordPhase(matrixName(i % 4), "phase", 0.5);
         },
         par::ForOptions{1, &pool});
     const obs::Json doc = manifest.toJson();
     for (int m = 0; m < 4; ++m) {
-        const obs::Json &phase = doc.at("matrices")
-                                     .at("m" + std::to_string(m))
-                                     .at("phases")
-                                     .at("phase");
+        const obs::Json &phase =
+            doc.at("matrices")
+                .at(matrixName(static_cast<std::size_t>(m)))
+                .at("phases")
+                .at("phase");
         EXPECT_DOUBLE_EQ(phase.asDouble(), 50.0);
     }
     manifest.reset();

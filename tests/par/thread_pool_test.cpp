@@ -251,6 +251,56 @@ TEST(ParallelStableSortTest, SmallInputsUseTheSerialPath)
     EXPECT_EQ(values, expected);
 }
 
+TEST(ThreadPoolTest, StatsJsonCountsWorkAndBoundsUtilization)
+{
+    ThreadPool pool(4);
+    constexpr int kTasks = 500;
+    std::atomic<int> ran{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < kTasks; ++i)
+        group.run([&ran] { ran.fetch_add(1); });
+    group.wait();
+    ASSERT_EQ(ran.load(), kTasks);
+
+    const obs::Json stats = pool.statsJson();
+    EXPECT_EQ(stats.at("threads").asUint(), 4u);
+    EXPECT_FALSE(stats.at("serial").asBool());
+    // The waiting thread may help, so workers run *at most* kTasks.
+    EXPECT_LE(stats.at("tasks_run").asUint(),
+              static_cast<std::uint64_t>(kTasks));
+    EXPECT_GE(stats.at("steals").asUint(), 0u);
+    const double utilization = stats.at("utilization").asDouble();
+    EXPECT_GE(utilization, 0.0);
+    EXPECT_LE(utilization, 1.0);
+
+    const obs::Json &workers = stats.at("workers");
+    ASSERT_TRUE(workers.isArray());
+    ASSERT_EQ(workers.size(), 4u);
+    std::uint64_t per_worker_runs = 0;
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+        const obs::Json &w = workers.at(i);
+        EXPECT_EQ(w.at("index").asUint(), i);
+        per_worker_runs += w.at("runs").asUint();
+        EXPECT_GE(w.at("busy_seconds").asDouble(), 0.0);
+        EXPECT_GE(w.at("park_seconds").asDouble(), 0.0);
+    }
+    // Worker-local tallies must agree with the pool-wide total.
+    EXPECT_EQ(per_worker_runs, stats.at("tasks_run").asUint());
+}
+
+TEST(ThreadPoolTest, SerialPoolStatsReportFullUtilization)
+{
+    ThreadPool pool(1);
+    pool.submit([] {});
+    const obs::Json stats = pool.statsJson();
+    EXPECT_EQ(stats.at("threads").asUint(), 1u);
+    EXPECT_TRUE(stats.at("serial").asBool());
+    // Inline execution: no workers, no steals, no parked time.
+    EXPECT_EQ(stats.at("steals").asUint(), 0u);
+    EXPECT_EQ(stats.at("workers").size(), 0u);
+    EXPECT_DOUBLE_EQ(stats.at("utilization").asDouble(), 1.0);
+}
+
 TEST(ParallelForTest, StressManySmallBatches)
 {
     // Repeatedly spin up small fan-outs to stress submit/steal/wake

@@ -1,0 +1,199 @@
+#include "prof/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "prof/histogram.hpp"
+
+namespace slo::prof
+{
+namespace
+{
+
+/** Resets the manifest and restores the probed backend around each
+ * test (setBackendForTest(nullptr) re-reads the environment). */
+class CountersTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        obs::RunManifest::instance().reset();
+        unsetenv("SLO_PROF_BACKEND");
+        setBackendForTest(nullptr);
+    }
+
+    void
+    TearDown() override
+    {
+        obs::RunManifest::instance().reset();
+        unsetenv("SLO_PROF_BACKEND");
+        setBackendForTest(nullptr);
+    }
+};
+
+/** Touch some memory so the profiled scope has observable work. */
+void
+doWork()
+{
+    std::vector<double> buffer(1 << 16);
+    for (std::size_t i = 0; i < buffer.size(); ++i)
+        buffer[i] = static_cast<double>(i) * 1.5;
+    volatile double sink = 0.0;
+    for (double v : buffer)
+        sink = sink + v;
+    (void)sink;
+}
+
+TEST_F(CountersTest, ProbeNeverFailsAndExplainsDegradation)
+{
+    const Backend backend = activeBackend();
+    EXPECT_TRUE(backend == Backend::Perf || backend == Backend::Rusage);
+    if (backend != Backend::Perf) {
+        // Perf-denied hosts (containers, CI) must say why.
+        EXPECT_FALSE(degradationReason().empty());
+    } else {
+        EXPECT_TRUE(degradationReason().empty());
+    }
+}
+
+TEST_F(CountersTest, PeakRssIsVisible)
+{
+    EXPECT_GT(peakRssKb(), 0u);
+}
+
+TEST_F(CountersTest, EnvForcesTheRusageFallback)
+{
+    setenv("SLO_PROF_BACKEND", "rusage", 1);
+    setBackendForTest(nullptr);
+    EXPECT_EQ(activeBackend(), Backend::Rusage);
+    EXPECT_NE(degradationReason().find("forced"), std::string::npos);
+}
+
+TEST_F(CountersTest, ForcedRusageRunYieldsAValidManifest)
+{
+    setBackendForTest("rusage");
+    obs::RunManifest &manifest = obs::RunManifest::instance();
+    manifest.begin("counters_test");
+    {
+        const ScopedCounters counters("matrix-a", "simulate");
+        doWork();
+    }
+    writeManifestSections();
+
+    const obs::Json doc = manifest.toJson();
+    const obs::Json &prof = doc.at("prof");
+    EXPECT_EQ(prof.at("backend").asString(), "rusage");
+    EXPECT_TRUE(prof.at("degraded").asBool());
+    EXPECT_FALSE(prof.at("degradation_reason").asString().empty());
+    EXPECT_GT(prof.at("peak_rss_kb").asUint(), 0u);
+
+    const obs::Json &delta = doc.at("matrices")
+                                 .at("matrix-a")
+                                 .at("counters")
+                                 .at("simulate");
+    for (const char *field :
+         {"utime_seconds", "stime_seconds", "minor_faults",
+          "major_faults", "voluntary_ctx_switches",
+          "involuntary_ctx_switches"}) {
+        ASSERT_TRUE(delta.contains(field)) << field;
+        EXPECT_GE(delta.at(field).asDouble(), 0.0) << field;
+    }
+    EXPECT_TRUE(doc.contains("latency"));
+}
+
+TEST_F(CountersTest, WhicheverBackendRunsRecordsPhaseCounters)
+{
+    // Unforced: use whatever the host grants (perf on a workstation,
+    // rusage in a locked-down container) — same manifest shape.
+    obs::RunManifest &manifest = obs::RunManifest::instance();
+    manifest.begin("counters_test");
+    {
+        const ScopedCounters counters("matrix-b", "reorder.RABBIT");
+        doWork();
+    }
+    const obs::Json doc = manifest.toJson();
+    const obs::Json &counters =
+        doc.at("matrices").at("matrix-b").at("counters");
+    ASSERT_TRUE(counters.contains("reorder.RABBIT"));
+    EXPECT_GE(counters.at("reorder.RABBIT").size(), 1u);
+}
+
+TEST_F(CountersTest, OffBackendRecordsNothingButStaysValid)
+{
+    setBackendForTest("off");
+    obs::RunManifest &manifest = obs::RunManifest::instance();
+    manifest.begin("counters_test");
+    {
+        const ScopedCounters counters("matrix-c", "simulate");
+        doWork();
+    }
+    writeManifestSections();
+    const obs::Json doc = manifest.toJson();
+    EXPECT_EQ(doc.at("prof").at("backend").asString(), "off");
+    // A no-op scope never creates the matrix entry, let alone
+    // a counters section under it.
+    if (doc.contains("matrices")) {
+        EXPECT_FALSE(doc.at("matrices").contains("matrix-c"));
+    }
+}
+
+TEST_F(CountersTest, RepeatedPhasesAccumulateTheirDeltas)
+{
+    setBackendForTest("rusage");
+    obs::RunManifest &manifest = obs::RunManifest::instance();
+    manifest.begin("counters_test");
+    for (int i = 0; i < 2; ++i) {
+        const ScopedCounters counters("matrix-d", "simulate");
+        doWork();
+    }
+    const obs::Json doc = manifest.toJson();
+    const obs::Json &delta = doc.at("matrices")
+                                 .at("matrix-d")
+                                 .at("counters")
+                                 .at("simulate");
+    // Two runs merged into one totals object, not overwritten.
+    EXPECT_TRUE(delta.contains("utime_seconds"));
+    EXPECT_GE(delta.at("minor_faults").asDouble(), 0.0);
+}
+
+TEST_F(CountersTest, DeltaSinceClampsAtZero)
+{
+    CounterSample start;
+    start.backend = Backend::Rusage;
+    start.utimeSeconds = 2.0;
+    start.minorFaults = 100;
+    CounterSample end;
+    end.backend = Backend::Rusage;
+    end.utimeSeconds = 1.0; // e.g. a counter reset across threads
+    end.minorFaults = 150;
+    const CounterSample delta = end.deltaSince(start);
+    EXPECT_DOUBLE_EQ(delta.utimeSeconds, 0.0);
+    EXPECT_EQ(delta.minorFaults, 50u);
+}
+
+TEST_F(CountersTest, SampleJsonShapeFollowsTheBackend)
+{
+    CounterSample perf;
+    perf.backend = Backend::Perf;
+    perf.cycles = 123;
+    perf.hasCycles = true;
+    const obs::Json perf_json = perf.toJson();
+    EXPECT_TRUE(perf_json.contains("cycles"));
+    EXPECT_FALSE(perf_json.contains("utime_seconds"));
+
+    CounterSample rusage;
+    rusage.backend = Backend::Rusage;
+    rusage.utimeSeconds = 0.5;
+    const obs::Json rusage_json = rusage.toJson();
+    EXPECT_TRUE(rusage_json.contains("utime_seconds"));
+    EXPECT_FALSE(rusage_json.contains("cycles"));
+}
+
+} // namespace
+} // namespace slo::prof

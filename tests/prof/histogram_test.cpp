@@ -1,0 +1,181 @@
+#include "prof/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace slo::prof
+{
+namespace
+{
+
+TEST(LatencyHistogramTest, BucketIndexIsExactBelowSubBucketCount)
+{
+    for (std::uint64_t nanos = 0;
+         nanos < LatencyHistogram::kSubBuckets; ++nanos) {
+        EXPECT_EQ(LatencyHistogram::bucketIndex(nanos), nanos);
+        EXPECT_DOUBLE_EQ(LatencyHistogram::bucketValueNanos(
+                             LatencyHistogram::bucketIndex(nanos)),
+                         static_cast<double>(nanos));
+    }
+}
+
+TEST(LatencyHistogramTest, BucketIndexIsMonotoneAndInBounds)
+{
+    std::size_t previous = 0;
+    for (std::uint64_t nanos = 1; nanos < (std::uint64_t{1} << 40);
+         nanos = nanos * 2 + 1) {
+        const std::size_t bucket = LatencyHistogram::bucketIndex(nanos);
+        EXPECT_LT(bucket, LatencyHistogram::kBuckets);
+        EXPECT_GE(bucket, previous);
+        previous = bucket;
+    }
+}
+
+TEST(LatencyHistogramTest, BucketValueIsWithinRelativeError)
+{
+    // The representative of a value's bucket must be within the
+    // documented relative error bound (half a bucket width each way,
+    // bounded by kRelativeError of the value).
+    std::uint64_t nanos = 1;
+    for (int i = 0; i < 200; ++i) {
+        const std::size_t bucket = LatencyHistogram::bucketIndex(nanos);
+        const double rep = LatencyHistogram::bucketValueNanos(bucket);
+        const double error =
+            std::abs(rep - static_cast<double>(nanos)) /
+            static_cast<double>(nanos);
+        EXPECT_LE(error, LatencyHistogram::kRelativeError)
+            << "nanos=" << nanos << " rep=" << rep;
+        nanos = nanos * 3 / 2 + 1;
+    }
+}
+
+TEST(LatencyHistogramTest, SnapshotTracksExactCountSumMinMax)
+{
+    LatencyHistogram h;
+    const std::vector<std::uint64_t> samples = {5, 1000, 42, 7,
+                                                123456789};
+    std::uint64_t sum = 0;
+    for (std::uint64_t s : samples) {
+        h.recordNanos(s);
+        sum += s;
+    }
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, samples.size());
+    EXPECT_EQ(snap.sumNanos, sum);
+    EXPECT_EQ(snap.minNanos,
+              *std::min_element(samples.begin(), samples.end()));
+    EXPECT_EQ(snap.maxNanos,
+              *std::max_element(samples.begin(), samples.end()));
+}
+
+TEST(LatencyHistogramTest, QuantilesAreOrderedAndBracketed)
+{
+    LatencyHistogram h;
+    for (std::uint64_t i = 1; i <= 10000; ++i)
+        h.recordNanos(i * 100); // 100ns .. 1ms, uniform
+    const auto snap = h.snapshot();
+    const double p50 = snap.quantileNanos(0.50);
+    const double p90 = snap.quantileNanos(0.90);
+    const double p99 = snap.quantileNanos(0.99);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_GE(p50, static_cast<double>(snap.minNanos));
+    EXPECT_LE(p99, static_cast<double>(snap.maxNanos));
+    // Uniform data: p50 ~ 500us within the bucket error bound.
+    EXPECT_NEAR(p50, 500000.0,
+                500000.0 * LatencyHistogram::kRelativeError * 2);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramIsAllZero)
+{
+    LatencyHistogram h;
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_EQ(snap.minNanos, 0u);
+    EXPECT_EQ(snap.maxNanos, 0u);
+    EXPECT_DOUBLE_EQ(snap.quantileNanos(0.99), 0.0);
+}
+
+TEST(LatencyHistogramTest, MergeAcrossThreadsLosesNothing)
+{
+    LatencyHistogram h;
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kPerThread = 5000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h, t] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                h.recordNanos((i + 1) * static_cast<std::uint64_t>(t + 1));
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, kThreads * kPerThread);
+    EXPECT_EQ(snap.minNanos, 1u);
+    EXPECT_EQ(snap.maxNanos, kPerThread * kThreads);
+}
+
+TEST(LatencyHistogramTest, RecordSecondsClampsNegativesToZero)
+{
+    LatencyHistogram h;
+    h.record(-1.0);
+    h.record(0.5);
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 2u);
+    EXPECT_EQ(snap.minNanos, 0u);
+    EXPECT_NEAR(static_cast<double>(snap.maxNanos), 5e8, 1.0);
+}
+
+TEST(LatencyHistogramTest, ToJsonReportsQuantileSeconds)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 100; ++i)
+        h.record(0.001 * (i + 1)); // 1ms .. 100ms
+    const obs::Json j = h.toJson();
+    EXPECT_EQ(j.at("count").asUint(), 100u);
+    EXPECT_GT(j.at("p50_seconds").asDouble(), 0.0);
+    EXPECT_LE(j.at("p50_seconds").asDouble(),
+              j.at("p99_seconds").asDouble());
+    EXPECT_LE(j.at("p99_seconds").asDouble(),
+              j.at("p999_seconds").asDouble());
+    EXPECT_LE(j.at("min_seconds").asDouble(),
+              j.at("p50_seconds").asDouble());
+    EXPECT_GE(j.at("max_seconds").asDouble(),
+              j.at("p999_seconds").asDouble());
+}
+
+TEST(LatencyHistogramTest, RegistryReturnsStableNamedInstances)
+{
+    latencyRegistryReset();
+    LatencyHistogram &a = latencyHistogram("test.registry");
+    LatencyHistogram &b = latencyHistogram("test.registry");
+    EXPECT_EQ(&a, &b);
+    a.recordNanos(100);
+    const obs::Json all = latencyRegistryJson();
+    EXPECT_TRUE(all.contains("test.registry"));
+    EXPECT_EQ(all.at("test.registry").at("count").asUint(), 1u);
+    latencyRegistryReset();
+    EXPECT_EQ(latencyRegistryJson().size(), 0u);
+}
+
+TEST(LatencyHistogramTest, ScopedLatencyRecordsOneSample)
+{
+    latencyRegistryReset();
+    LatencyHistogram &h = latencyHistogram("test.scoped");
+    {
+        const ScopedLatency timed(h);
+    }
+    EXPECT_EQ(h.snapshot().count, 1u);
+    latencyRegistryReset();
+}
+
+} // namespace
+} // namespace slo::prof

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Properties of the slo::prof latency histogram: its quantiles must
+ * track a sorted-sample oracle within the documented bucket error
+ * bound, and shard merging must be deterministic — recording the same
+ * multiset from one thread or many yields an identical snapshot.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "prof/histogram.hpp"
+#include "qc/qc.hpp"
+
+namespace slo::qc
+{
+namespace
+{
+
+/** One generated sample population. */
+struct SampleCase
+{
+    std::size_t count = 0;
+    std::uint64_t seed = 0;
+};
+
+std::vector<std::uint64_t>
+randomNanos(const SampleCase &value)
+{
+    Rng rng(value.seed);
+    std::vector<std::uint64_t> out(value.count);
+    for (std::uint64_t &nanos : out) {
+        // Log-uniform over ~9 decades so every bucket regime
+        // (exact sub-bucket, mid, high-exponent) gets exercised.
+        const double exponent = rng.uniform() * 9.0;
+        nanos = static_cast<std::uint64_t>(std::pow(10.0, exponent));
+    }
+    return out;
+}
+
+PropertyOptions<SampleCase>
+sampleOptions()
+{
+    PropertyOptions<SampleCase> options;
+    options.describe = [](const SampleCase &value) {
+        obs::Json out = obs::Json::object();
+        out["count"] = value.count;
+        out["seed"] = value.seed;
+        return out;
+    };
+    options.shrink = [](const SampleCase &value) {
+        std::vector<SampleCase> out;
+        if (value.count > 0) {
+            SampleCase smaller = value;
+            smaller.count /= 2;
+            out.push_back(smaller);
+        }
+        return out;
+    };
+    return options;
+}
+
+SampleCase
+generateSampleCase(Rng &rng)
+{
+    SampleCase value;
+    value.count = 1 + rng.below(3000);
+    value.seed = rng.next();
+    return value;
+}
+
+TEST(QcProfProps, QuantilesMatchSortedOracleWithinBucketError)
+{
+    const Outcome outcome = checkProperty<SampleCase>(
+        "qc.prof.quantiles_vs_sorted_oracle", generateSampleCase,
+        [](const SampleCase &value, std::string &message) {
+            std::vector<std::uint64_t> samples = randomNanos(value);
+            prof::LatencyHistogram h;
+            for (std::uint64_t nanos : samples)
+                h.recordNanos(nanos);
+            std::sort(samples.begin(), samples.end());
+
+            const auto snap = h.snapshot();
+            for (double q : {0.5, 0.9, 0.99, 0.999}) {
+                // Nearest-rank oracle, matching the snapshot's
+                // 1-based rank = max(1, ceil(q * count)).
+                const std::size_t rank = std::max<std::size_t>(
+                    1, static_cast<std::size_t>(std::ceil(
+                           q * static_cast<double>(samples.size()))));
+                const double oracle = static_cast<double>(
+                    samples[std::min(rank, samples.size()) - 1]);
+                const double got = snap.quantileNanos(q);
+                // The histogram reports the representative of the
+                // bucket holding the ranked sample, so the error is
+                // bounded by the bucket's relative width (+1ns of
+                // integer slack for tiny values).
+                const double tolerance =
+                    oracle * prof::LatencyHistogram::kRelativeError +
+                    1.0;
+                if (std::abs(got - oracle) > tolerance) {
+                    message = "q=" + std::to_string(q) + " oracle=" +
+                              std::to_string(oracle) + " got=" +
+                              std::to_string(got);
+                    return false;
+                }
+            }
+            return true;
+        },
+        sampleOptions());
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcProfProps, ShardMergeIsDeterministicAcrossThreadCounts)
+{
+    const Outcome outcome = checkProperty<SampleCase>(
+        "qc.prof.shard_merge_thread_invariant", generateSampleCase,
+        [](const SampleCase &value, std::string &message) {
+            const std::vector<std::uint64_t> samples =
+                randomNanos(value);
+
+            prof::LatencyHistogram serial;
+            for (std::uint64_t nanos : samples)
+                serial.recordNanos(nanos);
+
+            prof::LatencyHistogram sharded;
+            constexpr std::size_t kThreads = 4;
+            std::vector<std::thread> threads;
+            for (std::size_t t = 0; t < kThreads; ++t) {
+                threads.emplace_back([&sharded, &samples, t] {
+                    for (std::size_t i = t; i < samples.size();
+                         i += kThreads)
+                        sharded.recordNanos(samples[i]);
+                });
+            }
+            for (std::thread &thread : threads)
+                thread.join();
+
+            const auto a = serial.snapshot();
+            const auto b = sharded.snapshot();
+            if (a.count != b.count || a.sumNanos != b.sumNanos ||
+                a.minNanos != b.minNanos ||
+                a.maxNanos != b.maxNanos) {
+                message = "count/sum/min/max diverged: serial count " +
+                          std::to_string(a.count) + " sharded " +
+                          std::to_string(b.count);
+                return false;
+            }
+            for (double q : {0.5, 0.9, 0.99, 0.999}) {
+                if (a.quantileNanos(q) != b.quantileNanos(q)) {
+                    message =
+                        "quantile q=" + std::to_string(q) +
+                        " diverged: " +
+                        std::to_string(a.quantileNanos(q)) + " vs " +
+                        std::to_string(b.quantileNanos(q));
+                    return false;
+                }
+            }
+            return true;
+        },
+        sampleOptions());
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+} // namespace
+} // namespace slo::qc
