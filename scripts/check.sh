@@ -1,34 +1,16 @@
 #!/bin/bash
-# Single local/CI gate for the slo tree (see CONTRIBUTING.md):
+# Single local/CI gate for the slo tree (see CONTRIBUTING.md).
 #
-#   lint    scripts/lint_slo.py over src/ and bench/ (project rules the
-#           compiler cannot express: Index/Offset discipline, chrono
-#           usage, include hygiene, ...).
-#   tidy    clang-tidy over the compilation database — skipped with a
-#           warning when the binary is not installed; set
-#           SLO_REQUIRE_CLANG_TIDY=1 to make its absence fatal (CI
-#           images that ship it should do this).
-#   asan    ASan/UBSan build of the full test suite (cmake preset
-#           "asan": -DSLO_SANITIZE=address;undefined, -Werror) and
-#           ctest with SLO_CHECK_LEVEL=full so every contract validator
-#           runs its deep checks under the sanitizers.
-#   tsan    TSan build (cmake preset "tsan") running the concurrency-
-#           and qc-labelled tests (thread pool, obs contention,
-#           artifact-cache races, property-based oracles). Set
-#           SLO_TSAN_FULL=1 to run the whole suite under TSan.
-#   qc      property suite on the default (unsanitized) tree with the
-#           full default case counts — the sanitizer presets cap cases
-#           via SLO_QC_CASES=25, this stage runs the deeper sweep.
-#   golden  regression snapshots: the fig2/table3/table4 benches in the
-#           pinned configuration diffed against tests/golden/
-#           (scripts/golden.py; refresh intentional changes with
-#           --bless).
+# The stage list below (stage_table) is the one source of truth: the
+# usage text, stage validation, the full-set check that gates the
+# bench stamp, and dispatch (stage_<name> functions) all derive from
+# it. Adding a stage means adding one table row and one function.
 #
-# Usage: scripts/check.sh [-j N] [--stages lint,asan,...] [--stamp-only]
+# Usage: scripts/check.sh [-j N] [--stages sa,asan,...] [--stamp-only]
 #
 # SLO_CHECK_STAGES (or --stages) selects a comma/space-separated subset
 # of stages, e.g. for CI jobs that split the gate across runners:
-#     SLO_CHECK_STAGES=lint,tidy scripts/check.sh
+#     SLO_CHECK_STAGES=sa,tidy scripts/check.sh
 # The gate is non-interactive and fail-fast: the first failing stage
 # aborts the run with its exit code.
 #
@@ -42,10 +24,31 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-all_stages="lint tidy asan tsan qc golden"
+# name|description — one row per stage, in execution order.
+stage_table() {
+    cat <<'EOF'
+sa|project static analysis (scripts/sa/run.py): module layering, lock order, determinism, env registry, and style rules over src/, bench/, tests/
+tidy|clang-tidy over the compilation database — skipped with a warning when the binary is missing; SLO_REQUIRE_CLANG_TIDY=1 makes its absence fatal
+asan|ASan/UBSan build (preset "asan") and full ctest with SLO_CHECK_LEVEL=full so every contract validator runs deep checks under the sanitizers
+tsan|TSan build (preset "tsan") running the concurrency- and qc-labelled tests; SLO_TSAN_FULL=1 runs the whole suite
+qc|property suite on the default (unsanitized) tree with the full default case counts (sanitizer presets cap cases at 25)
+golden|regression snapshots: fig2/table3/table4 benches diffed against tests/golden/ (refresh intentional changes with scripts/golden.py --bless)
+EOF
+}
+
+all_stages="$(stage_table | cut -d'|' -f1 | tr '\n' ' ')"
+all_stages="${all_stages% }"
 stages="${SLO_CHECK_STAGES:-$all_stages}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 stamp_only=0
+
+usage() {
+    echo "Usage: scripts/check.sh [-j N] [--stages LIST] [--stamp-only]"
+    echo "Stages (default: all, in this order):"
+    stage_table | while IFS='|' read -r name desc; do
+        printf '  %-8s %s\n' "$name" "$desc"
+    done
+}
 
 while [ "$#" -gt 0 ]; do
     case "$1" in
@@ -59,6 +62,8 @@ while [ "$#" -gt 0 ]; do
             stages="$2"; shift 2 ;;
         --stamp-only)
             stamp_only=1; shift ;;
+        -h|--help)
+            usage; exit 0 ;;
         *)
             echo "check.sh: unknown argument: $1" >&2; exit 2 ;;
     esac
@@ -83,9 +88,13 @@ die() { echo "check.sh: FAIL: $*" >&2; exit 1; }
 
 wants() { case " $stages " in *" $1 "*) return 0 ;; esac; return 1; }
 
-stage_lint() {
-    step "lint (scripts/lint_slo.py)"
-    python3 scripts/lint_slo.py src bench || die "lint findings above"
+stage_sa() {
+    step "static analysis (scripts/sa/run.py)"
+    mkdir -p build/sa
+    python3 scripts/sa/run.py \
+        --json build/sa/findings.json \
+        --dot build/sa/layering.dot \
+        || die "static-analysis findings above (artifacts in build/sa/)"
 }
 
 stage_tidy() {
@@ -156,12 +165,15 @@ stage_golden() {
 ran_any=0
 default_built=0
 for stage in $stages; do
-    case "$stage" in
-        lint|tidy|asan|tsan|qc|golden) ;;
-        *) die "unknown stage '$stage' (valid: $all_stages)" ;;
-    esac
+    wants_valid=0
+    for known in $all_stages; do
+        [ "$stage" = "$known" ] && wants_valid=1 && break
+    done
+    [ "$wants_valid" = "1" ] \
+        || die "unknown stage '$stage' (valid: $all_stages)"
 done
-for stage in $stages; do
+for stage in $all_stages; do
+    wants "$stage" || continue
     if [ "$stage" = "qc" ] || [ "$stage" = "golden" ]; then
         [ "$default_built" = "1" ] || { build_default
                                         default_built=1; }

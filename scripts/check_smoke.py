@@ -3,7 +3,9 @@
 
 Two halves (see tests/CMakeLists.txt for the registration):
 
-  1. Run scripts/lint_slo.py over src/ — the tree must be lint-clean.
+  1. Run the project static analyzer (scripts/sa/run.py) over its
+     default roots — the tree must be clean against the committed
+     baseline.
   2. Run the check_probe binary (which corrupts a permutation on
      purpose) with SLO_CHECK_REPORT pointing at a temp file, then
      schema-check the slo.check-violation/1 JSON report it leaves.
@@ -35,11 +37,12 @@ def main(argv: list[str]) -> int:
     root = Path(argv[1])
     probe = Path(argv[2])
 
-    lint = subprocess.run(
-        [sys.executable, str(root / "scripts" / "lint_slo.py"), "src"],
+    sa = subprocess.run(
+        [sys.executable, str(root / "scripts" / "sa" / "run.py")],
         cwd=root)
-    if lint.returncode != 0:
-        print("check_smoke: lint findings in src/", file=sys.stderr)
+    if sa.returncode != 0:
+        print("check_smoke: static-analysis findings",
+              file=sys.stderr)
         return 1
 
     with tempfile.TemporaryDirectory(prefix="slo-check-smoke-") as tmp:
@@ -80,7 +83,8 @@ def main(argv: list[str]) -> int:
               f" {report['context']!r}", file=sys.stderr)
         return 1
 
-    print("check_smoke: lint clean, violation report schema OK")
+    print("check_smoke: static analysis clean, violation report "
+          "schema OK")
     return 0
 
 

@@ -1,0 +1,46 @@
+"""compile_commands.json discovery for the slo static analyzer.
+
+The analyzer is source-driven (it walks ``src/``, ``bench/``,
+``tests/``, ``examples/``), but the compilation database — exported by
+every CMake preset — is the authority on which .cpp files are real
+translation units. When a database is found, any analyzed .cpp
+missing from it is reported to stderr as a warning (dead file or a
+CMakeLists omission), and TU-scoped passes (lock-order) use database
+order. The analyzer still runs without one (fresh checkout, no
+configure yet).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+_CANDIDATES = ("build/compile_commands.json",
+               "build-asan/compile_commands.json",
+               "build-tsan/compile_commands.json")
+
+
+def find_database(root: Path, explicit: str | None = None) -> Path | None:
+    if explicit:
+        path = Path(explicit)
+        return path if path.exists() else None
+    for candidate in _CANDIDATES:
+        path = root / candidate
+        if path.exists():
+            return path
+    return None
+
+
+def translation_units(db_path: Path, root: Path) -> set[str]:
+    """Repo-relative posix paths of every TU in the database."""
+    entries = json.loads(db_path.read_text())
+    units: set[str] = set()
+    for entry in entries:
+        file_path = Path(entry["file"])
+        if not file_path.is_absolute():
+            file_path = Path(entry.get("directory", ".")) / file_path
+        file_path = Path(os.path.normpath(file_path))
+        if file_path.is_relative_to(root):
+            units.add(file_path.relative_to(root).as_posix())
+    return units

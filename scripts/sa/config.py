@@ -1,0 +1,144 @@
+"""Project configuration for the slo static analyzer.
+
+This file *is* the declared architecture: the module DAG the layering
+pass enforces, the path scopes style rules honour, and the sink
+heuristics of the determinism pass. Changing the architecture means
+changing this file in the same PR — reviewers see both moves together.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+# ---------------------------------------------------------------------------
+# Layering: declared module DAG (module -> modules it may include).
+#
+# The intended order is bottom-up:
+#
+#   obs                       observability is the bottom layer; it
+#                             includes nothing else so every other
+#                             layer can report through it
+#   check, matrix             contracts + matrix types. These two are a
+#                             declared mutual seam: matrix constructors
+#                             validate through check, while
+#                             check/validators.hpp needs matrix/types —
+#                             both directions are leaf-header only
+#   par, prof                 runtime + profiling on top of obs
+#   kernels, partition,
+#   community, cache          mid-layer algorithm families
+#   reorder                   orderings compose community + partition
+#   gpu                       simulators compose kernels + cache
+#   qc                        test-support generators/oracles see all
+#                             algorithm layers
+#   core                      the experiment driver layer composes
+#                             everything below it
+#   bench / tests / examples  leaves; may include anything
+#
+# The file-level include graph must still be acyclic (SA002): the
+# matrix<->check seam is allowed at module granularity precisely
+# because no file-level cycle exists.
+# ---------------------------------------------------------------------------
+
+LAYERING: dict[str, set[str]] = {
+    "obs": set(),
+    "check": {"obs", "matrix"},
+    "matrix": {"obs", "check"},
+    "par": {"obs", "check"},
+    "prof": {"obs", "check"},
+    "kernels": {"matrix", "obs", "check"},
+    "partition": {"matrix", "obs", "check", "par"},
+    "community": {"matrix", "par", "obs", "check"},
+    "cache": {"matrix", "par", "obs", "check"},
+    "reorder": {"matrix", "community", "partition", "par", "obs",
+                "check"},
+    "gpu": {"matrix", "kernels", "cache", "par", "obs", "check"},
+    "qc": {"matrix", "community", "cache", "kernels", "reorder",
+           "gpu", "par", "partition", "obs", "check", "prof"},
+    "core": {"matrix", "reorder", "community", "partition", "gpu",
+             "kernels", "cache", "par", "prof", "obs", "check"},
+}
+
+# Leaf trees that may include any module (and their own siblings).
+UNRESTRICTED_MODULES = {"bench", "tests", "examples", ""}
+
+# ---------------------------------------------------------------------------
+# Lock-order pass.
+# ---------------------------------------------------------------------------
+
+# Call names considered blocking wait/help points: making one of these
+# while holding a lock is the hold-and-wait shape of the PR 3 deadlock
+# (a waiter helping with unrelated work while a flock is held).
+WAIT_CALLS = {
+    "wait", "waitAll", "join", "parallelFor", "parallelForChunks",
+    "parallelReduce", "parallelStableSort", "parallelInvoke",
+    "helpWhileWaiting", "wait_for", "wait_until", "get",
+}
+# ... except `get` is far too common as a plain accessor; only the
+# explicitly blocking names below fire without a receiver match.
+WAIT_CALLS_BARE = {
+    "waitAll", "parallelFor", "parallelForChunks", "parallelReduce",
+    "parallelStableSort", "parallelInvoke", "helpWhileWaiting",
+}
+# Receiver-qualified blocking calls: `x.wait(...)`, `group->join()`.
+WAIT_CALLS_MEMBER = {"wait", "waitAll", "join", "wait_for",
+                     "wait_until"}
+
+# ---------------------------------------------------------------------------
+# Determinism pass.
+# ---------------------------------------------------------------------------
+
+# Sink tokens: an unordered-container iteration whose loop body (or
+# enclosing statement) touches one of these flows into an output path
+# (manifests, metrics, reports, golden snapshots, streams).
+DETERMINISM_SINKS = (
+    "<<", "manifest", "Manifest", "metric", "Metric", "record",
+    "emit", "writeJson", "toJson", "Json(", "report", "Report",
+    "snapshot", "print", "append(",
+)
+# Modules whose whole job is emitting output: any unordered iteration
+# there is a finding regardless of body tokens.
+OUTPUT_MODULES = {"obs", "bench"}
+OUTPUT_FILE_HINTS = ("report", "manifest", "golden")
+
+# Paths allowed to use nondeterministic randomness sources (SA007).
+RANDOMNESS_ALLOWED = ("src/qc/",)
+
+# ---------------------------------------------------------------------------
+# Env registry pass.
+# ---------------------------------------------------------------------------
+
+ENV_REGISTRY_DOC = Path("docs/env_registry.md")
+ENV_PREFIXES = ("SLO_", "REPRO_")
+# Shell/workflow/preset files scanned for env references alongside the
+# C++ getenv sites.
+ENV_SCRIPT_GLOBS = ("scripts/*.sh", "scripts/*.py",
+                    ".github/workflows/*.yml", "CMakePresets.json")
+# Identifiers matching the prefix that are not environment variables.
+ENV_IGNORE = {
+    "SLO_BUILD_BENCH",      # CMake option, not an env var
+    "SLO_BUILD_EXAMPLES",   # CMake option, not an env var
+    "SLO_SANITIZE",         # CMake cache variable
+    "SLO_WERROR",           # CMake cache variable
+    "SLO_CHECK",            # the contract-check macro family
+    "SLO_CHECK_CTX",
+    "SLO_SPAN",             # obs macro
+    "SLO_LOG_LEVEL",        # obs macro helper
+}
+
+# ---------------------------------------------------------------------------
+# Style rules (migrated from scripts/lint_slo.py).
+# ---------------------------------------------------------------------------
+
+# Headers allowed to use raw `long` (the JSON layer needs the full
+# integer conversion ladder).
+ALLOW_RAW_LONG = {"src/obs/json.hpp"}
+# Modules that own timing / rusage / threading primitives.
+CHRONO_ALLOWED = ("src/obs/", "src/prof/")
+RUSAGE_ALLOWED = ("src/obs/", "src/prof/")
+THREAD_ALLOWED = ("src/par/", "tests/")
+
+# Default analysis roots (repo-relative).
+DEFAULT_ROOTS = ("src", "bench", "tests", "examples")
+# Fixture corpora are analyzed only by the selftest, never by default
+# tree runs.
+EXCLUDED_DIRS = ("tests/sa/fixtures",)

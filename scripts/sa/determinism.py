@@ -1,0 +1,166 @@
+"""Determinism pass (SA005, SA006, SA007).
+
+The pipeline's byte-identical-output contract (goldens, manifests
+diffed across thread counts) makes three shapes dangerous:
+
+* SA005 — iterating an ``std::unordered_map`` / ``unordered_set``
+  where the loop flows into an output path (manifest/metrics/report
+  emission, stream ``<<``).  Hash iteration order is stdlib- and
+  insertion-history-dependent; output paths must iterate sorted.
+  Heuristic: the iterated variable was declared as an unordered
+  container in the same file, and either the enclosing file belongs to
+  an output module (obs, bench, report/manifest/golden sources) or the
+  loop body mentions a sink token.
+* SA006 — ``x += ...`` inside a ``parallelFor`` body where ``x`` is a
+  float/double declared outside the lambda: cross-thread FP
+  accumulation is both racy and order-dependent; use
+  ``parallelReduce`` (fixed grain-chunked fold order).
+* SA007 — ``rand()`` / ``srand()`` / ``std::random_device`` outside
+  the qc generators: all randomness must be seeded and flow from
+  ``matrix/rng.hpp`` or ``qc::gen`` so every run is reproducible.
+"""
+
+from __future__ import annotations
+
+import re
+
+import config
+from lexer import line_of, match_brace
+from model import Reporter, SourceFile
+
+_UNORDERED_DECL_RE = re.compile(
+    r'\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s*'
+    r'(?:[&*]\s*)?(\w+)\s*[;,)({=]')
+_UNORDERED_NESTED_RE = re.compile(
+    r'\bstd::vector\s*<\s*std::unordered_(?:map|set)\s*<[^;]*?>\s*>\s*'
+    r'(\w+)\s*[;,)({=]')
+# Range-for: split on a single ':' (not the '::' scope operator).
+_RANGE_FOR_RE = re.compile(
+    r'\bfor\s*\(([^;)]*?)(?<!:):(?!:)([^;)]*)\)\s*\{?')
+_PARALLEL_FOR_RE = re.compile(r'\bparallelFor(?:Chunks)?\s*\(')
+_FP_DECL_RE = re.compile(r'\b(?:double|float)\s+(\w+)\s*[;=({]')
+_RANDOM_RE = re.compile(r'\b(rand|srand)\s*\(|\bstd::random_device\b')
+
+
+def _base_identifier(expr: str) -> str:
+    """``adjacency[static_cast<...>(v)]`` -> ``adjacency``;
+    ``*map_ptr`` -> ``map_ptr``; ``obj.field`` -> ``field`` owner is
+    unknown, so return the last component."""
+    expr = expr.strip()
+    expr = re.sub(r'\[.*$', '', expr)     # drop subscripts
+    expr = re.sub(r'\(.*$', '', expr)     # drop call tails
+    expr = expr.strip(' *&')
+    if '.' in expr:
+        expr = expr.rsplit('.', 1)[-1]
+    if '->' in expr:
+        expr = expr.rsplit('->', 1)[-1]
+    return expr.strip()
+
+
+def run(files: list[SourceFile], reporter: Reporter,
+        sinks: tuple[str, ...] | None = None,
+        output_modules: set[str] | None = None) -> None:
+    sinks = config.DETERMINISM_SINKS if sinks is None else sinks
+    output_modules = (config.OUTPUT_MODULES if output_modules is None
+                      else output_modules)
+    for source in files:
+        _check_unordered_iteration(source, reporter, sinks,
+                                   output_modules)
+        _check_parallel_fp_accumulation(source, reporter)
+        _check_randomness(source, reporter)
+
+
+def _check_unordered_iteration(source: SourceFile, reporter: Reporter,
+                               sinks: tuple[str, ...],
+                               output_modules: set[str]) -> None:
+    code = source.code
+    unordered_names = {m.group(1)
+                       for m in _UNORDERED_DECL_RE.finditer(code)}
+    unordered_names |= {m.group(1)
+                        for m in _UNORDERED_NESTED_RE.finditer(code)}
+    if not unordered_names:
+        return
+    file_is_output = (
+        source.module in output_modules or
+        any(hint in source.rel.rsplit("/", 1)[-1]
+            for hint in config.OUTPUT_FILE_HINTS))
+    for m in _RANGE_FOR_RE.finditer(code):
+        container = _base_identifier(m.group(2))
+        if container not in unordered_names:
+            continue
+        line = line_of(code, m.start())
+        # Body span: the statement or block following the range-for.
+        brace = code.find("{", m.start(), m.end() + 4)
+        if brace >= 0:
+            body = code[brace:match_brace(code, brace)]
+        else:
+            semi = code.find(";", m.end())
+            body = code[m.end():semi + 1 if semi >= 0 else len(code)]
+        if file_is_output or any(s in body for s in sinks):
+            reporter.report(
+                "SA005", source.rel, line,
+                f"iteration over unordered container '{container}' "
+                "flows into an output path — iterate a sorted copy "
+                "(or justify with sa-ok: hash order is stdlib-"
+                "dependent and breaks byte-identical outputs)")
+
+
+def _check_parallel_fp_accumulation(source: SourceFile,
+                                    reporter: Reporter) -> None:
+    code = source.code
+    for m in _PARALLEL_FOR_RE.finditer(code):
+        open_paren = code.find("(", m.start())
+        close = _match_paren_span(code, open_paren)
+        call = code[open_paren:close]
+        lambda_start = call.find("[")
+        if lambda_start < 0:
+            continue
+        lam_brace = call.find("{", lambda_start)
+        if lam_brace < 0:
+            continue
+        lam_body = call[lam_brace:match_brace(call, lam_brace)]
+        # FP variables declared before the call in the same file scope
+        # (function-local or file-local; good enough per TU).
+        declared_before = {
+            d.group(1)
+            for d in _FP_DECL_RE.finditer(code, 0, m.start())}
+        declared_inside = {
+            d.group(1) for d in _FP_DECL_RE.finditer(lam_body)}
+        for acc in re.finditer(r'([A-Za-z_]\w*)\s*\+=', lam_body):
+            name = acc.group(1)
+            if name in declared_before and name not in declared_inside:
+                line = line_of(code,
+                               open_paren + lam_brace + acc.start())
+                reporter.report(
+                    "SA006", source.rel, line,
+                    f"floating-point accumulation into '{name}' "
+                    "inside a parallelFor body — summation order "
+                    "depends on scheduling; use parallelReduce "
+                    "(deterministic chunk-order fold)")
+
+
+def _check_randomness(source: SourceFile, reporter: Reporter) -> None:
+    if any(source.rel.startswith(p)
+           for p in config.RANDOMNESS_ALLOWED):
+        return
+    for lineno, code in enumerate(source.code_lines, start=1):
+        m = _RANDOM_RE.search(code)
+        if m:
+            what = m.group(0).strip().rstrip("(").strip()
+            reporter.report(
+                "SA007", source.rel, lineno,
+                f"nondeterministic randomness source '{what}' — all "
+                "randomness must be seeded (matrix/rng.hpp or "
+                "qc::gen) so runs are reproducible")
+
+
+def _match_paren_span(code: str, open_idx: int) -> int:
+    depth = 0
+    for j in range(open_idx, len(code)):
+        if code[j] == "(":
+            depth += 1
+        elif code[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return j + 1
+    return len(code)

@@ -1,0 +1,118 @@
+"""Environment/config registry pass (SA008, SA009).
+
+Every ``SLO_*`` / ``REPRO_*`` knob the tree reads must be documented
+in ``docs/env_registry.md`` (name, type, default, consumers), and
+every documented knob must still have a live reference — the registry
+is verified in both directions so it can never rot:
+
+* SA008 — a ``getenv("SLO_*")`` call in C++ (or a ``$SLO_*`` /
+  ``SLO_*=value`` use in scripts, workflows, and CMake presets) whose
+  variable has no row in the registry.
+* SA009 — a registry row whose variable is referenced nowhere.
+
+The registry is hand-written prose (type, default, description) but
+machine-verified membership — the generated-then-verified pattern.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import config
+from model import Reporter, SourceFile
+
+_GETENV_RE = re.compile(r'getenv\s*\(\s*"((?:SLO|REPRO)_[A-Z0-9_]+)"')
+# Shell/workflow references: $SLO_X, ${SLO_X...}, SLO_X=value; preset
+# environment blocks: "SLO_X":.
+_SCRIPT_REF_RE = re.compile(
+    r'\$\{?((?:SLO|REPRO)_[A-Z0-9_]+)|'
+    r'\b((?:SLO|REPRO)_[A-Z0-9_]+)=|'
+    r'"((?:SLO|REPRO)_[A-Z0-9_]+)"\s*:')
+_ROW_RE = re.compile(r'^\|\s*`((?:SLO|REPRO)_[A-Z0-9_]+)`\s*\|')
+
+
+def registry_vars(doc_path: Path) -> dict[str, tuple[int, str]]:
+    """Registered variable -> (line number, row text)."""
+    if not doc_path.exists():
+        return {}
+    rows: dict[str, tuple[int, str]] = {}
+    for lineno, line in enumerate(
+            doc_path.read_text().splitlines(), start=1):
+        m = _ROW_RE.match(line.strip())
+        if m:
+            rows[m.group(1)] = (lineno, line)
+    return rows
+
+
+def scan_script_refs(root: Path,
+                     globs: tuple[str, ...]) -> dict[str, tuple[str, int]]:
+    """Env references in shell/workflow/preset files (first site per
+    variable). Comment lines are skipped so prose mentions don't count
+    as references."""
+    refs: dict[str, tuple[str, int]] = {}
+    for pattern in globs:
+        for path in sorted(root.glob(pattern)):
+            rel = path.relative_to(root).as_posix()
+            for lineno, line in enumerate(
+                    path.read_text(errors="replace").splitlines(),
+                    start=1):
+                if line.lstrip().startswith("#"):
+                    continue
+                for m in _SCRIPT_REF_RE.finditer(line):
+                    var = m.group(1) or m.group(2) or m.group(3)
+                    if var in config.ENV_IGNORE:
+                        continue
+                    refs.setdefault(var, (rel, lineno))
+    return refs
+
+
+def run(files: list[SourceFile], reporter: Reporter, root: Path,
+        doc_path: Path | None = None,
+        script_globs: tuple[str, ...] | None = None) -> None:
+    doc_path = (root / config.ENV_REGISTRY_DOC if doc_path is None
+                else doc_path)
+    script_globs = (config.ENV_SCRIPT_GLOBS if script_globs is None
+                    else script_globs)
+    registered = registry_vars(doc_path)
+    doc_rel = (doc_path.relative_to(root).as_posix()
+               if doc_path.is_relative_to(root) else str(doc_path))
+
+    referenced: dict[str, tuple[str, int]] = {}
+    # C++ getenv sites — scanned on raw lines because the variable
+    # name lives inside a string literal the sanitizer blanks.
+    for source in files:
+        for lineno, raw in enumerate(source.raw_lines, start=1):
+            for m in _GETENV_RE.finditer(raw):
+                var = m.group(1)
+                if var in config.ENV_IGNORE:
+                    continue
+                referenced.setdefault(var, (source.rel, lineno))
+                if var not in registered:
+                    reporter.report(
+                        "SA008", source.rel, lineno,
+                        f"env var '{var}' read here but missing from "
+                        f"{doc_rel} — add a row (name, type, default, "
+                        "consumers, description)")
+    # Script/workflow/preset sites.
+    for var, (rel, lineno) in sorted(scan_script_refs(
+            root, script_globs).items()):
+        referenced.setdefault(var, (rel, lineno))
+        if var not in registered:
+            reporter.report(
+                "SA008", rel, lineno,
+                f"env var '{var}' used here but missing from "
+                f"{doc_rel}")
+
+    for var, (lineno, row_text) in sorted(registered.items()):
+        if var in referenced:
+            continue
+        # The registry doc is not a SourceFile, so row suppressions
+        # ride in an HTML comment on the row itself.
+        if "sa-ok: SA009" in row_text:
+            reporter.suppressed_count += 1
+            continue
+        reporter.report(
+            "SA009", doc_rel, lineno,
+            f"registry row '{var}' has no reference anywhere in "
+            "the tree — delete the row or restore the consumer")

@@ -1,0 +1,187 @@
+"""Layering pass (SA001, SA002).
+
+Builds the real include graph from quoted ``#include`` directives and
+enforces the declared module DAG from ``config.LAYERING``:
+
+* SA001 — a file in module M includes a header from module N that M's
+  declared dependency set does not contain.
+* SA002 — a cycle in the file-level include graph (reported once per
+  cycle, at its lexicographically smallest member).
+
+The observed *module* graph can be rendered to Graphviz DOT (allowed
+edges solid, violations red and bold) for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+import config
+from model import Reporter, SourceFile, module_of
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+
+
+def quoted_includes(source: SourceFile) -> list[tuple[int, str]]:
+    """(line, target) for every quoted include, read from the raw text
+    (the sanitizer blanks the quoted path)."""
+    out = []
+    for m in _INCLUDE_RE.finditer(source.raw):
+        line = source.raw.count("\n", 0, m.start()) + 1
+        out.append((line, m.group(1)))
+    return out
+
+
+def _resolve(source: SourceFile, target: str,
+             by_rel: dict[str, SourceFile]) -> str | None:
+    """Repo-relative path of an include target, or None if it points
+    outside the analyzed set (e.g. generated headers)."""
+    rooted = f"src/{target}"
+    if rooted in by_rel:
+        return rooted
+    sibling = os.path.normpath(str(Path(source.rel).parent / target))
+    if sibling in by_rel:
+        return sibling
+    if target in by_rel:
+        return target
+    return None
+
+
+def run(files: list[SourceFile], reporter: Reporter,
+        layering: dict[str, set[str]] | None = None,
+        unrestricted: set[str] | None = None,
+        dot_path: Path | None = None) -> None:
+    layering = config.LAYERING if layering is None else layering
+    unrestricted = (config.UNRESTRICTED_MODULES if unrestricted is None
+                    else unrestricted)
+    by_rel = {f.rel: f for f in files}
+    known_modules = set(layering) | {f.module for f in files}
+    file_graph: dict[str, list[str]] = {}
+    module_edges: dict[tuple[str, str], int] = {}
+    violating_edges: set[tuple[str, str]] = set()
+
+    for source in files:
+        targets: list[str] = []
+        for line, target in quoted_includes(source):
+            resolved = _resolve(source, target, by_rel)
+            if resolved is not None:
+                targets.append(resolved)
+            # Module attribution works from the include text even when
+            # the file is outside the analyzed set; third-party quoted
+            # includes (unknown modules) are ignored.
+            if resolved is not None:
+                target_module = module_of(resolved)
+            elif "/" in target:
+                target_module = module_of(f"src/{target}")
+            else:
+                target_module = ""
+            if target_module not in known_modules:
+                continue
+            if not target_module or target_module == source.module:
+                continue
+            key = (source.module, target_module)
+            module_edges[key] = module_edges.get(key, 0) + 1
+            if source.module in unrestricted:
+                continue
+            allowed = layering.get(source.module)
+            if allowed is None or target_module not in allowed:
+                violating_edges.add(key)
+                reporter.report(
+                    "SA001", source.rel, line,
+                    f"module '{source.module}' must not include "
+                    f"'{target}' (module '{target_module}' is not in "
+                    f"its declared dependency set)")
+        file_graph[source.rel] = targets
+
+    _report_cycles(file_graph, reporter)
+    if dot_path is not None:
+        dot_path.parent.mkdir(parents=True, exist_ok=True)
+        dot_path.write_text(render_dot(module_edges, violating_edges))
+
+
+def _report_cycles(graph: dict[str, list[str]],
+                   reporter: Reporter) -> None:
+    """Tarjan SCC over the file include graph; every SCC with more
+    than one node (or a self-edge) is a cycle."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    sccs: list[list[str]] = []
+
+    def strongconnect(v: str) -> None:
+        # Iterative Tarjan: recursion depth could exceed the Python
+        # limit on deep include chains.
+        work = [(v, 0)]
+        while work:
+            node, pi = work[-1]
+            if pi == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            successors = graph.get(node, [])
+            for i in range(pi, len(successors)):
+                w = successors[i]
+                if w not in index:
+                    work[-1] = (node, i + 1)
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if recurse:
+                continue
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                sccs.append(scc)
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+
+    for scc in sccs:
+        if len(scc) == 1 and scc[0] not in graph.get(scc[0], []):
+            continue
+        members = sorted(scc)
+        # Reported at line 1 of the smallest member so an inline
+        # sa-ok suppression remains possible.
+        reporter.report(
+            "SA002", members[0], 1,
+            "include cycle: " + " -> ".join(members + [members[0]]))
+
+
+def render_dot(module_edges: dict[tuple[str, str], int],
+               violating: set[tuple[str, str]]) -> str:
+    lines = [
+        "digraph slo_layering {",
+        "  rankdir=BT;",
+        "  node [shape=box, fontname=\"Helvetica\"];",
+    ]
+    nodes = sorted({m for edge in module_edges for m in edge})
+    for node in nodes:
+        lines.append(f"  \"{node}\";")
+    for (src, dst), count in sorted(module_edges.items()):
+        attrs = [f"label=\"{count}\""]
+        if (src, dst) in violating:
+            attrs.append("color=red")
+            attrs.append("penwidth=2")
+            attrs.append("fontcolor=red")
+        lines.append(
+            f"  \"{src}\" -> \"{dst}\" [{', '.join(attrs)}];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,251 @@
+"""A small C++ lexer for the slo static analyzer.
+
+Not a parser: it produces a *sanitized* view of a translation unit in
+which comments, string literals (including raw strings), and character
+literals are blanked out while every newline is preserved, so that
+byte offsets and line numbers in the sanitized text match the original
+file exactly.  On top of that view it tracks brace depth, the
+namespace stack, and extracts function definitions heuristically —
+enough structure for the layering, lock-order, and determinism passes
+without pulling in a real C++ frontend (the analyzer must stay
+dependency-free).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+_RAW_PREFIX = re.compile(r'(?:u8|[uUL])?R$')
+
+
+def sanitize(text: str) -> str:
+    """Blank comments, strings, chars and raw strings, preserving the
+    line structure (every ``\\n`` survives, everything else inside a
+    literal becomes a space)."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        # Line comment.
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+            continue
+        # Block comment.
+        if c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            chunk = text[i:j]
+            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+            i = j
+            continue
+        # Raw string literal: R"delim( ... )delim" with optional
+        # encoding prefix (u8R, LR, uR, UR).
+        if c == '"':
+            prefix = _RAW_PREFIX.search(text[max(0, i - 3):i])
+            if prefix:
+                m = re.match(r'"([^\s()\\]{0,16})\(', text[i:])
+                if m:
+                    delim = m.group(1)
+                    close = text.find(")" + delim + '"', i + m.end())
+                    j = n if close < 0 else close + len(delim) + 2
+                    chunk = text[i:j]
+                    out.append("".join(ch if ch == "\n" else " "
+                                       for ch in chunk))
+                    i = j
+                    continue
+            # Ordinary string literal.
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == '"' or text[j] == "\n":
+                    j += 1
+                    break
+                j += 1
+            chunk = text[i:j]
+            out.append('"' + "".join(
+                ch if ch == "\n" else " " for ch in chunk[1:-1]))
+            out.append(chunk[-1] if chunk[-1] in '"\n' else " ")
+            i = j
+            continue
+        # Character literal. Take care not to treat digit separators
+        # (1'000'000) as character literals: a char literal is preceded
+        # by a non-alnum character.
+        if c == "'":
+            prev = text[i - 1] if i > 0 else " "
+            if prev.isalnum() or prev == "_":
+                out.append(" ")  # digit separator / suffix
+                i += 1
+                continue
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == "'" or text[j] == "\n":
+                    j += 1
+                    break
+                j += 1
+            chunk = text[i:j]
+            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+            i = j
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    """1-based line number of a byte offset."""
+    return text.count("\n", 0, offset) + 1
+
+
+_NS_RE = re.compile(r'\bnamespace\s+([A-Za-z_][\w:]*)\s*\{')
+_CLASS_RE = re.compile(r'\b(?:class|struct)\s+([A-Za-z_]\w*)[^;{]*\{')
+_CONTROL = {"if", "for", "while", "switch", "catch", "return", "do",
+            "else", "sizeof", "alignof", "decltype", "new", "delete",
+            "static_assert", "noexcept", "defined"}
+
+# A function definition heuristic: an identifier (possibly qualified)
+# directly followed by an argument list whose closing paren is in turn
+# followed — modulo cv-qualifiers, ref-qualifiers, noexcept, trailing
+# return types, and initializer lists — by an opening brace.
+_FUNC_HEAD = re.compile(r'([A-Za-z_][\w:~<>]*)\s*\(')
+
+
+@dataclass
+class Function:
+    """A heuristically extracted function definition."""
+    name: str            # unqualified name
+    qualname: str        # namespace/class-qualified where known
+    body_start: int      # offset of the opening '{'
+    body_end: int        # offset one past the closing '}'
+    line: int            # line of the head
+
+
+@dataclass
+class Scopes:
+    """Brace-scope walker state shared by passes."""
+    namespaces: list[str] = field(default_factory=list)
+
+
+def _match_paren(text: str, open_idx: int) -> int:
+    """Offset one past the paren matching ``text[open_idx]`` ('(')."""
+    depth = 0
+    for j in range(open_idx, len(text)):
+        if text[j] == "(":
+            depth += 1
+        elif text[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return j + 1
+    return len(text)
+
+
+def match_brace(text: str, open_idx: int) -> int:
+    """Offset one past the brace matching ``text[open_idx]`` ('{')."""
+    depth = 0
+    for j in range(open_idx, len(text)):
+        if text[j] == "{":
+            depth += 1
+        elif text[j] == "}":
+            depth -= 1
+            if depth == 0:
+                return j + 1
+    return len(text)
+
+
+def extract_functions(code: str) -> list[Function]:
+    """Find function definitions in sanitized text.
+
+    Walks candidate heads ``name(...)`` and accepts those whose
+    argument list is followed by ``{`` (after cv/ref/noexcept/trailing
+    return tokens).  Nested function bodies (lambdas) are left inside
+    their enclosing function's span; local classes are rare enough in
+    this tree to ignore.
+    """
+    functions: list[Function] = []
+    # Namespace/class context per offset, built lazily from a scan.
+    context: list[tuple[int, int, str]] = []  # (start, end, name)
+    for m in _NS_RE.finditer(code):
+        brace = code.find("{", m.end() - 1)
+        context.append((brace, match_brace(code, brace), m.group(1)))
+    for m in _CLASS_RE.finditer(code):
+        brace = code.find("{", m.start())
+        context.append((brace, match_brace(code, brace), m.group(1)))
+
+    def qualify(offset: int, name: str) -> str:
+        parts = [c[2] for c in sorted(context)
+                 if c[0] <= offset < c[1]]
+        return "::".join(parts + [name]) if parts else name
+
+    taken: list[tuple[int, int]] = []
+    for m in _FUNC_HEAD.finditer(code):
+        name = m.group(1)
+        bare = name.rsplit("::", 1)[-1].split("<", 1)[0]
+        if bare in _CONTROL or not bare:
+            continue
+        close = _match_paren(code, m.end() - 1)
+        # Skip over trailing tokens between ')' and '{'.
+        tail = code[close:close + 160]
+        tm = re.match(
+            r'\s*(?:const|volatile|&&?|noexcept(?:\s*\([^)]*\))?|'
+            r'override|final|->\s*[\w:<>,&*\s]+|'
+            r'\s)*\{', tail)
+        if not tm:
+            continue
+        body_start = close + tm.end() - 1
+        # Constructors with init lists: `Foo::Foo(...) : a_(x) {` —
+        # the regex above rejects `:`-lists; allow them explicitly.
+        body_end = match_brace(code, body_start)
+        span = (body_start, body_end)
+        # Heads found *inside* an already-taken body are calls or
+        # lambdas, not definitions — but heads may be discovered out
+        # of order, so filter containment afterwards instead.
+        taken.append(span)
+        functions.append(Function(
+            name=bare,
+            qualname=qualify(m.start(), name),
+            body_start=body_start,
+            body_end=body_end,
+            line=line_of(code, m.start()),
+        ))
+    # Constructor-with-init-list fallback: `Name(...) : init {` was
+    # rejected by the tail regex; handle `) :` heads separately.
+    for m in _FUNC_HEAD.finditer(code):
+        name = m.group(1)
+        bare = name.rsplit("::", 1)[-1].split("<", 1)[0]
+        if bare in _CONTROL or not bare:
+            continue
+        close = _match_paren(code, m.end() - 1)
+        tail = code[close:close + 400]
+        tm = re.match(r'\s*:\s*[^;{]*\{', tail)
+        if not tm:
+            continue
+        body_start = close + tm.end() - 1
+        body_end = match_brace(code, body_start)
+        functions.append(Function(
+            name=bare,
+            qualname=qualify(m.start(), name),
+            body_start=body_start,
+            body_end=body_end,
+            line=line_of(code, m.start()),
+        ))
+    # Drop "functions" fully contained in another function's body:
+    # those are lambdas or local constructs, and the lock pass wants
+    # them attributed to the enclosing definition.
+    spans = sorted((f.body_start, f.body_end) for f in functions)
+
+    def contained(f: Function) -> bool:
+        return any(s < f.body_start and f.body_end <= e
+                   for s, e in spans
+                   if (s, e) != (f.body_start, f.body_end))
+
+    return [f for f in functions if not contained(f)]

@@ -1,0 +1,276 @@
+"""Lock-order pass (SA003, SA004).
+
+Per translation unit, extracts lock-acquisition sites —
+``std::lock_guard`` / ``unique_lock`` / ``scoped_lock`` declarations,
+explicit ``.lock()`` calls, ``flock(...)``, and ``CacheKeyLock``
+construction — and walks each function body with a brace-scope stack
+to know which locks are held at every statement. From that it builds
+an inter-procedural (within the TU) *held-while-acquiring* graph:
+
+* SA003 — the union of all TUs' graphs contains both A->B and B->A for
+  distinct locks A, B: a potential lock-order inversion.
+* SA004 — a blocking wait/help call (``TaskGroup::wait``, ``join``,
+  ``parallelFor``-family, condition-variable waits) is made while any
+  lock is held: the hold-and-wait shape behind the PR 3 cross-process
+  flock deadlock (a waiter stealing unrelated work while holding a
+  per-key flock).
+
+Lock identity is the normalized mutex expression. Member-style names
+(``mutex_``, ``registry.mutex``) are qualified with the function's
+class/namespace context so identical field names in different classes
+do not alias; globals (``g_*``) and namespace-qualified names stand
+alone. This is a heuristic, not an alias analysis — the suppression
+and baseline machinery exists precisely for the residual noise.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import config
+from lexer import Function, extract_functions, line_of
+from model import Reporter, SourceFile
+
+_GUARD_RE = re.compile(
+    r'\b(?:std::)?(lock_guard|unique_lock|shared_lock|scoped_lock)\s*'
+    r'(?:<[^;>]*>)?\s+(\w+)\s*[({]([^;)}]*)[)}]')
+_CACHEKEY_RE = re.compile(r'\bCacheKeyLock\s+(\w+)\s*[({]')
+_FLOCK_RE = re.compile(r'\bflock\s*\(\s*([^,]+),\s*LOCK_(EX|SH)\b')
+_EXPLICIT_LOCK_RE = re.compile(
+    r'([A-Za-z_][\w.\->:\[\]]*?)\s*(?:\.|->)\s*lock\s*\(\s*\)')
+_CALL_RE = re.compile(r'([A-Za-z_][\w:]*)\s*\(')
+_MEMBER_CALL_RE = re.compile(
+    r'([A-Za-z_][\w.\->:\[\]()]*?)\s*(?:\.|->)\s*(\w+)\s*\(')
+
+_KEYWORDS = {"if", "for", "while", "switch", "catch", "return",
+             "sizeof", "static_cast", "dynamic_cast", "const_cast",
+             "reinterpret_cast", "assert", "defined", "decltype"}
+
+
+def _normalize_lock(expr: str, owner: str) -> str:
+    """Canonical lock identity for a mutex expression."""
+    expr = expr.strip()
+    expr = re.sub(r'^\*', '', expr)          # *mutex_ptr
+    expr = re.sub(r'\s+', '', expr)
+    expr = expr.replace('this->', '')
+    if not expr:
+        return f"{owner}::<anon>"
+    # Namespace-qualified or global-style names stand alone; member
+    # fields get the owning class/namespace prefix.
+    if "::" in expr or expr.startswith("g_"):
+        return expr
+    return f"{owner}::{expr}" if owner else expr
+
+
+@dataclass
+class Acquisition:
+    lock: str
+    line: int
+    scope_depth: int   # brace depth at acquisition; released when the
+                       # walker pops below it (guard destructor)
+    var: str = ""      # guard variable name, when one exists
+
+
+@dataclass
+class FunctionSummary:
+    name: str
+    qualname: str
+    rel: str
+    acquires: set[str]             # locks acquired anywhere inside
+    calls: set[str]                # unqualified callee names
+    # (held_lock, acquired_lock, line) direct edges
+    edges: list[tuple[str, str, int]]
+    # (held_lock, callee, line) — resolved inter-procedurally later
+    held_calls: list[tuple[str, str, int]]
+    # (held_lock, wait_expr, line)
+    waits: list[tuple[str, str, int]]
+
+
+def _owner_of(function: Function) -> str:
+    if "::" in function.qualname:
+        return function.qualname.rsplit("::", 1)[0]
+    return ""
+
+
+def _walk_function(source: SourceFile, function: Function,
+                   wait_bare: set[str],
+                   wait_member: set[str]) -> FunctionSummary:
+    code = source.code
+    body = code[function.body_start:function.body_end]
+    base = function.body_start
+    owner = _owner_of(function)
+    summary = FunctionSummary(
+        name=function.name, qualname=function.qualname,
+        rel=source.rel, acquires=set(), calls=set(), edges=[],
+        held_calls=[], waits=[])
+
+    # Collect events with their offsets, then replay them in order
+    # against a brace-depth counter.
+    events: list[tuple[int, str, object]] = []
+    for m in _GUARD_RE.finditer(body):
+        # scoped_lock may take several mutexes; one acquire per arg.
+        for arg in m.group(3).split(","):
+            if arg.strip():
+                events.append((m.start(), "acquire",
+                               (_normalize_lock(arg, owner),
+                                m.group(2))))
+    for m in _CACHEKEY_RE.finditer(body):
+        events.append((m.start(), "acquire",
+                       ("CacheKeyLock", m.group(1))))
+    for m in _FLOCK_RE.finditer(body):
+        events.append((m.start(), "acquire", ("flock", "")))
+    for m in _EXPLICIT_LOCK_RE.finditer(body):
+        recv = m.group(1)
+        # `x.lock()` on a mutex-ish receiver; unique_lock variables
+        # named `lock` would show up here too — treat all as locks.
+        events.append((m.start(), "acquire",
+                       (_normalize_lock(recv, owner), "")))
+    for m in _MEMBER_CALL_RE.finditer(body):
+        if m.group(2) in wait_member:
+            close = _args_end(body, m.end() - 1)
+            events.append((m.start(), "wait",
+                           (f"{m.group(1)}.{m.group(2)}()",
+                            body[m.end():close])))
+    for m in _CALL_RE.finditer(body):
+        name = m.group(1).rsplit("::", 1)[-1]
+        if m.group(1) in _KEYWORDS or name in _KEYWORDS:
+            continue
+        # Skip the match if it is actually a member call (handled
+        # above for waits; plain member calls still count as calls).
+        if name in wait_bare:
+            events.append((m.start(), "wait", (f"{m.group(1)}()", "")))
+        events.append((m.start(), "call", name))
+
+    events.sort(key=lambda e: e[0])
+
+    held: list[Acquisition] = []
+    depth = 0
+    event_idx = 0
+    for offset, ch in enumerate(body):
+        while event_idx < len(events) and events[event_idx][0] == offset:
+            _, kind, payload = events[event_idx]
+            event_idx += 1
+            line = line_of(code, base + offset)
+            if kind == "acquire":
+                lock, var = payload  # type: ignore[misc]
+                summary.acquires.add(lock)
+                for holder in held:
+                    if holder.lock != lock:
+                        summary.edges.append((holder.lock, lock, line))
+                held.append(Acquisition(lock, line, depth, var))
+            elif kind == "call":
+                callee = str(payload)
+                summary.calls.add(callee)
+                for holder in held:
+                    summary.held_calls.append(
+                        (holder.lock, callee, line))
+            elif kind == "wait":
+                expr, arg_text = payload  # type: ignore[misc]
+                for holder in held:
+                    # `cv.wait(lock, pred)` *releases* the passed
+                    # guard while waiting — the correct CV idiom, not
+                    # hold-and-wait.
+                    if holder.var and re.search(
+                            rf'\b{re.escape(holder.var)}\b', arg_text):
+                        continue
+                    summary.waits.append((holder.lock, expr, line))
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            # A guard acquired at depth d dies when its scope closes,
+            # i.e. the first time depth drops below d.
+            held = [h for h in held if h.scope_depth <= depth]
+    return summary
+
+
+def run(files: list[SourceFile], reporter: Reporter,
+        wait_bare: set[str] | None = None,
+        wait_member: set[str] | None = None) -> None:
+    wait_bare = (config.WAIT_CALLS_BARE if wait_bare is None
+                 else wait_bare)
+    wait_member = (config.WAIT_CALLS_MEMBER if wait_member is None
+                   else wait_member)
+
+    # Global held-while-acquiring edge set across all TUs: the same
+    # mutex pair acquired in opposite orders in two files is exactly
+    # the inversion worth catching.
+    all_edges: dict[tuple[str, str], list[tuple[str, int]]] = {}
+
+    for source in files:
+        # Headers are analyzed too — inline functions take locks.
+        functions = extract_functions(source.code)
+        summaries = [
+            _walk_function(source, fn, wait_bare, wait_member)
+            for fn in functions
+        ]
+        by_name: dict[str, list[int]] = {}
+        for i, s in enumerate(summaries):
+            by_name.setdefault(s.name, []).append(i)
+
+        # Transitive acquisition sets within the TU (fixpoint over the
+        # local call graph).
+        effective: dict[int, set[str]] = {
+            i: set(s.acquires) for i, s in enumerate(summaries)}
+        changed = True
+        while changed:
+            changed = False
+            for i, s in enumerate(summaries):
+                for callee in s.calls:
+                    for j in by_name.get(callee, []):
+                        if not effective[j] <= effective[i]:
+                            effective[i] |= effective[j]
+                            changed = True
+
+        for s in summaries:
+            for held, acquired, line in s.edges:
+                all_edges.setdefault((held, acquired), []).append(
+                    (s.rel, line))
+            for held, callee, line in s.held_calls:
+                for j in by_name.get(callee, []):
+                    for acquired in sorted(effective[j]):
+                        if acquired != held:
+                            all_edges.setdefault(
+                                (held, acquired), []).append(
+                                    (s.rel, line))
+            for held, wait_expr, line in s.waits:
+                reporter.report(
+                    "SA004", s.rel, line,
+                    f"blocking call {wait_expr} while holding lock "
+                    f"'{_short(held)}' — hold-and-wait; a waiter that "
+                    "helps with unrelated work can deadlock "
+                    "(PR 3 shape). Release the lock first or scope "
+                    "helping to owned tasks")
+
+    reported: set[frozenset[str]] = set()
+    for (a, b), sites in sorted(all_edges.items()):
+        if (b, a) not in all_edges or a == b:
+            continue
+        pair = frozenset((a, b))
+        if pair in reported:
+            continue
+        reported.add(pair)
+        rel, line = sites[0]
+        other_rel, other_line = all_edges[(b, a)][0]
+        reporter.report(
+            "SA003", rel, line,
+            f"potential lock-order inversion: '{_short(a)}' held while "
+            f"acquiring '{_short(b)}' here, but '{_short(b)}' is held "
+            f"while acquiring '{_short(a)}' at {other_rel}:{other_line}")
+
+
+def _short(lock: str) -> str:
+    return lock.rsplit("::", 1)[-1] if "::" in lock else lock
+
+
+def _args_end(body: str, open_idx: int) -> int:
+    depth = 0
+    for j in range(open_idx, len(body)):
+        if body[j] == "(":
+            depth += 1
+        elif body[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(body)

@@ -1,0 +1,202 @@
+"""Core data model for the slo static analyzer.
+
+Findings, suppression handling (``// sa-ok: SAxxx reason``), the
+committed baseline of grandfathered findings, and the rule catalog all
+live here so passes stay pure detection logic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from lexer import sanitize
+
+# ---------------------------------------------------------------------------
+# Rule catalog. Every rule has a stable ID; the catalog is the single
+# source of truth used by --list-rules, CONTRIBUTING docs, and the
+# selftest (which requires fixtures per listed rule).
+# ---------------------------------------------------------------------------
+
+RULES: dict[str, str] = {
+    # Project-aware passes.
+    "SA001": "layering: include edge violates the declared module DAG",
+    "SA002": "layering: include cycle between files",
+    "SA003": "lock-order: potential lock-order inversion "
+             "(A held while acquiring B, and elsewhere B held while "
+             "acquiring A)",
+    "SA004": "lock-order: blocking wait/help call while a lock is held "
+             "(hold-and-wait; the PR 3 flock deadlock shape)",
+    "SA005": "determinism: iteration over an unordered container flows "
+             "into a manifest/metrics/report output path",
+    "SA006": "determinism: floating-point accumulation into a variable "
+             "captured by a parallelFor body (use parallelReduce)",
+    "SA007": "determinism: banned nondeterministic call (rand, srand, "
+             "std::random_device outside qc generators)",
+    "SA008": "env: getenv(\"SLO_*\") / script env var missing from "
+             "docs/env_registry.md",
+    "SA009": "env: docs/env_registry.md row without any reference in "
+             "the tree",
+    # Migrated scripts/lint_slo.py rules.
+    "SA101": "style: raw `long` in a public header — use Index/Offset "
+             "or a <cstdint> type",
+    "SA102": "style: `int` used for a row/col/vertex/nnz identifier in "
+             "a header — use Index/Offset",
+    "SA103": "style: std::chrono outside src/obs and src/prof — time "
+             "through SLO_SPAN / obs timers",
+    "SA104": "style: getrusage/perf_event_open outside src/obs and "
+             "src/prof — use prof::CounterSet / prof::peakRssKb",
+    "SA105": "style: std::thread/std::jthread/std::async outside "
+             "src/par — use par::parallelFor / par::TaskGroup",
+    "SA106": "style: assert() whose condition mutates state — NDEBUG "
+             "would change behaviour; use SLO_CHECK",
+    "SA107": "style: header without #pragma once",
+    "SA108": "style: relative or unprefixed include — includes are "
+             "rooted at src/",
+    "SA109": "style: `using namespace std`",
+    "SA110": "style: <iostream> in a header — use <iosfwd> / <ostream>",
+}
+
+SUPPRESS_RE = re.compile(r"//\s*sa-ok:\s*((?:SA\d{3}[,\s]*)+)(.*)")
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str           # repo-relative, posix
+    line: int           # 1-based; 0 for whole-file findings
+    message: str
+
+    def key(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}]"
+
+    def fingerprint(self, line_text: str) -> str:
+        """Line-number-independent identity used by the baseline: rule
+        + path + normalized source line, so unrelated edits above a
+        grandfathered finding don't invalidate it."""
+        norm = re.sub(r"\s+", " ", line_text.strip())
+        blob = f"{self.rule}|{self.path}|{norm}"
+        return hashlib.sha1(blob.encode()).hexdigest()[:16]
+
+    def to_json(self, fingerprint: str) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fingerprint": fingerprint,
+        }
+
+
+class SourceFile:
+    """A lazily sanitized source file with suppression info."""
+
+    def __init__(self, path: Path, root: Path) -> None:
+        self.path = path
+        self.rel = (path.relative_to(root) if path.is_relative_to(root)
+                    else path).as_posix()
+        self.raw = path.read_text(encoding="utf-8", errors="replace")
+        self.raw_lines = self.raw.splitlines()
+        self.code = sanitize(self.raw)
+        self.code_lines = self.code.splitlines()
+        self.is_header = path.suffix in {".hpp", ".h"}
+        self.module = module_of(self.rel)
+        self._suppressions = self._parse_suppressions()
+
+    def _parse_suppressions(self) -> dict[int, set[str]]:
+        """``// sa-ok: SAxxx [SAyyy] reason`` suppresses those rules on
+        its own line; a comment-only sa-ok line suppresses the next
+        line (for findings on lines too long to carry a trailer)."""
+        supp: dict[int, set[str]] = {}
+        for lineno, raw in enumerate(self.raw_lines, start=1):
+            m = SUPPRESS_RE.search(raw)
+            if not m:
+                continue
+            ids = set(re.findall(r"SA\d{3}", m.group(1)))
+            supp.setdefault(lineno, set()).update(ids)
+            if raw.strip().startswith("//"):
+                supp.setdefault(lineno + 1, set()).update(ids)
+        return supp
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        return rule in self._suppressions.get(line, set())
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.raw_lines):
+            return self.raw_lines[line - 1]
+        return ""
+
+
+def module_of(rel_posix: str) -> str:
+    """Module name of a repo-relative path: ``src/<mod>/...`` maps to
+    ``<mod>``; top-level trees (bench, tests, examples) are their own
+    modules; anything else is ``""`` (unlayered)."""
+    parts = rel_posix.split("/")
+    if parts[0] == "src" and len(parts) > 1:
+        return parts[1]
+    if parts[0] in {"bench", "tests", "examples"}:
+        return parts[0]
+    return ""
+
+
+class Reporter:
+    """Collects findings, applying suppressions and the baseline."""
+
+    def __init__(self, files_by_rel: dict[str, SourceFile],
+                 baseline: set[str]) -> None:
+        self._files = files_by_rel
+        self._baseline = baseline
+        self.findings: list[Finding] = []
+        self.suppressed_count = 0
+        self.baselined: list[Finding] = []
+
+    def report(self, rule: str, rel: str, line: int, message: str) -> None:
+        assert rule in RULES, f"unknown rule {rule}"
+        finding = Finding(rule, rel, line, message)
+        source = self._files.get(rel)
+        if source is not None and source.suppressed(line, rule):
+            self.suppressed_count += 1
+            return
+        text = source.line_text(line) if source is not None else ""
+        if finding.fingerprint(text) in self._baseline:
+            self.baselined.append(finding)
+            return
+        self.findings.append(finding)
+
+    def sorted_findings(self) -> list[Finding]:
+        return sorted(self.findings,
+                      key=lambda f: (f.path, f.line, f.rule))
+
+
+# ---------------------------------------------------------------------------
+# Baseline: a committed JSON list of fingerprints for grandfathered
+# findings. The goal is an empty list; every entry needs a reason.
+# ---------------------------------------------------------------------------
+
+def load_baseline(path: Path) -> set[str]:
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text())
+    return {entry["fingerprint"] for entry in data.get("findings", [])}
+
+
+def write_baseline(path: Path, findings: list[Finding],
+                   files_by_rel: dict[str, SourceFile]) -> None:
+    entries = []
+    for f in findings:
+        source = files_by_rel.get(f.path)
+        text = source.line_text(f.line) if source is not None else ""
+        entries.append({
+            "rule": f.rule,
+            "path": f.path,
+            "line": f.line,
+            "message": f.message,
+            "fingerprint": f.fingerprint(text),
+            "reason": "TODO: justify or fix",
+        })
+    path.write_text(json.dumps(
+        {"schema": "slo.sa-baseline/1", "findings": entries},
+        indent=2, sort_keys=True) + "\n")

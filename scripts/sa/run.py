@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""slo-analyze: the project-aware multi-pass static analyzer.
+
+Four project passes plus the migrated style rules, over src/, bench/,
+tests/ and examples/:
+
+  layering     SA001/SA002  declared module DAG vs the real include
+                            graph, file-level cycle detection, DOT
+                            artifact (--dot)
+  lock-order   SA003/SA004  held-while-acquiring graph per TU:
+                            inversions and hold-and-wait waits
+  determinism  SA005..SA007 unordered iteration into output paths, FP
+                            accumulation in parallelFor, banned
+                            randomness
+  env          SA008/SA009  getenv("SLO_*") <-> docs/env_registry.md,
+                            verified in both directions
+  style        SA101..SA110 the former scripts/lint_slo.py rules
+
+Suppress a deliberate finding inline:      // sa-ok: SA004 <reason>
+(a comment-only sa-ok line covers the next line). Grandfathered
+findings live in scripts/sa/baseline.json; --update-baseline rewrites
+it from the current findings (every entry then needs a justified
+reason in review).
+
+Exit status: 0 clean, 1 new findings, 2 usage error.
+
+Usage:
+  python3 scripts/sa/run.py [PATHS...] [--json OUT] [--dot OUT]
+                            [--compdb PATH] [--baseline PATH]
+                            [--update-baseline] [--list-rules]
+                            [--quiet]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import compiledb   # noqa: E402
+import config      # noqa: E402
+import determinism # noqa: E402
+import envreg      # noqa: E402
+import layering    # noqa: E402
+import lockorder   # noqa: E402
+import style       # noqa: E402
+from model import (RULES, Reporter, SourceFile,  # noqa: E402
+                   load_baseline, write_baseline)
+
+SCHEMA = "slo.sa-findings/1"
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def collect_files(root: Path, targets: list[str]) -> list[SourceFile]:
+    paths: list[Path] = []
+    for target in targets:
+        path = root / target if not Path(target).is_absolute() \
+            else Path(target)
+        if path.is_file():
+            paths.append(path)
+        elif path.is_dir():
+            for suffix in ("*.hpp", "*.h", "*.cpp"):
+                paths.extend(sorted(path.rglob(suffix)))
+        else:
+            print(f"sa: no such path: {target}", file=sys.stderr)
+            raise SystemExit(2)
+    seen: set[Path] = set()
+    files: list[SourceFile] = []
+    for path in paths:
+        rel = path.relative_to(root).as_posix() \
+            if path.is_relative_to(root) else path.as_posix()
+        if any(rel.startswith(d) for d in config.EXCLUDED_DIRS):
+            continue
+        if path in seen:
+            continue
+        seen.add(path)
+        files.append(SourceFile(path, root))
+    return files
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sa", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*",
+                        default=list(config.DEFAULT_ROOTS))
+    parser.add_argument("--json", metavar="OUT",
+                        help="write machine-readable findings")
+    parser.add_argument("--dot", metavar="OUT",
+                        help="write the module layering graph as DOT")
+    parser.add_argument("--compdb", metavar="PATH",
+                        help="compile_commands.json "
+                             "(default: build*/compile_commands.json)")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="baseline file "
+                             "(default: scripts/sa/baseline.json)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current "
+                             "findings and exit 0")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv[1:])
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}  {RULES[rule_id]}")
+        return 0
+
+    root = repo_root()
+    targets = args.paths or list(config.DEFAULT_ROOTS)
+    files = collect_files(root, targets)
+    by_rel = {f.rel: f for f in files}
+
+    baseline_path = Path(args.baseline) if args.baseline \
+        else Path(__file__).resolve().parent / "baseline.json"
+    baseline = (set() if args.update_baseline
+                else load_baseline(baseline_path))
+    reporter = Reporter(by_rel, baseline)
+
+    # TU sanity: every analyzed src/ .cpp should be in the compilation
+    # database (warn-only; the database may be stale or absent).
+    db_path = compiledb.find_database(root, args.compdb)
+    if db_path is not None and not args.quiet:
+        units = compiledb.translation_units(db_path, root)
+        missing = [rel for rel in by_rel
+                   if rel.startswith("src/") and rel.endswith(".cpp")
+                   and rel not in units]
+        for rel in sorted(missing):
+            print(f"sa: warning: {rel} not in {db_path.name} "
+                  "(dead file or stale database?)", file=sys.stderr)
+
+    dot_path = Path(args.dot) if args.dot else None
+    layering.run(files, reporter, dot_path=dot_path)
+    lockorder.run(files, reporter)
+    determinism.run(files, reporter)
+    envreg.run(files, reporter, root)
+    style.run(files, reporter)
+
+    findings = reporter.sorted_findings()
+
+    if args.update_baseline:
+        write_baseline(baseline_path, findings, by_rel)
+        print(f"sa: baseline rewritten with {len(findings)} "
+              f"finding(s): {baseline_path}")
+        return 0
+
+    for f in findings:
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+
+    if args.json:
+        payload = {
+            "schema": SCHEMA,
+            "files": len(files),
+            "findings": [
+                f.to_json(f.fingerprint(
+                    by_rel[f.path].line_text(f.line)
+                    if f.path in by_rel else ""))
+                for f in findings
+            ],
+            "suppressed": reporter.suppressed_count,
+            "baselined": len(reporter.baselined),
+        }
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    if not args.quiet:
+        status = ("clean" if not findings
+                  else f"{len(findings)} finding(s)")
+        extras = []
+        if reporter.suppressed_count:
+            extras.append(f"{reporter.suppressed_count} suppressed")
+        if reporter.baselined:
+            extras.append(f"{len(reporter.baselined)} baselined")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        print(f"sa: {len(files)} files, {status}{suffix}",
+              file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""sa_selftest: proves every analyzer rule still fires.
+
+For each rule ID in the catalog there is a fixture triple under
+tests/sa/fixtures/<RULE>/:
+
+  fire/        a minimal tree that must produce >= 1 finding of RULE
+  suppressed/  the same violation carrying an `sa-ok: RULE` marker —
+               must produce 0 findings of RULE and >= 1 suppression
+  clean/       the correct spelling — 0 findings of RULE
+
+A rule that silently stops firing (regex rot, pass regression) fails
+the `fire` leg; a suppression-parsing regression fails the
+`suppressed` leg; an over-eager rule fails the `clean` leg. The
+catalog and the fixture directory are cross-checked both ways, so a
+new rule cannot land without fixtures.
+
+Run as a ctest (sa_selftest) and directly:
+  python3 scripts/sa/selftest.py [--fixtures DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import determinism  # noqa: E402
+import envreg       # noqa: E402
+import layering     # noqa: E402
+import lockorder    # noqa: E402
+import style        # noqa: E402
+from model import RULES, Reporter, SourceFile  # noqa: E402
+
+VARIANTS = ("fire", "suppressed", "clean")
+
+
+def analyze_subtree(subtree: Path) -> Reporter:
+    paths = sorted(
+        p for suffix in ("*.hpp", "*.h", "*.cpp")
+        for p in subtree.rglob(suffix))
+    files = [SourceFile(p, subtree) for p in paths]
+    by_rel = {f.rel: f for f in files}
+    reporter = Reporter(by_rel, baseline=set())
+    layering.run(files, reporter)
+    lockorder.run(files, reporter)
+    determinism.run(files, reporter)
+    envreg.run(files, reporter, subtree,
+               doc_path=subtree / "env_registry.md",
+               script_globs=())
+    style.run(files, reporter)
+    return reporter
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="sa_selftest")
+    default_fixtures = (Path(__file__).resolve().parent.parent.parent
+                        / "tests" / "sa" / "fixtures")
+    parser.add_argument("--fixtures", type=Path,
+                        default=default_fixtures)
+    args = parser.parse_args(argv[1:])
+
+    fixtures: Path = args.fixtures
+    failures: list[str] = []
+
+    rule_dirs = {p.name for p in fixtures.iterdir() if p.is_dir()}
+    for rule in sorted(RULES):
+        if rule not in rule_dirs:
+            failures.append(f"{rule}: no fixture directory under "
+                            f"{fixtures}")
+    for stray in sorted(rule_dirs - set(RULES)):
+        failures.append(f"{stray}: fixture directory for an unknown "
+                        "rule")
+
+    checked = 0
+    for rule in sorted(set(RULES) & rule_dirs):
+        for variant in VARIANTS:
+            subtree = fixtures / rule / variant
+            if not subtree.is_dir():
+                failures.append(f"{rule}/{variant}: missing")
+                continue
+            reporter = analyze_subtree(subtree)
+            hits = [f for f in reporter.findings if f.rule == rule]
+            checked += 1
+            if variant == "fire" and not hits:
+                others = sorted({f.rule for f in reporter.findings})
+                failures.append(
+                    f"{rule}/fire: rule did not fire "
+                    f"(other findings: {others or 'none'})")
+            if variant == "suppressed":
+                if hits:
+                    failures.append(
+                        f"{rule}/suppressed: finding leaked through "
+                        f"the sa-ok marker: {hits[0].message}")
+                if reporter.suppressed_count < 1:
+                    failures.append(
+                        f"{rule}/suppressed: no suppression was "
+                        "recorded (marker not parsed?)")
+            if variant == "clean" and hits:
+                failures.append(
+                    f"{rule}/clean: false positive: "
+                    f"{hits[0].path}:{hits[0].line}: "
+                    f"{hits[0].message}")
+
+    for failure in failures:
+        print(f"sa_selftest: FAIL: {failure}")
+    if failures:
+        return 1
+    print(f"sa_selftest: OK — {len(RULES)} rules, {checked} fixture "
+          "legs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,112 @@
+"""Style pass (SA101..SA110) — the ten rules migrated from the old
+regex-only ``scripts/lint_slo.py``, now running on the analyzer's
+sanitized view (so string literals and comments can no longer produce
+false positives) with the shared sa-ok suppression and baseline
+machinery.
+
+  SA101 raw-long            `long`/`unsigned long` in a public header
+  SA102 raw-int-id          `int` for a row/col/vertex/nnz identifier
+  SA103 raw-chrono          std::chrono outside src/obs + src/prof
+  SA104 raw-rusage          getrusage/perf_event_open outside obs/prof
+  SA105 raw-thread          std::thread/jthread/async outside src/par
+  SA106 assert-side-effect  assert() whose condition mutates state
+  SA107 missing-pragma-once header without #pragma once
+  SA108 relative-include    ../ or unprefixed include in src/
+  SA109 using-namespace-std `using namespace std`
+  SA110 iostream-in-header  <iostream> in a header
+"""
+
+from __future__ import annotations
+
+import re
+
+import config
+from model import Reporter, SourceFile
+
+_ID_RE = re.compile(
+    r"\bint\s+(num_rows|num_cols|num_nodes|row|col|vertex|node|nnz|"
+    r"degree|label|community)\b")
+_ASSERT_RE = re.compile(r"\bassert\s*\(")
+_THREAD_RE = re.compile(r"\bstd::(thread|jthread|async)\b")
+_RUSAGE_RE = re.compile(r"\b(getrusage|perf_event_open)\b")
+_INCLUDE_RE = re.compile(r'\s*#\s*include\s+"([^"]+)"')
+_IOSTREAM_RE = re.compile(r"\s*#\s*include\s+<iostream>")
+_LONG_RE = re.compile(r"\b(unsigned\s+)?long\b")
+
+
+def run(files: list[SourceFile], reporter: Reporter) -> None:
+    for source in files:
+        _check_file(source, reporter)
+
+
+def _check_file(source: SourceFile, reporter: Reporter) -> None:
+    rel = source.rel
+    in_tree = rel.startswith(("src/", "bench/"))
+    chrono_ok = rel.startswith(config.CHRONO_ALLOWED) or not in_tree
+    rusage_ok = rel.startswith(config.RUSAGE_ALLOWED) or not in_tree
+    thread_ok = rel.startswith(config.THREAD_ALLOWED) or not in_tree
+
+    if source.is_header and "#pragma once" not in source.raw:
+        reporter.report("SA107", rel, 1, "header lacks #pragma once")
+
+    for lineno, code in enumerate(source.code_lines, start=1):
+        if source.is_header and rel not in config.ALLOW_RAW_LONG:
+            if _LONG_RE.search(code):
+                reporter.report(
+                    "SA101", rel, lineno,
+                    "`long` in a public header — use Index/Offset "
+                    "(or a <cstdint> type)")
+            m = _ID_RE.search(code)
+            if m:
+                reporter.report(
+                    "SA102", rel, lineno,
+                    f"`int {m.group(1)}` — identifiers use "
+                    "Index/Offset")
+        if not chrono_ok and "std::chrono" in code:
+            reporter.report(
+                "SA103", rel, lineno,
+                "raw std::chrono outside src/obs — time through "
+                "SLO_SPAN / obs timers")
+        if not rusage_ok and _RUSAGE_RE.search(code):
+            reporter.report(
+                "SA104", rel, lineno,
+                "raw getrusage/perf_event_open outside src/prof — "
+                "use prof::CounterSet / prof::peakRssKb")
+        if not thread_ok and _THREAD_RE.search(code):
+            reporter.report(
+                "SA105", rel, lineno,
+                "raw std::thread/std::async outside src/par — use "
+                "par::parallelFor / par::TaskGroup")
+        m = _ASSERT_RE.search(code)
+        if m:
+            args = code[m.end():]
+            if re.search(r"\+\+|--", args) or re.search(
+                    r"[^=!<>+\-*/%&|^]=[^=]", args):
+                reporter.report(
+                    "SA106", rel, lineno,
+                    "assert() condition appears to mutate state; "
+                    "NDEBUG would change behaviour — use SLO_CHECK")
+        # Includes matched on the raw line: the sanitizer blanks the
+        # quoted path.
+        include = _INCLUDE_RE.match(source.line_text(lineno))
+        if include:
+            target = include.group(1)
+            if target.startswith("..") or "/.." in target:
+                reporter.report(
+                    "SA108", rel, lineno,
+                    "relative include — root includes at src/ "
+                    "(e.g. \"matrix/csr.hpp\")")
+            elif "/" not in target and rel.startswith("src/"):
+                # Only src/ has the module-prefix convention; bench
+                # and tests legitimately include sibling helpers.
+                reporter.report(
+                    "SA108", rel, lineno,
+                    f"unprefixed include — spell it "
+                    f"\"<module>/{target}\"")
+        if re.search(r"\busing\s+namespace\s+std\b", code):
+            reporter.report("SA109", rel, lineno,
+                            "`using namespace std` is banned")
+        if source.is_header and _IOSTREAM_RE.match(code):
+            reporter.report(
+                "SA110", rel, lineno,
+                "<iostream> in a header — use <iosfwd> / <ostream>")

@@ -1,0 +1,3 @@
+#include "obs/log.hpp"
+
+void emitSpec() {}

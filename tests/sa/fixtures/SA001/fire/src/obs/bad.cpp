@@ -1,0 +1,5 @@
+// obs is the bottom layer: including a gpu header from here inverts
+// the declared module DAG.
+#include "gpu/gpu_spec.hpp"
+
+void emitSpec() {}

@@ -1,0 +1,3 @@
+#include "gpu/gpu_spec.hpp" // sa-ok: SA001 fixture: deliberate inversion
+
+void emitSpec() {}

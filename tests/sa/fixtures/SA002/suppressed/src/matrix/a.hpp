@@ -1,0 +1,3 @@
+// sa-ok: SA002 fixture: deliberate cycle
+#pragma once
+#include "matrix/b.hpp"

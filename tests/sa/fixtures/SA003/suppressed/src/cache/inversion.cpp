@@ -1,0 +1,14 @@
+#include <mutex>
+
+std::mutex g_shard_a;
+std::mutex g_shard_b;
+
+void mergeAIntoB() {
+    const std::lock_guard<std::mutex> hold(g_shard_a);
+    const std::lock_guard<std::mutex> then(g_shard_b); // sa-ok: SA003 fixture: callers serialize
+}
+
+void mergeBIntoA() {
+    const std::lock_guard<std::mutex> hold(g_shard_b);
+    const std::lock_guard<std::mutex> then(g_shard_a);
+}

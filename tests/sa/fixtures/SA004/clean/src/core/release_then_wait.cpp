@@ -1,0 +1,17 @@
+struct TaskGroup {
+    void run(void (*task)());
+    void wait();
+};
+
+struct CacheKeyLock {
+    explicit CacheKeyLock(const char *key);
+    ~CacheKeyLock();
+};
+
+void buildArtifactsFor(const char *key, TaskGroup &group) {
+    {
+        const CacheKeyLock lock(key);
+        group.run(nullptr);
+    }
+    group.wait();
+}

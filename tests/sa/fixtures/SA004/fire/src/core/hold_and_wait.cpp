@@ -1,0 +1,20 @@
+// Reconstruction of the PR 3 deadlock: a build thread holds a
+// per-key flock (CacheKeyLock) and waits on a TaskGroup. Before the
+// group-local helping fix, the waiter could steal an *unrelated*
+// coarse task that tried to take the same key's flock from another
+// process -> hold-and-wait, circular wait, deadlock.
+struct TaskGroup {
+    void run(void (*task)());
+    void wait();
+};
+
+struct CacheKeyLock {
+    explicit CacheKeyLock(const char *key);
+    ~CacheKeyLock();
+};
+
+void buildArtifactsFor(const char *key, TaskGroup &group) {
+    const CacheKeyLock lock(key);
+    group.run(nullptr);
+    group.wait();
+}

@@ -1,0 +1,15 @@
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+void emitCounters(std::ostream &out,
+                  const std::unordered_map<int, long> &counters) {
+    std::vector<std::pair<int, long>> sorted(counters.begin(),
+                                             counters.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto &[key, value] : sorted) {
+        out << key << "=" << value << "\n";
+    }
+}

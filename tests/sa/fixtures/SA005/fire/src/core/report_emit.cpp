@@ -1,0 +1,9 @@
+#include <ostream>
+#include <unordered_map>
+
+void emitCounters(std::ostream &out,
+                  const std::unordered_map<int, long> &counters) {
+    for (const auto &[key, value] : counters) {
+        out << key << "=" << value << "\n";
+    }
+}

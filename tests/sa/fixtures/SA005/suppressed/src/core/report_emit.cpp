@@ -1,0 +1,10 @@
+#include <ostream>
+#include <unordered_map>
+
+void emitCounters(std::ostream &out,
+                  const std::unordered_map<int, long> &counters) {
+    // sa-ok: SA005 fixture: single-entry map, order cannot matter
+    for (const auto &[key, value] : counters) {
+        out << key << "=" << value << "\n";
+    }
+}

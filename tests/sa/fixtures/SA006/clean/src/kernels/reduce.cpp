@@ -1,0 +1,19 @@
+#include <vector>
+
+namespace par {
+template <typename T, typename F, typename G>
+T parallelReduce(int begin, int end, int grain, T init, F &&fold,
+                 G &&combine);
+}
+
+double sumAll(const std::vector<double> &xs) {
+    return par::parallelReduce(
+        0, static_cast<int>(xs.size()), 0, 0.0,
+        [&](int begin, int end) {
+            double partial = 0.0;
+            for (int i = begin; i < end; ++i)
+                partial += xs[static_cast<unsigned>(i)];
+            return partial;
+        },
+        [](double a, double b) { return a + b; });
+}

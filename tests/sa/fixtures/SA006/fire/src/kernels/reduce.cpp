@@ -1,0 +1,13 @@
+#include <vector>
+
+namespace par {
+template <typename F> void parallelFor(int begin, int end, F &&f);
+}
+
+double sumAll(const std::vector<double> &xs) {
+    double sum = 0.0;
+    par::parallelFor(0, static_cast<int>(xs.size()), [&](int i) {
+        sum += xs[static_cast<unsigned>(i)];
+    });
+    return sum;
+}

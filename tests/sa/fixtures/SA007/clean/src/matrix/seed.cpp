@@ -1,0 +1,5 @@
+unsigned freshSeed(unsigned long state) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    return static_cast<unsigned>(state);
+}

@@ -1,0 +1,6 @@
+#include <random>
+
+unsigned freshSeed() {
+    std::random_device device;
+    return device();
+}

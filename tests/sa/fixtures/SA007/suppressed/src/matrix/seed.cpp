@@ -1,0 +1,6 @@
+#include <random>
+
+unsigned freshSeed() {
+    std::random_device device; // sa-ok: SA007 fixture: entropy probe only
+    return device();
+}

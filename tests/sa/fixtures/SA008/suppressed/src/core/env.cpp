@@ -1,0 +1,5 @@
+#include <cstdlib>
+
+bool verboseEnabled() {
+    return std::getenv("SLO_FIXTURE_VERBOSE") != nullptr; // sa-ok: SA008 fixture
+}

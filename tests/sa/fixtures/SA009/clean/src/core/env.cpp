@@ -1,0 +1,5 @@
+#include <cstdlib>
+
+bool removedEnabled() {
+    return std::getenv("SLO_FIXTURE_REMOVED") != nullptr;
+}

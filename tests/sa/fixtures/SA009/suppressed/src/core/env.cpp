@@ -1,0 +1,1 @@
+int answer() { return 42; }

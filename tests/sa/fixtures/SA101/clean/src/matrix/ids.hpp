@@ -1,0 +1,6 @@
+#pragma once
+#include <cstdint>
+
+struct Dims {
+    std::int64_t rows;
+};

@@ -1,0 +1,5 @@
+#pragma once
+
+struct Dims {
+    long rows;
+};

@@ -1,0 +1,5 @@
+#pragma once
+
+struct Dims {
+    long rows; // sa-ok: SA101 fixture: ABI seam
+};

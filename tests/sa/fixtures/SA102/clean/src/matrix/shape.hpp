@@ -1,0 +1,8 @@
+#pragma once
+#include <cstdint>
+
+using Index = std::int32_t;
+
+struct Shape {
+    Index numRows;
+};

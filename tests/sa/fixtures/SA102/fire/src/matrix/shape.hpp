@@ -1,0 +1,5 @@
+#pragma once
+
+struct Shape {
+    int num_rows;
+};

@@ -1,0 +1,5 @@
+#include <chrono>
+
+long long nowNanos() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

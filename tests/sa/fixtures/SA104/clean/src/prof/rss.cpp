@@ -1,0 +1,7 @@
+#include <sys/resource.h>
+
+long peakRssKb() {
+    rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    return usage.ru_maxrss;
+}

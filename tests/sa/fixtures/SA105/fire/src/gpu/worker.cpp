@@ -1,0 +1,6 @@
+#include <thread>
+
+void runDetached(void (*task)()) {
+    std::thread worker(task);
+    worker.detach();
+}

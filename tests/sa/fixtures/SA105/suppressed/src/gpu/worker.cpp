@@ -1,0 +1,6 @@
+#include <thread>
+
+void runDetached(void (*task)()) {
+    std::thread worker(task); // sa-ok: SA105 fixture: watchdog thread
+    worker.detach();
+}

@@ -1,0 +1,6 @@
+#include <cassert>
+
+void advance(int &cursor, int limit) {
+    ++cursor;
+    assert(cursor < limit);
+}

@@ -1,0 +1,5 @@
+#include <cassert>
+
+void advance(int &cursor, int limit) {
+    assert(++cursor < limit);
+}

@@ -1,0 +1,3 @@
+struct Guard {
+    int level;
+};

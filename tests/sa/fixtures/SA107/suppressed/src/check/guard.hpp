@@ -1,0 +1,4 @@
+// sa-ok: SA107 fixture: generated header
+struct Guard {
+    int level;
+};

@@ -1,0 +1,5 @@
+#include <vector>
+
+using namespace std;
+
+vector<int> empty() { return {}; }

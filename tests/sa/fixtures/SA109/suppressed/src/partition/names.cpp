@@ -1,0 +1,5 @@
+#include <vector>
+
+using namespace std; // sa-ok: SA109 fixture
+
+vector<int> empty() { return {}; }

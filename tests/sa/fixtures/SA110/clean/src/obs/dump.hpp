@@ -1,0 +1,4 @@
+#pragma once
+#include <ostream>
+
+inline void dump(std::ostream &out, int value) { out << value; }

@@ -1,0 +1,4 @@
+#pragma once
+#include <iostream>
+
+inline void dump(int value) { std::cout << value; }

@@ -1,0 +1,4 @@
+#pragma once
+#include <iostream> // sa-ok: SA110 fixture
+
+inline void dump(int value) { std::cout << value; }
