@@ -27,8 +27,8 @@ main()
 
     const std::vector<reorder::Technique> techniques = {
         reorder::Technique::Random, reorder::Technique::Original,
-        reorder::Technique::Dbg, reorder::Technique::Rabbit,
-        reorder::Technique::RabbitPlusPlus};
+        reorder::Technique::Dbg, reorder::Technique::Boba,
+        reorder::Technique::Rabbit, reorder::Technique::RabbitPlusPlus};
 
     std::vector<double> traffic, window_score, gap, same_line,
         distinct_lines;

@@ -2,11 +2,26 @@
  * @file
  * google-benchmark micro-benchmarks for the reordering techniques
  * (pre-processing throughput on this host; complements Fig. 9).
+ *
+ * Every technique runs thread-scaling legs at 1, 2, 4 and the
+ * SLO_THREADS-default worker count: a per-leg ThreadPool installed via
+ * par::ScopedPoolOverride drives the whole computeOrdering stack, so
+ * the legs measure the ordering builders' own parallelism. Counters
+ * are accesses-agnostic rows/sec (items = matrix rows, comparable
+ * across techniques regardless of how many non-zeros each touches)
+ * plus `speedup` relative to the technique's own 1-thread leg (legs
+ * run in registration order, so the serial leg always lands first).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <map>
+#include <string>
+
 #include "matrix/generators.hpp"
+#include "obs/trace.hpp"
+#include "par/par.hpp"
 #include "reorder/reorder.hpp"
 
 namespace
@@ -24,19 +39,52 @@ benchMatrix()
     return matrix;
 }
 
+/** Thread counts worth plotting: 1 (serial), 2, 4, host default. */
+void
+threadArgs(benchmark::internal::Benchmark *bench)
+{
+    bench->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(
+        par::defaultThreads());
+}
+
+/** Mean seconds of each technique's 1-thread leg, for `speedup`. */
+std::map<std::string, double> &
+serialSeconds()
+{
+    static std::map<std::string, double> seconds;
+    return seconds;
+}
+
 void
 runTechnique(benchmark::State &state, reorder::Technique technique)
 {
     const Csr &m = benchMatrix();
     reorder::ReorderOptions options;
     options.gorderHubCap = 256;
+    par::ThreadPool pool(static_cast<int>(state.range(0)));
+    const par::ScopedPoolOverride scoped(pool);
+    std::uint64_t work_nanos = 0;
     for (auto _ : state) {
+        const std::uint64_t start = obs::monotonicNanos();
         benchmark::DoNotOptimize(
             reorder::computeOrdering(technique, m, options).newIds());
+        work_nanos += obs::monotonicNanos() - start;
     }
     state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        m.numNonZeros());
+        static_cast<std::int64_t>(state.iterations()) * m.numRows());
+    const double mean_seconds =
+        state.iterations() > 0
+            ? static_cast<double>(work_nanos) / 1e9 /
+                  static_cast<double>(state.iterations())
+            : 0.0;
+    const std::string name = reorder::techniqueName(technique);
+    if (state.range(0) == 1)
+        serialSeconds()[name] = mean_seconds;
+    const double base = serialSeconds().count(name) != 0
+                            ? serialSeconds()[name]
+                            : mean_seconds;
+    state.counters["speedup"] =
+        mean_seconds > 0.0 ? base / mean_seconds : 1.0;
 }
 
 void
@@ -44,63 +92,70 @@ BM_Random(benchmark::State &state)
 {
     runTechnique(state, reorder::Technique::Random);
 }
-BENCHMARK(BM_Random);
+BENCHMARK(BM_Random)->Apply(threadArgs);
 
 void
 BM_DegSort(benchmark::State &state)
 {
     runTechnique(state, reorder::Technique::DegSort);
 }
-BENCHMARK(BM_DegSort);
+BENCHMARK(BM_DegSort)->Apply(threadArgs);
 
 void
 BM_Dbg(benchmark::State &state)
 {
     runTechnique(state, reorder::Technique::Dbg);
 }
-BENCHMARK(BM_Dbg);
+BENCHMARK(BM_Dbg)->Apply(threadArgs);
 
 void
 BM_HubCluster(benchmark::State &state)
 {
     runTechnique(state, reorder::Technique::HubCluster);
 }
-BENCHMARK(BM_HubCluster);
+BENCHMARK(BM_HubCluster)->Apply(threadArgs);
 
 void
 BM_Rcm(benchmark::State &state)
 {
     runTechnique(state, reorder::Technique::Rcm);
 }
-BENCHMARK(BM_Rcm);
+BENCHMARK(BM_Rcm)->Apply(threadArgs);
 
 void
 BM_SlashBurn(benchmark::State &state)
 {
     runTechnique(state, reorder::Technique::SlashBurn);
 }
-BENCHMARK(BM_SlashBurn);
+BENCHMARK(BM_SlashBurn)->Apply(threadArgs);
 
 void
 BM_Gorder(benchmark::State &state)
 {
     runTechnique(state, reorder::Technique::Gorder);
 }
-BENCHMARK(BM_Gorder);
+BENCHMARK(BM_Gorder)->Apply(threadArgs);
 
 void
 BM_Rabbit(benchmark::State &state)
 {
     runTechnique(state, reorder::Technique::Rabbit);
 }
-BENCHMARK(BM_Rabbit);
+BENCHMARK(BM_Rabbit)->Apply(threadArgs);
 
 void
 BM_RabbitPlusPlus(benchmark::State &state)
 {
     runTechnique(state, reorder::Technique::RabbitPlusPlus);
 }
-BENCHMARK(BM_RabbitPlusPlus);
+BENCHMARK(BM_RabbitPlusPlus)->Apply(threadArgs);
+
+void
+BM_Boba(benchmark::State &state)
+{
+    runTechnique(state, reorder::Technique::Boba);
+}
+BENCHMARK(BM_Boba)->Apply(threadArgs);
 
 } // namespace
 

@@ -67,6 +67,23 @@ TOLERANCES = {
     "count": (0.25, 1000.0),
 }
 
+# Metric-name prefixes with tighter tolerances than their kind's
+# default. The reordering phases are what this codebase optimizes, so
+# a `phase.reorder.*` slowdown gates at 25% relative with a 0.02 s
+# floor instead of the looser generic time tolerance.
+PREFIX_TOLERANCES = {
+    "phase.reorder.": (0.25, 0.02),
+}
+
+
+def tolerance_for(name: str, kind: str) -> tuple[float, float] | None:
+    """Tolerance for one metric, or None when it never gates."""
+    if kind == "time":
+        for prefix, tolerance in PREFIX_TOLERANCES.items():
+            if name.startswith(prefix):
+                return tolerance
+    return TOLERANCES.get(kind)
+
 
 def git_sha() -> str:
     try:
@@ -209,9 +226,10 @@ def compare(baseline: dict, candidate: dict) -> tuple[list, list, list]:
                               f"{new.get('unit')}; not compared"))
                 continue
             kind = new.get("kind", old.get("kind", ""))
-            if kind not in TOLERANCES:
+            tolerance = tolerance_for(name, kind)
+            if tolerance is None:
                 continue  # ratio & unknown kinds: informational
-            rel, floor = TOLERANCES[kind]
+            rel, floor = tolerance
             old_v, new_v = old["value"], new["value"]
             delta = new_v - old_v
             pct = (delta / old_v * 100.0) if old_v else 0.0
@@ -379,6 +397,35 @@ def cmd_selftest(_args: argparse.Namespace) -> int:
     if regressions:
         failures.append(
             f"sub-floor movement gated: {regressions}")
+
+    # 6. The tighter phase.reorder.* gate fires where the generic time
+    #    tolerance would not (+35%, delta 0.035 s < generic 0.05 floor).
+    reorder_base = {
+        "schema": SCHEMA, "git_sha": "b", "host": host,
+        "benches": {"fig9": {
+            "phase.reorder.RABBIT.seconds": metric(0.10, "seconds",
+                                                   "time")}},
+    }
+    reorder_cand = {
+        "schema": SCHEMA, "git_sha": "c", "host": host,
+        "benches": {"fig9": {
+            "phase.reorder.RABBIT.seconds": metric(0.135, "seconds",
+                                                   "time")}},
+    }
+    regressions, _, _ = compare(reorder_base, reorder_cand)
+    if [(r[0], r[1]) for r in regressions] != [
+            ("fig9", "phase.reorder.RABBIT.seconds")]:
+        failures.append(
+            f"reorder-phase slowdown not flagged: {regressions}")
+
+    # 7. Reorder-phase jitter inside the tighter margin stays quiet.
+    reorder_cand["benches"]["fig9"][
+        "phase.reorder.RABBIT.seconds"] = metric(0.115, "seconds",
+                                                 "time")
+    regressions, _, _ = compare(reorder_base, reorder_cand)
+    if regressions:
+        failures.append(
+            f"reorder-phase noise flagged as regression: {regressions}")
 
     if failures:
         for failure in failures:

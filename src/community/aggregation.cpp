@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "check/validators.hpp"
+#include "community/concurrent_union_find.hpp"
+#include "community/speculation.hpp"
 #include "obs/trace.hpp"
 #include "par/par.hpp"
 
@@ -16,52 +18,16 @@ namespace slo::community
 namespace
 {
 
-/** Union-find with path compression and union-by-explicit-winner. */
-class DisjointSets
+/**
+ * One speculative merge decision (see speculation.hpp). `skip` marks a
+ * vertex already absorbed at block start — permanent, since a vertex
+ * never becomes a representative again, so it needs no validation.
+ */
+struct MergeProposal
 {
-  public:
-    explicit DisjointSets(Index n)
-        : parent_(static_cast<std::size_t>(n))
-    {
-        std::iota(parent_.begin(), parent_.end(), Index{0});
-    }
-
-    Index
-    find(Index v)
-    {
-        Index root = v;
-        while (parent_[static_cast<std::size_t>(root)] != root)
-            root = parent_[static_cast<std::size_t>(root)];
-        while (parent_[static_cast<std::size_t>(v)] != root) {
-            const Index next = parent_[static_cast<std::size_t>(v)];
-            parent_[static_cast<std::size_t>(v)] = root;
-            v = next;
-        }
-        return root;
-    }
-
-    /** Attach @p loser's set under @p winner (winner stays the rep). */
-    void
-    uniteInto(Index loser, Index winner)
-    {
-        parent_[static_cast<std::size_t>(find(loser))] = find(winner);
-    }
-
-    /**
-     * Root of @p v without path compression. Safe to call from many
-     * threads concurrently once merging is finished (pure reads),
-     * unlike find(), whose compression writes would race.
-     */
-    Index
-    findRoot(Index v) const
-    {
-        while (parent_[static_cast<std::size_t>(v)] != v)
-            v = parent_[static_cast<std::size_t>(v)];
-        return v;
-    }
-
-  private:
-    std::vector<Index> parent_;
+    Index best = -1;
+    bool skip = false;
+    std::vector<std::pair<Index, std::uint64_t>> reads;
 };
 
 } // namespace
@@ -79,15 +45,20 @@ aggregateCommunities(const Csr &graph, const AggregationOptions &options)
     if (n == 0 || m2 == 0.0)
         return result;
 
-    DisjointSets sets(n);
+    ConcurrentDisjointSets sets(n);
     // Per live community: total degree (sum of member degrees) and the
-    // weights to neighbouring communities. Maps are merged small-into-
-    // large on each merge; `adjacency[rep]` is authoritative only for
-    // live reps.
+    // community's adjacency as a *fragment chain* — the linked list of
+    // its members, each contributing its immutable per-vertex map.
+    // Chains splice in O(1) at merge time (next/last pointers), so the
+    // sequential commit phase stays constant-time per merge and all
+    // map scanning happens in the parallel speculation phase.
     std::vector<double> strength(static_cast<std::size_t>(n), 0.0);
     std::vector<Index> size(static_cast<std::size_t>(n), 1);
     std::vector<std::unordered_map<Index, double>> adjacency(
         static_cast<std::size_t>(n));
+    std::vector<Index> next_fragment(static_cast<std::size_t>(n), -1);
+    std::vector<Index> last_fragment(static_cast<std::size_t>(n));
+    std::iota(last_fragment.begin(), last_fragment.end(), Index{0});
     // Each vertex builds only its own adjacency map and strength slot.
     par::parallelFor(Index{0}, n, [&](Index v) {
         strength[static_cast<std::size_t>(v)] =
@@ -110,75 +81,135 @@ aggregateCommunities(const Csr &graph, const AggregationOptions &options)
             return graph.degree(a) < graph.degree(b);
         });
 
-    // Scratch map: community rep -> accumulated edge weight from the
-    // community being placed.
-    std::unordered_map<Index, double> neighbour_weight;
+    Epochs epochs(n);
 
-    for (Index v : visit) {
-        const Index rep = sets.find(v);
-        if (rep != v)
-            continue; // already absorbed by an earlier merge
-
-        // Accumulate weights from v's community to neighbouring
-        // communities (entries in the map may be stale vertex ids that
-        // need resolving through the union-find).
-        neighbour_weight.clear();
-        for (const auto &[u, w] : adjacency[static_cast<std::size_t>(v)]) {
-            const Index u_rep = sets.find(u);
-            if (u_rep != v)
-                neighbour_weight[u_rep] += w;
-        }
-
-        // Best modularity gain:
-        // dQ = 2 * (e_vb/m2 - (d_v * d_b) / m2^2), e_vb counted once per
-        // stored entry (our symmetric CSR stores each edge twice, so the
-        // per-direction weight is exactly e_vb).
-        const double dv = strength[static_cast<std::size_t>(v)];
-        Index best = -1;
-        double best_gain = options.minGain;
-        for (const auto &[b, w] : neighbour_weight) {
-            if (options.maxCommunitySize > 0 &&
-                size[static_cast<std::size_t>(v)] +
-                        size[static_cast<std::size_t>(b)] >
-                    options.maxCommunitySize) {
-                continue;
-            }
-            const double db = strength[static_cast<std::size_t>(b)];
-            const double gain = 2.0 * (w / m2 - (dv * db) / (m2 * m2));
-            if (gain > best_gain ||
-                (gain == best_gain && best >= 0 && b < best)) {
-                best_gain = gain;
-                best = b;
+    // Resolve v's community-to-community weights into @p nw (scratch
+    // map: community rep -> accumulated edge weight) by walking the
+    // community's fragment chain. Entries are original vertex ids that
+    // need resolving through the union-find; the per-rep sums are sums
+    // of integer counts, so they are exact whatever the chain order.
+    const auto accumulate = [&](Index v,
+                                std::unordered_map<Index, double> &nw) {
+        nw.clear();
+        for (Index frag = v; frag >= 0;
+             frag = next_fragment[static_cast<std::size_t>(frag)]) {
+            for (const auto &[u, w] :
+                 adjacency[static_cast<std::size_t>(frag)]) {
+                const Index u_rep = sets.findRoot(u);
+                if (u_rep != v)
+                    nw[u_rep] += w;
             }
         }
-        if (best < 0)
-            continue;
+    };
 
-        // Merge v's community into best's community; best stays the rep.
+    // Best modularity gain:
+    // dQ = 2 * (e_vb/m2 - (d_v * d_b) / m2^2), e_vb counted once per
+    // stored entry (our symmetric CSR stores each edge twice, so the
+    // per-direction weight is exactly e_vb). The winner — highest gain,
+    // ties to the lowest community id — does not depend on the map's
+    // iteration order, and every sum involved is a sum of integer
+    // counts (exact in double), so speculation and recompute agree
+    // bit-for-bit.
+    const auto bestFor =
+        [&](Index v, const std::unordered_map<Index, double> &nw) {
+            const double dv = strength[static_cast<std::size_t>(v)];
+            Index best = -1;
+            double best_gain = options.minGain;
+            for (const auto &[b, w] : nw) {
+                if (options.maxCommunitySize > 0 &&
+                    size[static_cast<std::size_t>(v)] +
+                            size[static_cast<std::size_t>(b)] >
+                        options.maxCommunitySize) {
+                    continue;
+                }
+                const double db = strength[static_cast<std::size_t>(b)];
+                const double gain =
+                    2.0 * (w / m2 - (dv * db) / (m2 * m2));
+                if (gain > best_gain ||
+                    (gain == best_gain && best >= 0 && b < best)) {
+                    best_gain = gain;
+                    best = b;
+                }
+            }
+            return best;
+        };
+
+    // Merge v's community into best's community; best stays the rep.
+    // O(1): splice v's fragment chain onto best's. The per-vertex maps
+    // themselves never change, which is what keeps the speculation
+    // phase's reads pure.
+    const auto applyMerge = [&](Index v, Index best) {
         result.dendrogram.merge(v, best);
         sets.uniteInto(v, best);
         ++result.numMerges;
-        strength[static_cast<std::size_t>(best)] += dv;
+        strength[static_cast<std::size_t>(best)] +=
+            strength[static_cast<std::size_t>(v)];
         size[static_cast<std::size_t>(best)] +=
             size[static_cast<std::size_t>(v)];
+        next_fragment[static_cast<std::size_t>(
+            last_fragment[static_cast<std::size_t>(best)])] = v;
+        last_fragment[static_cast<std::size_t>(best)] =
+            last_fragment[static_cast<std::size_t>(v)];
+        epochs.bump(v);
+        epochs.bump(best);
+    };
 
-        // Merge adjacency maps small-into-large, but keep the result
-        // stored under `best` (the live rep).
-        auto &from = adjacency[static_cast<std::size_t>(v)];
-        auto &into = adjacency[static_cast<std::size_t>(best)];
-        if (from.size() > into.size())
-            std::swap(from, into);
-        for (const auto &[u, w] : from)
-            into[u] += w;
-        from.clear();
-        // Note: `into` may now contain stale ids (including v itself or
-        // ids pointing into best's own community); they are resolved
-        // lazily through the union-find when the map is next read.
+    // The serial iteration for one vertex — the semantics every other
+    // path must reproduce exactly.
+    const auto serialStep =
+        [&](Index v, std::unordered_map<Index, double> &nw) {
+            if (sets.findRoot(v) != v)
+                return; // already absorbed by an earlier merge
+            accumulate(v, nw);
+            const Index best = bestFor(v, nw);
+            if (best >= 0)
+                applyMerge(v, best);
+        };
+
+    par::ThreadPool &pool = par::ThreadPool::global();
+    if (pool.serial()) {
+        std::unordered_map<Index, double> neighbour_weight;
+        for (Index v : visit)
+            serialStep(v, neighbour_weight);
+    } else {
+        // Speculate in parallel against block-start state, recording
+        // the epoch of every community a decision read; commit in
+        // visit order, recomputing any proposal whose reads went
+        // stale. See speculation.hpp for why this is bit-identical to
+        // the serial loop at any thread count.
+        const auto speculate = [&](Index v) {
+            MergeProposal proposal;
+            if (sets.findRoot(v) != v) {
+                proposal.skip = true;
+                return proposal;
+            }
+            thread_local std::unordered_map<Index, double> scratch;
+            accumulate(v, scratch);
+            proposal.reads.reserve(scratch.size() + 1);
+            proposal.reads.emplace_back(v, epochs.of(v));
+            for (const auto &[b, w] : scratch)
+                proposal.reads.emplace_back(b, epochs.of(b));
+            proposal.best = bestFor(v, scratch);
+            return proposal;
+        };
+        std::unordered_map<Index, double> commit_scratch;
+        const auto commit = [&](Index v, MergeProposal &proposal) {
+            if (proposal.skip)
+                return; // vertices never become reps again
+            if (epochs.stillValid(proposal.reads)) {
+                if (proposal.best >= 0)
+                    applyMerge(v, proposal.best);
+                return;
+            }
+            serialStep(v, commit_scratch);
+        };
+        speculativeSweep<MergeProposal>(visit, reorderBlockSize(), pool,
+                                        speculate, commit);
     }
 
-    // Top-level communities from the union-find. findRoot (no path
-    // compression) keeps the structure read-only here, so the label
-    // resolution is safely parallel.
+    // Top-level communities from the union-find; findRoot is safely
+    // concurrent (CAS path-halving), so the label resolution is
+    // parallel.
     std::vector<Index> labels(static_cast<std::size_t>(n));
     par::parallelFor(Index{0}, n, [&](Index v) {
         labels[static_cast<std::size_t>(v)] = sets.findRoot(v);

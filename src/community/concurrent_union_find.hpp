@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Union-find with lock-free concurrent root queries.
+ *
+ * The speculative parallel aggregation sweep (aggregation.cpp) needs
+ * many threads resolving representatives while the structure is
+ * *between* merges. Parent links are atomics: `findRoot` performs CAS
+ * path-halving — replacing a vertex's parent with its grandparent —
+ * which is a semantic no-op on the partition (both point into the same
+ * set), so any number of threads may call it concurrently and each
+ * still returns the unique root. Merging (`uniteInto`) is reserved for
+ * the single-threaded commit phase; the invariant the whole design
+ * rests on is:
+ *
+ *   parent links only change meaning during the sequential commit
+ *   phase — concurrent mutation is limited to path-halving, which
+ *   never changes which set a vertex belongs to.
+ *
+ * Phases are separated by the thread pool's fork/join barrier, whose
+ * mutexes provide the happens-before edge; the atomics themselves can
+ * therefore be relaxed (a stale parent read only costs extra hops, the
+ * root answer is unchanged).
+ */
+
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace slo::community
+{
+
+class ConcurrentDisjointSets
+{
+  public:
+    explicit ConcurrentDisjointSets(Index n)
+        : parent_(static_cast<std::size_t>(n))
+    {
+        for (Index v = 0; v < n; ++v)
+            parent_[static_cast<std::size_t>(v)].store(
+                v, std::memory_order_relaxed);
+    }
+
+    /**
+     * Root of @p v's set, with CAS path-halving. Safe to call from any
+     * number of threads concurrently (see the file comment); also the
+     * find used by the sequential commit phase.
+     */
+    Index
+    findRoot(Index v)
+    {
+        for (;;) {
+            const Index parent =
+                parent_[static_cast<std::size_t>(v)].load(
+                    std::memory_order_relaxed);
+            if (parent == v)
+                return v;
+            const Index grandparent =
+                parent_[static_cast<std::size_t>(parent)].load(
+                    std::memory_order_relaxed);
+            if (grandparent == parent)
+                return parent;
+            // Halve the path: parent -> grandparent. Failure means a
+            // sibling thread already halved through v; retrying from
+            // the same vertex re-reads the fresher link.
+            Index expected = parent;
+            parent_[static_cast<std::size_t>(v)]
+                .compare_exchange_weak(expected, grandparent,
+                                       std::memory_order_relaxed);
+            v = parent;
+        }
+    }
+
+    /**
+     * Attach @p loser's set under @p winner's root (winner's root stays
+     * the representative). Commit-phase only: must not run concurrently
+     * with other uniteInto calls (findRoot calls are fine).
+     */
+    void
+    uniteInto(Index loser, Index winner)
+    {
+        const Index loser_root = findRoot(loser);
+        const Index winner_root = findRoot(winner);
+        parent_[static_cast<std::size_t>(loser_root)].store(
+            winner_root, std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<std::atomic<Index>> parent_;
+};
+
+} // namespace slo::community

@@ -8,6 +8,7 @@
 
 #include "check/validators.hpp"
 #include "community/metrics.hpp"
+#include "community/speculation.hpp"
 #include "matrix/rng.hpp"
 #include "obs/obs.hpp"
 #include "par/par.hpp"
@@ -79,8 +80,27 @@ fromCsr(const Csr &graph)
 }
 
 /**
+ * One speculative move decision (see speculation.hpp): the proposed
+ * target community plus the epochs of every community the score read.
+ */
+struct MoveProposal
+{
+    Index best = -1;
+    std::vector<std::pair<Index, std::uint64_t>> reads;
+};
+
+/**
  * One level of local moving. Returns the (possibly improved) labels and
  * whether any node moved.
+ *
+ * The move sweeps run block-speculatively on the global pool: each
+ * block of the shuffled visit order is scored in parallel against
+ * block-start state, then committed sequentially in visit order with
+ * stale proposals recomputed inline (speculation.hpp). Candidate
+ * communities are always scanned in ascending community id — a fixed
+ * order the near-tie comparisons below depend on — so the committed
+ * decision sequence, and therefore the clustering, is identical to the
+ * serial sweep at any SLO_THREADS.
  */
 bool
 localMoving(const WeightedGraph &wg, std::vector<Index> &labels,
@@ -91,10 +111,7 @@ localMoving(const WeightedGraph &wg, std::vector<Index> &labels,
         return false;
 
     // Per-vertex strength scans are the bulk of a pass's setup cost;
-    // they are pure reads of the graph and independent per vertex. The
-    // move sweeps below stay sequential on purpose: each move reads the
-    // labels written by earlier moves, so a parallel sweep would change
-    // the clustering with the thread count.
+    // they are pure reads of the graph and independent per vertex.
     std::vector<double> strength(static_cast<std::size_t>(wg.n));
     par::parallelFor(Index{0}, wg.n, [&](Index v) {
         strength[static_cast<std::size_t>(v)] = wg.strengthOf(v);
@@ -117,34 +134,52 @@ localMoving(const WeightedGraph &wg, std::vector<Index> &labels,
         std::swap(visit[i - 1], visit[j]);
     }
 
+    Epochs epochs(wg.n);
     bool any_move = false;
-    std::unordered_map<Index, double> weight_to;
-    for (int sweep = 0; sweep < options.maxSweepsPerLevel; ++sweep) {
-        bool moved_this_sweep = false;
-        for (Index v : visit) {
+    bool moved_this_sweep = false;
+
+    // v's weight to each adjacent community, as (community, weight)
+    // entries sorted by community id (the deterministic scan order).
+    const auto gather =
+        [&](Index v, std::unordered_map<Index, double> &scratch,
+            std::vector<std::pair<Index, double>> &entries) {
             const auto sv = static_cast<std::size_t>(v);
-            const Index current = labels[sv];
-            weight_to.clear();
-            weight_to[current] += 0.0;
+            scratch.clear();
+            scratch[labels[sv]] += 0.0;
             for (Offset i = wg.offsets[sv]; i < wg.offsets[sv + 1];
                  ++i) {
                 const auto si = static_cast<std::size_t>(i);
                 const Index u = wg.neighbours[si];
                 if (u == v)
                     continue;
-                weight_to[labels[static_cast<std::size_t>(u)]] +=
+                scratch[labels[static_cast<std::size_t>(u)]] +=
                     wg.weights[si];
             }
-            // Score of community c (v removed from its own community):
-            // w_vc - strength_c\v * d_v / m2.
+            entries.assign(scratch.begin(), scratch.end());
+            std::sort(entries.begin(), entries.end());
+        };
+
+    // Score of community c (v removed from its own community):
+    // w_vc - strength_c\v * d_v / m2. Pure read of current state; the
+    // weights are integer-valued, so every sum is exact and the
+    // decision reproduces bit-for-bit on recompute.
+    const auto bestFor =
+        [&](Index v,
+            const std::vector<std::pair<Index, double>> &entries) {
+            const auto sv = static_cast<std::size_t>(v);
+            const Index current = labels[sv];
             const double dv = strength[sv];
-            community_strength[static_cast<std::size_t>(current)] -= dv;
+            double w_current = 0.0;
+            for (const auto &[c, w] : entries) {
+                if (c == current)
+                    w_current = w;
+            }
+            const double removed =
+                community_strength[static_cast<std::size_t>(current)] -
+                dv;
             Index best = current;
-            double best_score =
-                weight_to[current] -
-                community_strength[static_cast<std::size_t>(current)] *
-                    dv / m2;
-            for (const auto &[c, w] : weight_to) {
+            double best_score = w_current - removed * dv / m2;
+            for (const auto &[c, w] : entries) {
                 if (c == current)
                     continue;
                 const double score =
@@ -156,12 +191,62 @@ localMoving(const WeightedGraph &wg, std::vector<Index> &labels,
                     best = c;
                 }
             }
-            community_strength[static_cast<std::size_t>(best)] += dv;
-            if (best != current) {
-                labels[sv] = best;
-                moved_this_sweep = true;
-                any_move = true;
+            return best;
+        };
+
+    const auto applyMove = [&](Index v, Index best) {
+        const auto sv = static_cast<std::size_t>(v);
+        const Index current = labels[sv];
+        if (best == current)
+            return;
+        const double dv = strength[sv];
+        community_strength[static_cast<std::size_t>(current)] -= dv;
+        community_strength[static_cast<std::size_t>(best)] += dv;
+        labels[sv] = best;
+        epochs.bump(current);
+        epochs.bump(best);
+        moved_this_sweep = true;
+        any_move = true;
+    };
+
+    const auto speculate = [&](Index v) {
+        thread_local std::unordered_map<Index, double> scratch;
+        thread_local std::vector<std::pair<Index, double>> entries;
+        MoveProposal proposal;
+        gather(v, scratch, entries);
+        proposal.reads.reserve(entries.size());
+        for (const auto &[c, w] : entries)
+            proposal.reads.emplace_back(c, epochs.of(c));
+        proposal.best = bestFor(v, entries);
+        return proposal;
+    };
+
+    std::unordered_map<Index, double> commit_scratch;
+    std::vector<std::pair<Index, double>> commit_entries;
+    const auto commit = [&](Index v, MoveProposal &proposal) {
+        // A neighbour's label change bumps the epoch of the community
+        // it left — always one of our recorded entries — so any stale
+        // input is caught and the decision recomputed serially.
+        if (epochs.stillValid(proposal.reads)) {
+            applyMove(v, proposal.best);
+            return;
+        }
+        gather(v, commit_scratch, commit_entries);
+        applyMove(v, bestFor(v, commit_entries));
+    };
+
+    par::ThreadPool &pool = par::ThreadPool::global();
+    const std::size_t block = reorderBlockSize();
+    for (int sweep = 0; sweep < options.maxSweepsPerLevel; ++sweep) {
+        moved_this_sweep = false;
+        if (pool.serial()) {
+            for (Index v : visit) {
+                gather(v, commit_scratch, commit_entries);
+                applyMove(v, bestFor(v, commit_entries));
             }
+        } else {
+            speculativeSweep<MoveProposal>(visit, block, pool,
+                                           speculate, commit);
         }
         if (!moved_this_sweep)
             break;

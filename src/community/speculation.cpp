@@ -1,0 +1,23 @@
+#include "community/speculation.hpp"
+
+#include <cstdlib>
+
+namespace slo::community
+{
+
+std::size_t
+reorderBlockSize()
+{
+    static const std::size_t value = [] {
+        std::size_t block = 4096;
+        if (const char *env = std::getenv("SLO_REORDER_BLOCK")) {
+            const long long parsed = std::atoll(env);
+            if (parsed > 0)
+                block = static_cast<std::size_t>(parsed);
+        }
+        return block < 64 ? std::size_t{64} : block;
+    }();
+    return value;
+}
+
+} // namespace slo::community

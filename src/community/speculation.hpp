@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Block-speculative parallel sweep: the shared execution shape behind
+ * the parallel Rabbit aggregation and Louvain local-moving passes.
+ *
+ * Both algorithms are sequential greedy loops whose iterations *mostly*
+ * don't interact: vertex v's decision depends on a handful of
+ * communities, and consecutive vertices rarely touch the same ones.
+ * The sweep exploits that while keeping the *sequential* semantics:
+ *
+ *   1. Speculate — a block of visit-order iterations is evaluated in
+ *      parallel against the block-start state. Each proposal records
+ *      the epochs of every community it read.
+ *   2. Commit — proposals are applied one by one in visit order. A
+ *      proposal whose recorded epochs still match is applied as-is; a
+ *      stale one (an earlier commit touched a community it read) is
+ *      recomputed inline against the current state, which reproduces
+ *      the serial decision exactly. Every applied mutation bumps the
+ *      epochs of the communities it touches.
+ *
+ * The committed sequence of decisions is therefore identical to the
+ * serial loop at any thread count and block size — parallelism only
+ * changes how much speculative work is wasted, never the output.
+ * Shared state is read in the speculation phase and written in the
+ * commit phase, and the pool's fork/join barrier orders the two, so
+ * the sweep is race-free without per-element atomics.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "matrix/types.hpp"
+#include "par/par.hpp"
+
+namespace slo::community
+{
+
+/**
+ * Speculation block size for the parallel reorder sweeps: how many
+ * visit-order iterations are proposed in parallel between sequential
+ * commit passes. Reads SLO_REORDER_BLOCK (default 4096, minimum 64).
+ * Affects speculation efficiency only — the committed output is
+ * bit-identical at every value.
+ */
+std::size_t reorderBlockSize();
+
+/** Epoch counters per community, for speculation read validation. */
+class Epochs
+{
+  public:
+    explicit Epochs(Index n)
+        : epoch_(static_cast<std::size_t>(n), 0)
+    {
+    }
+
+    std::uint64_t
+    of(Index community) const
+    {
+        return epoch_[static_cast<std::size_t>(community)];
+    }
+
+    /** Commit phase: mark @p community as mutated. */
+    void
+    bump(Index community)
+    {
+        ++epoch_[static_cast<std::size_t>(community)];
+    }
+
+    /** True when every recorded (community, epoch) pair still holds. */
+    bool
+    stillValid(
+        const std::vector<std::pair<Index, std::uint64_t>> &reads) const
+    {
+        for (const auto &[community, epoch] : reads) {
+            if (epoch_[static_cast<std::size_t>(community)] != epoch)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::vector<std::uint64_t> epoch_;
+};
+
+/**
+ * Run the speculate/commit sweep over @p visit on @p pool.
+ *
+ * @p speculate maps a vertex to a Proposal (parallel, pure reads of
+ * block-start state); @p commit applies one vertex's decision
+ * (sequential, in visit order; does its own validation/recompute).
+ * On a serial pool the caller should prefer its plain serial loop —
+ * this function still produces the identical result, just with
+ * speculation overhead.
+ */
+template <typename Proposal, typename SpeculateFn, typename CommitFn>
+void
+speculativeSweep(const std::vector<Index> &visit, std::size_t block,
+                 par::ThreadPool &pool, const SpeculateFn &speculate,
+                 const CommitFn &commit)
+{
+    std::vector<Proposal> proposals(std::min(block, visit.size()));
+    for (std::size_t lo = 0; lo < visit.size(); lo += block) {
+        const std::size_t hi = std::min(visit.size(), lo + block);
+        par::parallelFor(
+            lo, hi,
+            [&](std::size_t i) {
+                proposals[i - lo] = speculate(visit[i]);
+            },
+            {.grain = 0, .pool = &pool});
+        for (std::size_t i = lo; i < hi; ++i)
+            commit(visit[i], proposals[i - lo]);
+    }
+}
+
+} // namespace slo::community

@@ -123,6 +123,61 @@ parallelReduce(std::size_t begin, std::size_t end, std::size_t grain,
     return total;
 }
 
+/**
+ * In-place exclusive prefix sum of @p values; returns the total.
+ * Chunk boundaries are fixed by @p grain (0 = 4096) and never by the
+ * thread count: chunk totals reduce in parallel, fold sequentially in
+ * chunk order, and each chunk then rewrites its own slice from its
+ * folded offset. The result is therefore identical at any
+ * SLO_THREADS — exact for integers, and reproducible for floating
+ * point because the fold order is fixed. This is the deterministic
+ * scatter-offset builder used by bucket-placement reorderings.
+ */
+template <typename T>
+T
+parallelExclusiveScan(std::vector<T> &values, std::size_t grain = 0,
+                      ThreadPool *pool = nullptr)
+{
+    const std::size_t n = values.size();
+    if (grain == 0)
+        grain = 4096;
+    if (n == 0)
+        return T{};
+    const std::size_t chunks = (n + grain - 1) / grain;
+    std::vector<T> offset(chunks);
+    parallelFor(
+        0, chunks,
+        [&](std::size_t c) {
+            const std::size_t lo = c * grain;
+            const std::size_t hi = std::min(n, lo + grain);
+            T sum{};
+            for (std::size_t i = lo; i < hi; ++i)
+                sum += values[i];
+            offset[c] = sum;
+        },
+        {.grain = 1, .pool = pool});
+    T total{};
+    for (T &o : offset) {
+        const T next = total + o;
+        o = total; // becomes the chunk's starting offset
+        total = next;
+    }
+    parallelFor(
+        0, chunks,
+        [&](std::size_t c) {
+            const std::size_t lo = c * grain;
+            const std::size_t hi = std::min(n, lo + grain);
+            T running = offset[c];
+            for (std::size_t i = lo; i < hi; ++i) {
+                const T value = values[i];
+                values[i] = running;
+                running += value;
+            }
+        },
+        {.grain = 1, .pool = pool});
+    return total;
+}
+
 /** Run the given callables concurrently; blocks until all returned. */
 template <typename... Fns>
 void

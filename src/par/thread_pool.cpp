@@ -29,6 +29,14 @@ thread_local std::size_t t_worker = 0;
  */
 std::atomic<ThreadPool *> g_global_pool{nullptr};
 
+/**
+ * Active ScopedPoolOverride target (nullptr = none). Checked by
+ * ThreadPool::global() before the SLO_THREADS pool; deliberately
+ * separate from g_global_pool so the obs pre-emission hook keeps
+ * publishing the real global pool's stats during an override.
+ */
+std::atomic<ThreadPool *> g_pool_override{nullptr};
+
 } // namespace
 
 int
@@ -85,6 +93,9 @@ ThreadPool::~ThreadPool()
 ThreadPool &
 ThreadPool::global()
 {
+    if (ThreadPool *override_pool =
+            g_pool_override.load(std::memory_order_acquire))
+        return *override_pool;
     static ThreadPool pool;
     static const bool hooked = [] {
         g_global_pool.store(&pool, std::memory_order_release);
@@ -288,6 +299,17 @@ ThreadPool::publishStats() const
                     : (serial() ? 1.0 : 0.0);
     obs::gauge("par.pool_utilization").set(utilization);
     obs::RunManifest::instance().set("pool", statsJson());
+}
+
+ScopedPoolOverride::ScopedPoolOverride(ThreadPool &pool)
+    : previous_(
+          g_pool_override.exchange(&pool, std::memory_order_acq_rel))
+{
+}
+
+ScopedPoolOverride::~ScopedPoolOverride()
+{
+    g_pool_override.store(previous_, std::memory_order_release);
 }
 
 struct TaskGroup::State

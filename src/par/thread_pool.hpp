@@ -138,6 +138,34 @@ class ThreadPool
 };
 
 /**
+ * RAII override of ThreadPool::global() for the current process.
+ *
+ * While an instance is alive, every call to ThreadPool::global() —
+ * and therefore every parallel primitive invoked without an explicit
+ * pool — runs on @p pool instead of the SLO_THREADS-sized global
+ * pool. Benches and tests use this to measure thread scaling of deep
+ * call stacks (e.g. computeOrdering) without threading a pool pointer
+ * through every options struct.
+ *
+ * Single-driver-thread tool: construct and destroy it from one thread,
+ * with no parallel work in flight on the previous pool, and keep
+ * @p pool alive for the whole scope. Overrides nest (the previous
+ * override is restored on destruction).
+ */
+class ScopedPoolOverride
+{
+  public:
+    explicit ScopedPoolOverride(ThreadPool &pool);
+    ~ScopedPoolOverride();
+
+    ScopedPoolOverride(const ScopedPoolOverride &) = delete;
+    ScopedPoolOverride &operator=(const ScopedPoolOverride &) = delete;
+
+  private:
+    ThreadPool *previous_ = nullptr;
+};
+
+/**
  * Fan-in for a batch of tasks: `run` any number of them, then `wait`
  * until all have finished. The first exception thrown by any task is
  * captured and rethrown from `wait` (the remaining tasks still run).

@@ -1,0 +1,133 @@
+#include "reorder/boba.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "par/par.hpp"
+#include "reorder/check_order.hpp"
+
+namespace slo::reorder
+{
+
+Permutation
+bobaOrder(const Csr &matrix, const BobaOptions &options)
+{
+    require(matrix.isSquare(), "bobaOrder: matrix must be square");
+    const Index n = matrix.numRows();
+    const Offset nnz = matrix.numNonZeros();
+    if (n == 0)
+        return Permutation::identity(0);
+
+    // Phase 1 — first appearance of each vertex as a column in the
+    // non-zero stream. Concurrent CAS-min: the minimum is independent
+    // of arrival order, so the result is identical at any thread
+    // count. `nnz` doubles as the "never seen" sentinel (every real
+    // position is smaller).
+    std::vector<std::atomic<Offset>> first_atomic(
+        static_cast<std::size_t>(n));
+    par::parallelFor(Index{0}, n, [&](Index v) {
+        first_atomic[static_cast<std::size_t>(v)].store(
+            nnz, std::memory_order_relaxed);
+    });
+    const std::vector<Index> &cols = matrix.colIndices();
+    par::parallelForChunks(
+        0, static_cast<std::size_t>(nnz),
+        [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                auto &slot =
+                    first_atomic[static_cast<std::size_t>(cols[i])];
+                const auto pos = static_cast<Offset>(i);
+                Offset seen = slot.load(std::memory_order_relaxed);
+                while (pos < seen &&
+                       !slot.compare_exchange_weak(
+                           seen, pos, std::memory_order_relaxed)) {
+                }
+            }
+        });
+    std::vector<Offset> first_pos(static_cast<std::size_t>(n));
+    par::parallelFor(Index{0}, n, [&](Index v) {
+        first_pos[static_cast<std::size_t>(v)] =
+            first_atomic[static_cast<std::size_t>(v)].load(
+                std::memory_order_relaxed);
+    });
+
+    // Phase 2 — chunked bucket placement. Vertices land in arrival
+    // buckets (first position / grain; unseen vertices in one trailing
+    // bucket) via per-(bucket, vertex-chunk) counts, a deterministic
+    // exclusive scan for the slot offsets, and a parallel scatter into
+    // disjoint slices. Within a bucket the scatter yields ascending
+    // vertex id (chunks are scanned in order, ids ascend in a chunk).
+    const Offset grain =
+        options.bucketGrain > 0
+            ? options.bucketGrain
+            : std::max<Offset>(4096, (nnz + 4095) / 4096);
+    const Offset buckets = nnz > 0 ? (nnz + grain - 1) / grain : 0;
+    constexpr std::size_t kChunk = 8192;
+    const std::size_t chunks =
+        (static_cast<std::size_t>(n) + kChunk - 1) / kChunk;
+    const auto bucketOf = [&](Index v) {
+        const Offset pos = first_pos[static_cast<std::size_t>(v)];
+        return pos < nnz ? pos / grain : buckets;
+    };
+    std::vector<Offset> slots(
+        static_cast<std::size_t>(buckets + 1) * chunks, 0);
+    par::parallelFor(
+        0, chunks,
+        [&](std::size_t c) {
+            const std::size_t lo = c * kChunk;
+            const std::size_t hi =
+                std::min(static_cast<std::size_t>(n), lo + kChunk);
+            for (std::size_t v = lo; v < hi; ++v) {
+                ++slots[static_cast<std::size_t>(
+                            bucketOf(static_cast<Index>(v))) *
+                            chunks +
+                        c];
+            }
+        },
+        {.grain = 1});
+    par::parallelExclusiveScan(slots);
+    // Start of the unseen tail, before the scatter advances the slot
+    // cursors.
+    const Offset seen_count =
+        slots[static_cast<std::size_t>(buckets) * chunks];
+    std::vector<Index> order(static_cast<std::size_t>(n));
+    par::parallelFor(
+        0, chunks,
+        [&](std::size_t c) {
+            const std::size_t lo = c * kChunk;
+            const std::size_t hi =
+                std::min(static_cast<std::size_t>(n), lo + kChunk);
+            for (std::size_t v = lo; v < hi; ++v) {
+                // Each (bucket, chunk) cursor is touched by exactly
+                // this chunk's task, so the scatter is race-free.
+                Offset &cursor =
+                    slots[static_cast<std::size_t>(
+                              bucketOf(static_cast<Index>(v))) *
+                              chunks +
+                          c];
+                order[static_cast<std::size_t>(cursor)] =
+                    static_cast<Index>(v);
+                ++cursor;
+            }
+        },
+        {.grain = 1});
+
+    // Phase 3 — refine the bucket-partitioned prefix to the exact
+    // arrival order. First positions are unique per vertex, and the
+    // bucket pass already left the range nearly sorted, so the stable
+    // merge sort is cheap; the unseen tail is already in ascending id
+    // order from the scatter.
+    par::parallelStableSort(
+        order.begin(),
+        order.begin() + static_cast<std::ptrdiff_t>(seen_count),
+        [&](Index a, Index b) {
+            return first_pos[static_cast<std::size_t>(a)] <
+                   first_pos[static_cast<std::size_t>(b)];
+        });
+
+    return checkedOrder(Permutation::fromNewToOld(order), n,
+                        "bobaOrder");
+}
+
+} // namespace slo::reorder

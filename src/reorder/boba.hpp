@@ -1,0 +1,41 @@
+/**
+ * @file
+ * BOBA-style one-pass parallel lightweight reordering.
+ *
+ * Batched-Order-By-Attachment (Drescher et al., arXiv 2306.10410):
+ * relabel vertices by the position of their *first appearance* in the
+ * non-zero stream — an arrival order that packs vertices referenced
+ * together into nearby ids at near-sort speed, with none of the
+ * community machinery of RABBIT. Our implementation is deterministic
+ * at any thread count: first-appearance positions are an atomic min
+ * (order-independent), bucket placement scatters through a fixed-grain
+ * parallel exclusive scan, and ties inside a bucket resolve by
+ * (position, vertex id).
+ */
+
+#pragma once
+
+#include "matrix/csr.hpp"
+#include "matrix/permutation.hpp"
+
+namespace slo::reorder
+{
+
+/** Tuning knobs for the BOBA ordering. */
+struct BobaOptions
+{
+    /**
+     * Non-zero-stream positions per arrival bucket (0 = auto). Only a
+     * placement granularity: the final order is the global sort by
+     * first appearance whatever the grain.
+     */
+    Offset bucketGrain = 0;
+};
+
+/**
+ * Order vertices by first appearance as a column in @p matrix's
+ * non-zero stream; vertices never referenced go last, by id.
+ */
+Permutation bobaOrder(const Csr &matrix, const BobaOptions &options = {});
+
+} // namespace slo::reorder

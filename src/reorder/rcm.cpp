@@ -1,6 +1,7 @@
 #include "reorder/rcm.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <vector>
 
 #include "reorder/check_order.hpp"
@@ -11,35 +12,52 @@ namespace slo::reorder
 namespace
 {
 
+/** Bi-criteria candidates evaluated per George-Liu iteration. */
+constexpr std::size_t kStartCandidates = 4;
+
 /**
- * One BFS from @p start over unvisited vertices; returns the traversal
- * order (ascending-degree neighbour visits) and the last-level vertices.
+ * One BFS from @p start over vertices not yet committed to the order;
+ * returns the traversal order (ascending-degree neighbour visits), the
+ * last-level vertices, and the level structure's height and width.
+ *
+ * Visits are marked in @p stamp with @p tag instead of mutating
+ * @p done, so trial traversals (start-node evaluation) and the
+ * committed traversal share one code path: commit = copy the order and
+ * flip @p done afterwards.
  */
 struct BfsResult
 {
     std::vector<Index> order;
     std::vector<Index> lastLevel;
+    std::size_t height = 0;   ///< number of BFS levels
+    std::size_t maxWidth = 0; ///< widest level
 };
 
 BfsResult
 bfsAscendingDegree(const Csr &graph, Index start,
-                   std::vector<bool> *visited_out)
+                   const std::vector<bool> &done,
+                   std::vector<Index> &stamp, Index tag)
 {
     BfsResult result;
-    std::vector<bool> &visited = *visited_out;
+    const auto seen = [&](Index v) {
+        return done[static_cast<std::size_t>(v)] ||
+               stamp[static_cast<std::size_t>(v)] == tag;
+    };
 
     std::vector<Index> frontier = {start};
-    visited[static_cast<std::size_t>(start)] = true;
+    stamp[static_cast<std::size_t>(start)] = tag;
     std::vector<Index> next;
     while (!frontier.empty()) {
         result.lastLevel = frontier;
+        ++result.height;
+        result.maxWidth = std::max(result.maxWidth, frontier.size());
         for (Index u : frontier) {
             result.order.push_back(u);
             // Collect unvisited neighbours in ascending-degree order.
             std::vector<Index> neighbours;
             for (Index v : graph.rowIndices(u)) {
-                if (!visited[static_cast<std::size_t>(v)]) {
-                    visited[static_cast<std::size_t>(v)] = true;
+                if (!seen(v)) {
+                    stamp[static_cast<std::size_t>(v)] = tag;
                     neighbours.push_back(v);
                 }
             }
@@ -101,25 +119,133 @@ pseudoPeripheral(const Csr &graph, Index start)
     return current;
 }
 
+/** True when level structure (hA, wA) beats (hB, wB) bi-criterially. */
+bool
+betterLevelStructure(std::size_t height_a, std::size_t width_a,
+                     std::size_t height_b, std::size_t width_b)
+{
+    return height_a > height_b ||
+           (height_a == height_b && width_a < width_b);
+}
+
+/**
+ * RCM++ bi-criteria starting node (arXiv 2409.04171): George-Liu style
+ * iteration, but instead of jumping to the single lowest-degree vertex
+ * of the deepest level, evaluate the level structures of a few
+ * lowest-degree candidates and keep the one with the greatest height,
+ * ties broken towards the smallest width.
+ */
+Index
+biCriteriaStart(const Csr &graph, Index seed,
+                const std::vector<bool> &done,
+                std::vector<Index> &stamp, Index &tag)
+{
+    Index current = seed;
+    BfsResult current_bfs =
+        bfsAscendingDegree(graph, current, done, stamp, ++tag);
+    for (int iteration = 0; iteration < 8; ++iteration) {
+        std::vector<Index> candidates = current_bfs.lastLevel;
+        std::sort(candidates.begin(), candidates.end(),
+            [&graph](Index a, Index b) {
+                return graph.degree(a) < graph.degree(b) ||
+                       (graph.degree(a) == graph.degree(b) && a < b);
+            });
+        if (candidates.size() > kStartCandidates)
+            candidates.resize(kStartCandidates);
+        Index best = -1;
+        BfsResult best_bfs;
+        for (Index candidate : candidates) {
+            if (candidate == current)
+                continue;
+            BfsResult bfs = bfsAscendingDegree(graph, candidate, done,
+                                               stamp, ++tag);
+            const bool improves =
+                best < 0 ? betterLevelStructure(
+                               bfs.height, bfs.maxWidth,
+                               current_bfs.height, current_bfs.maxWidth)
+                         : betterLevelStructure(bfs.height,
+                                                bfs.maxWidth,
+                                                best_bfs.height,
+                                                best_bfs.maxWidth);
+            if (improves) {
+                best = candidate;
+                best_bfs = std::move(bfs);
+            }
+        }
+        if (best < 0)
+            break;
+        current = best;
+        current_bfs = std::move(best_bfs);
+    }
+    return current;
+}
+
+/**
+ * Bandwidth of one component's order, using positions local to the
+ * component. Components occupy contiguous blocks of the final order
+ * and the trailing global reversal preserves position differences, so
+ * comparing local bandwidths compares the components' contributions to
+ * the full matrix bandwidth.
+ */
+Index
+componentBandwidth(const Csr &graph, const std::vector<Index> &order,
+                   std::vector<Index> &pos)
+{
+    for (std::size_t i = 0; i < order.size(); ++i)
+        pos[static_cast<std::size_t>(order[i])] =
+            static_cast<Index>(i);
+    Index bandwidth = 0;
+    for (Index u : order) {
+        for (Index v : graph.rowIndices(u)) {
+            const Index distance =
+                std::abs(pos[static_cast<std::size_t>(u)] -
+                         pos[static_cast<std::size_t>(v)]);
+            bandwidth = std::max(bandwidth, distance);
+        }
+    }
+    return bandwidth;
+}
+
 } // namespace
 
 Permutation
-rcmOrder(const Csr &matrix)
+rcmOrder(const Csr &matrix, RcmStart start)
 {
     require(matrix.isSquare(), "rcmOrder: matrix must be square");
     const Csr graph = matrix.isSymmetricPattern() ? matrix
                                                   : matrix.symmetrized();
     const Index n = graph.numRows();
-    std::vector<bool> visited(static_cast<std::size_t>(n), false);
+    std::vector<bool> done(static_cast<std::size_t>(n), false);
+    std::vector<Index> stamp(static_cast<std::size_t>(n), -1);
+    std::vector<Index> pos(static_cast<std::size_t>(n), 0);
+    Index tag = -1;
     std::vector<Index> order;
     order.reserve(static_cast<std::size_t>(n));
 
-    for (Index candidate = 0; candidate < n; ++candidate) {
-        if (visited[static_cast<std::size_t>(candidate)])
+    for (Index seed = 0; seed < n; ++seed) {
+        if (done[static_cast<std::size_t>(seed)])
             continue;
-        const Index start = pseudoPeripheral(graph, candidate);
-        BfsResult bfs = bfsAscendingDegree(graph, start, &visited);
-        order.insert(order.end(), bfs.order.begin(), bfs.order.end());
+        const Index peripheral = pseudoPeripheral(graph, seed);
+        BfsResult chosen = bfsAscendingDegree(graph, peripheral, done,
+                                              stamp, ++tag);
+        if (start == RcmStart::BiCriteria) {
+            const Index bi_start =
+                biCriteriaStart(graph, seed, done, stamp, tag);
+            if (bi_start != peripheral) {
+                BfsResult alternative = bfsAscendingDegree(
+                    graph, bi_start, done, stamp, ++tag);
+                // Keep-better-bandwidth fallback: the bi-criteria
+                // start must earn its place, so RCM++ is never worse
+                // than the classic heuristic (ties keep the classic).
+                if (componentBandwidth(graph, alternative.order, pos) <
+                    componentBandwidth(graph, chosen.order, pos))
+                    chosen = std::move(alternative);
+            }
+        }
+        for (Index v : chosen.order)
+            done[static_cast<std::size_t>(v)] = true;
+        order.insert(order.end(), chosen.order.begin(),
+                     chosen.order.end());
     }
     std::reverse(order.begin(), order.end());
     return checkedOrder(Permutation::fromNewToOld(order), n,

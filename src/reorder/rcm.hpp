@@ -15,12 +15,31 @@
 namespace slo::reorder
 {
 
+/** How rcmOrder picks each component's BFS starting node. */
+enum class RcmStart
+{
+    /** The classic George-Liu pseudo-peripheral heuristic. */
+    PseudoPeripheral,
+    /**
+     * The RCM++ bi-criteria finder (arXiv 2409.04171): iterate like
+     * George-Liu but evaluate a small candidate set from the deepest
+     * BFS level, preferring greater level-structure height and, on
+     * ties, smaller maximum level width. The component order built
+     * from the bi-criteria start is kept only when its bandwidth is no
+     * worse than the pseudo-peripheral one's, so the result never
+     * regresses the classic heuristic.
+     */
+    BiCriteria,
+};
+
 /**
  * RCM on the symmetrized pattern of @p matrix. Each connected component
- * is seeded from a pseudo-peripheral vertex (George-Liu heuristic); BFS
- * levels are visited with neighbours in ascending-degree order, and the
- * final order is reversed.
+ * is seeded per @p start (default: the RCM++ bi-criteria finder with
+ * the keep-better-bandwidth fallback); BFS levels are visited with
+ * neighbours in ascending-degree order, and the final order is
+ * reversed.
  */
-Permutation rcmOrder(const Csr &matrix);
+Permutation rcmOrder(const Csr &matrix,
+                     RcmStart start = RcmStart::BiCriteria);
 
 } // namespace slo::reorder

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "reorder/boba.hpp"
 #include "reorder/check_order.hpp"
 #include "reorder/degree_orders.hpp"
 #include "reorder/gorder.hpp"
@@ -62,6 +63,8 @@ computeOrdering(Technique technique, const Csr &matrix,
         popts.seed = options.seed;
         return checked(partition::partitionOrder(matrix, popts));
       }
+      case Technique::Boba:
+        return checked(bobaOrder(matrix));
     }
     fatal("computeOrdering: unknown technique");
 }
@@ -82,6 +85,7 @@ techniqueName(Technique technique)
       case Technique::Rabbit: return "RABBIT";
       case Technique::RabbitPlusPlus: return "RABBIT++";
       case Technique::Partition: return "PARTITION";
+      case Technique::Boba: return "BOBA";
     }
     fatal("techniqueName: unknown technique");
 }
@@ -102,6 +106,7 @@ techniqueFromName(const std::string &name)
         {"RABBIT", Technique::Rabbit},
         {"RABBIT++", Technique::RabbitPlusPlus},
         {"PARTITION", Technique::Partition},
+        {"BOBA", Technique::Boba},
     };
     const auto it = map.find(name);
     require(it != map.end(),
@@ -125,7 +130,8 @@ allTechniques()
             Technique::HubSort,    Technique::HubCluster,
             Technique::Rcm,        Technique::SlashBurn,
             Technique::Gorder,     Technique::Rabbit,
-            Technique::RabbitPlusPlus, Technique::Partition};
+            Technique::RabbitPlusPlus, Technique::Partition,
+            Technique::Boba};
 }
 
 } // namespace slo::reorder

@@ -7,7 +7,7 @@
  * (Csr::permutedSymmetric). The set of techniques matches the paper's
  * evaluation (Sec. IV-A): ORIGINAL, RANDOM, DEGSORT, DBG, GORDER, RABBIT,
  * plus the proposed RABBIT++ and the related-work baselines HUBSORT,
- * HUBCLUSTER, RCM and SLASHBURN.
+ * HUBCLUSTER, RCM, SLASHBURN and BOBA.
  */
 
 #pragma once
@@ -37,6 +37,7 @@ enum class Technique
     Rabbit,     ///< community aggregation + dendrogram DFS (Arai et al.)
     RabbitPlusPlus, ///< this paper: RABBIT + insular & hub grouping
     Partition,  ///< multilevel k-way partitioning order (METIS-style)
+    Boba,       ///< first-appearance arrival order (Drescher et al.)
 };
 
 /** How RABBIT++ orders hub nodes (Sec. VI-A, Fig. 5, Table II). */
@@ -99,7 +100,7 @@ Technique techniqueFromName(const std::string &name);
 /** The six techniques of the paper's main characterization (Fig. 2). */
 std::vector<Technique> figure2Techniques();
 
-/** All eleven implemented techniques. */
+/** All implemented techniques. */
 std::vector<Technique> allTechniques();
 
 } // namespace slo::reorder

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "community/aggregation.hpp"
 #include "community/metrics.hpp"
 #include "matrix/generators.hpp"
+#include "par/par.hpp"
 
 namespace slo::community
 {
@@ -123,6 +126,34 @@ TEST(AggregationTest, DeterministicAcrossRuns)
     const AggregationResult b = aggregateCommunities(g);
     EXPECT_EQ(a.clustering.labels(), b.clustering.labels());
     EXPECT_EQ(a.numMerges, b.numMerges);
+}
+
+TEST(AggregationTest, ParallelPoolMatchesSerialBitForBit)
+{
+    // The speculative sweep must reproduce the serial merge sequence
+    // exactly (goldens depend on the RABBIT permutation).
+    const Csr g = gen::hierarchicalCommunity(2048, 4, 3, 10.0, 0.3, 7);
+    std::vector<Index> serial_labels;
+    std::vector<Index> serial_parents;
+    Index serial_merges = 0;
+    {
+        par::ThreadPool pool(1);
+        const par::ScopedPoolOverride scoped(pool);
+        const AggregationResult r = aggregateCommunities(g);
+        serial_labels = r.clustering.labels();
+        serial_parents = r.dendrogram.parents();
+        serial_merges = r.numMerges;
+    }
+    for (int threads : {2, 4, 8}) {
+        par::ThreadPool pool(threads);
+        const par::ScopedPoolOverride scoped(pool);
+        const AggregationResult r = aggregateCommunities(g);
+        EXPECT_EQ(r.clustering.labels(), serial_labels)
+            << "threads=" << threads;
+        EXPECT_EQ(r.dendrogram.parents(), serial_parents)
+            << "threads=" << threads;
+        EXPECT_EQ(r.numMerges, serial_merges) << "threads=" << threads;
+    }
 }
 
 TEST(AggregationTest, RequiresSquareMatrix)

@@ -1,11 +1,14 @@
 /** @file Tests for the Louvain baseline community detector. */
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "community/aggregation.hpp"
 #include "community/louvain.hpp"
 #include "community/metrics.hpp"
 #include "matrix/generators.hpp"
+#include "par/par.hpp"
 
 namespace slo::community
 {
@@ -82,6 +85,31 @@ TEST(LouvainTest, LevelLimitRespected)
     options.maxLevels = 1;
     const LouvainResult result = louvain(g, options);
     EXPECT_LE(result.levels, 1);
+}
+
+TEST(LouvainTest, ParallelPoolMatchesSerialBitForBit)
+{
+    // The speculative move sweep must reproduce the serial sweep's
+    // labels exactly at any worker count.
+    const Csr g = gen::hierarchicalCommunity(1024, 4, 3, 8.0, 0.3, 17);
+    std::vector<Index> serial_labels;
+    double serial_modularity = 0.0;
+    {
+        par::ThreadPool pool(1);
+        const par::ScopedPoolOverride scoped(pool);
+        const LouvainResult r = louvain(g);
+        serial_labels = r.clustering.labels();
+        serial_modularity = r.modularity;
+    }
+    for (int threads : {2, 4, 8}) {
+        par::ThreadPool pool(threads);
+        const par::ScopedPoolOverride scoped(pool);
+        const LouvainResult r = louvain(g);
+        EXPECT_EQ(r.clustering.labels(), serial_labels)
+            << "threads=" << threads;
+        EXPECT_EQ(r.modularity, serial_modularity)
+            << "threads=" << threads;
+    }
 }
 
 TEST(LouvainTest, RequiresSquareMatrix)

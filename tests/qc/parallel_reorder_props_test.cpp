@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Parallel-reordering properties: the ordering builders are speculative
+ * or chunk-parallel inside, so every technique must return the exact
+ * same permutation whatever the worker count (the fig2 goldens depend
+ * on it), BOBA must stay a valid permutation that does not lose to a
+ * random shuffle on locality, and the RCM++ bi-criteria start must
+ * never worsen bandwidth over the classic pseudo-peripheral one.
+ *
+ * Lives in the qc suite so the tsan preset (`ctest -L 'concurrency|qc'`)
+ * exercises the concurrent union-find and the speculation sweeps.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "matrix/properties.hpp"
+#include "par/par.hpp"
+#include "qc/qc.hpp"
+#include "reorder/boba.hpp"
+#include "reorder/locality_metrics.hpp"
+#include "reorder/rcm.hpp"
+#include "reorder/reorder.hpp"
+
+namespace slo::qc
+{
+namespace
+{
+
+SpecBounds
+orderingBounds()
+{
+    SpecBounds bounds;
+    bounds.familiesOnly = true; // orderings expect square symmetric
+    bounds.maxRows = 48;
+    bounds.maxAvgDegree = 6.0;
+    return bounds;
+}
+
+TEST(QcParallelReorderProps, EveryTechniqueMatchesSerialAtAnyPoolSize)
+{
+    const SpecBounds bounds = orderingBounds();
+    PropertyOptions<CsrSpec> options;
+    options.shrink = csrSpecShrinker(bounds);
+    options.describe = describeCsrSpec;
+    options.parameters = describeBounds(bounds);
+    options.config = configFromEnv().withMaxCases(10);
+    const Outcome outcome = checkProperty<CsrSpec>(
+        "qc.reorder.parallel_matches_serial",
+        [&bounds](Rng &rng) { return arbitraryCsrSpec(rng, bounds); },
+        [](const CsrSpec &spec, std::string &message) {
+            const Csr matrix = build(spec);
+            for (const reorder::Technique technique :
+                 reorder::allTechniques()) {
+                std::vector<Index> serial;
+                {
+                    par::ThreadPool pool(1);
+                    const par::ScopedPoolOverride scoped(pool);
+                    serial = reorder::computeOrdering(technique, matrix)
+                                 .newIds();
+                }
+                for (int threads : {2, 4, 8}) {
+                    par::ThreadPool pool(threads);
+                    const par::ScopedPoolOverride scoped(pool);
+                    const std::vector<Index> parallel =
+                        reorder::computeOrdering(technique, matrix)
+                            .newIds();
+                    if (parallel != serial) {
+                        message =
+                            std::string(
+                                reorder::techniqueName(technique)) +
+                            " diverges from serial at " +
+                            std::to_string(threads) + " threads";
+                        return false;
+                    }
+                }
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcParallelReorderProps, BobaIsValidAndDoesNotLoseToRandom)
+{
+    const SpecBounds bounds = orderingBounds();
+    PropertyOptions<CsrSpec> options;
+    options.shrink = csrSpecShrinker(bounds);
+    options.describe = describeCsrSpec;
+    options.parameters = describeBounds(bounds);
+    // Locality is compared in aggregate across the generated cases:
+    // tiny single-case matrices are too noisy for a per-instance
+    // inequality, but summed over the run BOBA must not lose to a
+    // random shuffle on the gap metric (lower = better).
+    double boba_gap_sum = 0.0;
+    double random_gap_sum = 0.0;
+    const Outcome outcome = checkProperty<CsrSpec>(
+        "qc.reorder.boba_valid_permutation",
+        [&bounds](Rng &rng) { return arbitraryCsrSpec(rng, bounds); },
+        [&](const CsrSpec &spec, std::string &message) {
+            const Csr matrix = build(spec);
+            const Permutation perm = reorder::bobaOrder(matrix);
+            if (!Permutation::isPermutation(perm.newIds())) {
+                message = "bobaOrder returned a non-bijection";
+                return false;
+            }
+            boba_gap_sum += reorder::averageGapLines(
+                matrix.permutedSymmetric(perm));
+            random_gap_sum += reorder::averageGapLines(
+                matrix.permutedSymmetric(
+                    Permutation::random(matrix.numRows(), 29)));
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+    EXPECT_LE(boba_gap_sum, random_gap_sum);
+}
+
+TEST(QcParallelReorderProps, RcmBiCriteriaNeverWorseThanClassic)
+{
+    const SpecBounds bounds = orderingBounds();
+    PropertyOptions<CsrSpec> options;
+    options.shrink = csrSpecShrinker(bounds);
+    options.describe = describeCsrSpec;
+    options.parameters = describeBounds(bounds);
+    const Outcome outcome = checkProperty<CsrSpec>(
+        "qc.reorder.rcm_bicriteria_no_worse",
+        [&bounds](Rng &rng) { return arbitraryCsrSpec(rng, bounds); },
+        [](const CsrSpec &spec, std::string &message) {
+            const Csr matrix = build(spec);
+            const Csr graph = matrix.isSymmetricPattern()
+                                  ? matrix
+                                  : matrix.symmetrized();
+            const Index classic =
+                matrixBandwidth(graph.permutedSymmetric(reorder::rcmOrder(
+                    graph, reorder::RcmStart::PseudoPeripheral)));
+            const Index bi =
+                matrixBandwidth(graph.permutedSymmetric(reorder::rcmOrder(
+                    graph, reorder::RcmStart::BiCriteria)));
+            if (bi > classic) {
+                message = "bi-criteria bandwidth " +
+                          std::to_string(bi) + " exceeds classic " +
+                          std::to_string(classic);
+                return false;
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+} // namespace
+} // namespace slo::qc

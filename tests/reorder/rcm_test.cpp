@@ -64,6 +64,27 @@ TEST(RcmTest, WorksOnDirectedInput)
     EXPECT_EQ(matrixBandwidth(r), 1);
 }
 
+TEST(RcmTest, BiCriteriaStartNeverWorsensBandwidth)
+{
+    // The RCM++ starting-node finder keeps its candidate only when the
+    // component bandwidth strictly improves, so the default ordering
+    // can never be worse than the classic pseudo-peripheral one.
+    const Csr inputs[] = {
+        gen::banded(256, 6, 0.7, 1).permutedSymmetric(
+            Permutation::random(256, 2)),
+        gen::hierarchicalCommunity(512, 4, 2, 6.0, 0.3, 3),
+        gen::plantedPartition(300, 6, 8.0, 0.4, 4),
+        gen::rmatSocial(8, 6.0, 5),
+    };
+    for (const Csr &m : inputs) {
+        const Index classic = matrixBandwidth(m.permutedSymmetric(
+            rcmOrder(m, RcmStart::PseudoPeripheral)));
+        const Index bi = matrixBandwidth(
+            m.permutedSymmetric(rcmOrder(m, RcmStart::BiCriteria)));
+        EXPECT_LE(bi, classic);
+    }
+}
+
 TEST(RcmTest, RequiresSquare)
 {
     const Csr rect(2, 3, {0, 0, 0}, {}, {});
