@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Golden regression harness for the bench pipeline.
 
-Runs the snapshot benches (fig2/table3/table4) in a pinned
+Runs the snapshot benches (fig2/table3/table4/ext_spgemm) in a pinned
 configuration (REPRO_SCALE=small, REPRO_LIMIT=3, SLO_THREADS=1 so the
 manifest's per-matrix simulation arrays come out in deterministic
 order), distills each run into a `slo.golden/1` document — the CSV
@@ -37,6 +37,7 @@ BENCHES = {
     "fig2_dram_traffic": "fig2_dram_traffic",
     "table3_dead_lines": "table3_dead_lines",
     "table4_other_kernels": "table4_other_kernels",
+    "ext_spgemm": "spgemm_table",
 }
 
 # Volatile manifest fields: host/build identity, wall-clock data, and

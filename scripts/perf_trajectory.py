@@ -70,9 +70,15 @@ TOLERANCES = {
 # Metric-name prefixes with tighter tolerances than their kind's
 # default. The reordering phases are what this codebase optimizes, so
 # a `phase.reorder.*` slowdown gates at 25% relative with a 0.02 s
-# floor instead of the looser generic time tolerance.
+# floor instead of the looser generic time tolerance. The per-backend
+# SpGEMM simulation phases (`phase.spgemm.<backend>`) gate at the same
+# 25% relative margin: the fused access generator is the hot loop of
+# ext_spgemm, and a constant-factor slip there multiplies into every
+# flop of the stream. Their 0.05 s floor matches the generic one
+# because a single simulation is far longer than a single reorder.
 PREFIX_TOLERANCES = {
     "phase.reorder.": (0.25, 0.02),
+    "phase.spgemm.": (0.25, 0.05),
 }
 
 
@@ -426,6 +432,38 @@ def cmd_selftest(_args: argparse.Namespace) -> int:
     if regressions:
         failures.append(
             f"reorder-phase noise flagged as regression: {regressions}")
+
+    # 8. The phase.spgemm.* gate fires where the generic time tolerance
+    #    would not (+30% exactly: generic needs delta > 30%, the spgemm
+    #    prefix needs only > 25%).
+    spgemm_base = {
+        "schema": SCHEMA, "git_sha": "b", "host": host,
+        "benches": {"ext_spgemm": {
+            "phase.spgemm.lru.seconds": metric(0.50, "seconds",
+                                               "time")}},
+    }
+    spgemm_cand = {
+        "schema": SCHEMA, "git_sha": "c", "host": host,
+        "benches": {"ext_spgemm": {
+            "phase.spgemm.lru.seconds": metric(0.65, "seconds",
+                                               "time")}},
+    }
+    regressions, _, _ = compare(spgemm_base, spgemm_cand)
+    if [(r[0], r[1]) for r in regressions] != [
+            ("ext_spgemm", "phase.spgemm.lru.seconds")]:
+        failures.append(
+            f"spgemm-phase slowdown not flagged: {regressions}")
+
+    # 9. SpGEMM-phase movement under the 0.05 s floor stays quiet even
+    #    at a large relative change (0.10 -> 0.13 is +30% but 0.03 s).
+    spgemm_base["benches"]["ext_spgemm"][
+        "phase.spgemm.lru.seconds"] = metric(0.10, "seconds", "time")
+    spgemm_cand["benches"]["ext_spgemm"][
+        "phase.spgemm.lru.seconds"] = metric(0.13, "seconds", "time")
+    regressions, _, _ = compare(spgemm_base, spgemm_cand)
+    if regressions:
+        failures.append(
+            f"sub-floor spgemm-phase movement gated: {regressions}")
 
     if failures:
         for failure in failures:

@@ -32,7 +32,8 @@ fi
 # pipeline silently produces un-diffable results. SLO_SKIP_GOLDEN=1
 # overrides (e.g. while intentionally iterating on the schema).
 if [ "${SLO_SKIP_GOLDEN:-0}" != "1" ]; then
-    for g in fig2_dram_traffic table3_dead_lines table4_other_kernels; do
+    for g in fig2_dram_traffic table3_dead_lines table4_other_kernels \
+             spgemm_table; do
         f="tests/golden/$g.json"
         if [ ! -f "$f" ]; then
             echo "run_benches.sh: missing golden snapshot $f" >&2

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cache/belady.hpp"
+#include "check/checked_cast.hpp"
 #include "gpu/sim_stream.hpp"
 #include "obs/obs.hpp"
 
@@ -18,14 +19,32 @@ simulateKernel(const Csr &matrix, const GpuSpec &spec,
     const Index n = matrix.numRows();
     const Offset nnz = matrix.numNonZeros();
     const std::uint32_t line_bytes = spec.l2.lineBytes;
-    const kernels::AddressLayout layout = kernels::makeLayout(
-        options.kernel, n, nnz, options.denseCols, line_bytes);
-    const kernels::StreamOptions stream_options{options.rowWindow,
-                                                options.denseCols};
+    const bool is_spgemm = kernels::isSpgemm(options.kernel);
 
     SimReport report;
+
+    // SpGEMM needs its B operand and a symbolic pass (nnz(C) sizes the
+    // output region of the layout) before the stream can be replayed.
+    // B is built once and held across both Belady passes.
+    Csr spgemm_b;
+    Offset nnz_c = 0;
+    if (is_spgemm) {
+        SLO_SPAN("gpu.spgemm:symbolic");
+        spgemm_b = kernels::spgemmOperandB(
+            matrix, kernels::spgemmVariant(options.kernel));
+        report.spgemm =
+            kernels::spgemmStreamStats(matrix, spgemm_b);
+        report.hasSpgemm = true;
+        nnz_c = checkedCast<Offset>(report.spgemm.nnzC);
+    }
+
+    const kernels::AddressLayout layout =
+        kernels::makeLayout(options.kernel, n, nnz, options.denseCols,
+                            line_bytes, nnz_c);
+    const kernels::StreamOptions stream_options{options.rowWindow,
+                                                options.denseCols};
     report.compulsoryBytes = compulsoryTrafficBytes(
-        options.kernel, n, nnz, options.denseCols);
+        options.kernel, n, nnz, options.denseCols, nnz_c);
 
     if (options.useBelady) {
         SLO_SPAN("gpu.replay:belady");
@@ -34,24 +53,42 @@ simulateKernel(const Csr &matrix, const GpuSpec &spec,
         Coo coo;
         if (options.kernel == kernels::KernelKind::SpmvCoo)
             coo = matrix.toCoo(); // row-major sorted
-        // SpMV-CSR touches ~3 addresses per nnz + 3 per row.
+        // Access-count hint: SpMV-CSR touches ~3 addresses per nnz + 3
+        // per row; SpGEMM touches 3 per row + 4 per A non-zero + 2 per
+        // merged element + 2 per C non-zero (exact, by stream shape).
         const std::uint64_t hint =
-            static_cast<std::uint64_t>(nnz) * 3 +
-            static_cast<std::uint64_t>(n) * 3;
+            is_spgemm
+                ? static_cast<std::uint64_t>(n) * 3 +
+                      static_cast<std::uint64_t>(nnz) * 4 +
+                      report.spgemm.flops * 2 + report.spgemm.nnzC * 2
+                : static_cast<std::uint64_t>(nnz) * 3 +
+                      static_cast<std::uint64_t>(n) * 3;
         report.cacheStats = cache::simulateBeladyStreamed(
             spec.l2, layout.xBase, layout.xEnd, hint,
             [&](auto &&sink) {
-                kernels::forEachAccess(options.kernel, matrix, coo,
-                                       layout, stream_options,
-                                       line_bytes, sink);
+                if (is_spgemm)
+                    kernels::forEachAccess(options.kernel, matrix,
+                                           spgemm_b, layout,
+                                           stream_options, line_bytes,
+                                           sink);
+                else
+                    kernels::forEachAccess(options.kernel, matrix, coo,
+                                           layout, stream_options,
+                                           line_bytes, sink);
             });
     } else {
         SLO_SPAN("gpu.replay:lru");
         report.cacheStats = runLruSim(
             spec.l2, layout.xBase, layout.xEnd, [&](auto &sink) {
-                kernels::forEachAccess(options.kernel, matrix, layout,
-                                       stream_options, line_bytes,
-                                       sink);
+                if (is_spgemm)
+                    kernels::forEachAccess(options.kernel, matrix,
+                                           spgemm_b, layout,
+                                           stream_options, line_bytes,
+                                           sink);
+                else
+                    kernels::forEachAccess(options.kernel, matrix,
+                                           layout, stream_options,
+                                           line_bytes, sink);
             });
     }
 
@@ -66,8 +103,15 @@ simulateKernel(const Csr &matrix, const GpuSpec &spec,
                   static_cast<double>(report.compulsoryBytes);
     report.idealSeconds =
         idealRuntimeSeconds(spec, report.compulsoryBytes);
-    for (Index r = 0; r < n; ++r)
-        report.maxRowNnz = std::max(report.maxRowNnz, matrix.degree(r));
+    if (is_spgemm) {
+        // Longest *output* row: the serialized merge a single
+        // accumulator must complete.
+        report.maxRowNnz = report.spgemm.maxRowNnz;
+    } else {
+        for (Index r = 0; r < n; ++r)
+            report.maxRowNnz =
+                std::max(report.maxRowNnz, matrix.degree(r));
+    }
     // A row's serialized work: coords + values + X per non-zero.
     const auto max_row_bytes =
         static_cast<std::uint64_t>(report.maxRowNnz) * 3 * kElemBytes;
@@ -88,6 +132,21 @@ simulateKernel(const Csr &matrix, const GpuSpec &spec,
     obs::counter("gpu.stream_miss_bytes").add(report.streamMissBytes);
     obs::counter("gpu.random_miss_bytes").add(report.randomMissBytes);
     obs::counter("gpu.compulsory_bytes").add(report.compulsoryBytes);
+    if (report.hasSpgemm) {
+        // Merge-shape metrics: what the ordering changed about the
+        // Gustavson merge itself, independent of cache geometry.
+        obs::counter("spgemm.simulations").add();
+        obs::counter("spgemm.flops").add(report.spgemm.flops);
+        obs::counter("spgemm.nnz_c").add(report.spgemm.nnzC);
+        obs::counter("spgemm.b_row_fetches")
+            .add(report.spgemm.bRowFetches);
+        obs::counter("spgemm.b_row_reuses")
+            .add(report.spgemm.bRowReuses);
+        obs::histogram("spgemm.mean_fan_in")
+            .observe(report.spgemm.meanFanIn(n));
+        obs::histogram("spgemm.mean_reuse_distance")
+            .observe(report.spgemm.meanReuseDistance());
+    }
     return report;
 }
 
@@ -118,6 +177,21 @@ simReportJson(const SimReport &report)
     cache["irregular_fill_bytes"] =
         report.cacheStats.irregularFillBytes;
     j["cache"] = std::move(cache);
+    if (report.hasSpgemm) {
+        // Emitted only for SpGEMM runs so pre-existing manifest and
+        // golden-snapshot shapes stay byte-identical.
+        obs::Json sp = obs::Json::object();
+        sp["flops"] = report.spgemm.flops;
+        sp["nnz_c"] = report.spgemm.nnzC;
+        sp["fan_in_total"] = report.spgemm.fanInTotal;
+        sp["max_fan_in"] = report.spgemm.maxFanIn;
+        sp["max_row_nnz"] = report.spgemm.maxRowNnz;
+        sp["b_row_fetches"] = report.spgemm.bRowFetches;
+        sp["b_row_reuses"] = report.spgemm.bRowReuses;
+        sp["reuse_distance_total"] = report.spgemm.reuseDistanceTotal;
+        sp["max_reuse_distance"] = report.spgemm.maxReuseDistance;
+        j["spgemm"] = std::move(sp);
+    }
     return j;
 }
 

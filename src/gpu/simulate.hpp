@@ -53,6 +53,10 @@ struct SimReport
     Index maxRowNnz = 0; ///< longest row (drives the serialization floor)
 
     cache::CacheStats cacheStats;
+
+    /** Merge statistics — populated for SpGEMM kernels only. */
+    kernels::SpgemmStats spgemm;
+    bool hasSpgemm = false;
 };
 
 /** Simulate @p options.kernel on @p matrix against @p spec. */

@@ -1,0 +1,440 @@
+#include "gpu/simulator.hpp"
+
+#include <algorithm>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "check/checked_cast.hpp"
+#include "obs/obs.hpp"
+
+namespace slo::gpu
+{
+
+namespace
+{
+
+std::uint64_t
+alignUp(std::uint64_t bytes, std::uint32_t line_bytes)
+{
+    const std::uint64_t mask = line_bytes - 1;
+    return (bytes + mask) & ~mask;
+}
+
+/**
+ * Shared tail of every backend: derive the normalized columns from the
+ * raw byte counters, apply the run-time model, and mirror the same
+ * obs counters simulateKernel emits so metrics dumps are
+ * backend-uniform.
+ */
+void
+finalizeReport(SimReport &report, const GpuSpec &spec, Index n)
+{
+    report.trafficBytes = report.cacheStats.fillBytes;
+    report.randomMissBytes = report.cacheStats.irregularFillBytes;
+    report.streamMissBytes =
+        report.trafficBytes - report.randomMissBytes;
+    report.normalizedTraffic =
+        report.compulsoryBytes == 0
+            ? 0.0
+            : static_cast<double>(report.trafficBytes) /
+                  static_cast<double>(report.compulsoryBytes);
+    report.idealSeconds =
+        idealRuntimeSeconds(spec, report.compulsoryBytes);
+    const auto max_row_bytes =
+        static_cast<std::uint64_t>(report.maxRowNnz) * 3 * kElemBytes;
+    report.modeledSeconds =
+        modeledRuntimeSeconds(spec, report.streamMissBytes,
+                              report.randomMissBytes, max_row_bytes);
+    report.normalizedRuntime =
+        report.idealSeconds == 0.0
+            ? 0.0
+            : report.modeledSeconds / report.idealSeconds;
+    report.l2HitRate = report.cacheStats.hitRate();
+    report.deadLineFraction = report.cacheStats.deadLineFraction();
+    obs::counter("gpu.simulations").add();
+    obs::counter("gpu.traffic_bytes").add(report.trafficBytes);
+    obs::counter("gpu.stream_miss_bytes").add(report.streamMissBytes);
+    obs::counter("gpu.random_miss_bytes").add(report.randomMissBytes);
+    obs::counter("gpu.compulsory_bytes").add(report.compulsoryBytes);
+    if (report.hasSpgemm) {
+        obs::counter("spgemm.simulations").add();
+        obs::counter("spgemm.flops").add(report.spgemm.flops);
+        obs::counter("spgemm.nnz_c").add(report.spgemm.nnzC);
+        obs::counter("spgemm.b_row_fetches")
+            .add(report.spgemm.bRowFetches);
+        obs::counter("spgemm.b_row_reuses")
+            .add(report.spgemm.bRowReuses);
+        obs::histogram("spgemm.mean_fan_in")
+            .observe(report.spgemm.meanFanIn(n));
+        obs::histogram("spgemm.mean_reuse_distance")
+            .observe(report.spgemm.meanReuseDistance());
+    }
+}
+
+/** Fill maxRowNnz + SpGEMM merge stats; returns nnz(C) (0 non-SpGEMM). */
+Offset
+prepareWorkloadStats(SimReport &report, const Csr &matrix,
+                     const SimOptions &options, Csr *spgemm_b)
+{
+    const Index n = matrix.numRows();
+    if (kernels::isSpgemm(options.kernel)) {
+        Csr b = kernels::spgemmOperandB(
+            matrix, kernels::spgemmVariant(options.kernel));
+        report.spgemm = kernels::spgemmStreamStats(matrix, b);
+        report.hasSpgemm = true;
+        report.maxRowNnz = report.spgemm.maxRowNnz;
+        if (spgemm_b != nullptr)
+            *spgemm_b = std::move(b);
+        return checkedCast<Offset>(report.spgemm.nnzC);
+    }
+    for (Index r = 0; r < n; ++r)
+        report.maxRowNnz = std::max(report.maxRowNnz, matrix.degree(r));
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// Analytic: the compulsory-only roofline. Every line moves exactly
+// once at streaming bandwidth, so traffic == compulsory and the
+// normalized columns are 1.0 by construction — the lower bound every
+// cache-model column is compared against.
+// ---------------------------------------------------------------------
+
+class AnalyticSimulator final : public Simulator
+{
+  public:
+    explicit AnalyticSimulator(GpuSpec spec) : spec_(std::move(spec)) {}
+
+    SimBackend backend() const override { return SimBackend::Analytic; }
+
+    SimReport
+    simulate(const Csr &matrix, const SimOptions &options) const override
+    {
+        require(matrix.isSquare(),
+                "AnalyticSimulator: matrix must be square");
+        SLO_SPAN("gpu.simulate:analytic");
+        const Index n = matrix.numRows();
+        SimReport report;
+        const Offset nnz_c =
+            prepareWorkloadStats(report, matrix, options, nullptr);
+        report.compulsoryBytes = compulsoryTrafficBytes(
+            options.kernel, n, matrix.numNonZeros(), options.denseCols,
+            nnz_c);
+        // Model every compulsory line as one accessed-once miss.
+        const std::uint32_t line = spec_.l2.lineBytes;
+        const std::uint64_t lines =
+            (report.compulsoryBytes + line - 1) / line;
+        report.cacheStats.accesses = lines;
+        report.cacheStats.misses = lines;
+        report.cacheStats.linesFilled = lines;
+        report.cacheStats.fillBytes = report.compulsoryBytes;
+        finalizeReport(report, spec_, n);
+        return report;
+    }
+
+  private:
+    GpuSpec spec_;
+};
+
+// ---------------------------------------------------------------------
+// CacheLru / CacheBelady: the existing streamed L2 simulation,
+// parameterized by replacement policy.
+// ---------------------------------------------------------------------
+
+class CacheSimSimulator final : public Simulator
+{
+  public:
+    CacheSimSimulator(GpuSpec spec, bool belady)
+        : spec_(std::move(spec)), belady_(belady)
+    {
+    }
+
+    SimBackend
+    backend() const override
+    {
+        return belady_ ? SimBackend::CacheBelady : SimBackend::CacheLru;
+    }
+
+    SimReport
+    simulate(const Csr &matrix, const SimOptions &options) const override
+    {
+        SimOptions opts = options;
+        opts.useBelady = belady_;
+        return simulateKernel(matrix, spec_, opts);
+    }
+
+  private:
+    GpuSpec spec_;
+    bool belady_;
+};
+
+// ---------------------------------------------------------------------
+// FiberCache: Gamma-style accelerator model. The irregular operand is
+// cached whole-object ("fibers": B rows for SpGEMM, X lines for
+// SpMV/SpMM) in a fully-associative LRU structure sized like the L2,
+// while the regular arrays stream past it once. Sequential by design —
+// one global LRU order exists, so results are trivially deterministic
+// at any thread count.
+// ---------------------------------------------------------------------
+
+/** Fully-associative LRU over variable-size objects. */
+class FiberLru
+{
+  public:
+    explicit FiberLru(std::uint64_t capacity_bytes)
+        : capacity_(capacity_bytes)
+    {
+    }
+
+    void
+    access(std::uint64_t id, std::uint64_t bytes)
+    {
+        ++stats.accesses;
+        if (auto it = entries_.find(id); it != entries_.end()) {
+            ++stats.hits;
+            it->second.rehit = true;
+            lru_.splice(lru_.begin(), lru_, it->second.pos);
+            return;
+        }
+        ++stats.misses;
+        ++stats.irregularMisses;
+        ++stats.linesFilled;
+        stats.fillBytes += bytes;
+        stats.irregularFillBytes += bytes;
+        lru_.push_front(id);
+        entries_.emplace(id, Entry{lru_.begin(), bytes, false});
+        used_ += bytes;
+        // Evict from the cold end; a fiber larger than the whole cache
+        // stays resident alone until the next distinct fetch displaces
+        // it (the size-1 guard keeps the loop from evicting what it
+        // just inserted).
+        while (used_ > capacity_ && lru_.size() > 1) {
+            const std::uint64_t victim = lru_.back();
+            lru_.pop_back();
+            auto vit = entries_.find(victim);
+            used_ -= vit->second.bytes;
+            if (!vit->second.rehit)
+                ++stats.deadLines;
+            entries_.erase(vit);
+            ++stats.evictions;
+        }
+    }
+
+    /** Account resident-but-never-rehit fibers as dead. */
+    void
+    finish()
+    {
+        for (const std::uint64_t id : lru_) {
+            if (!entries_.find(id)->second.rehit)
+                ++stats.deadLines;
+        }
+    }
+
+    cache::CacheStats stats;
+
+  private:
+    struct Entry
+    {
+        std::list<std::uint64_t>::iterator pos;
+        std::uint64_t bytes = 0;
+        bool rehit = false;
+    };
+
+    std::list<std::uint64_t> lru_; ///< front = most recently used
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    std::uint64_t used_ = 0;
+    std::uint64_t capacity_ = 0;
+};
+
+class FiberCacheSimulator final : public Simulator
+{
+  public:
+    explicit FiberCacheSimulator(GpuSpec spec) : spec_(std::move(spec))
+    {
+    }
+
+    SimBackend
+    backend() const override
+    {
+        return SimBackend::FiberCache;
+    }
+
+    SimReport
+    simulate(const Csr &matrix, const SimOptions &options) const override
+    {
+        require(matrix.isSquare(),
+                "FiberCacheSimulator: matrix must be square");
+        SLO_SPAN("gpu.simulate:fiber");
+        const Index n = matrix.numRows();
+        const Offset nnz = matrix.numNonZeros();
+        const std::uint32_t line = spec_.l2.lineBytes;
+        const auto elem = static_cast<std::uint64_t>(kElemBytes);
+
+        SimReport report;
+        Csr b;
+        const Offset nnz_c =
+            prepareWorkloadStats(report, matrix, options, &b);
+        report.compulsoryBytes = compulsoryTrafficBytes(
+            options.kernel, n, nnz, options.denseCols, nnz_c);
+
+        FiberLru fiber(spec_.l2.capacityBytes);
+
+        // Streaming arrays move once; within a line, the first element
+        // misses and the rest hit (what any cache does to a contiguous
+        // scan). Fills are line-granular like the L2 simulation's.
+        auto stream_array = [&](std::uint64_t bytes) {
+            if (bytes == 0)
+                return;
+            const std::uint64_t elems = bytes / elem;
+            const std::uint64_t lines = (bytes + line - 1) / line;
+            report.cacheStats.accesses += elems;
+            report.cacheStats.hits += elems - lines;
+            report.cacheStats.misses += lines;
+            report.cacheStats.linesFilled += lines;
+            report.cacheStats.fillBytes += lines * line;
+        };
+
+        const auto nn = static_cast<std::uint64_t>(n);
+        const auto zz = static_cast<std::uint64_t>(nnz);
+        switch (options.kernel) {
+          case kernels::KernelKind::SpmvCsr:
+            stream_array((nn + 1) * elem); // rowOffsets
+            stream_array(zz * elem);       // coords
+            stream_array(zz * elem);       // values
+            stream_array(nn * elem);       // Y
+            replaySpmvFibers(matrix, line, fiber);
+            break;
+          case kernels::KernelKind::SpmvCoo:
+            stream_array(zz * elem * 3); // rowIdx, colIdx, values
+            stream_array(nn * elem);     // Y
+            replaySpmvFibers(matrix, line, fiber);
+            break;
+          case kernels::KernelKind::SpmmCsr:
+            stream_array((nn + 1) * elem);
+            stream_array(zz * elem * 2);
+            stream_array(nn *
+                         static_cast<std::uint64_t>(options.denseCols) *
+                         elem); // C
+            replaySpmmFibers(matrix, options.denseCols, line, fiber);
+            break;
+          case kernels::KernelKind::SpgemmAA:
+          case kernels::KernelKind::SpgemmAAT:
+            stream_array((nn + 1) * elem); // A rowOffsets
+            stream_array(zz * elem * 2);   // A coords + values
+            stream_array((nn + 1) * elem); // C row descriptors
+            stream_array(static_cast<std::uint64_t>(nnz_c) * elem *
+                         2); // C coords + values
+            replaySpgemmFibers(matrix, b, line, fiber);
+            break;
+        }
+        fiber.finish();
+        report.cacheStats.accumulate(fiber.stats);
+        finalizeReport(report, spec_, n);
+        return report;
+    }
+
+  private:
+    /** X element fetches at line granularity, in non-zero order. */
+    static void
+    replaySpmvFibers(const Csr &matrix, std::uint32_t line,
+                     FiberLru &fiber)
+    {
+        const auto elem = static_cast<std::uint64_t>(kElemBytes);
+        for (const Index col : matrix.colIndices()) {
+            fiber.access(static_cast<std::uint64_t>(col) * elem / line,
+                         line);
+        }
+    }
+
+    /** B row segments (K elements) as per-line fibers. */
+    static void
+    replaySpmmFibers(const Csr &matrix, Index dense_cols,
+                     std::uint32_t line, FiberLru &fiber)
+    {
+        const auto k_bytes =
+            static_cast<std::uint64_t>(dense_cols) *
+            static_cast<std::uint64_t>(kElemBytes);
+        for (const Index col : matrix.colIndices()) {
+            const std::uint64_t first =
+                static_cast<std::uint64_t>(col) * k_bytes;
+            const std::uint64_t last = first + k_bytes - 1;
+            for (std::uint64_t l = first / line; l <= last / line; ++l)
+                fiber.access(l, line);
+        }
+    }
+
+    /**
+     * Whole B rows as fibers (the Gamma model's defining trait): row j
+     * occupies its bounds pair plus coords + values, rounded up to the
+     * fill granularity.
+     */
+    static void
+    replaySpgemmFibers(const Csr &a, const Csr &b, std::uint32_t line,
+                       FiberLru &fiber)
+    {
+        const auto elem = static_cast<std::uint64_t>(kElemBytes);
+        for (const Index j : a.colIndices()) {
+            const auto deg = static_cast<std::uint64_t>(b.degree(j));
+            const std::uint64_t bytes = std::max<std::uint64_t>(
+                line, alignUp((2 + 2 * deg) * elem, line));
+            fiber.access(static_cast<std::uint64_t>(j), bytes);
+        }
+    }
+
+    GpuSpec spec_;
+};
+
+} // namespace
+
+const char *
+backendName(SimBackend backend)
+{
+    switch (backend) {
+      case SimBackend::Analytic: return "analytic";
+      case SimBackend::CacheLru: return "lru";
+      case SimBackend::CacheBelady: return "belady";
+      case SimBackend::FiberCache: return "fiber";
+    }
+    fatal("backendName: unknown backend");
+}
+
+SimBackend
+backendFromName(std::string_view name)
+{
+    for (const SimBackend backend : allBackends()) {
+        if (name == backendName(backend))
+            return backend;
+    }
+    fatal("backendFromName: unknown backend '" + std::string(name) +
+          "' (expected analytic|lru|belady|fiber)");
+}
+
+std::span<const SimBackend>
+allBackends()
+{
+    static constexpr SimBackend kAll[] = {
+        SimBackend::Analytic,
+        SimBackend::CacheLru,
+        SimBackend::CacheBelady,
+        SimBackend::FiberCache,
+    };
+    return kAll;
+}
+
+std::unique_ptr<Simulator>
+makeSimulator(SimBackend backend, const GpuSpec &spec)
+{
+    switch (backend) {
+      case SimBackend::Analytic:
+        return std::make_unique<AnalyticSimulator>(spec);
+      case SimBackend::CacheLru:
+        return std::make_unique<CacheSimSimulator>(spec, false);
+      case SimBackend::CacheBelady:
+        return std::make_unique<CacheSimSimulator>(spec, true);
+      case SimBackend::FiberCache:
+        return std::make_unique<FiberCacheSimulator>(spec);
+    }
+    fatal("makeSimulator: unknown backend");
+}
+
+} // namespace slo::gpu

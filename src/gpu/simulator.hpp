@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Multi-backend simulator facade (ROADMAP item 1's mergeforest-sim
+ * shape).
+ *
+ * One experiment-facing interface over the library's locality models,
+ * selectable per run:
+ *
+ *   Analytic     compulsory-only roofline — every line moves exactly
+ *                once, so the report is the ordering-independent lower
+ *                bound the normalized columns divide by
+ *   CacheLru     the streamed set-sharded LRU L2 simulation
+ *                (gpu/simulate.cpp) — the paper's main methodology
+ *   CacheBelady  two-pass streamed Belady OPT replacement — the
+ *                Fig. 8 headroom analysis
+ *   FiberCache   Gamma-style accelerator model (PAPERS.md): a
+ *                fully-associative LRU cache dedicated to the
+ *                irregularly-accessed operand, managed at *object*
+ *                granularity — whole B rows ("fibers") for SpGEMM,
+ *                cache lines of X for the SpMV/SpMM kernels — while
+ *                the regular arrays stream past it once
+ *
+ * Every backend fills the same SimReport, with coherent cache counters
+ * (hits + misses == accesses) and, for SpGEMM kernels, the same
+ * merge-fan-in / B-row-reuse statistics, so benches iterate backends
+ * generically and tables stay column-compatible.
+ */
+
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "gpu/simulate.hpp"
+
+namespace slo::gpu
+{
+
+/** The locality models a Simulator can run. */
+enum class SimBackend
+{
+    Analytic,
+    CacheLru,
+    CacheBelady,
+    FiberCache,
+};
+
+/** Stable lower-case name ("analytic", "lru", "belady", "fiber"). */
+const char *backendName(SimBackend backend);
+
+/** Parse a backend name; throws std::invalid_argument on unknown. */
+SimBackend backendFromName(std::string_view name);
+
+/** All backends, in declaration (table-column) order. */
+std::span<const SimBackend> allBackends();
+
+/**
+ * One locality model bound to one GPU spec. Implementations are
+ * stateless between simulate() calls: the same (matrix, options) pair
+ * always yields the identical report, at any SLO_THREADS setting.
+ */
+class Simulator
+{
+  public:
+    virtual ~Simulator() = default;
+
+    /** Which model this is. */
+    virtual SimBackend backend() const = 0;
+
+    /** Run the model. @p options.useBelady is overridden per backend. */
+    virtual SimReport simulate(const Csr &matrix,
+                               const SimOptions &options) const = 0;
+};
+
+/** Build the @p backend model over @p spec. */
+std::unique_ptr<Simulator> makeSimulator(SimBackend backend,
+                                         const GpuSpec &spec);
+
+} // namespace slo::gpu

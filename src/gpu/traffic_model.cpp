@@ -7,11 +7,13 @@ namespace slo::gpu
 
 std::uint64_t
 compulsoryTrafficBytes(kernels::KernelKind kind, Index n, Offset nnz,
-                       Index dense_cols)
+                       Index dense_cols, Offset nnz_c)
 {
-    require(n >= 0 && nnz >= 0, "compulsoryTrafficBytes: negative sizes");
+    require(n >= 0 && nnz >= 0 && nnz_c >= 0,
+            "compulsoryTrafficBytes: negative sizes");
     const auto nn = static_cast<std::uint64_t>(n);
     const auto zz = static_cast<std::uint64_t>(nnz);
+    const auto zc = static_cast<std::uint64_t>(nnz_c);
     const auto elem = static_cast<std::uint64_t>(kElemBytes);
     switch (kind) {
       case kernels::KernelKind::SpmvCsr:
@@ -23,6 +25,12 @@ compulsoryTrafficBytes(kernels::KernelKind kind, Index n, Offset nnz,
                 "compulsoryTrafficBytes: dense_cols must be > 0");
         return (2 * nn * static_cast<std::uint64_t>(dense_cols) +
                 (nn + 1) + 2 * zz) * elem;
+      case kernels::KernelKind::SpgemmAA:
+      case kernels::KernelKind::SpgemmAAT:
+        // A, B, and C each moved exactly once: (offsets + coords +
+        // values) per operand, with nnz(B) == nnz(A) for both in-tree
+        // variants.
+        return (2 * ((nn + 1) + 2 * zz) + (nn + 1) + 2 * zc) * elem;
     }
     fatal("compulsoryTrafficBytes: unknown kernel");
 }

@@ -26,10 +26,14 @@ namespace slo::gpu
 
 /**
  * Compulsory DRAM traffic in bytes for @p kind on an n x n matrix with
- * @p nnz non-zeros (@p dense_cols = K for SpMM).
+ * @p nnz non-zeros (@p dense_cols = K for SpMM; @p nnz_c = nnz of the
+ * C product for the SpGEMM kinds, whose compulsory traffic moves A, B,
+ * and C each exactly once — both in-tree variants have
+ * nnz(B) == nnz(A)).
  */
 std::uint64_t compulsoryTrafficBytes(kernels::KernelKind kind, Index n,
-                                     Offset nnz, Index dense_cols = 1);
+                                     Offset nnz, Index dense_cols = 1,
+                                     Offset nnz_c = 0);
 
 /** Ideal (minimum) kernel run time on @p spec, in seconds. */
 double idealRuntimeSeconds(const GpuSpec &spec,

@@ -18,9 +18,10 @@ alignUp(std::uint64_t bytes, std::uint32_t line_bytes)
 
 AddressLayout
 makeLayout(KernelKind kind, Index n, Offset nnz, Index dense_cols,
-           std::uint32_t line_bytes)
+           std::uint32_t line_bytes, Offset nnz_c)
 {
-    require(n >= 0 && nnz >= 0, "makeLayout: negative sizes");
+    require(n >= 0 && nnz >= 0 && nnz_c >= 0,
+            "makeLayout: negative sizes");
     AddressLayout layout;
     const auto vec_bytes =
         static_cast<std::uint64_t>(n) * kElemBytes;
@@ -63,6 +64,28 @@ makeLayout(KernelKind kind, Index n, Offset nnz, Index dense_cols,
             place(static_cast<std::uint64_t>(n + 1) * kElemBytes);
         layout.coordsBase = place(nnz_bytes);
         layout.valuesBase = place(nnz_bytes);
+        break;
+      }
+      case KernelKind::SpgemmAA:
+      case KernelKind::SpgemmAAT: {
+        // B's three arrays form the irregular region [xBase, xEnd):
+        // which B rows get fetched (and when) is what an ordering
+        // changes. Both in-tree variants have nnz(B) == nnz(A).
+        const auto offsets_bytes =
+            static_cast<std::uint64_t>(n + 1) * kElemBytes;
+        const auto nnz_c_bytes =
+            static_cast<std::uint64_t>(nnz_c) * kElemBytes;
+        layout.xBase = cursor;
+        layout.bRowOffsetsBase = place(offsets_bytes);
+        layout.bCoordsBase = place(nnz_bytes);
+        layout.bValuesBase = place(nnz_bytes);
+        layout.xEnd = cursor;
+        layout.rowOffsetsBase = place(offsets_bytes);
+        layout.coordsBase = place(nnz_bytes);
+        layout.valuesBase = place(nnz_bytes);
+        layout.yBase = place(offsets_bytes); // C row descriptors
+        layout.cCoordsBase = place(nnz_c_bytes);
+        layout.cValuesBase = place(nnz_c_bytes);
         break;
       }
     }

@@ -31,6 +31,8 @@
 #include "matrix/csr.hpp"
 #include "matrix/types.hpp"
 
+#include "kernels/spgemm.hpp"
+
 namespace slo::kernels
 {
 
@@ -40,18 +42,44 @@ enum class KernelKind
     SpmvCsr,
     SpmvCoo,
     SpmmCsr,
+    SpgemmAA,  ///< C = A * A  (Gustavson row merge)
+    SpgemmAAT, ///< C = A * Aᵀ (Gustavson row merge)
 };
+
+/** Is @p kind one of the sparse x sparse matmul kernels? */
+inline bool
+isSpgemm(KernelKind kind)
+{
+    return kind == KernelKind::SpgemmAA || kind == KernelKind::SpgemmAAT;
+}
+
+/** The B operand of an SpGEMM kind (must be an SpGEMM kind). */
+inline SpgemmB
+spgemmVariant(KernelKind kind)
+{
+    return kind == KernelKind::SpgemmAAT ? SpgemmB::ATranspose
+                                         : SpgemmB::A;
+}
 
 /** Disjoint, line-aligned base addresses for a kernel's arrays. */
 struct AddressLayout
 {
-    std::uint64_t xBase = 0;   ///< input vector X / dense matrix B
+    std::uint64_t xBase = 0;   ///< input vector X / dense matrix B /
+                               ///< sparse B arrays (SpGEMM)
     std::uint64_t xEnd = 0;
-    std::uint64_t yBase = 0;   ///< output vector Y / dense matrix C
+    std::uint64_t yBase = 0;   ///< output vector Y / dense matrix C /
+                               ///< C row offsets (SpGEMM)
     std::uint64_t rowOffsetsBase = 0; ///< CSR only
     std::uint64_t rowIndicesBase = 0; ///< COO only
     std::uint64_t coordsBase = 0;     ///< column indices
     std::uint64_t valuesBase = 0;
+    /** SpGEMM only: the sparse B operand's arrays (inside [xBase,
+     * xEnd), the irregularly-accessed region) and C's output arrays. */
+    std::uint64_t bRowOffsetsBase = 0;
+    std::uint64_t bCoordsBase = 0;
+    std::uint64_t bValuesBase = 0;
+    std::uint64_t cCoordsBase = 0;
+    std::uint64_t cValuesBase = 0;
 
     /** Is @p addr in the irregularly-accessed region (X/B)? */
     bool
@@ -64,9 +92,13 @@ struct AddressLayout
 /**
  * Build the layout for @p kind on an n x n matrix with @p nnz non-zeros.
  * @param dense_cols K for SpmmCsr (ignored otherwise)
+ * @param nnz_c nnz of the C product (SpGEMM kinds only; both in-tree
+ *        variants have nnz(B) == nnz(A), so no separate B size is
+ *        needed). Obtain it from kernels::spgemmRowNnz.
  */
 AddressLayout makeLayout(KernelKind kind, Index n, Offset nnz,
-                         Index dense_cols, std::uint32_t line_bytes);
+                         Index dense_cols, std::uint32_t line_bytes,
+                         Offset nnz_c = 0);
 
 /** Options controlling stream generation. */
 struct StreamOptions
@@ -290,15 +322,89 @@ spmmCsrStream(const Csr &matrix, const AddressLayout &layout,
 }
 
 /**
+ * Replay the SpGEMM (Gustavson row-merge) access stream for C = A*B.
+ *
+ * Per output row r: A's row bounds load, then per non-zero of A's row
+ * the coordinate/value loads followed by the fetch of B's row j (row
+ * bounds + every coordinate/value — the irregularly-accessed operand),
+ * and finally the stores of C's row descriptor and merged output
+ * entries. The accumulator itself lives on chip (registers/SMEM in the
+ * modelled GPU), so merging emits no memory traffic; only B-row
+ * fetches do, which is exactly what makes SpGEMM ordering-sensitive.
+ *
+ * The per-row output length is recomputed on the fly with a column
+ * stamp array, so the stream needs no materialized symbolic pass; the
+ * emitted C positions match kernels::spgemmRowNnz by construction.
+ */
+template <typename Sink>
+void
+spgemmCsrStream(const Csr &a, const Csr &b, const AddressLayout &layout,
+                Sink &&sink)
+{
+    const auto &a_offsets = a.rowOffsets();
+    const auto &a_cols = a.colIndices();
+    const auto &b_offsets = b.rowOffsets();
+    const auto &b_cols = b.colIndices();
+    const Index n = a.numRows();
+    std::vector<Index> stamp(static_cast<std::size_t>(b.numCols()), -1);
+    std::uint64_t out = 0;
+    for (Index r = 0; r < n; ++r) {
+        sink(layout.rowOffsetsBase +
+             static_cast<std::uint64_t>(r) * kElemBytes);
+        sink(layout.rowOffsetsBase +
+             static_cast<std::uint64_t>(r + 1) * kElemBytes);
+        std::uint64_t row_out = 0;
+        const Offset begin = a_offsets[static_cast<std::size_t>(r)];
+        const Offset end = a_offsets[static_cast<std::size_t>(r) + 1];
+        for (Offset k = begin; k < end; ++k) {
+            sink(layout.coordsBase +
+                 static_cast<std::uint64_t>(k) * kElemBytes);
+            sink(layout.valuesBase +
+                 static_cast<std::uint64_t>(k) * kElemBytes);
+            const Index j = a_cols[static_cast<std::size_t>(k)];
+            sink(layout.bRowOffsetsBase +
+                 static_cast<std::uint64_t>(j) * kElemBytes);
+            sink(layout.bRowOffsetsBase +
+                 static_cast<std::uint64_t>(j + 1) * kElemBytes);
+            const Offset b_begin =
+                b_offsets[static_cast<std::size_t>(j)];
+            const Offset b_end =
+                b_offsets[static_cast<std::size_t>(j) + 1];
+            for (Offset t = b_begin; t < b_end; ++t) {
+                sink(layout.bCoordsBase +
+                     static_cast<std::uint64_t>(t) * kElemBytes);
+                sink(layout.bValuesBase +
+                     static_cast<std::uint64_t>(t) * kElemBytes);
+                auto &mark =
+                    stamp[static_cast<std::size_t>(
+                        b_cols[static_cast<std::size_t>(t)])];
+                if (mark != r) {
+                    mark = r;
+                    ++row_out;
+                }
+            }
+        }
+        // Row complete: store C's row descriptor and merged entries.
+        sink(layout.yBase + static_cast<std::uint64_t>(r) * kElemBytes);
+        for (std::uint64_t o = 0; o < row_out; ++o) {
+            sink(layout.cCoordsBase + (out + o) * kElemBytes);
+            sink(layout.cValuesBase + (out + o) * kElemBytes);
+        }
+        out += row_out;
+    }
+}
+
+/**
  * Replay @p kind's access stream into @p sink — the one entry point
  * the simulators consume (cache simulation fuses with generation; no
  * trace is ever materialized). @p sink is invoked once per byte
  * address, in kernel order; callers that want batches wrap @p sink in
  * a buffering adapter (gpu/sim_stream.hpp).
  *
- * SpmvCoo converts the matrix to row-major sorted COO per call; pass a
- * pre-built COO via the overload below when replaying more than once
- * (e.g. the two-pass Belady driver).
+ * SpmvCoo converts the matrix to row-major sorted COO per call, and
+ * the SpGEMM kinds build their B operand (A or Aᵀ) per call; pass a
+ * pre-built COO / B matrix via the overloads below when replaying more
+ * than once (e.g. the two-pass Belady driver).
  */
 template <typename Sink>
 void
@@ -318,6 +424,12 @@ forEachAccess(KernelKind kind, const Csr &matrix,
       case KernelKind::SpmmCsr:
         spmmCsrStream(matrix, layout, options, line_bytes, sink);
         break;
+      case KernelKind::SpgemmAA:
+      case KernelKind::SpgemmAAT: {
+        const Csr b = spgemmOperandB(matrix, spgemmVariant(kind));
+        spgemmCsrStream(matrix, b, layout, sink);
+        break;
+      }
     }
 }
 
@@ -330,6 +442,24 @@ forEachAccess(KernelKind kind, const Csr &matrix, const Coo &coo,
 {
     if (kind == KernelKind::SpmvCoo) {
         spmvCooStream(coo, layout, sink);
+        return;
+    }
+    forEachAccess(kind, matrix, layout, options, line_bytes, sink);
+}
+
+/**
+ * As above with a caller-held SpGEMM B operand (only read when @p kind
+ * is an SpGEMM kind) — the two-pass Belady driver replays the stream
+ * twice and must not rebuild (or re-transpose) B per pass.
+ */
+template <typename Sink>
+void
+forEachAccess(KernelKind kind, const Csr &matrix, const Csr &b,
+              const AddressLayout &layout, const StreamOptions &options,
+              std::uint32_t line_bytes, Sink &&sink)
+{
+    if (isSpgemm(kind)) {
+        spgemmCsrStream(matrix, b, layout, sink);
         return;
     }
     forEachAccess(kind, matrix, layout, options, line_bytes, sink);

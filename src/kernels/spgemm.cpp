@@ -1,0 +1,274 @@
+#include "kernels/spgemm.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "check/check.hpp"
+#include "check/checked_cast.hpp"
+#include "obs/log.hpp"
+
+namespace slo::kernels
+{
+
+namespace
+{
+
+constexpr Offset kDefaultDenseThreshold = 256;
+
+/** Multiply count (merged elements) of one A row against B. */
+std::uint64_t
+rowFlops(const Csr &a, const Csr &b, Index row)
+{
+    const auto &b_offsets = b.rowOffsets();
+    std::uint64_t flops = 0;
+    for (const Index j : a.rowIndices(row)) {
+        const auto jj = static_cast<std::size_t>(j);
+        flops += static_cast<std::uint64_t>(b_offsets[jj + 1] -
+                                            b_offsets[jj]);
+    }
+    return flops;
+}
+
+} // namespace
+
+const char *
+spgemmBName(SpgemmB variant)
+{
+    switch (variant) {
+      case SpgemmB::A: return "A";
+      case SpgemmB::ATranspose: return "AT";
+    }
+    fatal("spgemmBName: unknown variant");
+}
+
+Csr
+spgemmOperandB(const Csr &a, SpgemmB variant)
+{
+    Csr b = variant == SpgemmB::A ? a : a.transposed();
+    b.sortRows();
+    return b;
+}
+
+Offset
+spgemmDenseThresholdFromEnv()
+{
+    static const Offset threshold = [] {
+        const char *raw = std::getenv("SLO_SPGEMM_DENSE_THRESHOLD");
+        if (raw == nullptr || *raw == '\0')
+            return kDefaultDenseThreshold;
+        char *end = nullptr;
+        const long long value = std::strtoll(raw, &end, 10);
+        if (end == raw || *end != '\0' || value <= 0) {
+            SLO_LOG_WARN("kernels",
+                         "ignoring bad SLO_SPGEMM_DENSE_THRESHOLD="
+                             << raw);
+            return kDefaultDenseThreshold;
+        }
+        return static_cast<Offset>(value);
+    }();
+    return threshold;
+}
+
+Offset
+spgemmTotalNnz(std::span<const std::uint64_t> row_counts)
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t count : row_counts) {
+        SLO_CHECK(count <=
+                      std::numeric_limits<std::uint64_t>::max() - total,
+                  "spgemm", "nnz(C) accumulation overflows 64 bits");
+        total += count;
+    }
+    return checkedCast<Offset>(total);
+}
+
+std::vector<Index>
+spgemmRowNnz(const Csr &a, const Csr &b)
+{
+    require(a.numCols() == b.numRows(),
+            "spgemmRowNnz: inner dimensions differ");
+    const Index n = a.numRows();
+    std::vector<Index> counts(static_cast<std::size_t>(n), 0);
+    // Column-stamp array: stamp[c] == row marks column c as already
+    // counted for the current output row. Reused across rows without
+    // clearing (stamps from earlier rows never collide).
+    std::vector<Index> stamp(static_cast<std::size_t>(b.numCols()), -1);
+    for (Index r = 0; r < n; ++r) {
+        Index count = 0;
+        for (const Index j : a.rowIndices(r)) {
+            for (const Index c : b.rowIndices(j)) {
+                auto &mark = stamp[static_cast<std::size_t>(c)];
+                if (mark != r) {
+                    mark = r;
+                    ++count;
+                }
+            }
+        }
+        counts[static_cast<std::size_t>(r)] = count;
+    }
+    return counts;
+}
+
+SpgemmStats
+spgemmStreamStats(const Csr &a, const Csr &b)
+{
+    require(a.numCols() == b.numRows(),
+            "spgemmStreamStats: inner dimensions differ");
+    const Index n = a.numRows();
+    SpgemmStats stats;
+    const auto &b_offsets = b.rowOffsets();
+    std::vector<Index> stamp(static_cast<std::size_t>(b.numCols()), -1);
+    // lastFetch[j] = 1 + fetch index of B row j's previous use
+    // (0 = never fetched), so reuse distance needs no separate seen[].
+    std::vector<std::uint64_t> lastFetch(
+        static_cast<std::size_t>(b.numRows()), 0);
+    std::uint64_t fetch_clock = 0;
+    for (Index r = 0; r < n; ++r) {
+        Index fan_in = 0;
+        Index row_nnz = 0;
+        for (const Index j : a.rowIndices(r)) {
+            const auto jj = static_cast<std::size_t>(j);
+            stats.flops += static_cast<std::uint64_t>(
+                b_offsets[jj + 1] - b_offsets[jj]);
+            ++fan_in;
+            ++fetch_clock;
+            if (lastFetch[jj] != 0) {
+                const std::uint64_t distance =
+                    fetch_clock - lastFetch[jj];
+                ++stats.bRowReuses;
+                stats.reuseDistanceTotal += distance;
+                stats.maxReuseDistance =
+                    std::max(stats.maxReuseDistance, distance);
+            }
+            lastFetch[jj] = fetch_clock;
+            for (const Index c : b.rowIndices(j)) {
+                auto &mark = stamp[static_cast<std::size_t>(c)];
+                if (mark != r) {
+                    mark = r;
+                    ++row_nnz;
+                }
+            }
+        }
+        stats.fanInTotal += static_cast<std::uint64_t>(fan_in);
+        stats.maxFanIn = std::max(stats.maxFanIn, fan_in);
+        stats.maxRowNnz = std::max(stats.maxRowNnz, row_nnz);
+        stats.nnzC += static_cast<std::uint64_t>(row_nnz);
+    }
+    stats.bRowFetches = fetch_clock;
+    return stats;
+}
+
+SpgemmResult
+spgemmCsr(const Csr &a, const Csr &b, const SpgemmOptions &options)
+{
+    require(a.numCols() == b.numRows(),
+            "spgemmCsr: inner dimensions differ");
+    const Index n = a.numRows();
+    const Index m = b.numCols();
+    const Offset threshold = options.denseThreshold > 0
+                                 ? options.denseThreshold
+                                 : spgemmDenseThresholdFromEnv();
+
+    SpgemmResult result;
+    result.stats = spgemmStreamStats(a, b);
+    const Offset nnz_c = checkedCast<Offset>(result.stats.nnzC);
+
+    std::vector<Offset> row_offsets(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<Index> col_indices;
+    std::vector<Value> values;
+    col_indices.reserve(static_cast<std::size_t>(nnz_c));
+    values.reserve(static_cast<std::size_t>(nnz_c));
+
+    // Dense path scratch: per-column accumulator + stamp, allocated
+    // once and reused (stamps make clearing unnecessary).
+    std::vector<double> dense_acc(static_cast<std::size_t>(m), 0.0);
+    std::vector<Index> dense_stamp(static_cast<std::size_t>(m), -1);
+    // Sparse path scratch: (column, value) gather buffer.
+    std::vector<std::pair<Index, double>> gather;
+
+    for (Index r = 0; r < n; ++r) {
+        const std::uint64_t flops = rowFlops(a, b, r);
+        const std::span<const Index> a_cols = a.rowIndices(r);
+        const std::span<const Value> a_vals = a.rowValues(r);
+        const std::size_t out_begin = col_indices.size();
+
+        if (static_cast<std::uint64_t>(threshold) < flops) {
+            // Dense accumulator: scatter, then walk the touched
+            // columns in sorted order via a collected-and-sorted key
+            // list (m can be large; never scan all of it).
+            std::vector<Index> touched;
+            for (std::size_t k = 0; k < a_cols.size(); ++k) {
+                const Index j = a_cols[k];
+                const double av = static_cast<double>(a_vals[k]);
+                const std::span<const Index> b_cols = b.rowIndices(j);
+                const std::span<const Value> b_vals = b.rowValues(j);
+                for (std::size_t t = 0; t < b_cols.size(); ++t) {
+                    const auto c = static_cast<std::size_t>(b_cols[t]);
+                    if (dense_stamp[c] != r) {
+                        dense_stamp[c] = r;
+                        dense_acc[c] = 0.0;
+                        touched.push_back(b_cols[t]);
+                    }
+                    dense_acc[c] += av * static_cast<double>(b_vals[t]);
+                }
+            }
+            std::sort(touched.begin(), touched.end());
+            for (const Index c : touched) {
+                col_indices.push_back(c);
+                values.push_back(static_cast<Value>(
+                    dense_acc[static_cast<std::size_t>(c)]));
+            }
+        } else {
+            // Sort-merge accumulator: gather every product term, sort
+            // by column, combine duplicates.
+            gather.clear();
+            for (std::size_t k = 0; k < a_cols.size(); ++k) {
+                const Index j = a_cols[k];
+                const double av = static_cast<double>(a_vals[k]);
+                const std::span<const Index> b_cols = b.rowIndices(j);
+                const std::span<const Value> b_vals = b.rowValues(j);
+                for (std::size_t t = 0; t < b_cols.size(); ++t)
+                    gather.emplace_back(
+                        b_cols[t], av * static_cast<double>(b_vals[t]));
+            }
+            std::stable_sort(gather.begin(), gather.end(),
+                             [](const auto &x, const auto &y) {
+                                 return x.first < y.first;
+                             });
+            for (std::size_t k = 0; k < gather.size();) {
+                const Index c = gather[k].first;
+                double sum = 0.0;
+                while (k < gather.size() && gather[k].first == c) {
+                    sum += gather[k].second;
+                    ++k;
+                }
+                col_indices.push_back(c);
+                values.push_back(static_cast<Value>(sum));
+            }
+        }
+        row_offsets[static_cast<std::size_t>(r) + 1] =
+            checkedCast<Offset>(col_indices.size());
+        SLO_CHECK(col_indices.size() > out_begin ||
+                      a_cols.empty() || flops == 0,
+                  "spgemm", "non-empty merge produced an empty row "
+                                << r);
+    }
+    SLO_CHECK(col_indices.size() ==
+                  static_cast<std::size_t>(result.stats.nnzC),
+              "spgemm", "numeric nnz(C) "
+                            << col_indices.size()
+                            << " != symbolic " << result.stats.nnzC);
+
+    result.c = Csr(n, m, std::move(row_offsets), std::move(col_indices),
+                   std::move(values));
+    return result;
+}
+
+SpgemmResult
+spgemmCsr(const Csr &a, SpgemmB variant, const SpgemmOptions &options)
+{
+    return spgemmCsr(a, spgemmOperandB(a, variant), options);
+}
+
+} // namespace slo::kernels

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Sparse x sparse matrix multiply (SpGEMM), Gustavson row-merge.
+ *
+ * The first workload family beyond SpMV-shaped traffic: C = A*B where
+ * both operands are sparse. The paper evaluates orderings on SpMV only,
+ * but community reordering's payoff generalizes — in Gustavson's
+ * algorithm row i of C merges one row of B per non-zero of A's row i,
+ * so the *order* of A's columns decides how soon a B row is re-fetched.
+ * A community ordering that clusters A's columns clusters the B-row
+ * working set the same way (the cluster-wise-computation observation of
+ * arXiv 2507.21253).
+ *
+ * Two operand variants cover the common graph workloads:
+ *   B = A    (squaring; triangle counting, Markov clustering)
+ *   B = Aᵀ   (cosine/co-occurrence style products)
+ *
+ * The numeric kernel uses a hybrid per-row accumulator: rows whose
+ * multiply count exceeds the dense threshold scatter into a dense
+ * column-indexed array (O(cols) memory, reused across rows), all other
+ * rows gather into a small sorted buffer. Both paths produce the same
+ * sorted, duplicate-combined row, so the threshold — and the
+ * SLO_SPGEMM_DENSE_THRESHOLD knob behind it — is performance-only.
+ *
+ * Merge statistics (fan-in, B-row reuse distance) quantify what an
+ * ordering changes about the merge itself, independent of any cache
+ * geometry; the simulator backends (gpu/simulator.hpp) report them
+ * alongside the modelled traffic.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "matrix/csr.hpp"
+#include "matrix/types.hpp"
+
+namespace slo::kernels
+{
+
+/** Which B operand an SpGEMM variant multiplies by. */
+enum class SpgemmB
+{
+    A,          ///< C = A * A
+    ATranspose, ///< C = A * Aᵀ
+};
+
+/** Stable display name ("A" / "AT"). */
+const char *spgemmBName(SpgemmB variant);
+
+/** Materialize the B operand (A itself, or Aᵀ; rows sorted). */
+Csr spgemmOperandB(const Csr &a, SpgemmB variant);
+
+/** Options for the numeric kernel. */
+struct SpgemmOptions
+{
+    /**
+     * Rows whose multiply count (total merged elements) exceeds this
+     * use the dense accumulator; the rest use the sort-merge buffer.
+     * <= 0 reads SLO_SPGEMM_DENSE_THRESHOLD (default 256). Either path
+     * yields the identical C — the knob is performance-only.
+     */
+    Offset denseThreshold = 0;
+};
+
+/** The active dense threshold (SLO_SPGEMM_DENSE_THRESHOLD or 256). */
+Offset spgemmDenseThresholdFromEnv();
+
+/**
+ * Merge statistics of C = A*B under Gustavson's row order. All counts
+ * are exact properties of the operand structure, independent of
+ * accumulator strategy, thread count, and cache geometry.
+ */
+struct SpgemmStats
+{
+    /** Multiply-accumulate operations (total merged elements). */
+    std::uint64_t flops = 0;
+    /** Non-zeros of C (distinct columns summed over rows). */
+    std::uint64_t nnzC = 0;
+    /** Sum over rows of merge fan-in (B rows merged) == nnz(A). */
+    std::uint64_t fanInTotal = 0;
+    /** Largest per-row merge fan-in. */
+    Index maxFanIn = 0;
+    /** Largest per-row output length. */
+    Index maxRowNnz = 0;
+    /** B-row fetches in stream order (== nnz(A)). */
+    std::uint64_t bRowFetches = 0;
+    /** Fetches of a B row fetched at least once before. */
+    std::uint64_t bRowReuses = 0;
+    /** Sum over reuses of the fetch-distance since the row's last use. */
+    std::uint64_t reuseDistanceTotal = 0;
+    /** Largest single reuse distance. */
+    std::uint64_t maxReuseDistance = 0;
+
+    double
+    meanFanIn(Index rows) const
+    {
+        return rows == 0 ? 0.0
+                         : static_cast<double>(fanInTotal) /
+                               static_cast<double>(rows);
+    }
+
+    /** Mean fetch-distance between consecutive uses of a B row. */
+    double
+    meanReuseDistance() const
+    {
+        return bRowReuses == 0
+                   ? 0.0
+                   : static_cast<double>(reuseDistanceTotal) /
+                         static_cast<double>(bRowReuses);
+    }
+};
+
+/** The product and its merge statistics. */
+struct SpgemmResult
+{
+    Csr c;
+    SpgemmStats stats;
+};
+
+/**
+ * C = A*B by Gustavson row merge. @p a's columns must match @p b's
+ * rows. Rows of C come out sorted with duplicates combined; the result
+ * is bit-identical for any @p options.denseThreshold.
+ */
+SpgemmResult spgemmCsr(const Csr &a, const Csr &b,
+                       const SpgemmOptions &options = {});
+
+/** Convenience: build B from @p variant, then multiply. */
+SpgemmResult spgemmCsr(const Csr &a, SpgemmB variant,
+                       const SpgemmOptions &options = {});
+
+/**
+ * Symbolic pass: per-row non-zero counts of C (no values computed).
+ * This is what sizes the C region of the SpGEMM address layout.
+ */
+std::vector<Index> spgemmRowNnz(const Csr &a, const Csr &b);
+
+/**
+ * Checked accumulation of per-row counts into a total nnz(C): sums in
+ * 64-bit unsigned and converts through slo::checkedCast<Offset>, so a
+ * product too large for the non-zero Offset type throws
+ * check::ContractViolation instead of wrapping. (The 32/64-bit seam
+ * every SpGEMM implementation has somewhere; here it is explicit.)
+ */
+Offset spgemmTotalNnz(std::span<const std::uint64_t> row_counts);
+
+/**
+ * Merge statistics only, without materializing C. Walks the operand
+ * structure in Gustavson order (the same order the access stream
+ * replays), so fan-in and reuse distances match the streamed run.
+ */
+SpgemmStats spgemmStreamStats(const Csr &a, const Csr &b);
+
+} // namespace slo::kernels

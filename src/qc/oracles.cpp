@@ -60,6 +60,80 @@ referenceSpmm(const Csr &matrix, std::span<const Value> b,
     return c;
 }
 
+std::vector<std::vector<std::pair<Index, double>>>
+referenceSpgemm(const Csr &a, const Csr &b)
+{
+    require(a.numCols() == b.numRows(),
+            "referenceSpgemm: inner dimensions differ");
+    std::vector<std::vector<std::pair<Index, double>>> rows(
+        static_cast<std::size_t>(a.numRows()));
+    for (Index r = 0; r < a.numRows(); ++r) {
+        std::map<Index, double> acc;
+        const auto a_cols = a.rowIndices(r);
+        const auto a_vals = a.rowValues(r);
+        for (std::size_t i = 0; i < a_cols.size(); ++i) {
+            const double av = static_cast<double>(a_vals[i]);
+            const auto b_cols = b.rowIndices(a_cols[i]);
+            const auto b_vals = b.rowValues(a_cols[i]);
+            for (std::size_t t = 0; t < b_cols.size(); ++t)
+                acc[b_cols[t]] += av * static_cast<double>(b_vals[t]);
+        }
+        auto &row = rows[static_cast<std::size_t>(r)];
+        row.assign(acc.begin(), acc.end()); // sorted by column
+    }
+    return rows;
+}
+
+bool
+spgemmNearlyEqual(
+    const Csr &got,
+    const std::vector<std::vector<std::pair<Index, double>>> &want,
+    double tolerance, std::string *message)
+{
+    auto complain = [&](const std::string &text) {
+        if (message != nullptr)
+            *message = text;
+        return false;
+    };
+    if (static_cast<std::size_t>(got.numRows()) != want.size()) {
+        std::ostringstream out;
+        out << "row count mismatch: got " << got.numRows() << ", want "
+            << want.size();
+        return complain(out.str());
+    }
+    for (Index r = 0; r < got.numRows(); ++r) {
+        const auto cols = got.rowIndices(r);
+        const auto vals = got.rowValues(r);
+        const auto &ref = want[static_cast<std::size_t>(r)];
+        if (cols.size() != ref.size()) {
+            std::ostringstream out;
+            out << "row " << r << " nnz mismatch: got " << cols.size()
+                << ", want " << ref.size();
+            return complain(out.str());
+        }
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+            if (cols[i] != ref[i].first) {
+                std::ostringstream out;
+                out << "row " << r << " entry " << i
+                    << " column mismatch: got " << cols[i] << ", want "
+                    << ref[i].first;
+                return complain(out.str());
+            }
+            const double wanted = ref[i].second;
+            const double diff = std::abs(
+                static_cast<double>(vals[i]) - wanted);
+            if (diff > tolerance * std::max(1.0, std::abs(wanted))) {
+                std::ostringstream out;
+                out << "row " << r << " entry " << i << " (col "
+                    << cols[i] << "): got " << vals[i] << ", want "
+                    << wanted << ", |diff| " << diff;
+                return complain(out.str());
+            }
+        }
+    }
+    return true;
+}
+
 bool
 nearlyEqual(std::span<const Value> got, std::span<const double> want,
             double tolerance, std::string *message)

@@ -36,6 +36,28 @@ std::vector<double> referenceSpmm(const Csr &matrix,
                                   Index dense_cols);
 
 /**
+ * Map-based double-precision C = A*B for sparse B (the SpGEMM ground
+ * truth). Deliberately not Gustavson: each output row is accumulated
+ * in a column-keyed ordered map — no stamp arrays, no dense/sparse
+ * accumulator split, no shared merge logic with kernels::spgemmCsr.
+ * Returns one (sorted) map per output row.
+ */
+std::vector<std::vector<std::pair<Index, double>>>
+referenceSpgemm(const Csr &a, const Csr &b);
+
+/**
+ * Compare a production SpGEMM product against referenceSpgemm's rows:
+ * identical structure (row offsets + sorted column indices) and values
+ * within |got - want| <= tolerance * max(1, |want|). On mismatch
+ * returns false and, when @p message is non-null, describes the first
+ * difference.
+ */
+bool spgemmNearlyEqual(
+    const Csr &got,
+    const std::vector<std::vector<std::pair<Index, double>>> &want,
+    double tolerance, std::string *message = nullptr);
+
+/**
  * Compare a float kernel result against a double reference:
  * |got - want| <= tolerance * max(1, |want|) elementwise. On mismatch
  * returns false and, when @p message is non-null, describes the first

@@ -42,6 +42,12 @@ collect(const Csr &m, KernelKind kind, const StreamOptions &options)
         spmmCsrStream(m, layout, options, 32,
                       [&trace](std::uint64_t a) { trace.push_back(a); });
         break;
+      case KernelKind::SpgemmAA:
+      case KernelKind::SpgemmAAT:
+        spgemmCsrStream(m, spgemmOperandB(m, spgemmVariant(kind)),
+                        layout,
+                        [&trace](std::uint64_t a) { trace.push_back(a); });
+        break;
     }
     return trace;
 }

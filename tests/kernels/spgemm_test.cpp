@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests of the Gustavson SpGEMM kernel: a hand-computed product,
+ * operand-B construction, the symbolic pass, the merge statistics, and
+ * the streamed access generator's count/region accounting.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/access_stream.hpp"
+#include "kernels/spgemm.hpp"
+#include "matrix/generators.hpp"
+
+namespace slo::kernels
+{
+namespace
+{
+
+/**
+ * [ 1 2 0 ]       [ 1  2  6 ]
+ * [ 0 0 3 ]   A^2=[ 3  6  0 ]
+ * [ 1 2 0 ]       [ 1  2  6 ]
+ */
+Csr
+tinyMatrix()
+{
+    return Csr(3, 3, {0, 2, 3, 5}, {0, 1, 2, 0, 1},
+               {1.0f, 2.0f, 3.0f, 1.0f, 2.0f});
+}
+
+TEST(SpgemmTest, HandComputedSquare)
+{
+    const SpgemmResult result =
+        spgemmCsr(tinyMatrix(), SpgemmB::A);
+    ASSERT_EQ(result.c.numRows(), 3);
+    const std::vector<Offset> offsets{0, 3, 5, 8};
+    EXPECT_EQ(result.c.rowOffsets(), offsets);
+    const std::vector<Index> cols{0, 1, 2, 0, 1, 0, 1, 2};
+    EXPECT_EQ(result.c.colIndices(), cols);
+    const std::vector<Value> vals{1.0f, 2.0f, 6.0f, 3.0f,
+                                  6.0f, 1.0f, 2.0f, 6.0f};
+    EXPECT_EQ(result.c.values(), vals);
+    EXPECT_EQ(result.stats.nnzC, 8u);
+    EXPECT_EQ(result.stats.flops, 8u);
+    EXPECT_EQ(result.stats.fanInTotal, 5u);
+    EXPECT_EQ(result.stats.maxFanIn, 2);
+    EXPECT_EQ(result.stats.maxRowNnz, 3);
+}
+
+TEST(SpgemmTest, OperandBVariants)
+{
+    const Csr a = tinyMatrix();
+    EXPECT_EQ(spgemmOperandB(a, SpgemmB::A), a);
+    Csr at = a.transposed();
+    at.sortRows();
+    EXPECT_EQ(spgemmOperandB(a, SpgemmB::ATranspose), at);
+    EXPECT_STREQ(spgemmBName(SpgemmB::A), "A");
+    EXPECT_STREQ(spgemmBName(SpgemmB::ATranspose), "AT");
+}
+
+TEST(SpgemmTest, SymbolicPassMatchesNumericRows)
+{
+    const Csr a = gen::rmatSocial(9, 4.0, 17);
+    for (const SpgemmB variant :
+         {SpgemmB::A, SpgemmB::ATranspose}) {
+        const Csr b = spgemmOperandB(a, variant);
+        const std::vector<Index> counts = spgemmRowNnz(a, b);
+        const SpgemmResult result = spgemmCsr(a, b);
+        ASSERT_EQ(static_cast<Index>(counts.size()), a.numRows());
+        for (Index r = 0; r < a.numRows(); ++r)
+            EXPECT_EQ(counts[static_cast<std::size_t>(r)],
+                      result.c.degree(r));
+    }
+}
+
+TEST(SpgemmTest, StreamStatsMatchNumericKernel)
+{
+    const Csr a = gen::plantedPartition(512, 8, 6.0, 0.8, 3);
+    const Csr b = spgemmOperandB(a, SpgemmB::A);
+    const SpgemmStats stream = spgemmStreamStats(a, b);
+    const SpgemmResult numeric = spgemmCsr(a, b);
+    EXPECT_EQ(stream.flops, numeric.stats.flops);
+    EXPECT_EQ(stream.nnzC, numeric.stats.nnzC);
+    EXPECT_EQ(stream.fanInTotal, numeric.stats.fanInTotal);
+    EXPECT_EQ(stream.maxFanIn, numeric.stats.maxFanIn);
+    EXPECT_EQ(stream.maxRowNnz, numeric.stats.maxRowNnz);
+    EXPECT_EQ(stream.bRowFetches, stream.fanInTotal);
+    EXPECT_LE(stream.bRowReuses, stream.bRowFetches);
+}
+
+TEST(SpgemmTest, AccessStreamCountAndRegions)
+{
+    // Stream shape: 3 accesses per row (bounds pair + C descriptor),
+    // 4 per A non-zero (coord, value, B bounds pair), 2 per merged
+    // element, 2 per C non-zero. Exactly the B-array accesses land in
+    // the irregular [xBase, xEnd) window.
+    const Csr a = gen::rmatSocial(8, 5.0, 29);
+    const std::uint32_t line = 32;
+    for (const KernelKind kind :
+         {KernelKind::SpgemmAA, KernelKind::SpgemmAAT}) {
+        const Csr b = spgemmOperandB(a, spgemmVariant(kind));
+        const SpgemmStats stats = spgemmStreamStats(a, b);
+        const auto nnz_c = static_cast<Offset>(stats.nnzC);
+        const AddressLayout layout = makeLayout(
+            kind, a.numRows(), a.numNonZeros(), 1, line, nnz_c);
+        ASSERT_LT(layout.xBase, layout.xEnd);
+
+        std::uint64_t total = 0;
+        std::uint64_t irregular = 0;
+        forEachAccess(kind, a, layout, StreamOptions{}, line,
+                      [&](std::uint64_t addr) {
+                          ++total;
+                          if (layout.isIrregular(addr))
+                              ++irregular;
+                      });
+        const std::uint64_t want_total =
+            static_cast<std::uint64_t>(a.numRows()) * 3 +
+            static_cast<std::uint64_t>(a.numNonZeros()) * 4 +
+            stats.flops * 2 + stats.nnzC * 2;
+        EXPECT_EQ(total, want_total);
+        // B bounds pair per A non-zero + coords/values per element.
+        const std::uint64_t want_irregular =
+            static_cast<std::uint64_t>(a.numNonZeros()) * 2 +
+            stats.flops * 2;
+        EXPECT_EQ(irregular, want_irregular);
+
+        // The caller-held-B overload replays the identical stream.
+        std::vector<std::uint64_t> direct;
+        forEachAccess(kind, a, layout, StreamOptions{}, line,
+                      [&direct](std::uint64_t addr) {
+                          direct.push_back(addr);
+                      });
+        std::vector<std::uint64_t> held;
+        forEachAccess(kind, a, b, layout, StreamOptions{}, line,
+                      [&held](std::uint64_t addr) {
+                          held.push_back(addr);
+                      });
+        EXPECT_EQ(direct, held);
+    }
+}
+
+TEST(SpgemmTest, RejectsMismatchedInnerDimensions)
+{
+    const Csr a(2, 3, {0, 1, 2}, {0, 2}, {1.0f, 1.0f});
+    const Csr b(2, 2, {0, 1, 2}, {0, 1}, {1.0f, 1.0f});
+    EXPECT_THROW(static_cast<void>(spgemmCsr(a, b)),
+                 std::invalid_argument);
+    EXPECT_THROW(static_cast<void>(spgemmRowNnz(a, b)),
+                 std::invalid_argument);
+    EXPECT_THROW(static_cast<void>(spgemmStreamStats(a, b)),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace slo::kernels

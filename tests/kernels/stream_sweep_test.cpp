@@ -44,6 +44,19 @@ class StreamSweepTest : public ::testing::TestWithParam<SweepCase>
           case KernelKind::SpmmCsr:
             spmmCsrStream(m, layout, options, 32, sink);
             break;
+          case KernelKind::SpgemmAA:
+          case KernelKind::SpgemmAAT: {
+            // Re-laid-out with the product size so the C region is
+            // real; the access count is layout-independent anyway.
+            const Csr b = spgemmOperandB(m, spgemmVariant(kind));
+            const SpgemmStats stats = spgemmStreamStats(m, b);
+            const AddressLayout sized =
+                makeLayout(kind, m.numRows(), m.numNonZeros(),
+                           options.denseCols, 32,
+                           static_cast<Offset>(stats.nnzC));
+            spgemmCsrStream(m, b, sized, sink);
+            break;
+          }
         }
         return n;
     }
@@ -91,6 +104,25 @@ TEST_P(StreamSweepTest, SpmmAccessCountFormula)
             static_cast<std::size_t>(non_empty) * lines;
         EXPECT_EQ(count(m, KernelKind::SpmmCsr, options), expect)
             << "k=" << k;
+    }
+}
+
+TEST_P(StreamSweepTest, SpgemmAccessCountFormula)
+{
+    const Csr m = GetParam().build();
+    // 3 per row (bounds pair + C descriptor) + 4 per A non-zero
+    // (coord, value, B bounds pair) + 2 per merged element + 2 per C
+    // non-zero.
+    for (const KernelKind kind :
+         {KernelKind::SpgemmAA, KernelKind::SpgemmAAT}) {
+        const Csr b = spgemmOperandB(m, spgemmVariant(kind));
+        const SpgemmStats stats = spgemmStreamStats(m, b);
+        const auto expect =
+            static_cast<std::size_t>(3 * m.numRows()) +
+            static_cast<std::size_t>(4 * m.numNonZeros()) +
+            static_cast<std::size_t>(2 * stats.flops) +
+            static_cast<std::size_t>(2 * stats.nnzC);
+        EXPECT_EQ(count(m, kind, {}), expect);
     }
 }
 

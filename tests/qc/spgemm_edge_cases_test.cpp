@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Edge cases of the Gustavson SpGEMM kernel: the empty matrix,
+ * all-empty rows, a single-column matrix, a row whose merge fan-in
+ * pushes it over the dense-accumulator threshold, and the 32/64-bit
+ * checkedCast seam on nnz(C) overflow.
+ */
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hpp"
+#include "kernels/spgemm.hpp"
+#include "qc/qc.hpp"
+
+namespace slo::qc
+{
+namespace
+{
+
+/** Run both accumulator paths + the oracle on @p a for both variants. */
+void
+checkBothVariants(const Csr &a)
+{
+    std::string message;
+    for (const kernels::SpgemmB variant :
+         {kernels::SpgemmB::A, kernels::SpgemmB::ATranspose}) {
+        const Csr b = kernels::spgemmOperandB(a, variant);
+        const auto want = referenceSpgemm(a, b);
+
+        kernels::SpgemmOptions sparse_only;
+        sparse_only.denseThreshold = 1 << 30;
+        const kernels::SpgemmResult sparse =
+            kernels::spgemmCsr(a, b, sparse_only);
+        EXPECT_TRUE(spgemmNearlyEqual(sparse.c, want, 1e-4, &message))
+            << kernels::spgemmBName(variant) << ": " << message;
+
+        kernels::SpgemmOptions dense_only;
+        dense_only.denseThreshold = 1;
+        const kernels::SpgemmResult dense =
+            kernels::spgemmCsr(a, b, dense_only);
+        EXPECT_TRUE(sparse.c == dense.c)
+            << kernels::spgemmBName(variant)
+            << ": accumulator paths disagree";
+
+        EXPECT_EQ(sparse.stats.nnzC,
+                  static_cast<std::uint64_t>(sparse.c.numNonZeros()));
+        EXPECT_EQ(sparse.stats.fanInTotal,
+                  static_cast<std::uint64_t>(a.numNonZeros()));
+    }
+}
+
+TEST(SpgemmEdgeCases, EmptyMatrix)
+{
+    const Csr a(0, 0, {0}, {}, {});
+    checkBothVariants(a);
+    const kernels::SpgemmResult result =
+        kernels::spgemmCsr(a, kernels::SpgemmB::A);
+    EXPECT_EQ(result.c.numRows(), 0);
+    EXPECT_EQ(result.c.numNonZeros(), 0);
+    EXPECT_EQ(result.stats.flops, 0u);
+    EXPECT_EQ(result.stats.maxFanIn, 0);
+}
+
+TEST(SpgemmEdgeCases, AllEmptyRows)
+{
+    const Csr a(4, 4, {0, 0, 0, 0, 0}, {}, {});
+    checkBothVariants(a);
+    const kernels::SpgemmResult result =
+        kernels::spgemmCsr(a, kernels::SpgemmB::A);
+    EXPECT_EQ(result.c.numRows(), 4);
+    EXPECT_EQ(result.c.numNonZeros(), 0);
+    EXPECT_EQ(result.stats.bRowFetches, 0u);
+    EXPECT_EQ(result.stats.bRowReuses, 0u);
+}
+
+TEST(SpgemmEdgeCases, SingleColumn)
+{
+    // 3x1 times its 1x3 transpose: AAT is a full 3x3 outer product;
+    // AA is undefined (1 != 3), so only the transpose variant runs.
+    const Csr a(3, 1, {0, 1, 2, 3}, {0, 0, 0}, {1.0f, 2.0f, 3.0f});
+    const Csr b = kernels::spgemmOperandB(
+        a, kernels::SpgemmB::ATranspose);
+    const auto want = referenceSpgemm(a, b);
+    std::string message;
+    const kernels::SpgemmResult result = kernels::spgemmCsr(a, b);
+    EXPECT_TRUE(spgemmNearlyEqual(result.c, want, 1e-4, &message))
+        << message;
+    EXPECT_EQ(result.c.numNonZeros(), 9);
+    EXPECT_EQ(result.stats.maxFanIn, 1);
+}
+
+TEST(SpgemmEdgeCases, SquareSingleColumnUse)
+{
+    // A square matrix whose every row references column 0: maximum
+    // B-row reuse (each fetch after the first is a distance-1 reuse).
+    const Csr a(3, 3, {0, 1, 2, 3}, {0, 0, 0}, {1.0f, 1.0f, 1.0f});
+    checkBothVariants(a);
+    const kernels::SpgemmResult result =
+        kernels::spgemmCsr(a, kernels::SpgemmB::A);
+    EXPECT_EQ(result.stats.bRowFetches, 3u);
+    EXPECT_EQ(result.stats.bRowReuses, 2u);
+    EXPECT_EQ(result.stats.maxReuseDistance, 1u);
+    EXPECT_DOUBLE_EQ(result.stats.meanReuseDistance(), 1.0);
+}
+
+TEST(SpgemmEdgeCases, FanInCrossesTheDenseThreshold)
+{
+    // Row 0 merges every other row: with the threshold pinned below
+    // its multiply count the dense accumulator handles it while the
+    // remaining rows take the sort-merge path, and the result must be
+    // bit-identical to the all-sparse run.
+    constexpr Index n = 12;
+    std::vector<Offset> offsets{0};
+    std::vector<Index> cols;
+    std::vector<Value> vals;
+    for (Index c = 1; c < n; ++c) {
+        cols.push_back(c);
+        vals.push_back(1.0f);
+    }
+    offsets.push_back(static_cast<Offset>(cols.size()));
+    for (Index r = 1; r < n; ++r) {
+        cols.push_back((r + 1) % n);
+        vals.push_back(2.0f);
+        offsets.push_back(static_cast<Offset>(cols.size()));
+    }
+    const Csr a(n, n, offsets, cols, vals);
+
+    kernels::SpgemmOptions hybrid;
+    hybrid.denseThreshold = 4; // row 0 merges 11 rows -> dense path
+    const kernels::SpgemmResult mixed =
+        kernels::spgemmCsr(a, kernels::SpgemmB::A, hybrid);
+
+    kernels::SpgemmOptions sparse_only;
+    sparse_only.denseThreshold = 1 << 30;
+    const kernels::SpgemmResult sparse =
+        kernels::spgemmCsr(a, kernels::SpgemmB::A, sparse_only);
+
+    EXPECT_TRUE(mixed.c == sparse.c);
+    EXPECT_EQ(mixed.stats.maxFanIn, n - 1);
+
+    const auto want =
+        referenceSpgemm(a, kernels::spgemmOperandB(
+                               a, kernels::SpgemmB::A));
+    std::string message;
+    EXPECT_TRUE(spgemmNearlyEqual(mixed.c, want, 1e-4, &message))
+        << message;
+}
+
+TEST(SpgemmEdgeCases, TotalNnzOverflowThrows)
+{
+    // The 32/64-bit seam: per-row counts whose sum exceeds Offset must
+    // throw ContractViolation, not wrap. (A sum overflowing even the
+    // 64-bit accumulator is caught one step earlier by the same seam.)
+    const std::vector<std::uint64_t> fits{1, 2, 3};
+    EXPECT_EQ(kernels::spgemmTotalNnz(fits), 6);
+
+    const std::uint64_t half =
+        static_cast<std::uint64_t>(
+            std::numeric_limits<Offset>::max() / 2) +
+        1;
+    const std::vector<std::uint64_t> overflows{half, half};
+    EXPECT_THROW(static_cast<void>(kernels::spgemmTotalNnz(overflows)),
+                 check::ContractViolation);
+
+    const std::vector<std::uint64_t> wraps64{
+        std::numeric_limits<std::uint64_t>::max(), 2};
+    EXPECT_THROW(static_cast<void>(kernels::spgemmTotalNnz(wraps64)),
+                 check::ContractViolation);
+}
+
+} // namespace
+} // namespace slo::qc

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * SpGEMM properties: the Gustavson kernel against the map-based
+ * differential oracle, the streamed access generator against a
+ * collected-trace replay (at every shard count and pool size), and
+ * determinism + stats coherence of every Simulator backend.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/sharded.hpp"
+#include "gpu/gpu_spec.hpp"
+#include "gpu/sim_stream.hpp"
+#include "gpu/simulator.hpp"
+#include "kernels/access_stream.hpp"
+#include "kernels/spgemm.hpp"
+#include "par/thread_pool.hpp"
+#include "qc/qc.hpp"
+
+namespace slo::qc
+{
+namespace
+{
+
+/** Square specs (Raw included: dup entries + self loops). */
+SpecBounds
+spgemmBounds()
+{
+    SpecBounds bounds;
+    bounds.squareOnly = true; // C = A*A needs cols(A) == rows(A)
+    bounds.maxRows = 40;
+    bounds.maxAvgDegree = 5.0;
+    return bounds;
+}
+
+/** A tiny L2 so 40-row products actually thrash it. */
+gpu::GpuSpec
+tinySpec()
+{
+    return gpu::GpuSpec::a6000ScaledL2(2048);
+}
+
+constexpr kernels::KernelKind kSpgemmKernels[] = {
+    kernels::KernelKind::SpgemmAA,
+    kernels::KernelKind::SpgemmAAT,
+};
+
+TEST(QcSpgemmProps, SpGemmMatchesReference)
+{
+    // Differential oracle over Random/Banded/PowerLaw/BlockCommunity
+    // *and* Raw specs (empty rows, duplicate entries, self loops), for
+    // both B variants, with the dense threshold forced to each side so
+    // both accumulator paths meet the oracle and each other.
+    const SpecBounds bounds = spgemmBounds();
+    PropertyOptions<CsrSpec> options;
+    options.shrink = csrSpecShrinker(bounds);
+    options.describe = describeCsrSpec;
+    options.parameters = describeBounds(bounds);
+    options.config = configFromEnv().withMaxCases(25);
+    const Outcome outcome = checkProperty<CsrSpec>(
+        "qc.spgemm.matches_reference",
+        [&bounds](Rng &rng) { return arbitraryCsrSpec(rng, bounds); },
+        [](const CsrSpec &spec, std::string &message) {
+            const Csr a = build(spec);
+            for (const kernels::SpgemmB variant :
+                 {kernels::SpgemmB::A, kernels::SpgemmB::ATranspose}) {
+                const Csr b = kernels::spgemmOperandB(a, variant);
+                const auto want = referenceSpgemm(a, b);
+
+                kernels::SpgemmOptions sparse_only;
+                sparse_only.denseThreshold = 1 << 30;
+                const kernels::SpgemmResult sparse =
+                    kernels::spgemmCsr(a, b, sparse_only);
+                if (!spgemmNearlyEqual(sparse.c, want, 1e-4,
+                                       &message)) {
+                    message = "sort-merge path: " + message;
+                    return false;
+                }
+
+                kernels::SpgemmOptions dense_only;
+                dense_only.denseThreshold = 1;
+                const kernels::SpgemmResult dense =
+                    kernels::spgemmCsr(a, b, dense_only);
+                if (!spgemmNearlyEqual(dense.c, want, 1e-4,
+                                       &message)) {
+                    message = "dense path: " + message;
+                    return false;
+                }
+                if (!(sparse.c == dense.c)) {
+                    message = "accumulator paths disagree bit-for-bit";
+                    return false;
+                }
+                if (sparse.stats.nnzC !=
+                    static_cast<std::uint64_t>(
+                        sparse.c.numNonZeros())) {
+                    message = "symbolic nnz(C) != numeric nnz(C)";
+                    return false;
+                }
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcSpgemmProps, StreamedGenerationMatchesCollectedTrace)
+{
+    // The fused generator+simulator path must equal a materialized
+    // trace pushed through the map-based reference LRU — and the
+    // ShardedCacheSim over the same stream must match at every shard
+    // count and pool size (the bit-identical-across-SLO_THREADS
+    // acceptance criterion).
+    const SpecBounds bounds = spgemmBounds();
+    PropertyOptions<CsrSpec> options;
+    options.shrink = csrSpecShrinker(bounds);
+    options.describe = describeCsrSpec;
+    options.parameters = describeBounds(bounds);
+    options.config = configFromEnv().withMaxCases(15);
+    const Outcome outcome = checkProperty<CsrSpec>(
+        "qc.spgemm.streamed_vs_trace",
+        [&bounds](Rng &rng) { return arbitraryCsrSpec(rng, bounds); },
+        [](const CsrSpec &spec, std::string &message) {
+            const Csr a = build(spec);
+            const gpu::GpuSpec gpu_spec = tinySpec();
+            const std::uint32_t line = gpu_spec.l2.lineBytes;
+            for (const kernels::KernelKind kernel : kSpgemmKernels) {
+                const Csr b = kernels::spgemmOperandB(
+                    a, kernels::spgemmVariant(kernel));
+                const std::vector<Index> row_nnz =
+                    kernels::spgemmRowNnz(a, b);
+                std::vector<std::uint64_t> counts(row_nnz.begin(),
+                                                  row_nnz.end());
+                const Offset nnz_c = kernels::spgemmTotalNnz(counts);
+                const kernels::AddressLayout layout =
+                    kernels::makeLayout(kernel, a.numRows(),
+                                        a.numNonZeros(), 1, line,
+                                        nnz_c);
+                const kernels::StreamOptions stream_options{1, 1};
+
+                std::vector<std::uint64_t> trace;
+                kernels::forEachAccess(
+                    kernel, a, layout, stream_options, line,
+                    [&trace](std::uint64_t addr) {
+                        trace.push_back(addr);
+                    });
+                const cache::CacheStats want = referenceLru(
+                    trace, gpu_spec.l2, layout.xBase, layout.xEnd);
+
+                gpu::SimOptions sim_options;
+                sim_options.kernel = kernel;
+                const gpu::SimReport report = gpu::simulateKernel(
+                    a, gpu_spec, sim_options);
+                if (!statsEqual(report.cacheStats, want, &message)) {
+                    message = "fused vs trace: " + message;
+                    return false;
+                }
+
+                for (const int threads : {1, 4, 8}) {
+                    par::ThreadPool pool(threads);
+                    for (const int shards : {1, 2, 3, 5}) {
+                        cache::ShardedCacheSim sharded(gpu_spec.l2,
+                                                       shards, &pool);
+                        sharded.setIrregularRegion(layout.xBase,
+                                                   layout.xEnd);
+                        gpu::BatchSink sink(
+                            gpu::kSimBatchAccesses,
+                            [&sharded](const std::uint64_t *addrs,
+                                       std::size_t count) {
+                                sharded.accessBatch(addrs, count);
+                            });
+                        kernels::forEachAccess(kernel, a, b, layout,
+                                               stream_options, line,
+                                               sink);
+                        sink.drain();
+                        sharded.finish();
+                        if (!statsEqual(sharded.stats(), want,
+                                        &message)) {
+                            message =
+                                "sharded(" + std::to_string(shards) +
+                                ", threads=" + std::to_string(threads) +
+                                "): " + message;
+                            return false;
+                        }
+                    }
+                }
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+TEST(QcSpgemmProps, EveryBackendIsDeterministicAndCoherent)
+{
+    // For each Simulator backend: two runs under different pool sizes
+    // must serialize identically, cache counters must stay coherent,
+    // and the merge stats must tie out against the kernel's ground
+    // truth (fan-in total == nnz(A), nnzC == spgemmRowNnz sum,
+    // flops >= nnzC).
+    const SpecBounds bounds = spgemmBounds();
+    PropertyOptions<CsrSpec> options;
+    options.shrink = csrSpecShrinker(bounds);
+    options.describe = describeCsrSpec;
+    options.parameters = describeBounds(bounds);
+    options.config = configFromEnv().withMaxCases(10);
+    const Outcome outcome = checkProperty<CsrSpec>(
+        "qc.spgemm.backends_deterministic",
+        [&bounds](Rng &rng) { return arbitraryCsrSpec(rng, bounds); },
+        [](const CsrSpec &spec, std::string &message) {
+            const Csr a = build(spec);
+            const gpu::GpuSpec gpu_spec = tinySpec();
+            for (const kernels::KernelKind kernel : kSpgemmKernels) {
+                const Csr b = kernels::spgemmOperandB(
+                    a, kernels::spgemmVariant(kernel));
+                const std::vector<Index> row_nnz =
+                    kernels::spgemmRowNnz(a, b);
+                std::uint64_t want_nnz_c = 0;
+                for (const Index count : row_nnz)
+                    want_nnz_c += static_cast<std::uint64_t>(count);
+
+                gpu::SimOptions sim_options;
+                sim_options.kernel = kernel;
+                for (const gpu::SimBackend backend :
+                     gpu::allBackends()) {
+                    const auto simulator =
+                        gpu::makeSimulator(backend, gpu_spec);
+                    std::string first;
+                    for (const int threads : {1, 4, 8}) {
+                        par::ThreadPool pool(threads);
+                        const par::ScopedPoolOverride scoped(pool);
+                        const gpu::SimReport report =
+                            simulator->simulate(a, sim_options);
+                        const std::string dump =
+                            gpu::simReportJson(report).dump();
+                        if (first.empty()) {
+                            first = dump;
+                        } else if (dump != first) {
+                            message =
+                                std::string(
+                                    gpu::backendName(backend)) +
+                                ": report changed with pool size " +
+                                std::to_string(threads);
+                            return false;
+                        }
+                        const cache::CacheStats &stats =
+                            report.cacheStats;
+                        if (stats.hits + stats.misses !=
+                            stats.accesses) {
+                            message =
+                                std::string(
+                                    gpu::backendName(backend)) +
+                                ": hits + misses != accesses";
+                            return false;
+                        }
+                        if (report.streamMissBytes +
+                                report.randomMissBytes !=
+                            report.trafficBytes) {
+                            message =
+                                std::string(
+                                    gpu::backendName(backend)) +
+                                ": traffic split does not add up";
+                            return false;
+                        }
+                        if (!report.hasSpgemm) {
+                            message = "SpGEMM stats not populated";
+                            return false;
+                        }
+                        if (report.spgemm.fanInTotal !=
+                                static_cast<std::uint64_t>(
+                                    a.numNonZeros()) ||
+                            report.spgemm.bRowFetches !=
+                                report.spgemm.fanInTotal) {
+                            message = "fan-in total != nnz(A)";
+                            return false;
+                        }
+                        if (report.spgemm.nnzC != want_nnz_c) {
+                            message = "nnzC != spgemmRowNnz sum";
+                            return false;
+                        }
+                        if (report.spgemm.flops <
+                            report.spgemm.nnzC) {
+                            message = "flops below nnz(C)";
+                            return false;
+                        }
+                    }
+                }
+            }
+            return true;
+        },
+        options);
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+} // namespace
+} // namespace slo::qc
