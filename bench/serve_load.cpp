@@ -1,0 +1,640 @@
+/**
+ * @file
+ * Load generator for the reordering service (`slo_served`).
+ *
+ * Each leg spawns a fresh daemon (own socket + cache dir, SLO_TRACE
+ * off so daemon manifests never pollute the perf snapshot) and drives
+ * a specific traffic shape:
+ *
+ *   hot           one warmed key, sequential round trips — serving
+ *                 overhead and tail latency without build cost
+ *   cold          distinct cold keys, sequential — build-dominated
+ *                 latency through the full scheduler/store path
+ *   coalesce      4 connections pipeline the same cold key; asserts
+ *                 the daemon built it exactly once (builds_total == 1)
+ *   saturation    16 one-shot connections against SLO_SERVE_QUEUE=2;
+ *                 asserts backpressure produced explicit rejections
+ *                 and every request was answered (bounded latency, no
+ *                 unbounded queueing)
+ *   determinism   replays a fixed pipelined trace against daemons at
+ *                 SLO_THREADS=1 and 8; asserts byte-identical output
+ *
+ * Usage: serve_load [--legs hot,cold,...] [--tag name]
+ *
+ * `--tag` suffixes the manifest/table name (serve_load_<tag>) so CI
+ * can run hot-heavy and cold-heavy invocations into one output dir.
+ * Client-observed latencies land in `serve.<leg>_seconds` histograms
+ * (manifest `latency` section, gated by scripts/perf_trajectory.py);
+ * per-leg wall time is recorded as phase `serve.<leg>`.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+#include <stdlib.h>
+
+#include "core/dataset.hpp"
+#include "core/report.hpp"
+#include "obs/manifest.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "par/thread_pool.hpp"
+#include "prof/counters.hpp"
+#include "prof/histogram.hpp"
+#include "serve/client.hpp"
+
+namespace
+{
+
+using namespace slo;
+
+struct LegResult
+{
+    std::string name;
+    std::size_t requests = 0;
+    std::size_t ok = 0;
+    std::size_t rejected = 0;
+    std::size_t errors = 0;
+    std::uint64_t dropped = 0; ///< daemon-side dropped responses
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    bool pass = false;
+    std::string note;
+};
+
+struct Harness
+{
+    std::string workDir;
+    std::string daemonBin;
+    std::vector<std::string> matrices;
+};
+
+double
+quantileMs(std::vector<double> seconds, double q)
+{
+    if (seconds.empty())
+        return 0.0;
+    std::sort(seconds.begin(), seconds.end());
+    const std::size_t index = std::min(
+        seconds.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(
+                                         seconds.size())));
+    return seconds[index] * 1000.0;
+}
+
+void
+recordLatencies(const std::string &leg,
+                const std::vector<double> &seconds, LegResult *result)
+{
+    prof::LatencyHistogram &histogram =
+        prof::latencyHistogram("serve." + leg + "_seconds");
+    for (const double s : seconds)
+        histogram.record(s);
+    result->p50Ms = quantileMs(seconds, 0.50);
+    result->p99Ms = quantileMs(seconds, 0.99);
+}
+
+serve::DaemonProcess
+startDaemon(const Harness &harness, const std::string &leg,
+            std::vector<std::string> extra_env)
+{
+    const std::string socket =
+        harness.workDir + "/" + leg + ".sock";
+    extra_env.push_back("SLO_CACHE_DIR=" + harness.workDir +
+                        "/cache_" + leg);
+    extra_env.push_back("SLO_TRACE=0");
+    serve::DaemonProcess daemon =
+        serve::spawnDaemon(harness.daemonBin, socket, extra_env);
+    if (daemon.running() && !serve::waitForServer(socket, 30000)) {
+        serve::stopDaemon(daemon, 2000);
+        daemon.pid = -1;
+    }
+    return daemon;
+}
+
+serve::Request
+reorderRequest(std::uint64_t id, const std::string &matrix,
+               std::uint64_t seed)
+{
+    serve::Request request;
+    request.id = id;
+    request.op = "reorder";
+    request.matrix = matrix;
+    request.technique = "RABBIT";
+    request.seed = seed;
+    // Generous explicit deadline: the legs assert scheduler behaviour,
+    // not build speed; only saturation wants rejections and gets them
+    // from the queue bound, not from deadlines.
+    request.deadlineMs = 300000;
+    return request;
+}
+
+/** Count a response into @p result. @return true when parseable. */
+bool
+countResponse(const std::optional<serve::Response> &response,
+              LegResult *result)
+{
+    if (!response) {
+        ++result->errors;
+        return false;
+    }
+    if (response->status == "ok")
+        ++result->ok;
+    else if (response->status == "rejected")
+        ++result->rejected;
+    else
+        ++result->errors;
+    return true;
+}
+
+/** Pull daemon stats and fold dropped/builds into the result. */
+void
+finishLeg(serve::DaemonProcess &daemon, LegResult *result,
+          std::uint64_t *builds)
+{
+    serve::Client client;
+    if (client.connect(daemon.socketPath)) {
+        if (const std::optional<obs::Json> stats = client.stats()) {
+            const obs::Json &counters = stats->at("counters");
+            result->dropped =
+                counters.at("dropped_responses").asUint();
+            if (builds != nullptr)
+                *builds = stats->at("store").at("builds").asUint();
+        }
+    }
+    serve::stopDaemon(daemon, 10000);
+}
+
+LegResult
+runHot(const Harness &harness)
+{
+    LegResult result;
+    result.name = "hot";
+    serve::DaemonProcess daemon = startDaemon(harness, "hot", {});
+    if (!daemon.running()) {
+        result.note = "daemon failed to start";
+        return result;
+    }
+    serve::Client client;
+    if (!client.connect(daemon.socketPath)) {
+        result.note = "connect failed";
+        serve::stopDaemon(daemon, 2000);
+        return result;
+    }
+    // Warm the key (one cold build), then measure pure serving cost.
+    const serve::Request warm =
+        reorderRequest(1, harness.matrices[0], 1);
+    countResponse(client.call(warm), &result);
+    ++result.requests;
+
+    constexpr std::size_t kRounds = 200;
+    std::vector<double> latencies;
+    latencies.reserve(kRounds);
+    for (std::size_t i = 0; i < kRounds; ++i) {
+        const std::uint64_t start = obs::monotonicNanos();
+        const std::optional<serve::Response> response = client.call(
+            reorderRequest(2 + i, harness.matrices[0], 1));
+        latencies.push_back(
+            static_cast<double>(obs::monotonicNanos() - start) *
+            1e-9);
+        countResponse(response, &result);
+        ++result.requests;
+    }
+    recordLatencies("hot", latencies, &result);
+    client.close();
+    finishLeg(daemon, &result, nullptr);
+    result.pass = result.ok == result.requests &&
+                  result.errors == 0 && result.dropped == 0;
+    result.note = result.pass ? "all ok" : "FAILED";
+    return result;
+}
+
+LegResult
+runCold(const Harness &harness)
+{
+    LegResult result;
+    result.name = "cold";
+    serve::DaemonProcess daemon = startDaemon(harness, "cold", {});
+    if (!daemon.running()) {
+        result.note = "daemon failed to start";
+        return result;
+    }
+    serve::Client client;
+    if (!client.connect(daemon.socketPath)) {
+        result.note = "connect failed";
+        serve::stopDaemon(daemon, 2000);
+        return result;
+    }
+    std::vector<double> latencies;
+    std::uint64_t id = 1;
+    for (const std::string &matrix : harness.matrices) {
+        for (const std::uint64_t seed : {1ull, 2ull}) {
+            const std::uint64_t start = obs::monotonicNanos();
+            const std::optional<serve::Response> response =
+                client.call(reorderRequest(id++, matrix, seed));
+            latencies.push_back(
+                static_cast<double>(obs::monotonicNanos() - start) *
+                1e-9);
+            countResponse(response, &result);
+            ++result.requests;
+        }
+    }
+    recordLatencies("cold", latencies, &result);
+    client.close();
+    std::uint64_t builds = 0;
+    finishLeg(daemon, &result, &builds);
+    result.pass = result.ok == result.requests &&
+                  result.errors == 0 && result.dropped == 0 &&
+                  builds == result.requests;
+    std::ostringstream note;
+    note << "builds=" << builds << "/" << result.requests;
+    result.note = note.str();
+    return result;
+}
+
+LegResult
+runCoalesce(const Harness &harness)
+{
+    LegResult result;
+    result.name = "coalesce";
+    serve::DaemonProcess daemon =
+        startDaemon(harness, "coalesce", {});
+    if (!daemon.running()) {
+        result.note = "daemon failed to start";
+        return result;
+    }
+    constexpr std::size_t kClients = 4;
+    constexpr std::size_t kPerClient = 8;
+    std::vector<std::unique_ptr<serve::Client>> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+        auto client = std::make_unique<serve::Client>();
+        if (!client->connect(daemon.socketPath)) {
+            result.note = "connect failed";
+            serve::stopDaemon(daemon, 2000);
+            return result;
+        }
+        clients.push_back(std::move(client));
+    }
+    // Pipeline the same cold key from every connection before reading
+    // anything back: the duplicate requests race into the scheduler.
+    const std::uint64_t start = obs::monotonicNanos();
+    for (std::size_t c = 0; c < kClients; ++c)
+        for (std::size_t i = 0; i < kPerClient; ++i)
+            clients[c]->sendFrame(
+                reorderRequest(c * kPerClient + i + 1,
+                               harness.matrices[1], 77)
+                    .toJson()
+                    .dump());
+    std::string digest;
+    bool digests_agree = true;
+    std::vector<double> latencies;
+    for (std::size_t c = 0; c < kClients; ++c) {
+        for (std::size_t i = 0; i < kPerClient; ++i) {
+            const std::optional<std::string> frame =
+                clients[c]->recvFrame();
+            ++result.requests;
+            latencies.push_back(
+                static_cast<double>(obs::monotonicNanos() - start) *
+                1e-9);
+            if (!frame) {
+                ++result.errors;
+                continue;
+            }
+            const std::optional<serve::Response> response =
+                serve::Response::parse(*frame, nullptr);
+            if (countResponse(response, &result) &&
+                response->status == "ok") {
+                if (digest.empty())
+                    digest = response->digest;
+                else if (digest != response->digest)
+                    digests_agree = false;
+            }
+        }
+    }
+    recordLatencies("coalesce", latencies, &result);
+    clients.clear();
+    std::uint64_t builds = 0;
+    finishLeg(daemon, &result, &builds);
+    result.pass = result.ok == result.requests &&
+                  result.errors == 0 && result.dropped == 0 &&
+                  builds == 1 && digests_agree;
+    std::ostringstream note;
+    note << "builds=" << builds << " (want 1)";
+    result.note = note.str();
+    return result;
+}
+
+LegResult
+runSaturation(const Harness &harness)
+{
+    LegResult result;
+    result.name = "saturation";
+    // A tiny queue plus multi-threaded builds forces backpressure:
+    // with 16 distinct cold keys only 2 may be in flight, the rest
+    // must be rejected in bounded time, not queued.
+    serve::DaemonProcess daemon = startDaemon(
+        harness, "saturation",
+        {"SLO_SERVE_QUEUE=2", "SLO_THREADS=4"});
+    if (!daemon.running()) {
+        result.note = "daemon failed to start";
+        return result;
+    }
+    constexpr std::size_t kConns = 16;
+    std::vector<std::unique_ptr<serve::Client>> clients;
+    std::vector<std::uint64_t> sent_at(kConns, 0);
+    for (std::size_t i = 0; i < kConns; ++i) {
+        auto client = std::make_unique<serve::Client>();
+        if (!client->connect(daemon.socketPath)) {
+            result.note = "connect failed";
+            serve::stopDaemon(daemon, 2000);
+            return result;
+        }
+        const std::string &matrix =
+            harness.matrices[i % harness.matrices.size()];
+        client->sendFrame(
+            reorderRequest(i + 1, matrix, 2000 + i).toJson().dump());
+        sent_at[i] = obs::monotonicNanos();
+        clients.push_back(std::move(client));
+    }
+    // Poll all connections so each latency reflects when the daemon
+    // answered, not the order this loop happened to read them in.
+    std::vector<double> latencies(kConns, 0.0);
+    std::vector<bool> done(kConns, false);
+    std::vector<double> rejected_latencies;
+    std::size_t remaining = kConns;
+    const std::uint64_t deadline =
+        obs::monotonicNanos() + 120ull * 1000 * 1000 * 1000;
+    while (remaining > 0 && obs::monotonicNanos() < deadline) {
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> slots;
+        for (std::size_t i = 0; i < kConns; ++i) {
+            if (done[i])
+                continue;
+            fds.push_back(pollfd{clients[i]->rawFd(), POLLIN, 0});
+            slots.push_back(i);
+        }
+        const int ready = ::poll(
+            fds.data(), static_cast<nfds_t>(fds.size()), 1000);
+        if (ready <= 0)
+            continue;
+        for (std::size_t f = 0; f < fds.size(); ++f) {
+            if ((fds[f].revents & (POLLIN | POLLHUP)) == 0)
+                continue;
+            const std::size_t i = slots[f];
+            const std::optional<std::string> frame =
+                clients[i]->recvFrame();
+            done[i] = true;
+            --remaining;
+            ++result.requests;
+            latencies[i] =
+                static_cast<double>(obs::monotonicNanos() -
+                                    sent_at[i]) *
+                1e-9;
+            if (!frame) {
+                ++result.errors;
+                continue;
+            }
+            const std::optional<serve::Response> response =
+                serve::Response::parse(*frame, nullptr);
+            if (countResponse(response, &result) &&
+                response->status == "rejected")
+                rejected_latencies.push_back(latencies[i]);
+        }
+    }
+    std::vector<double> answered;
+    for (std::size_t i = 0; i < kConns; ++i)
+        if (done[i])
+            answered.push_back(latencies[i]);
+    recordLatencies("saturation", answered, &result);
+    clients.clear();
+    finishLeg(daemon, &result, nullptr);
+    result.pass = result.requests == kConns &&
+                  result.errors == 0 && result.dropped == 0 &&
+                  result.rejected > 0 && result.ok > 0;
+    std::ostringstream note;
+    note << "rejected=" << result.rejected
+         << " reject_p99_ms=" << std::fixed << std::setprecision(2)
+         << quantileMs(rejected_latencies, 0.99);
+    result.note = note.str();
+    return result;
+}
+
+/** One fixed pipelined trace; @return concatenated response bytes. */
+std::string
+replayTrace(const Harness &harness, const std::string &leg,
+            const std::string &threads, LegResult *result)
+{
+    serve::DaemonProcess daemon =
+        startDaemon(harness, leg, {"SLO_THREADS=" + threads});
+    if (!daemon.running()) {
+        result->note = "daemon failed to start";
+        return "";
+    }
+    serve::Client client;
+    if (!client.connect(daemon.socketPath)) {
+        result->note = "connect failed";
+        serve::stopDaemon(daemon, 2000);
+        return "";
+    }
+    std::vector<std::string> frames;
+    std::uint64_t id = 1;
+    for (std::size_t m = 0; m < 3 && m < harness.matrices.size();
+         ++m) {
+        for (const std::uint64_t seed : {1ull, 2ull}) {
+            frames.push_back(
+                reorderRequest(id++, harness.matrices[m], seed)
+                    .toJson()
+                    .dump());
+            serve::Request ping;
+            ping.id = id++;
+            ping.op = "ping";
+            frames.push_back(ping.toJson().dump());
+        }
+    }
+    for (const std::string &frame : frames)
+        client.sendFrame(frame);
+    std::string transcript;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        const std::optional<std::string> frame = client.recvFrame();
+        ++result->requests;
+        if (!frame) {
+            ++result->errors;
+            continue;
+        }
+        countResponse(serve::Response::parse(*frame, nullptr),
+                      result);
+        transcript += *frame;
+        transcript += '\n';
+    }
+    client.close();
+    LegResult stats_probe;
+    finishLeg(daemon, &stats_probe, nullptr);
+    result->dropped += stats_probe.dropped;
+    return transcript;
+}
+
+LegResult
+runDeterminism(const Harness &harness)
+{
+    LegResult result;
+    result.name = "determinism";
+    const std::uint64_t start = obs::monotonicNanos();
+    const std::string serial =
+        replayTrace(harness, "determinism_t1", "1", &result);
+    const std::string threaded =
+        replayTrace(harness, "determinism_t8", "8", &result);
+    recordLatencies(
+        "determinism",
+        {static_cast<double>(obs::monotonicNanos() - start) * 1e-9},
+        &result);
+    const bool identical =
+        !serial.empty() && serial == threaded;
+    result.pass = identical && result.errors == 0 &&
+                  result.ok + result.rejected == result.requests &&
+                  result.dropped == 0;
+    result.note =
+        identical ? "byte-identical t1 vs t8" : "TRACE MISMATCH";
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> legs = {"hot", "cold", "coalesce",
+                                     "saturation", "determinism"};
+    std::string tag;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--legs" && i + 1 < argc) {
+            legs.clear();
+            std::istringstream stream(argv[++i]);
+            std::string leg;
+            while (std::getline(stream, leg, ','))
+                if (!leg.empty())
+                    legs.push_back(leg);
+        } else if (arg == "--tag" && i + 1 < argc) {
+            tag = argv[++i];
+        } else {
+            std::cerr << "usage: serve_load [--legs a,b,...]"
+                         " [--tag name]\n";
+            return 2;
+        }
+    }
+
+    const std::string bench_name =
+        tag.empty() ? "serve_load" : "serve_load_" + tag;
+    obs::RunManifest::instance().begin(bench_name);
+    obs::installExitEmission();
+    prof::initProcess();
+    // Touching the global pool registers its manifest pre-emission
+    // hook, so the manifest carries the pool section obs_validate
+    // requires even though this process only does client IO.
+    obs::RunManifest::instance().set(
+        "threads", static_cast<std::uint64_t>(
+                       par::ThreadPool::global().numThreads()));
+
+    Harness harness;
+    harness.daemonBin = serve::resolveDaemonBinary();
+    if (harness.daemonBin.empty()) {
+        std::cerr << "serve_load: slo_served not found "
+                     "(set SLO_SERVE_BIN)\n";
+        return 1;
+    }
+    // The 6 cheapest corpus entries (by declared nnz): the legs probe
+    // scheduler behaviour, not build cost, and the selection must stay
+    // deterministic across runs for the determinism leg's fixed trace.
+    const core::Scale scale = core::scaleFromEnv();
+    obs::RunManifest::instance().set("scale",
+                                     core::scaleName(scale));
+    std::vector<core::DatasetEntry> corpus = core::paperCorpus(scale);
+    std::stable_sort(corpus.begin(), corpus.end(),
+                     [scale](const core::DatasetEntry &a,
+                             const core::DatasetEntry &b) {
+                         return a.nnzEstimateAt(scale) <
+                                b.nnzEstimateAt(scale);
+                     });
+    for (const core::DatasetEntry &entry : corpus) {
+        harness.matrices.push_back(entry.name);
+        if (harness.matrices.size() == 6)
+            break;
+    }
+    obs::RunManifest::instance().set(
+        "num_matrices",
+        static_cast<std::uint64_t>(harness.matrices.size()));
+
+    char work_template[] = "/tmp/slo_serve_load_XXXXXX";
+    const char *work = ::mkdtemp(work_template);
+    if (work == nullptr) {
+        std::cerr << "serve_load: mkdtemp failed\n";
+        return 1;
+    }
+    harness.workDir = work;
+
+    std::cout << "# " << bench_name << "\n";
+    std::cout << "# daemon: " << harness.daemonBin << "\n";
+    std::cout << "# scale: " << core::scaleName(scale) << "\n";
+
+    core::Table table({"leg", "requests", "ok", "rejected", "errors",
+                       "dropped", "p50_ms", "p99_ms", "pass",
+                       "note"});
+    bool all_pass = true;
+    for (const std::string &leg : legs) {
+        const std::uint64_t start = obs::monotonicNanos();
+        const prof::ScopedCounters counters("serve", "serve." + leg);
+        SLO_SPAN("serve_load." + leg);
+        LegResult result;
+        if (leg == "hot")
+            result = runHot(harness);
+        else if (leg == "cold")
+            result = runCold(harness);
+        else if (leg == "coalesce")
+            result = runCoalesce(harness);
+        else if (leg == "saturation")
+            result = runSaturation(harness);
+        else if (leg == "determinism")
+            result = runDeterminism(harness);
+        else {
+            std::cerr << "serve_load: unknown leg " << leg << "\n";
+            all_pass = false;
+            continue;
+        }
+        const double seconds =
+            static_cast<double>(obs::monotonicNanos() - start) *
+            1e-9;
+        obs::RunManifest::instance().recordPhase(
+            "serve", "serve." + leg, seconds);
+        all_pass = all_pass && result.pass;
+
+        std::ostringstream p50, p99;
+        p50 << std::fixed << std::setprecision(3) << result.p50Ms;
+        p99 << std::fixed << std::setprecision(3) << result.p99Ms;
+        table.addRow({result.name, std::to_string(result.requests),
+                      std::to_string(result.ok),
+                      std::to_string(result.rejected),
+                      std::to_string(result.errors),
+                      std::to_string(result.dropped), p50.str(),
+                      p99.str(), result.pass ? "yes" : "NO",
+                      result.note});
+    }
+    table.print(std::cout);
+
+    std::error_code ec;
+    std::filesystem::remove_all(harness.workDir, ec);
+
+    if (!all_pass) {
+        std::cerr << "serve_load: one or more legs failed\n";
+        return 1;
+    }
+    return 0;
+}

@@ -76,9 +76,17 @@ TOLERANCES = {
 # ext_spgemm, and a constant-factor slip there multiplies into every
 # flop of the stream. Their 0.05 s floor matches the generic one
 # because a single simulation is far longer than a single reorder.
+# The serve legs (`phase.serve.<leg>` from serve_load) gate like the
+# other phases; their client-observed quantiles
+# (`latency.serve.<leg>_seconds.p50/p99`) gate at a loose 50% relative
+# margin — tail latency on a shared CI box is noisy — but with a tight
+# 2 ms floor so a real millisecond-scale p99 excursion on the
+# microsecond-scale hot path cannot hide under the generic 0.05 s one.
 PREFIX_TOLERANCES = {
     "phase.reorder.": (0.25, 0.02),
     "phase.spgemm.": (0.25, 0.05),
+    "phase.serve.": (0.25, 0.05),
+    "latency.serve.": (0.50, 0.002),
 }
 
 
@@ -464,6 +472,50 @@ def cmd_selftest(_args: argparse.Namespace) -> int:
     if regressions:
         failures.append(
             f"sub-floor spgemm-phase movement gated: {regressions}")
+
+    # 10. The phase.serve.* gate fires on a +30% serve-leg slowdown
+    #     that the generic 30%-relative time tolerance would let pass.
+    serve_base = {
+        "schema": SCHEMA, "git_sha": "b", "host": host,
+        "benches": {"serve_load": {
+            "phase.serve.hot.seconds": metric(0.50, "seconds", "time"),
+            "latency.serve.hot_seconds.p99_seconds":
+                metric(0.0010, "seconds", "time")}},
+    }
+    serve_cand = {
+        "schema": SCHEMA, "git_sha": "c", "host": host,
+        "benches": {"serve_load": {
+            "phase.serve.hot.seconds": metric(0.65, "seconds", "time"),
+            "latency.serve.hot_seconds.p99_seconds":
+                metric(0.0010, "seconds", "time")}},
+    }
+    regressions, _, _ = compare(serve_base, serve_cand)
+    if [(r[0], r[1]) for r in regressions] != [
+            ("serve_load", "phase.serve.hot.seconds")]:
+        failures.append(
+            f"serve-phase slowdown not flagged: {regressions}")
+
+    # 11. The latency.serve.* gate fires on a p99 blow-up (1 ms -> 4 ms
+    #     is far under the generic 0.05 s floor) and stays quiet on
+    #     sub-floor tail jitter (1 ms -> 2.5 ms trips the 50% margin
+    #     but not the 2 ms floor).
+    serve_cand["benches"]["serve_load"][
+        "phase.serve.hot.seconds"] = metric(0.50, "seconds", "time")
+    serve_cand["benches"]["serve_load"][
+        "latency.serve.hot_seconds.p99_seconds"] = metric(
+            0.0040, "seconds", "time")
+    regressions, _, _ = compare(serve_base, serve_cand)
+    if [(r[0], r[1]) for r in regressions] != [
+            ("serve_load", "latency.serve.hot_seconds.p99_seconds")]:
+        failures.append(
+            f"serve-p99 blow-up not flagged: {regressions}")
+    serve_cand["benches"]["serve_load"][
+        "latency.serve.hot_seconds.p99_seconds"] = metric(
+            0.0025, "seconds", "time")
+    regressions, _, _ = compare(serve_base, serve_cand)
+    if regressions:
+        failures.append(
+            f"sub-floor serve-p99 jitter gated: {regressions}")
 
     if failures:
         for failure in failures:

@@ -32,6 +32,9 @@ from pathlib import Path
 #                             algorithm layers
 #   core                      the experiment driver layer composes
 #                             everything below it
+#   serve                     the reordering daemon sits on top of
+#                             core (corpus + artifact store) and the
+#                             runtime layers
 #   bench / tests / examples  leaves; may include anything
 #
 # The file-level include graph must still be acyclic (SA002): the
@@ -56,6 +59,9 @@ LAYERING: dict[str, set[str]] = {
            "gpu", "par", "partition", "obs", "check", "prof"},
     "core": {"matrix", "reorder", "community", "partition", "gpu",
              "kernels", "cache", "par", "prof", "obs", "check"},
+    "serve": {"core", "matrix", "reorder", "community", "partition",
+              "gpu", "kernels", "cache", "par", "prof", "obs",
+              "check"},
 }
 
 # Leaf trees that may include any module (and their own siblings).

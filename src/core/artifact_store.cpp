@@ -1,0 +1,256 @@
+#include "core/artifact_store.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <utility>
+
+#include "core/artifact_cache.hpp"
+#include "obs/obs.hpp"
+
+namespace slo::core
+{
+
+namespace
+{
+
+std::uint64_t
+fnv1aHash(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+} // namespace
+
+/** One in-process build flight; waiters block on the shard cv. */
+struct ArtifactStore::Flight
+{
+    bool done = false;
+    Payload result;
+    std::exception_ptr error;
+};
+
+struct ArtifactStore::Shard
+{
+    mutable std::mutex mutex;
+    std::condition_variable cv; ///< signalled when a flight completes
+    /** LRU order: front = most recent, back = eviction candidate. */
+    std::list<Entry> lru;
+    std::map<std::string, std::list<Entry>::iterator> index;
+    std::map<std::string, std::shared_ptr<Flight>> flights;
+    std::size_t bytes = 0;
+};
+
+ArtifactStore::ArtifactStore() : ArtifactStore(Options()) {}
+
+ArtifactStore::~ArtifactStore() = default;
+
+ArtifactStore::ArtifactStore(Options options) : options_(options)
+{
+    if (options_.shards < 1)
+        options_.shards = 1;
+    if (options_.admitDivisor == 0)
+        options_.admitDivisor = 1;
+    shardBudget_ =
+        options_.maxBytes / static_cast<std::size_t>(options_.shards);
+    shards_.reserve(static_cast<std::size_t>(options_.shards));
+    for (int i = 0; i < options_.shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+ArtifactStore::Shard &
+ArtifactStore::shardFor(const std::string &key)
+{
+    return *shards_[fnv1aHash(key) %
+                    static_cast<std::uint64_t>(shards_.size())];
+}
+
+std::size_t
+ArtifactStore::payloadBytes(const std::vector<Index> &vec)
+{
+    // Entry overhead (key, list/map nodes) is approximated with a
+    // flat constant so tiny payloads still count against the budget.
+    return vec.size() * sizeof(Index) + 64;
+}
+
+ArtifactStore::Payload
+ArtifactStore::get(const std::string &key)
+{
+    Shard &shard = shardFor(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        obs::counter("artifact_store.misses").add();
+        return nullptr;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    obs::counter("artifact_store.hits").add();
+    return it->second->payload;
+}
+
+void
+ArtifactStore::admitLocked(Shard &shard, const std::string &key,
+                           Payload payload, std::size_t bytes)
+{
+    const auto existing = shard.index.find(key);
+    if (existing != shard.index.end()) {
+        shard.bytes -= existing->second->bytes;
+        shard.lru.erase(existing->second);
+        shard.index.erase(existing);
+    }
+    shard.lru.push_front(Entry{key, std::move(payload), bytes});
+    shard.index[key] = shard.lru.begin();
+    shard.bytes += bytes;
+    while (shard.bytes > shardBudget_ && shard.lru.size() > 1) {
+        const Entry &victim = shard.lru.back();
+        shard.bytes -= victim.bytes;
+        shard.index.erase(victim.key);
+        shard.lru.pop_back();
+        obs::counter("artifact_store.evictions").add();
+    }
+}
+
+bool
+ArtifactStore::put(const std::string &key, Payload payload)
+{
+    const std::size_t bytes = payloadBytes(*payload);
+    if (bytes > options_.maxBytes / options_.admitDivisor ||
+        bytes > shardBudget_) {
+        obs::counter("artifact_store.admission_rejects").add();
+        return false;
+    }
+    Shard &shard = shardFor(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    admitLocked(shard, key, std::move(payload), bytes);
+    return true;
+}
+
+ArtifactStore::Payload
+ArtifactStore::getOrBuild(const std::string &key, const Builder &build)
+{
+    Shard &shard = shardFor(key);
+    std::shared_ptr<Flight> flight;
+    {
+        std::unique_lock<std::mutex> lock(shard.mutex);
+        const auto it = shard.index.find(key);
+        if (it != shard.index.end()) {
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            obs::counter("artifact_store.hits").add();
+            return it->second->payload;
+        }
+        obs::counter("artifact_store.misses").add();
+        const auto inflight = shard.flights.find(key);
+        if (inflight != shard.flights.end()) {
+            // Another thread is already building this key: wait for
+            // its flight instead of queueing on the cross-process
+            // flock (cv.wait releases the shard lock while parked).
+            obs::counter("artifact_store.coalesced_waits").add();
+            const std::shared_ptr<Flight> theirs = inflight->second;
+            shard.cv.wait(lock, [&] { return theirs->done; });
+            if (theirs->error)
+                std::rethrow_exception(theirs->error);
+            return theirs->result;
+        }
+        flight = std::make_shared<Flight>();
+        shard.flights[key] = flight;
+    }
+
+    Payload payload;
+    std::exception_ptr error;
+    try {
+        // Cross-process single-flight: the per-key flock serializes
+        // sibling daemons, and the disk read-through after acquiring
+        // it turns the losers' builds into loads.
+        const CacheKeyLock disk_lock(key);
+        if (auto cached = tryLoadIndexVector(key)) {
+            obs::counter("artifact_store.disk_hits").add();
+            payload = std::make_shared<const std::vector<Index>>(
+                *std::move(cached));
+        } else {
+            obs::counter("artifact_store.builds").add();
+            payload =
+                std::make_shared<const std::vector<Index>>(build());
+            if (options_.diskWriteThrough)
+                storeIndexVector(key, *payload);
+        }
+    } catch (...) {
+        error = std::current_exception();
+    }
+
+    {
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        flight->done = true;
+        flight->result = payload;
+        flight->error = error;
+        shard.flights.erase(key);
+        if (!error) {
+            const std::size_t bytes = payloadBytes(*payload);
+            if (bytes <= options_.maxBytes / options_.admitDivisor &&
+                bytes <= shardBudget_) {
+                admitLocked(shard, key, payload, bytes);
+            } else {
+                obs::counter("artifact_store.admission_rejects").add();
+            }
+        }
+    }
+    shard.cv.notify_all();
+    if (error)
+        std::rethrow_exception(error);
+    return payload;
+}
+
+void
+ArtifactStore::clear()
+{
+    for (auto &shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->lru.clear();
+        shard->index.clear();
+        shard->bytes = 0;
+    }
+}
+
+std::size_t
+ArtifactStore::entryCount() const
+{
+    std::size_t n = 0;
+    for (const auto &shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        n += shard->index.size();
+    }
+    return n;
+}
+
+std::size_t
+ArtifactStore::byteCount() const
+{
+    std::size_t n = 0;
+    for (const auto &shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        n += shard->bytes;
+    }
+    return n;
+}
+
+obs::Json
+ArtifactStore::statsJson() const
+{
+    obs::Json doc = obs::Json::object();
+    doc["entries"] = entryCount();
+    doc["bytes"] = byteCount();
+    doc["max_bytes"] = options_.maxBytes;
+    doc["shards"] = options_.shards;
+    for (const char *name :
+         {"hits", "misses", "disk_hits", "builds", "evictions",
+          "admission_rejects", "coalesced_waits"}) {
+        doc[name] = obs::counter(std::string("artifact_store.") + name)
+                        .value();
+    }
+    return doc;
+}
+
+} // namespace slo::core

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * In-memory artifact store: sharded, size-bounded, LRU-evicting.
+ *
+ * The on-disk artifact cache (artifact_cache.hpp) makes repeat *runs*
+ * cheap; a long-lived server additionally needs repeat *requests* to be
+ * cheap without a filesystem round trip, and needs its memory use
+ * bounded under arbitrary traffic. `ArtifactStore` is that promotion:
+ * payloads (permutation index vectors) are held in N independently
+ * locked shards, each shard keeps an LRU list and evicts from the cold
+ * end whenever its byte budget is exceeded, and an admission filter
+ * rejects payloads so large that caching them would evict a whole
+ * shard's working set.
+ *
+ * `getOrBuild` is single-flight at two levels, reusing the existing
+ * per-key machinery:
+ *
+ *   - in-process: a per-key build registration + condition variable, so
+ *     concurrent threads asking for one missing key run the builder
+ *     exactly once (the rest wait for the result, they never spin on
+ *     the disk cache);
+ *   - cross-process: the builder runs under `CacheKeyLock` (flock) with
+ *     read-through/write-through to the on-disk cache, so concurrent
+ *     *daemons* sharing SLO_CACHE_DIR also build exactly once.
+ *
+ * Payloads are returned as shared_ptr-to-const: eviction never
+ * invalidates a result a caller is still holding.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "matrix/csr.hpp"
+#include "obs/json.hpp"
+
+namespace slo::core
+{
+
+class ArtifactStore
+{
+  public:
+    using Payload = std::shared_ptr<const std::vector<Index>>;
+    using Builder = std::function<std::vector<Index>()>;
+
+    struct Options
+    {
+        /** Total byte budget across all shards. */
+        std::size_t maxBytes = 64ull << 20;
+        /** Shard count (clamped to >= 1); keys hash to shards. */
+        int shards = 8;
+        /**
+         * Admission control: a payload larger than maxBytes /
+         * admitDivisor is served but never cached (caching it would
+         * evict a whole shard's worth of hot entries).
+         */
+        std::size_t admitDivisor = 8;
+        /** Mirror builds into the on-disk artifact cache. */
+        bool diskWriteThrough = true;
+    };
+
+    ArtifactStore(); ///< default Options
+    explicit ArtifactStore(Options options);
+    ~ArtifactStore(); ///< out-of-line: Shard is incomplete here
+
+    ArtifactStore(const ArtifactStore &) = delete;
+    ArtifactStore &operator=(const ArtifactStore &) = delete;
+
+    /**
+     * Look up @p key; on a miss run @p build exactly once per key
+     * across this process's threads (and, via CacheKeyLock + the disk
+     * cache, across processes) and admit the result. A builder
+     * exception propagates to every waiter of that flight.
+     */
+    Payload getOrBuild(const std::string &key, const Builder &build);
+
+    /** Memory-only lookup (touches LRU); nullptr on miss. */
+    Payload get(const std::string &key);
+
+    /**
+     * Admission-controlled insert (takes LRU headroom by evicting).
+     * @return false when the payload failed admission.
+     */
+    bool put(const std::string &key, Payload payload);
+
+    /** Drop every cached entry (keeps counters). */
+    void clear();
+
+    std::size_t entryCount() const;
+    std::size_t byteCount() const;
+    const Options &options() const { return options_; }
+
+    /**
+     * {"entries","bytes","max_bytes","shards","hits","misses",
+     *  "disk_hits","builds","evictions","admission_rejects",
+     *  "coalesced_waits"} — lifetime totals (also exported as
+     *  `artifact_store.*` obs counters).
+     */
+    obs::Json statsJson() const;
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        Payload payload;
+        std::size_t bytes = 0;
+    };
+
+    /** One in-process build flight; waiters block on the shard cv. */
+    struct Flight;
+
+    struct Shard;
+
+    Shard &shardFor(const std::string &key);
+
+    /** Insert under the shard lock; evicts from the LRU cold end. */
+    void admitLocked(Shard &shard, const std::string &key,
+                     Payload payload, std::size_t bytes);
+
+    static std::size_t payloadBytes(const std::vector<Index> &vec);
+
+    Options options_;
+    std::size_t shardBudget_ = 0; ///< maxBytes / shard count
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace slo::core

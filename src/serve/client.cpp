@@ -1,0 +1,204 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "obs/trace.hpp"
+
+namespace slo::serve
+{
+
+bool
+Client::connect(const std::string &socket_path)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return false;
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+    return true;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::sendFrame(const std::string &payload)
+{
+    return fd_ >= 0 && writeFrame(fd_, payload);
+}
+
+std::optional<std::string>
+Client::recvFrame()
+{
+    if (fd_ < 0)
+        return std::nullopt;
+    return readFrame(fd_);
+}
+
+std::optional<Response>
+Client::call(const Request &request)
+{
+    Request sent = request;
+    if (sent.id == 0)
+        sent.id = nextId_++;
+    if (!sendFrame(sent.toJson().dump()))
+        return std::nullopt;
+    const std::optional<std::string> frame = recvFrame();
+    if (!frame)
+        return std::nullopt;
+    return Response::parse(*frame, nullptr);
+}
+
+std::optional<obs::Json>
+Client::stats()
+{
+    Request request;
+    request.id = nextId_++;
+    request.op = "stats";
+    if (!sendFrame(request.toJson().dump()))
+        return std::nullopt;
+    const std::optional<std::string> frame = recvFrame();
+    if (!frame)
+        return std::nullopt;
+    return obs::Json::parse(*frame, nullptr);
+}
+
+std::string
+resolveDaemonBinary()
+{
+    if (const char *env = std::getenv("SLO_SERVE_BIN");
+        env != nullptr && *env != '\0')
+        return env;
+    char exe[4096] = {0};
+    const ssize_t len =
+        ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    if (len <= 0)
+        return "";
+    const std::filesystem::path self_dir =
+        std::filesystem::path(exe).parent_path();
+    for (const std::filesystem::path &candidate :
+         {self_dir / "slo_served",
+          self_dir / ".." / "src" / "serve" / "slo_served"}) {
+        std::error_code ec;
+        if (std::filesystem::exists(candidate, ec))
+            return candidate.lexically_normal().string();
+    }
+    return "";
+}
+
+bool
+waitForServer(const std::string &socket_path, int timeout_ms)
+{
+    const std::uint64_t deadline =
+        obs::monotonicNanos() +
+        static_cast<std::uint64_t>(timeout_ms) * 1000ull * 1000ull;
+    while (true) {
+        {
+            Client client;
+            if (client.connect(socket_path)) {
+                Request ping;
+                ping.id = 1;
+                ping.op = "ping";
+                const std::optional<Response> response =
+                    client.call(ping);
+                if (response && response->status == "ok")
+                    return true;
+            }
+        }
+        if (obs::monotonicNanos() >= deadline)
+            return false;
+        ::usleep(10 * 1000);
+    }
+}
+
+DaemonProcess
+spawnDaemon(const std::string &binary,
+            const std::string &socket_path,
+            const std::vector<std::string> &extra_env)
+{
+    DaemonProcess daemon;
+    daemon.socketPath = socket_path;
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        return daemon;
+    if (pid == 0) {
+        ::setenv("SLO_SERVE_SOCKET", socket_path.c_str(), 1);
+        for (const std::string &pair : extra_env) {
+            const std::size_t eq = pair.find('=');
+            if (eq == std::string::npos)
+                continue;
+            ::setenv(pair.substr(0, eq).c_str(),
+                     pair.substr(eq + 1).c_str(), 1);
+        }
+        ::execl(binary.c_str(), binary.c_str(), nullptr);
+        _exit(127); // exec failed
+    }
+    daemon.pid = pid;
+    return daemon;
+}
+
+int
+stopDaemon(DaemonProcess &daemon, int timeout_ms)
+{
+    if (!daemon.running())
+        return -1;
+    {
+        Client client;
+        if (client.connect(daemon.socketPath)) {
+            Request request;
+            request.id = 1;
+            request.op = "shutdown";
+            client.call(request);
+        }
+    }
+    const std::uint64_t deadline =
+        obs::monotonicNanos() +
+        static_cast<std::uint64_t>(timeout_ms) * 1000ull * 1000ull;
+    int status = 0;
+    while (true) {
+        const pid_t got = ::waitpid(daemon.pid, &status, WNOHANG);
+        if (got == daemon.pid) {
+            daemon.pid = -1;
+            return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+        }
+        if (got < 0) {
+            daemon.pid = -1;
+            return -1;
+        }
+        if (obs::monotonicNanos() >= deadline) {
+            ::kill(daemon.pid, SIGKILL);
+            ::waitpid(daemon.pid, &status, 0);
+            daemon.pid = -1;
+            return -1;
+        }
+        ::usleep(5 * 1000);
+    }
+}
+
+} // namespace slo::serve

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Blocking client + daemon process management for the reordering
+ * service. Used by the load bench, the serve tests, and anything else
+ * that wants to talk to (or spawn) `slo_served`.
+ *
+ * `Client` is a plain blocking unix-socket connection: `call` does one
+ * synchronous request/response round trip; `sendFrame`/`recvFrame`
+ * expose the raw framing for pipelined traffic (the saturation and
+ * coalescing bench legs keep many requests in flight on one
+ * connection and rely on the server's in-order delivery).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "serve/protocol.hpp"
+
+namespace slo::serve
+{
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client() { close(); }
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Blocking connect to @p socket_path. @return false on failure. */
+    bool connect(const std::string &socket_path);
+
+    void close();
+    bool connected() const { return fd_ >= 0; }
+
+    /** The raw socket fd (for poll()-based multi-connection reads). */
+    int rawFd() const { return fd_; }
+
+    /** One request/response round trip (blocking). */
+    std::optional<Response> call(const Request &request);
+
+    /** Raw frame send (pipelining). @return false on EOF/error. */
+    bool sendFrame(const std::string &payload);
+
+    /** Raw frame receive; nullopt on clean EOF. */
+    std::optional<std::string> recvFrame();
+
+    /** `stats` round trip returning the slo.serve-stats/1 document. */
+    std::optional<obs::Json> stats();
+
+  private:
+    int fd_ = -1;
+    std::uint64_t nextId_ = 1;
+};
+
+/**
+ * The daemon binary: $SLO_SERVE_BIN if set, else `slo_served` next to
+ * /proc/self/exe, else `../src/serve/slo_served` relative to it.
+ * Empty string when none of those exists.
+ */
+std::string resolveDaemonBinary();
+
+/**
+ * Poll-connect-ping until the daemon at @p socket_path answers.
+ * @return false when @p timeout_ms elapses first.
+ */
+bool waitForServer(const std::string &socket_path, int timeout_ms);
+
+/** A spawned `slo_served` child (fork/exec). */
+struct DaemonProcess
+{
+    int pid = -1;
+    std::string socketPath;
+
+    bool running() const { return pid > 0; }
+};
+
+/**
+ * Fork/exec @p binary serving @p socket_path, with each "NAME=VALUE"
+ * of @p extra_env exported into the child. Does NOT wait for
+ * readiness — pair with waitForServer. @return pid -1 on failure.
+ */
+DaemonProcess spawnDaemon(const std::string &binary,
+                          const std::string &socket_path,
+                          const std::vector<std::string> &extra_env);
+
+/**
+ * Graceful stop: `shutdown` op, then waitpid with a deadline, then
+ * SIGKILL as a last resort. @return the child's exit status, or -1.
+ */
+int stopDaemon(DaemonProcess &daemon, int timeout_ms);
+
+} // namespace slo::serve

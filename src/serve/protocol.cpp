@@ -1,0 +1,286 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <unistd.h>
+
+namespace slo::serve
+{
+
+namespace
+{
+
+/** Retrying full write on a blocking fd. */
+bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    std::size_t done = 0;
+    while (done < size) {
+        const ssize_t wrote = ::write(fd, data + done, size - done);
+        if (wrote <= 0) {
+            if (wrote < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(wrote);
+    }
+    return true;
+}
+
+/** Retrying full read on a blocking fd. @return bytes read (< size on EOF). */
+std::size_t
+readAll(int fd, char *data, std::size_t size)
+{
+    std::size_t done = 0;
+    while (done < size) {
+        const ssize_t got = ::read(fd, data + done, size - done);
+        if (got < 0 && errno == EINTR)
+            continue;
+        if (got <= 0)
+            break;
+        done += static_cast<std::size_t>(got);
+    }
+    return done;
+}
+
+std::string
+hexOf(std::uint64_t value)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+        value >>= 4;
+    }
+    return out;
+}
+
+/** Read a required uint field; @return false (filling @p error) if bad. */
+bool
+takeUint(const obs::Json &doc, const std::string &field,
+         std::uint64_t *out, std::string *error, bool required)
+{
+    if (!doc.contains(field)) {
+        if (required && error)
+            *error = "missing field: " + field;
+        return !required;
+    }
+    const obs::Json &value = doc.at(field);
+    if (!value.isNumber()) {
+        if (error)
+            *error = "field is not a number: " + field;
+        return false;
+    }
+    *out = value.asUint();
+    return true;
+}
+
+bool
+takeString(const obs::Json &doc, const std::string &field,
+           std::string *out, std::string *error, bool required)
+{
+    if (!doc.contains(field)) {
+        if (required && error)
+            *error = "missing field: " + field;
+        return !required;
+    }
+    const obs::Json &value = doc.at(field);
+    if (!value.isString()) {
+        if (error)
+            *error = "field is not a string: " + field;
+        return false;
+    }
+    *out = value.asString();
+    return true;
+}
+
+} // namespace
+
+std::string
+encodeFrame(const std::string &payload)
+{
+    const auto size = static_cast<std::uint32_t>(payload.size());
+    std::string frame(4, '\0');
+    frame[0] = static_cast<char>(size & 0xff);
+    frame[1] = static_cast<char>((size >> 8) & 0xff);
+    frame[2] = static_cast<char>((size >> 16) & 0xff);
+    frame[3] = static_cast<char>((size >> 24) & 0xff);
+    frame += payload;
+    return frame;
+}
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    const std::string frame = encodeFrame(payload);
+    return writeAll(fd, frame.data(), frame.size());
+}
+
+std::optional<std::string>
+readFrame(int fd)
+{
+    unsigned char prefix[4];
+    const std::size_t got =
+        readAll(fd, reinterpret_cast<char *>(prefix), sizeof(prefix));
+    if (got == 0)
+        return std::nullopt; // clean EOF between frames
+    if (got < sizeof(prefix))
+        throw std::runtime_error("serve: truncated frame prefix");
+    const std::uint32_t size =
+        static_cast<std::uint32_t>(prefix[0]) |
+        static_cast<std::uint32_t>(prefix[1]) << 8 |
+        static_cast<std::uint32_t>(prefix[2]) << 16 |
+        static_cast<std::uint32_t>(prefix[3]) << 24;
+    if (size > kMaxFrameBytes)
+        throw std::runtime_error("serve: oversized frame");
+    std::string payload(size, '\0');
+    if (readAll(fd, payload.data(), size) != size)
+        throw std::runtime_error("serve: truncated frame payload");
+    return payload;
+}
+
+void
+FrameSplitter::feed(const char *data, std::size_t size)
+{
+    buffer_.append(data, size);
+}
+
+std::optional<std::string>
+FrameSplitter::next()
+{
+    if (buffer_.size() < 4)
+        return std::nullopt;
+    const auto *prefix =
+        reinterpret_cast<const unsigned char *>(buffer_.data());
+    const std::uint32_t size =
+        static_cast<std::uint32_t>(prefix[0]) |
+        static_cast<std::uint32_t>(prefix[1]) << 8 |
+        static_cast<std::uint32_t>(prefix[2]) << 16 |
+        static_cast<std::uint32_t>(prefix[3]) << 24;
+    if (size > kMaxFrameBytes)
+        throw std::runtime_error("serve: oversized frame");
+    if (buffer_.size() < 4u + size)
+        return std::nullopt;
+    std::string payload = buffer_.substr(4, size);
+    buffer_.erase(0, 4u + size);
+    return payload;
+}
+
+obs::Json
+Request::toJson() const
+{
+    obs::Json doc = obs::Json::object();
+    doc["schema"] = kRequestSchema;
+    doc["id"] = id;
+    doc["op"] = op;
+    if (op == "reorder") {
+        doc["matrix"] = matrix;
+        doc["technique"] = technique;
+        doc["seed"] = seed;
+    }
+    if (deadlineMs != 0)
+        doc["deadline_ms"] = deadlineMs;
+    return doc;
+}
+
+std::optional<Request>
+Request::parse(const std::string &text, std::string *error)
+{
+    const std::optional<obs::Json> doc = obs::Json::parse(text, error);
+    if (!doc)
+        return std::nullopt;
+    if (!doc->isObject() || !doc->contains("schema") ||
+        !doc->at("schema").isString() ||
+        doc->at("schema").asString() != kRequestSchema) {
+        if (error)
+            *error = std::string("not a ") + kRequestSchema +
+                     " document";
+        return std::nullopt;
+    }
+    Request request;
+    if (!takeUint(*doc, "id", &request.id, error, true) ||
+        !takeString(*doc, "op", &request.op, error, true) ||
+        !takeUint(*doc, "seed", &request.seed, error, false) ||
+        !takeUint(*doc, "deadline_ms", &request.deadlineMs, error,
+                  false))
+        return std::nullopt;
+    if (request.op == "reorder") {
+        if (!takeString(*doc, "matrix", &request.matrix, error, true) ||
+            !takeString(*doc, "technique", &request.technique, error,
+                        true))
+            return std::nullopt;
+    } else if (request.op != "ping" && request.op != "stats" &&
+               request.op != "shutdown") {
+        if (error)
+            *error = "unknown op: " + request.op;
+        return std::nullopt;
+    }
+    return request;
+}
+
+obs::Json
+Response::toJson() const
+{
+    obs::Json doc = obs::Json::object();
+    doc["schema"] = kResponseSchema;
+    doc["id"] = id;
+    doc["status"] = status;
+    if (!key.empty())
+        doc["key"] = key;
+    if (status == "ok" && !digest.empty()) {
+        doc["rows"] = rows;
+        doc["digest"] = digest;
+    }
+    if (!error.empty())
+        doc["error"] = error;
+    return doc;
+}
+
+std::string
+Response::serialize() const
+{
+    return toJson().dump();
+}
+
+std::optional<Response>
+Response::parse(const std::string &text, std::string *error)
+{
+    const std::optional<obs::Json> doc = obs::Json::parse(text, error);
+    if (!doc)
+        return std::nullopt;
+    if (!doc->isObject() || !doc->contains("schema") ||
+        !doc->at("schema").isString() ||
+        doc->at("schema").asString() != kResponseSchema) {
+        if (error)
+            *error = std::string("not a ") + kResponseSchema +
+                     " document";
+        return std::nullopt;
+    }
+    Response response;
+    if (!takeUint(*doc, "id", &response.id, error, true) ||
+        !takeString(*doc, "status", &response.status, error, true) ||
+        !takeString(*doc, "key", &response.key, error, false) ||
+        !takeUint(*doc, "rows", &response.rows, error, false) ||
+        !takeString(*doc, "digest", &response.digest, error, false) ||
+        !takeString(*doc, "error", &response.error, error, false))
+        return std::nullopt;
+    return response;
+}
+
+std::string
+payloadDigest(const std::vector<Index> &vec)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    const auto *bytes =
+        reinterpret_cast<const unsigned char *>(vec.data());
+    const std::size_t size = vec.size() * sizeof(Index);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hexOf(hash);
+}
+
+} // namespace slo::serve

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Wire protocol of the reordering service.
+ *
+ * Framing: every message is a 4-byte little-endian payload length
+ * followed by that many bytes of UTF-8 JSON. Requests follow the
+ * versioned `slo.serve-request/1` schema, responses
+ * `slo.serve-response/1`, and the daemon's counter/latency report
+ * `slo.serve-stats/1`:
+ *
+ *   request:  {"schema":"slo.serve-request/1","id":7,"op":"reorder",
+ *              "matrix":"wdc-host","technique":"RABBIT",
+ *              "seed":1,"deadline_ms":2000}
+ *   response: {"schema":"slo.serve-response/1","id":7,"status":"ok",
+ *              "key":"serve/small/wdc-host/...","rows":4096,
+ *              "digest":"0f3a..."}
+ *
+ * `op` is one of `ping`, `reorder`, `stats`, `shutdown`. `status` is
+ * `ok`, `rejected` (queue backpressure, the 429 of this protocol),
+ * `deadline_exceeded`, or `error` (with an `error` message). Response
+ * fields are deterministic functions of the request and the corpus —
+ * never of timing — so a serial replay of a fixed request trace is
+ * byte-identical at any SLO_THREADS.
+ *
+ * The frame helpers below work on blocking file descriptors (client,
+ * tests); the server assembles frames incrementally from its
+ * non-blocking poll loop using `FrameSplitter`.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "matrix/csr.hpp"
+#include "obs/json.hpp"
+
+namespace slo::serve
+{
+
+inline constexpr const char *kRequestSchema = "slo.serve-request/1";
+inline constexpr const char *kResponseSchema = "slo.serve-response/1";
+inline constexpr const char *kStatsSchema = "slo.serve-stats/1";
+
+/** Frames above this payload size are a protocol error (16 MiB). */
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/** 4-byte little-endian length prefix + payload. */
+std::string encodeFrame(const std::string &payload);
+
+/** Blocking full-frame write. @return false on EOF/error. */
+bool writeFrame(int fd, const std::string &payload);
+
+/**
+ * Blocking full-frame read. nullopt on clean EOF before a frame;
+ * @throws std::runtime_error on a truncated or oversized frame.
+ */
+std::optional<std::string> readFrame(int fd);
+
+/**
+ * Incremental frame assembly for non-blocking reads: feed bytes in,
+ * pop complete payloads out.
+ */
+class FrameSplitter
+{
+  public:
+    void feed(const char *data, std::size_t size);
+
+    /**
+     * Extract the next complete payload, if any.
+     * @throws std::runtime_error when the pending length prefix
+     *         exceeds kMaxFrameBytes (the connection is poisoned).
+     */
+    std::optional<std::string> next();
+
+    std::size_t bufferedBytes() const { return buffer_.size(); }
+
+  private:
+    std::string buffer_;
+};
+
+/** A parsed `slo.serve-request/1`. */
+struct Request
+{
+    std::uint64_t id = 0;
+    std::string op;        ///< ping | reorder | stats | shutdown
+    std::string matrix;    ///< corpus matrix name (reorder)
+    std::string technique; ///< canonical technique name (reorder)
+    std::uint64_t seed = 1;
+    /** 0 = server default; the deadline clock starts at arrival. */
+    std::uint64_t deadlineMs = 0;
+
+    obs::Json toJson() const;
+
+    /**
+     * Parse and validate. @return nullopt (with @p error filled) on
+     * malformed JSON, wrong schema, or a missing/mistyped field.
+     */
+    static std::optional<Request> parse(const std::string &text,
+                                        std::string *error);
+};
+
+/** Deterministic response payload (see file comment). */
+struct Response
+{
+    std::uint64_t id = 0;
+    std::string status; ///< ok | rejected | deadline_exceeded | error
+    std::string key;
+    std::uint64_t rows = 0;
+    std::string digest; ///< 16-hex FNV-1a of the permutation bytes
+    std::string error;
+
+    obs::Json toJson() const;
+    std::string serialize() const; ///< compact JSON (frame payload)
+
+    static std::optional<Response> parse(const std::string &text,
+                                         std::string *error);
+};
+
+/** 16-hex FNV-1a digest of @p vec's bytes (response `digest`). */
+std::string payloadDigest(const std::vector<Index> &vec);
+
+} // namespace slo::serve

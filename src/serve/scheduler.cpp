@@ -1,0 +1,164 @@
+#include "serve/scheduler.hpp"
+
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
+namespace slo::serve
+{
+
+BatchScheduler::BatchScheduler(Options options,
+                               core::ArtifactStore &store,
+                               par::ThreadPool &pool)
+    : options_(options), store_(store), pool_(pool)
+{
+    if (options_.queueLimit < 1)
+        options_.queueLimit = 1;
+}
+
+BatchScheduler::~BatchScheduler() { drain(); }
+
+bool
+BatchScheduler::submit(const std::string &key,
+                       std::uint64_t deadlineNanos, Builder builder,
+                       Completion completion)
+{
+    if (deadlineNanos == 0)
+        deadlineNanos =
+            obs::monotonicNanos() + options_.defaultDeadlineNanos;
+    Waiter waiter{deadlineNanos, std::move(completion)};
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = jobs_.find(key);
+        if (it != jobs_.end()) {
+            it->second->waiters.push_back(std::move(waiter));
+            obs::counter("serve.scheduler.coalesced").add();
+            obs::counter("serve.scheduler.submitted").add();
+            return true;
+        }
+        if (jobs_.size() >= options_.queueLimit) {
+            obs::counter("serve.scheduler.rejected").add();
+            return false;
+        }
+        auto job = std::make_shared<Job>();
+        job->builder = std::move(builder);
+        job->waiters.push_back(std::move(waiter));
+        jobs_[key] = std::move(job);
+        obs::counter("serve.scheduler.submitted").add();
+    }
+    // Outside the lock: on a serial pool submit runs the job (and its
+    // completions) inline before returning.
+    pool_.submit([this, key] { runJob(key); });
+    return true;
+}
+
+void
+BatchScheduler::runJob(const std::string &key)
+{
+    std::shared_ptr<Job> job;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = jobs_.find(key);
+        if (it == jobs_.end())
+            return;
+        job = it->second;
+    }
+
+    // Graceful cancellation: if every waiter expired while the job sat
+    // in the queue, skip the build entirely. Once a build starts it is
+    // never interrupted — the result is cached work.
+    bool anyAlive = false;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const std::uint64_t now = obs::monotonicNanos();
+        for (const Waiter &waiter : job->waiters) {
+            if (waiter.deadlineNanos > now) {
+                anyAlive = true;
+                break;
+            }
+        }
+    }
+
+    Result result;
+    if (!anyAlive) {
+        result.outcome = Outcome::DeadlineExceeded;
+        obs::counter("serve.scheduler.cancelled").add();
+    } else {
+        try {
+            result.payload = store_.getOrBuild(key, job->builder);
+            result.outcome = Outcome::Ok;
+        } catch (const std::exception &e) {
+            result.outcome = Outcome::Error;
+            result.error = e.what();
+            obs::counter("serve.scheduler.errors").add();
+        } catch (...) {
+            result.outcome = Outcome::Error;
+            result.error = "unknown build error";
+            obs::counter("serve.scheduler.errors").add();
+        }
+    }
+
+    std::vector<Waiter> waiters;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        waiters = std::move(job->waiters);
+        jobs_.erase(key);
+        ++delivering_;
+    }
+
+    const std::uint64_t doneAt = obs::monotonicNanos();
+    for (Waiter &waiter : waiters) {
+        Result each = result;
+        if (each.outcome == Outcome::Ok &&
+            waiter.deadlineNanos <= doneAt) {
+            each.outcome = Outcome::DeadlineExceeded;
+            each.payload = nullptr;
+        }
+        if (each.outcome == Outcome::DeadlineExceeded)
+            obs::counter("serve.scheduler.deadline_exceeded").add();
+        else if (each.outcome == Outcome::Ok)
+            obs::counter("serve.scheduler.completed").add();
+        waiter.completion(each);
+    }
+
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        --delivering_;
+        if (jobs_.empty() && delivering_ == 0)
+            drained_.notify_all();
+    }
+}
+
+void
+BatchScheduler::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_.wait(lock,
+                  [&] { return jobs_.empty() && delivering_ == 0; });
+}
+
+std::size_t
+BatchScheduler::inflight() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return jobs_.size();
+}
+
+obs::Json
+BatchScheduler::statsJson() const
+{
+    obs::Json doc = obs::Json::object();
+    doc["queue_limit"] = options_.queueLimit;
+    doc["inflight"] = inflight();
+    for (const char *name :
+         {"submitted", "coalesced", "rejected", "cancelled",
+          "deadline_exceeded", "errors", "completed"}) {
+        doc[name] =
+            obs::counter(std::string("serve.scheduler.") + name)
+                .value();
+    }
+    return doc;
+}
+
+} // namespace slo::serve

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Async batch scheduler: the daemon's admission + execution pipeline.
+ *
+ * Cold requests become *jobs* keyed by artifact key and run on the
+ * `slo::par` work-stealing pool. The scheduler provides the three
+ * serving behaviours the IO loop itself must never block on:
+ *
+ *   - **Coalescing**: a submit for a key that already has a job in
+ *     flight joins that job's waiter list instead of spawning a second
+ *     build — duplicate concurrent cold requests trigger exactly one
+ *     build (the store underneath adds the cross-process guarantee).
+ *   - **Backpressure**: at most `queueLimit` distinct keys may be in
+ *     flight; a submit beyond that returns false immediately and the
+ *     caller answers with an explicit 429-style `rejected` response in
+ *     bounded time, instead of letting queue delay grow p99 without
+ *     bound.
+ *   - **Deadlines**: every waiter carries an absolute deadline
+ *     (obs::monotonicNanos). A job whose waiters have *all* expired by
+ *     the time a worker picks it up is cancelled without building;
+ *     otherwise the build runs and each waiter is completed with `Ok`
+ *     or `DeadlineExceeded` according to its own clock. Cancellation
+ *     is graceful by design: a build in progress is never interrupted
+ *     (it is cached work every future request benefits from).
+ *
+ * Completions run on the worker thread that finished the job (inline
+ * on the submitter for a serial pool); they must be quick and
+ * non-blocking — the server's completion just enqueues a response
+ * frame and wakes the poll loop.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/artifact_store.hpp"
+#include "matrix/csr.hpp"
+#include "obs/json.hpp"
+#include "par/par.hpp"
+
+namespace slo::serve
+{
+
+class BatchScheduler
+{
+  public:
+    struct Options
+    {
+        /** Max distinct keys in flight before submits are rejected. */
+        std::size_t queueLimit = 256;
+        /** Deadline applied when a submit passes deadlineNanos = 0. */
+        std::uint64_t defaultDeadlineNanos = 30ull * 1000 * 1000 * 1000;
+    };
+
+    enum class Outcome
+    {
+        Ok,
+        DeadlineExceeded,
+        Error,
+    };
+
+    struct Result
+    {
+        Outcome outcome = Outcome::Error;
+        core::ArtifactStore::Payload payload; ///< set when Ok
+        std::string error;                    ///< set when Error
+    };
+
+    using Builder = std::function<std::vector<Index>()>;
+    using Completion = std::function<void(const Result &)>;
+
+    BatchScheduler(Options options, core::ArtifactStore &store,
+                   par::ThreadPool &pool = par::ThreadPool::global());
+
+    /** Blocks until every in-flight job has delivered. */
+    ~BatchScheduler();
+
+    BatchScheduler(const BatchScheduler &) = delete;
+    BatchScheduler &operator=(const BatchScheduler &) = delete;
+
+    /**
+     * Enqueue a build for @p key (or join the in-flight one).
+     * @p deadlineNanos is absolute on the obs::monotonicNanos clock
+     * (0 = now + default deadline). @p completion fires exactly once
+     * from a pool thread — unless the submit is rejected, in which
+     * case the scheduler takes nothing and returns false.
+     */
+    bool submit(const std::string &key, std::uint64_t deadlineNanos,
+                Builder builder, Completion completion);
+
+    /** Block until no job is in flight (drained queue). */
+    void drain();
+
+    std::size_t inflight() const;
+
+    /** {"queue_limit","inflight","submitted","coalesced","rejected",
+     *  "cancelled","deadline_exceeded","errors","completed"}. */
+    obs::Json statsJson() const;
+
+  private:
+    struct Waiter
+    {
+        std::uint64_t deadlineNanos = 0;
+        Completion completion;
+    };
+
+    struct Job
+    {
+        Builder builder;
+        std::vector<Waiter> waiters;
+    };
+
+    void runJob(const std::string &key);
+
+    Options options_;
+    core::ArtifactStore &store_;
+    par::ThreadPool &pool_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable drained_;
+    std::map<std::string, std::shared_ptr<Job>> jobs_;
+    /** Jobs erased from jobs_ whose completions are still running. */
+    std::size_t delivering_ = 0;
+};
+
+} // namespace slo::serve

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * `slo_served` entry point: serve reorder requests on a unix socket
+ * until a `shutdown` op or SIGINT/SIGTERM.
+ *
+ * Environment knobs (see docs/env_registry.md):
+ *
+ *   SLO_SERVE_SOCKET       socket path (default slo_serve.sock)
+ *   SLO_SERVE_QUEUE        max distinct in-flight keys (default 64)
+ *   SLO_SERVE_DEADLINE_MS  default request deadline (default 30000)
+ *   SLO_SERVE_CACHE_BYTES  in-memory store budget (default 64 MiB)
+ *   REPRO_SCALE            corpus scale (small|medium|large)
+ *   SLO_THREADS            build parallelism (1 = serial baseline)
+ */
+
+#include <cstdio>
+#include <exception>
+
+#include <signal.h>
+
+#include "core/dataset.hpp"
+#include "obs/manifest.hpp"
+#include "prof/counters.hpp"
+#include "serve/server.hpp"
+
+namespace
+{
+
+slo::serve::Server *g_server = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_server != nullptr)
+        g_server->requestStop();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace slo;
+
+    obs::RunManifest::instance().begin("slo_served");
+    obs::installExitEmission();
+    prof::initProcess();
+
+    try {
+        const core::Scale scale = core::scaleFromEnv();
+        serve::Server server(serve::Server::optionsFromEnv(), scale);
+        g_server = &server;
+
+        struct sigaction action = {};
+        action.sa_handler = onSignal;
+        ::sigaction(SIGINT, &action, nullptr);
+        ::sigaction(SIGTERM, &action, nullptr);
+
+        std::fprintf(stderr, "slo_served: listening on %s\n",
+                     server.socketPath().c_str());
+        const int rc = server.run();
+        g_server = nullptr;
+        return rc;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "slo_served: fatal: %s\n", e.what());
+        return 1;
+    }
+}

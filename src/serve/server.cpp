@@ -1,0 +1,558 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/manifest.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "prof/histogram.hpp"
+#include "reorder/reorder.hpp"
+
+namespace slo::serve
+{
+
+namespace
+{
+
+std::size_t
+parseSize(const char *text, std::size_t fallback)
+{
+    if (text == nullptr || *text == '\0')
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text)
+        return fallback;
+    std::size_t scale = 1;
+    if (*end == 'K' || *end == 'k')
+        scale = std::size_t{1} << 10;
+    else if (*end == 'M' || *end == 'm')
+        scale = std::size_t{1} << 20;
+    else if (*end == 'G' || *end == 'g')
+        scale = std::size_t{1} << 30;
+    return static_cast<std::size_t>(value) * scale;
+}
+
+void
+setNonBlocking(int fd, bool non_blocking)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return;
+    const int wanted =
+        non_blocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    if (wanted != flags)
+        ::fcntl(fd, F_SETFL, wanted);
+}
+
+} // namespace
+
+Server::Options
+Server::optionsFromEnv()
+{
+    Options options;
+    if (const char *path = std::getenv("SLO_SERVE_SOCKET");
+        path != nullptr && *path != '\0')
+        options.socketPath = path;
+    options.queueLimit = parseSize(std::getenv("SLO_SERVE_QUEUE"),
+                                   options.queueLimit);
+    options.defaultDeadlineMs = parseSize(
+        std::getenv("SLO_SERVE_DEADLINE_MS"), options.defaultDeadlineMs);
+    options.cacheBytes = parseSize(
+        std::getenv("SLO_SERVE_CACHE_BYTES"), options.cacheBytes);
+    return options;
+}
+
+Server::Server(Options options, core::Scale scale)
+    : options_(std::move(options)), scale_(scale),
+      store_(core::ArtifactStore::Options{options_.cacheBytes, 8, 8,
+                                          true})
+{
+    for (const core::DatasetEntry &entry : core::paperCorpus(scale_))
+        corpus_[entry.name] = entry;
+
+    BatchScheduler::Options sched;
+    sched.queueLimit = options_.queueLimit;
+    sched.defaultDeadlineNanos =
+        options_.defaultDeadlineMs * 1000ull * 1000ull;
+    scheduler_ = std::make_unique<BatchScheduler>(sched, store_);
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socketPath.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("serve: socket path too long: " +
+                                 options_.socketPath);
+    std::memcpy(addr.sun_path, options_.socketPath.c_str(),
+                options_.socketPath.size() + 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0)
+        throw std::runtime_error("serve: socket() failed");
+    setNonBlocking(listenFd_, true);
+    ::unlink(options_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("serve: cannot bind " +
+                                 options_.socketPath);
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("serve: cannot listen on " +
+                                 options_.socketPath);
+    }
+
+    int pipe_fds[2];
+    if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("serve: pipe2() failed");
+    }
+    wakeReadFd_ = pipe_fds[0];
+    wakeWriteFd_ = pipe_fds[1];
+}
+
+Server::~Server()
+{
+    // Builds may still reference this object through completions.
+    if (scheduler_)
+        scheduler_->drain();
+    for (auto &entry : connections_)
+        ::close(entry.second.fd);
+    connections_.clear();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        ::unlink(options_.socketPath.c_str());
+    }
+    if (wakeReadFd_ >= 0)
+        ::close(wakeReadFd_);
+    if (wakeWriteFd_ >= 0)
+        ::close(wakeWriteFd_);
+}
+
+void
+Server::requestStop()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    if (wakeWriteFd_ >= 0) {
+        const char byte = 'x';
+        [[maybe_unused]] const ssize_t n =
+            ::write(wakeWriteFd_, &byte, 1);
+    }
+}
+
+void
+Server::postDone(std::uint64_t conn_id, std::uint64_t seq,
+                 std::string frame)
+{
+    {
+        const std::lock_guard<std::mutex> lock(doneMutex_);
+        doneQueue_.push_back(Done{conn_id, seq, std::move(frame)});
+    }
+    const char byte = 'd';
+    [[maybe_unused]] const ssize_t n = ::write(wakeWriteFd_, &byte, 1);
+}
+
+void
+Server::drainDoneQueue()
+{
+    std::deque<Done> batch;
+    {
+        const std::lock_guard<std::mutex> lock(doneMutex_);
+        batch.swap(doneQueue_);
+    }
+    for (Done &done : batch)
+        fillSlot(done.connId, done.seq, std::move(done.frame));
+}
+
+void
+Server::fillSlot(std::uint64_t conn_id, std::uint64_t seq,
+                 std::string frame)
+{
+    const auto it = connections_.find(conn_id);
+    if (it == connections_.end()) {
+        obs::counter("serve.dropped_responses").add();
+        return;
+    }
+    Connection &conn = it->second;
+    const std::size_t index =
+        static_cast<std::size_t>(seq - conn.baseSeq);
+    if (index >= conn.slots.size()) {
+        obs::counter("serve.dropped_responses").add();
+        return;
+    }
+    conn.slots[index].frame = std::move(frame);
+    conn.slots[index].ready = true;
+}
+
+bool
+Server::flushPending(Connection &conn)
+{
+    while (!conn.slots.empty() && conn.slots.front().ready) {
+        const std::string &frame = conn.slots.front().frame;
+        while (conn.writeOffset < frame.size()) {
+            const ssize_t wrote =
+                ::write(conn.fd, frame.data() + conn.writeOffset,
+                        frame.size() - conn.writeOffset);
+            if (wrote < 0) {
+                if (errno == EINTR)
+                    continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK)
+                    return true; // poll for POLLOUT
+                return false;
+            }
+            conn.writeOffset += static_cast<std::size_t>(wrote);
+        }
+        conn.slots.pop_front();
+        ++conn.baseSeq;
+        conn.writeOffset = 0;
+    }
+    return true;
+}
+
+void
+Server::closeConnection(std::uint64_t conn_id)
+{
+    const auto it = connections_.find(conn_id);
+    if (it == connections_.end())
+        return;
+    // Unanswered slots become dropped responses when their
+    // completions eventually arrive (fillSlot misses the conn).
+    ::close(it->second.fd);
+    connections_.erase(it);
+}
+
+void
+Server::acceptPending()
+{
+    while (true) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EAGAIN or transient accept error
+        }
+        setNonBlocking(fd, true);
+        const std::uint64_t id = nextConnId_++;
+        Connection conn;
+        conn.fd = fd;
+        connections_.emplace(id, std::move(conn));
+        obs::counter("serve.connections").add();
+    }
+}
+
+void
+Server::readPending(std::uint64_t conn_id)
+{
+    char buffer[65536];
+    while (true) {
+        const auto it = connections_.find(conn_id);
+        if (it == connections_.end())
+            return; // closed while handling a frame
+        const ssize_t got =
+            ::read(it->second.fd, buffer, sizeof(buffer));
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            closeConnection(conn_id);
+            return;
+        }
+        if (got == 0) {
+            closeConnection(conn_id);
+            return;
+        }
+        it->second.splitter.feed(buffer,
+                                 static_cast<std::size_t>(got));
+        while (true) {
+            const auto again = connections_.find(conn_id);
+            if (again == connections_.end())
+                return;
+            std::optional<std::string> payload;
+            try {
+                payload = again->second.splitter.next();
+            } catch (const std::exception &) {
+                obs::counter("serve.bad_requests").add();
+                closeConnection(conn_id);
+                return;
+            }
+            if (!payload)
+                break;
+            handleFrame(conn_id, *payload);
+        }
+        if (got < static_cast<ssize_t>(sizeof(buffer)))
+            break; // short read: kernel buffer drained
+    }
+}
+
+void
+Server::handleFrame(std::uint64_t conn_id, const std::string &payload)
+{
+    const std::uint64_t arrival = obs::monotonicNanos();
+    SLO_SPAN("serve.request");
+    obs::counter("serve.requests").add();
+
+    Connection &conn = connections_.at(conn_id);
+    const std::uint64_t seq = conn.nextSeq++;
+    conn.slots.emplace_back();
+
+    const auto finishInline = [&](const Response &response) {
+        prof::latencyHistogram("serve.request_seconds")
+            .recordNanos(obs::monotonicNanos() - arrival);
+        fillSlot(conn_id, seq, encodeFrame(response.serialize()));
+    };
+
+    std::string parse_error;
+    const std::optional<Request> request =
+        Request::parse(payload, &parse_error);
+    if (!request) {
+        obs::counter("serve.bad_requests").add();
+        Response response;
+        response.status = "error";
+        response.error = parse_error;
+        finishInline(response);
+        return;
+    }
+
+    if (request->op == "ping") {
+        Response response;
+        response.id = request->id;
+        response.status = "ok";
+        finishInline(response);
+        return;
+    }
+    if (request->op == "stats") {
+        prof::latencyHistogram("serve.request_seconds")
+            .recordNanos(obs::monotonicNanos() - arrival);
+        fillSlot(conn_id, seq, encodeFrame(statsJson().dump()));
+        return;
+    }
+    if (request->op == "shutdown") {
+        Response response;
+        response.id = request->id;
+        response.status = "ok";
+        finishInline(response);
+        stop_.store(true, std::memory_order_relaxed);
+        return;
+    }
+    handleReorder(conn_id, seq, *request, arrival);
+}
+
+void
+Server::handleReorder(std::uint64_t conn_id, std::uint64_t seq,
+                      const Request &request, std::uint64_t arrival)
+{
+    const auto finishInline = [&](const Response &response,
+                                  const char *histogram) {
+        prof::latencyHistogram(histogram).recordNanos(
+            obs::monotonicNanos() - arrival);
+        fillSlot(conn_id, seq, encodeFrame(response.serialize()));
+    };
+
+    const auto entry_it = corpus_.find(request.matrix);
+    if (entry_it == corpus_.end()) {
+        obs::counter("serve.errors").add();
+        Response response;
+        response.id = request.id;
+        response.status = "error";
+        response.error = "unknown matrix: " + request.matrix;
+        finishInline(response, "serve.request_seconds");
+        return;
+    }
+    reorder::Technique technique;
+    try {
+        technique = reorder::techniqueFromName(request.technique);
+    } catch (const std::exception &) {
+        obs::counter("serve.errors").add();
+        Response response;
+        response.id = request.id;
+        response.status = "error";
+        response.error = "unknown technique: " + request.technique;
+        finishInline(response, "serve.request_seconds");
+        return;
+    }
+
+    const core::DatasetEntry &entry = entry_it->second;
+    const std::string key =
+        "serve/" + core::scaleName(scale_) + "/" + entry.name + "/g" +
+        std::to_string(entry.generatorVersion) + "/" +
+        request.technique + "/s" + std::to_string(request.seed);
+
+    if (const core::ArtifactStore::Payload cached = store_.get(key)) {
+        obs::counter("serve.hits").add();
+        Response response;
+        response.id = request.id;
+        response.status = "ok";
+        response.key = key;
+        response.rows = cached->size();
+        response.digest = payloadDigest(*cached);
+        finishInline(response, "serve.request_seconds");
+        return;
+    }
+
+    const std::uint64_t deadline =
+        request.deadlineMs == 0
+            ? 0
+            : arrival + request.deadlineMs * 1000ull * 1000ull;
+
+    const core::DatasetEntry entry_copy = entry;
+    const core::Scale scale = scale_;
+    const std::uint64_t request_seed = request.seed;
+    const auto builder = [entry_copy, technique, request_seed,
+                          scale]() {
+        SLO_SPAN("serve.build");
+        const std::uint64_t start = obs::monotonicNanos();
+        const Csr matrix = entry_copy.build(scale);
+        reorder::ReorderOptions options;
+        options.seed = request_seed;
+        const Permutation perm =
+            reorder::computeOrdering(technique, matrix, options);
+        prof::latencyHistogram("serve.build_seconds")
+            .recordNanos(obs::monotonicNanos() - start);
+        return perm.newIds();
+    };
+
+    const std::uint64_t request_id = request.id;
+    const auto completion =
+        [this, conn_id, seq, request_id, key,
+         arrival](const BatchScheduler::Result &result) {
+            Response response;
+            response.id = request_id;
+            response.key = key;
+            switch (result.outcome) {
+            case BatchScheduler::Outcome::Ok:
+                response.status = "ok";
+                response.rows = result.payload->size();
+                response.digest = payloadDigest(*result.payload);
+                break;
+            case BatchScheduler::Outcome::DeadlineExceeded:
+                response.status = "deadline_exceeded";
+                obs::counter("serve.deadline_exceeded").add();
+                break;
+            case BatchScheduler::Outcome::Error:
+                response.status = "error";
+                response.error = result.error;
+                obs::counter("serve.errors").add();
+                break;
+            }
+            prof::latencyHistogram("serve.request_seconds")
+                .recordNanos(obs::monotonicNanos() - arrival);
+            postDone(conn_id, seq, encodeFrame(response.serialize()));
+        };
+
+    if (!scheduler_->submit(key, deadline, builder, completion)) {
+        obs::counter("serve.rejected").add();
+        Response response;
+        response.id = request.id;
+        response.status = "rejected";
+        response.key = key;
+        response.error = "queue full";
+        finishInline(response, "serve.rejected_seconds");
+    }
+}
+
+int
+Server::run()
+{
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> poll_conns;
+    while (!stop_.load(std::memory_order_relaxed)) {
+        drainDoneQueue();
+
+        std::vector<std::uint64_t> broken;
+        for (auto &entry : connections_)
+            if (!flushPending(entry.second))
+                broken.push_back(entry.first);
+        for (const std::uint64_t id : broken)
+            closeConnection(id);
+        if (stop_.load(std::memory_order_relaxed))
+            break;
+
+        fds.clear();
+        poll_conns.clear();
+        fds.push_back(pollfd{listenFd_, POLLIN, 0});
+        fds.push_back(pollfd{wakeReadFd_, POLLIN, 0});
+        for (const auto &entry : connections_) {
+            const Connection &conn = entry.second;
+            short events = POLLIN;
+            if (conn.writeOffset > 0 ||
+                (!conn.slots.empty() && conn.slots.front().ready))
+                events = static_cast<short>(events | POLLOUT);
+            fds.push_back(pollfd{conn.fd, events, 0});
+            poll_conns.push_back(entry.first);
+        }
+
+        const int ready =
+            ::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return 1;
+        }
+        if ((fds[1].revents & POLLIN) != 0) {
+            char sink[256];
+            while (::read(wakeReadFd_, sink, sizeof(sink)) > 0) {
+            }
+        }
+        if ((fds[0].revents & POLLIN) != 0)
+            acceptPending();
+        for (std::size_t i = 0; i < poll_conns.size(); ++i) {
+            const short revents = fds[i + 2].revents;
+            if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+                readPending(poll_conns[i]);
+        }
+    }
+
+    // Graceful stop: let in-flight builds finish, deliver their
+    // responses, then flush every connection with blocking writes.
+    scheduler_->drain();
+    drainDoneQueue();
+    for (auto &entry : connections_) {
+        setNonBlocking(entry.second.fd, false);
+        flushPending(entry.second);
+        ::close(entry.second.fd);
+    }
+    connections_.clear();
+    ::close(listenFd_);
+    listenFd_ = -1;
+    ::unlink(options_.socketPath.c_str());
+
+    if (obs::RunManifest::instance().began())
+        obs::RunManifest::instance().set("serve", statsJson());
+    return 0;
+}
+
+obs::Json
+Server::statsJson() const
+{
+    obs::Json doc = obs::Json::object();
+    doc["schema"] = kStatsSchema;
+    doc["scale"] = core::scaleName(scale_);
+    obs::Json counters = obs::Json::object();
+    for (const char *name :
+         {"requests", "hits", "rejected", "bad_requests", "errors",
+          "deadline_exceeded", "dropped_responses", "connections"}) {
+        counters[name] =
+            obs::counter(std::string("serve.") + name).value();
+    }
+    doc["counters"] = counters;
+    doc["scheduler"] = scheduler_->statsJson();
+    doc["store"] = store_.statsJson();
+    doc["latency"] = prof::latencyRegistryJson();
+    return doc;
+}
+
+} // namespace slo::serve

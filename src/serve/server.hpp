@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The reordering daemon: a unix-domain-socket server over the batch
+ * scheduler and the in-memory artifact store.
+ *
+ * Threading model (keep it this way — see CONTRIBUTING):
+ *
+ *   - **One IO thread**: the caller of run() owns the poll() loop, all
+ *     socket reads/writes, and every Connection object. No other
+ *     thread may touch a socket.
+ *   - **Builds run on the slo::par pool** via BatchScheduler. With
+ *     SLO_THREADS=1 the pool is serial and builds run inline on the IO
+ *     thread in submission order — the determinism baseline.
+ *   - **Completions cross back** by pushing the finished response
+ *     frame onto a mutex-guarded done-queue and writing one byte to a
+ *     self-pipe the poll loop watches. Completions never write to
+ *     sockets directly.
+ *
+ * Responses on a connection are delivered in *request order* (each
+ * accepted request reserves a slot; frames are flushed only up to the
+ * first unfinished slot), so a fixed request trace produces
+ * byte-identical output at any SLO_THREADS.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/artifact_store.hpp"
+#include "core/dataset.hpp"
+#include "obs/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+
+namespace slo::serve
+{
+
+class Server
+{
+  public:
+    struct Options
+    {
+        /** Filesystem path of the listening unix socket. */
+        std::string socketPath = "slo_serve.sock";
+        /** Max distinct keys in flight (scheduler backpressure). */
+        std::size_t queueLimit = 64;
+        /** Deadline for requests that do not carry one. */
+        std::uint64_t defaultDeadlineMs = 30000;
+        /** ArtifactStore byte budget. */
+        std::size_t cacheBytes = 64ull << 20;
+    };
+
+    /**
+     * Defaults overridden by SLO_SERVE_SOCKET, SLO_SERVE_QUEUE,
+     * SLO_SERVE_DEADLINE_MS, SLO_SERVE_CACHE_BYTES.
+     */
+    static Options optionsFromEnv();
+
+    /**
+     * Bind + listen (unlinks a stale socket at the path first).
+     * Serves reorder requests against paperCorpus(@p scale).
+     * @throws std::runtime_error when the socket cannot be bound.
+     */
+    Server(Options options, core::Scale scale);
+
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Poll loop; returns 0 after a clean stop (shutdown op or
+     * requestStop). On stop, drains in-flight builds and flushes
+     * pending responses before closing.
+     */
+    int run();
+
+    /** Async-signal-safe stop request (atomic flag + self-pipe). */
+    void requestStop();
+
+    const std::string &socketPath() const
+    {
+        return options_.socketPath;
+    }
+
+    /** The `slo.serve-stats/1` document (stats op, final manifest). */
+    obs::Json statsJson() const;
+
+  private:
+    /** An in-order response slot (see file comment). */
+    struct Slot
+    {
+        bool ready = false;
+        std::string frame;
+    };
+
+    struct Connection
+    {
+        int fd = -1;
+        FrameSplitter splitter;
+        std::deque<Slot> slots;
+        std::uint64_t baseSeq = 0; ///< sequence of slots.front()
+        std::uint64_t nextSeq = 0; ///< sequence of the next request
+        std::size_t writeOffset = 0;
+    };
+
+    /** A finished completion waiting for the IO thread. */
+    struct Done
+    {
+        std::uint64_t connId = 0;
+        std::uint64_t seq = 0;
+        std::string frame;
+    };
+
+    void acceptPending();
+    void readPending(std::uint64_t conn_id);
+    bool flushPending(Connection &conn); ///< false = connection broke
+    void closeConnection(std::uint64_t conn_id);
+    void handleFrame(std::uint64_t conn_id, const std::string &payload);
+    void handleReorder(std::uint64_t conn_id, std::uint64_t seq,
+                       const Request &request, std::uint64_t arrival);
+    /** Fill @p seq on @p conn_id (IO thread only). */
+    void fillSlot(std::uint64_t conn_id, std::uint64_t seq,
+                  std::string frame);
+    /** Thread-safe: enqueue a done frame and wake the poll loop. */
+    void postDone(std::uint64_t conn_id, std::uint64_t seq,
+                  std::string frame);
+    void drainDoneQueue();
+
+    Options options_;
+    core::Scale scale_;
+    std::map<std::string, core::DatasetEntry> corpus_;
+
+    core::ArtifactStore store_;
+    std::unique_ptr<BatchScheduler> scheduler_;
+
+    int listenFd_ = -1;
+    int wakeReadFd_ = -1;
+    int wakeWriteFd_ = -1;
+    std::atomic<bool> stop_{false};
+
+    std::uint64_t nextConnId_ = 1;
+    std::map<std::uint64_t, Connection> connections_;
+
+    std::mutex doneMutex_;
+    std::deque<Done> doneQueue_;
+};
+
+} // namespace slo::serve

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit tests for core::ArtifactStore: LRU eviction order under size
+ * pressure, admission control, and thread-level single-flight —
+ * including with the disk cache disabled, where the in-process flight
+ * machinery is the only build-once guarantee.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/artifact_store.hpp"
+#include "par/par.hpp"
+
+namespace slo::core
+{
+namespace
+{
+
+class ArtifactStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("slo-store-test-" + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir_);
+        ::setenv("SLO_CACHE_DIR", dir_.c_str(), 1);
+        ::unsetenv("SLO_NO_CACHE");
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+        ::unsetenv("SLO_NO_CACHE");
+    }
+
+    std::filesystem::path dir_;
+};
+
+ArtifactStore::Payload
+payloadOf(std::size_t n, Index fill)
+{
+    return std::make_shared<const std::vector<Index>>(
+        std::vector<Index>(n, fill));
+}
+
+TEST_F(ArtifactStoreTest, EvictsInLruOrderUnderSizePressure)
+{
+    // One shard so LRU order is global; each 100-element payload
+    // costs 100*sizeof(Index)+64 bytes, so the budget fits 3 of them
+    // but not 4.
+    const std::size_t entry_bytes = 100 * sizeof(Index) + 64;
+    ArtifactStore::Options options;
+    options.maxBytes = 3 * entry_bytes;
+    options.shards = 1;
+    options.admitDivisor = 1;
+    ArtifactStore store(options);
+
+    ASSERT_TRUE(store.put("a", payloadOf(100, 1)));
+    ASSERT_TRUE(store.put("b", payloadOf(100, 2)));
+    ASSERT_TRUE(store.put("c", payloadOf(100, 3)));
+    EXPECT_EQ(store.entryCount(), 3u);
+
+    // Touch "a": it becomes most-recent, leaving "b" the cold end.
+    EXPECT_NE(store.get("a"), nullptr);
+    ASSERT_TRUE(store.put("d", payloadOf(100, 4)));
+
+    EXPECT_EQ(store.entryCount(), 3u);
+    EXPECT_EQ(store.get("b"), nullptr) << "LRU victim must be b";
+    EXPECT_NE(store.get("a"), nullptr);
+    EXPECT_NE(store.get("c"), nullptr);
+    EXPECT_NE(store.get("d"), nullptr);
+
+    // A held payload survives eviction of its entry.
+    const ArtifactStore::Payload held = store.get("c");
+    ASSERT_NE(held, nullptr);
+    ASSERT_TRUE(store.put("e", payloadOf(100, 5)));
+    ASSERT_TRUE(store.put("f", payloadOf(100, 6)));
+    ASSERT_TRUE(store.put("g", payloadOf(100, 7)));
+    EXPECT_EQ(store.get("c"), nullptr);
+    EXPECT_EQ(held->size(), 100u);
+    EXPECT_EQ((*held)[0], Index{3});
+}
+
+TEST_F(ArtifactStoreTest, AdmissionControlRejectsOversizedPayloads)
+{
+    ArtifactStore::Options options;
+    options.maxBytes = 1 << 20;
+    options.shards = 1;
+    options.admitDivisor = 8; // admit at most 128 KiB per payload
+    ArtifactStore store(options);
+
+    const std::size_t too_big =
+        (options.maxBytes / options.admitDivisor) / sizeof(Index) + 64;
+    EXPECT_FALSE(store.put("whale", payloadOf(too_big, 1)));
+    EXPECT_EQ(store.entryCount(), 0u);
+    EXPECT_EQ(store.byteCount(), 0u);
+
+    // getOrBuild still serves the oversized payload, just uncached.
+    const ArtifactStore::Payload served = store.getOrBuild(
+        "whale", [&] { return std::vector<Index>(too_big, Index{9}); });
+    ASSERT_NE(served, nullptr);
+    EXPECT_EQ(served->size(), too_big);
+    EXPECT_EQ(store.entryCount(), 0u);
+
+    // A small payload passes.
+    EXPECT_TRUE(store.put("minnow", payloadOf(16, 2)));
+    EXPECT_EQ(store.entryCount(), 1u);
+}
+
+TEST_F(ArtifactStoreTest, ConcurrentThreadsBuildOnce)
+{
+    ArtifactStore store;
+    std::atomic<int> builds{0};
+    par::ThreadPool pool(4);
+    std::vector<ArtifactStore::Payload> results(8);
+    par::parallelFor(
+        std::size_t{0}, results.size(),
+        [&](std::size_t i) {
+            results[i] = store.getOrBuild("store-thread-key", [&] {
+                builds.fetch_add(1);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+                std::vector<Index> v(512);
+                std::iota(v.begin(), v.end(), Index{0});
+                return v;
+            });
+        },
+        par::ForOptions{1, &pool});
+    EXPECT_EQ(builds.load(), 1);
+    for (const ArtifactStore::Payload &r : results) {
+        ASSERT_NE(r, nullptr);
+        EXPECT_EQ(r->size(), 512u);
+    }
+}
+
+TEST_F(ArtifactStoreTest, ConcurrentThreadsBuildOnceWithoutDiskCache)
+{
+    // SLO_NO_CACHE turns CacheKeyLock into a no-op, so only the
+    // in-process flight registration prevents duplicate builds.
+    ::setenv("SLO_NO_CACHE", "1", 1);
+    ArtifactStore store;
+    std::atomic<int> builds{0};
+    par::ThreadPool pool(4);
+    std::vector<ArtifactStore::Payload> results(8);
+    par::parallelFor(
+        std::size_t{0}, results.size(),
+        [&](std::size_t i) {
+            results[i] = store.getOrBuild("store-nocache-key", [&] {
+                builds.fetch_add(1);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+                std::vector<Index> v(256);
+                std::iota(v.begin(), v.end(), Index{0});
+                return v;
+            });
+        },
+        par::ForOptions{1, &pool});
+    EXPECT_EQ(builds.load(), 1);
+    for (const ArtifactStore::Payload &r : results) {
+        ASSERT_NE(r, nullptr);
+        EXPECT_EQ(r->size(), 256u);
+    }
+}
+
+TEST_F(ArtifactStoreTest, BuilderExceptionPropagatesToEveryWaiter)
+{
+    ::setenv("SLO_NO_CACHE", "1", 1);
+    ArtifactStore store;
+    EXPECT_THROW(store.getOrBuild(
+                     "throwing-key",
+                     []() -> std::vector<Index> {
+                         throw std::runtime_error("boom");
+                     }),
+                 std::runtime_error);
+    // A failed flight leaves no entry behind; a retry can succeed.
+    EXPECT_EQ(store.get("throwing-key"), nullptr);
+    const ArtifactStore::Payload retry = store.getOrBuild(
+        "throwing-key", [] { return std::vector<Index>(4, Index{1}); });
+    ASSERT_NE(retry, nullptr);
+    EXPECT_EQ(retry->size(), 4u);
+}
+
+TEST_F(ArtifactStoreTest, GetOrBuildReadsThroughTheDiskCache)
+{
+    // A second store instance (fresh memory) must load from disk, not
+    // rebuild — the cross-process path minus the process boundary.
+    int builds = 0;
+    const auto build = [&builds] {
+        ++builds;
+        std::vector<Index> v(64);
+        std::iota(v.begin(), v.end(), Index{0});
+        return v;
+    };
+    {
+        ArtifactStore first;
+        first.getOrBuild("disk-key", build);
+    }
+    EXPECT_EQ(builds, 1);
+    ArtifactStore second;
+    const ArtifactStore::Payload loaded =
+        second.getOrBuild("disk-key", build);
+    EXPECT_EQ(builds, 1) << "second store must read through disk";
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->size(), 64u);
+}
+
+} // namespace
+} // namespace slo::core

@@ -135,7 +135,8 @@ struct RacerResult
 
 RacerChild
 spawnRacer(const std::filesystem::path &racer, const std::string &key,
-           const std::string &out, int hold_ms)
+           const std::string &out, int hold_ms,
+           const std::string &mode = "cache")
 {
     int fds[2] = {-1, -1};
     if (::pipe(fds) != 0)
@@ -147,7 +148,7 @@ spawnRacer(const std::filesystem::path &racer, const std::string &key,
         ::close(fds[1]);
         const std::string hold = std::to_string(hold_ms);
         ::execl(racer.c_str(), racer.c_str(), key.c_str(), "512",
-                out.c_str(), hold.c_str(), nullptr);
+                out.c_str(), hold.c_str(), mode.c_str(), nullptr);
         _exit(127); // exec failed
     }
     ::close(fds[1]);
@@ -195,7 +196,15 @@ reapWithDeadline(const RacerChild &child,
     }
 }
 
-TEST_F(ArtifactCacheRaceTest, TwoProcessesBuildOnce)
+/**
+ * Shared body of the two-process build-once tests: `cache` exercises
+ * the bare loadOrBuildIndexVector helper, `store` the promoted
+ * ArtifactStore::getOrBuild (whose cross-process single-flight runs
+ * through the same CacheKeyLock + disk read-through).
+ */
+void
+runTwoProcessRace(const std::filesystem::path &dir,
+                  const std::string &mode)
 {
     // Locate the racer helper next to this test binary.
     char exe[4096] = {0};
@@ -214,16 +223,16 @@ TEST_F(ArtifactCacheRaceTest, TwoProcessesBuildOnce)
     // vector). Every attempt, raced or not, must build exactly once.
     bool raced = false;
     for (const int hold_ms : {50, 100, 200, 400, 800}) {
-        const std::string key =
-            "race-proc-key-" + std::to_string(hold_ms);
+        const std::string key = "race-proc-key-" + mode + "-" +
+                                std::to_string(hold_ms);
         const std::string out1 =
-            (dir_ / (key + ".1.out")).string();
+            (dir / (key + ".1.out")).string();
         const std::string out2 =
-            (dir_ / (key + ".2.out")).string();
+            (dir / (key + ".2.out")).string();
         const RacerChild child1 =
-            spawnRacer(racer, key, out1, hold_ms);
+            spawnRacer(racer, key, out1, hold_ms, mode);
         const RacerChild child2 =
-            spawnRacer(racer, key, out2, hold_ms);
+            spawnRacer(racer, key, out2, hold_ms, mode);
         ASSERT_GT(child1.pid, 0);
         ASSERT_GT(child2.pid, 0);
 
@@ -270,6 +279,16 @@ TEST_F(ArtifactCacheRaceTest, TwoProcessesBuildOnce)
     EXPECT_TRUE(raced)
         << "no attempt had both processes start before the artifact "
            "existed, even at the longest hold time";
+}
+
+TEST_F(ArtifactCacheRaceTest, TwoProcessesBuildOnce)
+{
+    runTwoProcessRace(dir_, "cache");
+}
+
+TEST_F(ArtifactCacheRaceTest, TwoProcessesStoreBuildOnce)
+{
+    runTwoProcessRace(dir_, "store");
 }
 
 } // namespace

@@ -2,16 +2,20 @@
  * @file
  * Helper binary for the artifact-cache two-process race test.
  *
- * Usage: artifact_cache_racer <key> <n> <out-file> [hold-ms]
+ * Usage: artifact_cache_racer <key> <n> <out-file> [hold-ms] [mode]
  *
- * Calls core::loadOrBuildIndexVector(<key>) with a build that holds
- * the key lock for <hold-ms> (default 100) and returns [0, n), then
- * writes "<builds> <ok> <initial-miss>" to <out-file>. <initial-miss>
- * records whether the artifact was absent when this process started —
- * the race test retries with growing hold times until both processes
- * report a miss, i.e. until the run provably exercised the race.
- * Progress goes to stderr so a hung run can be diagnosed from the
- * parent's captured output.
+ * Mode `cache` (default) calls core::loadOrBuildIndexVector(<key>);
+ * mode `store` routes the same build through an in-memory
+ * core::ArtifactStore::getOrBuild, exercising the promoted store's
+ * cross-process single-flight (CacheKeyLock + disk read-through)
+ * instead of the bare cache helper. Either way the build holds the
+ * key lock for <hold-ms> (default 100), returns [0, n), and the
+ * process writes "<builds> <ok> <initial-miss>" to <out-file>.
+ * <initial-miss> records whether the artifact was absent when this
+ * process started — the race test retries with growing hold times
+ * until both processes report a miss, i.e. until the run provably
+ * exercised the race. Progress goes to stderr so a hung run can be
+ * diagnosed from the parent's captured output.
  */
 
 #include <chrono>
@@ -26,31 +30,40 @@
 #include <unistd.h>
 
 #include "core/artifact_cache.hpp"
+#include "core/artifact_store.hpp"
 
 int
 main(int argc, char **argv)
 {
-    if (argc != 4 && argc != 5)
+    if (argc < 4 || argc > 6)
         return 2;
     const std::string key = argv[1];
     const auto n = static_cast<std::size_t>(std::atoi(argv[2]));
-    const int hold_ms = argc == 5 ? std::atoi(argv[4]) : 100;
+    const int hold_ms = argc >= 5 ? std::atoi(argv[4]) : 100;
+    const std::string mode = argc == 6 ? argv[5] : "cache";
     const bool initial_miss =
         !slo::core::tryLoadIndexVector(key).has_value();
     std::cerr << "[racer " << ::getpid() << "] start key=" << key
+              << " mode=" << mode
               << " initial_miss=" << initial_miss << '\n';
     int builds = 0;
-    const std::vector<slo::Index> vec =
-        slo::core::loadOrBuildIndexVector(key, [&builds, n, hold_ms] {
-            ++builds;
-            // Stay inside the build long enough that the sibling
-            // process reliably hits the held lock.
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(hold_ms));
-            std::vector<slo::Index> v(n);
-            std::iota(v.begin(), v.end(), slo::Index{0});
-            return v;
-        });
+    const auto build = [&builds, n, hold_ms] {
+        ++builds;
+        // Stay inside the build long enough that the sibling
+        // process reliably hits the held lock.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(hold_ms));
+        std::vector<slo::Index> v(n);
+        std::iota(v.begin(), v.end(), slo::Index{0});
+        return v;
+    };
+    std::vector<slo::Index> vec;
+    if (mode == "store") {
+        slo::core::ArtifactStore store;
+        vec = *store.getOrBuild(key, build);
+    } else {
+        vec = slo::core::loadOrBuildIndexVector(key, build);
+    }
     bool ok = vec.size() == n;
     for (std::size_t i = 0; ok && i < n; ++i)
         ok = vec[i] == static_cast<slo::Index>(i);

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * ArtifactStore property: a permutation that was cached, evicted under
+ * size pressure, and rebuilt is bit-identical to the original. Runs
+ * with SLO_NO_CACHE=1 so the rebuild is a true recompute rather than a
+ * disk read-back — the determinism claim is on computeOrdering, the
+ * store must merely not corrupt it.
+ */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/artifact_store.hpp"
+#include "qc/qc.hpp"
+#include "reorder/reorder.hpp"
+
+namespace slo::qc
+{
+namespace
+{
+
+TEST(QcArtifactStoreProps, EvictedThenRebuiltPermutationIsBitIdentical)
+{
+    ::setenv("SLO_NO_CACHE", "1", 1);
+    SpecBounds bounds;
+    bounds.familiesOnly = true; // orderings expect square symmetric
+    bounds.maxRows = 48;
+    bounds.maxAvgDegree = 6.0;
+    PropertyOptions<CsrSpec> options;
+    options.shrink = csrSpecShrinker(bounds);
+    options.describe = describeCsrSpec;
+    options.parameters = describeBounds(bounds);
+    options.config = configFromEnv().withMaxCases(25);
+    const Outcome outcome = checkProperty<CsrSpec>(
+        "qc.artifact_store.evict_rebuild_bit_identical",
+        [&bounds](Rng &rng) { return arbitraryCsrSpec(rng, bounds); },
+        [](const CsrSpec &spec, std::string &message) {
+            const Csr matrix = build(spec);
+            const auto builder = [&matrix] {
+                return reorder::computeOrdering(
+                           reorder::Technique::Rabbit, matrix)
+                    .newIds();
+            };
+
+            // A store whose budget fits exactly one entry of this
+            // payload's size, so the filler put below must evict it.
+            const std::size_t entry_bytes =
+                matrix.numRows() * sizeof(Index) + 64;
+            core::ArtifactStore::Options store_options;
+            store_options.maxBytes = entry_bytes;
+            store_options.shards = 1;
+            store_options.admitDivisor = 1;
+            core::ArtifactStore store(store_options);
+
+            const std::vector<Index> first =
+                *store.getOrBuild("qc-perm", builder);
+            store.put("qc-filler",
+                      std::make_shared<const std::vector<Index>>(
+                          std::vector<Index>(matrix.numRows(),
+                                             Index{0})));
+            if (store.get("qc-perm") != nullptr) {
+                message = "filler put failed to evict the permutation";
+                return false;
+            }
+
+            const std::vector<Index> second =
+                *store.getOrBuild("qc-perm", builder);
+            if (first != second) {
+                message = "rebuilt permutation differs from original";
+                return false;
+            }
+            return true;
+        },
+        options);
+    ::unsetenv("SLO_NO_CACHE");
+    EXPECT_TRUE(outcome.ok) << outcome.summary();
+}
+
+} // namespace
+} // namespace slo::qc

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Wire-protocol tests: framing, incremental frame assembly, schema
+ * validation, and digest stability.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.hpp"
+
+namespace slo::serve
+{
+namespace
+{
+
+TEST(ServeProtocolTest, EncodeFramePrefixesLittleEndianLength)
+{
+    const std::string frame = encodeFrame("abc");
+    ASSERT_EQ(frame.size(), 7u);
+    EXPECT_EQ(frame[0], 3);
+    EXPECT_EQ(frame[1], 0);
+    EXPECT_EQ(frame[2], 0);
+    EXPECT_EQ(frame[3], 0);
+    EXPECT_EQ(frame.substr(4), "abc");
+}
+
+TEST(ServeProtocolTest, SplitterReassemblesAcrossArbitraryChunks)
+{
+    const std::string wire =
+        encodeFrame("first") + encodeFrame("") + encodeFrame("third");
+    FrameSplitter splitter;
+    std::vector<std::string> got;
+    // Feed one byte at a time: worst-case fragmentation.
+    for (const char c : wire) {
+        splitter.feed(&c, 1);
+        while (const auto payload = splitter.next())
+            got.push_back(*payload);
+    }
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0], "first");
+    EXPECT_EQ(got[1], "");
+    EXPECT_EQ(got[2], "third");
+    EXPECT_EQ(splitter.bufferedBytes(), 0u);
+}
+
+TEST(ServeProtocolTest, SplitterThrowsOnOversizedFrame)
+{
+    FrameSplitter splitter;
+    const char prefix[4] = {'\xff', '\xff', '\xff', '\x7f'};
+    splitter.feed(prefix, sizeof(prefix));
+    EXPECT_THROW(splitter.next(), std::runtime_error);
+}
+
+TEST(ServeProtocolTest, RequestRoundTripsThroughJson)
+{
+    Request request;
+    request.id = 42;
+    request.op = "reorder";
+    request.matrix = "road-central-like";
+    request.technique = "RABBIT";
+    request.seed = 7;
+    request.deadlineMs = 2500;
+    std::string error;
+    const auto parsed =
+        Request::parse(request.toJson().dump(), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->id, 42u);
+    EXPECT_EQ(parsed->op, "reorder");
+    EXPECT_EQ(parsed->matrix, "road-central-like");
+    EXPECT_EQ(parsed->technique, "RABBIT");
+    EXPECT_EQ(parsed->seed, 7u);
+    EXPECT_EQ(parsed->deadlineMs, 2500u);
+}
+
+TEST(ServeProtocolTest, RequestParseRejectsBadInput)
+{
+    std::string error;
+    EXPECT_FALSE(Request::parse("not json", &error).has_value());
+    EXPECT_FALSE(
+        Request::parse(R"({"schema":"wrong/1","id":1,"op":"ping"})",
+                       &error)
+            .has_value());
+    // Missing op.
+    EXPECT_FALSE(
+        Request::parse(R"({"schema":"slo.serve-request/1","id":1})",
+                       &error)
+            .has_value());
+    // Unknown op.
+    EXPECT_FALSE(
+        Request::parse(
+            R"({"schema":"slo.serve-request/1","id":1,"op":"fly"})",
+            &error)
+            .has_value());
+    EXPECT_NE(error.find("unknown op"), std::string::npos);
+    // reorder without matrix/technique.
+    EXPECT_FALSE(
+        Request::parse(
+            R"({"schema":"slo.serve-request/1","id":1,"op":"reorder"})",
+            &error)
+            .has_value());
+}
+
+TEST(ServeProtocolTest, ResponseRoundTripsThroughJson)
+{
+    Response response;
+    response.id = 9;
+    response.status = "ok";
+    response.key = "serve/small/x/g1/RABBIT/s1";
+    response.rows = 4096;
+    response.digest = "00ff00ff00ff00ff";
+    std::string error;
+    const auto parsed =
+        Response::parse(response.serialize(), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->id, 9u);
+    EXPECT_EQ(parsed->status, "ok");
+    EXPECT_EQ(parsed->key, response.key);
+    EXPECT_EQ(parsed->rows, 4096u);
+    EXPECT_EQ(parsed->digest, response.digest);
+}
+
+TEST(ServeProtocolTest, PayloadDigestIsStableAndDiscriminating)
+{
+    const std::vector<Index> a = {0, 1, 2, 3};
+    const std::vector<Index> b = {0, 1, 3, 2};
+    EXPECT_EQ(payloadDigest(a).size(), 16u);
+    EXPECT_EQ(payloadDigest(a), payloadDigest(a));
+    EXPECT_NE(payloadDigest(a), payloadDigest(b));
+}
+
+} // namespace
+} // namespace slo::serve

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * BatchScheduler tests: inline completion on a serial pool,
+ * coalescing of duplicate in-flight keys, queue-limit rejection,
+ * deadline cancellation, and builder-error propagation.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/artifact_store.hpp"
+#include "obs/trace.hpp"
+#include "par/par.hpp"
+#include "serve/scheduler.hpp"
+
+namespace slo::serve
+{
+namespace
+{
+
+class BatchSchedulerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("slo-sched-test-" + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir_);
+        ::setenv("SLO_CACHE_DIR", dir_.c_str(), 1);
+        ::unsetenv("SLO_NO_CACHE");
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+    }
+
+    std::filesystem::path dir_;
+};
+
+std::vector<Index>
+iotaVec(std::size_t n)
+{
+    std::vector<Index> v(n);
+    std::iota(v.begin(), v.end(), Index{0});
+    return v;
+}
+
+TEST_F(BatchSchedulerTest, SerialPoolCompletesInline)
+{
+    core::ArtifactStore store;
+    par::ThreadPool pool(1); // serial: submit runs the job inline
+    BatchScheduler scheduler(BatchScheduler::Options{}, store, pool);
+
+    BatchScheduler::Result seen;
+    bool called = false;
+    const bool accepted = scheduler.submit(
+        "inline-key", 0, [] { return iotaVec(32); },
+        [&](const BatchScheduler::Result &result) {
+            seen = result;
+            called = true;
+        });
+    EXPECT_TRUE(accepted);
+    // Serial pool: by the time submit returns, the completion ran.
+    ASSERT_TRUE(called);
+    EXPECT_EQ(seen.outcome, BatchScheduler::Outcome::Ok);
+    ASSERT_NE(seen.payload, nullptr);
+    EXPECT_EQ(*seen.payload, iotaVec(32));
+    EXPECT_EQ(scheduler.inflight(), 0u);
+}
+
+TEST_F(BatchSchedulerTest, ExpiredDeadlineCancelsWithoutBuilding)
+{
+    core::ArtifactStore store;
+    par::ThreadPool pool(1);
+    BatchScheduler scheduler(BatchScheduler::Options{}, store, pool);
+
+    bool built = false;
+    BatchScheduler::Result seen;
+    const bool accepted = scheduler.submit(
+        "expired-key", /*deadlineNanos=*/1,
+        [&] {
+            built = true;
+            return iotaVec(8);
+        },
+        [&](const BatchScheduler::Result &result) { seen = result; });
+    EXPECT_TRUE(accepted);
+    EXPECT_FALSE(built) << "an all-expired job must not build";
+    EXPECT_EQ(seen.outcome,
+              BatchScheduler::Outcome::DeadlineExceeded);
+    EXPECT_EQ(store.get("expired-key"), nullptr);
+}
+
+TEST_F(BatchSchedulerTest, BuilderErrorReachesTheCompletion)
+{
+    core::ArtifactStore store;
+    par::ThreadPool pool(1);
+    BatchScheduler scheduler(BatchScheduler::Options{}, store, pool);
+
+    BatchScheduler::Result seen;
+    scheduler.submit(
+        "error-key", 0,
+        []() -> std::vector<Index> {
+            throw std::runtime_error("boom");
+        },
+        [&](const BatchScheduler::Result &result) { seen = result; });
+    EXPECT_EQ(seen.outcome, BatchScheduler::Outcome::Error);
+    EXPECT_NE(seen.error.find("boom"), std::string::npos);
+}
+
+TEST_F(BatchSchedulerTest, CoalescesDuplicatesAndRejectsBeyondLimit)
+{
+    core::ArtifactStore store;
+    par::ThreadPool pool(2);
+    BatchScheduler::Options options;
+    options.queueLimit = 1;
+    BatchScheduler scheduler(options, store, pool);
+
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool gate_open = false;
+    std::atomic<int> builds{0};
+
+    std::atomic<int> completions{0};
+    std::atomic<int> oks{0};
+    const auto completion =
+        [&](const BatchScheduler::Result &result) {
+            completions.fetch_add(1);
+            if (result.outcome == BatchScheduler::Outcome::Ok)
+                oks.fetch_add(1);
+        };
+    const auto blocked_build = [&] {
+        builds.fetch_add(1);
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        gate_cv.wait(lock, [&] { return gate_open; });
+        return iotaVec(16);
+    };
+
+    // First submit occupies the single queue slot and blocks in the
+    // builder on a worker thread.
+    ASSERT_TRUE(
+        scheduler.submit("busy-key", 0, blocked_build, completion));
+    // Wait until the worker is inside the builder.
+    while (builds.load() == 0)
+        ::usleep(1000);
+
+    // A duplicate key coalesces even at the limit...
+    EXPECT_TRUE(
+        scheduler.submit("busy-key", 0, blocked_build, completion));
+    // ...but a distinct key is rejected: the queue is full.
+    EXPECT_FALSE(
+        scheduler.submit("other-key", 0, blocked_build, completion));
+
+    {
+        const std::lock_guard<std::mutex> lock(gate_mutex);
+        gate_open = true;
+    }
+    gate_cv.notify_all();
+    scheduler.drain();
+
+    EXPECT_EQ(builds.load(), 1) << "duplicate submits must coalesce";
+    EXPECT_EQ(completions.load(), 2);
+    EXPECT_EQ(oks.load(), 2);
+    EXPECT_EQ(scheduler.inflight(), 0u);
+}
+
+TEST_F(BatchSchedulerTest, LateWaiterPastDeadlineGetsDeadlineExceeded)
+{
+    core::ArtifactStore store;
+    par::ThreadPool pool(2);
+    BatchScheduler scheduler(BatchScheduler::Options{}, store, pool);
+
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool gate_open = false;
+    std::atomic<bool> building{false};
+
+    std::atomic<int> ok_count{0};
+    std::atomic<int> expired_count{0};
+    const auto completion =
+        [&](const BatchScheduler::Result &result) {
+            if (result.outcome == BatchScheduler::Outcome::Ok)
+                ok_count.fetch_add(1);
+            else if (result.outcome ==
+                     BatchScheduler::Outcome::DeadlineExceeded)
+                expired_count.fetch_add(1);
+        };
+
+    ASSERT_TRUE(scheduler.submit(
+        "slow-key", 0,
+        [&] {
+            building.store(true);
+            std::unique_lock<std::mutex> lock(gate_mutex);
+            gate_cv.wait(lock, [&] { return gate_open; });
+            return iotaVec(8);
+        },
+        completion));
+    while (!building.load())
+        ::usleep(1000);
+
+    // Joins the in-flight build with an already-expired deadline: the
+    // build itself is never cancelled, but this waiter's result is
+    // DeadlineExceeded at delivery.
+    ASSERT_TRUE(scheduler.submit(
+        "slow-key", /*deadlineNanos=*/1, [] { return iotaVec(8); },
+        completion));
+
+    {
+        const std::lock_guard<std::mutex> lock(gate_mutex);
+        gate_open = true;
+    }
+    gate_cv.notify_all();
+    scheduler.drain();
+
+    EXPECT_EQ(ok_count.load(), 1);
+    EXPECT_EQ(expired_count.load(), 1);
+}
+
+} // namespace
+} // namespace slo::serve

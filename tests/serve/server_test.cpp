@@ -1,0 +1,172 @@
+/**
+ * @file
+ * End-to-end daemon tests: spawn a real `slo_served` (fork/exec, own
+ * socket + cache dir) and exercise the protocol against it — ping,
+ * malformed input, reorder cold/hot, stats, and graceful shutdown.
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+
+namespace slo::serve
+{
+namespace
+{
+
+/** A cheap corpus matrix (32k rows, ~3 nnz/row at small scale). */
+constexpr const char *kMatrix = "road-central-like";
+
+class ServeDaemonTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("slo-serve-test-" + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+
+        const std::string binary = resolveDaemonBinary();
+        ASSERT_FALSE(binary.empty()) << "slo_served not found";
+        daemon_ = spawnDaemon(
+            binary, (dir_ / "serve.sock").string(),
+            {"SLO_CACHE_DIR=" + (dir_ / "cache").string(),
+             "SLO_TRACE=0", "REPRO_SCALE=small"});
+        ASSERT_TRUE(daemon_.running());
+        ASSERT_TRUE(waitForServer(daemon_.socketPath, 30000));
+        ASSERT_TRUE(client_.connect(daemon_.socketPath));
+    }
+
+    void
+    TearDown() override
+    {
+        client_.close();
+        if (daemon_.running())
+            stopDaemon(daemon_, 10000);
+        std::filesystem::remove_all(dir_);
+    }
+
+    Request
+    reorder(std::uint64_t id, std::uint64_t seed)
+    {
+        Request request;
+        request.id = id;
+        request.op = "reorder";
+        request.matrix = kMatrix;
+        request.technique = "RABBIT";
+        request.seed = seed;
+        request.deadlineMs = 120000;
+        return request;
+    }
+
+    std::filesystem::path dir_;
+    DaemonProcess daemon_;
+    Client client_;
+};
+
+TEST_F(ServeDaemonTest, PingRoundTrips)
+{
+    Request ping;
+    ping.id = 7;
+    ping.op = "ping";
+    const std::optional<Response> response = client_.call(ping);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->id, 7u);
+    EXPECT_EQ(response->status, "ok");
+}
+
+TEST_F(ServeDaemonTest, MalformedJsonGetsAnErrorResponse)
+{
+    ASSERT_TRUE(client_.sendFrame("this is not json"));
+    const std::optional<std::string> frame = client_.recvFrame();
+    ASSERT_TRUE(frame.has_value());
+    const std::optional<Response> response =
+        Response::parse(*frame, nullptr);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, "error");
+    // The connection survives a bad frame.
+    Request ping;
+    ping.id = 1;
+    ping.op = "ping";
+    const std::optional<Response> after = client_.call(ping);
+    ASSERT_TRUE(after.has_value());
+    EXPECT_EQ(after->status, "ok");
+}
+
+TEST_F(ServeDaemonTest, UnknownMatrixAndTechniqueAreErrors)
+{
+    Request bad_matrix = reorder(1, 1);
+    bad_matrix.matrix = "no-such-matrix";
+    std::optional<Response> response = client_.call(bad_matrix);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, "error");
+    EXPECT_NE(response->error.find("unknown matrix"),
+              std::string::npos);
+
+    Request bad_technique = reorder(2, 1);
+    bad_technique.technique = "NO-SUCH-TECHNIQUE";
+    response = client_.call(bad_technique);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, "error");
+    EXPECT_NE(response->error.find("unknown technique"),
+              std::string::npos);
+}
+
+TEST_F(ServeDaemonTest, ReorderBuildsThenServesFromMemory)
+{
+    const std::optional<Response> cold =
+        client_.call(reorder(1, 1));
+    ASSERT_TRUE(cold.has_value());
+    ASSERT_EQ(cold->status, "ok") << cold->error;
+    EXPECT_GT(cold->rows, 0u);
+    EXPECT_EQ(cold->digest.size(), 16u);
+    EXPECT_NE(cold->key.find(kMatrix), std::string::npos);
+
+    const std::optional<Response> hot = client_.call(reorder(2, 1));
+    ASSERT_TRUE(hot.has_value());
+    ASSERT_EQ(hot->status, "ok");
+    EXPECT_EQ(hot->rows, cold->rows);
+    EXPECT_EQ(hot->digest, cold->digest);
+    EXPECT_EQ(hot->key, cold->key);
+
+    const std::optional<obs::Json> stats = client_.stats();
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->at("store").at("builds").asUint(), 1u);
+    EXPECT_GE(stats->at("counters").at("hits").asUint(), 1u);
+}
+
+TEST_F(ServeDaemonTest, StatsDocumentIsWellFormed)
+{
+    const std::optional<obs::Json> stats = client_.stats();
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->at("schema").asString(), kStatsSchema);
+    EXPECT_TRUE(stats->contains("counters"));
+    EXPECT_TRUE(stats->contains("scheduler"));
+    EXPECT_TRUE(stats->contains("store"));
+    EXPECT_TRUE(stats->contains("latency"));
+    EXPECT_EQ(
+        stats->at("scheduler").at("queue_limit").asUint(), 64u);
+    EXPECT_EQ(stats->at("counters").at("dropped_responses").asUint(),
+              0u);
+}
+
+TEST_F(ServeDaemonTest, ShutdownExitsCleanly)
+{
+    const int exit_code = stopDaemon(daemon_, 15000);
+    EXPECT_EQ(exit_code, 0);
+    EXPECT_FALSE(daemon_.running());
+}
+
+} // namespace
+} // namespace slo::serve
